@@ -1,0 +1,33 @@
+//! Criterion bench for experiment 1 (Fig. 3): service bootstrap at increasing
+//! concurrency, on a reduced instance sweep so `cargo bench` stays fast. The full paper
+//! sweep is produced by the `exp1_bootstrap` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hpcml_bench::exp1::{run_one, BootstrapConfig};
+use hpcml_serving::ModelSpec;
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let config = BootstrapConfig {
+        instance_counts: vec![],
+        clock_scale: 20_000.0,
+        seed: 42,
+        model: ModelSpec::sim_llama_8b(),
+    };
+    let mut group = c.benchmark_group("exp1_bootstrap");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for &instances in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(instances), &instances, |b, &n| {
+            b.iter(|| {
+                let result = run_one(n, &config);
+                assert_eq!(result.components["init"].count, n);
+                result
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for experiment 2 (Figs. 4–5): local vs remote NOOP response time at
+//! a reduced request count. The full sweeps are produced by the `exp2_response_*`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hpcml_bench::exp2::{run_one, Deployment, ScalingConfig};
+use hpcml_serving::ModelSpec;
+
+fn config(deployment: Deployment) -> ScalingConfig {
+    ScalingConfig {
+        service_counts: vec![],
+        strong_clients: 4,
+        requests_per_client: 32,
+        model: ModelSpec::noop(),
+        deployment,
+        clock_scale: 1.0,
+        max_tokens: 1,
+        seed: 42,
+    }
+}
+
+fn bench_response_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_noop_response");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for deployment in [Deployment::Local, Deployment::Remote] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(deployment.label()),
+            &deployment,
+            |b, &d| {
+                let cfg = config(d);
+                b.iter(|| {
+                    let r = run_one(4, 4, &cfg);
+                    assert_eq!(r.components["communication"].count, 4 * 32);
+                    r
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_response_time);
+criterion_main!(benches);

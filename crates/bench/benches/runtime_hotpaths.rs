@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the runtime's hot paths: message codec, endpoint registry
+//! lookup, scheduler allocate/release, NOOP request round trip, and statistics
+//! summarisation. These are the operations that sit on the critical path of every
+//! figure in the paper's evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hpcml_comm::link::Link;
+use hpcml_comm::message::Message;
+use hpcml_comm::registry::EndpointRegistry;
+use hpcml_comm::reqrep::ReqRepServer;
+use hpcml_platform::batch::{AllocationRequest, BatchSystem};
+use hpcml_platform::resources::ResourceRequest;
+use hpcml_platform::PlatformId;
+use hpcml_runtime::scheduler::{Priority, Scheduler};
+use hpcml_sim::clock::ClockSpec;
+use hpcml_sim::stats::Summary;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = Message::new("service.llm-0", "inference.request")
+        .with_header("client", "task.000123")
+        .with_f64_header("sent_at", 123.456)
+        .with_text(&"low dose radiation effects on cell morphology ".repeat(8));
+    c.bench_function("codec/encode", |b| b.iter(|| black_box(msg.encode())));
+    let encoded = msg.encode();
+    c.bench_function("codec/decode", |b| {
+        b.iter(|| Message::decode(black_box(encoded.clone())).unwrap())
+    });
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let registry = EndpointRegistry::new();
+    let servers: Vec<ReqRepServer> = (0..64).map(|i| ReqRepServer::new(format!("service.svc-{i:03}"))).collect();
+    for s in &servers {
+        registry.register(s.name().to_string(), s.handle(), BTreeMap::new()).unwrap();
+    }
+    c.bench_function("registry/lookup_64", |b| {
+        b.iter(|| registry.lookup(black_box("service.svc-031")).unwrap())
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+    let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
+    let scheduler = Scheduler::new(alloc);
+    let req = ResourceRequest::cores(4);
+    c.bench_function("scheduler/allocate_release", |b| {
+        b.iter(|| {
+            let slot = scheduler.allocate(&req, Priority::Task, Duration::from_secs(1)).unwrap();
+            scheduler.release(&slot).unwrap();
+        })
+    });
+}
+
+fn bench_noop_roundtrip(c: &mut Criterion) {
+    let clock = ClockSpec::scaled(1000.0).build();
+    let server = ReqRepServer::new("svc.bench");
+    let client = server.client(Link::instant(Arc::clone(&clock)));
+    let server_thread = std::thread::spawn(move || {
+        while let Ok((msg, responder)) = server.recv_timeout(Duration::from_secs(5)) {
+            if msg.kind == "stop" {
+                let _ = responder.reply(Message::new("svc.bench", "bye"));
+                break;
+            }
+            let _ = responder.reply(Message::new("svc.bench", "reply"));
+        }
+    });
+    c.bench_function("reqrep/noop_roundtrip", |b| {
+        b.iter(|| client.request(Message::new("svc.bench", "ping")).unwrap())
+    });
+    let _ = client.request(Message::new("svc.bench", "stop"));
+    let _ = server_thread.join();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+    c.bench_function("stats/summary_4096", |b| b.iter(|| Summary::from_slice(black_box(&samples))));
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_registry,
+    bench_scheduler,
+    bench_noop_roundtrip,
+    bench_stats
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Experiment 1 / Fig. 3 — scaling of local service bootstrap time (BT).
+//!
+//! Launches N concurrent llama-8b services (one GPU each) on a Frontier-profile pilot
+//! and prints the per-instance-count breakdown of launch / init / publish times, i.e.
+//! the series plotted in the paper's Fig. 3.
+
+use hpcml_bench::exp1::{run_sweep, BootstrapConfig};
+use hpcml_bench::report::{render_csv, render_table};
+use hpcml_bench::full_scale;
+
+fn main() {
+    let config = if full_scale() { BootstrapConfig::paper() } else { BootstrapConfig::quick() };
+    eprintln!(
+        "exp1: sweeping {:?} concurrent llama-8b services on a Frontier-profile pilot (HPCML_FULL={})",
+        config.instance_counts,
+        full_scale()
+    );
+    let results = run_sweep(&config);
+    let rows: Vec<_> = results.iter().map(|r| r.to_row()).collect();
+    println!(
+        "{}",
+        render_table("Fig. 3 — service bootstrap times (per instance, seconds)", &["launch", "init", "publish"], &rows)
+    );
+    println!("{}", render_csv(&rows));
+}

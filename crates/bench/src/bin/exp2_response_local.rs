@@ -1,0 +1,42 @@
+//! Experiment 2 (local) / Fig. 4 — strong and weak scaling of local NOOP response time.
+
+use hpcml_bench::exp2::{run_sweep, Deployment, Scaling, ScalingConfig};
+use hpcml_bench::report::{render_csv, render_table};
+use hpcml_bench::full_scale;
+
+fn main() {
+    let config = if full_scale() {
+        ScalingConfig::paper_noop(Deployment::Local)
+    } else {
+        ScalingConfig::quick_noop(Deployment::Local)
+    };
+    eprintln!(
+        "exp2 (local): Delta pilot, NOOP services, {} requests/client (HPCML_FULL={})",
+        config.requests_per_client,
+        full_scale()
+    );
+
+    let strong = run_sweep(Scaling::Strong, &config);
+    let rows: Vec<_> = strong.iter().map(|r| r.to_row()).collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 4 (top) — local NOOP response time, strong scaling (16 clients)",
+            &["communication", "service", "inference"],
+            &rows
+        )
+    );
+    println!("{}", render_csv(&rows));
+
+    let weak = run_sweep(Scaling::Weak, &config);
+    let rows: Vec<_> = weak.iter().map(|r| r.to_row()).collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 4 (bottom) — local NOOP response time, weak scaling (clients == services)",
+            &["communication", "service", "inference"],
+            &rows
+        )
+    );
+    println!("{}", render_csv(&rows));
+}

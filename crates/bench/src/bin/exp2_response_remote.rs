@@ -1,0 +1,42 @@
+//! Experiment 2 (remote) / Fig. 5 — strong and weak scaling of remote NOOP response time.
+
+use hpcml_bench::exp2::{run_sweep, Deployment, Scaling, ScalingConfig};
+use hpcml_bench::report::{render_csv, render_table};
+use hpcml_bench::full_scale;
+
+fn main() {
+    let config = if full_scale() {
+        ScalingConfig::paper_noop(Deployment::Remote)
+    } else {
+        ScalingConfig::quick_noop(Deployment::Remote)
+    };
+    eprintln!(
+        "exp2 (remote): Delta clients -> R3-hosted NOOP services, {} requests/client (HPCML_FULL={})",
+        config.requests_per_client,
+        full_scale()
+    );
+
+    let strong = run_sweep(Scaling::Strong, &config);
+    let rows: Vec<_> = strong.iter().map(|r| r.to_row()).collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 5 (top) — remote NOOP response time, strong scaling (16 clients)",
+            &["communication", "service", "inference"],
+            &rows
+        )
+    );
+    println!("{}", render_csv(&rows));
+
+    let weak = run_sweep(Scaling::Weak, &config);
+    let rows: Vec<_> = weak.iter().map(|r| r.to_row()).collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 5 (bottom) — remote NOOP response time, weak scaling (clients == services)",
+            &["communication", "service", "inference"],
+            &rows
+        )
+    );
+    println!("{}", render_csv(&rows));
+}

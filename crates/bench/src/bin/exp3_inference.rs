@@ -1,0 +1,44 @@
+//! Experiment 3 / Fig. 6 — strong and weak scaling of llama-8b inference time (IT),
+//! for both remote (as plotted in Fig. 6) and local deployments (discussed in the text).
+
+use hpcml_bench::exp2::{Deployment, Scaling};
+use hpcml_bench::exp3::run;
+use hpcml_bench::report::{render_csv, render_table};
+use hpcml_bench::full_scale;
+
+fn main() {
+    let quick = !full_scale();
+    eprintln!("exp3: Delta pilot, llama-8b services, local and remote (HPCML_FULL={})", full_scale());
+
+    for deployment in [Deployment::Remote, Deployment::Local] {
+        let strong = run(Scaling::Strong, deployment, quick);
+        let rows: Vec<_> = strong.iter().map(|r| r.to_row()).collect();
+        println!(
+            "{}",
+            render_table(
+                &format!(
+                    "Fig. 6 — {} LLAMA inference, strong scaling (16 clients)",
+                    deployment.label()
+                ),
+                &["communication", "service", "inference"],
+                &rows
+            )
+        );
+        println!("{}", render_csv(&rows));
+
+        let weak = run(Scaling::Weak, deployment, quick);
+        let rows: Vec<_> = weak.iter().map(|r| r.to_row()).collect();
+        println!(
+            "{}",
+            render_table(
+                &format!(
+                    "Fig. 6 — {} LLAMA inference, weak scaling (clients == services)",
+                    deployment.label()
+                ),
+                &["communication", "service", "inference"],
+                &rows
+            )
+        );
+        println!("{}", render_csv(&rows));
+    }
+}

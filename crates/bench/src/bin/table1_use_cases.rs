@@ -1,0 +1,32 @@
+//! Regenerates the paper's Table I (use-case pipelines, stages, resources, services),
+//! and cross-checks it against the structure of the implemented LUCID pipelines.
+
+use hpcml_bench::tables::render_table1;
+use hpcml_workflows::dsl::structure;
+use hpcml_workflows::lucid::{
+    cell_painting_pipeline, signature_detection_pipeline, uncertainty_quantification_pipeline,
+    CellPaintingConfig, SignatureDetectionConfig, UqConfig,
+};
+
+fn main() {
+    println!("{}", render_table1());
+
+    println!("## Implemented pipeline structures (test-scale configurations)");
+    let pipelines = vec![
+        ("cell-painting", structure(&cell_painting_pipeline(&CellPaintingConfig::test_scale()))),
+        (
+            "signature-detection",
+            structure(&signature_detection_pipeline(&SignatureDetectionConfig::test_scale())),
+        ),
+        (
+            "uncertainty-quantification",
+            structure(&uncertainty_quantification_pipeline(&UqConfig::test_scale())),
+        ),
+    ];
+    for (name, stages) in pipelines {
+        println!("{name}:");
+        for (stage, services, tasks) in stages {
+            println!("  {stage:<40} services={services:<3} tasks={tasks}");
+        }
+    }
+}

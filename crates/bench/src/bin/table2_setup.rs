@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table II (experiment setup matrix).
+
+use hpcml_bench::tables::render_table2;
+
+fn main() {
+    println!("{}", render_table2());
+    println!("Run the experiments with:");
+    println!("  cargo run --release -p hpcml-bench --bin exp1_bootstrap        # Fig. 3");
+    println!("  cargo run --release -p hpcml-bench --bin exp2_response_local   # Fig. 4");
+    println!("  cargo run --release -p hpcml-bench --bin exp2_response_remote  # Fig. 5");
+    println!("  cargo run --release -p hpcml-bench --bin exp3_inference        # Fig. 6");
+    println!("Set HPCML_FULL=1 for the paper-scale sweeps (640 services, 1024 requests/client).");
+}

@@ -1,0 +1,107 @@
+//! Shared reporting helpers: every experiment binary prints the same row format.
+
+use std::collections::BTreeMap;
+
+use hpcml_sim::stats::Summary;
+
+/// One printed row: a configuration label plus per-component summaries.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Configuration label (e.g. `services=16 clients=16`).
+    pub label: String,
+    /// Per-component summaries, keyed by component name.
+    pub components: BTreeMap<String, Summary>,
+    /// Summary of the per-sample totals.
+    pub total: Summary,
+}
+
+impl Row {
+    /// Create a row.
+    pub fn new(label: impl Into<String>, components: BTreeMap<String, Summary>, total: Summary) -> Self {
+        Row { label: label.into(), components, total }
+    }
+}
+
+/// Render a table of rows with one column per component (mean ± std, seconds).
+pub fn render_table(title: &str, component_order: &[&str], rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("{:<28}", "configuration"));
+    for c in component_order {
+        out.push_str(&format!("{:>24}", format!("{c} (s)")));
+    }
+    out.push_str(&format!("{:>24}\n", "total (s)"));
+    for row in rows {
+        out.push_str(&format!("{:<28}", row.label));
+        for c in component_order {
+            match row.components.get(*c) {
+                Some(s) => out.push_str(&format!("{:>24}", format!("{:.4} ± {:.4}", s.mean, s.std_dev))),
+                None => out.push_str(&format!("{:>24}", "-")),
+            }
+        }
+        out.push_str(&format!(
+            "{:>24}\n",
+            format!("{:.4} ± {:.4}", row.total.mean, row.total.std_dev)
+        ));
+    }
+    out
+}
+
+/// Render rows as CSV (`label,component,mean,std,min,p50,p95,max,count`).
+pub fn render_csv(rows: &[Row]) -> String {
+    let mut out = String::from("configuration,component,mean_s,std_s,min_s,p50_s,p95_s,max_s,count\n");
+    for row in rows {
+        for (name, s) in &row.components {
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
+                row.label, name, s.mean, s.std_dev, s.min, s.p50, s.p95, s.max, s.count
+            ));
+        }
+        out.push_str(&format!(
+            "{},total,{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
+            row.label,
+            row.total.mean,
+            row.total.std_dev,
+            row.total.min,
+            row.total.p50,
+            row.total.p95,
+            row.total.max,
+            row.total.count
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        let mut components = BTreeMap::new();
+        components.insert("launch".to_string(), Summary::from_slice(&[2.0, 2.2, 1.8]));
+        components.insert("init".to_string(), Summary::from_slice(&[30.0, 31.0, 29.0]));
+        Row::new("services=4", components, Summary::from_slice(&[32.0, 33.2, 30.8]))
+    }
+
+    #[test]
+    fn table_contains_all_columns_and_rows() {
+        let t = render_table("Fig 3", &["launch", "init", "publish"], &[row()]);
+        assert!(t.contains("Fig 3"));
+        assert!(t.contains("services=4"));
+        assert!(t.contains("launch"));
+        assert!(t.contains("init"));
+        // Missing component renders a dash.
+        assert!(t.contains('-'));
+        assert!(t.contains("total"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_component_plus_total() {
+        let csv = render_csv(&[row()]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 2 + 1, "header + 2 components + total");
+        assert!(lines[0].starts_with("configuration,component"));
+        assert!(csv.contains("services=4,init"));
+        assert!(csv.contains("services=4,total"));
+    }
+}

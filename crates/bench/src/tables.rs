@@ -1,0 +1,121 @@
+//! Tables I and II of the paper as printable data.
+
+use hpcml_workflows::lucid::{use_case_table, UseCaseRow};
+
+/// One row of the paper's Table II (experiment setup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentSetupRow {
+    /// Experiment id (1-3).
+    pub id: u8,
+    /// HPC platform(s).
+    pub platform: &'static str,
+    /// Task type.
+    pub task_type: &'static str,
+    /// Model.
+    pub model: &'static str,
+    /// Model deployment (local / remote).
+    pub deployment: &'static str,
+    /// Number of client tasks.
+    pub tasks: &'static str,
+    /// Number of model instances.
+    pub models: &'static str,
+    /// Cores per pilot.
+    pub cores_per_pilot: u32,
+    /// GPUs per pilot.
+    pub gpus_per_pilot: u32,
+    /// Scaling mode.
+    pub scaling: &'static str,
+}
+
+/// The contents of the paper's Table II.
+pub fn experiment_setup_table() -> Vec<ExperimentSetupRow> {
+    vec![
+        ExperimentSetupRow { id: 1, platform: "Frontier", task_type: "n/a", model: "llama 8b", deployment: "local", tasks: "n/a", models: "1-640", cores_per_pilot: 640, gpus_per_pilot: 40, scaling: "weak" },
+        ExperimentSetupRow { id: 2, platform: "Delta", task_type: "NOOP", model: "noop", deployment: "local", tasks: "1-16", models: "1-16", cores_per_pilot: 256, gpus_per_pilot: 16, scaling: "strong/weak" },
+        ExperimentSetupRow { id: 2, platform: "Delta and R3", task_type: "NOOP", model: "noop", deployment: "remote", tasks: "1-16", models: "1-16", cores_per_pilot: 256, gpus_per_pilot: 16, scaling: "strong/weak" },
+        ExperimentSetupRow { id: 3, platform: "Delta", task_type: "inference", model: "llama 8b", deployment: "local", tasks: "1-16", models: "1-16", cores_per_pilot: 256, gpus_per_pilot: 16, scaling: "strong/weak" },
+        ExperimentSetupRow { id: 3, platform: "Delta and R3", task_type: "inference", model: "llama 8b", deployment: "remote", tasks: "1-16", models: "1-16", cores_per_pilot: 256, gpus_per_pilot: 16, scaling: "strong/weak" },
+    ]
+}
+
+/// Render Table I as text.
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "## Table I — use cases: pipelines, stages, resource requirements, service-based implementation\n",
+    );
+    out.push_str(&format!(
+        "{:<4}{:<30}{:<50}{:<15}{:<10}\n",
+        "ID", "Pipeline", "Stage", "Resource", "Service"
+    ));
+    for row in use_case_table() {
+        out.push_str(&format!(
+            "{:<4}{:<30}{:<50}{:<15}{:<10}\n",
+            row.id,
+            row.pipeline,
+            row.stage,
+            row.resource,
+            if row.as_service { "Yes" } else { "No" }
+        ));
+    }
+    out
+}
+
+/// Render Table II as text.
+pub fn render_table2() -> String {
+    let mut out = String::from("## Table II — experiment setup\n");
+    out.push_str(&format!(
+        "{:<4}{:<16}{:<12}{:<10}{:<12}{:<8}{:<8}{:<14}{:<14}{:<12}\n",
+        "ID", "Platform", "Task type", "Model", "Deployment", "Tasks", "Models", "Cores/pilot", "GPUs/pilot", "Scaling"
+    ));
+    for row in experiment_setup_table() {
+        out.push_str(&format!(
+            "{:<4}{:<16}{:<12}{:<10}{:<12}{:<8}{:<8}{:<14}{:<14}{:<12}\n",
+            row.id,
+            row.platform,
+            row.task_type,
+            row.model,
+            row.deployment,
+            row.tasks,
+            row.models,
+            row.cores_per_pilot,
+            row.gpus_per_pilot,
+            row.scaling
+        ));
+    }
+    out
+}
+
+/// Re-export of the Table I rows for convenience.
+pub fn table1_rows() -> Vec<UseCaseRow> {
+    use_case_table()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_setup() {
+        let rows = experiment_setup_table();
+        assert_eq!(rows.len(), 5);
+        let exp1 = &rows[0];
+        assert_eq!(exp1.platform, "Frontier");
+        assert_eq!(exp1.gpus_per_pilot, 40);
+        assert_eq!(exp1.scaling, "weak");
+        assert!(rows.iter().filter(|r| r.id == 2).count() == 2);
+        assert!(rows.iter().filter(|r| r.id == 3).all(|r| r.model == "llama 8b"));
+        assert!(rows.iter().filter(|r| r.id >= 2).all(|r| r.cores_per_pilot == 256 && r.gpus_per_pilot == 16));
+    }
+
+    #[test]
+    fn rendered_tables_contain_key_entries() {
+        let t1 = render_table1();
+        assert!(t1.contains("Cell Painting"));
+        assert!(t1.contains("Uncertainty Quantification"));
+        assert_eq!(table1_rows().len(), 8);
+        let t2 = render_table2();
+        assert!(t2.contains("Frontier"));
+        assert!(t2.contains("Delta and R3"));
+        assert!(t2.contains("strong/weak"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # hpcml-comm — ZeroMQ-like messaging substrate
+//!
+//! RADICAL-Pilot wires its components together with ZeroMQ: clients talk to services over
+//! REQ/REP sockets, components publish state updates over PUB/SUB, and queues connect the
+//! pipeline of scheduler → executor → stagers. This crate rebuilds those communication
+//! patterns from scratch on top of `crossbeam` channels, with:
+//!
+//! * [`message`] — a self-describing message envelope with a compact binary wire codec
+//!   (no external serialisation framework needed);
+//! * [`reqrep`] — request/reply endpoints ([`reqrep::ReqRepServer`], [`reqrep::ReqRepClient`])
+//!   used for the service inference API;
+//! * [`pubsub`] — topic-based publish/subscribe used for state-update notification;
+//! * [`queue`] — work queues (PUSH/PULL) connecting runtime components;
+//! * [`registry`] — the endpoint registry services publish themselves into
+//!   (the `publish` component of the paper's bootstrap time);
+//! * [`link`] — latency injection: every hop between two endpoints samples the
+//!   appropriate [`hpcml_platform::LatencyProfile`] (local vs remote) on the shared
+//!   virtual clock, so the response-time experiments see the paper's measured
+//!   0.063 ms / 0.47 ms link characteristics.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod link;
+pub mod message;
+pub mod pubsub;
+pub mod queue;
+pub mod registry;
+pub mod reqrep;
+
+pub use error::CommError;
+pub use link::Link;
+pub use message::Message;
+pub use pubsub::{Publisher, Subscriber};
+pub use queue::{WorkQueue, WorkQueueReceiver, WorkQueueSender};
+pub use registry::{EndpointEntry, EndpointRegistry};
+pub use reqrep::{ReqRepClient, ReqRepHandle, ReqRepServer, Responder};

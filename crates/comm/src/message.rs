@@ -1,0 +1,259 @@
+//! Message envelope and wire codec.
+//!
+//! Every payload exchanged between runtime components, clients, and services is wrapped
+//! in a [`Message`]: a topic (what channel/queue it belongs to), a kind (what operation
+//! it represents, e.g. `inference.request`), a set of string headers (timings, entity
+//! identifiers), and an opaque byte payload. Messages are encoded with a small
+//! self-contained length-prefixed binary codec, standing in for ZeroMQ's multipart
+//! frames; the codec is exercised both by the in-process transports and by the codec
+//! benchmarks.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::CommError;
+
+/// Protocol magic prefix for encoded messages.
+const MAGIC: u32 = 0x4850_434D; // "HPCM"
+/// Current wire version.
+const VERSION: u8 = 1;
+/// Hard cap on any length field to catch corrupt frames early (64 MiB).
+const MAX_FIELD_LEN: usize = 64 * 1024 * 1024;
+
+/// A self-describing message envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Monotonic message identifier (unique per process).
+    pub id: u64,
+    /// Logical channel or destination (e.g. `service.llm-0`).
+    pub topic: String,
+    /// Operation (e.g. `inference.request`, `state.update`, `control.stop`).
+    pub kind: String,
+    /// String key/value metadata (timings, entity ids, model names).
+    pub headers: BTreeMap<String, String>,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Create a message with the given topic and kind, empty headers and payload.
+    pub fn new(topic: impl Into<String>, kind: impl Into<String>) -> Self {
+        Message {
+            id: hpcml_sim::ids::next_uid(),
+            topic: topic.into(),
+            kind: kind.into(),
+            headers: BTreeMap::new(),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Attach a payload.
+    pub fn with_payload(mut self, payload: impl Into<Bytes>) -> Self {
+        self.payload = payload.into();
+        self
+    }
+
+    /// Attach a UTF-8 text payload.
+    pub fn with_text(self, text: &str) -> Self {
+        self.with_payload(Bytes::copy_from_slice(text.as_bytes()))
+    }
+
+    /// Add one header.
+    pub fn with_header(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.insert(key.into(), value.into());
+        self
+    }
+
+    /// Add a floating-point header (stored as its `{:.9}` decimal representation).
+    pub fn with_f64_header(self, key: impl Into<String>, value: f64) -> Self {
+        self.with_header(key, format!("{value:.9}"))
+    }
+
+    /// Read a header.
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.get(key).map(String::as_str)
+    }
+
+    /// Read a floating-point header.
+    pub fn f64_header(&self, key: &str) -> Option<f64> {
+        self.header(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Interpret the payload as UTF-8 text.
+    pub fn text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.payload).ok()
+    }
+
+    /// Payload size in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Approximate encoded size (used for bandwidth modelling).
+    pub fn encoded_len(&self) -> usize {
+        let headers: usize = self.headers.iter().map(|(k, v)| 8 + k.len() + v.len()).sum();
+        4 + 1 + 8 + 4 + self.topic.len() + 4 + self.kind.len() + 4 + headers + 4 + self.payload.len()
+    }
+
+    /// Encode to the binary wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u32(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64(self.id);
+        put_str(&mut buf, &self.topic);
+        put_str(&mut buf, &self.kind);
+        buf.put_u32(self.headers.len() as u32);
+        for (k, v) in &self.headers {
+            put_str(&mut buf, k);
+            put_str(&mut buf, v);
+        }
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decode from the binary wire format.
+    pub fn decode(mut data: Bytes) -> Result<Self, CommError> {
+        if data.remaining() < 4 + 1 + 8 {
+            return Err(CommError::Codec("frame too short".into()));
+        }
+        let magic = data.get_u32();
+        if magic != MAGIC {
+            return Err(CommError::Codec(format!("bad magic 0x{magic:08x}")));
+        }
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(CommError::Codec(format!("unsupported version {version}")));
+        }
+        let id = data.get_u64();
+        let topic = get_str(&mut data)?;
+        let kind = get_str(&mut data)?;
+        if data.remaining() < 4 {
+            return Err(CommError::Codec("truncated header count".into()));
+        }
+        let n_headers = data.get_u32() as usize;
+        if n_headers > MAX_FIELD_LEN {
+            return Err(CommError::Codec("header count too large".into()));
+        }
+        let mut headers = BTreeMap::new();
+        for _ in 0..n_headers {
+            let k = get_str(&mut data)?;
+            let v = get_str(&mut data)?;
+            headers.insert(k, v);
+        }
+        if data.remaining() < 4 {
+            return Err(CommError::Codec("truncated payload length".into()));
+        }
+        let payload_len = data.get_u32() as usize;
+        if payload_len > MAX_FIELD_LEN || data.remaining() < payload_len {
+            return Err(CommError::Codec("truncated payload".into()));
+        }
+        let payload = data.copy_to_bytes(payload_len);
+        Ok(Message { id, topic, kind, headers, payload })
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut Bytes) -> Result<String, CommError> {
+    if data.remaining() < 4 {
+        return Err(CommError::Codec("truncated string length".into()));
+    }
+    let len = data.get_u32() as usize;
+    if len > MAX_FIELD_LEN || data.remaining() < len {
+        return Err(CommError::Codec("truncated string".into()));
+    }
+    let raw = data.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| CommError::Codec("invalid utf-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Message {
+        Message::new("service.llm-0", "inference.request")
+            .with_header("client", "task.000003")
+            .with_f64_header("sent_at", 12.25)
+            .with_text("What is the effect of low-dose radiation on cell morphology?")
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let m = sample();
+        assert_eq!(m.topic, "service.llm-0");
+        assert_eq!(m.kind, "inference.request");
+        assert_eq!(m.header("client"), Some("task.000003"));
+        assert_eq!(m.f64_header("sent_at"), Some(12.25));
+        assert_eq!(m.f64_header("missing"), None);
+        assert!(m.text().unwrap().starts_with("What is"));
+        assert!(m.payload_len() > 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = sample();
+        let encoded = m.encode();
+        assert!(encoded.len() <= m.encoded_len() + 16);
+        let decoded = Message::decode(encoded).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn roundtrip_empty_message() {
+        let m = Message::new("", "");
+        let decoded = Message::decode(m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.payload_len(), 0);
+    }
+
+    #[test]
+    fn roundtrip_binary_payload() {
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let m = Message::new("t", "k").with_payload(payload.clone());
+        let decoded = Message::decode(m.encode()).unwrap();
+        assert_eq!(&decoded.payload[..], &payload[..]);
+        assert!(decoded.text().is_none(), "binary payload is not valid UTF-8");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(Message::decode(Bytes::from_static(b"xx")), Err(CommError::Codec(_))));
+        assert!(matches!(
+            Message::decode(Bytes::from_static(&[0u8; 64])),
+            Err(CommError::Codec(_))
+        ));
+        // Corrupt a valid frame's magic.
+        let mut raw = sample().encode().to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(Message::decode(Bytes::from(raw)), Err(CommError::Codec(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_frames() {
+        let raw = sample().encode();
+        for cut in [5, 13, 20, raw.len() - 1] {
+            let truncated = raw.slice(0..cut.min(raw.len()));
+            assert!(Message::decode(truncated).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut raw = sample().encode().to_vec();
+        raw[4] = 99;
+        assert!(matches!(Message::decode(Bytes::from(raw)), Err(CommError::Codec(msg)) if msg.contains("version")));
+    }
+
+    #[test]
+    fn message_ids_are_unique() {
+        let a = Message::new("t", "k");
+        let b = Message::new("t", "k");
+        assert_ne!(a.id, b.id);
+    }
+}

@@ -1,0 +1,199 @@
+//! Topic-based publish/subscribe (ZeroMQ PUB/SUB analogue).
+//!
+//! The runtime's `Updater` publishes entity state changes (task/service/pilot state
+//! transitions) on topics; clients, dashboards, and third-party middleware subscribe to
+//! the topics they care about (paper Fig. 2, flow ⑥). Subscriptions are prefix matches
+//! like ZeroMQ's, so `state.task` receives `state.task.running` and `state.task.done`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::CommError;
+use crate::message::Message;
+
+struct SubscriberEntry {
+    prefixes: Vec<String>,
+    tx: Sender<Message>,
+}
+
+#[derive(Default)]
+struct Inner {
+    subscribers: RwLock<Vec<SubscriberEntry>>,
+}
+
+/// Publishing side of a PUB/SUB channel.
+#[derive(Clone, Default)]
+pub struct Publisher {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Publisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Publisher")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+impl Publisher {
+    /// Create a publisher with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.subscribers.read().len()
+    }
+
+    /// Create a subscription for the given topic prefixes (empty prefix = everything).
+    pub fn subscribe(&self, prefixes: &[&str]) -> Subscriber {
+        let (tx, rx) = unbounded();
+        let entry = SubscriberEntry {
+            prefixes: prefixes.iter().map(|s| s.to_string()).collect(),
+            tx,
+        };
+        self.inner.subscribers.write().push(entry);
+        Subscriber { rx }
+    }
+
+    /// Publish a message to every subscriber whose prefix matches the message topic.
+    /// Returns the number of subscribers that received it. Dead subscribers are pruned.
+    pub fn publish(&self, msg: &Message) -> usize {
+        let mut delivered = 0;
+        let mut any_dead = false;
+        {
+            let subs = self.inner.subscribers.read();
+            for sub in subs.iter() {
+                let matches =
+                    sub.prefixes.is_empty() || sub.prefixes.iter().any(|p| msg.topic.starts_with(p.as_str()));
+                if matches {
+                    if sub.tx.send(msg.clone()).is_ok() {
+                        delivered += 1;
+                    } else {
+                        any_dead = true;
+                    }
+                }
+            }
+        }
+        if any_dead {
+            self.inner.subscribers.write().retain(|s| !s.tx.is_empty() || s.tx.send(Message::new("", "comm.ping")).is_ok());
+        }
+        delivered
+    }
+}
+
+/// Receiving side of a PUB/SUB channel.
+pub struct Subscriber {
+    rx: Receiver<Message>,
+}
+
+impl std::fmt::Debug for Subscriber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscriber").field("pending", &self.rx.len()).finish()
+    }
+}
+
+impl Subscriber {
+    /// Block for the next message, up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, CommError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => CommError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => CommError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<Message>, CommError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+
+    /// Drain everything currently pending, filtering out internal ping messages.
+    pub fn drain(&self) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Ok(Some(m)) = self.try_recv() {
+            if m.kind != "comm.ping" {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Number of messages waiting.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matching_delivery() {
+        let publisher = Publisher::new();
+        let tasks = publisher.subscribe(&["state.task"]);
+        let services = publisher.subscribe(&["state.service"]);
+        let all = publisher.subscribe(&[]);
+        assert_eq!(publisher.subscriber_count(), 3);
+
+        let n = publisher.publish(&Message::new("state.task.running", "state.update"));
+        assert_eq!(n, 2); // task subscriber + catch-all
+        let n = publisher.publish(&Message::new("state.service.ready", "state.update"));
+        assert_eq!(n, 2);
+
+        assert_eq!(tasks.drain().len(), 1);
+        assert_eq!(services.drain().len(), 1);
+        assert_eq!(all.drain().len(), 2);
+    }
+
+    #[test]
+    fn multiple_prefixes_one_subscriber() {
+        let publisher = Publisher::new();
+        let sub = publisher.subscribe(&["state.task", "state.pilot"]);
+        publisher.publish(&Message::new("state.task.done", "u"));
+        publisher.publish(&Message::new("state.pilot.active", "u"));
+        publisher.publish(&Message::new("state.service.ready", "u"));
+        assert_eq!(sub.drain().len(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_and_pending() {
+        let publisher = Publisher::new();
+        let sub = publisher.subscribe(&[]);
+        assert_eq!(sub.recv_timeout(Duration::from_millis(5)).unwrap_err(), CommError::Timeout);
+        publisher.publish(&Message::new("x", "y"));
+        assert_eq!(sub.pending(), 1);
+        let m = sub.recv_timeout(Duration::from_millis(50)).unwrap();
+        assert_eq!(m.topic, "x");
+    }
+
+    #[test]
+    fn publish_with_no_subscribers_is_zero() {
+        let publisher = Publisher::new();
+        assert_eq!(publisher.publish(&Message::new("t", "k")), 0);
+        assert!(!format!("{publisher:?}").is_empty());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let publisher = Publisher::new();
+        let sub = publisher.subscribe(&["events"]);
+        let p2 = publisher.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..50 {
+                p2.publish(&Message::new("events", "tick").with_text(&i.to_string()));
+            }
+        });
+        handle.join().unwrap();
+        let got = sub.drain();
+        assert_eq!(got.len(), 50);
+        assert!(!format!("{sub:?}").is_empty());
+    }
+}

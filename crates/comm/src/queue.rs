@@ -1,0 +1,234 @@
+//! Work queues (ZeroMQ PUSH/PULL analogue).
+//!
+//! RADICAL-Pilot's components are connected by queues: the scheduler's input queue, the
+//! executor's queue, the stagers' queues (paper Fig. 2). A [`WorkQueue`] is a typed
+//! multi-producer/multi-consumer queue with optional bounded capacity, shared by the
+//! runtime components in this reproduction.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::time::Duration;
+
+use crate::error::CommError;
+
+/// Sending half of a [`WorkQueue`].
+pub struct WorkQueueSender<T> {
+    tx: Sender<T>,
+    name: String,
+}
+
+impl<T> Clone for WorkQueueSender<T> {
+    fn clone(&self) -> Self {
+        WorkQueueSender { tx: self.tx.clone(), name: self.name.clone() }
+    }
+}
+
+impl<T> std::fmt::Debug for WorkQueueSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkQueueSender").field("name", &self.name).finish()
+    }
+}
+
+impl<T> WorkQueueSender<T> {
+    /// Enqueue an item, blocking if the queue is bounded and full.
+    pub fn push(&self, item: T) -> Result<(), CommError> {
+        self.tx.send(item).map_err(|_| CommError::Disconnected)
+    }
+
+    /// Enqueue an item without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), CommError> {
+        match self.tx.try_send(item) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(CommError::Timeout),
+            Err(TrySendError::Disconnected(_)) => Err(CommError::Disconnected),
+        }
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// True if the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.tx.is_empty()
+    }
+}
+
+/// Receiving half of a [`WorkQueue`].
+pub struct WorkQueueReceiver<T> {
+    rx: Receiver<T>,
+    name: String,
+}
+
+impl<T> Clone for WorkQueueReceiver<T> {
+    fn clone(&self) -> Self {
+        WorkQueueReceiver { rx: self.rx.clone(), name: self.name.clone() }
+    }
+}
+
+impl<T> std::fmt::Debug for WorkQueueReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkQueueReceiver")
+            .field("name", &self.name)
+            .field("pending", &self.rx.len())
+            .finish()
+    }
+}
+
+impl<T> WorkQueueReceiver<T> {
+    /// Block until an item is available or `timeout` elapses.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<T, CommError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout,
+            RecvTimeoutError::Disconnected => CommError::Disconnected,
+        })
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain everything currently available.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = self.try_pop() {
+            out.push(item);
+        }
+        out
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// A named multi-producer/multi-consumer work queue.
+pub struct WorkQueue<T> {
+    sender: WorkQueueSender<T>,
+    receiver: WorkQueueReceiver<T>,
+}
+
+impl<T> WorkQueue<T> {
+    /// Create an unbounded queue.
+    pub fn unbounded(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let (tx, rx) = unbounded();
+        WorkQueue {
+            sender: WorkQueueSender { tx, name: name.clone() },
+            receiver: WorkQueueReceiver { rx, name },
+        }
+    }
+
+    /// Create a bounded queue with the given capacity.
+    pub fn bounded(name: impl Into<String>, capacity: usize) -> Self {
+        let name = name.into();
+        let (tx, rx) = bounded(capacity);
+        WorkQueue {
+            sender: WorkQueueSender { tx, name: name.clone() },
+            receiver: WorkQueueReceiver { rx, name },
+        }
+    }
+
+    /// Clone the sending half.
+    pub fn sender(&self) -> WorkQueueSender<T> {
+        self.sender.clone()
+    }
+
+    /// Clone the receiving half.
+    pub fn receiver(&self) -> WorkQueueReceiver<T> {
+        self.receiver.clone()
+    }
+
+    /// Split into its two halves, dropping the queue wrapper.
+    pub fn split(self) -> (WorkQueueSender<T>, WorkQueueReceiver<T>) {
+        (self.sender, self.receiver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let q = WorkQueue::unbounded("test");
+        let tx = q.sender();
+        let rx = q.receiver();
+        for i in 0..10 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.len(), 10);
+        assert!(!tx.is_empty());
+        let got: Vec<i32> = rx.drain();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_reports_full() {
+        let q = WorkQueue::bounded("small", 2);
+        let tx = q.sender();
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3).unwrap_err(), CommError::Timeout);
+        let rx = q.receiver();
+        assert_eq!(rx.try_pop(), Some(1));
+        tx.try_push(3).unwrap();
+        assert_eq!(rx.drain(), vec![2, 3]);
+    }
+
+    #[test]
+    fn pop_timeout_on_empty_queue() {
+        let q: WorkQueue<u32> = WorkQueue::unbounded("empty");
+        let rx = q.receiver();
+        assert_eq!(rx.pop_timeout(Duration::from_millis(5)).unwrap_err(), CommError::Timeout);
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn disconnected_when_all_senders_dropped() {
+        let q: WorkQueue<u32> = WorkQueue::unbounded("dropme");
+        let (tx, rx) = q.split();
+        drop(tx);
+        assert_eq!(rx.pop_timeout(Duration::from_millis(5)).unwrap_err(), CommError::Disconnected);
+    }
+
+    #[test]
+    fn work_is_distributed_across_consumers() {
+        let q = WorkQueue::unbounded("mpmc");
+        let tx = q.sender();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = q.receiver();
+            handles.push(thread::spawn(move || {
+                let mut count = 0;
+                while rx.pop_timeout(Duration::from_millis(100)).is_ok() {
+                    count += 1;
+                }
+                count
+            }));
+        }
+        for i in 0..200 {
+            tx.push(i).unwrap();
+        }
+        drop(tx);
+        drop(q);
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn debug_output_mentions_name() {
+        let q: WorkQueue<u8> = WorkQueue::unbounded("sched-input");
+        assert!(format!("{:?}", q.sender()).contains("sched-input"));
+        assert!(format!("{:?}", q.receiver()).contains("sched-input"));
+    }
+}

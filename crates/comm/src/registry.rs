@@ -1,0 +1,219 @@
+//! Endpoint registry: where services publish themselves.
+//!
+//! The third component of the paper's bootstrap time is *publish* — the time a freshly
+//! started service instance needs to make its endpoint known so that client tasks can
+//! find it. In this reproduction the [`EndpointRegistry`] plays that role: services
+//! register a [`ReqRepHandle`] under their service name together with metadata (model
+//! name, node, GPUs); clients look the handle up (optionally blocking until it appears)
+//! and connect to it over a [`crate::link::Link`] appropriate to their locality.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::CommError;
+use crate::reqrep::ReqRepHandle;
+
+/// A registered endpoint: connection handle plus descriptive metadata.
+#[derive(Debug, Clone)]
+pub struct EndpointEntry {
+    /// Registered name (usually the service id).
+    pub name: String,
+    /// Connection handle.
+    pub handle: ReqRepHandle,
+    /// Free-form metadata (model name, node name, platform, ...).
+    pub metadata: BTreeMap<String, String>,
+}
+
+#[derive(Default)]
+struct RegistryState {
+    entries: BTreeMap<String, EndpointEntry>,
+}
+
+/// Thread-safe endpoint registry with blocking lookup.
+#[derive(Default)]
+pub struct EndpointRegistry {
+    state: Mutex<RegistryState>,
+    cond: Condvar,
+}
+
+impl std::fmt::Debug for EndpointRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EndpointRegistry").field("len", &self.len()).finish()
+    }
+}
+
+impl EndpointRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an endpoint. Fails if the name is already taken.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        handle: ReqRepHandle,
+        metadata: BTreeMap<String, String>,
+    ) -> Result<(), CommError> {
+        let name = name.into();
+        let mut st = self.state.lock();
+        if st.entries.contains_key(&name) {
+            return Err(CommError::AlreadyRegistered(name));
+        }
+        st.entries.insert(name.clone(), EndpointEntry { name, handle, metadata });
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Remove an endpoint. Returns the removed entry if it existed.
+    pub fn unregister(&self, name: &str) -> Option<EndpointEntry> {
+        let mut st = self.state.lock();
+        let removed = st.entries.remove(name);
+        if removed.is_some() {
+            self.cond.notify_all();
+        }
+        removed
+    }
+
+    /// Look up an endpoint without blocking.
+    pub fn lookup(&self, name: &str) -> Option<EndpointEntry> {
+        self.state.lock().entries.get(name).cloned()
+    }
+
+    /// Block until the endpoint appears or `timeout` (real time) elapses.
+    pub fn wait_for(&self, name: &str, timeout: Duration) -> Result<EndpointEntry, CommError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(entry) = st.entries.get(name) {
+                return Ok(entry.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::EndpointNotFound(name.to_string()));
+            }
+            if self.cond.wait_until(&mut st, deadline).timed_out() && !st.entries.contains_key(name) {
+                return Err(CommError::EndpointNotFound(name.to_string()));
+            }
+        }
+    }
+
+    /// Names of all registered endpoints.
+    pub fn names(&self) -> Vec<String> {
+        self.state.lock().entries.keys().cloned().collect()
+    }
+
+    /// All entries whose metadata key `key` equals `value`.
+    pub fn find_by_metadata(&self, key: &str, value: &str) -> Vec<EndpointEntry> {
+        self.state
+            .lock()
+            .entries
+            .values()
+            .filter(|e| e.metadata.get(key).map(String::as_str) == Some(value))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// True if no endpoint is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+    use crate::message::Message;
+    use crate::reqrep::ReqRepServer;
+    use hpcml_sim::clock::ClockSpec;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn meta(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let reg = EndpointRegistry::new();
+        let server = ReqRepServer::new("svc.a");
+        assert!(reg.is_empty());
+        reg.register("svc.a", server.handle(), meta(&[("model", "llama-8b")])).unwrap();
+        assert_eq!(reg.len(), 1);
+        let entry = reg.lookup("svc.a").unwrap();
+        assert_eq!(entry.metadata["model"], "llama-8b");
+        assert_eq!(reg.names(), vec!["svc.a".to_string()]);
+        assert!(reg.lookup("svc.b").is_none());
+        let removed = reg.unregister("svc.a").unwrap();
+        assert_eq!(removed.name, "svc.a");
+        assert!(reg.unregister("svc.a").is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let reg = EndpointRegistry::new();
+        let server = ReqRepServer::new("svc.dup");
+        reg.register("svc.dup", server.handle(), BTreeMap::new()).unwrap();
+        let err = reg.register("svc.dup", server.handle(), BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, CommError::AlreadyRegistered(_)));
+    }
+
+    #[test]
+    fn wait_for_blocks_until_registration() {
+        let reg = Arc::new(EndpointRegistry::new());
+        let reg2 = Arc::clone(&reg);
+        let waiter = thread::spawn(move || reg2.wait_for("svc.late", Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        let server = ReqRepServer::new("svc.late");
+        reg.register("svc.late", server.handle(), BTreeMap::new()).unwrap();
+        let entry = waiter.join().unwrap().unwrap();
+        assert_eq!(entry.name, "svc.late");
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let reg = EndpointRegistry::new();
+        let err = reg.wait_for("svc.never", Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, CommError::EndpointNotFound(_)));
+    }
+
+    #[test]
+    fn find_by_metadata_filters() {
+        let reg = EndpointRegistry::new();
+        let s1 = ReqRepServer::new("svc.1");
+        let s2 = ReqRepServer::new("svc.2");
+        let s3 = ReqRepServer::new("svc.3");
+        reg.register("svc.1", s1.handle(), meta(&[("model", "llama-8b")])).unwrap();
+        reg.register("svc.2", s2.handle(), meta(&[("model", "noop")])).unwrap();
+        reg.register("svc.3", s3.handle(), meta(&[("model", "llama-8b")])).unwrap();
+        let llamas = reg.find_by_metadata("model", "llama-8b");
+        assert_eq!(llamas.len(), 2);
+        assert!(reg.find_by_metadata("model", "mistral").is_empty());
+    }
+
+    #[test]
+    fn looked_up_handle_is_usable() {
+        let reg = EndpointRegistry::new();
+        let server = ReqRepServer::new("svc.echo");
+        reg.register("svc.echo", server.handle(), BTreeMap::new()).unwrap();
+        let entry = reg.lookup("svc.echo").unwrap();
+        let clock = ClockSpec::scaled(100_000.0).build();
+        let client = entry.handle.connect(Link::instant(clock));
+        let t = thread::spawn(move || {
+            let (msg, r) = server.recv_timeout(Duration::from_secs(2)).unwrap();
+            r.reply(Message::new(msg.topic, "pong")).unwrap();
+        });
+        let reply = client.request(Message::new("svc.echo", "ping")).unwrap();
+        assert_eq!(reply.kind, "pong");
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,317 @@
+//! Request/reply endpoints (ZeroMQ REQ/REP analogue).
+//!
+//! A [`ReqRepServer`] owns the receive side of an endpoint; any number of
+//! [`ReqRepClient`]s can send requests to it and block for the reply. Each request
+//! carries a one-shot reply channel (ZeroMQ would route the reply frame back over the
+//! socket). The client optionally traverses a [`Link`] before the request is delivered
+//! and before the reply is returned, which is how local vs remote deployments differ.
+
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use crate::error::CommError;
+use crate::link::Link;
+use crate::message::Message;
+
+/// Header stamped on requests with the virtual time at which the request reached the
+/// server's queue (after link traversal). Servers use it to compute queue time.
+pub const HDR_ENQUEUED_AT: &str = "comm.enqueued_at";
+
+struct Request {
+    msg: Message,
+    reply_tx: Sender<Message>,
+}
+
+/// Server side of a request/reply endpoint.
+pub struct ReqRepServer {
+    name: String,
+    rx: Receiver<Request>,
+    tx: Sender<Request>,
+}
+
+impl std::fmt::Debug for ReqRepServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReqRepServer")
+            .field("name", &self.name)
+            .field("queued", &self.rx.len())
+            .finish()
+    }
+}
+
+/// Handle used to reply to one received request.
+#[derive(Debug)]
+pub struct Responder {
+    reply_tx: Sender<Message>,
+}
+
+impl Responder {
+    /// Send the reply. Returns an error if the requesting client has gone away.
+    pub fn reply(self, msg: Message) -> Result<(), CommError> {
+        self.reply_tx.send(msg).map_err(|_| CommError::Disconnected)
+    }
+}
+
+/// A cheap, cloneable connection point for a [`ReqRepServer`], suitable for storing in
+/// an endpoint registry. Combine it with a [`Link`] to obtain a [`ReqRepClient`].
+#[derive(Clone)]
+pub struct ReqRepHandle {
+    endpoint: String,
+    tx: Sender<Request>,
+}
+
+impl std::fmt::Debug for ReqRepHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReqRepHandle").field("endpoint", &self.endpoint).finish()
+    }
+}
+
+impl ReqRepHandle {
+    /// Name of the endpoint.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Connect to the endpoint over the given link.
+    pub fn connect(&self, link: Link) -> ReqRepClient {
+        ReqRepClient { endpoint: self.endpoint.clone(), tx: self.tx.clone(), link }
+    }
+}
+
+impl ReqRepServer {
+    /// Create a new endpoint with an unbounded request queue.
+    pub fn new(name: impl Into<String>) -> Self {
+        let (tx, rx) = unbounded();
+        ReqRepServer { name: name.into(), rx, tx }
+    }
+
+    /// Endpoint name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of requests currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Create a client handle connected to this endpoint over the given link.
+    pub fn client(&self, link: Link) -> ReqRepClient {
+        ReqRepClient { endpoint: self.name.clone(), tx: self.tx.clone(), link }
+    }
+
+    /// A registrable connection point for this endpoint.
+    pub fn handle(&self) -> ReqRepHandle {
+        ReqRepHandle { endpoint: self.name.clone(), tx: self.tx.clone() }
+    }
+
+    /// Block until a request arrives, or until `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(Message, Responder), CommError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(req) => Ok((req.msg, Responder { reply_tx: req.reply_tx })),
+            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(Message, Responder)> {
+        self.rx.try_recv().ok().map(|req| (req.msg, Responder { reply_tx: req.reply_tx }))
+    }
+}
+
+/// Client side of a request/reply endpoint.
+#[derive(Clone)]
+pub struct ReqRepClient {
+    endpoint: String,
+    tx: Sender<Request>,
+    link: Link,
+}
+
+impl std::fmt::Debug for ReqRepClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReqRepClient")
+            .field("endpoint", &self.endpoint)
+            .field("link", &self.link)
+            .finish()
+    }
+}
+
+impl ReqRepClient {
+    /// Name of the endpoint this client talks to.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// The link this client traverses.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Send `msg` and block until the reply arrives (or the server goes away).
+    ///
+    /// The request traverses the link (injecting the sampled one-way latency), is
+    /// stamped with its arrival time, and queues at the server; the reply traverses the
+    /// link again on the way back. The total virtual time spent in this call is the
+    /// response time (RT) as defined in the paper.
+    pub fn request(&self, msg: Message) -> Result<Message, CommError> {
+        self.request_timeout(msg, Duration::from_secs(3600))
+    }
+
+    /// [`ReqRepClient::request`] with an explicit real-time timeout on the reply wait.
+    pub fn request_timeout(&self, msg: Message, timeout: Duration) -> Result<Message, CommError> {
+        let payload_len = msg.encoded_len();
+        // Outbound hop.
+        self.link.traverse(payload_len);
+        let enqueued_at = self.link.clock().now().as_secs_f64();
+        let msg = msg.with_f64_header(HDR_ENQUEUED_AT, enqueued_at);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Request { msg, reply_tx })
+            .map_err(|_| CommError::Disconnected)?;
+        let reply = match reply_rx.recv_timeout(timeout) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+        };
+        // Return hop.
+        self.link.traverse(reply.encoded_len());
+        Ok(reply)
+    }
+
+    /// Fire-and-forget send (no reply expected). Used for control messages.
+    pub fn send(&self, msg: Message) -> Result<(), CommError> {
+        self.link.traverse(msg.encoded_len());
+        let enqueued_at = self.link.clock().now().as_secs_f64();
+        let msg = msg.with_f64_header(HDR_ENQUEUED_AT, enqueued_at);
+        let (reply_tx, _reply_rx) = bounded(1);
+        match self.tx.try_send(Request { msg, reply_tx }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Disconnected(_)) => Err(CommError::Disconnected),
+            Err(TrySendError::Full(_)) => Err(CommError::Timeout),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcml_platform::network::LatencyProfile;
+    use hpcml_sim::clock::ClockSpec;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn instant_link() -> Link {
+        Link::instant(ClockSpec::scaled(100_000.0).build())
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let server = ReqRepServer::new("svc.echo");
+        let client = server.client(instant_link());
+        let handle = thread::spawn(move || {
+            let (msg, responder) = server.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(msg.kind, "inference.request");
+            assert!(msg.f64_header(HDR_ENQUEUED_AT).is_some());
+            responder
+                .reply(Message::new(msg.topic.clone(), "inference.reply").with_text("ok"))
+                .unwrap();
+        });
+        let reply = client
+            .request(Message::new("svc.echo", "inference.request").with_text("hello"))
+            .unwrap();
+        assert_eq!(reply.kind, "inference.reply");
+        assert_eq!(reply.text(), Some("ok"));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn many_clients_one_server() {
+        let server = ReqRepServer::new("svc.multi");
+        let clients: Vec<ReqRepClient> = (0..8).map(|_| server.client(instant_link())).collect();
+        let server_thread = thread::spawn(move || {
+            for _ in 0..8 {
+                let (msg, responder) = server.recv_timeout(Duration::from_secs(5)).unwrap();
+                let n: u64 = msg.text().unwrap().parse().unwrap();
+                responder
+                    .reply(Message::new("svc.multi", "reply").with_text(&(n * 2).to_string()))
+                    .unwrap();
+            }
+        });
+        let mut handles = Vec::new();
+        for (i, c) in clients.into_iter().enumerate() {
+            handles.push(thread::spawn(move || {
+                let reply = c
+                    .request(Message::new("svc.multi", "req").with_text(&i.to_string()))
+                    .unwrap();
+                let v: u64 = reply.text().unwrap().parse().unwrap();
+                assert_eq!(v, i as u64 * 2);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn recv_times_out_when_idle() {
+        let server = ReqRepServer::new("svc.idle");
+        assert_eq!(
+            server.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            CommError::Timeout
+        );
+        assert!(server.try_recv().is_none());
+        assert_eq!(server.queue_len(), 0);
+        assert_eq!(server.name(), "svc.idle");
+    }
+
+    #[test]
+    fn request_fails_when_server_dropped() {
+        let server = ReqRepServer::new("svc.gone");
+        let client = server.client(instant_link());
+        drop(server);
+        let err = client.request(Message::new("svc.gone", "req")).unwrap_err();
+        assert_eq!(err, CommError::Disconnected);
+    }
+
+    #[test]
+    fn request_timeout_when_server_never_replies() {
+        let server = ReqRepServer::new("svc.slow");
+        let client = server.client(instant_link());
+        // Server never replies: hold the request but do not respond.
+        let err = client
+            .request_timeout(Message::new("svc.slow", "req"), Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, CommError::Timeout);
+        assert_eq!(server.queue_len(), 1);
+    }
+
+    #[test]
+    fn latency_link_adds_round_trip_time() {
+        let clock = ClockSpec::scaled(10_000.0).build();
+        let link = Link::new("lat", Arc::clone(&clock), LatencyProfile::normal_ms(10.0, 0.0), 5);
+        let server = ReqRepServer::new("svc.lat");
+        let client = server.client(link);
+        let handle = thread::spawn(move || {
+            let (msg, r) = server.recv_timeout(Duration::from_secs(10)).unwrap();
+            r.reply(Message::new(msg.topic, "reply")).unwrap();
+        });
+        let t0 = clock.now();
+        let _ = client.request(Message::new("svc.lat", "req")).unwrap();
+        let rt = clock.now().since(t0).as_secs_f64();
+        // Two hops of 10 ms each => at least ~20 ms of virtual time.
+        assert!(rt >= 0.015, "round trip {rt} should include both link traversals");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn fire_and_forget_send() {
+        let server = ReqRepServer::new("svc.ctrl");
+        let client = server.client(instant_link());
+        client.send(Message::new("svc.ctrl", "control.stop")).unwrap();
+        let (msg, _r) = server.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.kind, "control.stop");
+        assert_eq!(client.endpoint(), "svc.ctrl");
+    }
+}

@@ -1,0 +1,682 @@
+//! The executor: launching service instances and running tasks.
+//!
+//! The executor realises flows ③–⑤ of the paper's architecture (Fig. 2): it places each
+//! scheduled entity on its slot and drives it through its lifecycle. Every service and
+//! task runs on its own OS thread (the paper's entities are self-contained executables
+//! placed on specific nodes), and all hardware-bound durations — launcher start-up,
+//! model load, data staging, compute kernels, network hops, token generation — are spent
+//! on the session's shared virtual clock.
+//!
+//! For **local services** the executor measures the three bootstrap components of the
+//! paper's Fig. 3 from the service's own state timestamps:
+//! `launch` (Launching → Initializing), `init` (Initializing → Publishing) and
+//! `publish` (Publishing → Ready). For **inference-client tasks** it records one
+//! response-time sample per request, decomposed into `communication`, `service` and
+//! `inference` exactly as the paper's experiments 2 and 3 do.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hpcml_comm::link::Link;
+use hpcml_comm::message::Message;
+use hpcml_comm::pubsub::Publisher;
+use hpcml_comm::registry::{EndpointEntry, EndpointRegistry};
+use hpcml_comm::reqrep::ReqRepServer;
+use hpcml_platform::PlatformId;
+use hpcml_serving::host::ModelHost;
+use hpcml_serving::protocol::{HDR_INFERENCE_SECS, HDR_SERVICE_SECS, KIND_ERROR};
+use hpcml_serving::request::InferenceRequest;
+use hpcml_serving::service::{inference_request_message, InferenceService};
+use hpcml_sim::clock::{SharedClock, Stopwatch};
+use hpcml_sim::dist::Dist;
+
+use crate::data::DataManager;
+use crate::describe::{ServicePlacement, ServiceSelector, TaskKind};
+use crate::error::RuntimeError;
+use crate::metrics::RuntimeMetrics;
+use crate::records::{BootstrapTimes, ServiceRecord, TaskRecord};
+use crate::scheduler::{Priority, Scheduler};
+use crate::states::{ServiceState, TaskState};
+
+/// Metadata key under which a service's model name is published.
+pub const META_MODEL: &str = "model";
+/// Metadata key under which a service's platform is published.
+pub const META_PLATFORM: &str = "platform";
+/// Metadata key under which a service's runtime identifier is published.
+pub const META_SERVICE_ID: &str = "service_id";
+
+/// How long entity threads wait for dependencies (endpoints, resources) in real time.
+const DEPENDENCY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The executor component.
+pub struct Executor {
+    clock: SharedClock,
+    metrics: Arc<RuntimeMetrics>,
+    registry: Arc<EndpointRegistry>,
+    data: Arc<DataManager>,
+    publisher: Publisher,
+    concurrent_launches: Arc<AtomicU32>,
+    publish_overhead: Dist,
+    seed_counter: AtomicU64,
+    base_seed: u64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("concurrent_launches", &self.concurrent_launches.load(Ordering::Relaxed))
+            .field("spawned", &self.handles.lock().len())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Create an executor.
+    pub fn new(
+        clock: SharedClock,
+        metrics: Arc<RuntimeMetrics>,
+        registry: Arc<EndpointRegistry>,
+        data: Arc<DataManager>,
+        publisher: Publisher,
+        base_seed: u64,
+    ) -> Arc<Self> {
+        Arc::new(Executor {
+            clock,
+            metrics,
+            registry,
+            data,
+            publisher,
+            concurrent_launches: Arc::new(AtomicU32::new(0)),
+            // Endpoint publication: registry round trip plus control-channel fan-out.
+            // Calibrated to stay below the launch time, as the paper observes.
+            publish_overhead: Dist::normal(0.35, 0.08),
+            seed_counter: AtomicU64::new(1),
+            base_seed,
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn next_seed(&self) -> u64 {
+        self.base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.seed_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn publish_state(&self, entity_kind: &str, id: &str, state: &str) {
+        let msg = Message::new(format!("state.{entity_kind}.{state}"), "state.update")
+            .with_header("entity", id)
+            .with_header("state", state);
+        self.publisher.publish(&msg);
+    }
+
+    /// Spawn the lifecycle thread of a service instance.
+    pub fn spawn_service(self: &Arc<Self>, record: Arc<ServiceRecord>, scheduler: Option<Arc<Scheduler>>) {
+        let this = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(record.id.clone())
+            .spawn(move || this.run_service(record, scheduler))
+            .expect("failed to spawn service thread");
+        self.handles.lock().push(handle);
+    }
+
+    /// Spawn the lifecycle thread of a task.
+    pub fn spawn_task(self: &Arc<Self>, record: Arc<TaskRecord>, scheduler: Option<Arc<Scheduler>>) {
+        let this = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(record.id.clone())
+            .spawn(move || this.run_task(record, scheduler))
+            .expect("failed to spawn task thread");
+        self.handles.lock().push(handle);
+    }
+
+    /// Wait for every spawned entity thread to finish.
+    pub fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Number of entity threads spawned so far (including finished ones not yet joined).
+    pub fn spawned_count(&self) -> usize {
+        self.handles.lock().len()
+    }
+
+    // ------------------------------------------------------------------ services
+
+    fn run_service(&self, record: Arc<ServiceRecord>, scheduler: Option<Arc<Scheduler>>) {
+        if let Err(e) = self.run_service_inner(&record, scheduler) {
+            if !record.state.current().is_final() {
+                record.state.fail(ServiceState::Failed, e.to_string());
+            }
+            self.publish_state("service", &record.id, "Failed");
+        }
+    }
+
+    fn run_service_inner(
+        &self,
+        record: &Arc<ServiceRecord>,
+        scheduler: Option<Arc<Scheduler>>,
+    ) -> Result<(), RuntimeError> {
+        let desc = &record.description;
+        let platform_spec = record.platform.spec();
+        let is_local = matches!(desc.placement, ServicePlacement::LocalPilot);
+
+        // ② scheduling / placement.
+        record.state.transition(ServiceState::Scheduling)?;
+        self.publish_state("service", &record.id, "Scheduling");
+        let slot = if is_local {
+            let scheduler = scheduler.ok_or_else(|| {
+                RuntimeError::InvalidState("local service submitted without an active pilot".into())
+            })?;
+            let slot = scheduler.allocate(&desc.resources, Priority::Service, DEPENDENCY_TIMEOUT)?;
+            *record.slot.lock() = Some(slot.clone());
+            Some((scheduler, slot))
+        } else {
+            None
+        };
+
+        // ③ launch the service executable on its target resources.
+        record.state.transition(ServiceState::Launching)?;
+        self.publish_state("service", &record.id, "Launching");
+        let mut rng = StdRng::seed_from_u64(self.next_seed());
+        let launch_watch = Stopwatch::start(Arc::clone(&self.clock));
+        let in_flight = self.concurrent_launches.fetch_add(1, Ordering::AcqRel) + 1;
+        let launch_model = platform_spec.launcher.model();
+        let launch_duration = launch_model.sample_launch(in_flight, &mut rng);
+        self.clock.sleep(launch_duration);
+        let launch_secs = launch_watch.elapsed_secs();
+
+        // ⑤ instantiate the ML capability: load + initialise the model.
+        record.state.transition(ServiceState::Initializing)?;
+        let init_result = (|| -> Result<(Arc<ModelHost>, f64), RuntimeError> {
+            let init_watch = Stopwatch::start(Arc::clone(&self.clock));
+            let host = Arc::new(ModelHost::from_spec(
+                desc.model.clone(),
+                Arc::clone(&self.clock),
+                self.next_seed(),
+            ));
+            if let Some((_, slot)) = &slot {
+                if slot.num_gpus() > 0 {
+                    host.check_gpu_fit(platform_spec.node.gpu_mem_gib)
+                        .map_err(|e| RuntimeError::Failed(e.to_string()))?;
+                }
+            }
+            host.load();
+            Ok((host, init_watch.elapsed_secs()))
+        })();
+        let (host, init_secs) = match init_result {
+            Ok(v) => v,
+            Err(e) => {
+                self.concurrent_launches.fetch_sub(1, Ordering::AcqRel);
+                if let Some((scheduler, slot)) = &slot {
+                    let _ = scheduler.release(slot);
+                }
+                return Err(e);
+            }
+        };
+
+        // ④ publish the service endpoint.
+        record.state.transition(ServiceState::Publishing)?;
+        let publish_watch = Stopwatch::start(Arc::clone(&self.clock));
+        let endpoint = ReqRepServer::new(record.endpoint_name());
+        let mut metadata = BTreeMap::new();
+        metadata.insert(META_MODEL.to_string(), desc.model.name.clone());
+        metadata.insert(META_PLATFORM.to_string(), record.platform.short_name().to_string());
+        metadata.insert(META_SERVICE_ID.to_string(), record.id.clone());
+        let publish_overhead = self.publish_overhead.sample(&mut rng).max(0.0);
+        self.clock.sleep(Duration::from_secs_f64(publish_overhead));
+        let register_result = self.registry.register(record.endpoint_name(), endpoint.handle(), metadata);
+        self.concurrent_launches.fetch_sub(1, Ordering::AcqRel);
+        if let Err(e) = register_result {
+            if let Some((scheduler, slot)) = &slot {
+                let _ = scheduler.release(slot);
+            }
+            return Err(RuntimeError::Comm(e));
+        }
+        let publish_secs = publish_watch.elapsed_secs();
+
+        // Record the bootstrap breakdown before announcing readiness so that waiters
+        // woken by the Ready transition always observe it (local ephemeral services
+        // only — remote models are persistent and are not bootstrapped per
+        // application, §IV).
+        let bootstrap = BootstrapTimes { launch_secs, init_secs, publish_secs };
+        *record.bootstrap.lock() = Some(bootstrap);
+        if is_local {
+            self.metrics.record_bootstrap(&record.id, bootstrap);
+        }
+        record.state.transition(ServiceState::Ready)?;
+        self.publish_state("service", &record.id, "Ready");
+
+        // Serve until asked to stop.
+        let service = InferenceService::new(
+            record.description.name.clone(),
+            Arc::clone(&host),
+            Arc::clone(&self.clock),
+            self.next_seed(),
+        );
+        let served = service.serve(&endpoint, &record.stop);
+        *record.requests_served.lock() = served;
+
+        // Orderly teardown.
+        self.registry.unregister(&record.endpoint_name());
+        if record.state.current() == ServiceState::Ready {
+            record.state.transition(ServiceState::Stopping)?;
+        }
+        if record.state.current() == ServiceState::Stopping {
+            record.state.transition(ServiceState::Stopped)?;
+        }
+        self.publish_state("service", &record.id, "Stopped");
+        if let Some((scheduler, slot)) = &slot {
+            scheduler.release(slot)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ tasks
+
+    fn run_task(&self, record: Arc<TaskRecord>, scheduler: Option<Arc<Scheduler>>) {
+        if let Err(e) = self.run_task_inner(&record, scheduler) {
+            if !record.state.current().is_final() {
+                record.state.fail(TaskState::Failed, e.to_string());
+            }
+            self.publish_state("task", &record.id, "Failed");
+        }
+    }
+
+    fn run_task_inner(
+        &self,
+        record: &Arc<TaskRecord>,
+        scheduler: Option<Arc<Scheduler>>,
+    ) -> Result<(), RuntimeError> {
+        let desc = record.description.clone();
+
+        record.state.transition(TaskState::Scheduling)?;
+        self.publish_state("task", &record.id, "Scheduling");
+
+        // Readiness relations: every service named in `after_services` must have
+        // published its endpoint before this task starts.
+        for service_name in &desc.after_services {
+            self.registry
+                .wait_for(&format!("service.{service_name}"), DEPENDENCY_TIMEOUT)
+                .map_err(RuntimeError::Comm)?;
+        }
+
+        let scheduler = scheduler.ok_or_else(|| {
+            RuntimeError::InvalidState("task submitted without an active pilot".into())
+        })?;
+        let slot = scheduler.allocate(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?;
+        *record.slot.lock() = Some(slot.clone());
+
+        let finish = |result: Result<(), RuntimeError>| -> Result<(), RuntimeError> {
+            scheduler.release(&slot)?;
+            result
+        };
+
+        // Input staging.
+        if !desc.stage_in.is_empty() {
+            record.state.transition(TaskState::StagingInput)?;
+            self.data.stage_all(&desc.stage_in);
+        }
+
+        // Execution.
+        record.state.transition(TaskState::Executing)?;
+        self.publish_state("task", &record.id, "Executing");
+        let exec_watch = Stopwatch::start(Arc::clone(&self.clock));
+        let exec_result = self.execute_kind(record, &desc.kind);
+        self.metrics.record_scalar("task.exec_secs", exec_watch.elapsed_secs());
+        if let Err(e) = exec_result {
+            return finish(Err(e));
+        }
+
+        // Output staging.
+        if !desc.stage_out.is_empty() {
+            record.state.transition(TaskState::StagingOutput)?;
+            self.data.stage_all(&desc.stage_out);
+        }
+
+        record.state.transition(TaskState::Done)?;
+        self.publish_state("task", &record.id, "Done");
+        finish(Ok(()))
+    }
+
+    fn execute_kind(&self, record: &Arc<TaskRecord>, kind: &TaskKind) -> Result<(), RuntimeError> {
+        match kind {
+            TaskKind::Noop => Ok(()),
+            TaskKind::Compute { duration_secs } => {
+                let mut rng = StdRng::seed_from_u64(self.next_seed());
+                let duration = duration_secs.sample_secs(&mut rng);
+                self.clock.sleep(duration);
+                Ok(())
+            }
+            TaskKind::InferenceClient { selector, requests, prompt_words, max_tokens, think_time_secs } => {
+                self.run_inference_client(record, selector, *requests, *prompt_words, *max_tokens, think_time_secs)
+            }
+        }
+    }
+
+    fn resolve_targets(&self, selector: &ServiceSelector) -> Result<Vec<EndpointEntry>, RuntimeError> {
+        match selector {
+            ServiceSelector::Named(names) => {
+                let mut entries = Vec::with_capacity(names.len());
+                for name in names {
+                    let entry = self
+                        .registry
+                        .wait_for(&format!("service.{name}"), DEPENDENCY_TIMEOUT)
+                        .map_err(RuntimeError::Comm)?;
+                    entries.push(entry);
+                }
+                Ok(entries)
+            }
+            ServiceSelector::ByModel(model) => {
+                let deadline = std::time::Instant::now() + DEPENDENCY_TIMEOUT;
+                loop {
+                    let entries = self.registry.find_by_metadata(META_MODEL, model);
+                    if !entries.is_empty() {
+                        return Ok(entries);
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return Err(RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(format!(
+                            "no service hosting model {model}"
+                        ))));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            ServiceSelector::Any => {
+                let deadline = std::time::Instant::now() + DEPENDENCY_TIMEOUT;
+                loop {
+                    let names = self.registry.names();
+                    if !names.is_empty() {
+                        return Ok(names.iter().filter_map(|n| self.registry.lookup(n)).collect());
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return Err(RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(
+                            "no service registered".to_string(),
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    /// The network link between a client task and a service endpoint: intra-platform
+    /// latency when both sit on the same platform, WAN latency otherwise (the paper's
+    /// local vs remote deployment scenarios).
+    fn client_link(&self, task_platform: PlatformId, entry: &EndpointEntry, seed: u64) -> Link {
+        let spec = task_platform.spec();
+        let service_platform = entry.metadata.get(META_PLATFORM).map(String::as_str).unwrap_or("");
+        let profile = if service_platform == task_platform.short_name() {
+            spec.intra_latency
+        } else {
+            spec.wan_latency
+        };
+        Link::new(
+            format!("{}->{}", task_platform.short_name(), service_platform),
+            Arc::clone(&self.clock),
+            profile,
+            seed,
+        )
+    }
+
+    fn run_inference_client(
+        &self,
+        record: &Arc<TaskRecord>,
+        selector: &ServiceSelector,
+        requests: u32,
+        prompt_words: u32,
+        max_tokens: u32,
+        think_time: &Dist,
+    ) -> Result<(), RuntimeError> {
+        let entries = self.resolve_targets(selector)?;
+        let mut rng = StdRng::seed_from_u64(self.next_seed());
+        let clients: Vec<(String, hpcml_comm::ReqRepClient)> = entries
+            .iter()
+            .map(|entry| {
+                let link = self.client_link(record.platform, entry, self.next_seed());
+                (entry.name.clone(), entry.handle.connect(link))
+            })
+            .collect();
+        if clients.is_empty() {
+            return Err(RuntimeError::Failed("inference client has no target services".into()));
+        }
+
+        let prompt: String = {
+            let mut words = Vec::with_capacity(prompt_words as usize);
+            for i in 0..prompt_words {
+                words.push(format!("w{i}"));
+            }
+            words.join(" ")
+        };
+
+        // Stagger the round-robin starting point per client so that concurrent clients
+        // do not hit the same service in lockstep (rudimentary load balancing, as in
+        // the paper's prototype).
+        let start_offset = (self.seed_counter.load(Ordering::Relaxed) as usize) % clients.len();
+        let mut errors = 0u32;
+        for i in 0..requests {
+            let (endpoint_name, client) = &clients[(start_offset + i as usize) % clients.len()];
+            let request = InferenceRequest::new(prompt.clone(), max_tokens).from_client(record.id.clone());
+            let request_id = request.request_id.clone();
+            let msg = inference_request_message(endpoint_name, &request);
+            let watch = Stopwatch::start(Arc::clone(&self.clock));
+            let reply = client.request(msg).map_err(RuntimeError::Comm)?;
+            let response_secs = watch.elapsed_secs();
+            if reply.kind == KIND_ERROR {
+                errors += 1;
+                self.metrics.record_scalar("client.error_replies", 1.0);
+                continue;
+            }
+            let service_secs = reply.f64_header(HDR_SERVICE_SECS).unwrap_or(0.0);
+            let inference_secs = reply.f64_header(HDR_INFERENCE_SECS).unwrap_or(0.0);
+            let communication_secs = (response_secs - service_secs - inference_secs).max(0.0);
+            self.metrics
+                .record_response(&request_id, communication_secs, service_secs, inference_secs);
+            let pause = think_time.sample_secs(&mut rng);
+            if !pause.is_zero() {
+                self.clock.sleep(pause);
+            }
+        }
+        if errors == requests && requests > 0 {
+            return Err(RuntimeError::Failed(format!("all {requests} inference requests failed")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::{ServiceDescription, TaskDescription};
+    use hpcml_platform::batch::{AllocationRequest, BatchSystem};
+    use hpcml_serving::ModelSpec;
+    use hpcml_sim::clock::ClockSpec;
+
+    struct Fixture {
+        clock: SharedClock,
+        metrics: Arc<RuntimeMetrics>,
+        registry: Arc<EndpointRegistry>,
+        executor: Arc<Executor>,
+        scheduler: Arc<Scheduler>,
+    }
+
+    fn fixture(platform: PlatformId, nodes: usize, scale: f64) -> Fixture {
+        let clock = ClockSpec::scaled(scale).build();
+        let metrics = RuntimeMetrics::new();
+        let registry = Arc::new(EndpointRegistry::new());
+        let data = Arc::new(DataManager::new(Arc::clone(&clock), Arc::clone(&metrics), 1));
+        let executor = Executor::new(
+            Arc::clone(&clock),
+            Arc::clone(&metrics),
+            Arc::clone(&registry),
+            data,
+            Publisher::new(),
+            42,
+        );
+        let batch = BatchSystem::new(platform.spec(), Arc::clone(&clock), 2);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        let scheduler = Arc::new(Scheduler::new(alloc));
+        Fixture { clock, metrics, registry, executor, scheduler }
+    }
+
+    fn service_record(fx: &Fixture, name: &str, model: ModelSpec, platform: PlatformId) -> Arc<ServiceRecord> {
+        ServiceRecord::new(
+            format!("service.x-{name}"),
+            ServiceDescription::new(name).model(model).gpus(1),
+            platform,
+            Arc::clone(&fx.clock),
+        )
+    }
+
+    #[test]
+    fn local_service_bootstraps_and_serves() {
+        // Delta: MPI/PRRTE launcher, so launch (~2 s) clearly exceeds publish (~0.35 s).
+        let fx = fixture(PlatformId::Delta, 1, 2000.0);
+        let record = service_record(&fx, "llm-0", ModelSpec::sim_llama_8b(), PlatformId::Delta);
+        fx.executor.spawn_service(Arc::clone(&record), Some(Arc::clone(&fx.scheduler)));
+
+        // Wait for readiness.
+        record
+            .state
+            .wait_until(|s| s == ServiceState::Ready, Duration::from_secs(30))
+            .unwrap();
+        let bt = record.bootstrap.lock().unwrap();
+        assert!(bt.init_secs > bt.launch_secs, "init {bt:?} must dominate");
+        assert!(bt.publish_secs < bt.launch_secs, "publish must stay below launch: {bt:?}");
+        assert_eq!(fx.metrics.bootstrap_count(), 1);
+        assert!(fx.registry.lookup("service.llm-0").is_some());
+
+        // Stop and verify teardown.
+        record.request_stop();
+        fx.executor.join_all();
+        assert_eq!(record.state.current(), ServiceState::Stopped);
+        assert!(fx.registry.lookup("service.llm-0").is_none());
+        assert_eq!(fx.scheduler.outstanding_slots(), 0);
+    }
+
+    #[test]
+    fn service_fails_when_model_does_not_fit_gpu() {
+        let fx = fixture(PlatformId::Local, 1, 10_000.0); // local GPUs have 16 GiB
+        let record = service_record(&fx, "big", ModelSpec::sim_llama_70b(), PlatformId::Local);
+        fx.executor.spawn_service(Arc::clone(&record), Some(Arc::clone(&fx.scheduler)));
+        let state = record.state.wait_until(|s| s.is_final(), Duration::from_secs(30));
+        assert!(state.is_err() || state.unwrap() == ServiceState::Failed);
+        assert_eq!(record.state.current(), ServiceState::Failed);
+        assert!(record.state.error().unwrap().contains("GPU"));
+        fx.executor.join_all();
+        // The slot must have been released on failure.
+        assert_eq!(fx.scheduler.outstanding_slots(), 0);
+    }
+
+    #[test]
+    fn duplicate_endpoint_name_fails_second_service() {
+        let fx = fixture(PlatformId::Local, 2, 10_000.0);
+        let a = service_record(&fx, "dup", ModelSpec::noop(), PlatformId::Local);
+        let b = service_record(&fx, "dup", ModelSpec::noop(), PlatformId::Local);
+        fx.executor.spawn_service(Arc::clone(&a), Some(Arc::clone(&fx.scheduler)));
+        a.state.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(20)).unwrap();
+        fx.executor.spawn_service(Arc::clone(&b), Some(Arc::clone(&fx.scheduler)));
+        let _ = b.state.wait_until(|s| s.is_final(), Duration::from_secs(20));
+        assert_eq!(b.state.current(), ServiceState::Failed);
+        a.request_stop();
+        fx.executor.join_all();
+    }
+
+    #[test]
+    fn noop_task_and_compute_task_complete() {
+        let fx = fixture(PlatformId::Local, 1, 10_000.0);
+        let noop = TaskRecord::new(
+            "task.noop".into(),
+            TaskDescription::new("noop"),
+            PlatformId::Local,
+            Arc::clone(&fx.clock),
+        );
+        let compute = TaskRecord::new(
+            "task.compute".into(),
+            TaskDescription::new("compute").kind(TaskKind::compute_secs(5.0)).cores(2),
+            PlatformId::Local,
+            Arc::clone(&fx.clock),
+        );
+        fx.executor.spawn_task(Arc::clone(&noop), Some(Arc::clone(&fx.scheduler)));
+        fx.executor.spawn_task(Arc::clone(&compute), Some(Arc::clone(&fx.scheduler)));
+        fx.executor.join_all();
+        assert_eq!(noop.state.current(), TaskState::Done);
+        assert_eq!(compute.state.current(), TaskState::Done);
+        // The compute task must have spent its virtual 5 seconds.
+        let exec = fx.metrics.scalar_values("task.exec_secs");
+        assert!(exec.iter().any(|v| *v >= 4.5), "exec times {exec:?}");
+        assert_eq!(fx.scheduler.outstanding_slots(), 0);
+    }
+
+    #[test]
+    fn task_without_pilot_fails() {
+        let fx = fixture(PlatformId::Local, 1, 10_000.0);
+        let t = TaskRecord::new(
+            "task.nopilot".into(),
+            TaskDescription::new("t"),
+            PlatformId::Local,
+            Arc::clone(&fx.clock),
+        );
+        fx.executor.spawn_task(Arc::clone(&t), None);
+        fx.executor.join_all();
+        assert_eq!(t.state.current(), TaskState::Failed);
+        assert!(t.state.error().unwrap().contains("pilot"));
+    }
+
+    #[test]
+    fn inference_client_records_response_breakdown() {
+        let fx = fixture(PlatformId::Local, 2, 2000.0);
+        let svc = service_record(&fx, "noop-0", ModelSpec::noop(), PlatformId::Local);
+        fx.executor.spawn_service(Arc::clone(&svc), Some(Arc::clone(&fx.scheduler)));
+
+        let client = TaskRecord::new(
+            "task.client".into(),
+            TaskDescription::new("client")
+                .kind(TaskKind::inference_client("noop-0", 10))
+                .after_service("noop-0"),
+            PlatformId::Local,
+            Arc::clone(&fx.clock),
+        );
+        fx.executor.spawn_task(Arc::clone(&client), Some(Arc::clone(&fx.scheduler)));
+        client
+            .state
+            .wait_until(|s| s.is_final(), Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(client.state.current(), TaskState::Done);
+        assert_eq!(fx.metrics.response_count(), 10);
+        let summaries = fx.metrics.response_summaries();
+        // NOOP: communication dominates inference (which is zero).
+        assert!(summaries["communication"].mean > summaries["inference"].mean);
+        svc.request_stop();
+        fx.executor.join_all();
+    }
+
+    #[test]
+    fn inference_client_selects_services_by_model() {
+        let fx = fixture(PlatformId::Local, 2, 2000.0);
+        let a = service_record(&fx, "noop-a", ModelSpec::noop(), PlatformId::Local);
+        let b = service_record(&fx, "noop-b", ModelSpec::noop(), PlatformId::Local);
+        fx.executor.spawn_service(Arc::clone(&a), Some(Arc::clone(&fx.scheduler)));
+        fx.executor.spawn_service(Arc::clone(&b), Some(Arc::clone(&fx.scheduler)));
+        a.state.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(30)).unwrap();
+        b.state.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(30)).unwrap();
+
+        let entries = fx.executor.resolve_targets(&ServiceSelector::ByModel("noop".into())).unwrap();
+        assert_eq!(entries.len(), 2);
+        let any = fx.executor.resolve_targets(&ServiceSelector::Any).unwrap();
+        assert_eq!(any.len(), 2);
+
+        a.request_stop();
+        b.request_stop();
+        fx.executor.join_all();
+    }
+}

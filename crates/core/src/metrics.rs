@@ -1,0 +1,181 @@
+//! Runtime metrics: the paper's three quantities, collected with component breakdowns.
+//!
+//! * **Bootstrap Time (BT)** — per local service instance: `launch` + `init` + `publish`.
+//! * **Response Time (RT)** — per inference request, client-observed:
+//!   `communication` + `service` + `inference`.
+//! * **Inference Time (IT)** — the `inference` component in isolation.
+//!
+//! All values are virtual seconds. The recorders are shared (`Arc<RuntimeMetrics>`)
+//! between the executor, the service manager, and the client tasks that issue requests,
+//! and the experiment harness reads the summaries after the workload drains.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hpcml_sim::metrics::{BreakdownRecorder, ComponentSample, MetricRegistry};
+use hpcml_sim::stats::Summary;
+
+use crate::records::BootstrapTimes;
+
+/// Component name: service launch.
+pub const C_LAUNCH: &str = "launch";
+/// Component name: model load / initialisation.
+pub const C_INIT: &str = "init";
+/// Component name: endpoint publication.
+pub const C_PUBLISH: &str = "publish";
+/// Component name: request+reply network time.
+pub const C_COMMUNICATION: &str = "communication";
+/// Component name: service-side queueing + parsing + serialisation.
+pub const C_SERVICE: &str = "service";
+/// Component name: model compute time.
+pub const C_INFERENCE: &str = "inference";
+
+/// Shared collection of runtime metrics.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    bootstrap: BreakdownRecorder,
+    response: BreakdownRecorder,
+    registry: MetricRegistry,
+}
+
+impl RuntimeMetrics {
+    /// Create an empty metric set.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record the bootstrap breakdown of one service instance.
+    pub fn record_bootstrap(&self, service_id: &str, times: BootstrapTimes) {
+        self.bootstrap.record(
+            ComponentSample::new(service_id)
+                .with(C_LAUNCH, times.launch_secs)
+                .with(C_INIT, times.init_secs)
+                .with(C_PUBLISH, times.publish_secs),
+        );
+    }
+
+    /// Record the response breakdown of one inference request.
+    pub fn record_response(&self, request_id: &str, communication: f64, service: f64, inference: f64) {
+        self.response.record(
+            ComponentSample::new(request_id)
+                .with(C_COMMUNICATION, communication)
+                .with(C_SERVICE, service)
+                .with(C_INFERENCE, inference),
+        );
+    }
+
+    /// Record an arbitrary named scalar (staging durations, task durations, ...).
+    pub fn record_scalar(&self, name: &str, value: f64) {
+        self.registry.record(name, value);
+    }
+
+    /// Number of bootstrap samples recorded.
+    pub fn bootstrap_count(&self) -> usize {
+        self.bootstrap.len()
+    }
+
+    /// Number of response samples recorded.
+    pub fn response_count(&self) -> usize {
+        self.response.len()
+    }
+
+    /// Per-component bootstrap summaries (`launch`, `init`, `publish`).
+    pub fn bootstrap_summaries(&self) -> BTreeMap<String, Summary> {
+        self.bootstrap.component_summaries()
+    }
+
+    /// Summary of total bootstrap time per service.
+    pub fn bootstrap_total_summary(&self) -> Summary {
+        self.bootstrap.total_summary()
+    }
+
+    /// Per-component response summaries (`communication`, `service`, `inference`).
+    pub fn response_summaries(&self) -> BTreeMap<String, Summary> {
+        self.response.component_summaries()
+    }
+
+    /// Summary of total response time per request.
+    pub fn response_total_summary(&self) -> Summary {
+        self.response.total_summary()
+    }
+
+    /// Summary of the inference component alone (the paper's IT metric).
+    pub fn inference_summary(&self) -> Summary {
+        self.response_summaries().remove(C_INFERENCE).unwrap_or_default()
+    }
+
+    /// Raw bootstrap samples (for CSV export by the harness).
+    pub fn bootstrap_samples(&self) -> Vec<ComponentSample> {
+        self.bootstrap.samples()
+    }
+
+    /// Raw response samples (for CSV export by the harness).
+    pub fn response_samples(&self) -> Vec<ComponentSample> {
+        self.response.samples()
+    }
+
+    /// Scalar series accessor.
+    pub fn scalar_summary(&self, name: &str) -> Summary {
+        self.registry.summary(name)
+    }
+
+    /// Scalar series values.
+    pub fn scalar_values(&self, name: &str) -> Vec<f64> {
+        self.registry.values(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_recording_and_summaries() {
+        let m = RuntimeMetrics::new();
+        for i in 0..16 {
+            m.record_bootstrap(
+                &format!("service.{i}"),
+                BootstrapTimes { launch_secs: 2.0, init_secs: 30.0 + i as f64 * 0.1, publish_secs: 0.3 },
+            );
+        }
+        assert_eq!(m.bootstrap_count(), 16);
+        let s = m.bootstrap_summaries();
+        assert!((s[C_LAUNCH].mean - 2.0).abs() < 1e-12);
+        assert!(s[C_INIT].mean > 30.0);
+        assert!(s[C_PUBLISH].mean < s[C_LAUNCH].mean);
+        assert!(m.bootstrap_total_summary().mean > 32.0);
+        assert_eq!(m.bootstrap_samples().len(), 16);
+    }
+
+    #[test]
+    fn response_recording_and_inference_summary() {
+        let m = RuntimeMetrics::new();
+        for i in 0..100 {
+            m.record_response(&format!("request.{i}"), 0.0001, 0.00005, 2.0);
+        }
+        assert_eq!(m.response_count(), 100);
+        let s = m.response_summaries();
+        assert!(s[C_INFERENCE].mean > 100.0 * s[C_COMMUNICATION].mean);
+        assert!((m.inference_summary().mean - 2.0).abs() < 1e-9);
+        assert!((m.response_total_summary().mean - 2.00015).abs() < 1e-6);
+        assert_eq!(m.response_samples().len(), 100);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RuntimeMetrics::new();
+        assert_eq!(m.bootstrap_count(), 0);
+        assert_eq!(m.inference_summary().count, 0);
+        assert_eq!(m.response_total_summary().mean, 0.0);
+    }
+
+    #[test]
+    fn scalar_series() {
+        let m = RuntimeMetrics::new();
+        m.record_scalar("staging.secs", 1.5);
+        m.record_scalar("staging.secs", 2.5);
+        assert_eq!(m.scalar_values("staging.secs").len(), 2);
+        assert!((m.scalar_summary("staging.secs").mean - 2.0).abs() < 1e-12);
+        assert_eq!(m.scalar_values("missing"), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,565 @@
+//! Stateful entity records and the public handles wrapping them.
+//!
+//! A record is the runtime's bookkeeping for one submitted entity: its description, its
+//! current state, the virtual timestamp of every state it entered, its placement, and —
+//! for failures — the reason. State transitions are validated against the state models
+//! in [`crate::states`] and waiters are woken through a condition variable, which is what
+//! the public `wait_*` calls of [`TaskHandle`]/[`ServiceHandle`]/[`PilotHandle`] use.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use hpcml_platform::batch::Allocation;
+use hpcml_platform::resources::Slot;
+use hpcml_platform::PlatformId;
+use hpcml_sim::clock::SharedClock;
+
+use crate::describe::{PilotDescription, ServiceDescription, TaskDescription};
+use crate::error::RuntimeError;
+use crate::states::{PilotState, ServiceState, TaskState};
+
+/// Minimal interface a state enum must offer to be tracked by a [`StateCell`].
+pub trait StateModel: Copy + std::fmt::Debug + PartialEq + Send + 'static {
+    /// Whether `self -> next` is legal.
+    fn can_go(self, next: Self) -> bool;
+    /// Whether `self` is terminal.
+    fn terminal(self) -> bool;
+}
+
+impl StateModel for TaskState {
+    fn can_go(self, next: Self) -> bool {
+        self.can_transition_to(next)
+    }
+    fn terminal(self) -> bool {
+        self.is_final()
+    }
+}
+
+impl StateModel for ServiceState {
+    fn can_go(self, next: Self) -> bool {
+        self.can_transition_to(next)
+    }
+    fn terminal(self) -> bool {
+        self.is_final()
+    }
+}
+
+impl StateModel for PilotState {
+    fn can_go(self, next: Self) -> bool {
+        self.can_transition_to(next)
+    }
+    fn terminal(self) -> bool {
+        self.is_final()
+    }
+}
+
+struct StateInner<S> {
+    current: S,
+    /// Virtual time (seconds) at which each state was entered, keyed by `{:?}` name.
+    timestamps: BTreeMap<String, f64>,
+    error: Option<String>,
+}
+
+/// A validated, waitable state holder.
+pub struct StateCell<S: StateModel> {
+    inner: Mutex<StateInner<S>>,
+    cond: Condvar,
+    clock: SharedClock,
+}
+
+impl<S: StateModel> StateCell<S> {
+    /// Create a cell in the given initial state.
+    pub fn new(initial: S, clock: SharedClock) -> Self {
+        let mut timestamps = BTreeMap::new();
+        timestamps.insert(format!("{initial:?}"), clock.now().as_secs_f64());
+        StateCell { inner: Mutex::new(StateInner { current: initial, timestamps, error: None }), cond: Condvar::new(), clock }
+    }
+
+    /// Current state.
+    pub fn current(&self) -> S {
+        self.inner.lock().current
+    }
+
+    /// Failure reason, if the entity failed.
+    pub fn error(&self) -> Option<String> {
+        self.inner.lock().error.clone()
+    }
+
+    /// Virtual timestamp (seconds) at which `state` was entered, if it was.
+    pub fn entered_at(&self, state: S) -> Option<f64> {
+        self.inner.lock().timestamps.get(&format!("{state:?}")).copied()
+    }
+
+    /// All recorded `(state name, virtual seconds)` pairs.
+    pub fn timestamps(&self) -> BTreeMap<String, f64> {
+        self.inner.lock().timestamps.clone()
+    }
+
+    /// Attempt a transition; records the entry timestamp and wakes waiters.
+    pub fn transition(&self, next: S) -> Result<(), RuntimeError> {
+        let mut inner = self.inner.lock();
+        if inner.current == next {
+            return Ok(());
+        }
+        if !inner.current.can_go(next) {
+            return Err(RuntimeError::InvalidState(format!(
+                "illegal transition {:?} -> {:?}",
+                inner.current, next
+            )));
+        }
+        inner.current = next;
+        inner.timestamps.insert(format!("{next:?}"), self.clock.now().as_secs_f64());
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Transition to a failure state with a reason (does not validate legality so that
+    /// failures can always be recorded).
+    pub fn fail(&self, failed_state: S, reason: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        inner.current = failed_state;
+        inner.error = Some(reason.into());
+        inner.timestamps.insert(format!("{failed_state:?}"), self.clock.now().as_secs_f64());
+        self.cond.notify_all();
+    }
+
+    /// Block until `predicate(state)` holds or the real-time `timeout` elapses.
+    pub fn wait_until<F: Fn(S) -> bool>(&self, predicate: F, timeout: Duration) -> Result<S, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if predicate(inner.current) {
+                return Ok(inner.current);
+            }
+            if inner.current.terminal() {
+                // Terminal but not what the caller wanted: report failure.
+                let reason = inner.error.clone().unwrap_or_else(|| format!("entity ended in {:?}", inner.current));
+                return Err(RuntimeError::Failed(reason));
+            }
+            if Instant::now() >= deadline
+                || self.cond.wait_until(&mut inner, deadline).timed_out()
+            {
+                if predicate(inner.current) {
+                    return Ok(inner.current);
+                }
+                return Err(RuntimeError::WaitTimeout {
+                    entity: "entity".to_string(),
+                    awaited: "requested state".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Bootstrap time components measured for one local service instance (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BootstrapTimes {
+    /// Time to launch the service executable on its target resources.
+    pub launch_secs: f64,
+    /// Time to load and initialise the model.
+    pub init_secs: f64,
+    /// Time to publish the service endpoint.
+    pub publish_secs: f64,
+}
+
+impl BootstrapTimes {
+    /// Total bootstrap time.
+    pub fn total(&self) -> f64 {
+        self.launch_secs + self.init_secs + self.publish_secs
+    }
+}
+
+/// Internal record of a task.
+pub struct TaskRecord {
+    /// Runtime-assigned identifier (e.g. `task.000004`).
+    pub id: String,
+    /// The submitted description.
+    pub description: TaskDescription,
+    /// Validated state holder.
+    pub state: StateCell<TaskState>,
+    /// Slot the task runs on, once scheduled.
+    pub slot: Mutex<Option<Slot>>,
+    /// Platform the task runs on.
+    pub platform: PlatformId,
+}
+
+impl TaskRecord {
+    /// Create a record in the `New` state.
+    pub fn new(id: String, description: TaskDescription, platform: PlatformId, clock: SharedClock) -> Arc<Self> {
+        Arc::new(TaskRecord {
+            id,
+            description,
+            state: StateCell::new(TaskState::New, clock),
+            slot: Mutex::new(None),
+            platform,
+        })
+    }
+}
+
+/// Internal record of a service instance.
+pub struct ServiceRecord {
+    /// Runtime-assigned identifier (e.g. `service.000002`).
+    pub id: String,
+    /// The submitted description.
+    pub description: ServiceDescription,
+    /// Validated state holder.
+    pub state: StateCell<ServiceState>,
+    /// Slot the service runs on (local placement only).
+    pub slot: Mutex<Option<Slot>>,
+    /// Platform the service runs on.
+    pub platform: PlatformId,
+    /// Set to ask the serve loop to stop.
+    pub stop: Arc<AtomicBool>,
+    /// Measured bootstrap components (local placement only).
+    pub bootstrap: Mutex<Option<BootstrapTimes>>,
+    /// Requests served (snapshot updated when the serve loop exits).
+    pub requests_served: Mutex<u64>,
+}
+
+impl ServiceRecord {
+    /// Create a record in the `New` state.
+    pub fn new(
+        id: String,
+        description: ServiceDescription,
+        platform: PlatformId,
+        clock: SharedClock,
+    ) -> Arc<Self> {
+        Arc::new(ServiceRecord {
+            id,
+            description,
+            state: StateCell::new(ServiceState::New, clock),
+            slot: Mutex::new(None),
+            platform,
+            stop: Arc::new(AtomicBool::new(false)),
+            bootstrap: Mutex::new(None),
+            requests_served: Mutex::new(0),
+        })
+    }
+
+    /// The endpoint name this service registers under.
+    pub fn endpoint_name(&self) -> String {
+        self.description.endpoint_name()
+    }
+
+    /// Ask the serve loop to stop.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Internal record of a pilot.
+pub struct PilotRecord {
+    /// Runtime-assigned identifier (e.g. `pilot.000000`).
+    pub id: String,
+    /// The submitted description.
+    pub description: PilotDescription,
+    /// Validated state holder.
+    pub state: StateCell<PilotState>,
+    /// The granted allocation, once active.
+    pub allocation: Mutex<Option<Arc<Allocation>>>,
+}
+
+impl PilotRecord {
+    /// Create a record in the `New` state.
+    pub fn new(id: String, description: PilotDescription, clock: SharedClock) -> Arc<Self> {
+        Arc::new(PilotRecord {
+            id,
+            description,
+            state: StateCell::new(PilotState::New, clock),
+            allocation: Mutex::new(None),
+        })
+    }
+}
+
+/// Public handle on a submitted task.
+#[derive(Clone)]
+pub struct TaskHandle {
+    pub(crate) record: Arc<TaskRecord>,
+}
+
+impl std::fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("id", &self.record.id)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl TaskHandle {
+    /// Runtime-assigned identifier.
+    pub fn id(&self) -> &str {
+        &self.record.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TaskState {
+        self.record.state.current()
+    }
+
+    /// Failure reason, if any.
+    pub fn error(&self) -> Option<String> {
+        self.record.state.error()
+    }
+
+    /// Virtual timestamps of every state entered so far.
+    pub fn timestamps(&self) -> BTreeMap<String, f64> {
+        self.record.state.timestamps()
+    }
+
+    /// Block until the task reaches `Done` (default timeout: 300 s of real time).
+    pub fn wait_done(&self) -> Result<TaskState, RuntimeError> {
+        self.wait_done_timeout(Duration::from_secs(300))
+    }
+
+    /// Block until the task reaches `Done`, with an explicit real-time timeout.
+    pub fn wait_done_timeout(&self, timeout: Duration) -> Result<TaskState, RuntimeError> {
+        self.record.state.wait_until(|s| s == TaskState::Done, timeout)
+    }
+
+    /// Block until the task reaches any terminal state.
+    pub fn wait_final(&self, timeout: Duration) -> Result<TaskState, RuntimeError> {
+        match self.record.state.wait_until(|s| s.is_final(), timeout) {
+            Ok(s) => Ok(s),
+            Err(RuntimeError::Failed(_)) => Ok(self.state()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Public handle on a submitted service.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    pub(crate) record: Arc<ServiceRecord>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("id", &self.record.id)
+            .field("name", &self.record.description.name)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl ServiceHandle {
+    /// Runtime-assigned identifier.
+    pub fn id(&self) -> &str {
+        &self.record.id
+    }
+
+    /// User-facing service name.
+    pub fn name(&self) -> &str {
+        &self.record.description.name
+    }
+
+    /// Endpoint name the service registers under.
+    pub fn endpoint_name(&self) -> String {
+        self.record.endpoint_name()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ServiceState {
+        self.record.state.current()
+    }
+
+    /// Failure reason, if any.
+    pub fn error(&self) -> Option<String> {
+        self.record.state.error()
+    }
+
+    /// Measured bootstrap components (local services only; `None` until ready).
+    pub fn bootstrap_times(&self) -> Option<BootstrapTimes> {
+        *self.record.bootstrap.lock()
+    }
+
+    /// Virtual timestamps of every state entered so far.
+    pub fn timestamps(&self) -> BTreeMap<String, f64> {
+        self.record.state.timestamps()
+    }
+
+    /// Block until the service is `Ready` (default timeout: 300 s of real time).
+    pub fn wait_ready(&self) -> Result<ServiceState, RuntimeError> {
+        self.wait_ready_timeout(Duration::from_secs(300))
+    }
+
+    /// Block until the service is `Ready`, with an explicit real-time timeout.
+    pub fn wait_ready_timeout(&self, timeout: Duration) -> Result<ServiceState, RuntimeError> {
+        self.record.state.wait_until(|s| s == ServiceState::Ready, timeout)
+    }
+
+    /// Block until the service reaches any terminal state.
+    pub fn wait_final(&self, timeout: Duration) -> Result<ServiceState, RuntimeError> {
+        match self.record.state.wait_until(|s| s.is_final(), timeout) {
+            Ok(s) => Ok(s),
+            Err(RuntimeError::Failed(_)) => Ok(self.state()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Ask the service to stop serving (orderly shutdown).
+    pub fn request_stop(&self) {
+        self.record.request_stop();
+    }
+}
+
+/// Public handle on a submitted pilot.
+#[derive(Clone)]
+pub struct PilotHandle {
+    pub(crate) record: Arc<PilotRecord>,
+}
+
+impl std::fmt::Debug for PilotHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PilotHandle")
+            .field("id", &self.record.id)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl PilotHandle {
+    /// Runtime-assigned identifier.
+    pub fn id(&self) -> &str {
+        &self.record.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PilotState {
+        self.record.state.current()
+    }
+
+    /// Number of nodes in the pilot's allocation (0 before it becomes active).
+    pub fn num_nodes(&self) -> usize {
+        self.record.allocation.lock().as_ref().map(|a| a.num_nodes()).unwrap_or(0)
+    }
+
+    /// Block until the pilot is `Active` (default timeout: 300 s of real time).
+    pub fn wait_active(&self) -> Result<PilotState, RuntimeError> {
+        self.record.state.wait_until(|s| s == PilotState::Active, Duration::from_secs(300))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcml_sim::clock::ClockSpec;
+    use std::thread;
+
+    fn clock() -> SharedClock {
+        ClockSpec::scaled(1000.0).build()
+    }
+
+    #[test]
+    fn state_cell_valid_transitions_and_timestamps() {
+        let cell = StateCell::new(TaskState::New, clock());
+        assert_eq!(cell.current(), TaskState::New);
+        cell.transition(TaskState::Scheduling).unwrap();
+        cell.transition(TaskState::Executing).unwrap();
+        cell.transition(TaskState::Done).unwrap();
+        assert!(cell.entered_at(TaskState::New).is_some());
+        assert!(cell.entered_at(TaskState::Done).is_some());
+        assert!(cell.entered_at(TaskState::StagingInput).is_none());
+        assert!(cell.entered_at(TaskState::Done) >= cell.entered_at(TaskState::New));
+        assert_eq!(cell.timestamps().len(), 4);
+    }
+
+    #[test]
+    fn state_cell_rejects_illegal_transition() {
+        let cell = StateCell::new(TaskState::New, clock());
+        let err = cell.transition(TaskState::Done).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidState(_)));
+        // Same-state transition is a no-op.
+        cell.transition(TaskState::New).unwrap();
+    }
+
+    #[test]
+    fn state_cell_fail_records_reason() {
+        let cell = StateCell::new(ServiceState::Launching, clock());
+        cell.fail(ServiceState::Failed, "exec not found");
+        assert_eq!(cell.current(), ServiceState::Failed);
+        assert_eq!(cell.error(), Some("exec not found".to_string()));
+    }
+
+    #[test]
+    fn wait_until_wakes_on_transition() {
+        let cell = Arc::new(StateCell::new(ServiceState::New, clock()));
+        let c2 = Arc::clone(&cell);
+        let waiter = thread::spawn(move || c2.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(10));
+        for s in [
+            ServiceState::Scheduling,
+            ServiceState::Launching,
+            ServiceState::Initializing,
+            ServiceState::Publishing,
+            ServiceState::Ready,
+        ] {
+            cell.transition(s).unwrap();
+        }
+        assert_eq!(waiter.join().unwrap().unwrap(), ServiceState::Ready);
+    }
+
+    #[test]
+    fn wait_until_reports_failure() {
+        let cell = Arc::new(StateCell::new(TaskState::Executing, clock()));
+        let c2 = Arc::clone(&cell);
+        let waiter = thread::spawn(move || c2.wait_until(|s| s == TaskState::Done, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(10));
+        cell.fail(TaskState::Failed, "segfault");
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(matches!(err, RuntimeError::Failed(reason) if reason.contains("segfault")));
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let cell = StateCell::new(TaskState::New, clock());
+        let err = cell.wait_until(|s| s == TaskState::Done, Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, RuntimeError::WaitTimeout { .. }));
+    }
+
+    #[test]
+    fn bootstrap_times_total() {
+        let bt = BootstrapTimes { launch_secs: 2.0, init_secs: 30.0, publish_secs: 0.5 };
+        assert!((bt.total() - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_expose_record_fields() {
+        let c = clock();
+        let task = TaskRecord::new(
+            "task.000000".into(),
+            TaskDescription::new("t"),
+            PlatformId::Local,
+            Arc::clone(&c),
+        );
+        let th = TaskHandle { record: Arc::clone(&task) };
+        assert_eq!(th.id(), "task.000000");
+        assert_eq!(th.state(), TaskState::New);
+        assert!(th.error().is_none());
+        assert!(format!("{th:?}").contains("task.000000"));
+
+        let svc = ServiceRecord::new(
+            "service.000000".into(),
+            ServiceDescription::new("llm-0"),
+            PlatformId::Local,
+            Arc::clone(&c),
+        );
+        let sh = ServiceHandle { record: Arc::clone(&svc) };
+        assert_eq!(sh.name(), "llm-0");
+        assert_eq!(sh.endpoint_name(), "service.llm-0");
+        assert!(sh.bootstrap_times().is_none());
+        sh.request_stop();
+        assert!(svc.stop.load(Ordering::Acquire));
+
+        let pilot = PilotRecord::new("pilot.000000".into(), PilotDescription::new(PlatformId::Local), c);
+        let ph = PilotHandle { record: pilot };
+        assert_eq!(ph.num_nodes(), 0);
+        assert_eq!(ph.state(), PilotState::New);
+        assert!(format!("{ph:?}").contains("pilot.000000"));
+    }
+}

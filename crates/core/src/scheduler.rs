@@ -1,0 +1,244 @@
+//! The scheduler: placing tasks and services onto pilot resources.
+//!
+//! The paper extends RADICAL-Pilot's scheduler to "enact priority relations between
+//! services and tasks": services are placed before ordinary tasks competing for the same
+//! resources, because workflows generally need their services up before compute tasks
+//! can use them. This scheduler provides:
+//!
+//! * blocking slot allocation with back-pressure (callers wait until resources free up),
+//! * service priority (pending service placements starve ordinary tasks, not vice versa),
+//! * immediate rejection of requests that could never be satisfied by the node shape.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use hpcml_platform::batch::Allocation;
+use hpcml_platform::resources::{ResourceError, ResourceRequest, Slot};
+
+use crate::error::RuntimeError;
+
+#[derive(Debug, Default)]
+struct SchedState {
+    /// Number of service placements currently waiting for resources.
+    waiting_services: usize,
+    /// Total slots handed out and not yet released (for observability).
+    outstanding_slots: usize,
+}
+
+/// Priority class of a placement request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Service instances: placed first.
+    Service,
+    /// Ordinary compute tasks.
+    Task,
+}
+
+/// Scheduler bound to one pilot allocation.
+pub struct Scheduler {
+    allocation: Arc<Allocation>,
+    state: Mutex<SchedState>,
+    cond: Condvar,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Scheduler")
+            .field("free_cores", &self.allocation.free_cores())
+            .field("free_gpus", &self.allocation.free_gpus())
+            .field("waiting_services", &st.waiting_services)
+            .field("outstanding_slots", &st.outstanding_slots)
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Create a scheduler over the given allocation.
+    pub fn new(allocation: Arc<Allocation>) -> Self {
+        Scheduler { allocation, state: Mutex::new(SchedState::default()), cond: Condvar::new() }
+    }
+
+    /// The allocation this scheduler places onto.
+    pub fn allocation(&self) -> &Arc<Allocation> {
+        &self.allocation
+    }
+
+    /// Number of slots currently handed out.
+    pub fn outstanding_slots(&self) -> usize {
+        self.state.lock().outstanding_slots
+    }
+
+    /// Allocate a slot, blocking (up to `timeout` of real time) until resources are
+    /// available. Task-priority requests additionally wait while service placements are
+    /// pending, so services are never starved by a flood of tasks.
+    pub fn allocate(
+        &self,
+        req: &ResourceRequest,
+        priority: Priority,
+        timeout: Duration,
+    ) -> Result<Slot, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        if priority == Priority::Service {
+            st.waiting_services += 1;
+        }
+        let result = loop {
+            // Tasks defer to pending services.
+            let blocked_by_services = priority == Priority::Task && st.waiting_services > 0;
+            if !blocked_by_services {
+                match self.allocation.allocate_slot(req) {
+                    Ok(slot) => break Ok(slot),
+                    Err(ResourceError::InsufficientResources) => {}
+                    Err(e) => break Err(RuntimeError::Resource(e)),
+                }
+            }
+            if Instant::now() >= deadline {
+                break Err(RuntimeError::WaitTimeout {
+                    entity: "scheduler".to_string(),
+                    awaited: format!("{} cores / {} gpus", req.cores, req.gpus),
+                });
+            }
+            if self.cond.wait_until(&mut st, deadline).timed_out() {
+                // Loop once more to make a final attempt before giving up.
+            }
+        };
+        if priority == Priority::Service {
+            st.waiting_services = st.waiting_services.saturating_sub(1);
+            // Releasing the service-waiting barrier may unblock task waiters.
+            self.cond.notify_all();
+        }
+        if result.is_ok() {
+            st.outstanding_slots += 1;
+        }
+        result
+    }
+
+    /// Release a previously allocated slot and wake waiters.
+    pub fn release(&self, slot: &Slot) -> Result<(), RuntimeError> {
+        self.allocation.release_slot(slot)?;
+        let mut st = self.state.lock();
+        st.outstanding_slots = st.outstanding_slots.saturating_sub(1);
+        self.cond.notify_all();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcml_platform::batch::{AllocationRequest, BatchSystem};
+    use hpcml_platform::PlatformId;
+    use hpcml_sim::clock::ClockSpec;
+    use std::thread;
+
+    fn scheduler(platform: PlatformId, nodes: usize) -> Scheduler {
+        let batch = BatchSystem::new(platform.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        Scheduler::new(alloc)
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let s = scheduler(PlatformId::Local, 1); // 8 cores, 2 gpus
+        let slot = s.allocate(&ResourceRequest::gpus(1), Priority::Service, Duration::from_secs(1)).unwrap();
+        assert_eq!(slot.num_gpus(), 1);
+        assert_eq!(s.outstanding_slots(), 1);
+        s.release(&slot).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(s.allocation().free_gpus(), 2);
+    }
+
+    #[test]
+    fn never_satisfiable_request_errors_immediately() {
+        let s = scheduler(PlatformId::Local, 1);
+        let err = s
+            .allocate(&ResourceRequest::cores(1024), Priority::Task, Duration::from_secs(5))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Resource(ResourceError::NeverSatisfiable { .. })));
+    }
+
+    #[test]
+    fn allocation_times_out_under_pressure() {
+        let s = scheduler(PlatformId::Local, 1);
+        let _hold = s.allocate(&ResourceRequest::gpus(2), Priority::Task, Duration::from_secs(1)).unwrap();
+        let err = s
+            .allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_millis(30))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::WaitTimeout { .. }));
+    }
+
+    #[test]
+    fn blocked_allocation_wakes_on_release() {
+        let s = Arc::new(scheduler(PlatformId::Local, 1));
+        let slot = s.allocate(&ResourceRequest::gpus(2), Priority::Task, Duration::from_secs(1)).unwrap();
+        let s2 = Arc::clone(&s);
+        let waiter = thread::spawn(move || {
+            s2.allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(5))
+        });
+        thread::sleep(Duration::from_millis(20));
+        s.release(&slot).unwrap();
+        let got = waiter.join().unwrap().unwrap();
+        assert_eq!(got.num_gpus(), 1);
+    }
+
+    #[test]
+    fn services_have_priority_over_tasks() {
+        // 2 GPUs total. A task holds both; a service and a task are both waiting.
+        // When the GPUs free up one by one, the service must be placed first.
+        let s = Arc::new(scheduler(PlatformId::Local, 1));
+        let hold_a = s.allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(1)).unwrap();
+        let hold_b = s.allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(1)).unwrap();
+
+        let s_svc = Arc::clone(&s);
+        let svc_waiter = thread::spawn(move || {
+            s_svc
+                .allocate(&ResourceRequest::gpus(1), Priority::Service, Duration::from_secs(5))
+                .map(|slot| ("service", slot))
+        });
+        // Give the service waiter time to register.
+        thread::sleep(Duration::from_millis(30));
+        let s_task = Arc::clone(&s);
+        let task_waiter = thread::spawn(move || {
+            s_task
+                .allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(5))
+                .map(|slot| ("task", slot))
+        });
+        thread::sleep(Duration::from_millis(30));
+
+        // Free exactly one GPU: only the service should obtain it.
+        s.release(&hold_a).unwrap();
+        let (who, _slot) = svc_waiter.join().unwrap().unwrap();
+        assert_eq!(who, "service");
+        // The task is still waiting; freeing the second GPU unblocks it.
+        s.release(&hold_b).unwrap();
+        let (who, _slot) = task_waiter.join().unwrap().unwrap();
+        assert_eq!(who, "task");
+    }
+
+    #[test]
+    fn concurrent_allocate_release_conserves_resources() {
+        let s = Arc::new(scheduler(PlatformId::Delta, 2)); // 128 cores, 8 gpus
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    let slot = s
+                        .allocate(&ResourceRequest::cores(4), Priority::Task, Duration::from_secs(10))
+                        .unwrap();
+                    s.release(&slot).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.allocation().free_cores(), 128);
+        assert_eq!(s.allocation().free_gpus(), 8);
+        assert_eq!(s.outstanding_slots(), 0);
+        assert!(format!("{:?}", s).contains("free_cores"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The service manager: the paper's new runtime component.
+//!
+//! The `ServiceManager` complements the `TaskManager`: it tracks every service instance,
+//! knows whether each one is ready, probes liveness over the service's control interface
+//! (ping/pong), and performs orderly shutdown (control message + stop flag). Workflows
+//! use it to guarantee that "each service is running and available to receive client
+//! requests" before dependent tasks execute.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use hpcml_comm::link::Link;
+use hpcml_comm::message::Message;
+use hpcml_comm::registry::EndpointRegistry;
+use hpcml_serving::protocol::{KIND_PING, KIND_PONG, KIND_SHUTDOWN};
+use hpcml_sim::clock::SharedClock;
+
+use crate::error::RuntimeError;
+use crate::records::ServiceRecord;
+use crate::states::ServiceState;
+
+/// Directory and lifecycle controller of all service instances in a session.
+pub struct ServiceManager {
+    services: RwLock<BTreeMap<String, Arc<ServiceRecord>>>,
+    registry: Arc<EndpointRegistry>,
+    clock: SharedClock,
+}
+
+impl std::fmt::Debug for ServiceManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceManager")
+            .field("services", &self.len())
+            .field("ready", &self.ready_count())
+            .finish()
+    }
+}
+
+impl ServiceManager {
+    /// Create a service manager bound to the session's endpoint registry.
+    pub fn new(registry: Arc<EndpointRegistry>, clock: SharedClock) -> Self {
+        ServiceManager { services: RwLock::new(BTreeMap::new()), registry, clock }
+    }
+
+    /// Register a service record (keyed by its user-facing name).
+    pub fn add(&self, record: Arc<ServiceRecord>) {
+        self.services.write().insert(record.description.name.clone(), record);
+    }
+
+    /// Look a service up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ServiceRecord>> {
+        self.services.read().get(name).cloned()
+    }
+
+    /// All service names.
+    pub fn names(&self) -> Vec<String> {
+        self.services.read().keys().cloned().collect()
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// True if no service is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of services currently in the `Ready` state.
+    pub fn ready_count(&self) -> usize {
+        self.services
+            .read()
+            .values()
+            .filter(|r| r.state.current() == ServiceState::Ready)
+            .count()
+    }
+
+    /// Per-state counts.
+    pub fn state_counts(&self) -> BTreeMap<ServiceState, usize> {
+        let mut counts = BTreeMap::new();
+        for record in self.services.read().values() {
+            *counts.entry(record.state.current()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Block until the named service is ready (real-time timeout).
+    pub fn wait_ready(&self, name: &str, timeout: Duration) -> Result<(), RuntimeError> {
+        let record = self.get(name).ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
+        record.state.wait_until(|s| s == ServiceState::Ready, timeout).map(|_| ())
+    }
+
+    /// Block until every registered service is ready.
+    pub fn wait_all_ready(&self, timeout: Duration) -> Result<(), RuntimeError> {
+        for name in self.names() {
+            self.wait_ready(&name, timeout)?;
+        }
+        Ok(())
+    }
+
+    /// Probe the liveness of a service by pinging its endpoint. Returns `Ok(true)` when
+    /// the service answered and reported itself ready.
+    pub fn probe(&self, name: &str) -> Result<bool, RuntimeError> {
+        let record = self.get(name).ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
+        let endpoint = record.endpoint_name();
+        let entry = self
+            .registry
+            .lookup(&endpoint)
+            .ok_or_else(|| RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(endpoint)))?;
+        let client = entry.handle.connect(Link::instant(Arc::clone(&self.clock)));
+        let reply = client
+            .request_timeout(Message::new(record.endpoint_name(), KIND_PING), Duration::from_secs(5))
+            .map_err(RuntimeError::Comm)?;
+        Ok(reply.kind == KIND_PONG && reply.header("ready") == Some("true"))
+    }
+
+    /// Orderly shutdown of one service: send the shutdown control message (if the
+    /// endpoint is still registered), set the stop flag, and mark the state.
+    ///
+    /// The control message is sent *before* the stop flag is raised: if the serve loop
+    /// noticed the flag first it would exit without consuming the message, and the
+    /// manager would needlessly wait for a reply that never comes.
+    pub fn stop(&self, name: &str) -> Result<(), RuntimeError> {
+        let record = self.get(name).ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
+        if record.state.current() == ServiceState::Ready {
+            record.state.transition(ServiceState::Stopping)?;
+        }
+        if let Some(entry) = self.registry.lookup(&record.endpoint_name()) {
+            let client = entry.handle.connect(Link::instant(Arc::clone(&self.clock)));
+            // Best effort: the serve loop also honours the stop flag.
+            let _ = client.request_timeout(
+                Message::new(record.endpoint_name(), KIND_SHUTDOWN),
+                Duration::from_millis(500),
+            );
+        }
+        record.request_stop();
+        Ok(())
+    }
+
+    /// Stop every registered service.
+    pub fn stop_all(&self) {
+        for name in self.names() {
+            let _ = self.stop(&name);
+        }
+    }
+
+    /// The endpoint registry services publish into.
+    pub fn registry(&self) -> &Arc<EndpointRegistry> {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::ServiceDescription;
+    use hpcml_comm::reqrep::ReqRepServer;
+    use hpcml_platform::PlatformId;
+    use hpcml_serving::host::shared_host;
+    use hpcml_serving::{InferenceService, ModelSpec};
+    use hpcml_sim::clock::ClockSpec;
+    use std::thread;
+
+    fn manager() -> (Arc<EndpointRegistry>, ServiceManager, SharedClock) {
+        let clock = ClockSpec::scaled(1000.0).build();
+        let registry = Arc::new(EndpointRegistry::new());
+        let sm = ServiceManager::new(Arc::clone(&registry), Arc::clone(&clock));
+        (registry, sm, clock)
+    }
+
+    fn record(name: &str, clock: SharedClock) -> Arc<ServiceRecord> {
+        ServiceRecord::new(
+            format!("service.test-{name}"),
+            ServiceDescription::new(name),
+            PlatformId::Local,
+            clock,
+        )
+    }
+
+    #[test]
+    fn add_get_names_counts() {
+        let (_reg, sm, clock) = manager();
+        assert!(sm.is_empty());
+        sm.add(record("a", Arc::clone(&clock)));
+        sm.add(record("b", clock));
+        assert_eq!(sm.len(), 2);
+        assert_eq!(sm.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(sm.get("a").is_some());
+        assert!(sm.get("zz").is_none());
+        assert_eq!(sm.ready_count(), 0);
+        assert_eq!(sm.state_counts()[&ServiceState::New], 2);
+        assert!(format!("{sm:?}").contains("services"));
+    }
+
+    #[test]
+    fn wait_ready_unknown_service_errors() {
+        let (_reg, sm, _clock) = manager();
+        assert!(matches!(
+            sm.wait_ready("ghost", Duration::from_millis(10)),
+            Err(RuntimeError::UnknownEntity(_))
+        ));
+        assert!(matches!(sm.probe("ghost"), Err(RuntimeError::UnknownEntity(_))));
+        assert!(matches!(sm.stop("ghost"), Err(RuntimeError::UnknownEntity(_))));
+    }
+
+    #[test]
+    fn wait_ready_follows_state_transitions() {
+        let (_reg, sm, clock) = manager();
+        let rec = record("svc", clock);
+        sm.add(Arc::clone(&rec));
+        let err = sm.wait_ready("svc", Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, RuntimeError::WaitTimeout { .. }));
+        for s in [
+            ServiceState::Scheduling,
+            ServiceState::Launching,
+            ServiceState::Initializing,
+            ServiceState::Publishing,
+            ServiceState::Ready,
+        ] {
+            rec.state.transition(s).unwrap();
+        }
+        sm.wait_ready("svc", Duration::from_secs(1)).unwrap();
+        sm.wait_all_ready(Duration::from_secs(1)).unwrap();
+        assert_eq!(sm.ready_count(), 1);
+    }
+
+    #[test]
+    fn probe_and_stop_against_live_endpoint() {
+        let (registry, sm, clock) = manager();
+        let rec = record("live", Arc::clone(&clock));
+        sm.add(Arc::clone(&rec));
+
+        // Stand a real service loop up behind the record's endpoint.
+        let host = shared_host(ModelSpec::noop(), Arc::clone(&clock), 3);
+        host.load();
+        let endpoint = ReqRepServer::new(rec.endpoint_name());
+        registry.register(rec.endpoint_name(), endpoint.handle(), BTreeMap::new()).unwrap();
+        let service = InferenceService::new("live", host, Arc::clone(&clock), 4);
+        let stop = Arc::clone(&rec.stop);
+        let server_thread = thread::spawn(move || service.serve(&endpoint, &stop));
+
+        for s in [
+            ServiceState::Scheduling,
+            ServiceState::Launching,
+            ServiceState::Initializing,
+            ServiceState::Publishing,
+            ServiceState::Ready,
+        ] {
+            rec.state.transition(s).unwrap();
+        }
+
+        assert!(sm.probe("live").unwrap());
+        sm.stop("live").unwrap();
+        assert_eq!(rec.state.current(), ServiceState::Stopping);
+        server_thread.join().unwrap();
+        assert!(sm.registry().lookup(&rec.endpoint_name()).is_some());
+    }
+
+    #[test]
+    fn probe_without_registered_endpoint_errors() {
+        let (_reg, sm, clock) = manager();
+        let rec = record("cold", clock);
+        sm.add(rec);
+        assert!(matches!(sm.probe("cold"), Err(RuntimeError::Comm(_))));
+    }
+
+    #[test]
+    fn stop_all_sets_flags() {
+        let (_reg, sm, clock) = manager();
+        let a = record("a", Arc::clone(&clock));
+        let b = record("b", clock);
+        sm.add(Arc::clone(&a));
+        sm.add(Arc::clone(&b));
+        sm.stop_all();
+        assert!(a.stop.load(std::sync::atomic::Ordering::Acquire));
+        assert!(b.stop.load(std::sync::atomic::Ordering::Acquire));
+    }
+}

@@ -1,0 +1,438 @@
+//! Batch system and allocations: how a pilot acquires and carves up resources.
+//!
+//! A pilot job submits an [`AllocationRequest`] to the platform's [`BatchSystem`]; once
+//! granted (after an optional modelled queue wait) it receives an [`Allocation`] — a set
+//! of whole nodes it owns for its walltime. The pilot's scheduler then places tasks and
+//! services by carving [`Slot`]s out of the allocation and releasing them on completion.
+//!
+//! This mirrors the pilot abstraction of the paper's runtime: resource acquisition is
+//! decoupled from task/service scheduling, which is what lets services and tasks share
+//! one allocation with controlled concurrency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use hpcml_sim::clock::SharedClock;
+use hpcml_sim::dist::Dist;
+
+use crate::resources::{NodeSpec, NodeState, ResourceError, ResourceRequest, Slot};
+use crate::spec::PlatformSpec;
+
+/// Errors raised by the batch system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// The platform does not have enough nodes in total.
+    TooLarge {
+        /// Nodes requested.
+        requested: usize,
+        /// Nodes the platform has.
+        available: usize,
+    },
+    /// The platform has enough nodes but they are currently allocated to other jobs.
+    Busy,
+    /// Zero nodes requested.
+    EmptyRequest,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::TooLarge { requested, available } => {
+                write!(f, "requested {requested} nodes but the platform only has {available}")
+            }
+            BatchError::Busy => write!(f, "platform nodes are currently allocated to other jobs"),
+            BatchError::EmptyRequest => write!(f, "allocation request must ask for at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// A request for a pilot-sized allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocationRequest {
+    /// Number of whole nodes.
+    pub nodes: usize,
+    /// Requested walltime in seconds.
+    pub walltime_secs: f64,
+    /// Whether to model the batch-queue wait (true for realism, false for experiments
+    /// that start measuring once the pilot is active — as the paper does).
+    pub model_queue_wait: bool,
+}
+
+impl AllocationRequest {
+    /// Request `nodes` whole nodes for one hour, without modelling queue wait.
+    pub fn nodes(nodes: usize) -> Self {
+        AllocationRequest { nodes, walltime_secs: 3600.0, model_queue_wait: false }
+    }
+
+    /// Set the walltime.
+    pub fn with_walltime_secs(mut self, secs: f64) -> Self {
+        self.walltime_secs = secs;
+        self
+    }
+
+    /// Enable queue-wait modelling.
+    pub fn with_queue_wait(mut self, enable: bool) -> Self {
+        self.model_queue_wait = enable;
+        self
+    }
+}
+
+/// A granted allocation: a set of whole nodes owned by one pilot.
+pub struct Allocation {
+    id: u64,
+    platform: PlatformSpec,
+    nodes: Mutex<Vec<NodeState>>,
+    next_slot_id: AtomicU64,
+    /// Seconds spent waiting in the batch queue (0 if not modelled).
+    queue_wait_secs: f64,
+    walltime_secs: f64,
+}
+
+impl std::fmt::Debug for Allocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Allocation")
+            .field("id", &self.id)
+            .field("platform", &self.platform.id)
+            .field("nodes", &self.num_nodes())
+            .field("walltime_secs", &self.walltime_secs)
+            .finish()
+    }
+}
+
+impl Allocation {
+    /// Allocation identifier (unique per batch system).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The platform this allocation lives on.
+    pub fn platform(&self) -> &PlatformSpec {
+        &self.platform
+    }
+
+    /// Number of nodes in the allocation.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// Shape of the allocation's nodes.
+    pub fn node_spec(&self) -> NodeSpec {
+        self.platform.node
+    }
+
+    /// Total cores across the allocation.
+    pub fn total_cores(&self) -> u32 {
+        self.num_nodes() as u32 * self.platform.node.cores
+    }
+
+    /// Total GPUs across the allocation.
+    pub fn total_gpus(&self) -> u32 {
+        self.num_nodes() as u32 * self.platform.node.gpus
+    }
+
+    /// Currently free cores across all nodes.
+    pub fn free_cores(&self) -> u32 {
+        self.nodes.lock().iter().map(|n| n.free_cores()).sum()
+    }
+
+    /// Currently free GPUs across all nodes.
+    pub fn free_gpus(&self) -> u32 {
+        self.nodes.lock().iter().map(|n| n.free_gpus()).sum()
+    }
+
+    /// Seconds this allocation waited in the batch queue before becoming active.
+    pub fn queue_wait_secs(&self) -> f64 {
+        self.queue_wait_secs
+    }
+
+    /// Granted walltime in seconds.
+    pub fn walltime_secs(&self) -> f64 {
+        self.walltime_secs
+    }
+
+    /// Try to carve a slot satisfying `req` out of the allocation (first fit).
+    ///
+    /// Returns [`ResourceError::InsufficientResources`] when nothing currently fits and
+    /// [`ResourceError::NeverSatisfiable`] when no node shape could ever satisfy it.
+    pub fn allocate_slot(&self, req: &ResourceRequest) -> Result<Slot, ResourceError> {
+        let mut nodes = self.nodes.lock();
+        if nodes.is_empty() {
+            return Err(ResourceError::InsufficientResources);
+        }
+        // A request larger than the node shape can never be satisfied.
+        if !nodes[0].can_ever_fit(req) {
+            return Err(ResourceError::NeverSatisfiable {
+                reason: format!(
+                    "request ({} cores, {} gpus, {:.1} GiB) exceeds the node shape",
+                    req.cores, req.gpus, req.mem_gib
+                ),
+            });
+        }
+        for (idx, node) in nodes.iter_mut().enumerate() {
+            if node.can_fit_now(req) {
+                let (core_ids, gpu_ids, mem_gib) = node.try_reserve(req)?;
+                let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
+                return Ok(Slot {
+                    id,
+                    node_index: idx,
+                    node_name: node.name.clone(),
+                    core_ids,
+                    gpu_ids,
+                    mem_gib,
+                });
+            }
+        }
+        Err(ResourceError::InsufficientResources)
+    }
+
+    /// Release a previously allocated slot.
+    pub fn release_slot(&self, slot: &Slot) -> Result<(), ResourceError> {
+        let mut nodes = self.nodes.lock();
+        let node = nodes.get_mut(slot.node_index).ok_or(ResourceError::UnknownSlot(slot.id))?;
+        if node.name != slot.node_name {
+            return Err(ResourceError::UnknownSlot(slot.id));
+        }
+        node.release(&slot.core_ids, &slot.gpu_ids, slot.mem_gib);
+        Ok(())
+    }
+
+    /// True when no slot is currently allocated.
+    pub fn is_idle(&self) -> bool {
+        self.nodes.lock().iter().all(|n| n.is_idle())
+    }
+}
+
+/// The platform's batch / resource manager.
+pub struct BatchSystem {
+    spec: PlatformSpec,
+    clock: SharedClock,
+    rng: Mutex<StdRng>,
+    nodes_in_use: AtomicU64,
+    next_alloc_id: AtomicU64,
+}
+
+impl std::fmt::Debug for BatchSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSystem")
+            .field("platform", &self.spec.id)
+            .field("nodes_in_use", &self.nodes_in_use.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl BatchSystem {
+    /// Create a batch system for the given platform.
+    pub fn new(spec: PlatformSpec, clock: SharedClock, seed: u64) -> Self {
+        BatchSystem {
+            spec,
+            clock,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            nodes_in_use: AtomicU64::new(0),
+            next_alloc_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The platform this batch system manages.
+    pub fn platform(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Nodes currently held by active allocations.
+    pub fn nodes_in_use(&self) -> usize {
+        self.nodes_in_use.load(Ordering::Relaxed) as usize
+    }
+
+    /// Nodes currently free.
+    pub fn nodes_free(&self) -> usize {
+        self.spec.num_nodes.saturating_sub(self.nodes_in_use())
+    }
+
+    /// Submit an allocation request. Blocks for the modelled queue wait (on the virtual
+    /// clock) when requested, then returns an active [`Allocation`].
+    pub fn submit(&self, req: AllocationRequest) -> Result<Arc<Allocation>, BatchError> {
+        if req.nodes == 0 {
+            return Err(BatchError::EmptyRequest);
+        }
+        if req.nodes > self.spec.num_nodes {
+            return Err(BatchError::TooLarge { requested: req.nodes, available: self.spec.num_nodes });
+        }
+        // Reserve nodes atomically against concurrent submissions.
+        loop {
+            let used = self.nodes_in_use.load(Ordering::Acquire);
+            if used as usize + req.nodes > self.spec.num_nodes {
+                return Err(BatchError::Busy);
+            }
+            if self
+                .nodes_in_use
+                .compare_exchange(used, used + req.nodes as u64, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+
+        let queue_wait_secs = if req.model_queue_wait && self.spec.queue_wait_mean_secs > 0.0 {
+            let dist = Dist::exponential_with_mean(self.spec.queue_wait_mean_secs);
+            let wait = dist.sample_secs(&mut *self.rng.lock());
+            self.clock.sleep(wait);
+            wait.as_secs_f64()
+        } else {
+            0.0
+        };
+
+        let id = self.next_alloc_id.fetch_add(1, Ordering::Relaxed);
+        let nodes: Vec<NodeState> = (0..req.nodes)
+            .map(|i| NodeState::new(self.spec.node_name(i), self.spec.node))
+            .collect();
+        Ok(Arc::new(Allocation {
+            id,
+            platform: self.spec.clone(),
+            nodes: Mutex::new(nodes),
+            next_slot_id: AtomicU64::new(0),
+            queue_wait_secs,
+            walltime_secs: req.walltime_secs,
+        }))
+    }
+
+    /// Return an allocation's nodes to the free pool.
+    pub fn release(&self, allocation: &Allocation) {
+        let n = allocation.num_nodes() as u64;
+        // Saturating: releasing the same allocation twice must not underflow.
+        let mut current = self.nodes_in_use.load(Ordering::Acquire);
+        loop {
+            let next = current.saturating_sub(n);
+            match self.nodes_in_use.compare_exchange(current, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlatformId;
+    use hpcml_sim::clock::ClockSpec;
+
+    fn batch(platform: PlatformId) -> BatchSystem {
+        BatchSystem::new(platform.spec(), ClockSpec::Manual.build(), 7)
+    }
+
+    #[test]
+    fn submit_and_release_allocation() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b.submit(AllocationRequest::nodes(4)).unwrap();
+        assert_eq!(alloc.num_nodes(), 4);
+        assert_eq!(alloc.total_cores(), 256);
+        assert_eq!(alloc.total_gpus(), 16);
+        assert_eq!(b.nodes_in_use(), 4);
+        b.release(&alloc);
+        assert_eq!(b.nodes_in_use(), 0);
+        b.release(&alloc); // double release must not underflow
+        assert_eq!(b.nodes_in_use(), 0);
+    }
+
+    #[test]
+    fn submit_rejects_bad_requests() {
+        let b = batch(PlatformId::Local);
+        assert_eq!(b.submit(AllocationRequest::nodes(0)).unwrap_err(), BatchError::EmptyRequest);
+        let err = b.submit(AllocationRequest::nodes(100)).unwrap_err();
+        assert!(matches!(err, BatchError::TooLarge { requested: 100, available: 2 }));
+        let _a = b.submit(AllocationRequest::nodes(2)).unwrap();
+        assert_eq!(b.submit(AllocationRequest::nodes(1)).unwrap_err(), BatchError::Busy);
+        assert!(!format!("{:?}", b).is_empty());
+    }
+
+    #[test]
+    fn allocation_slots_respect_capacity() {
+        let b = batch(PlatformId::Local); // 2 nodes x (8 cores, 2 gpus)
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let mut slots = Vec::new();
+        for _ in 0..4 {
+            slots.push(alloc.allocate_slot(&ResourceRequest::gpus(1)).unwrap());
+        }
+        assert_eq!(alloc.free_gpus(), 0);
+        assert_eq!(
+            alloc.allocate_slot(&ResourceRequest::gpus(1)).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        // Slots must land on both nodes.
+        let node_indices: std::collections::HashSet<usize> = slots.iter().map(|s| s.node_index).collect();
+        assert_eq!(node_indices.len(), 2);
+        for s in &slots {
+            alloc.release_slot(s).unwrap();
+        }
+        assert!(alloc.is_idle());
+        assert_eq!(alloc.free_gpus(), 4);
+    }
+
+    #[test]
+    fn oversized_slot_request_is_never_satisfiable() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
+        let err = alloc.allocate_slot(&ResourceRequest::cores(64)).unwrap_err();
+        assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
+    }
+
+    #[test]
+    fn release_unknown_slot_fails() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
+        let bogus = Slot {
+            id: 99,
+            node_index: 5,
+            node_name: "nope".into(),
+            core_ids: vec![0],
+            gpu_ids: vec![],
+            mem_gib: 0.0,
+        };
+        assert!(matches!(alloc.release_slot(&bogus), Err(ResourceError::UnknownSlot(99))));
+    }
+
+    #[test]
+    fn queue_wait_modelled_when_requested() {
+        let spec = PlatformId::Delta.spec();
+        let clock = ClockSpec::scaled(100_000.0).build();
+        let b = BatchSystem::new(spec, clock, 3);
+        let alloc = b.submit(AllocationRequest::nodes(1).with_queue_wait(true)).unwrap();
+        assert!(alloc.queue_wait_secs() > 0.0);
+        let alloc2 = b.submit(AllocationRequest::nodes(1)).unwrap();
+        assert_eq!(alloc2.queue_wait_secs(), 0.0);
+    }
+
+    #[test]
+    fn frontier_supports_experiment1_scale() {
+        let b = batch(PlatformId::Frontier);
+        // 640 services x 1 GPU each => 80 Frontier nodes.
+        let alloc = b.submit(AllocationRequest::nodes(80)).unwrap();
+        let mut slots = Vec::with_capacity(640);
+        for _ in 0..640 {
+            slots.push(alloc.allocate_slot(&ResourceRequest::gpus(1)).unwrap());
+        }
+        assert_eq!(alloc.free_gpus(), 0);
+        assert_eq!(slots.len(), 640);
+    }
+
+    #[test]
+    fn allocation_request_builder() {
+        let r = AllocationRequest::nodes(3).with_walltime_secs(120.0).with_queue_wait(true);
+        assert_eq!(r.nodes, 3);
+        assert_eq!(r.walltime_secs, 120.0);
+        assert!(r.model_queue_wait);
+    }
+
+    #[test]
+    fn batch_error_display() {
+        assert!(BatchError::Busy.to_string().contains("allocated"));
+        assert!(BatchError::EmptyRequest.to_string().contains("at least one"));
+        assert!(BatchError::TooLarge { requested: 5, available: 2 }.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,35 @@
+//! # hpcml-platform — simulated HPC platform substrate
+//!
+//! The paper runs its experiments on OLCF Frontier, NCSA Delta, and "R3", a cloud host.
+//! None of those machines are available to this reproduction, so this crate implements
+//! the platform substrate the runtime needs, from scratch:
+//!
+//! * [`resources`] — the resource model: nodes, cores, GPUs, memory, and [`resources::Slot`]s
+//!   (the unit of placement handed to tasks and services);
+//! * [`spec`] — platform catalogs with the published node shapes of Frontier, Delta and
+//!   the R3 cloud host, plus network-latency profiles (local vs remote);
+//! * [`batch`] — a batch/resource manager: allocation requests, queue-wait modelling, and
+//!   [`batch::Allocation`]s from which the pilot carves slots;
+//! * [`launcher`] — launch-time models for fork/SSH/MPI-PRRTE launchers, including the
+//!   super-linear MPI start-up overhead the paper observes beyond ~160 concurrent
+//!   launches (Fig. 3);
+//! * [`network`] — latency profiles used by the communication layer to model local
+//!   (0.063 ± 0.014 ms) and remote (0.47 ± 0.04 ms) links.
+//!
+//! The experiments in the paper depend on slot counts, GPU counts, concurrency limits,
+//! launcher behaviour and link latencies — not on the machines' floating-point
+//! throughput — so this substrate preserves the behaviour that matters (see DESIGN.md §5).
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod launcher;
+pub mod network;
+pub mod resources;
+pub mod spec;
+
+pub use batch::{Allocation, AllocationRequest, BatchError, BatchSystem};
+pub use launcher::{LaunchModel, LauncherKind};
+pub use network::{LatencyProfile, NetworkLocality};
+pub use resources::{NodeSpec, ResourceError, ResourceRequest, Slot};
+pub use spec::{PlatformId, PlatformSpec};

@@ -1,0 +1,348 @@
+//! Resource model: nodes, cores, GPUs, memory, and placement slots.
+//!
+//! A [`NodeSpec`] describes the shape of a compute node; [`NodeState`] tracks which of
+//! its cores/GPUs/memory are in use; a [`Slot`] is a concrete reservation of resources on
+//! one node, handed to a task or a service instance for its lifetime. The pilot's
+//! scheduler allocates slots from its [`crate::batch::Allocation`] and releases them when
+//! the task or service completes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors raised by resource accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceError {
+    /// The request can never be satisfied by this node shape.
+    NeverSatisfiable {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// The request exceeds what is currently free (but could be satisfied later).
+    InsufficientResources,
+    /// A slot was released that does not belong to this node or was already released.
+    UnknownSlot(u64),
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::NeverSatisfiable { reason } => {
+                write!(f, "request can never be satisfied: {reason}")
+            }
+            ResourceError::InsufficientResources => write!(f, "insufficient free resources"),
+            ResourceError::UnknownSlot(id) => write!(f, "unknown or already released slot {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// Shape of a compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// CPU cores per node.
+    pub cores: u32,
+    /// GPUs (or GPU dies) per node.
+    pub gpus: u32,
+    /// Main memory per node, in GiB.
+    pub mem_gib: f64,
+    /// GPU memory per GPU, in GiB.
+    pub gpu_mem_gib: f64,
+}
+
+impl NodeSpec {
+    /// Create a node shape.
+    pub fn new(cores: u32, gpus: u32, mem_gib: f64, gpu_mem_gib: f64) -> Self {
+        NodeSpec { cores, gpus, mem_gib, gpu_mem_gib }
+    }
+}
+
+/// Resources requested for one task or service instance (always on a single node, like
+/// the paper's executable tasks; multi-node MPI tasks request `nodes > 1` full nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRequest {
+    /// CPU cores.
+    pub cores: u32,
+    /// GPUs.
+    pub gpus: u32,
+    /// Main memory in GiB (0.0 = don't care).
+    pub mem_gib: f64,
+}
+
+impl ResourceRequest {
+    /// A request for `cores` cores and no GPU.
+    pub fn cores(cores: u32) -> Self {
+        ResourceRequest { cores, gpus: 0, mem_gib: 0.0 }
+    }
+
+    /// A request for `gpus` GPUs and one core per GPU.
+    pub fn gpus(gpus: u32) -> Self {
+        ResourceRequest { cores: gpus.max(1), gpus, mem_gib: 0.0 }
+    }
+
+    /// Add a memory requirement.
+    pub fn with_mem_gib(mut self, mem: f64) -> Self {
+        self.mem_gib = mem;
+        self
+    }
+
+    /// True if the request is empty (nothing to allocate).
+    pub fn is_empty(&self) -> bool {
+        self.cores == 0 && self.gpus == 0 && self.mem_gib <= 0.0
+    }
+}
+
+impl Default for ResourceRequest {
+    fn default() -> Self {
+        ResourceRequest::cores(1)
+    }
+}
+
+/// A concrete reservation of resources on one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Unique slot identifier (within its allocation).
+    pub id: u64,
+    /// Index of the node within the allocation.
+    pub node_index: usize,
+    /// Node hostname (synthetic, e.g. `frontier-0042`).
+    pub node_name: String,
+    /// Core indices reserved on the node.
+    pub core_ids: Vec<u32>,
+    /// GPU indices reserved on the node.
+    pub gpu_ids: Vec<u32>,
+    /// Memory reserved, GiB.
+    pub mem_gib: f64,
+}
+
+impl Slot {
+    /// Number of cores in the slot.
+    pub fn num_cores(&self) -> usize {
+        self.core_ids.len()
+    }
+
+    /// Number of GPUs in the slot.
+    pub fn num_gpus(&self) -> usize {
+        self.gpu_ids.len()
+    }
+}
+
+/// Mutable occupancy state of one node.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Node shape.
+    pub spec: NodeSpec,
+    /// Node hostname.
+    pub name: String,
+    core_free: Vec<bool>,
+    gpu_free: Vec<bool>,
+    mem_free_gib: f64,
+}
+
+impl NodeState {
+    /// Create a fully free node.
+    pub fn new(name: impl Into<String>, spec: NodeSpec) -> Self {
+        NodeState {
+            spec,
+            name: name.into(),
+            core_free: vec![true; spec.cores as usize],
+            gpu_free: vec![true; spec.gpus as usize],
+            mem_free_gib: spec.mem_gib,
+        }
+    }
+
+    /// Number of currently free cores.
+    pub fn free_cores(&self) -> u32 {
+        self.core_free.iter().filter(|f| **f).count() as u32
+    }
+
+    /// Number of currently free GPUs.
+    pub fn free_gpus(&self) -> u32 {
+        self.gpu_free.iter().filter(|f| **f).count() as u32
+    }
+
+    /// Currently free memory, GiB.
+    pub fn free_mem_gib(&self) -> f64 {
+        self.mem_free_gib
+    }
+
+    /// True if the node has no reservations at all.
+    pub fn is_idle(&self) -> bool {
+        self.free_cores() == self.spec.cores
+            && self.free_gpus() == self.spec.gpus
+            && (self.mem_free_gib - self.spec.mem_gib).abs() < 1e-9
+    }
+
+    /// Whether `req` could ever fit this node shape (ignoring current occupancy).
+    pub fn can_ever_fit(&self, req: &ResourceRequest) -> bool {
+        req.cores <= self.spec.cores && req.gpus <= self.spec.gpus && req.mem_gib <= self.spec.mem_gib
+    }
+
+    /// Whether `req` fits the node right now.
+    pub fn can_fit_now(&self, req: &ResourceRequest) -> bool {
+        req.cores <= self.free_cores() && req.gpus <= self.free_gpus() && req.mem_gib <= self.mem_free_gib + 1e-9
+    }
+
+    /// Try to reserve `req` on this node, returning the concrete core/GPU indices.
+    pub fn try_reserve(
+        &mut self,
+        req: &ResourceRequest,
+    ) -> Result<(Vec<u32>, Vec<u32>, f64), ResourceError> {
+        if !self.can_ever_fit(req) {
+            return Err(ResourceError::NeverSatisfiable {
+                reason: format!(
+                    "request ({} cores, {} gpus, {:.1} GiB) exceeds node shape ({} cores, {} gpus, {:.1} GiB)",
+                    req.cores, req.gpus, req.mem_gib, self.spec.cores, self.spec.gpus, self.spec.mem_gib
+                ),
+            });
+        }
+        if !self.can_fit_now(req) {
+            return Err(ResourceError::InsufficientResources);
+        }
+        let mut cores = Vec::with_capacity(req.cores as usize);
+        for (idx, free) in self.core_free.iter_mut().enumerate() {
+            if cores.len() == req.cores as usize {
+                break;
+            }
+            if *free {
+                *free = false;
+                cores.push(idx as u32);
+            }
+        }
+        let mut gpus = Vec::with_capacity(req.gpus as usize);
+        for (idx, free) in self.gpu_free.iter_mut().enumerate() {
+            if gpus.len() == req.gpus as usize {
+                break;
+            }
+            if *free {
+                *free = false;
+                gpus.push(idx as u32);
+            }
+        }
+        self.mem_free_gib -= req.mem_gib;
+        Ok((cores, gpus, req.mem_gib))
+    }
+
+    /// Release previously reserved resources.
+    pub fn release(&mut self, core_ids: &[u32], gpu_ids: &[u32], mem_gib: f64) {
+        for &c in core_ids {
+            if let Some(f) = self.core_free.get_mut(c as usize) {
+                *f = true;
+            }
+        }
+        for &g in gpu_ids {
+            if let Some(f) = self.gpu_free.get_mut(g as usize) {
+                *f = true;
+            }
+        }
+        self.mem_free_gib = (self.mem_free_gib + mem_gib).min(self.spec.mem_gib);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeState {
+        NodeState::new("test-0000", NodeSpec::new(8, 4, 256.0, 40.0))
+    }
+
+    #[test]
+    fn fresh_node_is_idle() {
+        let n = node();
+        assert!(n.is_idle());
+        assert_eq!(n.free_cores(), 8);
+        assert_eq!(n.free_gpus(), 4);
+        assert_eq!(n.free_mem_gib(), 256.0);
+    }
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut n = node();
+        let req = ResourceRequest { cores: 2, gpus: 1, mem_gib: 64.0 };
+        let (cores, gpus, mem) = n.try_reserve(&req).unwrap();
+        assert_eq!(cores.len(), 2);
+        assert_eq!(gpus.len(), 1);
+        assert_eq!(mem, 64.0);
+        assert_eq!(n.free_cores(), 6);
+        assert_eq!(n.free_gpus(), 3);
+        assert!(!n.is_idle());
+        n.release(&cores, &gpus, mem);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn reserve_distinct_indices() {
+        let mut n = node();
+        let r1 = n.try_reserve(&ResourceRequest::gpus(2)).unwrap();
+        let r2 = n.try_reserve(&ResourceRequest::gpus(2)).unwrap();
+        let mut all: Vec<u32> = r1.1.iter().chain(r2.1.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4, "GPU indices must not be double-booked");
+    }
+
+    #[test]
+    fn oversized_request_is_never_satisfiable() {
+        let mut n = node();
+        let err = n.try_reserve(&ResourceRequest { cores: 9, gpus: 0, mem_gib: 0.0 }).unwrap_err();
+        assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
+        let err = n.try_reserve(&ResourceRequest { cores: 1, gpus: 5, mem_gib: 0.0 }).unwrap_err();
+        assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
+    }
+
+    #[test]
+    fn exhausted_node_reports_insufficient() {
+        let mut n = node();
+        let _ = n.try_reserve(&ResourceRequest::gpus(4)).unwrap();
+        let err = n.try_reserve(&ResourceRequest::gpus(1)).unwrap_err();
+        assert_eq!(err, ResourceError::InsufficientResources);
+    }
+
+    #[test]
+    fn release_is_idempotent_and_clamped() {
+        let mut n = node();
+        let req = ResourceRequest { cores: 1, gpus: 0, mem_gib: 10.0 };
+        let (c, g, m) = n.try_reserve(&req).unwrap();
+        n.release(&c, &g, m);
+        n.release(&c, &g, m); // double release must not overflow capacity
+        assert_eq!(n.free_cores(), 8);
+        assert!(n.free_mem_gib() <= 256.0 + 1e-9);
+    }
+
+    #[test]
+    fn resource_request_constructors() {
+        let r = ResourceRequest::cores(4);
+        assert_eq!(r.cores, 4);
+        assert_eq!(r.gpus, 0);
+        let g = ResourceRequest::gpus(2).with_mem_gib(32.0);
+        assert_eq!(g.gpus, 2);
+        assert_eq!(g.cores, 2);
+        assert_eq!(g.mem_gib, 32.0);
+        assert!(!g.is_empty());
+        assert!(ResourceRequest { cores: 0, gpus: 0, mem_gib: 0.0 }.is_empty());
+        assert_eq!(ResourceRequest::default(), ResourceRequest::cores(1));
+    }
+
+    #[test]
+    fn slot_accessors() {
+        let s = Slot {
+            id: 3,
+            node_index: 0,
+            node_name: "n0".into(),
+            core_ids: vec![0, 1],
+            gpu_ids: vec![2],
+            mem_gib: 8.0,
+        };
+        assert_eq!(s.num_cores(), 2);
+        assert_eq!(s.num_gpus(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ResourceError::UnknownSlot(9);
+        assert!(e.to_string().contains('9'));
+        assert!(ResourceError::InsufficientResources.to_string().contains("insufficient"));
+    }
+}

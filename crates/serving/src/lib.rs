@@ -1,0 +1,42 @@
+//! # hpcml-serving — model hosting and serving substrate
+//!
+//! The paper hosts a Meta Llama 3 8B model with **Ollama** behind each service instance,
+//! plus a **NOOP** model used to isolate communication overheads. Neither Ollama nor GPU
+//! inference is available to this reproduction, so this crate rebuilds the serving
+//! substrate with calibrated simulated backends:
+//!
+//! * [`model`] — [`ModelSpec`]: the model catalog entries (NOOP, llama-8b-class,
+//!   llama-70b-class, mistral-7b-class, a ViT classifier) with load-time, prompt-eval
+//!   and token-generation rate distributions and GPU memory footprints;
+//! * [`backend`] — [`ModelBackend`]: turns an [`InferenceRequest`] into token counts and
+//!   durations ([`NoopBackend`] replies instantly, [`SimLlmBackend`] models
+//!   prompt-processing + auto-regressive generation);
+//! * [`host`] — [`ModelHost`]: the Ollama stand-in. Loads a model (sleeping the sampled
+//!   load time on the virtual clock — the `init` component of the paper's bootstrap
+//!   time) and serves requests one at a time (the paper's services are single-threaded
+//!   and queue further incoming requests);
+//! * [`service`] — [`InferenceService`]: the serve loop binding a
+//!   [`hpcml_comm::ReqRepServer`] endpoint to a [`ModelHost`], decomposing each reply
+//!   into the paper's `service` and `inference` time components;
+//! * [`protocol`] — the message kinds and header keys of the service API (inference
+//!   requests/replies, readiness probes, shutdown).
+//!
+//! The calibration constants (load ≈ 30 s, ≈ 40 generated tokens/s for an 8B model on an
+//! A100-class GPU) reproduce the paper's qualitative result: model initialisation
+//! dominates bootstrap, and inference duration dominates response time by orders of
+//! magnitude over communication.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod host;
+pub mod model;
+pub mod protocol;
+pub mod request;
+pub mod service;
+
+pub use backend::{ModelBackend, NoopBackend, SimLlmBackend};
+pub use host::ModelHost;
+pub use model::{ModelKind, ModelSpec};
+pub use request::{InferenceRequest, InferenceResponse};
+pub use service::InferenceService;

@@ -1,0 +1,60 @@
+//! The service API protocol: message kinds and header keys.
+//!
+//! Every service instance, regardless of the model it hosts, speaks this protocol over
+//! its REQ/REP endpoint — this is the "unified API for ML models" of the paper's §III.
+//! The protocol is deliberately model-agnostic: an inference request carries an opaque
+//! prompt payload; replies carry the time-decomposition headers the metrics need.
+
+/// Message kind: inference request (client → service).
+pub const KIND_INFER_REQUEST: &str = "inference.request";
+/// Message kind: inference reply (service → client).
+pub const KIND_INFER_REPLY: &str = "inference.reply";
+/// Message kind: readiness/liveness probe (manager → service).
+pub const KIND_PING: &str = "service.ping";
+/// Message kind: probe acknowledgement (service → manager).
+pub const KIND_PONG: &str = "service.pong";
+/// Message kind: orderly shutdown request (manager → service).
+pub const KIND_SHUTDOWN: &str = "service.shutdown";
+/// Message kind: error reply (service → client).
+pub const KIND_ERROR: &str = "service.error";
+
+/// Header: time spent queued + parsing + serialising at the service, seconds.
+pub const HDR_SERVICE_SECS: &str = "svc.service_secs";
+/// Header: pure model compute time, seconds.
+pub const HDR_INFERENCE_SECS: &str = "svc.inference_secs";
+/// Header: name of the model that served the request.
+pub const HDR_MODEL: &str = "svc.model";
+/// Header: request identifier.
+pub const HDR_REQUEST_ID: &str = "svc.request_id";
+/// Header: number of generated tokens.
+pub const HDR_COMPLETION_TOKENS: &str = "svc.completion_tokens";
+/// Header: number of prompt tokens.
+pub const HDR_PROMPT_TOKENS: &str = "svc.prompt_tokens";
+/// Header: error description on `KIND_ERROR` replies.
+pub const HDR_ERROR: &str = "svc.error";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_headers_are_distinct() {
+        let all = [
+            KIND_INFER_REQUEST,
+            KIND_INFER_REPLY,
+            KIND_PING,
+            KIND_PONG,
+            KIND_SHUTDOWN,
+            KIND_ERROR,
+            HDR_SERVICE_SECS,
+            HDR_INFERENCE_SECS,
+            HDR_MODEL,
+            HDR_REQUEST_ID,
+            HDR_COMPLETION_TOKENS,
+            HDR_PROMPT_TOKENS,
+            HDR_ERROR,
+        ];
+        let unique: std::collections::HashSet<&str> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+}

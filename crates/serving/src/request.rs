@@ -1,0 +1,132 @@
+//! Inference request and response types exchanged over the service API.
+
+use serde::{Deserialize, Serialize};
+
+/// A single inference request submitted to a model service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Client-assigned request identifier.
+    pub request_id: String,
+    /// Prompt text (or image descriptor for classifier models).
+    pub prompt: String,
+    /// Upper bound on generated tokens.
+    pub max_tokens: u32,
+    /// Identifier of the requesting client (task id).
+    pub client_id: String,
+}
+
+impl InferenceRequest {
+    /// Create a request with a generated identifier.
+    pub fn new(prompt: impl Into<String>, max_tokens: u32) -> Self {
+        InferenceRequest {
+            request_id: hpcml_sim::ids::next_id("request"),
+            prompt: prompt.into(),
+            max_tokens,
+            client_id: String::new(),
+        }
+    }
+
+    /// Attach the requesting client's identifier.
+    pub fn from_client(mut self, client_id: impl Into<String>) -> Self {
+        self.client_id = client_id.into();
+        self
+    }
+
+    /// Rough prompt length in tokens (whitespace tokenisation ≈ 1.3 tokens per word,
+    /// which is accurate enough for duration modelling).
+    pub fn prompt_tokens(&self) -> u32 {
+        let words = self.prompt.split_whitespace().count() as f64;
+        (words * 1.3).ceil() as u32
+    }
+
+    /// Encode to a plain-text wire payload (`request_id\nclient\nmax_tokens\nprompt`).
+    pub fn to_payload(&self) -> String {
+        format!("{}\n{}\n{}\n{}", self.request_id, self.client_id, self.max_tokens, self.prompt)
+    }
+
+    /// Decode from the wire payload produced by [`InferenceRequest::to_payload`].
+    pub fn from_payload(payload: &str) -> Option<Self> {
+        let mut parts = payload.splitn(4, '\n');
+        let request_id = parts.next()?.to_string();
+        let client_id = parts.next()?.to_string();
+        let max_tokens: u32 = parts.next()?.parse().ok()?;
+        let prompt = parts.next().unwrap_or_default().to_string();
+        Some(InferenceRequest { request_id, prompt, max_tokens, client_id })
+    }
+}
+
+/// The result of serving one inference request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceResponse {
+    /// The request this responds to.
+    pub request_id: String,
+    /// Generated text (synthetic in this reproduction).
+    pub text: String,
+    /// Number of prompt tokens processed.
+    pub prompt_tokens: u32,
+    /// Number of tokens generated.
+    pub completion_tokens: u32,
+    /// Pure model compute time, seconds (the paper's `inference` component).
+    pub inference_secs: f64,
+    /// Time spent queued and being parsed/serialised by the service, seconds (the
+    /// paper's `service` component).
+    pub service_secs: f64,
+    /// Name of the model that served the request.
+    pub model: String,
+}
+
+impl InferenceResponse {
+    /// Total time spent at the service (queue + handling + compute).
+    pub fn server_side_secs(&self) -> f64 {
+        self.inference_secs + self.service_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_and_token_estimate() {
+        let r = InferenceRequest::new("what is the mechanism of low dose radiation damage", 128)
+            .from_client("task.000001");
+        assert_eq!(r.max_tokens, 128);
+        assert_eq!(r.client_id, "task.000001");
+        assert!(r.request_id.starts_with("request."));
+        // 9 words * 1.3 = 11.7 -> 12 tokens
+        assert_eq!(r.prompt_tokens(), 12);
+    }
+
+    #[test]
+    fn empty_prompt_has_zero_tokens() {
+        let r = InferenceRequest::new("", 8);
+        assert_eq!(r.prompt_tokens(), 0);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let r = InferenceRequest::new("multi\nline\nprompt with newlines", 64).from_client("task.7");
+        let decoded = InferenceRequest::from_payload(&r.to_payload()).unwrap();
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn payload_rejects_garbage() {
+        assert!(InferenceRequest::from_payload("only-one-field").is_none());
+        assert!(InferenceRequest::from_payload("a\nb\nnot-a-number\nprompt").is_none());
+    }
+
+    #[test]
+    fn response_totals() {
+        let resp = InferenceResponse {
+            request_id: "request.000001".into(),
+            text: "answer".into(),
+            prompt_tokens: 10,
+            completion_tokens: 50,
+            inference_secs: 2.5,
+            service_secs: 0.01,
+            model: "llama-8b".into(),
+        };
+        assert!((resp.server_side_secs() - 2.51).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,347 @@
+//! The inference service loop: binds a model host to a REQ/REP endpoint.
+//!
+//! [`InferenceService::serve`] is what runs inside a *service task* once the runtime has
+//! launched it: it receives requests from the endpoint, decomposes the time it spends on
+//! each one into the paper's `service` (queueing + parsing + serialising) and
+//! `inference` (model compute) components, stamps those onto the reply headers, and
+//! answers readiness probes and shutdown commands from the service manager.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hpcml_comm::message::Message;
+use hpcml_comm::reqrep::{ReqRepServer, Responder, HDR_ENQUEUED_AT};
+use hpcml_sim::clock::SharedClock;
+use hpcml_sim::dist::Dist;
+
+use crate::host::ModelHost;
+use crate::protocol::*;
+use crate::request::InferenceRequest;
+
+/// How long the serve loop blocks on the endpoint before re-checking its stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// The serve loop of one service instance.
+pub struct InferenceService {
+    name: String,
+    host: Arc<ModelHost>,
+    clock: SharedClock,
+    /// Request parsing/serialisation overhead (the non-queue part of `service` time).
+    handling_overhead: Dist,
+    rng: Mutex<StdRng>,
+    requests_served: AtomicU64,
+}
+
+impl std::fmt::Debug for InferenceService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceService")
+            .field("name", &self.name)
+            .field("model", &self.host.spec().name)
+            .field("requests_served", &self.requests_served())
+            .finish()
+    }
+}
+
+impl InferenceService {
+    /// Create a service around a loaded (or to-be-loaded) model host.
+    pub fn new(name: impl Into<String>, host: Arc<ModelHost>, clock: SharedClock, seed: u64) -> Self {
+        InferenceService {
+            name: name.into(),
+            host,
+            clock,
+            // Parsing + reply serialisation: tens of microseconds, so the "service"
+            // component stays below the network latency for NOOP calls (Figs. 4-5).
+            handling_overhead: Dist::normal(0.00003, 0.00001),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            requests_served: AtomicU64::new(0),
+        }
+    }
+
+    /// Service name (usually the service task id).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hosted model.
+    pub fn host(&self) -> &Arc<ModelHost> {
+        &self.host
+    }
+
+    /// Requests served by this service loop.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Run the serve loop until `stop` is set or a shutdown message arrives.
+    /// Returns the number of requests served in this invocation.
+    pub fn serve(&self, endpoint: &ReqRepServer, stop: &AtomicBool) -> u64 {
+        let mut served = 0;
+        while !stop.load(Ordering::Acquire) {
+            match endpoint.recv_timeout(POLL_INTERVAL) {
+                Ok((msg, responder)) => {
+                    let is_shutdown = msg.kind == KIND_SHUTDOWN;
+                    self.dispatch(msg, responder);
+                    if is_shutdown {
+                        break;
+                    }
+                    served += 1;
+                }
+                Err(hpcml_comm::CommError::Timeout) => continue,
+                Err(_) => break,
+            }
+        }
+        served
+    }
+
+    /// Handle one message (used directly by unit tests and by [`InferenceService::serve`]).
+    pub fn dispatch(&self, msg: Message, responder: Responder) {
+        match msg.kind.as_str() {
+            KIND_PING => {
+                let ready = self.host.is_loaded();
+                let reply = Message::new(msg.topic.clone(), KIND_PONG)
+                    .with_header("ready", if ready { "true" } else { "false" })
+                    .with_header(HDR_MODEL, self.host.spec().name.clone());
+                let _ = responder.reply(reply);
+            }
+            KIND_SHUTDOWN => {
+                let reply = Message::new(msg.topic.clone(), KIND_PONG).with_header("stopping", "true");
+                let _ = responder.reply(reply);
+            }
+            KIND_INFER_REQUEST => {
+                self.handle_inference(msg, responder);
+            }
+            other => {
+                let reply = Message::new(msg.topic.clone(), KIND_ERROR)
+                    .with_header(HDR_ERROR, format!("unknown message kind: {other}"));
+                let _ = responder.reply(reply);
+            }
+        }
+    }
+
+    fn handle_inference(&self, msg: Message, responder: Responder) {
+        let dequeued_at = self.clock.now().as_secs_f64();
+        // Time the request spent waiting in the endpoint queue (the paper counts this
+        // in the `service` component).
+        let queue_secs = msg
+            .f64_header(HDR_ENQUEUED_AT)
+            .map(|enq| (dequeued_at - enq).max(0.0))
+            .unwrap_or(0.0);
+
+        // Parsing / deserialisation overhead.
+        let handling_secs = {
+            let mut rng = self.rng.lock();
+            self.handling_overhead.sample(&mut *rng).max(0.0)
+        };
+        self.clock.sleep(Duration::from_secs_f64(handling_secs));
+
+        let request = match msg.text().and_then(InferenceRequest::from_payload) {
+            Some(r) => r,
+            None => {
+                let reply = Message::new(msg.topic.clone(), KIND_ERROR)
+                    .with_header(HDR_ERROR, "malformed inference request payload");
+                let _ = responder.reply(reply);
+                return;
+            }
+        };
+
+        match self.host.handle(&request) {
+            Ok(resp) => {
+                self.requests_served.fetch_add(1, Ordering::Relaxed);
+                let service_secs = queue_secs + handling_secs;
+                let reply = Message::new(msg.topic.clone(), KIND_INFER_REPLY)
+                    .with_header(HDR_REQUEST_ID, resp.request_id.clone())
+                    .with_header(HDR_MODEL, resp.model.clone())
+                    .with_f64_header(HDR_SERVICE_SECS, service_secs)
+                    .with_f64_header(HDR_INFERENCE_SECS, resp.inference_secs)
+                    .with_header(HDR_PROMPT_TOKENS, resp.prompt_tokens.to_string())
+                    .with_header(HDR_COMPLETION_TOKENS, resp.completion_tokens.to_string())
+                    .with_text(&resp.text);
+                let _ = responder.reply(reply);
+            }
+            Err(err) => {
+                let reply = Message::new(msg.topic.clone(), KIND_ERROR)
+                    .with_header(HDR_ERROR, err.to_string())
+                    .with_header(HDR_REQUEST_ID, request.request_id);
+                let _ = responder.reply(reply);
+            }
+        }
+    }
+}
+
+/// Build the wire message for an inference request (client side helper).
+pub fn inference_request_message(endpoint: &str, request: &InferenceRequest) -> Message {
+    Message::new(endpoint, KIND_INFER_REQUEST)
+        .with_header(HDR_REQUEST_ID, request.request_id.clone())
+        .with_text(&request.to_payload())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::shared_host;
+    use crate::model::ModelSpec;
+    use hpcml_comm::link::Link;
+    use hpcml_sim::clock::ClockSpec;
+    use std::thread;
+
+    // Moderate compression: real scheduling jitter (tens of µs) stays well below the
+    // virtual durations asserted on (hundreds of ms and up).
+    fn clock() -> SharedClock {
+        ClockSpec::scaled(1000.0).build()
+    }
+
+    fn start_service(
+        spec: ModelSpec,
+        clock: SharedClock,
+    ) -> (Arc<AtomicBool>, thread::JoinHandle<u64>, hpcml_comm::ReqRepClient) {
+        let host = shared_host(spec, Arc::clone(&clock), 7);
+        host.load();
+        let service = InferenceService::new("svc.test", host, Arc::clone(&clock), 8);
+        let endpoint = ReqRepServer::new("svc.test");
+        let client = endpoint.client(Link::instant(Arc::clone(&clock)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::spawn(move || service.serve(&endpoint, &stop2));
+        (stop, handle, client)
+    }
+
+    #[test]
+    fn ping_reports_readiness() {
+        let c = clock();
+        let (stop, handle, client) = start_service(ModelSpec::noop(), Arc::clone(&c));
+        let reply = client.request(Message::new("svc.test", KIND_PING)).unwrap();
+        assert_eq!(reply.kind, KIND_PONG);
+        assert_eq!(reply.header("ready"), Some("true"));
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn noop_inference_has_negligible_inference_time() {
+        let c = clock();
+        let (stop, handle, client) = start_service(ModelSpec::noop(), Arc::clone(&c));
+        let req = InferenceRequest::new("ping", 1).from_client("task.0");
+        let reply = client.request(inference_request_message("svc.test", &req)).unwrap();
+        assert_eq!(reply.kind, KIND_INFER_REPLY);
+        assert_eq!(reply.f64_header(HDR_INFERENCE_SECS), Some(0.0));
+        assert!(reply.f64_header(HDR_SERVICE_SECS).unwrap() >= 0.0);
+        assert_eq!(reply.header(HDR_MODEL), Some("noop"));
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn llm_inference_reports_dominant_inference_time() {
+        let c = clock();
+        let (stop, handle, client) = start_service(ModelSpec::sim_llama_8b(), Arc::clone(&c));
+        let req = InferenceRequest::new(&"word ".repeat(60), 128).from_client("task.1");
+        let reply = client.request(inference_request_message("svc.test", &req)).unwrap();
+        assert_eq!(reply.kind, KIND_INFER_REPLY);
+        let inference = reply.f64_header(HDR_INFERENCE_SECS).unwrap();
+        let service = reply.f64_header(HDR_SERVICE_SECS).unwrap();
+        assert!(inference > 0.5, "inference {inference}");
+        assert!(service < inference, "service {service} must be dwarfed by inference {inference}");
+        let tokens: u32 = reply.header(HDR_COMPLETION_TOKENS).unwrap().parse().unwrap();
+        assert!(tokens >= 1);
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_payload_yields_error_reply() {
+        let c = clock();
+        let (stop, handle, client) = start_service(ModelSpec::noop(), Arc::clone(&c));
+        let reply = client
+            .request(Message::new("svc.test", KIND_INFER_REQUEST).with_text("not a valid payload"))
+            .unwrap();
+        assert_eq!(reply.kind, KIND_ERROR);
+        assert!(reply.header(HDR_ERROR).unwrap().contains("malformed"));
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_kind_yields_error_reply() {
+        let c = clock();
+        let (stop, handle, client) = start_service(ModelSpec::noop(), Arc::clone(&c));
+        let reply = client.request(Message::new("svc.test", "bogus.kind")).unwrap();
+        assert_eq!(reply.kind, KIND_ERROR);
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_message_stops_the_loop() {
+        let c = clock();
+        let (_stop, handle, client) = start_service(ModelSpec::noop(), Arc::clone(&c));
+        let reply = client.request(Message::new("svc.test", KIND_SHUTDOWN)).unwrap();
+        assert_eq!(reply.header("stopping"), Some("true"));
+        // The loop must exit on its own without the stop flag being set.
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unloaded_host_reports_not_ready_and_errors() {
+        let c = clock();
+        let host = shared_host(ModelSpec::sim_llama_8b(), Arc::clone(&c), 9);
+        // Deliberately not loaded.
+        let service = InferenceService::new("svc.cold", Arc::clone(&host), Arc::clone(&c), 10);
+        let endpoint = ReqRepServer::new("svc.cold");
+        let client = endpoint.client(Link::instant(Arc::clone(&c)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::spawn(move || service.serve(&endpoint, &stop2));
+
+        let pong = client.request(Message::new("svc.cold", KIND_PING)).unwrap();
+        assert_eq!(pong.header("ready"), Some("false"));
+        let req = InferenceRequest::new("early", 4);
+        let reply = client.request(inference_request_message("svc.cold", &req)).unwrap();
+        assert_eq!(reply.kind, KIND_ERROR);
+        assert!(reply.header(HDR_ERROR).unwrap().contains("not loaded"));
+
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn queueing_shows_up_in_service_time() {
+        // One single-threaded service, two clients racing: the second's reply must
+        // include queue time roughly equal to the first request's inference time.
+        let c = clock();
+        let host = shared_host(ModelSpec::sim_llama_8b(), Arc::clone(&c), 20);
+        host.load();
+        let service = Arc::new(InferenceService::new("svc.q", host, Arc::clone(&c), 21));
+        let endpoint = ReqRepServer::new("svc.q");
+        let client_a = endpoint.client(Link::instant(Arc::clone(&c)));
+        let client_b = endpoint.client(Link::instant(Arc::clone(&c)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let svc = Arc::clone(&service);
+        let server_thread = thread::spawn(move || svc.serve(&endpoint, &stop2));
+
+        let send = |client: hpcml_comm::ReqRepClient| {
+            thread::spawn(move || {
+                let req = InferenceRequest::new(&"w ".repeat(40), 64);
+                client.request(inference_request_message("svc.q", &req)).unwrap()
+            })
+        };
+        let h1 = send(client_a);
+        let h2 = send(client_b);
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        let max_service = r1
+            .f64_header(HDR_SERVICE_SECS)
+            .unwrap()
+            .max(r2.f64_header(HDR_SERVICE_SECS).unwrap());
+        // One of the two requests must have waited for the other's inference.
+        assert!(max_service > 0.3, "queued request should show queue time, got {max_service}");
+        assert_eq!(service.requests_served(), 2);
+        stop.store(true, Ordering::Release);
+        server_thread.join().unwrap();
+    }
+}

@@ -1,0 +1,498 @@
+//! Virtual time: clocks, time points, and stopwatches.
+//!
+//! The runtime performs its orchestration with real threads, but every hardware-bound
+//! wait (model load, token generation, WAN latency, launcher start-up) is expressed as a
+//! *virtual* sleep on a [`Clock`]. Exchanging the clock implementation lets the same code
+//! run in real time (examples), compressed time (benchmarks reproducing the paper's
+//! figures), or fully deterministic manual time (unit tests).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, measured from the owning clock's epoch.
+///
+/// `SimTime` is an absolute time stamp; differences between two stamps are
+/// [`Duration`]s. All recorded experiment metrics are durations of virtual time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(Duration);
+
+impl SimTime {
+    /// The clock epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(Duration::ZERO);
+
+    /// Construct a time stamp from seconds since the epoch.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(Duration::from_secs_f64(secs.max(0.0)))
+    }
+
+    /// Construct a time stamp from a duration since the epoch.
+    pub fn from_duration(d: Duration) -> Self {
+        SimTime(d)
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0.as_secs_f64()
+    }
+
+    /// The underlying duration since the epoch.
+    pub fn as_duration(&self) -> Duration {
+        self.0
+    }
+
+    /// Duration elapsed since an earlier time stamp (saturating at zero).
+    pub fn since(&self, earlier: SimTime) -> Duration {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+/// A source of virtual time.
+///
+/// Implementations must be cheap to clone behind an [`Arc`] and safe to share across the
+/// many threads of the runtime (executor workers, service threads, manager threads).
+pub trait Clock: Send + Sync {
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Block the calling thread for `d` of virtual time.
+    fn sleep(&self, d: Duration);
+
+    /// Virtual-to-real compression factor (1.0 for a real-time clock).
+    fn scale(&self) -> f64 {
+        1.0
+    }
+
+    /// Human-readable description, used in experiment metadata.
+    fn describe(&self) -> String {
+        format!("clock(scale={})", self.scale())
+    }
+}
+
+/// Shared, dynamically dispatched clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Declarative clock configuration, serialisable into experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClockSpec {
+    /// Wall-clock time, no compression.
+    Real,
+    /// Compressed time: one virtual second takes `1/scale` real seconds.
+    Scaled(f64),
+    /// Fully manual time, advanced explicitly by the test driver.
+    Manual,
+}
+
+impl ClockSpec {
+    /// Convenience constructor for a scaled clock.
+    pub fn scaled(scale: f64) -> Self {
+        ClockSpec::Scaled(scale)
+    }
+
+    /// Build the clock described by this spec.
+    pub fn build(&self) -> SharedClock {
+        match *self {
+            ClockSpec::Real => Arc::new(RealClock::new()),
+            ClockSpec::Scaled(s) => Arc::new(ScaledClock::new(s)),
+            ClockSpec::Manual => Arc::new(ManualClock::new()),
+        }
+    }
+}
+
+impl Default for ClockSpec {
+    fn default() -> Self {
+        ClockSpec::Scaled(1000.0)
+    }
+}
+
+/// Wall-clock backed clock: virtual time equals real elapsed time.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// Create a real-time clock whose epoch is "now".
+    pub fn new() -> Self {
+        RealClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed())
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+
+    fn describe(&self) -> String {
+        "real".to_string()
+    }
+}
+
+/// Compressed clock: `scale` virtual seconds elapse per real second.
+///
+/// A scale of 1000 means a 30 s model load is simulated by a 30 ms real sleep while the
+/// recorded virtual duration remains 30 s. Orchestration work (queueing, scheduling,
+/// message passing) still takes its real time, which is also accounted in virtual time —
+/// i.e. it is *scaled up*. For the experiments this is conservative: real runtime
+/// overheads appear `scale`× larger, so if the reproduced overheads are still negligible
+/// the paper's conclusion holds a fortiori. The harness reports both.
+#[derive(Debug)]
+pub struct ScaledClock {
+    epoch: Instant,
+    scale: f64,
+}
+
+impl ScaledClock {
+    /// Create a scaled clock with the given compression factor (must be > 0).
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "clock scale must be positive, got {scale}");
+        ScaledClock { epoch: Instant::now(), scale }
+    }
+}
+
+impl Clock for ScaledClock {
+    fn now(&self) -> SimTime {
+        SimTime(Duration::from_secs_f64(self.epoch.elapsed().as_secs_f64() * self.scale))
+    }
+
+    fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let real = Duration::from_secs_f64(d.as_secs_f64() / self.scale);
+        // Sleeping less than ~50µs real time is dominated by scheduler jitter; spin
+        // instead so short virtual delays stay approximately proportional.
+        if real < Duration::from_micros(50) {
+            let start = Instant::now();
+            while start.elapsed() < real {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::sleep(real);
+        }
+    }
+
+    fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn describe(&self) -> String {
+        format!("scaled(x{})", self.scale)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Waiter {
+    deadline: SimTime,
+    seq: u64,
+}
+
+impl Ord for Waiter {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on deadline.
+        other.deadline.cmp(&self.deadline).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Waiter {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Default)]
+struct ManualState {
+    now: SimTime,
+    pending: BinaryHeap<Waiter>,
+    next_seq: u64,
+}
+
+/// Deterministic clock advanced explicitly by the test driver.
+///
+/// Threads calling [`Clock::sleep`] block until the driver advances time past their
+/// deadline with [`ManualClock::advance`] or [`ManualClock::advance_to_next`].
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    state: Mutex<ManualState>,
+    cond: Condvar,
+}
+
+impl ManualClock {
+    /// Create a manual clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance virtual time by `d`, waking every sleeper whose deadline has passed.
+    pub fn advance(&self, d: Duration) {
+        let mut st = self.state.lock();
+        st.now += d;
+        self.cond.notify_all();
+    }
+
+    /// Advance to the earliest pending deadline, if any. Returns the new time.
+    pub fn advance_to_next(&self) -> SimTime {
+        let mut st = self.state.lock();
+        if let Some(w) = st.pending.peek().copied() {
+            if w.deadline > st.now {
+                st.now = w.deadline;
+            }
+        }
+        let now = st.now;
+        self.cond.notify_all();
+        now
+    }
+
+    /// Number of threads currently blocked in [`Clock::sleep`].
+    pub fn pending_sleepers(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        self.state.lock().now
+    }
+
+    fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let deadline = st.now + d;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.pending.push(Waiter { deadline, seq });
+        while st.now < deadline {
+            self.cond.wait(&mut st);
+        }
+        // Remove our waiter entry (deadlines already passed may remain from other
+        // sleepers; retain everything that is not us).
+        let mut kept: BinaryHeap<Waiter> = BinaryHeap::with_capacity(st.pending.len());
+        for w in st.pending.drain() {
+            if w.seq != seq {
+                kept.push(w);
+            }
+        }
+        st.pending = kept;
+    }
+
+    fn scale(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn describe(&self) -> String {
+        "manual".to_string()
+    }
+}
+
+/// Measures virtual durations against a shared clock.
+#[derive(Clone)]
+pub struct Stopwatch {
+    clock: SharedClock,
+    start: SimTime,
+}
+
+impl Stopwatch {
+    /// Start a stopwatch now.
+    pub fn start(clock: SharedClock) -> Self {
+        let start = clock.now();
+        Stopwatch { clock, start }
+    }
+
+    /// Virtual time elapsed since the stopwatch was started.
+    pub fn elapsed(&self) -> Duration {
+        self.clock.now().since(self.start)
+    }
+
+    /// Virtual time elapsed, in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restart the stopwatch and return the lap duration.
+    pub fn lap(&mut self) -> Duration {
+        let now = self.clock.now();
+        let lap = now.since(self.start);
+        self.start = now;
+        lap
+    }
+
+    /// The time at which the stopwatch was (re)started.
+    pub fn started_at(&self) -> SimTime {
+        self.start
+    }
+}
+
+impl fmt::Debug for Stopwatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stopwatch")
+            .field("start", &self.start)
+            .field("elapsed", &self.elapsed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let a = SimTime::from_secs_f64(1.5);
+        let b = a + Duration::from_millis(500);
+        assert!((b.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(b - a, Duration::from_millis(500));
+        assert_eq!(a - b, Duration::ZERO, "subtraction saturates");
+        assert_eq!(b.since(a), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn sim_time_negative_secs_clamped() {
+        let t = SimTime::from_secs_f64(-3.0);
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn real_clock_advances() {
+        let c = RealClock::new();
+        let t0 = c.now();
+        c.sleep(Duration::from_millis(5));
+        let t1 = c.now();
+        assert!(t1.since(t0) >= Duration::from_millis(4));
+        assert_eq!(c.scale(), 1.0);
+    }
+
+    #[test]
+    fn scaled_clock_compresses_time() {
+        let c = ScaledClock::new(1000.0);
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(2)); // 2 virtual seconds == 2ms real
+        let real_elapsed = wall.elapsed();
+        assert!(real_elapsed < Duration::from_millis(500), "real elapsed {real_elapsed:?}");
+        assert!(c.now().as_secs_f64() >= 1.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_clock_rejects_zero_scale() {
+        let _ = ScaledClock::new(0.0);
+    }
+
+    #[test]
+    fn manual_clock_wakes_sleepers_in_order() {
+        let c = Arc::new(ManualClock::new());
+        let c1 = Arc::clone(&c);
+        let c2 = Arc::clone(&c);
+        let h1 = thread::spawn(move || {
+            c1.sleep(Duration::from_secs(5));
+            c1.now()
+        });
+        let h2 = thread::spawn(move || {
+            c2.sleep(Duration::from_secs(10));
+            c2.now()
+        });
+        // Wait until both sleepers registered.
+        while c.pending_sleepers() < 2 {
+            thread::yield_now();
+        }
+        c.advance(Duration::from_secs(5));
+        let woke1 = h1.join().unwrap();
+        assert_eq!(woke1.as_secs_f64() as u64, 5);
+        assert_eq!(c.pending_sleepers(), 1);
+        c.advance(Duration::from_secs(5));
+        let woke2 = h2.join().unwrap();
+        assert_eq!(woke2.as_secs_f64() as u64, 10);
+        assert_eq!(c.pending_sleepers(), 0);
+    }
+
+    #[test]
+    fn manual_clock_advance_to_next() {
+        let c = Arc::new(ManualClock::new());
+        let cc = Arc::clone(&c);
+        let h = thread::spawn(move || cc.sleep(Duration::from_millis(1500)));
+        while c.pending_sleepers() < 1 {
+            thread::yield_now();
+        }
+        let t = c.advance_to_next();
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn clock_spec_builds_expected_variants() {
+        assert_eq!(ClockSpec::Real.build().scale(), 1.0);
+        assert_eq!(ClockSpec::scaled(250.0).build().scale(), 250.0);
+        assert!(ClockSpec::Manual.build().scale().is_infinite());
+        assert_eq!(ClockSpec::default(), ClockSpec::Scaled(1000.0));
+    }
+
+    #[test]
+    fn stopwatch_measures_virtual_time() {
+        let clock: SharedClock = Arc::new(ScaledClock::new(1000.0));
+        let mut sw = Stopwatch::start(Arc::clone(&clock));
+        clock.sleep(Duration::from_secs(3));
+        assert!(sw.elapsed_secs() >= 2.9);
+        let lap = sw.lap();
+        assert!(lap.as_secs_f64() >= 2.9);
+        assert!(sw.elapsed_secs() < 1.0);
+    }
+
+    #[test]
+    fn zero_sleep_returns_immediately() {
+        let c = ManualClock::new();
+        c.sleep(Duration::ZERO); // must not deadlock
+        assert_eq!(c.pending_sleepers(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hpcml-workflows — workflow layer and LUCID use-case pipelines
+//!
+//! The paper assumes "workflow or pipeline applications are described via workflow
+//! management systems" sitting above the runtime (EnTK, Parsl, AirFlow in Fig. 1). This
+//! crate provides that layer for the reproduction:
+//!
+//! * [`dsl`] — an EnTK-like Pipeline → Stage → Task model with a synchronous-per-stage,
+//!   concurrent-within-stage runner on top of [`hpcml_runtime::Session`]; stages may
+//!   declare services that are brought up before the stage's tasks and torn down after;
+//! * [`hpo`] — a minimal hyper-parameter-optimisation engine (random and quantile-guided
+//!   samplers) standing in for Optuna in the Cell Painting pipeline;
+//! * [`lucid`] — the three LUCID pipelines of the paper's §II (Table I): Cell Painting,
+//!   Signature Detection, and Uncertainty Quantification, parameterised so they can run
+//!   at laptop scale while exercising the same runtime code paths (services, concurrent
+//!   tasks, staging, hybrid CPU/GPU workloads).
+
+#![warn(missing_docs)]
+
+pub mod dsl;
+pub mod hpo;
+pub mod lucid;
+
+pub use dsl::{Pipeline, PipelineReport, PipelineRunner, Stage, StageReport};
+pub use hpo::{HpoStudy, ParamSpec, SamplerKind, Trial};
+
+/// Commonly used types, re-exported for `use hpcml_workflows::prelude::*`.
+pub mod prelude {
+    pub use crate::dsl::{Pipeline, PipelineReport, PipelineRunner, Stage, StageReport};
+    pub use crate::hpo::{HpoStudy, ParamSpec, SamplerKind, Trial};
+    pub use crate::lucid::{
+        cell_painting_pipeline, signature_detection_pipeline, uncertainty_quantification_pipeline,
+        use_case_table, CellPaintingConfig, SignatureDetectionConfig, UqConfig, UseCaseRow,
+    };
+}

@@ -1,0 +1,39 @@
+//! The LUCID Uncertainty Quantification pipeline (paper §II-C) end to end at reduced
+//! scale: a three-level hierarchy of GPU fine-tuning tasks (models × UQ methods ×
+//! seeds) followed by service-assisted post-processing.
+//!
+//! Run with: `cargo run --example uq_pipeline`
+
+use std::time::Duration;
+
+use hpcml::prelude::*;
+
+fn main() {
+    let session = Session::builder("uq")
+        .platform(PlatformId::Delta)
+        .clock(ClockSpec::scaled(5000.0))
+        .seed(17)
+        .build()
+        .expect("session");
+    session
+        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(4).runtime_secs(7200.0))
+        .expect("pilot");
+
+    let mut config = UqConfig::test_scale();
+    config.methods = vec!["bayesian-lora".to_string(), "lora-ensemble".to_string(), "mc-dropout".to_string()];
+    config.seeds = 3;
+    config.models = vec!["llama-8b".to_string(), "mistral-7b".to_string()];
+    config.finetune_secs = 20.0;
+    println!("UQ hierarchy expands to {} GPU fine-tuning tasks", config.total_uq_tasks());
+
+    let pipeline = uncertainty_quantification_pipeline(&config);
+    let report = PipelineRunner::new(&session)
+        .stage_timeout(Duration::from_secs(600))
+        .run(&pipeline)
+        .expect("pipeline run");
+    print!("{}", report.render());
+
+    let metrics = session.metrics();
+    println!("post-processing LLM requests: {}", metrics.response_count());
+    session.close();
+}

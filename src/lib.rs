@@ -1,0 +1,72 @@
+//! # hpcml — scalable runtime for hybrid HPC/ML workflow applications
+//!
+//! This meta-crate re-exports the public API of the `hpcml` workspace, a from-scratch
+//! Rust reproduction of *"Scalable Runtime Architecture for Data-driven, Hybrid HPC and
+//! ML Workflow Applications"* (IPPS 2025, arXiv:2503.13343).
+//!
+//! The workspace is organised as a stack of substrates below the pilot runtime:
+//!
+//! * [`sim`] — clocks (real, scaled, manual), random distributions, statistics.
+//! * [`platform`] — simulated HPC platforms (Frontier, Delta, R3), batch system,
+//!   launchers with calibrated start-up overheads.
+//! * [`comm`] — ZeroMQ-like messaging: REQ/REP, PUB/SUB, queues, endpoint registry and
+//!   latency injection profiles.
+//! * [`serving`] — model hosting/serving: NOOP backend and a simulated llama-8b backend
+//!   behind an Ollama-like single-threaded host.
+//! * [`runtime`] — the paper's contribution: a pilot runtime extended with
+//!   service-oriented abstractions (`ServiceManager`, service tasks, readiness/liveness,
+//!   control channels) next to the classic `TaskManager`/`DataManager`/`Scheduler`/
+//!   `Executor` components.
+//! * [`workflows`] — an EnTK-like pipeline DSL and the three LUCID use-case pipelines.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use hpcml::prelude::*;
+//!
+//! let session = Session::builder("quickstart")
+//!     .platform(PlatformId::Delta)
+//!     .clock(ClockSpec::scaled(1000.0))
+//!     .build()
+//!     .expect("session");
+//!
+//! let pilot = session
+//!     .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(2).runtime_secs(3600.0))
+//!     .expect("pilot");
+//! pilot.wait_active().expect("pilot active");
+//!
+//! let svc = session
+//!     .submit_service(
+//!         ServiceDescription::new("llm-0")
+//!             .model(ModelSpec::sim_llama_8b())
+//!             .gpus(1),
+//!     )
+//!     .expect("service");
+//! svc.wait_ready().expect("service ready");
+//!
+//! let task = session
+//!     .submit_task(
+//!         TaskDescription::new("client-0")
+//!             .kind(TaskKind::inference_client("llm-0", 8))
+//!             .cores(1),
+//!     )
+//!     .expect("task");
+//! task.wait_done().expect("task done");
+//! session.close();
+//! ```
+
+pub use hpcml_comm as comm;
+pub use hpcml_platform as platform;
+pub use hpcml_runtime as runtime;
+pub use hpcml_serving as serving;
+pub use hpcml_sim as sim;
+pub use hpcml_workflows as workflows;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use hpcml_platform::{PlatformId, PlatformSpec};
+    pub use hpcml_runtime::prelude::*;
+    pub use hpcml_serving::ModelSpec;
+    pub use hpcml_sim::clock::ClockSpec;
+    pub use hpcml_workflows::prelude::*;
+}

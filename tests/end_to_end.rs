@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: client API → runtime → platform → serving, exercising
+//! the full local and remote deployment scenarios of the paper.
+
+use std::time::Duration;
+
+use hpcml::prelude::*;
+use hpcml::serving::ModelSpec;
+
+fn session(scale: f64) -> Session {
+    Session::builder("e2e")
+        .platform(PlatformId::Delta)
+        .clock(ClockSpec::scaled(scale))
+        .seed(1234)
+        .build()
+        .expect("session")
+}
+
+#[test]
+fn full_local_llm_scenario() {
+    // Moderate compression: the (scaled-up) real scheduling jitter in the communication
+    // component stays far below the seconds of llama-8b inference time.
+    let s = session(500.0);
+    let pilot = s
+        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(2).runtime_secs(7200.0))
+        .expect("pilot");
+    assert_eq!(pilot.state(), PilotState::Active);
+
+    // Two llama-8b services, one GPU each.
+    let services: Vec<_> = (0..2)
+        .map(|i| {
+            s.submit_service(
+                ServiceDescription::new(format!("llm-{i}")).model(ModelSpec::sim_llama_8b()).gpus(1),
+            )
+            .expect("service")
+        })
+        .collect();
+    for svc in &services {
+        svc.wait_ready_timeout(Duration::from_secs(60)).expect("ready");
+        let bt = svc.bootstrap_times().expect("bootstrap recorded");
+        assert!(bt.init_secs > bt.launch_secs, "model init dominates bootstrap");
+        assert!(bt.publish_secs < bt.launch_secs, "publish below launch (MPI platform)");
+    }
+    assert_eq!(s.metrics().bootstrap_count(), 2);
+
+    // Liveness probes answer.
+    assert!(s.service_manager().probe("llm-0").unwrap());
+    assert!(s.service_manager().probe("llm-1").unwrap());
+
+    // Four clients spread requests across both services.
+    let tasks: Vec<_> = (0..4)
+        .map(|i| {
+            s.submit_task(
+                TaskDescription::new(format!("client-{i}"))
+                    .kind(TaskKind::inference_client_for_model("llama-8b", 4))
+                    .cores(1),
+            )
+            .expect("task")
+        })
+        .collect();
+    for t in &tasks {
+        assert_eq!(t.wait_done_timeout(Duration::from_secs(300)).expect("done"), TaskState::Done);
+    }
+
+    let metrics = s.metrics();
+    assert_eq!(metrics.response_count(), 16);
+    let summaries = metrics.response_summaries();
+    // With a real model the inference component dominates communication by orders of
+    // magnitude (the paper's experiment 3 conclusion).
+    assert!(summaries["inference"].mean > 10.0 * summaries["communication"].mean);
+    assert!(summaries["inference"].mean > 0.5);
+
+    // Orderly shutdown: services reach Stopped, slots return to the pool.
+    s.close();
+    for svc in &services {
+        assert_eq!(svc.state(), ServiceState::Stopped);
+    }
+}
+
+#[test]
+fn remote_services_skip_bootstrap_accounting_but_serve_requests() {
+    let s = session(2000.0);
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+
+    let remote = s
+        .submit_service(
+            ServiceDescription::new("remote-llm")
+                .model(ModelSpec::sim_llama_8b())
+                .remote(PlatformId::R3Cloud),
+        )
+        .expect("remote service");
+    remote.wait_ready_timeout(Duration::from_secs(60)).expect("ready");
+    assert_eq!(s.metrics().bootstrap_count(), 0, "remote models are persistent: no BT samples");
+
+    let t = s
+        .submit_task(
+            TaskDescription::new("remote-client").kind(TaskKind::inference_client("remote-llm", 3)),
+        )
+        .expect("task");
+    assert_eq!(t.wait_done_timeout(Duration::from_secs(300)).unwrap(), TaskState::Done);
+    assert_eq!(s.metrics().response_count(), 3);
+    s.close();
+}
+
+#[test]
+fn mixed_local_and_remote_services_with_state_updates() {
+    let s = session(1000.0);
+    let updates = s.subscribe_updates(&["state.service"]);
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+
+    let local = s
+        .submit_service(ServiceDescription::new("noop-local").model(ModelSpec::noop()).cores(1))
+        .expect("local");
+    let remote = s
+        .submit_service(
+            ServiceDescription::new("noop-remote").model(ModelSpec::noop()).remote(PlatformId::R3Cloud),
+        )
+        .expect("remote");
+    local.wait_ready().unwrap();
+    remote.wait_ready().unwrap();
+
+    for target in ["noop-local", "noop-remote"] {
+        let t = s
+            .submit_task(
+                TaskDescription::new(format!("c-{target}")).kind(TaskKind::inference_client(target, 6)),
+            )
+            .unwrap();
+        t.wait_done_timeout(Duration::from_secs(120)).unwrap();
+    }
+
+    let metrics = s.metrics();
+    assert_eq!(metrics.response_count(), 12);
+    // NOOP: communication dominates; inference is zero for both deployments.
+    let summaries = metrics.response_summaries();
+    assert!(summaries["inference"].mean < 1e-6);
+    assert!(summaries["communication"].mean > summaries["service"].mean);
+
+    // Ready state updates were published for both services.
+    let msgs = updates.drain();
+    let ready_updates = msgs.iter().filter(|m| m.header("state") == Some("Ready")).count();
+    assert!(ready_updates >= 2, "expected Ready updates, got {msgs:?}");
+    s.close();
+}
+
+#[test]
+fn tasks_wait_for_their_services_and_staging_happens() {
+    let s = session(5000.0);
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+
+    // The task depends on a service submitted *after* it: the readiness relation must
+    // still hold (the task blocks until the service endpoint is published).
+    let task = s
+        .submit_task(
+            TaskDescription::new("dependent")
+                .kind(TaskKind::inference_client("late-svc", 2))
+                .after_service("late-svc")
+                .stage_in(DataDirective::local("input.vcf", 300.0))
+                .stage_out(DataDirective::local("result.csv", 1.0)),
+        )
+        .expect("task");
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        !task.state().is_final(),
+        "task must still be waiting for its service, state: {:?}",
+        task.state()
+    );
+
+    let svc = s
+        .submit_service(ServiceDescription::new("late-svc").model(ModelSpec::noop()).cores(1))
+        .expect("service");
+    svc.wait_ready().unwrap();
+    assert_eq!(task.wait_done_timeout(Duration::from_secs(120)).unwrap(), TaskState::Done);
+
+    // Staging went through the data manager.
+    assert_eq!(s.metrics().scalar_values("staging.mib").len(), 2);
+    s.close();
+}
+
+#[test]
+fn session_close_is_idempotent_and_rejects_new_work() {
+    let s = session(5000.0);
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.close();
+    s.close();
+    assert!(matches!(s.submit_task(TaskDescription::new("x")), Err(RuntimeError::SessionClosed)));
+    assert!(matches!(
+        s.submit_service(ServiceDescription::new("y")),
+        Err(RuntimeError::SessionClosed)
+    ));
+    assert!(matches!(
+        s.submit_pilot(PilotDescription::new(PlatformId::Delta)),
+        Err(RuntimeError::SessionClosed)
+    ));
+}

@@ -1,0 +1,126 @@
+//! Failure-injection integration tests: the runtime must degrade gracefully when
+//! services cannot start, crash mid-run, or when workloads over-subscribe resources.
+
+use std::time::Duration;
+
+use hpcml::prelude::*;
+use hpcml::serving::ModelSpec;
+
+fn session() -> Session {
+    Session::builder("failures")
+        .platform(PlatformId::Local)
+        .clock(ClockSpec::scaled(2000.0))
+        .seed(99)
+        .build()
+        .expect("session")
+}
+
+#[test]
+fn service_fails_when_model_exceeds_gpu_memory() {
+    let s = session();
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    // llama-70b (140 GiB) cannot fit the local platform's 16 GiB GPUs.
+    let svc = s
+        .submit_service(ServiceDescription::new("too-big").model(ModelSpec::sim_llama_70b()).gpus(1))
+        .expect("submitted");
+    let state = svc.wait_final(Duration::from_secs(60)).expect("terminal");
+    assert_eq!(state, ServiceState::Failed);
+    assert!(svc.error().unwrap().contains("GPU"));
+    // The failed service must not leak its slot: a new, correctly sized service fits.
+    let ok = s
+        .submit_service(ServiceDescription::new("fits").model(ModelSpec::noop()).gpus(1))
+        .expect("submitted");
+    ok.wait_ready_timeout(Duration::from_secs(60)).expect("ready");
+    s.close();
+}
+
+#[test]
+fn crashed_service_fails_liveness_probe_and_dependent_clients() {
+    let s = session();
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    let svc = s
+        .submit_service(ServiceDescription::new("crashy").model(ModelSpec::noop()).cores(1))
+        .expect("service");
+    svc.wait_ready().expect("ready");
+    assert!(s.service_manager().probe("crashy").unwrap());
+
+    // Simulate a crash: stop the serve loop without going through the manager, so the
+    // endpoint disappears from the registry once the loop exits.
+    svc.request_stop();
+    // Wait until the endpoint is gone.
+    let registry = s.endpoint_registry();
+    for _ in 0..200 {
+        if registry.lookup("service.crashy").is_none() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(registry.lookup("service.crashy").is_none(), "endpoint must be unpublished");
+
+    // Probing now reports a communication error (endpoint not found).
+    assert!(matches!(s.service_manager().probe("crashy"), Err(RuntimeError::Comm(_))));
+    s.close();
+}
+
+#[test]
+fn unknown_service_dependency_fails_the_task() {
+    let s = session();
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    // Oversized resource request fails fast (never satisfiable by the node shape).
+    let t = s
+        .submit_task(TaskDescription::new("impossible").cores(4096))
+        .expect("submitted");
+    let state = t.wait_final(Duration::from_secs(30)).expect("terminal");
+    assert_eq!(state, TaskState::Failed);
+    assert!(t.error().is_some());
+    s.close();
+}
+
+#[test]
+fn duplicate_service_names_fail_the_second_instance() {
+    let s = session();
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2)).expect("pilot");
+    let first = s
+        .submit_service(ServiceDescription::new("same-name").model(ModelSpec::noop()).cores(1))
+        .expect("first");
+    first.wait_ready().expect("ready");
+    let second = s
+        .submit_service(ServiceDescription::new("same-name").model(ModelSpec::noop()).cores(1))
+        .expect("second submitted");
+    let state = second.wait_final(Duration::from_secs(60)).expect("terminal");
+    assert_eq!(state, ServiceState::Failed);
+    assert!(second.error().unwrap().contains("already registered"));
+    s.close();
+}
+
+#[test]
+fn oversubscribed_gpus_serialize_but_complete() {
+    let s = session();
+    // 1 local node = 2 GPUs; 6 GPU tasks must still all complete by queueing.
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    let tasks: Vec<_> = (0..6)
+        .map(|i| {
+            s.submit_task(
+                TaskDescription::new(format!("gpu-task-{i}"))
+                    .kind(TaskKind::compute_secs(2.0))
+                    .gpus(1),
+            )
+            .expect("task")
+        })
+        .collect();
+    s.wait_tasks(Duration::from_secs(120)).expect("all tasks finish");
+    assert!(tasks.iter().all(|t| t.state() == TaskState::Done));
+    s.close();
+}
+
+#[test]
+fn pilot_request_larger_than_platform_fails_cleanly() {
+    let s = session();
+    let err = s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1000)).unwrap_err();
+    assert!(matches!(err, RuntimeError::Batch(_)));
+    // The session remains usable afterwards.
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    let t = s.submit_task(TaskDescription::new("ok")).expect("task");
+    assert_eq!(t.wait_done_timeout(Duration::from_secs(30)).unwrap(), TaskState::Done);
+    s.close();
+}

@@ -1,0 +1,110 @@
+//! Integration test of the HPO engine driving concurrent training tasks through the
+//! runtime — the asynchronous "multiple models trained concurrently, optimizing
+//! hyperparameters" pattern of the Cell Painting use case (paper §II-A).
+
+use std::time::Duration;
+
+use hpcml::prelude::*;
+
+/// Synthetic validation loss: smooth, minimised at lr = 1e-3, batch = 96.
+fn objective(params: &std::collections::BTreeMap<String, f64>) -> f64 {
+    let lr = params["learning_rate"];
+    let bs = params["batch_size"];
+    (lr.log10() + 3.0).powi(2) + ((bs - 96.0) / 96.0).powi(2)
+}
+
+#[test]
+fn hpo_rounds_of_concurrent_training_tasks_improve_the_best_trial() {
+    let s = Session::builder("hpo")
+        .platform(PlatformId::Delta)
+        .clock(ClockSpec::scaled(10_000.0))
+        .seed(5150)
+        .build()
+        .expect("session");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(2)).expect("pilot");
+
+    let mut study = HpoStudy::new(HpoStudy::cell_painting_space(), SamplerKind::QuantileGuided, 7);
+    let rounds = 4;
+    let trials_per_round = 4;
+    let mut best_per_round = Vec::new();
+
+    for _ in 0..rounds {
+        // Suggest a batch of trials and run one GPU "training task" per trial,
+        // concurrently (the pilot has 8 GPUs, so a round fits at once).
+        let trials: Vec<Trial> = (0..trials_per_round).map(|_| study.suggest()).collect();
+        let handles: Vec<(usize, hpcml::runtime::records::TaskHandle)> = trials
+            .iter()
+            .map(|t| {
+                let handle = s
+                    .submit_task(
+                        TaskDescription::new(format!("train-trial-{}", t.id))
+                            .kind(TaskKind::compute_secs(5.0))
+                            .gpus(1)
+                            .tag("trial", t.id.to_string()),
+                    )
+                    .expect("training task");
+                (t.id, handle)
+            })
+            .collect();
+        for (trial_id, handle) in handles {
+            assert_eq!(handle.wait_done_timeout(Duration::from_secs(120)).unwrap(), TaskState::Done);
+            let trial = trials.iter().find(|t| t.id == trial_id).unwrap();
+            study.report(trial_id, objective(&trial.params));
+        }
+        best_per_round.push(study.best().unwrap().objective.unwrap());
+    }
+
+    // The best objective must be monotonically non-increasing across rounds and end up
+    // reasonably close to the optimum of the synthetic objective.
+    for w in best_per_round.windows(2) {
+        assert!(w[1] <= w[0] + 1e-12, "best objective must not regress: {best_per_round:?}");
+    }
+    assert!(
+        *best_per_round.last().unwrap() < 2.0,
+        "the guided sampler should approach the optimum: {best_per_round:?}"
+    );
+    assert_eq!(study.len(), rounds * trials_per_round);
+    assert_eq!(s.task_manager().finished(), rounds * trials_per_round);
+    s.close();
+}
+
+#[test]
+fn gpu_training_rounds_respect_resource_limits() {
+    // A pilot with 4 GPUs running 12 one-GPU trials: tasks must queue, never
+    // oversubscribe, and all complete.
+    let s = Session::builder("hpo-limits")
+        .platform(PlatformId::Local)
+        .clock(ClockSpec::scaled(10_000.0))
+        .seed(99)
+        .build()
+        .expect("session");
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2)).expect("pilot");
+
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            s.submit_task(
+                TaskDescription::new(format!("trial-{i}")).kind(TaskKind::compute_secs(2.0)).gpus(1),
+            )
+            .expect("task")
+        })
+        .collect();
+    s.wait_tasks(Duration::from_secs(120)).expect("all done");
+    assert!(handles.iter().all(|h| h.state() == TaskState::Done));
+
+    // With 4 GPUs and 12 two-second tasks, the critical path is at least 3 waves long.
+    let exec_times: Vec<f64> = handles
+        .iter()
+        .map(|h| {
+            let ts = h.timestamps();
+            ts["Done"] - ts["Executing"]
+        })
+        .collect();
+    assert!(exec_times.iter().all(|d| *d >= 1.8), "every trial ran its full kernel: {exec_times:?}");
+    let makespan = handles
+        .iter()
+        .map(|h| h.timestamps()["Done"])
+        .fold(f64::MIN, f64::max)
+        - handles.iter().map(|h| h.timestamps()["Scheduling"]).fold(f64::MAX, f64::min);
+    assert!(makespan >= 5.5, "12 tasks on 4 GPUs need at least three 2 s waves, got {makespan}");
+    s.close();
+}

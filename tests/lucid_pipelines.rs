@@ -1,0 +1,96 @@
+//! Integration tests running the three LUCID pipelines end to end at reduced scale.
+
+use std::time::Duration;
+
+use hpcml::prelude::*;
+
+fn session(name: &str) -> Session {
+    let s = Session::builder(name)
+        .platform(PlatformId::Delta)
+        .clock(ClockSpec::scaled(10_000.0))
+        .seed(2024)
+        .build()
+        .expect("session");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(4).runtime_secs(36_000.0))
+        .expect("pilot");
+    s
+}
+
+#[test]
+fn cell_painting_pipeline_runs_to_completion() {
+    let s = session("cp");
+    let config = CellPaintingConfig::test_scale();
+    let pipeline = cell_painting_pipeline(&config);
+    let report = PipelineRunner::new(&s)
+        .stage_timeout(Duration::from_secs(300))
+        .run(&pipeline)
+        .expect("run");
+    assert!(report.all_succeeded(), "{}", report.render());
+    assert_eq!(report.stages.len(), 2);
+    assert_eq!(report.tasks_done(), pipeline.total_tasks());
+    // Stage 1 staged the imagery shards.
+    assert!(s.metrics().scalar_summary("staging.mib").count >= config.shards);
+    // The feature-extraction service answered the classification client.
+    assert_eq!(s.metrics().response_count() as u32, config.inference_requests);
+    s.close();
+}
+
+#[test]
+fn signature_detection_pipeline_runs_to_completion() {
+    let s = session("sd");
+    let config = SignatureDetectionConfig::test_scale();
+    let pipeline = signature_detection_pipeline(&config);
+    let report = PipelineRunner::new(&s)
+        .stage_timeout(Duration::from_secs(300))
+        .run(&pipeline)
+        .expect("run");
+    assert!(report.all_succeeded(), "{}", report.render());
+    assert_eq!(report.stages.len(), 3);
+    // Every sample sent its LLM comparison requests.
+    let expected_requests = config.samples as u32 * config.llm_requests_per_sample;
+    assert_eq!(s.metrics().response_count() as u32, expected_requests);
+    // Stage ordering: VEP annotation finished before the LLM comparison started.
+    assert!(report.stages[0].name.contains("vep") || report.stages[0].name.contains("data"));
+    s.close();
+}
+
+#[test]
+fn uncertainty_quantification_pipeline_runs_to_completion() {
+    let s = session("uq");
+    let config = UqConfig::test_scale();
+    let pipeline = uncertainty_quantification_pipeline(&config);
+    let report = PipelineRunner::new(&s)
+        .stage_timeout(Duration::from_secs(300))
+        .run(&pipeline)
+        .expect("run");
+    assert!(report.all_succeeded(), "{}", report.render());
+    assert_eq!(report.stages.len(), 3);
+    // The three-level hierarchy ran every (model, method, seed) combination.
+    assert_eq!(report.stages[1].tasks_done, config.total_uq_tasks());
+    assert_eq!(s.metrics().response_count() as u32, config.postprocess_requests);
+    s.close();
+}
+
+#[test]
+fn all_three_pipelines_share_one_session_sequentially() {
+    // The paper's vision: one runtime session hosting several hybrid pipelines.
+    let s = session("all");
+    let runner = PipelineRunner::new(&s).stage_timeout(Duration::from_secs(300));
+    let mut total_tasks = 0;
+
+    let cp = cell_painting_pipeline(&CellPaintingConfig::test_scale());
+    total_tasks += cp.total_tasks();
+    assert!(runner.run(&cp).expect("cp").all_succeeded());
+
+    let sd = signature_detection_pipeline(&SignatureDetectionConfig::test_scale());
+    total_tasks += sd.total_tasks();
+    assert!(runner.run(&sd).expect("sd").all_succeeded());
+
+    let uq = uncertainty_quantification_pipeline(&UqConfig::test_scale());
+    total_tasks += uq.total_tasks();
+    assert!(runner.run(&uq).expect("uq").all_succeeded());
+
+    assert_eq!(s.task_manager().len(), total_tasks);
+    assert_eq!(s.task_manager().finished(), total_tasks);
+    s.close();
+}

@@ -1,0 +1,109 @@
+//! Observability integration tests: state-update publication (paper Fig. 2 flow ⑥),
+//! state-timestamp ordering, and the consistency of the bootstrap breakdown with the
+//! service's recorded state transitions.
+
+use std::time::Duration;
+
+use hpcml::prelude::*;
+use hpcml::serving::ModelSpec;
+
+fn session() -> Session {
+    Session::builder("observability")
+        .platform(PlatformId::Delta)
+        .clock(ClockSpec::scaled(2000.0))
+        .seed(321)
+        .build()
+        .expect("session")
+}
+
+#[test]
+fn service_state_timestamps_are_ordered_and_match_bootstrap() {
+    let s = session();
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    let svc = s
+        .submit_service(ServiceDescription::new("observed").model(ModelSpec::sim_llama_8b()).gpus(1))
+        .expect("service");
+    svc.wait_ready_timeout(Duration::from_secs(60)).expect("ready");
+
+    let ts = svc.timestamps();
+    // Every lifecycle state up to Ready must be timestamped, in increasing order.
+    let order = ["New", "Scheduling", "Launching", "Initializing", "Publishing", "Ready"];
+    let mut last = f64::MIN;
+    for state in order {
+        let t = *ts.get(state).unwrap_or_else(|| panic!("missing timestamp for {state}: {ts:?}"));
+        assert!(t >= last, "timestamps must be non-decreasing ({state} at {t} after {last})");
+        last = t;
+    }
+
+    // The bootstrap components must equal the gaps between the corresponding states.
+    let bt = svc.bootstrap_times().expect("bootstrap recorded");
+    let launch_gap = ts["Initializing"] - ts["Launching"];
+    let init_gap = ts["Publishing"] - ts["Initializing"];
+    let publish_gap = ts["Ready"] - ts["Publishing"];
+    assert!((bt.launch_secs - launch_gap).abs() < 0.2 * launch_gap.max(0.5), "launch {bt:?} vs gap {launch_gap}");
+    assert!((bt.init_secs - init_gap).abs() < 0.2 * init_gap.max(0.5), "init {bt:?} vs gap {init_gap}");
+    assert!((bt.publish_secs - publish_gap).abs() < 0.2 * publish_gap.max(0.5) + 0.2, "publish {bt:?} vs gap {publish_gap}");
+    assert!((bt.total() - (ts["Ready"] - ts["Launching"])).abs() < 1.0);
+
+    s.close();
+}
+
+#[test]
+fn task_timestamps_cover_every_phase() {
+    let s = session();
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    let task = s
+        .submit_task(
+            TaskDescription::new("observed-task")
+                .kind(TaskKind::compute_secs(3.0))
+                .stage_in(DataDirective::local("in.dat", 10.0))
+                .stage_out(DataDirective::local("out.dat", 1.0)),
+        )
+        .expect("task");
+    task.wait_done_timeout(Duration::from_secs(60)).expect("done");
+
+    let ts = task.timestamps();
+    for state in ["New", "Scheduling", "StagingInput", "Executing", "StagingOutput", "Done"] {
+        assert!(ts.contains_key(state), "missing {state} in {ts:?}");
+    }
+    // Execution must have taken at least the requested virtual 3 seconds.
+    assert!(ts["StagingOutput"] - ts["Executing"] >= 2.5);
+    s.close();
+}
+
+#[test]
+fn update_bus_reports_full_service_lifecycle() {
+    let s = session();
+    let updates = s.subscribe_updates(&["state.service"]);
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    let svc = s
+        .submit_service(ServiceDescription::new("bus-svc").model(ModelSpec::noop()).cores(1))
+        .expect("service");
+    svc.wait_ready().expect("ready");
+    s.service_manager().stop("bus-svc").expect("stop");
+    s.close();
+
+    let states: Vec<String> = updates
+        .drain()
+        .into_iter()
+        .filter_map(|m| m.header("state").map(str::to_string))
+        .collect();
+    for expected in ["Scheduling", "Launching", "Ready", "Stopped"] {
+        assert!(states.iter().any(|s| s == expected), "missing {expected} update in {states:?}");
+    }
+}
+
+#[test]
+fn metrics_scalars_track_task_execution() {
+    let s = session();
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    for i in 0..3 {
+        s.submit_task(TaskDescription::new(format!("t{i}")).kind(TaskKind::compute_secs(2.0)))
+            .expect("task");
+    }
+    s.wait_tasks(Duration::from_secs(60)).expect("tasks");
+    let exec = s.metrics().scalar_summary("task.exec_secs");
+    assert_eq!(exec.count, 3);
+    assert!(exec.mean >= 1.8, "execution time must reflect the 2 s compute kernels, got {}", exec.mean);
+    s.close();
+}

@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over the core data structures and invariants:
+//! message codec round-trips, statistics correctness, resource-accounting conservation,
+//! state-machine legality, distribution bounds, and scheduler safety.
+
+use proptest::prelude::*;
+
+use hpcml::comm::message::Message;
+use hpcml::platform::batch::{AllocationRequest, BatchSystem};
+use hpcml::platform::resources::{NodeSpec, NodeState, ResourceRequest};
+use hpcml::platform::PlatformId;
+use hpcml::runtime::states::{ServiceState, TaskState};
+use hpcml::sim::clock::ClockSpec;
+use hpcml::sim::dist::Dist;
+use hpcml::sim::stats::{percentile_sorted, OnlineStats, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding then decoding a message yields the original, for arbitrary topics,
+    /// kinds, headers, and binary payloads.
+    #[test]
+    fn message_codec_roundtrip(
+        topic in "[a-zA-Z0-9._-]{0,40}",
+        kind in "[a-zA-Z0-9._-]{0,20}",
+        headers in prop::collection::btree_map("[a-z0-9_.]{1,16}", "[ -~]{0,32}", 0..8),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut msg = Message::new(topic, kind).with_payload(payload);
+        for (k, v) in headers {
+            msg = msg.with_header(k, v);
+        }
+        let decoded = Message::decode(msg.encode()).expect("decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Truncating an encoded frame never panics and never yields a bogus success that
+    /// differs from the original message.
+    #[test]
+    fn message_codec_rejects_or_matches_on_truncation(
+        text in "[ -~]{0,256}",
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let msg = Message::new("topic", "kind").with_text(&text);
+        let encoded = msg.encode();
+        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        match Message::decode(encoded.slice(0..cut)) {
+            Ok(decoded) => prop_assert_eq!(decoded, msg),
+            Err(_) => {}
+        }
+    }
+
+    /// Welford statistics match the naive two-pass computation.
+    #[test]
+    fn online_stats_matches_naive(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-3 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count(), values.len() as u64);
+    }
+
+    /// Percentiles are monotone in the quantile and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s = Summary::from_slice(&values);
+        prop_assert!(s.min <= s.p50 + 1e-9);
+        prop_assert!(s.p50 <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        let q = percentile_sorted(&sorted, 0.3);
+        prop_assert!(q >= s.min - 1e-9 && q <= s.max + 1e-9);
+    }
+
+    /// Distribution samples respect their analytic bounds.
+    #[test]
+    fn distribution_samples_are_bounded(seed in any::<u64>(), lo in 0.0f64..10.0, width in 0.1f64..10.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hi = lo + width;
+        let u = Dist::uniform(lo, hi);
+        let t = Dist::TruncatedNormal { mean: lo, std: width, lo, hi };
+        let n = Dist::normal(lo, width);
+        for _ in 0..64 {
+            let v = u.sample(&mut rng);
+            prop_assert!(v >= lo && v < hi);
+            let v = t.sample(&mut rng);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+            prop_assert!(n.sample(&mut rng) >= 0.0, "normal samples are clamped at zero");
+        }
+    }
+
+    /// Node reserve/release conserves resources for arbitrary request sequences.
+    #[test]
+    fn node_accounting_conserves_resources(
+        requests in prop::collection::vec((1u32..8, 0u32..4, 0.0f64..64.0), 1..32)
+    ) {
+        let spec = NodeSpec::new(16, 4, 256.0, 40.0);
+        let mut node = NodeState::new("prop-node", spec);
+        let mut reserved = Vec::new();
+        for (cores, gpus, mem) in requests {
+            let req = ResourceRequest { cores, gpus, mem_gib: mem };
+            if let Ok(r) = node.try_reserve(&req) {
+                prop_assert_eq!(r.0.len(), cores as usize);
+                prop_assert_eq!(r.1.len(), gpus as usize);
+                reserved.push(r);
+            }
+            prop_assert!(node.free_cores() <= spec.cores);
+            prop_assert!(node.free_gpus() <= spec.gpus);
+            prop_assert!(node.free_mem_gib() >= -1e-9);
+        }
+        for (cores, gpus, mem) in reserved {
+            node.release(&cores, &gpus, mem);
+        }
+        prop_assert!(node.is_idle());
+    }
+
+    /// Allocation-level slot accounting also conserves resources.
+    #[test]
+    fn allocation_slots_conserve_resources(ops in prop::collection::vec((1u32..16, 0u32..3), 1..40)) {
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(2)).unwrap();
+        let total_cores = alloc.total_cores();
+        let total_gpus = alloc.total_gpus();
+        let mut slots = Vec::new();
+        for (cores, gpus) in ops {
+            if let Ok(slot) = alloc.allocate_slot(&ResourceRequest { cores, gpus, mem_gib: 0.0 }) {
+                slots.push(slot);
+            }
+            prop_assert!(alloc.free_cores() <= total_cores);
+            prop_assert!(alloc.free_gpus() <= total_gpus);
+        }
+        for slot in &slots {
+            alloc.release_slot(slot).unwrap();
+        }
+        prop_assert_eq!(alloc.free_cores(), total_cores);
+        prop_assert_eq!(alloc.free_gpus(), total_gpus);
+        prop_assert!(alloc.is_idle());
+    }
+
+    /// Random walks through the task state machine only ever follow legal transitions
+    /// and always terminate in a final state within a bounded number of steps.
+    #[test]
+    fn task_state_walks_reach_terminal_states(choices in prop::collection::vec(any::<u8>(), 1..32)) {
+        let mut state = TaskState::New;
+        let mut steps = 0;
+        for c in choices {
+            let successors = state.successors();
+            if successors.is_empty() {
+                break;
+            }
+            let next = successors[(c as usize) % successors.len()];
+            prop_assert!(state.can_transition_to(next));
+            state = next;
+            steps += 1;
+        }
+        prop_assert!(steps <= 6, "the task state graph has no cycles, walk length {steps}");
+    }
+
+    /// Same for the service state machine, and the bootstrap components only label the
+    /// three bootstrap phases.
+    #[test]
+    fn service_state_walks_are_legal(choices in prop::collection::vec(any::<u8>(), 1..32)) {
+        let mut state = ServiceState::New;
+        let mut bootstrap_phases = 0;
+        for c in choices {
+            let successors = state.successors();
+            if successors.is_empty() {
+                break;
+            }
+            let next = successors[(c as usize) % successors.len()];
+            prop_assert!(state.can_transition_to(next));
+            if next.bootstrap_component().is_some() {
+                bootstrap_phases += 1;
+            }
+            state = next;
+        }
+        prop_assert!(bootstrap_phases <= 3);
+    }
+}
