@@ -3,7 +3,7 @@
 //! summarisation. These are the operations that sit on the critical path of every
 //! figure in the paper's evaluation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use hpcml_comm::link::Link;
 use hpcml_comm::message::Message;
@@ -26,8 +26,14 @@ fn bench_codec(c: &mut Criterion) {
         .with_text(&"low dose radiation effects on cell morphology ".repeat(8));
     c.bench_function("codec/encode", |b| b.iter(|| black_box(msg.encode())));
     let encoded = msg.encode();
+    // `Bytes::clone` is a reference-count bump, so the owned-decode bench measures
+    // decoding, not buffer duplication.
     c.bench_function("codec/decode", |b| {
         b.iter(|| Message::decode(black_box(encoded.clone())).unwrap())
+    });
+    // Borrowed decode: no clone, no per-field allocation.
+    c.bench_function("codec/decode_view", |b| {
+        b.iter(|| Message::decode_view(black_box(&encoded)).unwrap())
     });
 }
 
@@ -42,17 +48,112 @@ fn bench_registry(c: &mut Criterion) {
     });
 }
 
+/// A Frontier-shaped platform spec widened to `nodes`, so the sweep can exceed the
+/// catalog's node counts without touching the catalog.
+fn wide_spec(nodes: usize) -> hpcml_platform::PlatformSpec {
+    let mut spec = PlatformId::Frontier.spec();
+    spec.num_nodes = nodes;
+    spec
+}
+
+/// The acceptance criterion of the indexed allocator: allocate+release latency must be
+/// flat (within 2×) from toy pilots to thousand-node pilots, where the old
+/// linear-scan placement grew with node count.
 fn bench_scheduler(c: &mut Criterion) {
-    let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
-    let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
-    let scheduler = Scheduler::new(alloc);
-    let req = ResourceRequest::cores(4);
-    c.bench_function("scheduler/allocate_release", |b| {
+    let mut group = c.benchmark_group("scheduler/allocate_release");
+    for nodes in [4usize, 256, 4096] {
+        let batch = BatchSystem::new(wide_spec(nodes), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        // Pre-fill every node to just over half so placement works against realistic
+        // mixed occupancy (an empty allocation would let even a linear scan stop at
+        // node 0). Requesting cores/2 + 1 means a second such slot can never pack onto
+        // an already-touched node, so each of the `nodes` slots lands on a distinct
+        // node and no node is left idle or full.
+        let spec = alloc.node_spec();
+        let half_fill = ResourceRequest::cores(spec.cores / 2 + 1);
+        let held: Vec<_> =
+            (0..nodes).map(|_| alloc.allocate_slot(&half_fill).unwrap()).collect();
+        assert_eq!(alloc.idle_nodes(), 0, "pre-fill must touch every node");
+        let scheduler = Scheduler::new(alloc);
+        let req = ResourceRequest::cores(4);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let slot = scheduler.allocate(&req, Priority::Task, Duration::from_secs(1)).unwrap();
+                scheduler.release(&slot).unwrap();
+            })
+        });
+        for slot in &held {
+            scheduler.allocation().release_slot(slot).unwrap();
+        }
+    }
+    group.finish();
+}
+
+/// Multi-thread allocate/release churn, swept across node counts. Capacity always
+/// exceeds demand here, so this measures the *lock + index* path under thread
+/// contention (every allocation takes the queueless fast path); parked-waiter wakeups
+/// are measured separately by `bench_scheduler_waitqueue`.
+fn bench_scheduler_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/churn_4_threads");
+    group.sample_size(10);
+    for nodes in [4usize, 256, 4096] {
+        let batch = BatchSystem::new(wide_spec(nodes), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        let scheduler = Arc::new(Scheduler::new(alloc));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut handles = Vec::new();
+                for _ in 0..4 {
+                    let s = Arc::clone(&scheduler);
+                    handles.push(std::thread::spawn(move || {
+                        let req = ResourceRequest::cores(4);
+                        for _ in 0..256 {
+                            let slot =
+                                s.allocate(&req, Priority::Task, Duration::from_secs(10)).unwrap();
+                            s.release(&slot).unwrap();
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Oversubscribed wait-queue churn: demand permanently exceeds capacity, so threads
+/// genuinely park and every release performs a targeted head wakeup. This is the bench
+/// that would catch a regression in the parked-waiter wake path.
+fn bench_scheduler_waitqueue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/contended_waitqueue");
+    group.sample_size(10);
+    // 2 Frontier nodes = 128 cores; 8 threads x 48 cores demand 384 — at most two
+    // slots fit concurrently, so ~6 threads are parked at any instant.
+    let batch = BatchSystem::new(wide_spec(2), ClockSpec::Manual.build(), 1);
+    let alloc = batch.submit(AllocationRequest::nodes(2)).unwrap();
+    let scheduler = Arc::new(Scheduler::new(alloc));
+    group.bench_function("8_threads_48_cores", |b| {
         b.iter(|| {
-            let slot = scheduler.allocate(&req, Priority::Task, Duration::from_secs(1)).unwrap();
-            scheduler.release(&slot).unwrap();
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let s = Arc::clone(&scheduler);
+                handles.push(std::thread::spawn(move || {
+                    let req = ResourceRequest::cores(48);
+                    for _ in 0..32 {
+                        let slot =
+                            s.allocate(&req, Priority::Task, Duration::from_secs(30)).unwrap();
+                        s.release(&slot).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
         })
     });
+    group.finish();
 }
 
 fn bench_noop_roundtrip(c: &mut Criterion) {
@@ -85,6 +186,8 @@ criterion_group!(
     bench_codec,
     bench_registry,
     bench_scheduler,
+    bench_scheduler_churn,
+    bench_scheduler_waitqueue,
     bench_noop_roundtrip,
     bench_stats
 );

@@ -30,7 +30,7 @@ pub mod reqrep;
 
 pub use error::CommError;
 pub use link::Link;
-pub use message::Message;
+pub use message::{Message, MessageView};
 pub use pubsub::{Publisher, Subscriber};
 pub use queue::{WorkQueue, WorkQueueReceiver, WorkQueueSender};
 pub use registry::{EndpointEntry, EndpointRegistry};

@@ -90,7 +90,9 @@ impl Message {
         self.payload.len()
     }
 
-    /// Approximate encoded size (used for bandwidth modelling).
+    /// Exact encoded size: [`Message::encode`] writes precisely this many bytes, so the
+    /// encode buffer is sized once and never reallocates. Also used for bandwidth
+    /// modelling.
     pub fn encoded_len(&self) -> usize {
         let headers: usize = self.headers.iter().map(|(k, v)| 8 + k.len() + v.len()).sum();
         4 + 1 + 8 + 4 + self.topic.len() + 4 + self.kind.len() + 4 + headers + 4 + self.payload.len()
@@ -98,7 +100,8 @@ impl Message {
 
     /// Encode to the binary wire format.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let exact_len = self.encoded_len();
+        let mut buf = BytesMut::with_capacity(exact_len);
         buf.put_u32(MAGIC);
         buf.put_u8(VERSION);
         buf.put_u64(self.id);
@@ -111,6 +114,7 @@ impl Message {
         }
         buf.put_u32(self.payload.len() as u32);
         buf.put_slice(&self.payload);
+        debug_assert_eq!(buf.len(), exact_len, "encoded_len must be exact");
         buf.freeze()
     }
 
@@ -150,8 +154,156 @@ impl Message {
         if payload_len > MAX_FIELD_LEN || data.remaining() < payload_len {
             return Err(CommError::Codec("truncated payload".into()));
         }
+        // Zero copy: the payload is a sub-view of the input buffer, not a fresh
+        // allocation (`Bytes::copy_to_bytes` on `Bytes` slices the backing storage).
         let payload = data.copy_to_bytes(payload_len);
         Ok(Message { id, topic, kind, headers, payload })
+    }
+
+    /// Decode a borrowed, zero-allocation view of an encoded frame.
+    ///
+    /// Unlike [`Message::decode`], nothing is copied or heap-allocated: topic, kind,
+    /// header keys/values, and payload all borrow directly from `data`. Use this on hot
+    /// read paths (routing, header inspection) and call [`MessageView::to_message`]
+    /// only when an owned envelope is actually needed.
+    pub fn decode_view(data: &[u8]) -> Result<MessageView<'_>, CommError> {
+        let mut cur = Cursor { data, at: 0 };
+        let magic = cur.u32()?;
+        if magic != MAGIC {
+            return Err(CommError::Codec(format!("bad magic 0x{magic:08x}")));
+        }
+        let version = cur.u8()?;
+        if version != VERSION {
+            return Err(CommError::Codec(format!("unsupported version {version}")));
+        }
+        let id = cur.u64()?;
+        let topic = cur.str_field()?;
+        let kind = cur.str_field()?;
+        let n_headers = cur.u32()? as usize;
+        if n_headers > MAX_FIELD_LEN {
+            return Err(CommError::Codec("header count too large".into()));
+        }
+        let mut headers = Vec::with_capacity(n_headers.min(64));
+        let mut sorted = true;
+        for _ in 0..n_headers {
+            let k = cur.str_field()?;
+            let v = cur.str_field()?;
+            if let Some((prev, _)) = headers.last() {
+                sorted &= *prev < k;
+            }
+            headers.push((k, v));
+        }
+        let payload_len = cur.u32()? as usize;
+        if payload_len > MAX_FIELD_LEN {
+            return Err(CommError::Codec("truncated payload".into()));
+        }
+        let payload = cur.bytes_field(payload_len)?;
+        Ok(MessageView { id, topic, kind, headers, sorted_headers: sorted, payload })
+    }
+}
+
+/// Borrowed decode of one encoded frame: every field points into the source buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageView<'a> {
+    /// Monotonic message identifier.
+    pub id: u64,
+    /// Logical channel or destination.
+    pub topic: &'a str,
+    /// Operation kind.
+    pub kind: &'a str,
+    /// Header key/value pairs in wire order.
+    headers: Vec<(&'a str, &'a str)>,
+    /// Whether the wire order was strictly key-sorted (always true for frames produced
+    /// by [`Message::encode`], which walks a `BTreeMap`).
+    sorted_headers: bool,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+impl<'a> MessageView<'a> {
+    /// Read a header without allocating. Frames from [`Message::encode`] carry
+    /// key-sorted headers and get a binary search; a foreign frame with unsorted
+    /// headers falls back to a linear scan (first match wins) instead of silently
+    /// missing present keys.
+    pub fn header(&self, key: &str) -> Option<&'a str> {
+        if self.sorted_headers {
+            self.headers
+                .binary_search_by(|(k, _)| (*k).cmp(key))
+                .ok()
+                .map(|idx| self.headers[idx].1)
+        } else {
+            self.headers.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+        }
+    }
+
+    /// Read a floating-point header.
+    pub fn f64_header(&self, key: &str) -> Option<f64> {
+        self.header(key).and_then(|v| v.parse().ok())
+    }
+
+    /// All header pairs, in wire order (key-sorted for frames from
+    /// [`Message::encode`]; foreign frames may carry any order).
+    pub fn headers(&self) -> &[(&'a str, &'a str)] {
+        &self.headers
+    }
+
+    /// Interpret the payload as UTF-8 text.
+    pub fn text(&self) -> Option<&'a str> {
+        std::str::from_utf8(self.payload).ok()
+    }
+
+    /// Materialise an owned [`Message`] (copies; use only off the hot path).
+    pub fn to_message(&self) -> Message {
+        Message {
+            id: self.id,
+            topic: self.topic.to_string(),
+            kind: self.kind.to_string(),
+            headers: self.headers.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            payload: Bytes::copy_from_slice(self.payload),
+        }
+    }
+}
+
+/// Borrowing cursor over an encoded frame.
+struct Cursor<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CommError> {
+        let end = self.at.checked_add(n).ok_or_else(|| CommError::Codec("frame too short".into()))?;
+        if end > self.data.len() {
+            return Err(CommError::Codec("frame too short".into()));
+        }
+        let out = &self.data[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CommError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CommError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CommError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn bytes_field(&mut self, len: usize) -> Result<&'a [u8], CommError> {
+        if len > MAX_FIELD_LEN {
+            return Err(CommError::Codec("truncated string".into()));
+        }
+        self.take(len)
+    }
+
+    fn str_field(&mut self) -> Result<&'a str, CommError> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes_field(len)?;
+        std::str::from_utf8(raw).map_err(|_| CommError::Codec("invalid utf-8".into()))
     }
 }
 
@@ -199,9 +351,70 @@ mod tests {
     fn encode_decode_roundtrip() {
         let m = sample();
         let encoded = m.encode();
-        assert!(encoded.len() <= m.encoded_len() + 16);
+        assert_eq!(encoded.len(), m.encoded_len(), "encoded_len is exact, not approximate");
         let decoded = Message::decode(encoded).unwrap();
         assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn decode_view_matches_owned_decode() {
+        let m = sample();
+        let encoded = m.encode();
+        let view = Message::decode_view(&encoded).unwrap();
+        assert_eq!(view.id, m.id);
+        assert_eq!(view.topic, m.topic);
+        assert_eq!(view.kind, m.kind);
+        assert_eq!(view.header("client"), Some("task.000003"));
+        assert_eq!(view.f64_header("sent_at"), Some(12.25));
+        assert_eq!(view.header("missing"), None);
+        assert_eq!(view.text(), m.text());
+        assert_eq!(view.headers().len(), m.headers.len());
+        assert_eq!(view.to_message(), m);
+    }
+
+    #[test]
+    fn decode_view_borrows_from_the_buffer() {
+        let m = sample();
+        let encoded = m.encode();
+        let view = Message::decode_view(&encoded).unwrap();
+        let buf_range = encoded.as_ptr() as usize..encoded.as_ptr() as usize + encoded.len();
+        assert!(buf_range.contains(&(view.topic.as_ptr() as usize)), "topic borrows");
+        assert!(buf_range.contains(&(view.payload.as_ptr() as usize)), "payload borrows");
+    }
+
+    #[test]
+    fn decode_view_handles_unsorted_foreign_headers() {
+        // Hand-build a frame whose headers are NOT key-sorted (a foreign encoder).
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64(7);
+        put_str(&mut buf, "t");
+        put_str(&mut buf, "k");
+        buf.put_u32(2);
+        put_str(&mut buf, "zeta");
+        put_str(&mut buf, "1");
+        put_str(&mut buf, "alpha");
+        put_str(&mut buf, "2");
+        buf.put_u32(0);
+        let raw = buf.freeze();
+        let view = Message::decode_view(&raw).unwrap();
+        assert_eq!(view.header("alpha"), Some("2"), "unsorted frames must still resolve keys");
+        assert_eq!(view.header("zeta"), Some("1"));
+        assert_eq!(view.header("missing"), None);
+    }
+
+    #[test]
+    fn decode_view_rejects_garbage_and_truncation() {
+        assert!(Message::decode_view(b"xx").is_err());
+        assert!(Message::decode_view(&[0u8; 64]).is_err());
+        let raw = sample().encode();
+        for cut in [0, 5, 13, 20, raw.len() - 1] {
+            assert!(Message::decode_view(&raw[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        let mut bad_version = raw.to_vec();
+        bad_version[4] = 99;
+        assert!(Message::decode_view(&bad_version).is_err());
     }
 
     #[test]

@@ -177,7 +177,10 @@ impl Executor {
             let scheduler = scheduler.ok_or_else(|| {
                 RuntimeError::InvalidState("local service submitted without an active pilot".into())
             })?;
+            let wait_start = std::time::Instant::now();
             let slot = scheduler.allocate(&desc.resources, Priority::Service, DEPENDENCY_TIMEOUT)?;
+            self.metrics
+                .record_scalar("service.placement_wait_secs", wait_start.elapsed().as_secs_f64());
             *record.slot.lock() = Some(slot.clone());
             Some((scheduler, slot))
         } else {
@@ -313,7 +316,9 @@ impl Executor {
         let scheduler = scheduler.ok_or_else(|| {
             RuntimeError::InvalidState("task submitted without an active pilot".into())
         })?;
+        let wait_start = std::time::Instant::now();
         let slot = scheduler.allocate(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?;
+        self.metrics.record_scalar("task.placement_wait_secs", wait_start.elapsed().as_secs_f64());
         *record.slot.lock() = Some(slot.clone());
 
         let finish = |result: Result<(), RuntimeError>| -> Result<(), RuntimeError> {

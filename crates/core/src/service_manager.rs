@@ -109,7 +109,7 @@ impl ServiceManager {
         let entry = self
             .registry
             .lookup(&endpoint)
-            .ok_or_else(|| RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(endpoint)))?;
+            .ok_or(RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(endpoint)))?;
         let client = entry.handle.connect(Link::instant(Arc::clone(&self.clock)));
         let reply = client
             .request_timeout(Message::new(record.endpoint_name(), KIND_PING), Duration::from_secs(5))

@@ -8,6 +8,20 @@
 //! This mirrors the pilot abstraction of the paper's runtime: resource acquisition is
 //! decoupled from task/service scheduling, which is what lets services and tasks share
 //! one allocation with controlled concurrency.
+//!
+//! ## Placement index
+//!
+//! `allocate_slot` used to scan every node linearly, which made placement cost grow
+//! with allocation size — the dominant agent-scheduler overhead RADICAL-Pilot's
+//! characterization work reports at leadership scale. The allocation now keeps a
+//! [`CapacityIndex`]: nodes are bucketed by (free-GPU, free-core) headroom class, with a
+//! per-GPU-level `u128` bitmap of non-empty core classes. A placement probes at most
+//! `gpus_per_node + 1` bitmap words (trailing-zeros to the smallest sufficient core
+//! class), so finding a fitting node is O(gpu levels) — independent of node count — and
+//! `release_slot` updates the index incrementally in O(1). Fully idle nodes all sit in
+//! the top headroom bucket, which doubles as the "idle nodes" fast list. The only path
+//! that can degrade to a bucket scan is a memory-constrained request racing nodes whose
+//! cores/GPUs are free but whose memory is not (memory is continuous and not bucketed).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -84,11 +98,135 @@ impl AllocationRequest {
     }
 }
 
+/// Highest core headroom class tracked distinctly; nodes with more free cores share the
+/// top class (so the per-GPU-level bitmap fits one `u128` word for any node width).
+const CORE_CLASS_CAP: u32 = 127;
+
+/// Free-capacity index over an allocation's nodes.
+///
+/// Nodes are bucketed by `(free_gpus, min(free_cores, CORE_CLASS_CAP))`. For each
+/// free-GPU level a `u128` bitmap marks which core classes have non-empty buckets, so a
+/// best-fit probe is a shift + trailing_zeros per GPU level. Membership updates are O(1)
+/// via a per-node (bucket, position) back-reference and swap-remove.
+struct CapacityIndex {
+    /// Number of distinct free-GPU levels (`gpus_per_node + 1`).
+    gpu_levels: usize,
+    /// Number of distinct core classes (`min(cores_per_node, CORE_CLASS_CAP) + 1`).
+    core_levels: usize,
+    /// `buckets[fg * core_levels + fc]` holds the node indices in that class.
+    buckets: Vec<Vec<usize>>,
+    /// `nonempty[fg]` bit `fc` set ⇔ bucket `(fg, fc)` is non-empty.
+    nonempty: Vec<u128>,
+    /// node index → (bucket id, position within the bucket's vec).
+    pos: Vec<(usize, usize)>,
+}
+
+impl CapacityIndex {
+    fn new(spec: NodeSpec, num_nodes: usize) -> Self {
+        let gpu_levels = spec.gpus as usize + 1;
+        let core_levels = spec.cores.min(CORE_CLASS_CAP) as usize + 1;
+        let mut index = CapacityIndex {
+            gpu_levels,
+            core_levels,
+            buckets: vec![Vec::new(); gpu_levels * core_levels],
+            nonempty: vec![0u128; gpu_levels],
+            pos: vec![(usize::MAX, usize::MAX); num_nodes],
+        };
+        // All nodes start fully free: top bucket = the idle-nodes fast list.
+        for node in 0..num_nodes {
+            index.insert(node, spec.gpus, spec.cores);
+        }
+        index
+    }
+
+    fn core_class(&self, free_cores: u32) -> usize {
+        (free_cores.min(CORE_CLASS_CAP) as usize).min(self.core_levels - 1)
+    }
+
+    fn bucket_id(&self, free_gpus: u32, free_cores: u32) -> usize {
+        free_gpus as usize * self.core_levels + self.core_class(free_cores)
+    }
+
+    fn insert(&mut self, node: usize, free_gpus: u32, free_cores: u32) {
+        let bucket = self.bucket_id(free_gpus, free_cores);
+        self.buckets[bucket].push(node);
+        self.pos[node] = (bucket, self.buckets[bucket].len() - 1);
+        self.nonempty[free_gpus as usize] |= 1u128 << self.core_class(free_cores);
+    }
+
+    fn remove(&mut self, node: usize) {
+        let (bucket, position) = self.pos[node];
+        let vec = &mut self.buckets[bucket];
+        vec.swap_remove(position);
+        if let Some(&moved) = vec.get(position) {
+            self.pos[moved] = (bucket, position);
+        }
+        if vec.is_empty() {
+            let fg = bucket / self.core_levels;
+            let fc = bucket % self.core_levels;
+            self.nonempty[fg] &= !(1u128 << fc);
+        }
+        self.pos[node] = (usize::MAX, usize::MAX);
+    }
+
+    /// Move `node` to the bucket matching its current free capacity.
+    fn update(&mut self, node: usize, free_gpus: u32, free_cores: u32) {
+        let target = self.bucket_id(free_gpus, free_cores);
+        if self.pos[node].0 == target {
+            return;
+        }
+        self.remove(node);
+        self.insert(node, free_gpus, free_cores);
+    }
+
+    /// Find a node able to host `req` right now: smallest sufficient free-GPU level,
+    /// then smallest sufficient core class (best fit, to limit fragmentation). Memory
+    /// is checked per candidate since it is not bucketed.
+    fn find(&self, req: &ResourceRequest, nodes: &[NodeState]) -> Option<usize> {
+        let want_fc = self.core_class(req.cores);
+        let needs_exact_cores = req.cores > CORE_CLASS_CAP;
+        let needs_mem = req.mem_gib > 0.0;
+        for fg in req.gpus as usize..self.gpu_levels {
+            let mut mask = self.nonempty[fg] & (!0u128 << want_fc);
+            while mask != 0 {
+                let fc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let bucket = &self.buckets[fg * self.core_levels + fc];
+                if needs_mem || needs_exact_cores {
+                    // Continuous constraints: scan the bucket for a true fit.
+                    if let Some(&node) = bucket.iter().find(|&&n| nodes[n].can_fit_now(req)) {
+                        return Some(node);
+                    }
+                } else if let Some(&node) = bucket.last() {
+                    // Class membership alone proves the fit.
+                    return Some(node);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Mutable allocation state: node occupancy plus the capacity index and cached
+/// aggregate counters, all guarded by one lock.
+struct AllocState {
+    nodes: Vec<NodeState>,
+    index: CapacityIndex,
+    free_cores: u32,
+    free_gpus: u32,
+    non_idle_nodes: usize,
+    /// IDs of slots handed out and not yet released. Releasing a slot that is not in
+    /// this set is rejected, so a double release can never re-credit resources
+    /// (memory in particular has no per-unit occupancy bit to catch it otherwise).
+    live_slots: std::collections::HashSet<u64>,
+}
+
 /// A granted allocation: a set of whole nodes owned by one pilot.
 pub struct Allocation {
     id: u64,
     platform: PlatformSpec,
-    nodes: Mutex<Vec<NodeState>>,
+    num_nodes: usize,
+    state: Mutex<AllocState>,
     next_slot_id: AtomicU64,
     /// Seconds spent waiting in the batch queue (0 if not modelled).
     queue_wait_secs: f64,
@@ -100,7 +238,7 @@ impl std::fmt::Debug for Allocation {
         f.debug_struct("Allocation")
             .field("id", &self.id)
             .field("platform", &self.platform.id)
-            .field("nodes", &self.num_nodes())
+            .field("nodes", &self.num_nodes)
             .field("walltime_secs", &self.walltime_secs)
             .finish()
     }
@@ -117,9 +255,9 @@ impl Allocation {
         &self.platform
     }
 
-    /// Number of nodes in the allocation.
+    /// Number of nodes in the allocation (O(1), lock-free).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.lock().len()
+        self.num_nodes
     }
 
     /// Shape of the allocation's nodes.
@@ -129,22 +267,27 @@ impl Allocation {
 
     /// Total cores across the allocation.
     pub fn total_cores(&self) -> u32 {
-        self.num_nodes() as u32 * self.platform.node.cores
+        self.num_nodes as u32 * self.platform.node.cores
     }
 
     /// Total GPUs across the allocation.
     pub fn total_gpus(&self) -> u32 {
-        self.num_nodes() as u32 * self.platform.node.gpus
+        self.num_nodes as u32 * self.platform.node.gpus
     }
 
-    /// Currently free cores across all nodes.
+    /// Currently free cores across all nodes (O(1): cached aggregate).
     pub fn free_cores(&self) -> u32 {
-        self.nodes.lock().iter().map(|n| n.free_cores()).sum()
+        self.state.lock().free_cores
     }
 
-    /// Currently free GPUs across all nodes.
+    /// Currently free GPUs across all nodes (O(1): cached aggregate).
     pub fn free_gpus(&self) -> u32 {
-        self.nodes.lock().iter().map(|n| n.free_gpus()).sum()
+        self.state.lock().free_gpus
+    }
+
+    /// Number of nodes with no reservation at all (O(1): cached).
+    pub fn idle_nodes(&self) -> usize {
+        self.num_nodes - self.state.lock().non_idle_nodes
     }
 
     /// Seconds this allocation waited in the batch queue before becoming active.
@@ -157,17 +300,14 @@ impl Allocation {
         self.walltime_secs
     }
 
-    /// Try to carve a slot satisfying `req` out of the allocation (first fit).
-    ///
-    /// Returns [`ResourceError::InsufficientResources`] when nothing currently fits and
-    /// [`ResourceError::NeverSatisfiable`] when no node shape could ever satisfy it.
-    pub fn allocate_slot(&self, req: &ResourceRequest) -> Result<Slot, ResourceError> {
-        let mut nodes = self.nodes.lock();
-        if nodes.is_empty() {
+    /// Check `req` against the node shape without touching occupancy: `Err` when no
+    /// node of this allocation could ever host it.
+    pub fn check_satisfiable(&self, req: &ResourceRequest) -> Result<(), ResourceError> {
+        if self.num_nodes == 0 {
             return Err(ResourceError::InsufficientResources);
         }
-        // A request larger than the node shape can never be satisfied.
-        if !nodes[0].can_ever_fit(req) {
+        let shape = &self.platform.node;
+        if req.cores > shape.cores || req.gpus > shape.gpus || req.mem_gib > shape.mem_gib {
             return Err(ResourceError::NeverSatisfiable {
                 reason: format!(
                     "request ({} cores, {} gpus, {:.1} GiB) exceeds the node shape",
@@ -175,37 +315,66 @@ impl Allocation {
                 ),
             });
         }
-        for (idx, node) in nodes.iter_mut().enumerate() {
-            if node.can_fit_now(req) {
-                let (core_ids, gpu_ids, mem_gib) = node.try_reserve(req)?;
-                let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
-                return Ok(Slot {
-                    id,
-                    node_index: idx,
-                    node_name: node.name.clone(),
-                    core_ids,
-                    gpu_ids,
-                    mem_gib,
-                });
-            }
-        }
-        Err(ResourceError::InsufficientResources)
-    }
-
-    /// Release a previously allocated slot.
-    pub fn release_slot(&self, slot: &Slot) -> Result<(), ResourceError> {
-        let mut nodes = self.nodes.lock();
-        let node = nodes.get_mut(slot.node_index).ok_or(ResourceError::UnknownSlot(slot.id))?;
-        if node.name != slot.node_name {
-            return Err(ResourceError::UnknownSlot(slot.id));
-        }
-        node.release(&slot.core_ids, &slot.gpu_ids, slot.mem_gib);
         Ok(())
     }
 
-    /// True when no slot is currently allocated.
+    /// Try to carve a slot satisfying `req` out of the allocation.
+    ///
+    /// Placement goes through the capacity index (best fit by GPU then core headroom)
+    /// instead of scanning nodes, so cost is independent of allocation size. Returns
+    /// [`ResourceError::InsufficientResources`] when nothing currently fits and
+    /// [`ResourceError::NeverSatisfiable`] when no node shape could ever satisfy it.
+    pub fn allocate_slot(&self, req: &ResourceRequest) -> Result<Slot, ResourceError> {
+        self.check_satisfiable(req)?;
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let node_index = st.index.find(req, &st.nodes).ok_or(ResourceError::InsufficientResources)?;
+        let node = &mut st.nodes[node_index];
+        let was_idle = node.is_idle();
+        let (core_ids, gpu_ids, mem_gib) = node.try_reserve(req)?;
+        st.free_cores -= core_ids.len() as u32;
+        st.free_gpus -= gpu_ids.len() as u32;
+        if was_idle && !node.is_idle() {
+            st.non_idle_nodes += 1;
+        }
+        let (free_gpus, free_cores, name) = (node.free_gpus(), node.free_cores(), Arc::clone(&node.name));
+        st.index.update(node_index, free_gpus, free_cores);
+        let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
+        st.live_slots.insert(id);
+        Ok(Slot { id, node_index, node_name: name, core_ids, gpu_ids, mem_gib })
+    }
+
+    /// Release a previously allocated slot, updating the capacity index incrementally.
+    /// Unknown, foreign, and already-released slots are all rejected.
+    pub fn release_slot(&self, slot: &Slot) -> Result<(), ResourceError> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let node = st.nodes.get_mut(slot.node_index).ok_or(ResourceError::UnknownSlot(slot.id))?;
+        if node.name != slot.node_name {
+            return Err(ResourceError::UnknownSlot(slot.id));
+        }
+        if !st.live_slots.remove(&slot.id) {
+            // Already released (or never issued): must not re-credit cores, GPUs, or —
+            // crucially — memory, which has no occupancy bit to catch the repeat.
+            return Err(ResourceError::UnknownSlot(slot.id));
+        }
+        let was_idle = node.is_idle();
+        // Deltas, not slot sizes: NodeState::release ignores double-released indices.
+        let (cores_before, gpus_before) = (node.free_cores(), node.free_gpus());
+        node.release(&slot.core_ids, &slot.gpu_ids, slot.mem_gib);
+        st.free_cores += node.free_cores() - cores_before;
+        st.free_gpus += node.free_gpus() - gpus_before;
+        if !was_idle && node.is_idle() {
+            st.non_idle_nodes -= 1;
+        }
+        let (free_gpus, free_cores) = (node.free_gpus(), node.free_cores());
+        st.index.update(slot.node_index, free_gpus, free_cores);
+        Ok(())
+    }
+
+    /// True when no slot is currently allocated (O(1): cached idle-node count).
     pub fn is_idle(&self) -> bool {
-        self.nodes.lock().iter().all(|n| n.is_idle())
+        self.state.lock().non_idle_nodes == 0
     }
 }
 
@@ -291,10 +460,19 @@ impl BatchSystem {
         let nodes: Vec<NodeState> = (0..req.nodes)
             .map(|i| NodeState::new(self.spec.node_name(i), self.spec.node))
             .collect();
+        let index = CapacityIndex::new(self.spec.node, req.nodes);
         Ok(Arc::new(Allocation {
             id,
             platform: self.spec.clone(),
-            nodes: Mutex::new(nodes),
+            num_nodes: req.nodes,
+            state: Mutex::new(AllocState {
+                nodes,
+                index,
+                free_cores: req.nodes as u32 * self.spec.node.cores,
+                free_gpus: req.nodes as u32 * self.spec.node.gpus,
+                non_idle_nodes: 0,
+                live_slots: std::collections::HashSet::new(),
+            }),
             next_slot_id: AtomicU64::new(0),
             queue_wait_secs,
             walltime_secs: req.walltime_secs,
@@ -380,6 +558,8 @@ mod tests {
         let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
         let err = alloc.allocate_slot(&ResourceRequest::cores(64)).unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
+        assert!(alloc.check_satisfiable(&ResourceRequest::cores(64)).is_err());
+        assert!(alloc.check_satisfiable(&ResourceRequest::cores(1)).is_ok());
     }
 
     #[test]
@@ -395,6 +575,32 @@ mod tests {
             mem_gib: 0.0,
         };
         assert!(matches!(alloc.release_slot(&bogus), Err(ResourceError::UnknownSlot(99))));
+        // Right index, wrong name: also rejected.
+        let wrong_name = Slot { node_index: 0, ..bogus };
+        assert!(matches!(alloc.release_slot(&wrong_name), Err(ResourceError::UnknownSlot(99))));
+    }
+
+    #[test]
+    fn double_release_is_rejected_and_does_not_recredit_memory() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
+        let node_mem = alloc.node_spec().mem_gib;
+        let hold =
+            alloc.allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem * 0.4 }).unwrap();
+        let victim =
+            alloc.allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem * 0.2 }).unwrap();
+        alloc.release_slot(&victim).unwrap();
+        assert!(
+            matches!(alloc.release_slot(&victim), Err(ResourceError::UnknownSlot(_))),
+            "second release of the same slot must be rejected"
+        );
+        // Were memory re-credited, this over-committing request would succeed.
+        let err = alloc
+            .allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem * 0.7 })
+            .unwrap_err();
+        assert_eq!(err, ResourceError::InsufficientResources);
+        alloc.release_slot(&hold).unwrap();
+        assert!(alloc.is_idle());
     }
 
     #[test]
@@ -419,6 +625,56 @@ mod tests {
         }
         assert_eq!(alloc.free_gpus(), 0);
         assert_eq!(slots.len(), 640);
+    }
+
+    #[test]
+    fn best_fit_prefers_partially_filled_nodes() {
+        let b = batch(PlatformId::Local); // 2 nodes x (8 cores, 2 gpus)
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let first = alloc.allocate_slot(&ResourceRequest::cores(2)).unwrap();
+        assert_eq!(alloc.idle_nodes(), 1);
+        // The next small request must pack onto the same node, keeping one node idle
+        // for whole-node or GPU-heavy placements.
+        let second = alloc.allocate_slot(&ResourceRequest::cores(2)).unwrap();
+        assert_eq!(second.node_index, first.node_index);
+        assert_eq!(alloc.idle_nodes(), 1);
+        // A whole-node request then takes the untouched node.
+        let whole = alloc.allocate_slot(&ResourceRequest::cores(8)).unwrap();
+        assert_ne!(whole.node_index, first.node_index);
+        assert_eq!(alloc.idle_nodes(), 0);
+    }
+
+    #[test]
+    fn gpu_requests_avoid_draining_gpu_rich_nodes() {
+        let b = batch(PlatformId::Local); // 2 nodes x (8 cores, 2 gpus)
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        // Take one GPU so node A is GPU-poorer than node B.
+        let gpu_slot = alloc.allocate_slot(&ResourceRequest::gpus(1)).unwrap();
+        // A CPU-only request should land on the GPU-poor node (smallest sufficient
+        // GPU level first), preserving node B for GPU work.
+        let cpu_slot = alloc.allocate_slot(&ResourceRequest::cores(1)).unwrap();
+        assert_eq!(cpu_slot.node_index, gpu_slot.node_index);
+        // And a 2-GPU request still finds the untouched node.
+        let big_gpu = alloc.allocate_slot(&ResourceRequest { cores: 2, gpus: 2, mem_gib: 0.0 }).unwrap();
+        assert_ne!(big_gpu.node_index, gpu_slot.node_index);
+    }
+
+    #[test]
+    fn memory_constrained_requests_fall_through_to_fitting_nodes() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let node_mem = alloc.node_spec().mem_gib;
+        // Consume almost all memory on one node (but only one core).
+        let hog =
+            alloc.allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem - 1.0 }).unwrap();
+        // A request needing lots of memory must skip the memory-hogged node even though
+        // its core class looks attractive.
+        let needy =
+            alloc.allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem / 2.0 }).unwrap();
+        assert_ne!(needy.node_index, hog.node_index);
+        alloc.release_slot(&hog).unwrap();
+        alloc.release_slot(&needy).unwrap();
+        assert!(alloc.is_idle());
     }
 
     #[test]

@@ -5,10 +5,19 @@
 //! one node, handed to a task or a service instance for its lifetime. The pilot's
 //! scheduler allocates slots from its [`crate::batch::Allocation`] and releases them when
 //! the task or service completes.
+//!
+//! Occupancy is tracked as `u128` bitmask words (bit set = unit free) with cached
+//! free-unit counters, so capacity queries are O(1) and index picking is a
+//! trailing-zeros scan over at most `ceil(cores/128)` words — placement cost does not
+//! grow with node size the way the former `Vec<bool>` scan did.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+/// Bits per occupancy word.
+const WORD_BITS: u32 = 128;
 
 /// Errors raised by resource accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,8 +115,10 @@ pub struct Slot {
     pub id: u64,
     /// Index of the node within the allocation.
     pub node_index: usize,
-    /// Node hostname (synthetic, e.g. `frontier-0042`).
-    pub node_name: String,
+    /// Node hostname (synthetic, e.g. `frontier-0042`). Interned: cloning a slot or
+    /// creating one from a node shares the allocation's name storage instead of
+    /// heap-allocating per placement.
+    pub node_name: Arc<str>,
     /// Core indices reserved on the node.
     pub core_ids: Vec<u32>,
     /// GPU indices reserved on the node.
@@ -128,38 +139,89 @@ impl Slot {
     }
 }
 
+/// A bitmask over `n` resource units; bit set = unit free.
+fn full_mask(n: u32) -> Vec<u128> {
+    let words = n.div_ceil(WORD_BITS) as usize;
+    let mut mask = vec![!0u128; words];
+    let rem = n % WORD_BITS;
+    if rem != 0 {
+        if let Some(last) = mask.last_mut() {
+            *last = (!0u128) >> (WORD_BITS - rem);
+        }
+    }
+    mask
+}
+
+/// Clear `count` set bits (lowest-index first) and append their indices to `out`.
+/// The caller guarantees at least `count` bits are set.
+fn take_units(mask: &mut [u128], count: u32, out: &mut Vec<u32>) {
+    let mut need = count;
+    for (w, word) in mask.iter_mut().enumerate() {
+        while need > 0 && *word != 0 {
+            let bit = word.trailing_zeros();
+            *word &= *word - 1; // clear lowest set bit
+            out.push(w as u32 * WORD_BITS + bit);
+            need -= 1;
+        }
+        if need == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(need, 0, "take_units called with fewer free bits than requested");
+}
+
+/// Set the bit for unit `id` if it is within bounds and currently clear.
+/// Returns `true` when the bit was actually set (so double releases do not
+/// inflate the cached free counters).
+fn return_unit(mask: &mut [u128], total: u32, id: u32) -> bool {
+    if id >= total {
+        return false;
+    }
+    let word = (id / WORD_BITS) as usize;
+    let bit = 1u128 << (id % WORD_BITS);
+    if mask[word] & bit != 0 {
+        return false;
+    }
+    mask[word] |= bit;
+    true
+}
+
 /// Mutable occupancy state of one node.
 #[derive(Debug, Clone)]
 pub struct NodeState {
     /// Node shape.
     pub spec: NodeSpec,
-    /// Node hostname.
-    pub name: String,
-    core_free: Vec<bool>,
-    gpu_free: Vec<bool>,
+    /// Node hostname (interned; slot creation clones the `Arc`, not the string).
+    pub name: Arc<str>,
+    core_mask: Vec<u128>,
+    gpu_mask: Vec<u128>,
+    free_cores: u32,
+    free_gpus: u32,
     mem_free_gib: f64,
 }
 
 impl NodeState {
     /// Create a fully free node.
-    pub fn new(name: impl Into<String>, spec: NodeSpec) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, spec: NodeSpec) -> Self {
         NodeState {
             spec,
             name: name.into(),
-            core_free: vec![true; spec.cores as usize],
-            gpu_free: vec![true; spec.gpus as usize],
+            core_mask: full_mask(spec.cores),
+            gpu_mask: full_mask(spec.gpus),
+            free_cores: spec.cores,
+            free_gpus: spec.gpus,
             mem_free_gib: spec.mem_gib,
         }
     }
 
-    /// Number of currently free cores.
+    /// Number of currently free cores (O(1): cached counter).
     pub fn free_cores(&self) -> u32 {
-        self.core_free.iter().filter(|f| **f).count() as u32
+        self.free_cores
     }
 
-    /// Number of currently free GPUs.
+    /// Number of currently free GPUs (O(1): cached counter).
     pub fn free_gpus(&self) -> u32 {
-        self.gpu_free.iter().filter(|f| **f).count() as u32
+        self.free_gpus
     }
 
     /// Currently free memory, GiB.
@@ -167,10 +229,10 @@ impl NodeState {
         self.mem_free_gib
     }
 
-    /// True if the node has no reservations at all.
+    /// True if the node has no reservations at all (O(1)).
     pub fn is_idle(&self) -> bool {
-        self.free_cores() == self.spec.cores
-            && self.free_gpus() == self.spec.gpus
+        self.free_cores == self.spec.cores
+            && self.free_gpus == self.spec.gpus
             && (self.mem_free_gib - self.spec.mem_gib).abs() < 1e-9
     }
 
@@ -179,9 +241,9 @@ impl NodeState {
         req.cores <= self.spec.cores && req.gpus <= self.spec.gpus && req.mem_gib <= self.spec.mem_gib
     }
 
-    /// Whether `req` fits the node right now.
+    /// Whether `req` fits the node right now (O(1)).
     pub fn can_fit_now(&self, req: &ResourceRequest) -> bool {
-        req.cores <= self.free_cores() && req.gpus <= self.free_gpus() && req.mem_gib <= self.mem_free_gib + 1e-9
+        req.cores <= self.free_cores && req.gpus <= self.free_gpus && req.mem_gib <= self.mem_free_gib + 1e-9
     }
 
     /// Try to reserve `req` on this node, returning the concrete core/GPU indices.
@@ -201,39 +263,26 @@ impl NodeState {
             return Err(ResourceError::InsufficientResources);
         }
         let mut cores = Vec::with_capacity(req.cores as usize);
-        for (idx, free) in self.core_free.iter_mut().enumerate() {
-            if cores.len() == req.cores as usize {
-                break;
-            }
-            if *free {
-                *free = false;
-                cores.push(idx as u32);
-            }
-        }
+        take_units(&mut self.core_mask, req.cores, &mut cores);
+        self.free_cores -= req.cores;
         let mut gpus = Vec::with_capacity(req.gpus as usize);
-        for (idx, free) in self.gpu_free.iter_mut().enumerate() {
-            if gpus.len() == req.gpus as usize {
-                break;
-            }
-            if *free {
-                *free = false;
-                gpus.push(idx as u32);
-            }
-        }
+        take_units(&mut self.gpu_mask, req.gpus, &mut gpus);
+        self.free_gpus -= req.gpus;
         self.mem_free_gib -= req.mem_gib;
         Ok((cores, gpus, req.mem_gib))
     }
 
-    /// Release previously reserved resources.
+    /// Release previously reserved resources. Out-of-range or already-free indices are
+    /// ignored, so double releases never inflate the free counters.
     pub fn release(&mut self, core_ids: &[u32], gpu_ids: &[u32], mem_gib: f64) {
         for &c in core_ids {
-            if let Some(f) = self.core_free.get_mut(c as usize) {
-                *f = true;
+            if return_unit(&mut self.core_mask, self.spec.cores, c) {
+                self.free_cores += 1;
             }
         }
         for &g in gpu_ids {
-            if let Some(f) = self.gpu_free.get_mut(g as usize) {
-                *f = true;
+            if return_unit(&mut self.gpu_mask, self.spec.gpus, g) {
+                self.free_gpus += 1;
             }
         }
         self.mem_free_gib = (self.mem_free_gib + mem_gib).min(self.spec.mem_gib);
@@ -312,6 +361,15 @@ mod tests {
     }
 
     #[test]
+    fn release_ignores_out_of_range_indices() {
+        let mut n = node();
+        n.release(&[999], &[999], 0.0);
+        assert_eq!(n.free_cores(), 8);
+        assert_eq!(n.free_gpus(), 4);
+        assert!(n.is_idle());
+    }
+
+    #[test]
     fn resource_request_constructors() {
         let r = ResourceRequest::cores(4);
         assert_eq!(r.cores, 4);
@@ -337,6 +395,35 @@ mod tests {
         };
         assert_eq!(s.num_cores(), 2);
         assert_eq!(s.num_gpus(), 1);
+    }
+
+    #[test]
+    fn wide_node_spans_multiple_mask_words() {
+        // 192 cores = one full u128 word plus a 64-bit tail.
+        let spec = NodeSpec::new(192, 0, 1024.0, 0.0);
+        let mut n = NodeState::new("wide-0000", spec);
+        assert_eq!(n.free_cores(), 192);
+        let (cores, _, _) = n.try_reserve(&ResourceRequest::cores(130)).unwrap();
+        assert_eq!(cores.len(), 130);
+        assert_eq!(n.free_cores(), 62);
+        // Indices must be distinct and include both words.
+        let mut sorted = cores.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 130);
+        assert!(sorted.iter().any(|&c| c >= 128), "second word must be used");
+        n.release(&cores, &[], 0.0);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn freed_low_indices_are_reused_first() {
+        let mut n = node();
+        let (first, _, _) = n.try_reserve(&ResourceRequest::cores(2)).unwrap();
+        let (_second, _, _) = n.try_reserve(&ResourceRequest::cores(2)).unwrap();
+        n.release(&first, &[], 0.0);
+        let (third, _, _) = n.try_reserve(&ResourceRequest::cores(2)).unwrap();
+        assert_eq!(third, first, "trailing-zeros picking reuses the lowest free indices");
     }
 
     #[test]

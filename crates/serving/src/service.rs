@@ -239,7 +239,7 @@ mod tests {
     fn llm_inference_reports_dominant_inference_time() {
         let c = clock();
         let (stop, handle, client) = start_service(ModelSpec::sim_llama_8b(), Arc::clone(&c));
-        let req = InferenceRequest::new(&"word ".repeat(60), 128).from_client("task.1");
+        let req = InferenceRequest::new("word ".repeat(60), 128).from_client("task.1");
         let reply = client.request(inference_request_message("svc.test", &req)).unwrap();
         assert_eq!(reply.kind, KIND_INFER_REPLY);
         let inference = reply.f64_header(HDR_INFERENCE_SECS).unwrap();
@@ -326,7 +326,7 @@ mod tests {
 
         let send = |client: hpcml_comm::ReqRepClient| {
             thread::spawn(move || {
-                let req = InferenceRequest::new(&"w ".repeat(40), 64);
+                let req = InferenceRequest::new("w ".repeat(40), 64);
                 client.request(inference_request_message("svc.q", &req)).unwrap()
             })
         };

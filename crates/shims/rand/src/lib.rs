@@ -1,0 +1,188 @@
+//! Offline shim for the `rand` API surface used by this workspace.
+//!
+//! Provides [`RngCore`], [`Rng`] (with `gen_range`/`gen_bool`), [`SeedableRng`] and
+//! [`rngs::StdRng`] backed by the SplitMix64 generator. The statistical quality is more
+//! than sufficient for the duration models in this workspace, and seeding is fully
+//! deterministic (same seed → same stream), which is all the experiments require.
+
+use std::ops::Range;
+
+/// Low-level generator interface (object safe).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a uniform value of type `T` (only `f64` in `[0,1)` is supported).
+    fn gen<T: SampleUniform>(&mut self) -> T {
+        T::sample_unit(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+    /// Uniform draw from the type's unit interval / full domain.
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range requires a non-empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = range.start + u * (range.end - range.start);
+        // Guard against FP rounding landing exactly on the excluded upper bound.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range requires a non-empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                range.start.wrapping_add(draw as $t)
+            }
+
+            fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Passes the statistical bar needed by the duration models here (uniform 64-bit
+    /// output, full period over the state space) while staying dependency-free.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(2.0..4.0);
+            assert!((2.0..4.0).contains(&v));
+        }
+        let mean: f64 = (0..40_000).map(|_| r.gen_range(0.0..1.0)).sum::<f64>() / 40_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all values hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn dyn_rngcore_is_usable() {
+        let mut r = StdRng::seed_from_u64(4);
+        let dynr: &mut dyn RngCore = &mut r;
+        let v = dynr.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline shim for the `serde` facade.
+//!
+//! The derive macros (re-exported from the `serde_derive` shim) expand to nothing, and
+//! the traits are blanket-implemented markers, so `#[derive(Serialize, Deserialize)]`
+//! and `T: Serialize` bounds compile unchanged. Swap this shim for the real crates by
+//! pointing the workspace `[workspace.dependencies]` entries back at the registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented owned-deserialisation marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its spec/description types so
+//! they stay wire-ready, but nothing in the tree actually serialises them (there is no
+//! `serde_json` in the environment). The companion `serde` shim provides blanket
+//! implementations of the marker traits, so an empty expansion is exactly right.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

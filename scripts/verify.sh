@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify path for this repository.
+#
+# Beyond build + tests, this compiles every bench target (`cargo bench --no-run`) and
+# lints with `-D warnings`, so benches and shims cannot bit-rot silently between PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (root package: integration suites)"
+cargo test -q
+
+echo "==> cargo test -q --workspace (all crates incl. shims)"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo bench --no-run (bench targets must keep compiling)"
+cargo bench --no-run
+
+echo "verify: OK"
