@@ -18,13 +18,17 @@ fn bench_bootstrap(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(8));
     for &instances in &[1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(instances), &instances, |b, &n| {
-            b.iter(|| {
-                let result = run_one(n, &config);
-                assert_eq!(result.components["init"].count, n);
-                result
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(instances),
+            &instances,
+            |b, &n| {
+                b.iter(|| {
+                    let result = run_one(n, &config);
+                    assert_eq!(result.components["init"].count, n);
+                    result
+                });
+            },
+        );
     }
     group.finish();
 }

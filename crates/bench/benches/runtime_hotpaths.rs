@@ -39,9 +39,13 @@ fn bench_codec(c: &mut Criterion) {
 
 fn bench_registry(c: &mut Criterion) {
     let registry = EndpointRegistry::new();
-    let servers: Vec<ReqRepServer> = (0..64).map(|i| ReqRepServer::new(format!("service.svc-{i:03}"))).collect();
+    let servers: Vec<ReqRepServer> = (0..64)
+        .map(|i| ReqRepServer::new(format!("service.svc-{i:03}")))
+        .collect();
     for s in &servers {
-        registry.register(s.name().to_string(), s.handle(), BTreeMap::new()).unwrap();
+        registry
+            .register(s.name().to_string(), s.handle(), BTreeMap::new())
+            .unwrap();
     }
     c.bench_function("registry/lookup_64", |b| {
         b.iter(|| registry.lookup(black_box("service.svc-031")).unwrap())
@@ -71,14 +75,17 @@ fn bench_scheduler(c: &mut Criterion) {
         // node and no node is left idle or full.
         let spec = alloc.node_spec();
         let half_fill = ResourceRequest::cores(spec.cores / 2 + 1);
-        let held: Vec<_> =
-            (0..nodes).map(|_| alloc.allocate_slot(&half_fill).unwrap()).collect();
+        let held: Vec<_> = (0..nodes)
+            .map(|_| alloc.allocate_slot(&half_fill).unwrap())
+            .collect();
         assert_eq!(alloc.idle_nodes(), 0, "pre-fill must touch every node");
         let scheduler = Scheduler::new(alloc);
         let req = ResourceRequest::cores(4);
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| {
-                let slot = scheduler.allocate(&req, Priority::Task, Duration::from_secs(1)).unwrap();
+                let slot = scheduler
+                    .allocate(&req, Priority::Task, Duration::from_secs(1))
+                    .unwrap();
                 scheduler.release(&slot).unwrap();
             })
         });
@@ -108,8 +115,9 @@ fn bench_scheduler_churn(c: &mut Criterion) {
                     handles.push(std::thread::spawn(move || {
                         let req = ResourceRequest::cores(4);
                         for _ in 0..256 {
-                            let slot =
-                                s.allocate(&req, Priority::Task, Duration::from_secs(10)).unwrap();
+                            let slot = s
+                                .allocate(&req, Priority::Task, Duration::from_secs(10))
+                                .unwrap();
                             s.release(&slot).unwrap();
                         }
                     }));
@@ -142,8 +150,9 @@ fn bench_scheduler_waitqueue(c: &mut Criterion) {
                 handles.push(std::thread::spawn(move || {
                     let req = ResourceRequest::cores(48);
                     for _ in 0..32 {
-                        let slot =
-                            s.allocate(&req, Priority::Task, Duration::from_secs(30)).unwrap();
+                        let slot = s
+                            .allocate(&req, Priority::Task, Duration::from_secs(30))
+                            .unwrap();
                         s.release(&slot).unwrap();
                     }
                 }));
@@ -178,7 +187,9 @@ fn bench_noop_roundtrip(c: &mut Criterion) {
 
 fn bench_stats(c: &mut Criterion) {
     let samples: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin().abs()).collect();
-    c.bench_function("stats/summary_4096", |b| b.iter(|| Summary::from_slice(black_box(&samples))));
+    c.bench_function("stats/summary_4096", |b| {
+        b.iter(|| Summary::from_slice(black_box(&samples)))
+    });
 }
 
 criterion_group!(

@@ -5,11 +5,15 @@
 //! the series plotted in the paper's Fig. 3.
 
 use hpcml_bench::exp1::{run_sweep, BootstrapConfig};
-use hpcml_bench::report::{render_csv, render_table};
 use hpcml_bench::full_scale;
+use hpcml_bench::report::{render_csv, render_table};
 
 fn main() {
-    let config = if full_scale() { BootstrapConfig::paper() } else { BootstrapConfig::quick() };
+    let config = if full_scale() {
+        BootstrapConfig::paper()
+    } else {
+        BootstrapConfig::quick()
+    };
     eprintln!(
         "exp1: sweeping {:?} concurrent llama-8b services on a Frontier-profile pilot (HPCML_FULL={})",
         config.instance_counts,
@@ -19,7 +23,11 @@ fn main() {
     let rows: Vec<_> = results.iter().map(|r| r.to_row()).collect();
     println!(
         "{}",
-        render_table("Fig. 3 — service bootstrap times (per instance, seconds)", &["launch", "init", "publish"], &rows)
+        render_table(
+            "Fig. 3 — service bootstrap times (per instance, seconds)",
+            &["launch", "init", "publish"],
+            &rows
+        )
     );
     println!("{}", render_csv(&rows));
 }

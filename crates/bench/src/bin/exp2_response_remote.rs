@@ -1,8 +1,8 @@
 //! Experiment 2 (remote) / Fig. 5 — strong and weak scaling of remote NOOP response time.
 
 use hpcml_bench::exp2::{run_sweep, Deployment, Scaling, ScalingConfig};
-use hpcml_bench::report::{render_csv, render_table};
 use hpcml_bench::full_scale;
+use hpcml_bench::report::{render_csv, render_table};
 
 fn main() {
     let config = if full_scale() {

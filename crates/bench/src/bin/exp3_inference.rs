@@ -3,12 +3,15 @@
 
 use hpcml_bench::exp2::{Deployment, Scaling};
 use hpcml_bench::exp3::run;
-use hpcml_bench::report::{render_csv, render_table};
 use hpcml_bench::full_scale;
+use hpcml_bench::report::{render_csv, render_table};
 
 fn main() {
     let quick = !full_scale();
-    eprintln!("exp3: Delta pilot, llama-8b services, local and remote (HPCML_FULL={})", full_scale());
+    eprintln!(
+        "exp3: Delta pilot, llama-8b services, local and remote (HPCML_FULL={})",
+        full_scale()
+    );
 
     for deployment in [Deployment::Remote, Deployment::Local] {
         let strong = run(Scaling::Strong, deployment, quick);

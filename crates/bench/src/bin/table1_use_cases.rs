@@ -13,10 +13,15 @@ fn main() {
 
     println!("## Implemented pipeline structures (test-scale configurations)");
     let pipelines = vec![
-        ("cell-painting", structure(&cell_painting_pipeline(&CellPaintingConfig::test_scale()))),
+        (
+            "cell-painting",
+            structure(&cell_painting_pipeline(&CellPaintingConfig::test_scale())),
+        ),
         (
             "signature-detection",
-            structure(&signature_detection_pipeline(&SignatureDetectionConfig::test_scale())),
+            structure(&signature_detection_pipeline(
+                &SignatureDetectionConfig::test_scale(),
+            )),
         ),
         (
             "uncertainty-quantification",

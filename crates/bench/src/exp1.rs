@@ -67,7 +67,11 @@ pub struct BootstrapResult {
 impl BootstrapResult {
     /// Convert to a printable row.
     pub fn to_row(&self) -> Row {
-        Row::new(format!("instances={}", self.instances), self.components.clone(), self.total)
+        Row::new(
+            format!("instances={}", self.instances),
+            self.components.clone(),
+            self.total,
+        )
     }
 }
 
@@ -84,7 +88,11 @@ pub fn run_one(instances: usize, config: &BootstrapConfig) -> BootstrapResult {
     // One GPU per service; Frontier nodes expose 8 GPUs, so round the node count up.
     let nodes = instances.div_ceil(8).max(1);
     session
-        .submit_pilot(PilotDescription::new(PlatformId::Frontier).nodes(nodes).runtime_secs(7200.0))
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Frontier)
+                .nodes(nodes)
+                .runtime_secs(7200.0),
+        )
         .expect("pilot");
 
     let handles: Vec<_> = (0..instances)
@@ -100,7 +108,8 @@ pub fn run_one(instances: usize, config: &BootstrapConfig) -> BootstrapResult {
         })
         .collect();
     for h in &handles {
-        h.wait_ready_timeout(Duration::from_secs(600)).expect("service ready");
+        h.wait_ready_timeout(Duration::from_secs(600))
+            .expect("service ready");
     }
 
     let metrics = session.metrics();
@@ -115,7 +124,11 @@ pub fn run_one(instances: usize, config: &BootstrapConfig) -> BootstrapResult {
 
 /// Run the full sweep.
 pub fn run_sweep(config: &BootstrapConfig) -> Vec<BootstrapResult> {
-    config.instance_counts.iter().map(|&n| run_one(n, config)).collect()
+    config
+        .instance_counts
+        .iter()
+        .map(|&n| run_one(n, config))
+        .collect()
 }
 
 #[cfg(test)]

@@ -140,7 +140,12 @@ impl ScalingResult {
     /// Convert to a printable row.
     pub fn to_row(&self) -> Row {
         Row::new(
-            format!("{} clients={} services={}", self.deployment.label(), self.clients, self.services),
+            format!(
+                "{} clients={} services={}",
+                self.deployment.label(),
+                self.clients,
+                self.services
+            ),
             self.components.clone(),
             self.total,
         )
@@ -149,16 +154,25 @@ impl ScalingResult {
 
 /// Run one `(clients, services)` configuration.
 pub fn run_one(clients: usize, services: usize, config: &ScalingConfig) -> ScalingResult {
-    let session = Session::builder(format!("exp2-{}-{}x{}", config.deployment.label(), clients, services))
-        .platform(PlatformId::Delta)
-        .clock(ClockSpec::scaled(config.clock_scale))
-        .seed(config.seed)
-        .build()
-        .expect("session");
+    let session = Session::builder(format!(
+        "exp2-{}-{}x{}",
+        config.deployment.label(),
+        clients,
+        services
+    ))
+    .platform(PlatformId::Delta)
+    .clock(ClockSpec::scaled(config.clock_scale))
+    .seed(config.seed)
+    .build()
+    .expect("session");
 
     // The paper's experiment 2/3 pilot: 256 cores / 16 GPUs => 4 Delta nodes.
     session
-        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(4).runtime_secs(7200.0))
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Delta)
+                .nodes(4)
+                .runtime_secs(7200.0),
+        )
         .expect("pilot");
 
     // Bring the services up.
@@ -167,7 +181,11 @@ pub fn run_one(clients: usize, services: usize, config: &ScalingConfig) -> Scali
         .iter()
         .map(|name| {
             let mut desc = ServiceDescription::new(name.clone()).model(config.model.clone());
-            desc = if config.model.is_noop() { desc.cores(1) } else { desc.gpus(1) };
+            desc = if config.model.is_noop() {
+                desc.cores(1)
+            } else {
+                desc.gpus(1)
+            };
             if config.deployment == Deployment::Remote {
                 desc = desc.remote(PlatformId::R3Cloud);
             }
@@ -175,7 +193,8 @@ pub fn run_one(clients: usize, services: usize, config: &ScalingConfig) -> Scali
         })
         .collect();
     for h in &svc_handles {
-        h.wait_ready_timeout(Duration::from_secs(300)).expect("service ready");
+        h.wait_ready_timeout(Duration::from_secs(300))
+            .expect("service ready");
     }
 
     // Launch the clients; each spreads its requests round-robin over all services.
@@ -185,7 +204,9 @@ pub fn run_one(clients: usize, services: usize, config: &ScalingConfig) -> Scali
                 .submit_task(
                     TaskDescription::new(format!("client-{i:03}"))
                         .kind(TaskKind::InferenceClient {
-                            selector: hpcml_runtime::describe::ServiceSelector::Named(service_names.clone()),
+                            selector: hpcml_runtime::describe::ServiceSelector::Named(
+                                service_names.clone(),
+                            ),
                             requests: config.requests_per_client,
                             prompt_words: 48,
                             max_tokens: config.max_tokens,
@@ -197,7 +218,8 @@ pub fn run_one(clients: usize, services: usize, config: &ScalingConfig) -> Scali
         })
         .collect();
     for h in &client_handles {
-        h.wait_done_timeout(Duration::from_secs(900)).expect("client done");
+        h.wait_done_timeout(Duration::from_secs(900))
+            .expect("client done");
     }
 
     let metrics = session.metrics();
@@ -248,7 +270,10 @@ mod tests {
     fn local_noop_rt_is_dominated_by_communication() {
         let r = run_one(2, 2, &tiny(Deployment::Local));
         assert_eq!(r.components["communication"].count, 24);
-        assert!(r.components["inference"].mean < 1e-6, "NOOP inference must be ~0");
+        assert!(
+            r.components["inference"].mean < 1e-6,
+            "NOOP inference must be ~0"
+        );
         assert!(
             r.components["communication"].mean > r.components["service"].mean,
             "communication {:.6} must dominate service {:.6}",
@@ -256,7 +281,11 @@ mod tests {
             r.components["service"].mean
         );
         // Local latency is sub-millisecond.
-        assert!(r.total.mean < 0.01, "local NOOP RT should be well below 10 ms, got {}", r.total.mean);
+        assert!(
+            r.total.mean < 0.01,
+            "local NOOP RT should be well below 10 ms, got {}",
+            r.total.mean
+        );
         assert!(r.to_row().label.contains("local"));
     }
 

@@ -48,7 +48,10 @@ mod tests {
         let r = run_one(2, 2, &tiny_llm(Deployment::Remote));
         let inference = r.components["inference"].mean;
         let communication = r.components["communication"].mean;
-        assert!(inference > 0.5, "llama-8b inference must take seconds, got {inference}");
+        assert!(
+            inference > 0.5,
+            "llama-8b inference must take seconds, got {inference}"
+        );
         assert!(
             inference > 10.0 * communication,
             "inference {inference} must dwarf communication {communication}"
@@ -74,6 +77,9 @@ mod tests {
         let local = run_one(1, 1, &tiny_llm(Deployment::Local));
         let remote = run_one(1, 1, &tiny_llm(Deployment::Remote));
         let ratio = remote.components["inference"].mean / local.components["inference"].mean;
-        assert!((0.5..2.0).contains(&ratio), "inference times should be comparable, ratio {ratio}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "inference times should be comparable, ratio {ratio}"
+        );
     }
 }

@@ -26,5 +26,7 @@ pub mod tables;
 /// Returns true when the harness should run at full paper scale (set `HPCML_FULL=1`).
 /// The default is a reduced scale that finishes in seconds while preserving the shapes.
 pub fn full_scale() -> bool {
-    std::env::var("HPCML_FULL").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+    std::env::var("HPCML_FULL")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }

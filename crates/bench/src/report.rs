@@ -17,8 +17,16 @@ pub struct Row {
 
 impl Row {
     /// Create a row.
-    pub fn new(label: impl Into<String>, components: BTreeMap<String, Summary>, total: Summary) -> Self {
-        Row { label: label.into(), components, total }
+    pub fn new(
+        label: impl Into<String>,
+        components: BTreeMap<String, Summary>,
+        total: Summary,
+    ) -> Self {
+        Row {
+            label: label.into(),
+            components,
+            total,
+        }
     }
 }
 
@@ -35,7 +43,10 @@ pub fn render_table(title: &str, component_order: &[&str], rows: &[Row]) -> Stri
         out.push_str(&format!("{:<28}", row.label));
         for c in component_order {
             match row.components.get(*c) {
-                Some(s) => out.push_str(&format!("{:>24}", format!("{:.4} ± {:.4}", s.mean, s.std_dev))),
+                Some(s) => out.push_str(&format!(
+                    "{:>24}",
+                    format!("{:.4} ± {:.4}", s.mean, s.std_dev)
+                )),
                 None => out.push_str(&format!("{:>24}", "-")),
             }
         }
@@ -49,7 +60,8 @@ pub fn render_table(title: &str, component_order: &[&str], rows: &[Row]) -> Stri
 
 /// Render rows as CSV (`label,component,mean,std,min,p50,p95,max,count`).
 pub fn render_csv(rows: &[Row]) -> String {
-    let mut out = String::from("configuration,component,mean_s,std_s,min_s,p50_s,p95_s,max_s,count\n");
+    let mut out =
+        String::from("configuration,component,mean_s,std_s,min_s,p50_s,p95_s,max_s,count\n");
     for row in rows {
         for (name, s) in &row.components {
             out.push_str(&format!(
@@ -80,7 +92,11 @@ mod tests {
         let mut components = BTreeMap::new();
         components.insert("launch".to_string(), Summary::from_slice(&[2.0, 2.2, 1.8]));
         components.insert("init".to_string(), Summary::from_slice(&[30.0, 31.0, 29.0]));
-        Row::new("services=4", components, Summary::from_slice(&[32.0, 33.2, 30.8]))
+        Row::new(
+            "services=4",
+            components,
+            Summary::from_slice(&[32.0, 33.2, 30.8]),
+        )
     }
 
     #[test]

@@ -30,11 +30,66 @@ pub struct ExperimentSetupRow {
 /// The contents of the paper's Table II.
 pub fn experiment_setup_table() -> Vec<ExperimentSetupRow> {
     vec![
-        ExperimentSetupRow { id: 1, platform: "Frontier", task_type: "n/a", model: "llama 8b", deployment: "local", tasks: "n/a", models: "1-640", cores_per_pilot: 640, gpus_per_pilot: 40, scaling: "weak" },
-        ExperimentSetupRow { id: 2, platform: "Delta", task_type: "NOOP", model: "noop", deployment: "local", tasks: "1-16", models: "1-16", cores_per_pilot: 256, gpus_per_pilot: 16, scaling: "strong/weak" },
-        ExperimentSetupRow { id: 2, platform: "Delta and R3", task_type: "NOOP", model: "noop", deployment: "remote", tasks: "1-16", models: "1-16", cores_per_pilot: 256, gpus_per_pilot: 16, scaling: "strong/weak" },
-        ExperimentSetupRow { id: 3, platform: "Delta", task_type: "inference", model: "llama 8b", deployment: "local", tasks: "1-16", models: "1-16", cores_per_pilot: 256, gpus_per_pilot: 16, scaling: "strong/weak" },
-        ExperimentSetupRow { id: 3, platform: "Delta and R3", task_type: "inference", model: "llama 8b", deployment: "remote", tasks: "1-16", models: "1-16", cores_per_pilot: 256, gpus_per_pilot: 16, scaling: "strong/weak" },
+        ExperimentSetupRow {
+            id: 1,
+            platform: "Frontier",
+            task_type: "n/a",
+            model: "llama 8b",
+            deployment: "local",
+            tasks: "n/a",
+            models: "1-640",
+            cores_per_pilot: 640,
+            gpus_per_pilot: 40,
+            scaling: "weak",
+        },
+        ExperimentSetupRow {
+            id: 2,
+            platform: "Delta",
+            task_type: "NOOP",
+            model: "noop",
+            deployment: "local",
+            tasks: "1-16",
+            models: "1-16",
+            cores_per_pilot: 256,
+            gpus_per_pilot: 16,
+            scaling: "strong/weak",
+        },
+        ExperimentSetupRow {
+            id: 2,
+            platform: "Delta and R3",
+            task_type: "NOOP",
+            model: "noop",
+            deployment: "remote",
+            tasks: "1-16",
+            models: "1-16",
+            cores_per_pilot: 256,
+            gpus_per_pilot: 16,
+            scaling: "strong/weak",
+        },
+        ExperimentSetupRow {
+            id: 3,
+            platform: "Delta",
+            task_type: "inference",
+            model: "llama 8b",
+            deployment: "local",
+            tasks: "1-16",
+            models: "1-16",
+            cores_per_pilot: 256,
+            gpus_per_pilot: 16,
+            scaling: "strong/weak",
+        },
+        ExperimentSetupRow {
+            id: 3,
+            platform: "Delta and R3",
+            task_type: "inference",
+            model: "llama 8b",
+            deployment: "remote",
+            tasks: "1-16",
+            models: "1-16",
+            cores_per_pilot: 256,
+            gpus_per_pilot: 16,
+            scaling: "strong/weak",
+        },
     ]
 }
 
@@ -65,7 +120,16 @@ pub fn render_table2() -> String {
     let mut out = String::from("## Table II — experiment setup\n");
     out.push_str(&format!(
         "{:<4}{:<16}{:<12}{:<10}{:<12}{:<8}{:<8}{:<14}{:<14}{:<12}\n",
-        "ID", "Platform", "Task type", "Model", "Deployment", "Tasks", "Models", "Cores/pilot", "GPUs/pilot", "Scaling"
+        "ID",
+        "Platform",
+        "Task type",
+        "Model",
+        "Deployment",
+        "Tasks",
+        "Models",
+        "Cores/pilot",
+        "GPUs/pilot",
+        "Scaling"
     ));
     for row in experiment_setup_table() {
         out.push_str(&format!(
@@ -103,8 +167,14 @@ mod tests {
         assert_eq!(exp1.gpus_per_pilot, 40);
         assert_eq!(exp1.scaling, "weak");
         assert!(rows.iter().filter(|r| r.id == 2).count() == 2);
-        assert!(rows.iter().filter(|r| r.id == 3).all(|r| r.model == "llama 8b"));
-        assert!(rows.iter().filter(|r| r.id >= 2).all(|r| r.cores_per_pilot == 256 && r.gpus_per_pilot == 16));
+        assert!(rows
+            .iter()
+            .filter(|r| r.id == 3)
+            .all(|r| r.model == "llama 8b"));
+        assert!(rows
+            .iter()
+            .filter(|r| r.id >= 2)
+            .all(|r| r.cores_per_pilot == 256 && r.gpus_per_pilot == 16));
     }
 
     #[test]

@@ -39,8 +39,14 @@ mod tests {
     fn display_is_informative() {
         assert!(CommError::Disconnected.to_string().contains("disconnected"));
         assert!(CommError::Timeout.to_string().contains("timed out"));
-        assert!(CommError::Codec("bad length".into()).to_string().contains("bad length"));
-        assert!(CommError::EndpointNotFound("svc".into()).to_string().contains("svc"));
-        assert!(CommError::AlreadyRegistered("svc".into()).to_string().contains("svc"));
+        assert!(CommError::Codec("bad length".into())
+            .to_string()
+            .contains("bad length"));
+        assert!(CommError::EndpointNotFound("svc".into())
+            .to_string()
+            .contains("svc"));
+        assert!(CommError::AlreadyRegistered("svc".into())
+            .to_string()
+            .contains("svc"));
     }
 }

@@ -35,7 +35,12 @@ impl std::fmt::Debug for Link {
 
 impl Link {
     /// Create a link with the given latency profile.
-    pub fn new(label: impl Into<String>, clock: SharedClock, profile: LatencyProfile, seed: u64) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        clock: SharedClock,
+        profile: LatencyProfile,
+        seed: u64,
+    ) -> Self {
         Link {
             clock,
             profile,
@@ -85,12 +90,20 @@ mod tests {
     #[test]
     fn traverse_advances_virtual_time() {
         let clock = ClockSpec::scaled(10_000.0).build();
-        let link = Link::new("test", Arc::clone(&clock), LatencyProfile::normal_ms(5.0, 0.0), 1);
+        let link = Link::new(
+            "test",
+            Arc::clone(&clock),
+            LatencyProfile::normal_ms(5.0, 0.0),
+            1,
+        );
         let t0 = clock.now();
         let injected = link.traverse(128);
         let elapsed = clock.now().since(t0).as_secs_f64();
         assert!((injected - 0.005).abs() < 1e-6);
-        assert!(elapsed >= injected * 0.5, "virtual clock must advance by roughly the injected delay");
+        assert!(
+            elapsed >= injected * 0.5,
+            "virtual clock must advance by roughly the injected delay"
+        );
     }
 
     #[test]
@@ -105,8 +118,18 @@ mod tests {
     #[test]
     fn remote_link_is_slower_than_local_link() {
         let clock = ClockSpec::scaled(1_000_000.0).build();
-        let local = Link::new("local", Arc::clone(&clock), LatencyProfile::paper_local(), 2);
-        let remote = Link::new("remote", Arc::clone(&clock), LatencyProfile::paper_remote(), 2);
+        let local = Link::new(
+            "local",
+            Arc::clone(&clock),
+            LatencyProfile::paper_local(),
+            2,
+        );
+        let remote = Link::new(
+            "remote",
+            Arc::clone(&clock),
+            LatencyProfile::paper_remote(),
+            2,
+        );
         let n = 200;
         let l: f64 = (0..n).map(|_| local.traverse(64)).sum::<f64>() / n as f64;
         let r: f64 = (0..n).map(|_| remote.traverse(64)).sum::<f64>() / n as f64;

@@ -94,8 +94,21 @@ impl Message {
     /// encode buffer is sized once and never reallocates. Also used for bandwidth
     /// modelling.
     pub fn encoded_len(&self) -> usize {
-        let headers: usize = self.headers.iter().map(|(k, v)| 8 + k.len() + v.len()).sum();
-        4 + 1 + 8 + 4 + self.topic.len() + 4 + self.kind.len() + 4 + headers + 4 + self.payload.len()
+        let headers: usize = self
+            .headers
+            .iter()
+            .map(|(k, v)| 8 + k.len() + v.len())
+            .sum();
+        4 + 1
+            + 8
+            + 4
+            + self.topic.len()
+            + 4
+            + self.kind.len()
+            + 4
+            + headers
+            + 4
+            + self.payload.len()
     }
 
     /// Encode to the binary wire format.
@@ -157,7 +170,13 @@ impl Message {
         // Zero copy: the payload is a sub-view of the input buffer, not a fresh
         // allocation (`Bytes::copy_to_bytes` on `Bytes` slices the backing storage).
         let payload = data.copy_to_bytes(payload_len);
-        Ok(Message { id, topic, kind, headers, payload })
+        Ok(Message {
+            id,
+            topic,
+            kind,
+            headers,
+            payload,
+        })
     }
 
     /// Decode a borrowed, zero-allocation view of an encoded frame.
@@ -198,7 +217,14 @@ impl Message {
             return Err(CommError::Codec("truncated payload".into()));
         }
         let payload = cur.bytes_field(payload_len)?;
-        Ok(MessageView { id, topic, kind, headers, sorted_headers: sorted, payload })
+        Ok(MessageView {
+            id,
+            topic,
+            kind,
+            headers,
+            sorted_headers: sorted,
+            payload,
+        })
     }
 }
 
@@ -232,7 +258,10 @@ impl<'a> MessageView<'a> {
                 .ok()
                 .map(|idx| self.headers[idx].1)
         } else {
-            self.headers.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+            self.headers
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
         }
     }
 
@@ -258,7 +287,11 @@ impl<'a> MessageView<'a> {
             id: self.id,
             topic: self.topic.to_string(),
             kind: self.kind.to_string(),
-            headers: self.headers.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            headers: self
+                .headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             payload: Bytes::copy_from_slice(self.payload),
         }
     }
@@ -272,7 +305,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], CommError> {
-        let end = self.at.checked_add(n).ok_or_else(|| CommError::Codec("frame too short".into()))?;
+        let end = self
+            .at
+            .checked_add(n)
+            .ok_or_else(|| CommError::Codec("frame too short".into()))?;
         if end > self.data.len() {
             return Err(CommError::Codec("frame too short".into()));
         }
@@ -286,11 +322,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, CommError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, CommError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn bytes_field(&mut self, len: usize) -> Result<&'a [u8], CommError> {
@@ -351,7 +391,11 @@ mod tests {
     fn encode_decode_roundtrip() {
         let m = sample();
         let encoded = m.encode();
-        assert_eq!(encoded.len(), m.encoded_len(), "encoded_len is exact, not approximate");
+        assert_eq!(
+            encoded.len(),
+            m.encoded_len(),
+            "encoded_len is exact, not approximate"
+        );
         let decoded = Message::decode(encoded).unwrap();
         assert_eq!(decoded, m);
     }
@@ -378,8 +422,14 @@ mod tests {
         let encoded = m.encode();
         let view = Message::decode_view(&encoded).unwrap();
         let buf_range = encoded.as_ptr() as usize..encoded.as_ptr() as usize + encoded.len();
-        assert!(buf_range.contains(&(view.topic.as_ptr() as usize)), "topic borrows");
-        assert!(buf_range.contains(&(view.payload.as_ptr() as usize)), "payload borrows");
+        assert!(
+            buf_range.contains(&(view.topic.as_ptr() as usize)),
+            "topic borrows"
+        );
+        assert!(
+            buf_range.contains(&(view.payload.as_ptr() as usize)),
+            "payload borrows"
+        );
     }
 
     #[test]
@@ -399,7 +449,11 @@ mod tests {
         buf.put_u32(0);
         let raw = buf.freeze();
         let view = Message::decode_view(&raw).unwrap();
-        assert_eq!(view.header("alpha"), Some("2"), "unsorted frames must still resolve keys");
+        assert_eq!(
+            view.header("alpha"),
+            Some("2"),
+            "unsorted frames must still resolve keys"
+        );
         assert_eq!(view.header("zeta"), Some("1"));
         assert_eq!(view.header("missing"), None);
     }
@@ -410,7 +464,10 @@ mod tests {
         assert!(Message::decode_view(&[0u8; 64]).is_err());
         let raw = sample().encode();
         for cut in [0, 5, 13, 20, raw.len() - 1] {
-            assert!(Message::decode_view(&raw[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                Message::decode_view(&raw[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
         let mut bad_version = raw.to_vec();
         bad_version[4] = 99;
@@ -431,12 +488,18 @@ mod tests {
         let m = Message::new("t", "k").with_payload(payload.clone());
         let decoded = Message::decode(m.encode()).unwrap();
         assert_eq!(&decoded.payload[..], &payload[..]);
-        assert!(decoded.text().is_none(), "binary payload is not valid UTF-8");
+        assert!(
+            decoded.text().is_none(),
+            "binary payload is not valid UTF-8"
+        );
     }
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(matches!(Message::decode(Bytes::from_static(b"xx")), Err(CommError::Codec(_))));
+        assert!(matches!(
+            Message::decode(Bytes::from_static(b"xx")),
+            Err(CommError::Codec(_))
+        ));
         assert!(matches!(
             Message::decode(Bytes::from_static(&[0u8; 64])),
             Err(CommError::Codec(_))
@@ -444,7 +507,10 @@ mod tests {
         // Corrupt a valid frame's magic.
         let mut raw = sample().encode().to_vec();
         raw[0] ^= 0xFF;
-        assert!(matches!(Message::decode(Bytes::from(raw)), Err(CommError::Codec(_))));
+        assert!(matches!(
+            Message::decode(Bytes::from(raw)),
+            Err(CommError::Codec(_))
+        ));
     }
 
     #[test]
@@ -452,7 +518,10 @@ mod tests {
         let raw = sample().encode();
         for cut in [5, 13, 20, raw.len() - 1] {
             let truncated = raw.slice(0..cut.min(raw.len()));
-            assert!(Message::decode(truncated).is_err(), "cut at {cut} must fail");
+            assert!(
+                Message::decode(truncated).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 
@@ -460,7 +529,9 @@ mod tests {
     fn decode_rejects_wrong_version() {
         let mut raw = sample().encode().to_vec();
         raw[4] = 99;
-        assert!(matches!(Message::decode(Bytes::from(raw)), Err(CommError::Codec(msg)) if msg.contains("version")));
+        assert!(
+            matches!(Message::decode(Bytes::from(raw)), Err(CommError::Codec(msg)) if msg.contains("version"))
+        );
     }
 
     #[test]

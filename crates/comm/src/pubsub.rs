@@ -67,8 +67,11 @@ impl Publisher {
         {
             let subs = self.inner.subscribers.read();
             for sub in subs.iter() {
-                let matches =
-                    sub.prefixes.is_empty() || sub.prefixes.iter().any(|p| msg.topic.starts_with(p.as_str()));
+                let matches = sub.prefixes.is_empty()
+                    || sub
+                        .prefixes
+                        .iter()
+                        .any(|p| msg.topic.starts_with(p.as_str()));
                 if matches {
                     if sub.tx.send(msg.clone()).is_ok() {
                         delivered += 1;
@@ -79,7 +82,10 @@ impl Publisher {
             }
         }
         if any_dead {
-            self.inner.subscribers.write().retain(|s| !s.tx.is_empty() || s.tx.send(Message::new("", "comm.ping")).is_ok());
+            self.inner
+                .subscribers
+                .write()
+                .retain(|s| !s.tx.is_empty() || s.tx.send(Message::new("", "comm.ping")).is_ok());
         }
         delivered
     }
@@ -92,7 +98,9 @@ pub struct Subscriber {
 
 impl std::fmt::Debug for Subscriber {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Subscriber").field("pending", &self.rx.len()).finish()
+        f.debug_struct("Subscriber")
+            .field("pending", &self.rx.len())
+            .finish()
     }
 }
 
@@ -167,7 +175,10 @@ mod tests {
     fn recv_timeout_and_pending() {
         let publisher = Publisher::new();
         let sub = publisher.subscribe(&[]);
-        assert_eq!(sub.recv_timeout(Duration::from_millis(5)).unwrap_err(), CommError::Timeout);
+        assert_eq!(
+            sub.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            CommError::Timeout
+        );
         publisher.publish(&Message::new("x", "y"));
         assert_eq!(sub.pending(), 1);
         let m = sub.recv_timeout(Duration::from_millis(50)).unwrap();

@@ -18,13 +18,18 @@ pub struct WorkQueueSender<T> {
 
 impl<T> Clone for WorkQueueSender<T> {
     fn clone(&self) -> Self {
-        WorkQueueSender { tx: self.tx.clone(), name: self.name.clone() }
+        WorkQueueSender {
+            tx: self.tx.clone(),
+            name: self.name.clone(),
+        }
     }
 }
 
 impl<T> std::fmt::Debug for WorkQueueSender<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkQueueSender").field("name", &self.name).finish()
+        f.debug_struct("WorkQueueSender")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -62,7 +67,10 @@ pub struct WorkQueueReceiver<T> {
 
 impl<T> Clone for WorkQueueReceiver<T> {
     fn clone(&self) -> Self {
-        WorkQueueReceiver { rx: self.rx.clone(), name: self.name.clone() }
+        WorkQueueReceiver {
+            rx: self.rx.clone(),
+            name: self.name.clone(),
+        }
     }
 }
 
@@ -121,7 +129,10 @@ impl<T> WorkQueue<T> {
         let name = name.into();
         let (tx, rx) = unbounded();
         WorkQueue {
-            sender: WorkQueueSender { tx, name: name.clone() },
+            sender: WorkQueueSender {
+                tx,
+                name: name.clone(),
+            },
             receiver: WorkQueueReceiver { rx, name },
         }
     }
@@ -131,7 +142,10 @@ impl<T> WorkQueue<T> {
         let name = name.into();
         let (tx, rx) = bounded(capacity);
         WorkQueue {
-            sender: WorkQueueSender { tx, name: name.clone() },
+            sender: WorkQueueSender {
+                tx,
+                name: name.clone(),
+            },
             receiver: WorkQueueReceiver { rx, name },
         }
     }
@@ -189,7 +203,10 @@ mod tests {
     fn pop_timeout_on_empty_queue() {
         let q: WorkQueue<u32> = WorkQueue::unbounded("empty");
         let rx = q.receiver();
-        assert_eq!(rx.pop_timeout(Duration::from_millis(5)).unwrap_err(), CommError::Timeout);
+        assert_eq!(
+            rx.pop_timeout(Duration::from_millis(5)).unwrap_err(),
+            CommError::Timeout
+        );
         assert_eq!(rx.try_pop(), None);
     }
 
@@ -198,7 +215,10 @@ mod tests {
         let q: WorkQueue<u32> = WorkQueue::unbounded("dropme");
         let (tx, rx) = q.split();
         drop(tx);
-        assert_eq!(rx.pop_timeout(Duration::from_millis(5)).unwrap_err(), CommError::Disconnected);
+        assert_eq!(
+            rx.pop_timeout(Duration::from_millis(5)).unwrap_err(),
+            CommError::Disconnected
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub struct EndpointRegistry {
 
 impl std::fmt::Debug for EndpointRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EndpointRegistry").field("len", &self.len()).finish()
+        f.debug_struct("EndpointRegistry")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -62,7 +64,14 @@ impl EndpointRegistry {
         if st.entries.contains_key(&name) {
             return Err(CommError::AlreadyRegistered(name));
         }
-        st.entries.insert(name.clone(), EndpointEntry { name, handle, metadata });
+        st.entries.insert(
+            name.clone(),
+            EndpointEntry {
+                name,
+                handle,
+                metadata,
+            },
+        );
         self.cond.notify_all();
         Ok(())
     }
@@ -94,7 +103,8 @@ impl EndpointRegistry {
             if now >= deadline {
                 return Err(CommError::EndpointNotFound(name.to_string()));
             }
-            if self.cond.wait_until(&mut st, deadline).timed_out() && !st.entries.contains_key(name) {
+            if self.cond.wait_until(&mut st, deadline).timed_out() && !st.entries.contains_key(name)
+            {
                 return Err(CommError::EndpointNotFound(name.to_string()));
             }
         }
@@ -138,7 +148,10 @@ mod tests {
     use std::thread;
 
     fn meta(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -146,7 +159,8 @@ mod tests {
         let reg = EndpointRegistry::new();
         let server = ReqRepServer::new("svc.a");
         assert!(reg.is_empty());
-        reg.register("svc.a", server.handle(), meta(&[("model", "llama-8b")])).unwrap();
+        reg.register("svc.a", server.handle(), meta(&[("model", "llama-8b")]))
+            .unwrap();
         assert_eq!(reg.len(), 1);
         let entry = reg.lookup("svc.a").unwrap();
         assert_eq!(entry.metadata["model"], "llama-8b");
@@ -162,8 +176,11 @@ mod tests {
     fn duplicate_registration_rejected() {
         let reg = EndpointRegistry::new();
         let server = ReqRepServer::new("svc.dup");
-        reg.register("svc.dup", server.handle(), BTreeMap::new()).unwrap();
-        let err = reg.register("svc.dup", server.handle(), BTreeMap::new()).unwrap_err();
+        reg.register("svc.dup", server.handle(), BTreeMap::new())
+            .unwrap();
+        let err = reg
+            .register("svc.dup", server.handle(), BTreeMap::new())
+            .unwrap_err();
         assert!(matches!(err, CommError::AlreadyRegistered(_)));
     }
 
@@ -174,7 +191,8 @@ mod tests {
         let waiter = thread::spawn(move || reg2.wait_for("svc.late", Duration::from_secs(5)));
         thread::sleep(Duration::from_millis(20));
         let server = ReqRepServer::new("svc.late");
-        reg.register("svc.late", server.handle(), BTreeMap::new()).unwrap();
+        reg.register("svc.late", server.handle(), BTreeMap::new())
+            .unwrap();
         let entry = waiter.join().unwrap().unwrap();
         assert_eq!(entry.name, "svc.late");
     }
@@ -182,7 +200,9 @@ mod tests {
     #[test]
     fn wait_for_times_out() {
         let reg = EndpointRegistry::new();
-        let err = reg.wait_for("svc.never", Duration::from_millis(20)).unwrap_err();
+        let err = reg
+            .wait_for("svc.never", Duration::from_millis(20))
+            .unwrap_err();
         assert!(matches!(err, CommError::EndpointNotFound(_)));
     }
 
@@ -192,9 +212,12 @@ mod tests {
         let s1 = ReqRepServer::new("svc.1");
         let s2 = ReqRepServer::new("svc.2");
         let s3 = ReqRepServer::new("svc.3");
-        reg.register("svc.1", s1.handle(), meta(&[("model", "llama-8b")])).unwrap();
-        reg.register("svc.2", s2.handle(), meta(&[("model", "noop")])).unwrap();
-        reg.register("svc.3", s3.handle(), meta(&[("model", "llama-8b")])).unwrap();
+        reg.register("svc.1", s1.handle(), meta(&[("model", "llama-8b")]))
+            .unwrap();
+        reg.register("svc.2", s2.handle(), meta(&[("model", "noop")]))
+            .unwrap();
+        reg.register("svc.3", s3.handle(), meta(&[("model", "llama-8b")]))
+            .unwrap();
         let llamas = reg.find_by_metadata("model", "llama-8b");
         assert_eq!(llamas.len(), 2);
         assert!(reg.find_by_metadata("model", "mistral").is_empty());
@@ -204,7 +227,8 @@ mod tests {
     fn looked_up_handle_is_usable() {
         let reg = EndpointRegistry::new();
         let server = ReqRepServer::new("svc.echo");
-        reg.register("svc.echo", server.handle(), BTreeMap::new()).unwrap();
+        reg.register("svc.echo", server.handle(), BTreeMap::new())
+            .unwrap();
         let entry = reg.lookup("svc.echo").unwrap();
         let clock = ClockSpec::scaled(100_000.0).build();
         let client = entry.handle.connect(Link::instant(clock));

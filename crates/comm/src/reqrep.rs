@@ -62,7 +62,9 @@ pub struct ReqRepHandle {
 
 impl std::fmt::Debug for ReqRepHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReqRepHandle").field("endpoint", &self.endpoint).finish()
+        f.debug_struct("ReqRepHandle")
+            .field("endpoint", &self.endpoint)
+            .finish()
     }
 }
 
@@ -74,7 +76,11 @@ impl ReqRepHandle {
 
     /// Connect to the endpoint over the given link.
     pub fn connect(&self, link: Link) -> ReqRepClient {
-        ReqRepClient { endpoint: self.endpoint.clone(), tx: self.tx.clone(), link }
+        ReqRepClient {
+            endpoint: self.endpoint.clone(),
+            tx: self.tx.clone(),
+            link,
+        }
     }
 }
 
@@ -82,7 +88,11 @@ impl ReqRepServer {
     /// Create a new endpoint with an unbounded request queue.
     pub fn new(name: impl Into<String>) -> Self {
         let (tx, rx) = unbounded();
-        ReqRepServer { name: name.into(), rx, tx }
+        ReqRepServer {
+            name: name.into(),
+            rx,
+            tx,
+        }
     }
 
     /// Endpoint name.
@@ -97,18 +107,30 @@ impl ReqRepServer {
 
     /// Create a client handle connected to this endpoint over the given link.
     pub fn client(&self, link: Link) -> ReqRepClient {
-        ReqRepClient { endpoint: self.name.clone(), tx: self.tx.clone(), link }
+        ReqRepClient {
+            endpoint: self.name.clone(),
+            tx: self.tx.clone(),
+            link,
+        }
     }
 
     /// A registrable connection point for this endpoint.
     pub fn handle(&self) -> ReqRepHandle {
-        ReqRepHandle { endpoint: self.name.clone(), tx: self.tx.clone() }
+        ReqRepHandle {
+            endpoint: self.name.clone(),
+            tx: self.tx.clone(),
+        }
     }
 
     /// Block until a request arrives, or until `timeout` elapses.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<(Message, Responder), CommError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(req) => Ok((req.msg, Responder { reply_tx: req.reply_tx })),
+            Ok(req) => Ok((
+                req.msg,
+                Responder {
+                    reply_tx: req.reply_tx,
+                },
+            )),
             Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
         }
@@ -116,7 +138,14 @@ impl ReqRepServer {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<(Message, Responder)> {
-        self.rx.try_recv().ok().map(|req| (req.msg, Responder { reply_tx: req.reply_tx }))
+        self.rx.try_recv().ok().map(|req| {
+            (
+                req.msg,
+                Responder {
+                    reply_tx: req.reply_tx,
+                },
+            )
+        })
     }
 }
 
@@ -290,7 +319,12 @@ mod tests {
     #[test]
     fn latency_link_adds_round_trip_time() {
         let clock = ClockSpec::scaled(10_000.0).build();
-        let link = Link::new("lat", Arc::clone(&clock), LatencyProfile::normal_ms(10.0, 0.0), 5);
+        let link = Link::new(
+            "lat",
+            Arc::clone(&clock),
+            LatencyProfile::normal_ms(10.0, 0.0),
+            5,
+        );
         let server = ReqRepServer::new("svc.lat");
         let client = server.client(link);
         let handle = thread::spawn(move || {
@@ -301,7 +335,10 @@ mod tests {
         let _ = client.request(Message::new("svc.lat", "req")).unwrap();
         let rt = clock.now().since(t0).as_secs_f64();
         // Two hops of 10 ms each => at least ~20 ms of virtual time.
-        assert!(rt >= 0.015, "round trip {rt} should include both link traversals");
+        assert!(
+            rt >= 0.015,
+            "round trip {rt} should include both link traversals"
+        );
         handle.join().unwrap();
     }
 
@@ -309,7 +346,9 @@ mod tests {
     fn fire_and_forget_send() {
         let server = ReqRepServer::new("svc.ctrl");
         let client = server.client(instant_link());
-        client.send(Message::new("svc.ctrl", "control.stop")).unwrap();
+        client
+            .send(Message::new("svc.ctrl", "control.stop"))
+            .unwrap();
         let (msg, _r) = server.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(msg.kind, "control.stop");
         assert_eq!(client.endpoint(), "svc.ctrl");

@@ -33,12 +33,18 @@ pub struct TransferProfile {
 impl TransferProfile {
     /// Platform-local staging (parallel filesystem): ~1 GiB/s, negligible setup.
     pub fn local_fs() -> Self {
-        TransferProfile { bandwidth_mib_s: 1024.0, setup_secs: Dist::normal(0.02, 0.005) }
+        TransferProfile {
+            bandwidth_mib_s: 1024.0,
+            setup_secs: Dist::normal(0.02, 0.005),
+        }
     }
 
     /// Wide-area transfer (Globus-class): ~200 MiB/s with a few seconds of setup.
     pub fn wide_area() -> Self {
-        TransferProfile { bandwidth_mib_s: 200.0, setup_secs: Dist::normal(3.0, 0.5) }
+        TransferProfile {
+            bandwidth_mib_s: 200.0,
+            setup_secs: Dist::normal(3.0, 0.5),
+        }
     }
 
     /// Expected transfer duration for `size_mib`.
@@ -86,7 +92,11 @@ impl DataManager {
 
     /// Stage one directive; returns the (virtual) seconds spent.
     pub fn stage(&self, directive: &DataDirective) -> f64 {
-        let profile = if directive.remote { self.remote } else { self.local };
+        let profile = if directive.remote {
+            self.remote
+        } else {
+            self.local
+        };
         let setup = {
             let mut rng = self.rng.lock();
             profile.setup_secs.sample(&mut *rng).max(0.0)
@@ -94,7 +104,8 @@ impl DataManager {
         let secs = setup + directive.size_mib.max(0.0) / profile.bandwidth_mib_s;
         self.clock.sleep(std::time::Duration::from_secs_f64(secs));
         self.metrics.record_scalar("staging.secs", secs);
-        self.metrics.record_scalar("staging.mib", directive.size_mib);
+        self.metrics
+            .record_scalar("staging.mib", directive.size_mib);
         secs
     }
 
@@ -120,7 +131,10 @@ mod tests {
         let (clock, dm) = manager(10_000.0);
         let t0 = clock.now();
         let secs = dm.stage(&DataDirective::local("features.csv", 100.0));
-        assert!(secs < 1.0, "100 MiB local should stage in well under a second, got {secs}");
+        assert!(
+            secs < 1.0,
+            "100 MiB local should stage in well under a second, got {secs}"
+        );
         assert!(clock.now().since(t0).as_secs_f64() >= secs * 0.5);
     }
 
@@ -164,6 +178,9 @@ mod tests {
 
     #[test]
     fn profile_means() {
-        assert!(TransferProfile::wide_area().mean_secs(200.0) > TransferProfile::local_fs().mean_secs(200.0));
+        assert!(
+            TransferProfile::wide_area().mean_secs(200.0)
+                > TransferProfile::local_fs().mean_secs(200.0)
+        );
     }
 }

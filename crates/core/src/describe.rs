@@ -25,12 +25,20 @@ pub struct DataDirective {
 impl DataDirective {
     /// Local staging directive.
     pub fn local(name: impl Into<String>, size_mib: f64) -> Self {
-        DataDirective { name: name.into(), size_mib, remote: false }
+        DataDirective {
+            name: name.into(),
+            size_mib,
+            remote: false,
+        }
     }
 
     /// Remote (wide-area) staging directive.
     pub fn remote(name: impl Into<String>, size_mib: f64) -> Self {
-        DataDirective { name: name.into(), size_mib, remote: true }
+        DataDirective {
+            name: name.into(),
+            size_mib,
+            remote: true,
+        }
     }
 }
 
@@ -97,7 +105,9 @@ impl TaskKind {
 
     /// Convenience constructor for a fixed-duration compute task.
     pub fn compute_secs(secs: f64) -> Self {
-        TaskKind::Compute { duration_secs: Dist::constant(secs) }
+        TaskKind::Compute {
+            duration_secs: Dist::constant(secs),
+        }
     }
 }
 
@@ -288,7 +298,12 @@ pub struct PilotDescription {
 impl PilotDescription {
     /// Create a pilot description with 1 node and 1 h of walltime.
     pub fn new(platform: PlatformId) -> Self {
-        PilotDescription { platform, nodes: 1, runtime_secs: 3600.0, model_queue_wait: false }
+        PilotDescription {
+            platform,
+            nodes: 1,
+            runtime_secs: 3600.0,
+            model_queue_wait: false,
+        }
     }
 
     /// Set the node count.
@@ -346,14 +361,22 @@ mod tests {
     fn inference_client_constructors() {
         let k = TaskKind::inference_client("llm-0", 64);
         match k {
-            TaskKind::InferenceClient { selector, requests, .. } => {
+            TaskKind::InferenceClient {
+                selector, requests, ..
+            } => {
                 assert_eq!(selector, ServiceSelector::Named(vec!["llm-0".to_string()]));
                 assert_eq!(requests, 64);
             }
             _ => panic!("wrong kind"),
         }
         let k = TaskKind::inference_client_for_model("llama-8b", 8);
-        assert!(matches!(k, TaskKind::InferenceClient { selector: ServiceSelector::ByModel(_), .. }));
+        assert!(matches!(
+            k,
+            TaskKind::InferenceClient {
+                selector: ServiceSelector::ByModel(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -378,7 +401,10 @@ mod tests {
 
     #[test]
     fn pilot_description_builder() {
-        let p = PilotDescription::new(PlatformId::Delta).nodes(4).runtime_secs(7200.0).with_queue_wait(true);
+        let p = PilotDescription::new(PlatformId::Delta)
+            .nodes(4)
+            .runtime_secs(7200.0)
+            .with_queue_wait(true);
         assert_eq!(p.platform, PlatformId::Delta);
         assert_eq!(p.nodes, 4);
         assert_eq!(p.runtime_secs, 7200.0);

@@ -85,12 +85,21 @@ mod tests {
         let e: RuntimeError = CommError::Timeout.into();
         assert!(e.to_string().contains("communication"));
 
-        assert!(RuntimeError::UnknownEntity("task.1".into()).to_string().contains("task.1"));
-        assert!(RuntimeError::WaitTimeout { entity: "svc.1".into(), awaited: "Ready".into() }
+        assert!(RuntimeError::UnknownEntity("task.1".into())
             .to_string()
-            .contains("Ready"));
+            .contains("task.1"));
+        assert!(RuntimeError::WaitTimeout {
+            entity: "svc.1".into(),
+            awaited: "Ready".into()
+        }
+        .to_string()
+        .contains("Ready"));
         assert!(RuntimeError::SessionClosed.to_string().contains("closed"));
-        assert!(RuntimeError::Failed("boom".into()).to_string().contains("boom"));
-        assert!(RuntimeError::InvalidState("no pilot".into()).to_string().contains("no pilot"));
+        assert!(RuntimeError::Failed("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(RuntimeError::InvalidState("no pilot".into())
+            .to_string()
+            .contains("no pilot"));
     }
 }

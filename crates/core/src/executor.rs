@@ -72,7 +72,10 @@ pub struct Executor {
 impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Executor")
-            .field("concurrent_launches", &self.concurrent_launches.load(Ordering::Relaxed))
+            .field(
+                "concurrent_launches",
+                &self.concurrent_launches.load(Ordering::Relaxed),
+            )
             .field("spawned", &self.handles.lock().len())
             .finish()
     }
@@ -118,7 +121,11 @@ impl Executor {
     }
 
     /// Spawn the lifecycle thread of a service instance.
-    pub fn spawn_service(self: &Arc<Self>, record: Arc<ServiceRecord>, scheduler: Option<Arc<Scheduler>>) {
+    pub fn spawn_service(
+        self: &Arc<Self>,
+        record: Arc<ServiceRecord>,
+        scheduler: Option<Arc<Scheduler>>,
+    ) {
         let this = Arc::clone(self);
         let handle = std::thread::Builder::new()
             .name(record.id.clone())
@@ -128,7 +135,11 @@ impl Executor {
     }
 
     /// Spawn the lifecycle thread of a task.
-    pub fn spawn_task(self: &Arc<Self>, record: Arc<TaskRecord>, scheduler: Option<Arc<Scheduler>>) {
+    pub fn spawn_task(
+        self: &Arc<Self>,
+        record: Arc<TaskRecord>,
+        scheduler: Option<Arc<Scheduler>>,
+    ) {
         let this = Arc::clone(self);
         let handle = std::thread::Builder::new()
             .name(record.id.clone())
@@ -178,9 +189,12 @@ impl Executor {
                 RuntimeError::InvalidState("local service submitted without an active pilot".into())
             })?;
             let wait_start = std::time::Instant::now();
-            let slot = scheduler.allocate(&desc.resources, Priority::Service, DEPENDENCY_TIMEOUT)?;
-            self.metrics
-                .record_scalar("service.placement_wait_secs", wait_start.elapsed().as_secs_f64());
+            let slot =
+                scheduler.allocate(&desc.resources, Priority::Service, DEPENDENCY_TIMEOUT)?;
+            self.metrics.record_scalar(
+                "service.placement_wait_secs",
+                wait_start.elapsed().as_secs_f64(),
+            );
             *record.slot.lock() = Some(slot.clone());
             Some((scheduler, slot))
         } else {
@@ -233,11 +247,16 @@ impl Executor {
         let endpoint = ReqRepServer::new(record.endpoint_name());
         let mut metadata = BTreeMap::new();
         metadata.insert(META_MODEL.to_string(), desc.model.name.clone());
-        metadata.insert(META_PLATFORM.to_string(), record.platform.short_name().to_string());
+        metadata.insert(
+            META_PLATFORM.to_string(),
+            record.platform.short_name().to_string(),
+        );
         metadata.insert(META_SERVICE_ID.to_string(), record.id.clone());
         let publish_overhead = self.publish_overhead.sample(&mut rng).max(0.0);
         self.clock.sleep(Duration::from_secs_f64(publish_overhead));
-        let register_result = self.registry.register(record.endpoint_name(), endpoint.handle(), metadata);
+        let register_result =
+            self.registry
+                .register(record.endpoint_name(), endpoint.handle(), metadata);
         self.concurrent_launches.fetch_sub(1, Ordering::AcqRel);
         if let Err(e) = register_result {
             if let Some((scheduler, slot)) = &slot {
@@ -251,7 +270,11 @@ impl Executor {
         // woken by the Ready transition always observe it (local ephemeral services
         // only — remote models are persistent and are not bootstrapped per
         // application, §IV).
-        let bootstrap = BootstrapTimes { launch_secs, init_secs, publish_secs };
+        let bootstrap = BootstrapTimes {
+            launch_secs,
+            init_secs,
+            publish_secs,
+        };
         *record.bootstrap.lock() = Some(bootstrap);
         if is_local {
             self.metrics.record_bootstrap(&record.id, bootstrap);
@@ -318,7 +341,10 @@ impl Executor {
         })?;
         let wait_start = std::time::Instant::now();
         let slot = scheduler.allocate(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?;
-        self.metrics.record_scalar("task.placement_wait_secs", wait_start.elapsed().as_secs_f64());
+        self.metrics.record_scalar(
+            "task.placement_wait_secs",
+            wait_start.elapsed().as_secs_f64(),
+        );
         *record.slot.lock() = Some(slot.clone());
 
         let finish = |result: Result<(), RuntimeError>| -> Result<(), RuntimeError> {
@@ -337,7 +363,8 @@ impl Executor {
         self.publish_state("task", &record.id, "Executing");
         let exec_watch = Stopwatch::start(Arc::clone(&self.clock));
         let exec_result = self.execute_kind(record, &desc.kind);
-        self.metrics.record_scalar("task.exec_secs", exec_watch.elapsed_secs());
+        self.metrics
+            .record_scalar("task.exec_secs", exec_watch.elapsed_secs());
         if let Err(e) = exec_result {
             return finish(Err(e));
         }
@@ -362,13 +389,27 @@ impl Executor {
                 self.clock.sleep(duration);
                 Ok(())
             }
-            TaskKind::InferenceClient { selector, requests, prompt_words, max_tokens, think_time_secs } => {
-                self.run_inference_client(record, selector, *requests, *prompt_words, *max_tokens, think_time_secs)
-            }
+            TaskKind::InferenceClient {
+                selector,
+                requests,
+                prompt_words,
+                max_tokens,
+                think_time_secs,
+            } => self.run_inference_client(
+                record,
+                selector,
+                *requests,
+                *prompt_words,
+                *max_tokens,
+                think_time_secs,
+            ),
         }
     }
 
-    fn resolve_targets(&self, selector: &ServiceSelector) -> Result<Vec<EndpointEntry>, RuntimeError> {
+    fn resolve_targets(
+        &self,
+        selector: &ServiceSelector,
+    ) -> Result<Vec<EndpointEntry>, RuntimeError> {
         match selector {
             ServiceSelector::Named(names) => {
                 let mut entries = Vec::with_capacity(names.len());
@@ -389,9 +430,9 @@ impl Executor {
                         return Ok(entries);
                     }
                     if std::time::Instant::now() >= deadline {
-                        return Err(RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(format!(
-                            "no service hosting model {model}"
-                        ))));
+                        return Err(RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(
+                            format!("no service hosting model {model}"),
+                        )));
                     }
                     std::thread::sleep(Duration::from_millis(2));
                 }
@@ -401,7 +442,10 @@ impl Executor {
                 loop {
                     let names = self.registry.names();
                     if !names.is_empty() {
-                        return Ok(names.iter().filter_map(|n| self.registry.lookup(n)).collect());
+                        return Ok(names
+                            .iter()
+                            .filter_map(|n| self.registry.lookup(n))
+                            .collect());
                     }
                     if std::time::Instant::now() >= deadline {
                         return Err(RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(
@@ -419,7 +463,11 @@ impl Executor {
     /// local vs remote deployment scenarios).
     fn client_link(&self, task_platform: PlatformId, entry: &EndpointEntry, seed: u64) -> Link {
         let spec = task_platform.spec();
-        let service_platform = entry.metadata.get(META_PLATFORM).map(String::as_str).unwrap_or("");
+        let service_platform = entry
+            .metadata
+            .get(META_PLATFORM)
+            .map(String::as_str)
+            .unwrap_or("");
         let profile = if service_platform == task_platform.short_name() {
             spec.intra_latency
         } else {
@@ -452,7 +500,9 @@ impl Executor {
             })
             .collect();
         if clients.is_empty() {
-            return Err(RuntimeError::Failed("inference client has no target services".into()));
+            return Err(RuntimeError::Failed(
+                "inference client has no target services".into(),
+            ));
         }
 
         let prompt: String = {
@@ -470,7 +520,8 @@ impl Executor {
         let mut errors = 0u32;
         for i in 0..requests {
             let (endpoint_name, client) = &clients[(start_offset + i as usize) % clients.len()];
-            let request = InferenceRequest::new(prompt.clone(), max_tokens).from_client(record.id.clone());
+            let request =
+                InferenceRequest::new(prompt.clone(), max_tokens).from_client(record.id.clone());
             let request_id = request.request_id.clone();
             let msg = inference_request_message(endpoint_name, &request);
             let watch = Stopwatch::start(Arc::clone(&self.clock));
@@ -484,15 +535,21 @@ impl Executor {
             let service_secs = reply.f64_header(HDR_SERVICE_SECS).unwrap_or(0.0);
             let inference_secs = reply.f64_header(HDR_INFERENCE_SECS).unwrap_or(0.0);
             let communication_secs = (response_secs - service_secs - inference_secs).max(0.0);
-            self.metrics
-                .record_response(&request_id, communication_secs, service_secs, inference_secs);
+            self.metrics.record_response(
+                &request_id,
+                communication_secs,
+                service_secs,
+                inference_secs,
+            );
             let pause = think_time.sample_secs(&mut rng);
             if !pause.is_zero() {
                 self.clock.sleep(pause);
             }
         }
         if errors == requests && requests > 0 {
-            return Err(RuntimeError::Failed(format!("all {requests} inference requests failed")));
+            return Err(RuntimeError::Failed(format!(
+                "all {requests} inference requests failed"
+            )));
         }
         Ok(())
     }
@@ -518,7 +575,11 @@ mod tests {
         let clock = ClockSpec::scaled(scale).build();
         let metrics = RuntimeMetrics::new();
         let registry = Arc::new(EndpointRegistry::new());
-        let data = Arc::new(DataManager::new(Arc::clone(&clock), Arc::clone(&metrics), 1));
+        let data = Arc::new(DataManager::new(
+            Arc::clone(&clock),
+            Arc::clone(&metrics),
+            1,
+        ));
         let executor = Executor::new(
             Arc::clone(&clock),
             Arc::clone(&metrics),
@@ -530,10 +591,21 @@ mod tests {
         let batch = BatchSystem::new(platform.spec(), Arc::clone(&clock), 2);
         let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
         let scheduler = Arc::new(Scheduler::new(alloc));
-        Fixture { clock, metrics, registry, executor, scheduler }
+        Fixture {
+            clock,
+            metrics,
+            registry,
+            executor,
+            scheduler,
+        }
     }
 
-    fn service_record(fx: &Fixture, name: &str, model: ModelSpec, platform: PlatformId) -> Arc<ServiceRecord> {
+    fn service_record(
+        fx: &Fixture,
+        name: &str,
+        model: ModelSpec,
+        platform: PlatformId,
+    ) -> Arc<ServiceRecord> {
         ServiceRecord::new(
             format!("service.x-{name}"),
             ServiceDescription::new(name).model(model).gpus(1),
@@ -547,7 +619,8 @@ mod tests {
         // Delta: MPI/PRRTE launcher, so launch (~2 s) clearly exceeds publish (~0.35 s).
         let fx = fixture(PlatformId::Delta, 1, 2000.0);
         let record = service_record(&fx, "llm-0", ModelSpec::sim_llama_8b(), PlatformId::Delta);
-        fx.executor.spawn_service(Arc::clone(&record), Some(Arc::clone(&fx.scheduler)));
+        fx.executor
+            .spawn_service(Arc::clone(&record), Some(Arc::clone(&fx.scheduler)));
 
         // Wait for readiness.
         record
@@ -556,7 +629,10 @@ mod tests {
             .unwrap();
         let bt = record.bootstrap.lock().unwrap();
         assert!(bt.init_secs > bt.launch_secs, "init {bt:?} must dominate");
-        assert!(bt.publish_secs < bt.launch_secs, "publish must stay below launch: {bt:?}");
+        assert!(
+            bt.publish_secs < bt.launch_secs,
+            "publish must stay below launch: {bt:?}"
+        );
         assert_eq!(fx.metrics.bootstrap_count(), 1);
         assert!(fx.registry.lookup("service.llm-0").is_some());
 
@@ -572,8 +648,11 @@ mod tests {
     fn service_fails_when_model_does_not_fit_gpu() {
         let fx = fixture(PlatformId::Local, 1, 10_000.0); // local GPUs have 16 GiB
         let record = service_record(&fx, "big", ModelSpec::sim_llama_70b(), PlatformId::Local);
-        fx.executor.spawn_service(Arc::clone(&record), Some(Arc::clone(&fx.scheduler)));
-        let state = record.state.wait_until(|s| s.is_final(), Duration::from_secs(30));
+        fx.executor
+            .spawn_service(Arc::clone(&record), Some(Arc::clone(&fx.scheduler)));
+        let state = record
+            .state
+            .wait_until(|s| s.is_final(), Duration::from_secs(30));
         assert!(state.is_err() || state.unwrap() == ServiceState::Failed);
         assert_eq!(record.state.current(), ServiceState::Failed);
         assert!(record.state.error().unwrap().contains("GPU"));
@@ -587,10 +666,16 @@ mod tests {
         let fx = fixture(PlatformId::Local, 2, 10_000.0);
         let a = service_record(&fx, "dup", ModelSpec::noop(), PlatformId::Local);
         let b = service_record(&fx, "dup", ModelSpec::noop(), PlatformId::Local);
-        fx.executor.spawn_service(Arc::clone(&a), Some(Arc::clone(&fx.scheduler)));
-        a.state.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(20)).unwrap();
-        fx.executor.spawn_service(Arc::clone(&b), Some(Arc::clone(&fx.scheduler)));
-        let _ = b.state.wait_until(|s| s.is_final(), Duration::from_secs(20));
+        fx.executor
+            .spawn_service(Arc::clone(&a), Some(Arc::clone(&fx.scheduler)));
+        a.state
+            .wait_until(|s| s == ServiceState::Ready, Duration::from_secs(20))
+            .unwrap();
+        fx.executor
+            .spawn_service(Arc::clone(&b), Some(Arc::clone(&fx.scheduler)));
+        let _ = b
+            .state
+            .wait_until(|s| s.is_final(), Duration::from_secs(20));
         assert_eq!(b.state.current(), ServiceState::Failed);
         a.request_stop();
         fx.executor.join_all();
@@ -607,12 +692,16 @@ mod tests {
         );
         let compute = TaskRecord::new(
             "task.compute".into(),
-            TaskDescription::new("compute").kind(TaskKind::compute_secs(5.0)).cores(2),
+            TaskDescription::new("compute")
+                .kind(TaskKind::compute_secs(5.0))
+                .cores(2),
             PlatformId::Local,
             Arc::clone(&fx.clock),
         );
-        fx.executor.spawn_task(Arc::clone(&noop), Some(Arc::clone(&fx.scheduler)));
-        fx.executor.spawn_task(Arc::clone(&compute), Some(Arc::clone(&fx.scheduler)));
+        fx.executor
+            .spawn_task(Arc::clone(&noop), Some(Arc::clone(&fx.scheduler)));
+        fx.executor
+            .spawn_task(Arc::clone(&compute), Some(Arc::clone(&fx.scheduler)));
         fx.executor.join_all();
         assert_eq!(noop.state.current(), TaskState::Done);
         assert_eq!(compute.state.current(), TaskState::Done);
@@ -641,7 +730,8 @@ mod tests {
     fn inference_client_records_response_breakdown() {
         let fx = fixture(PlatformId::Local, 2, 2000.0);
         let svc = service_record(&fx, "noop-0", ModelSpec::noop(), PlatformId::Local);
-        fx.executor.spawn_service(Arc::clone(&svc), Some(Arc::clone(&fx.scheduler)));
+        fx.executor
+            .spawn_service(Arc::clone(&svc), Some(Arc::clone(&fx.scheduler)));
 
         let client = TaskRecord::new(
             "task.client".into(),
@@ -651,7 +741,8 @@ mod tests {
             PlatformId::Local,
             Arc::clone(&fx.clock),
         );
-        fx.executor.spawn_task(Arc::clone(&client), Some(Arc::clone(&fx.scheduler)));
+        fx.executor
+            .spawn_task(Arc::clone(&client), Some(Arc::clone(&fx.scheduler)));
         client
             .state
             .wait_until(|s| s.is_final(), Duration::from_secs(60))
@@ -670,12 +761,21 @@ mod tests {
         let fx = fixture(PlatformId::Local, 2, 2000.0);
         let a = service_record(&fx, "noop-a", ModelSpec::noop(), PlatformId::Local);
         let b = service_record(&fx, "noop-b", ModelSpec::noop(), PlatformId::Local);
-        fx.executor.spawn_service(Arc::clone(&a), Some(Arc::clone(&fx.scheduler)));
-        fx.executor.spawn_service(Arc::clone(&b), Some(Arc::clone(&fx.scheduler)));
-        a.state.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(30)).unwrap();
-        b.state.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(30)).unwrap();
+        fx.executor
+            .spawn_service(Arc::clone(&a), Some(Arc::clone(&fx.scheduler)));
+        fx.executor
+            .spawn_service(Arc::clone(&b), Some(Arc::clone(&fx.scheduler)));
+        a.state
+            .wait_until(|s| s == ServiceState::Ready, Duration::from_secs(30))
+            .unwrap();
+        b.state
+            .wait_until(|s| s == ServiceState::Ready, Duration::from_secs(30))
+            .unwrap();
 
-        let entries = fx.executor.resolve_targets(&ServiceSelector::ByModel("noop".into())).unwrap();
+        let entries = fx
+            .executor
+            .resolve_targets(&ServiceSelector::ByModel("noop".into()))
+            .unwrap();
         assert_eq!(entries.len(), 2);
         let any = fx.executor.resolve_targets(&ServiceSelector::Any).unwrap();
         assert_eq!(any.len(), 2);

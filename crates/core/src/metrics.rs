@@ -55,7 +55,13 @@ impl RuntimeMetrics {
     }
 
     /// Record the response breakdown of one inference request.
-    pub fn record_response(&self, request_id: &str, communication: f64, service: f64, inference: f64) {
+    pub fn record_response(
+        &self,
+        request_id: &str,
+        communication: f64,
+        service: f64,
+        inference: f64,
+    ) {
         self.response.record(
             ComponentSample::new(request_id)
                 .with(C_COMMUNICATION, communication)
@@ -101,7 +107,9 @@ impl RuntimeMetrics {
 
     /// Summary of the inference component alone (the paper's IT metric).
     pub fn inference_summary(&self) -> Summary {
-        self.response_summaries().remove(C_INFERENCE).unwrap_or_default()
+        self.response_summaries()
+            .remove(C_INFERENCE)
+            .unwrap_or_default()
     }
 
     /// Raw bootstrap samples (for CSV export by the harness).
@@ -135,7 +143,11 @@ mod tests {
         for i in 0..16 {
             m.record_bootstrap(
                 &format!("service.{i}"),
-                BootstrapTimes { launch_secs: 2.0, init_secs: 30.0 + i as f64 * 0.1, publish_secs: 0.3 },
+                BootstrapTimes {
+                    launch_secs: 2.0,
+                    init_secs: 30.0 + i as f64 * 0.1,
+                    publish_secs: 0.3,
+                },
             );
         }
         assert_eq!(m.bootstrap_count(), 16);

@@ -29,7 +29,15 @@ pub struct PilotManager {
 impl std::fmt::Debug for PilotManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PilotManager")
-            .field("platforms", &self.batch_systems.lock().keys().cloned().collect::<Vec<_>>())
+            .field(
+                "platforms",
+                &self
+                    .batch_systems
+                    .lock()
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -37,7 +45,11 @@ impl std::fmt::Debug for PilotManager {
 impl PilotManager {
     /// Create a pilot manager.
     pub fn new(clock: SharedClock, seed: u64) -> Self {
-        PilotManager { clock, seed, batch_systems: Mutex::new(BTreeMap::new()) }
+        PilotManager {
+            clock,
+            seed,
+            batch_systems: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// The batch system for `platform`, creating it lazily.
@@ -45,7 +57,11 @@ impl PilotManager {
         let mut map = self.batch_systems.lock();
         let key = platform.short_name().to_string();
         Arc::clone(map.entry(key).or_insert_with(|| {
-            Arc::new(BatchSystem::new(platform.spec(), Arc::clone(&self.clock), self.seed))
+            Arc::new(BatchSystem::new(
+                platform.spec(),
+                Arc::clone(&self.clock),
+                self.seed,
+            ))
         }))
     }
 
@@ -74,7 +90,8 @@ impl PilotManager {
     pub fn terminate(&self, record: &Arc<PilotRecord>) -> Result<(), RuntimeError> {
         let allocation = record.allocation.lock().clone();
         if let Some(alloc) = allocation {
-            self.batch_system(record.description.platform).release(&alloc);
+            self.batch_system(record.description.platform)
+                .release(&alloc);
         }
         if !record.state.current().is_final() {
             record.state.transition(PilotState::Done)?;
@@ -145,7 +162,9 @@ mod tests {
         let pm = PilotManager::new(Arc::clone(&clock), 13);
         let record = PilotRecord::new(
             "pilot.000002".into(),
-            PilotDescription::new(PlatformId::Frontier).nodes(2).with_queue_wait(true),
+            PilotDescription::new(PlatformId::Frontier)
+                .nodes(2)
+                .with_queue_wait(true),
             Arc::clone(&clock),
         );
         pm.activate(&record).unwrap();

@@ -76,7 +76,15 @@ impl<S: StateModel> StateCell<S> {
     pub fn new(initial: S, clock: SharedClock) -> Self {
         let mut timestamps = BTreeMap::new();
         timestamps.insert(format!("{initial:?}"), clock.now().as_secs_f64());
-        StateCell { inner: Mutex::new(StateInner { current: initial, timestamps, error: None }), cond: Condvar::new(), clock }
+        StateCell {
+            inner: Mutex::new(StateInner {
+                current: initial,
+                timestamps,
+                error: None,
+            }),
+            cond: Condvar::new(),
+            clock,
+        }
     }
 
     /// Current state.
@@ -91,7 +99,11 @@ impl<S: StateModel> StateCell<S> {
 
     /// Virtual timestamp (seconds) at which `state` was entered, if it was.
     pub fn entered_at(&self, state: S) -> Option<f64> {
-        self.inner.lock().timestamps.get(&format!("{state:?}")).copied()
+        self.inner
+            .lock()
+            .timestamps
+            .get(&format!("{state:?}"))
+            .copied()
     }
 
     /// All recorded `(state name, virtual seconds)` pairs.
@@ -112,7 +124,9 @@ impl<S: StateModel> StateCell<S> {
             )));
         }
         inner.current = next;
-        inner.timestamps.insert(format!("{next:?}"), self.clock.now().as_secs_f64());
+        inner
+            .timestamps
+            .insert(format!("{next:?}"), self.clock.now().as_secs_f64());
         self.cond.notify_all();
         Ok(())
     }
@@ -123,12 +137,18 @@ impl<S: StateModel> StateCell<S> {
         let mut inner = self.inner.lock();
         inner.current = failed_state;
         inner.error = Some(reason.into());
-        inner.timestamps.insert(format!("{failed_state:?}"), self.clock.now().as_secs_f64());
+        inner
+            .timestamps
+            .insert(format!("{failed_state:?}"), self.clock.now().as_secs_f64());
         self.cond.notify_all();
     }
 
     /// Block until `predicate(state)` holds or the real-time `timeout` elapses.
-    pub fn wait_until<F: Fn(S) -> bool>(&self, predicate: F, timeout: Duration) -> Result<S, RuntimeError> {
+    pub fn wait_until<F: Fn(S) -> bool>(
+        &self,
+        predicate: F,
+        timeout: Duration,
+    ) -> Result<S, RuntimeError> {
         let deadline = Instant::now() + timeout;
         let mut inner = self.inner.lock();
         loop {
@@ -137,11 +157,13 @@ impl<S: StateModel> StateCell<S> {
             }
             if inner.current.terminal() {
                 // Terminal but not what the caller wanted: report failure.
-                let reason = inner.error.clone().unwrap_or_else(|| format!("entity ended in {:?}", inner.current));
+                let reason = inner
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| format!("entity ended in {:?}", inner.current));
                 return Err(RuntimeError::Failed(reason));
             }
-            if Instant::now() >= deadline
-                || self.cond.wait_until(&mut inner, deadline).timed_out()
+            if Instant::now() >= deadline || self.cond.wait_until(&mut inner, deadline).timed_out()
             {
                 if predicate(inner.current) {
                     return Ok(inner.current);
@@ -189,7 +211,12 @@ pub struct TaskRecord {
 
 impl TaskRecord {
     /// Create a record in the `New` state.
-    pub fn new(id: String, description: TaskDescription, platform: PlatformId, clock: SharedClock) -> Arc<Self> {
+    pub fn new(
+        id: String,
+        description: TaskDescription,
+        platform: PlatformId,
+        clock: SharedClock,
+    ) -> Arc<Self> {
         Arc::new(TaskRecord {
             id,
             description,
@@ -318,7 +345,9 @@ impl TaskHandle {
 
     /// Block until the task reaches `Done`, with an explicit real-time timeout.
     pub fn wait_done_timeout(&self, timeout: Duration) -> Result<TaskState, RuntimeError> {
-        self.record.state.wait_until(|s| s == TaskState::Done, timeout)
+        self.record
+            .state
+            .wait_until(|s| s == TaskState::Done, timeout)
     }
 
     /// Block until the task reaches any terminal state.
@@ -390,7 +419,9 @@ impl ServiceHandle {
 
     /// Block until the service is `Ready`, with an explicit real-time timeout.
     pub fn wait_ready_timeout(&self, timeout: Duration) -> Result<ServiceState, RuntimeError> {
-        self.record.state.wait_until(|s| s == ServiceState::Ready, timeout)
+        self.record
+            .state
+            .wait_until(|s| s == ServiceState::Ready, timeout)
     }
 
     /// Block until the service reaches any terminal state.
@@ -436,12 +467,19 @@ impl PilotHandle {
 
     /// Number of nodes in the pilot's allocation (0 before it becomes active).
     pub fn num_nodes(&self) -> usize {
-        self.record.allocation.lock().as_ref().map(|a| a.num_nodes()).unwrap_or(0)
+        self.record
+            .allocation
+            .lock()
+            .as_ref()
+            .map(|a| a.num_nodes())
+            .unwrap_or(0)
     }
 
     /// Block until the pilot is `Active` (default timeout: 300 s of real time).
     pub fn wait_active(&self) -> Result<PilotState, RuntimeError> {
-        self.record.state.wait_until(|s| s == PilotState::Active, Duration::from_secs(300))
+        self.record
+            .state
+            .wait_until(|s| s == PilotState::Active, Duration::from_secs(300))
     }
 }
 
@@ -490,7 +528,9 @@ mod tests {
     fn wait_until_wakes_on_transition() {
         let cell = Arc::new(StateCell::new(ServiceState::New, clock()));
         let c2 = Arc::clone(&cell);
-        let waiter = thread::spawn(move || c2.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(5)));
+        let waiter = thread::spawn(move || {
+            c2.wait_until(|s| s == ServiceState::Ready, Duration::from_secs(5))
+        });
         thread::sleep(Duration::from_millis(10));
         for s in [
             ServiceState::Scheduling,
@@ -508,7 +548,8 @@ mod tests {
     fn wait_until_reports_failure() {
         let cell = Arc::new(StateCell::new(TaskState::Executing, clock()));
         let c2 = Arc::clone(&cell);
-        let waiter = thread::spawn(move || c2.wait_until(|s| s == TaskState::Done, Duration::from_secs(5)));
+        let waiter =
+            thread::spawn(move || c2.wait_until(|s| s == TaskState::Done, Duration::from_secs(5)));
         thread::sleep(Duration::from_millis(10));
         cell.fail(TaskState::Failed, "segfault");
         let err = waiter.join().unwrap().unwrap_err();
@@ -518,13 +559,19 @@ mod tests {
     #[test]
     fn wait_until_times_out() {
         let cell = StateCell::new(TaskState::New, clock());
-        let err = cell.wait_until(|s| s == TaskState::Done, Duration::from_millis(20)).unwrap_err();
+        let err = cell
+            .wait_until(|s| s == TaskState::Done, Duration::from_millis(20))
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::WaitTimeout { .. }));
     }
 
     #[test]
     fn bootstrap_times_total() {
-        let bt = BootstrapTimes { launch_secs: 2.0, init_secs: 30.0, publish_secs: 0.5 };
+        let bt = BootstrapTimes {
+            launch_secs: 2.0,
+            init_secs: 30.0,
+            publish_secs: 0.5,
+        };
         assert!((bt.total() - 32.5).abs() < 1e-12);
     }
 
@@ -537,7 +584,9 @@ mod tests {
             PlatformId::Local,
             Arc::clone(&c),
         );
-        let th = TaskHandle { record: Arc::clone(&task) };
+        let th = TaskHandle {
+            record: Arc::clone(&task),
+        };
         assert_eq!(th.id(), "task.000000");
         assert_eq!(th.state(), TaskState::New);
         assert!(th.error().is_none());
@@ -549,14 +598,20 @@ mod tests {
             PlatformId::Local,
             Arc::clone(&c),
         );
-        let sh = ServiceHandle { record: Arc::clone(&svc) };
+        let sh = ServiceHandle {
+            record: Arc::clone(&svc),
+        };
         assert_eq!(sh.name(), "llm-0");
         assert_eq!(sh.endpoint_name(), "service.llm-0");
         assert!(sh.bootstrap_times().is_none());
         sh.request_stop();
         assert!(svc.stop.load(Ordering::Acquire));
 
-        let pilot = PilotRecord::new("pilot.000000".into(), PilotDescription::new(PlatformId::Local), c);
+        let pilot = PilotRecord::new(
+            "pilot.000000".into(),
+            PilotDescription::new(PlatformId::Local),
+            c,
+        );
         let ph = PilotHandle { record: pilot };
         assert_eq!(ph.num_nodes(), 0);
         assert_eq!(ph.state(), PilotState::New);

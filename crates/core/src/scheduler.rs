@@ -104,7 +104,10 @@ impl std::fmt::Debug for Scheduler {
 impl Scheduler {
     /// Create a scheduler over the given allocation.
     pub fn new(allocation: Arc<Allocation>) -> Self {
-        Scheduler { allocation, state: Mutex::new(SchedState::default()) }
+        Scheduler {
+            allocation,
+            state: Mutex::new(SchedState::default()),
+        }
     }
 
     /// The allocation this scheduler places onto.
@@ -138,7 +141,9 @@ impl Scheduler {
         timeout: Duration,
     ) -> Result<Slot, RuntimeError> {
         // Shape mismatches fail fast without ever queueing.
-        self.allocation.check_satisfiable(req).map_err(RuntimeError::Resource)?;
+        self.allocation
+            .check_satisfiable(req)
+            .map_err(RuntimeError::Resource)?;
 
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
@@ -161,7 +166,9 @@ impl Scheduler {
         }
 
         // Slow path: park in arrival order and wait for a targeted wakeup.
-        let waiter = Arc::new(Waiter { cond: Condvar::new() });
+        let waiter = Arc::new(Waiter {
+            cond: Condvar::new(),
+        });
         match priority {
             Priority::Service => st.services.push_back(Arc::clone(&waiter)),
             Priority::Task => st.tasks.push_back(Arc::clone(&waiter)),
@@ -169,9 +176,7 @@ impl Scheduler {
 
         let result = loop {
             let eligible = match priority {
-                Priority::Service => {
-                    st.services.front().is_some_and(|w| Arc::ptr_eq(w, &waiter))
-                }
+                Priority::Service => st.services.front().is_some_and(|w| Arc::ptr_eq(w, &waiter)),
                 Priority::Task => {
                     st.services.is_empty()
                         && st.tasks.front().is_some_and(|w| Arc::ptr_eq(w, &waiter))
@@ -254,7 +259,13 @@ mod tests {
     #[test]
     fn allocate_and_release_roundtrip() {
         let s = scheduler(PlatformId::Local, 1); // 8 cores, 2 gpus
-        let slot = s.allocate(&ResourceRequest::gpus(1), Priority::Service, Duration::from_secs(1)).unwrap();
+        let slot = s
+            .allocate(
+                &ResourceRequest::gpus(1),
+                Priority::Service,
+                Duration::from_secs(1),
+            )
+            .unwrap();
         assert_eq!(slot.num_gpus(), 1);
         assert_eq!(s.outstanding_slots(), 1);
         s.release(&slot).unwrap();
@@ -266,20 +277,41 @@ mod tests {
     fn never_satisfiable_request_errors_immediately() {
         let s = scheduler(PlatformId::Local, 1);
         let err = s
-            .allocate(&ResourceRequest::cores(1024), Priority::Task, Duration::from_secs(5))
+            .allocate(
+                &ResourceRequest::cores(1024),
+                Priority::Task,
+                Duration::from_secs(5),
+            )
             .unwrap_err();
-        assert!(matches!(err, RuntimeError::Resource(ResourceError::NeverSatisfiable { .. })));
+        assert!(matches!(
+            err,
+            RuntimeError::Resource(ResourceError::NeverSatisfiable { .. })
+        ));
     }
 
     #[test]
     fn allocation_times_out_under_pressure() {
         let s = scheduler(PlatformId::Local, 1);
-        let _hold = s.allocate(&ResourceRequest::gpus(2), Priority::Task, Duration::from_secs(1)).unwrap();
+        let _hold = s
+            .allocate(
+                &ResourceRequest::gpus(2),
+                Priority::Task,
+                Duration::from_secs(1),
+            )
+            .unwrap();
         let err = s
-            .allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_millis(30))
+            .allocate(
+                &ResourceRequest::gpus(1),
+                Priority::Task,
+                Duration::from_millis(30),
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::WaitTimeout { .. }));
-        assert_eq!(s.waiting_tasks(), 0, "timed-out waiter must leave the queue");
+        assert_eq!(
+            s.waiting_tasks(),
+            0,
+            "timed-out waiter must leave the queue"
+        );
     }
 
     #[test]
@@ -289,20 +321,37 @@ mod tests {
         // the waiter behind it (W2) can obtain the free GPU *only* through the final
         // attempt at its deadline — never through head eligibility.
         let s = Arc::new(scheduler(PlatformId::Local, 1)); // 2 gpus
-        let hold = s.allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(1)).unwrap();
+        let hold = s
+            .allocate(
+                &ResourceRequest::gpus(1),
+                Priority::Task,
+                Duration::from_secs(1),
+            )
+            .unwrap();
         let s1 = Arc::clone(&s);
         let head = thread::spawn(move || {
-            s1.allocate(&ResourceRequest::gpus(2), Priority::Task, Duration::from_secs(10))
+            s1.allocate(
+                &ResourceRequest::gpus(2),
+                Priority::Task,
+                Duration::from_secs(10),
+            )
         });
         // Let W1 park at the head before W2 arrives.
         thread::sleep(Duration::from_millis(50));
         assert_eq!(s.waiting_tasks(), 1);
         let s2 = Arc::clone(&s);
         let behind = thread::spawn(move || {
-            s2.allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_millis(100))
+            s2.allocate(
+                &ResourceRequest::gpus(1),
+                Priority::Task,
+                Duration::from_millis(100),
+            )
         });
         let got = behind.join().unwrap();
-        assert!(got.is_ok(), "final attempt must claim the free GPU at the deadline: {got:?}");
+        assert!(
+            got.is_ok(),
+            "final attempt must claim the free GPU at the deadline: {got:?}"
+        );
         // Unblock the head and let it finish.
         s.release(&got.unwrap()).unwrap();
         s.release(&hold).unwrap();
@@ -315,10 +364,20 @@ mod tests {
     #[test]
     fn blocked_allocation_wakes_on_release() {
         let s = Arc::new(scheduler(PlatformId::Local, 1));
-        let slot = s.allocate(&ResourceRequest::gpus(2), Priority::Task, Duration::from_secs(1)).unwrap();
+        let slot = s
+            .allocate(
+                &ResourceRequest::gpus(2),
+                Priority::Task,
+                Duration::from_secs(1),
+            )
+            .unwrap();
         let s2 = Arc::clone(&s);
         let waiter = thread::spawn(move || {
-            s2.allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(5))
+            s2.allocate(
+                &ResourceRequest::gpus(1),
+                Priority::Task,
+                Duration::from_secs(5),
+            )
         });
         thread::sleep(Duration::from_millis(20));
         s.release(&slot).unwrap();
@@ -331,13 +390,29 @@ mod tests {
         // 2 GPUs total. A task holds both; a service and a task are both waiting.
         // When the GPUs free up one by one, the service must be placed first.
         let s = Arc::new(scheduler(PlatformId::Local, 1));
-        let hold_a = s.allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(1)).unwrap();
-        let hold_b = s.allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(1)).unwrap();
+        let hold_a = s
+            .allocate(
+                &ResourceRequest::gpus(1),
+                Priority::Task,
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        let hold_b = s
+            .allocate(
+                &ResourceRequest::gpus(1),
+                Priority::Task,
+                Duration::from_secs(1),
+            )
+            .unwrap();
 
         let s_svc = Arc::clone(&s);
         let svc_waiter = thread::spawn(move || {
             s_svc
-                .allocate(&ResourceRequest::gpus(1), Priority::Service, Duration::from_secs(5))
+                .allocate(
+                    &ResourceRequest::gpus(1),
+                    Priority::Service,
+                    Duration::from_secs(5),
+                )
                 .map(|slot| ("service", slot))
         });
         // Give the service waiter time to register.
@@ -345,7 +420,11 @@ mod tests {
         let s_task = Arc::clone(&s);
         let task_waiter = thread::spawn(move || {
             s_task
-                .allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(5))
+                .allocate(
+                    &ResourceRequest::gpus(1),
+                    Priority::Task,
+                    Duration::from_secs(5),
+                )
                 .map(|slot| ("task", slot))
         });
         thread::sleep(Duration::from_millis(30));
@@ -365,7 +444,13 @@ mod tests {
         // One GPU cycles through three parked waiters; completion order must match
         // arrival order (the old condvar implementation gave no such guarantee).
         let s = Arc::new(scheduler(PlatformId::Local, 1)); // 2 gpus
-        let hold = s.allocate(&ResourceRequest::gpus(2), Priority::Task, Duration::from_secs(5)).unwrap();
+        let hold = s
+            .allocate(
+                &ResourceRequest::gpus(2),
+                Priority::Task,
+                Duration::from_secs(5),
+            )
+            .unwrap();
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut waiters = Vec::new();
         for i in 0..3 {
@@ -373,7 +458,11 @@ mod tests {
             let order2 = Arc::clone(&order);
             waiters.push(thread::spawn(move || {
                 let slot = s2
-                    .allocate(&ResourceRequest::gpus(1), Priority::Task, Duration::from_secs(10))
+                    .allocate(
+                        &ResourceRequest::gpus(1),
+                        Priority::Task,
+                        Duration::from_secs(10),
+                    )
                     .unwrap();
                 order2.lock().push(i);
                 // Hold briefly so the next waiter is definitely parked, then recycle.
@@ -388,7 +477,11 @@ mod tests {
         for w in waiters {
             w.join().unwrap();
         }
-        assert_eq!(*order.lock(), vec![0, 1, 2], "FIFO wait queue must serve in arrival order");
+        assert_eq!(
+            *order.lock(),
+            vec![0, 1, 2],
+            "FIFO wait queue must serve in arrival order"
+        );
         assert_eq!(s.outstanding_slots(), 0);
     }
 
@@ -401,7 +494,11 @@ mod tests {
             handles.push(thread::spawn(move || {
                 for _ in 0..50 {
                     let slot = s
-                        .allocate(&ResourceRequest::cores(4), Priority::Task, Duration::from_secs(10))
+                        .allocate(
+                            &ResourceRequest::cores(4),
+                            Priority::Task,
+                            Duration::from_secs(10),
+                        )
                         .unwrap();
                     s.release(&slot).unwrap();
                 }
@@ -427,7 +524,11 @@ mod tests {
             handles.push(thread::spawn(move || {
                 for _ in 0..20 {
                     let slot = s
-                        .allocate(&ResourceRequest::cores(3), Priority::Task, Duration::from_secs(30))
+                        .allocate(
+                            &ResourceRequest::cores(3),
+                            Priority::Task,
+                            Duration::from_secs(30),
+                        )
                         .unwrap();
                     s.release(&slot).unwrap();
                 }

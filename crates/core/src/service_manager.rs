@@ -41,12 +41,18 @@ impl std::fmt::Debug for ServiceManager {
 impl ServiceManager {
     /// Create a service manager bound to the session's endpoint registry.
     pub fn new(registry: Arc<EndpointRegistry>, clock: SharedClock) -> Self {
-        ServiceManager { services: RwLock::new(BTreeMap::new()), registry, clock }
+        ServiceManager {
+            services: RwLock::new(BTreeMap::new()),
+            registry,
+            clock,
+        }
     }
 
     /// Register a service record (keyed by its user-facing name).
     pub fn add(&self, record: Arc<ServiceRecord>) {
-        self.services.write().insert(record.description.name.clone(), record);
+        self.services
+            .write()
+            .insert(record.description.name.clone(), record);
     }
 
     /// Look a service up by name.
@@ -89,8 +95,13 @@ impl ServiceManager {
 
     /// Block until the named service is ready (real-time timeout).
     pub fn wait_ready(&self, name: &str, timeout: Duration) -> Result<(), RuntimeError> {
-        let record = self.get(name).ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
-        record.state.wait_until(|s| s == ServiceState::Ready, timeout).map(|_| ())
+        let record = self
+            .get(name)
+            .ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
+        record
+            .state
+            .wait_until(|s| s == ServiceState::Ready, timeout)
+            .map(|_| ())
     }
 
     /// Block until every registered service is ready.
@@ -104,15 +115,19 @@ impl ServiceManager {
     /// Probe the liveness of a service by pinging its endpoint. Returns `Ok(true)` when
     /// the service answered and reported itself ready.
     pub fn probe(&self, name: &str) -> Result<bool, RuntimeError> {
-        let record = self.get(name).ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
+        let record = self
+            .get(name)
+            .ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
         let endpoint = record.endpoint_name();
-        let entry = self
-            .registry
-            .lookup(&endpoint)
-            .ok_or(RuntimeError::Comm(hpcml_comm::CommError::EndpointNotFound(endpoint)))?;
+        let entry = self.registry.lookup(&endpoint).ok_or(RuntimeError::Comm(
+            hpcml_comm::CommError::EndpointNotFound(endpoint),
+        ))?;
         let client = entry.handle.connect(Link::instant(Arc::clone(&self.clock)));
         let reply = client
-            .request_timeout(Message::new(record.endpoint_name(), KIND_PING), Duration::from_secs(5))
+            .request_timeout(
+                Message::new(record.endpoint_name(), KIND_PING),
+                Duration::from_secs(5),
+            )
             .map_err(RuntimeError::Comm)?;
         Ok(reply.kind == KIND_PONG && reply.header("ready") == Some("true"))
     }
@@ -124,7 +139,9 @@ impl ServiceManager {
     /// noticed the flag first it would exit without consuming the message, and the
     /// manager would needlessly wait for a reply that never comes.
     pub fn stop(&self, name: &str) -> Result<(), RuntimeError> {
-        let record = self.get(name).ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
+        let record = self
+            .get(name)
+            .ok_or_else(|| RuntimeError::UnknownEntity(name.to_string()))?;
         if record.state.current() == ServiceState::Ready {
             record.state.transition(ServiceState::Stopping)?;
         }
@@ -202,8 +219,14 @@ mod tests {
             sm.wait_ready("ghost", Duration::from_millis(10)),
             Err(RuntimeError::UnknownEntity(_))
         ));
-        assert!(matches!(sm.probe("ghost"), Err(RuntimeError::UnknownEntity(_))));
-        assert!(matches!(sm.stop("ghost"), Err(RuntimeError::UnknownEntity(_))));
+        assert!(matches!(
+            sm.probe("ghost"),
+            Err(RuntimeError::UnknownEntity(_))
+        ));
+        assert!(matches!(
+            sm.stop("ghost"),
+            Err(RuntimeError::UnknownEntity(_))
+        ));
     }
 
     #[test]
@@ -237,7 +260,9 @@ mod tests {
         let host = shared_host(ModelSpec::noop(), Arc::clone(&clock), 3);
         host.load();
         let endpoint = ReqRepServer::new(rec.endpoint_name());
-        registry.register(rec.endpoint_name(), endpoint.handle(), BTreeMap::new()).unwrap();
+        registry
+            .register(rec.endpoint_name(), endpoint.handle(), BTreeMap::new())
+            .unwrap();
         let service = InferenceService::new("live", host, Arc::clone(&clock), 4);
         let stop = Arc::clone(&rec.stop);
         let server_thread = thread::spawn(move || service.serve(&endpoint, &stop));

@@ -25,7 +25,9 @@ use crate::error::RuntimeError;
 use crate::executor::Executor;
 use crate::metrics::RuntimeMetrics;
 use crate::pilot::PilotManager;
-use crate::records::{PilotHandle, PilotRecord, ServiceHandle, ServiceRecord, TaskHandle, TaskRecord};
+use crate::records::{
+    PilotHandle, PilotRecord, ServiceHandle, ServiceRecord, TaskHandle, TaskRecord,
+};
 use crate::scheduler::Scheduler;
 use crate::service_manager::ServiceManager;
 use crate::states::PilotState;
@@ -64,7 +66,12 @@ pub struct SessionBuilder {
 impl SessionBuilder {
     /// Start building a session with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        SessionBuilder { config: SessionConfig { name: name.into(), ..SessionConfig::default() } }
+        SessionBuilder {
+            config: SessionConfig {
+                name: name.into(),
+                ..SessionConfig::default()
+            },
+        }
     }
 
     /// Set the default platform.
@@ -131,7 +138,11 @@ impl Session {
         let metrics = RuntimeMetrics::new();
         let registry = Arc::new(EndpointRegistry::new());
         let publisher = Publisher::new();
-        let data = Arc::new(DataManager::new(Arc::clone(&clock), Arc::clone(&metrics), config.seed ^ 0xDA7A));
+        let data = Arc::new(DataManager::new(
+            Arc::clone(&clock),
+            Arc::clone(&metrics),
+            config.seed ^ 0xDA7A,
+        ));
         let executor = Executor::new(
             Arc::clone(&clock),
             Arc::clone(&metrics),
@@ -210,11 +221,10 @@ impl Session {
         self.ensure_open()?;
         let record = PilotRecord::new(ids::next_id("pilot"), description, Arc::clone(&self.clock));
         self.pilot_manager.activate(&record)?;
-        let allocation = record
-            .allocation
-            .lock()
-            .clone()
-            .ok_or_else(|| RuntimeError::InvalidState("pilot active without allocation".into()))?;
+        let allocation =
+            record.allocation.lock().clone().ok_or_else(|| {
+                RuntimeError::InvalidState("pilot active without allocation".into())
+            })?;
         *self.scheduler.lock() = Some(Arc::new(Scheduler::new(allocation)));
         self.pilots.lock().push(Arc::clone(&record));
         Ok(PilotHandle { record })
@@ -222,7 +232,10 @@ impl Session {
 
     /// Submit a service instance. Local services require an active pilot; remote
     /// services are started on their remote platform without consuming pilot resources.
-    pub fn submit_service(&self, description: ServiceDescription) -> Result<ServiceHandle, RuntimeError> {
+    pub fn submit_service(
+        &self,
+        description: ServiceDescription,
+    ) -> Result<ServiceHandle, RuntimeError> {
         self.ensure_open()?;
         let platform = match description.placement {
             ServicePlacement::LocalPilot => {
@@ -265,7 +278,12 @@ impl Session {
                 .map(|p| p.description.platform)
                 .unwrap_or(self.config.platform)
         };
-        let record = TaskRecord::new(ids::next_id("task"), description, platform, Arc::clone(&self.clock));
+        let record = TaskRecord::new(
+            ids::next_id("task"),
+            description,
+            platform,
+            Arc::clone(&self.clock),
+        );
         self.task_manager.add(Arc::clone(&record));
         let scheduler = self.scheduler.lock().clone();
         self.executor.spawn_task(Arc::clone(&record), scheduler);
@@ -277,7 +295,10 @@ impl Session {
         &self,
         descriptions: impl IntoIterator<Item = TaskDescription>,
     ) -> Result<Vec<TaskHandle>, RuntimeError> {
-        descriptions.into_iter().map(|d| self.submit_task(d)).collect()
+        descriptions
+            .into_iter()
+            .map(|d| self.submit_task(d))
+            .collect()
     }
 
     /// Block until every submitted task reached a terminal state.
@@ -324,12 +345,18 @@ mod tests {
     #[test]
     fn pilot_service_task_end_to_end() {
         let s = session(2000.0);
-        let pilot = s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2)).unwrap();
+        let pilot = s
+            .submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2))
+            .unwrap();
         assert_eq!(pilot.state(), PilotState::Active);
         assert_eq!(pilot.num_nodes(), 2);
 
         let svc = s
-            .submit_service(ServiceDescription::new("noop-0").model(ModelSpec::noop()).gpus(1))
+            .submit_service(
+                ServiceDescription::new("noop-0")
+                    .model(ModelSpec::noop())
+                    .gpus(1),
+            )
             .unwrap();
         svc.wait_ready().unwrap();
         assert_eq!(svc.state(), ServiceState::Ready);
@@ -358,7 +385,9 @@ mod tests {
     #[test]
     fn local_service_before_pilot_is_rejected() {
         let s = session(10_000.0);
-        let err = s.submit_service(ServiceDescription::new("early")).unwrap_err();
+        let err = s
+            .submit_service(ServiceDescription::new("early"))
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::InvalidState(_)));
     }
 
@@ -391,7 +420,8 @@ mod tests {
     fn state_updates_are_published() {
         let s = session(5000.0);
         let updates = s.subscribe_updates(&["state.task"]);
-        s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).unwrap();
+        s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1))
+            .unwrap();
         let task = s.submit_task(TaskDescription::new("t")).unwrap();
         task.wait_done_timeout(Duration::from_secs(20)).unwrap();
         let received = updates.drain();
@@ -403,10 +433,13 @@ mod tests {
     #[test]
     fn submit_tasks_batch_and_wait() {
         let s = session(10_000.0);
-        s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2)).unwrap();
+        s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2))
+            .unwrap();
         let handles = s
             .submit_tasks((0..6).map(|i| {
-                TaskDescription::new(format!("t{i}")).kind(TaskKind::compute_secs(1.0)).cores(1)
+                TaskDescription::new(format!("t{i}"))
+                    .kind(TaskKind::compute_secs(1.0))
+                    .cores(1)
             }))
             .unwrap();
         assert_eq!(handles.len(), 6);

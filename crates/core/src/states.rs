@@ -31,7 +31,10 @@ pub enum TaskState {
 impl TaskState {
     /// Whether this is a terminal state.
     pub fn is_final(self) -> bool {
-        matches!(self, TaskState::Done | TaskState::Failed | TaskState::Canceled)
+        matches!(
+            self,
+            TaskState::Done | TaskState::Failed | TaskState::Canceled
+        )
     }
 
     /// Legal successor states.
@@ -134,7 +137,10 @@ pub enum PilotState {
 impl PilotState {
     /// Whether this is a terminal state.
     pub fn is_final(self) -> bool {
-        matches!(self, PilotState::Done | PilotState::Failed | PilotState::Canceled)
+        matches!(
+            self,
+            PilotState::Done | PilotState::Failed | PilotState::Canceled
+        )
     }
 
     /// Legal successor states.
@@ -161,7 +167,14 @@ mod tests {
     #[test]
     fn task_happy_path_is_legal() {
         use TaskState::*;
-        let path = [New, Scheduling, StagingInput, Executing, StagingOutput, Done];
+        let path = [
+            New,
+            Scheduling,
+            StagingInput,
+            Executing,
+            StagingOutput,
+            Done,
+        ];
         for w in path.windows(2) {
             assert!(w[0].can_transition_to(w[1]), "{:?} -> {:?}", w[0], w[1]);
         }
@@ -181,7 +194,16 @@ mod tests {
     #[test]
     fn service_happy_path_is_legal() {
         use ServiceState::*;
-        let path = [New, Scheduling, Launching, Initializing, Publishing, Ready, Stopping, Stopped];
+        let path = [
+            New,
+            Scheduling,
+            Launching,
+            Initializing,
+            Publishing,
+            Ready,
+            Stopping,
+            Stopped,
+        ];
         for w in path.windows(2) {
             assert!(w[0].can_transition_to(w[1]), "{:?} -> {:?}", w[0], w[1]);
         }
@@ -193,7 +215,15 @@ mod tests {
     #[test]
     fn service_every_non_final_state_can_fail() {
         use ServiceState::*;
-        for s in [New, Scheduling, Launching, Initializing, Publishing, Ready, Stopping] {
+        for s in [
+            New,
+            Scheduling,
+            Launching,
+            Initializing,
+            Publishing,
+            Ready,
+            Stopping,
+        ] {
             assert!(s.can_transition_to(Failed), "{s:?} must be able to fail");
         }
     }
@@ -222,7 +252,17 @@ mod tests {
     #[test]
     fn no_state_lists_itself_as_successor() {
         use ServiceState::*;
-        for s in [New, Scheduling, Launching, Initializing, Publishing, Ready, Stopping, Stopped, Failed] {
+        for s in [
+            New,
+            Scheduling,
+            Launching,
+            Initializing,
+            Publishing,
+            Ready,
+            Stopping,
+            Stopped,
+            Failed,
+        ] {
             assert!(!s.successors().contains(&s));
         }
     }

@@ -23,7 +23,9 @@ pub struct TaskManager {
 
 impl std::fmt::Debug for TaskManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskManager").field("tasks", &self.len()).finish()
+        f.debug_struct("TaskManager")
+            .field("tasks", &self.len())
+            .finish()
     }
 }
 
@@ -69,7 +71,11 @@ impl TaskManager {
 
     /// Number of tasks in a terminal state.
     pub fn finished(&self) -> usize {
-        self.tasks.read().values().filter(|r| r.state.current().is_final()).count()
+        self.tasks
+            .read()
+            .values()
+            .filter(|r| r.state.current().is_final())
+            .count()
     }
 
     /// Block (polling every few milliseconds of real time) until every registered task
@@ -100,7 +106,12 @@ mod tests {
     use std::thread;
 
     fn record(id: &str) -> Arc<TaskRecord> {
-        TaskRecord::new(id.to_string(), TaskDescription::new(id), PlatformId::Local, ClockSpec::Manual.build())
+        TaskRecord::new(
+            id.to_string(),
+            TaskDescription::new(id),
+            PlatformId::Local,
+            ClockSpec::Manual.build(),
+        )
     }
 
     #[test]

@@ -56,11 +56,19 @@ pub enum BatchError {
 impl std::fmt::Display for BatchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BatchError::TooLarge { requested, available } => {
-                write!(f, "requested {requested} nodes but the platform only has {available}")
+            BatchError::TooLarge {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} nodes but the platform only has {available}"
+                )
             }
             BatchError::Busy => write!(f, "platform nodes are currently allocated to other jobs"),
-            BatchError::EmptyRequest => write!(f, "allocation request must ask for at least one node"),
+            BatchError::EmptyRequest => {
+                write!(f, "allocation request must ask for at least one node")
+            }
         }
     }
 }
@@ -82,7 +90,11 @@ pub struct AllocationRequest {
 impl AllocationRequest {
     /// Request `nodes` whole nodes for one hour, without modelling queue wait.
     pub fn nodes(nodes: usize) -> Self {
-        AllocationRequest { nodes, walltime_secs: 3600.0, model_queue_wait: false }
+        AllocationRequest {
+            nodes,
+            walltime_secs: 3600.0,
+            model_queue_wait: false,
+        }
     }
 
     /// Set the walltime.
@@ -328,7 +340,10 @@ impl Allocation {
         self.check_satisfiable(req)?;
         let mut st = self.state.lock();
         let st = &mut *st;
-        let node_index = st.index.find(req, &st.nodes).ok_or(ResourceError::InsufficientResources)?;
+        let node_index = st
+            .index
+            .find(req, &st.nodes)
+            .ok_or(ResourceError::InsufficientResources)?;
         let node = &mut st.nodes[node_index];
         let was_idle = node.is_idle();
         let (core_ids, gpu_ids, mem_gib) = node.try_reserve(req)?;
@@ -337,11 +352,19 @@ impl Allocation {
         if was_idle && !node.is_idle() {
             st.non_idle_nodes += 1;
         }
-        let (free_gpus, free_cores, name) = (node.free_gpus(), node.free_cores(), Arc::clone(&node.name));
+        let (free_gpus, free_cores, name) =
+            (node.free_gpus(), node.free_cores(), Arc::clone(&node.name));
         st.index.update(node_index, free_gpus, free_cores);
         let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
         st.live_slots.insert(id);
-        Ok(Slot { id, node_index, node_name: name, core_ids, gpu_ids, mem_gib })
+        Ok(Slot {
+            id,
+            node_index,
+            node_name: name,
+            core_ids,
+            gpu_ids,
+            mem_gib,
+        })
     }
 
     /// Release a previously allocated slot, updating the capacity index incrementally.
@@ -349,7 +372,10 @@ impl Allocation {
     pub fn release_slot(&self, slot: &Slot) -> Result<(), ResourceError> {
         let mut st = self.state.lock();
         let st = &mut *st;
-        let node = st.nodes.get_mut(slot.node_index).ok_or(ResourceError::UnknownSlot(slot.id))?;
+        let node = st
+            .nodes
+            .get_mut(slot.node_index)
+            .ok_or(ResourceError::UnknownSlot(slot.id))?;
         if node.name != slot.node_name {
             return Err(ResourceError::UnknownSlot(slot.id));
         }
@@ -430,7 +456,10 @@ impl BatchSystem {
             return Err(BatchError::EmptyRequest);
         }
         if req.nodes > self.spec.num_nodes {
-            return Err(BatchError::TooLarge { requested: req.nodes, available: self.spec.num_nodes });
+            return Err(BatchError::TooLarge {
+                requested: req.nodes,
+                available: self.spec.num_nodes,
+            });
         }
         // Reserve nodes atomically against concurrent submissions.
         loop {
@@ -440,7 +469,12 @@ impl BatchSystem {
             }
             if self
                 .nodes_in_use
-                .compare_exchange(used, used + req.nodes as u64, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    used,
+                    used + req.nodes as u64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 break;
@@ -486,7 +520,12 @@ impl BatchSystem {
         let mut current = self.nodes_in_use.load(Ordering::Acquire);
         loop {
             let next = current.saturating_sub(n);
-            match self.nodes_in_use.compare_exchange(current, next, Ordering::AcqRel, Ordering::Acquire) {
+            match self.nodes_in_use.compare_exchange(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(_) => break,
                 Err(actual) => current = actual,
             }
@@ -521,11 +560,23 @@ mod tests {
     #[test]
     fn submit_rejects_bad_requests() {
         let b = batch(PlatformId::Local);
-        assert_eq!(b.submit(AllocationRequest::nodes(0)).unwrap_err(), BatchError::EmptyRequest);
+        assert_eq!(
+            b.submit(AllocationRequest::nodes(0)).unwrap_err(),
+            BatchError::EmptyRequest
+        );
         let err = b.submit(AllocationRequest::nodes(100)).unwrap_err();
-        assert!(matches!(err, BatchError::TooLarge { requested: 100, available: 2 }));
+        assert!(matches!(
+            err,
+            BatchError::TooLarge {
+                requested: 100,
+                available: 2
+            }
+        ));
         let _a = b.submit(AllocationRequest::nodes(2)).unwrap();
-        assert_eq!(b.submit(AllocationRequest::nodes(1)).unwrap_err(), BatchError::Busy);
+        assert_eq!(
+            b.submit(AllocationRequest::nodes(1)).unwrap_err(),
+            BatchError::Busy
+        );
         assert!(!format!("{:?}", b).is_empty());
     }
 
@@ -543,7 +594,8 @@ mod tests {
             ResourceError::InsufficientResources
         );
         // Slots must land on both nodes.
-        let node_indices: std::collections::HashSet<usize> = slots.iter().map(|s| s.node_index).collect();
+        let node_indices: std::collections::HashSet<usize> =
+            slots.iter().map(|s| s.node_index).collect();
         assert_eq!(node_indices.len(), 2);
         for s in &slots {
             alloc.release_slot(s).unwrap();
@@ -556,9 +608,13 @@ mod tests {
     fn oversized_slot_request_is_never_satisfiable() {
         let b = batch(PlatformId::Local);
         let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
-        let err = alloc.allocate_slot(&ResourceRequest::cores(64)).unwrap_err();
+        let err = alloc
+            .allocate_slot(&ResourceRequest::cores(64))
+            .unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
-        assert!(alloc.check_satisfiable(&ResourceRequest::cores(64)).is_err());
+        assert!(alloc
+            .check_satisfiable(&ResourceRequest::cores(64))
+            .is_err());
         assert!(alloc.check_satisfiable(&ResourceRequest::cores(1)).is_ok());
     }
 
@@ -574,10 +630,19 @@ mod tests {
             gpu_ids: vec![],
             mem_gib: 0.0,
         };
-        assert!(matches!(alloc.release_slot(&bogus), Err(ResourceError::UnknownSlot(99))));
+        assert!(matches!(
+            alloc.release_slot(&bogus),
+            Err(ResourceError::UnknownSlot(99))
+        ));
         // Right index, wrong name: also rejected.
-        let wrong_name = Slot { node_index: 0, ..bogus };
-        assert!(matches!(alloc.release_slot(&wrong_name), Err(ResourceError::UnknownSlot(99))));
+        let wrong_name = Slot {
+            node_index: 0,
+            ..bogus
+        };
+        assert!(matches!(
+            alloc.release_slot(&wrong_name),
+            Err(ResourceError::UnknownSlot(99))
+        ));
     }
 
     #[test]
@@ -585,18 +650,35 @@ mod tests {
         let b = batch(PlatformId::Local);
         let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
         let node_mem = alloc.node_spec().mem_gib;
-        let hold =
-            alloc.allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem * 0.4 }).unwrap();
-        let victim =
-            alloc.allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem * 0.2 }).unwrap();
+        let hold = alloc
+            .allocate_slot(&ResourceRequest {
+                cores: 1,
+                gpus: 0,
+                mem_gib: node_mem * 0.4,
+            })
+            .unwrap();
+        let victim = alloc
+            .allocate_slot(&ResourceRequest {
+                cores: 1,
+                gpus: 0,
+                mem_gib: node_mem * 0.2,
+            })
+            .unwrap();
         alloc.release_slot(&victim).unwrap();
         assert!(
-            matches!(alloc.release_slot(&victim), Err(ResourceError::UnknownSlot(_))),
+            matches!(
+                alloc.release_slot(&victim),
+                Err(ResourceError::UnknownSlot(_))
+            ),
             "second release of the same slot must be rejected"
         );
         // Were memory re-credited, this over-committing request would succeed.
         let err = alloc
-            .allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem * 0.7 })
+            .allocate_slot(&ResourceRequest {
+                cores: 1,
+                gpus: 0,
+                mem_gib: node_mem * 0.7,
+            })
             .unwrap_err();
         assert_eq!(err, ResourceError::InsufficientResources);
         alloc.release_slot(&hold).unwrap();
@@ -608,7 +690,9 @@ mod tests {
         let spec = PlatformId::Delta.spec();
         let clock = ClockSpec::scaled(100_000.0).build();
         let b = BatchSystem::new(spec, clock, 3);
-        let alloc = b.submit(AllocationRequest::nodes(1).with_queue_wait(true)).unwrap();
+        let alloc = b
+            .submit(AllocationRequest::nodes(1).with_queue_wait(true))
+            .unwrap();
         assert!(alloc.queue_wait_secs() > 0.0);
         let alloc2 = b.submit(AllocationRequest::nodes(1)).unwrap();
         assert_eq!(alloc2.queue_wait_secs(), 0.0);
@@ -655,7 +739,13 @@ mod tests {
         let cpu_slot = alloc.allocate_slot(&ResourceRequest::cores(1)).unwrap();
         assert_eq!(cpu_slot.node_index, gpu_slot.node_index);
         // And a 2-GPU request still finds the untouched node.
-        let big_gpu = alloc.allocate_slot(&ResourceRequest { cores: 2, gpus: 2, mem_gib: 0.0 }).unwrap();
+        let big_gpu = alloc
+            .allocate_slot(&ResourceRequest {
+                cores: 2,
+                gpus: 2,
+                mem_gib: 0.0,
+            })
+            .unwrap();
         assert_ne!(big_gpu.node_index, gpu_slot.node_index);
     }
 
@@ -665,12 +755,22 @@ mod tests {
         let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
         let node_mem = alloc.node_spec().mem_gib;
         // Consume almost all memory on one node (but only one core).
-        let hog =
-            alloc.allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem - 1.0 }).unwrap();
+        let hog = alloc
+            .allocate_slot(&ResourceRequest {
+                cores: 1,
+                gpus: 0,
+                mem_gib: node_mem - 1.0,
+            })
+            .unwrap();
         // A request needing lots of memory must skip the memory-hogged node even though
         // its core class looks attractive.
-        let needy =
-            alloc.allocate_slot(&ResourceRequest { cores: 1, gpus: 0, mem_gib: node_mem / 2.0 }).unwrap();
+        let needy = alloc
+            .allocate_slot(&ResourceRequest {
+                cores: 1,
+                gpus: 0,
+                mem_gib: node_mem / 2.0,
+            })
+            .unwrap();
         assert_ne!(needy.node_index, hog.node_index);
         alloc.release_slot(&hog).unwrap();
         alloc.release_slot(&needy).unwrap();
@@ -679,7 +779,9 @@ mod tests {
 
     #[test]
     fn allocation_request_builder() {
-        let r = AllocationRequest::nodes(3).with_walltime_secs(120.0).with_queue_wait(true);
+        let r = AllocationRequest::nodes(3)
+            .with_walltime_secs(120.0)
+            .with_queue_wait(true);
         assert_eq!(r.nodes, 3);
         assert_eq!(r.walltime_secs, 120.0);
         assert!(r.model_queue_wait);
@@ -688,7 +790,14 @@ mod tests {
     #[test]
     fn batch_error_display() {
         assert!(BatchError::Busy.to_string().contains("allocated"));
-        assert!(BatchError::EmptyRequest.to_string().contains("at least one"));
-        assert!(BatchError::TooLarge { requested: 5, available: 2 }.to_string().contains('5'));
+        assert!(BatchError::EmptyRequest
+            .to_string()
+            .contains("at least one"));
+        assert!(BatchError::TooLarge {
+            requested: 5,
+            available: 2
+        }
+        .to_string()
+        .contains('5'));
     }
 }

@@ -89,7 +89,11 @@ pub struct LaunchModel {
 impl LaunchModel {
     /// Sample the launch duration for one executable when `concurrent` launches are in
     /// flight at the same time.
-    pub fn sample_launch<R: Rng + ?Sized>(&self, concurrent: u32, rng: &mut R) -> std::time::Duration {
+    pub fn sample_launch<R: Rng + ?Sized>(
+        &self,
+        concurrent: u32,
+        rng: &mut R,
+    ) -> std::time::Duration {
         let base = self.base_secs.sample(rng).max(0.0);
         std::time::Duration::from_secs_f64(base + self.contention_secs(concurrent))
     }
@@ -121,7 +125,10 @@ mod tests {
         let m = LauncherKind::MpiPrrte.model();
         let at_1 = m.mean_launch_secs(1);
         let at_160 = m.mean_launch_secs(160);
-        assert!((at_1 - at_160).abs() < 1e-9, "launch must be flat up to the knee");
+        assert!(
+            (at_1 - at_160).abs() < 1e-9,
+            "launch must be flat up to the knee"
+        );
     }
 
     #[test]
@@ -136,8 +143,14 @@ mod tests {
         assert!(at_640 - at_320 > at_320 - at_160);
         // The paper's Fig. 3 shows launch remaining smaller than the model-init time
         // (~30 s) even at 640 instances: sanity-bound the calibration.
-        assert!(at_640 < 30.0, "launch at 640 should stay below model init, got {at_640}");
-        assert!(at_640 > 4.0, "launch at 640 should clearly exceed the baseline, got {at_640}");
+        assert!(
+            at_640 < 30.0,
+            "launch at 640 should stay below model init, got {at_640}"
+        );
+        assert!(
+            at_640 > 4.0,
+            "launch at 640 should clearly exceed the baseline, got {at_640}"
+        );
     }
 
     #[test]
@@ -152,11 +165,15 @@ mod tests {
         let m = LauncherKind::MpiPrrte.model();
         let a: Vec<f64> = {
             let mut rng = StdRng::seed_from_u64(11);
-            (0..32).map(|_| m.sample_launch(320, &mut rng).as_secs_f64()).collect()
+            (0..32)
+                .map(|_| m.sample_launch(320, &mut rng).as_secs_f64())
+                .collect()
         };
         let b: Vec<f64> = {
             let mut rng = StdRng::seed_from_u64(11);
-            (0..32).map(|_| m.sample_launch(320, &mut rng).as_secs_f64()).collect()
+            (0..32)
+                .map(|_| m.sample_launch(320, &mut rng).as_secs_f64())
+                .collect()
         };
         assert_eq!(a, b);
         assert!(a.iter().all(|v| *v > 0.0));

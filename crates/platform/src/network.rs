@@ -35,7 +35,10 @@ pub struct LatencyProfile {
 impl LatencyProfile {
     /// Build a profile from a normal latency distribution in milliseconds.
     pub fn normal_ms(mean_ms: f64, std_ms: f64) -> Self {
-        LatencyProfile { one_way_ms: Dist::normal(mean_ms, std_ms), per_kib_ms: 0.0 }
+        LatencyProfile {
+            one_way_ms: Dist::normal(mean_ms, std_ms),
+            per_kib_ms: 0.0,
+        }
     }
 
     /// In-process / loopback: effectively free.
@@ -125,8 +128,14 @@ mod tests {
         let local = LatencyProfile::paper_local();
         let remote = LatencyProfile::paper_remote();
         let n = 10_000;
-        let l: f64 = (0..n).map(|_| local.sample_one_way(64, &mut rng).as_secs_f64()).sum::<f64>() / n as f64;
-        let r: f64 = (0..n).map(|_| remote.sample_one_way(64, &mut rng).as_secs_f64()).sum::<f64>() / n as f64;
+        let l: f64 = (0..n)
+            .map(|_| local.sample_one_way(64, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let r: f64 = (0..n)
+            .map(|_| remote.sample_one_way(64, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!(r > 5.0 * l, "remote mean {r} should dwarf local mean {l}");
     }
 

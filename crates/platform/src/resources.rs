@@ -63,7 +63,12 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// Create a node shape.
     pub fn new(cores: u32, gpus: u32, mem_gib: f64, gpu_mem_gib: f64) -> Self {
-        NodeSpec { cores, gpus, mem_gib, gpu_mem_gib }
+        NodeSpec {
+            cores,
+            gpus,
+            mem_gib,
+            gpu_mem_gib,
+        }
     }
 }
 
@@ -82,12 +87,20 @@ pub struct ResourceRequest {
 impl ResourceRequest {
     /// A request for `cores` cores and no GPU.
     pub fn cores(cores: u32) -> Self {
-        ResourceRequest { cores, gpus: 0, mem_gib: 0.0 }
+        ResourceRequest {
+            cores,
+            gpus: 0,
+            mem_gib: 0.0,
+        }
     }
 
     /// A request for `gpus` GPUs and one core per GPU.
     pub fn gpus(gpus: u32) -> Self {
-        ResourceRequest { cores: gpus.max(1), gpus, mem_gib: 0.0 }
+        ResourceRequest {
+            cores: gpus.max(1),
+            gpus,
+            mem_gib: 0.0,
+        }
     }
 
     /// Add a memory requirement.
@@ -167,7 +180,10 @@ fn take_units(mask: &mut [u128], count: u32, out: &mut Vec<u32>) {
             break;
         }
     }
-    debug_assert_eq!(need, 0, "take_units called with fewer free bits than requested");
+    debug_assert_eq!(
+        need, 0,
+        "take_units called with fewer free bits than requested"
+    );
 }
 
 /// Set the bit for unit `id` if it is within bounds and currently clear.
@@ -238,12 +254,16 @@ impl NodeState {
 
     /// Whether `req` could ever fit this node shape (ignoring current occupancy).
     pub fn can_ever_fit(&self, req: &ResourceRequest) -> bool {
-        req.cores <= self.spec.cores && req.gpus <= self.spec.gpus && req.mem_gib <= self.spec.mem_gib
+        req.cores <= self.spec.cores
+            && req.gpus <= self.spec.gpus
+            && req.mem_gib <= self.spec.mem_gib
     }
 
     /// Whether `req` fits the node right now (O(1)).
     pub fn can_fit_now(&self, req: &ResourceRequest) -> bool {
-        req.cores <= self.free_cores && req.gpus <= self.free_gpus && req.mem_gib <= self.mem_free_gib + 1e-9
+        req.cores <= self.free_cores
+            && req.gpus <= self.free_gpus
+            && req.mem_gib <= self.mem_free_gib + 1e-9
     }
 
     /// Try to reserve `req` on this node, returning the concrete core/GPU indices.
@@ -309,7 +329,11 @@ mod tests {
     #[test]
     fn reserve_and_release_roundtrip() {
         let mut n = node();
-        let req = ResourceRequest { cores: 2, gpus: 1, mem_gib: 64.0 };
+        let req = ResourceRequest {
+            cores: 2,
+            gpus: 1,
+            mem_gib: 64.0,
+        };
         let (cores, gpus, mem) = n.try_reserve(&req).unwrap();
         assert_eq!(cores.len(), 2);
         assert_eq!(gpus.len(), 1);
@@ -335,9 +359,21 @@ mod tests {
     #[test]
     fn oversized_request_is_never_satisfiable() {
         let mut n = node();
-        let err = n.try_reserve(&ResourceRequest { cores: 9, gpus: 0, mem_gib: 0.0 }).unwrap_err();
+        let err = n
+            .try_reserve(&ResourceRequest {
+                cores: 9,
+                gpus: 0,
+                mem_gib: 0.0,
+            })
+            .unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
-        let err = n.try_reserve(&ResourceRequest { cores: 1, gpus: 5, mem_gib: 0.0 }).unwrap_err();
+        let err = n
+            .try_reserve(&ResourceRequest {
+                cores: 1,
+                gpus: 5,
+                mem_gib: 0.0,
+            })
+            .unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
     }
 
@@ -352,7 +388,11 @@ mod tests {
     #[test]
     fn release_is_idempotent_and_clamped() {
         let mut n = node();
-        let req = ResourceRequest { cores: 1, gpus: 0, mem_gib: 10.0 };
+        let req = ResourceRequest {
+            cores: 1,
+            gpus: 0,
+            mem_gib: 10.0,
+        };
         let (c, g, m) = n.try_reserve(&req).unwrap();
         n.release(&c, &g, m);
         n.release(&c, &g, m); // double release must not overflow capacity
@@ -379,7 +419,12 @@ mod tests {
         assert_eq!(g.cores, 2);
         assert_eq!(g.mem_gib, 32.0);
         assert!(!g.is_empty());
-        assert!(ResourceRequest { cores: 0, gpus: 0, mem_gib: 0.0 }.is_empty());
+        assert!(ResourceRequest {
+            cores: 0,
+            gpus: 0,
+            mem_gib: 0.0
+        }
+        .is_empty());
         assert_eq!(ResourceRequest::default(), ResourceRequest::cores(1));
     }
 
@@ -423,13 +468,18 @@ mod tests {
         let (_second, _, _) = n.try_reserve(&ResourceRequest::cores(2)).unwrap();
         n.release(&first, &[], 0.0);
         let (third, _, _) = n.try_reserve(&ResourceRequest::cores(2)).unwrap();
-        assert_eq!(third, first, "trailing-zeros picking reuses the lowest free indices");
+        assert_eq!(
+            third, first,
+            "trailing-zeros picking reuses the lowest free indices"
+        );
     }
 
     #[test]
     fn error_display() {
         let e = ResourceError::UnknownSlot(9);
         assert!(e.to_string().contains('9'));
-        assert!(ResourceError::InsufficientResources.to_string().contains("insufficient"));
+        assert!(ResourceError::InsufficientResources
+            .to_string()
+            .contains("insufficient"));
     }
 }

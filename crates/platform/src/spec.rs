@@ -179,7 +179,10 @@ mod tests {
         assert_eq!(f.node.cores, 64);
         assert_eq!(f.num_nodes, 9408);
         assert_eq!(f.launcher, LauncherKind::MpiPrrte);
-        assert!(f.total_gpus() >= 640, "Frontier must fit experiment 1's 640 GPUs");
+        assert!(
+            f.total_gpus() >= 640,
+            "Frontier must fit experiment 1's 640 GPUs"
+        );
 
         let d = PlatformSpec::delta();
         assert_eq!(d.node.gpus, 4);
@@ -197,7 +200,12 @@ mod tests {
 
     #[test]
     fn platform_id_roundtrip() {
-        for id in [PlatformId::Frontier, PlatformId::Delta, PlatformId::R3Cloud, PlatformId::Local] {
+        for id in [
+            PlatformId::Frontier,
+            PlatformId::Delta,
+            PlatformId::R3Cloud,
+            PlatformId::Local,
+        ] {
             assert_eq!(id.spec().id, id);
             assert!(!id.short_name().is_empty());
             assert_eq!(format!("{id}"), id.short_name());

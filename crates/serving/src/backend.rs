@@ -34,7 +34,11 @@ pub trait ModelBackend: Send + Sync {
     fn sample_load_secs<'a>(&self, rng: &mut (dyn rand::RngCore + 'a)) -> f64;
 
     /// Compute the result of one inference request.
-    fn infer<'a>(&self, request: &InferenceRequest, rng: &mut (dyn rand::RngCore + 'a)) -> BackendResult;
+    fn infer<'a>(
+        &self,
+        request: &InferenceRequest,
+        rng: &mut (dyn rand::RngCore + 'a),
+    ) -> BackendResult;
 }
 
 /// The NOOP backend: replies immediately with a static response (experiment 2).
@@ -46,7 +50,9 @@ pub struct NoopBackend {
 impl NoopBackend {
     /// Create a NOOP backend.
     pub fn new() -> Self {
-        NoopBackend { spec: ModelSpec::noop() }
+        NoopBackend {
+            spec: ModelSpec::noop(),
+        }
     }
 }
 
@@ -65,7 +71,11 @@ impl ModelBackend for NoopBackend {
         0.0
     }
 
-    fn infer<'a>(&self, request: &InferenceRequest, _rng: &mut (dyn rand::RngCore + 'a)) -> BackendResult {
+    fn infer<'a>(
+        &self,
+        request: &InferenceRequest,
+        _rng: &mut (dyn rand::RngCore + 'a),
+    ) -> BackendResult {
         BackendResult {
             text: "noop".to_string(),
             prompt_tokens: request.prompt_tokens(),
@@ -92,7 +102,15 @@ impl SimLlmBackend {
             spec.kind != ModelKind::Noop,
             "use NoopBackend for the noop model"
         );
-        SimLlmBackend { spec, output_fraction: Dist::TruncatedNormal { mean: 0.85, std: 0.15, lo: 0.2, hi: 1.0 } }
+        SimLlmBackend {
+            spec,
+            output_fraction: Dist::TruncatedNormal {
+                mean: 0.85,
+                std: 0.15,
+                lo: 0.2,
+                hi: 1.0,
+            },
+        }
     }
 
     /// Llama-8b backend with catalog calibration.
@@ -119,10 +137,16 @@ impl ModelBackend for SimLlmBackend {
         self.spec.load_secs.sample(rng).max(0.0)
     }
 
-    fn infer<'a>(&self, request: &InferenceRequest, rng: &mut (dyn rand::RngCore + 'a)) -> BackendResult {
+    fn infer<'a>(
+        &self,
+        request: &InferenceRequest,
+        rng: &mut (dyn rand::RngCore + 'a),
+    ) -> BackendResult {
         let prompt_tokens = request.prompt_tokens();
         let completion_tokens = self.generated_tokens(request.max_tokens, rng);
-        let prompt_secs = if self.spec.prompt_tokens_per_sec > 0.0 && self.spec.prompt_tokens_per_sec.is_finite() {
+        let prompt_secs = if self.spec.prompt_tokens_per_sec > 0.0
+            && self.spec.prompt_tokens_per_sec.is_finite()
+        {
             prompt_tokens as f64 / self.spec.prompt_tokens_per_sec
         } else {
             0.0
@@ -207,10 +231,14 @@ mod tests {
     fn longer_outputs_cost_more() {
         let b = SimLlmBackend::llama_8b();
         let mut r = rng();
-        let short: f64 =
-            (0..50).map(|_| b.infer(&request(10, 16), &mut r).compute_secs).sum::<f64>() / 50.0;
-        let long: f64 =
-            (0..50).map(|_| b.infer(&request(10, 512), &mut r).compute_secs).sum::<f64>() / 50.0;
+        let short: f64 = (0..50)
+            .map(|_| b.infer(&request(10, 16), &mut r).compute_secs)
+            .sum::<f64>()
+            / 50.0;
+        let long: f64 = (0..50)
+            .map(|_| b.infer(&request(10, 512), &mut r).compute_secs)
+            .sum::<f64>()
+            / 50.0;
         assert!(long > 4.0 * short, "long {long} vs short {short}");
     }
 

@@ -129,7 +129,8 @@ impl ModelHost {
             let mut rng = self.rng.lock();
             self.backend.sample_load_secs(&mut *rng)
         };
-        self.clock.sleep(std::time::Duration::from_secs_f64(load_secs));
+        self.clock
+            .sleep(std::time::Duration::from_secs_f64(load_secs));
         load_secs
     }
 
@@ -146,7 +147,8 @@ impl ModelHost {
             let mut rng = self.rng.lock();
             self.backend.infer(request, &mut *rng)
         };
-        self.clock.sleep(std::time::Duration::from_secs_f64(result.compute_secs));
+        self.clock
+            .sleep(std::time::Duration::from_secs_f64(result.compute_secs));
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         Ok(InferenceResponse {
             request_id: request.request_id.clone(),
@@ -186,7 +188,10 @@ mod tests {
         assert!(!host.is_loaded());
         let t0 = c.now();
         let load = host.load();
-        assert!(load > 10.0, "llama-8b load should be tens of seconds, got {load}");
+        assert!(
+            load > 10.0,
+            "llama-8b load should be tens of seconds, got {load}"
+        );
         assert!(c.now().since(t0).as_secs_f64() >= load * 0.5);
         assert!(host.is_loaded());
         assert_eq!(host.load(), 0.0, "second load must be a no-op");
@@ -216,7 +221,9 @@ mod tests {
         let host = ModelHost::from_spec(ModelSpec::sim_llama_8b(), std::sync::Arc::clone(&c), 4);
         host.load();
         let t0 = c.now();
-        let resp = host.handle(&InferenceRequest::new("a ".repeat(50).as_str(), 128)).unwrap();
+        let resp = host
+            .handle(&InferenceRequest::new("a ".repeat(50).as_str(), 128))
+            .unwrap();
         let elapsed = c.now().since(t0).as_secs_f64();
         assert!(resp.inference_secs > 0.5);
         assert!(elapsed >= resp.inference_secs * 0.5);

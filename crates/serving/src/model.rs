@@ -203,7 +203,10 @@ mod tests {
         assert!(big.gpu_mem_gib > small.gpu_mem_gib);
         assert!(big.mean_load_secs() > small.mean_load_secs());
         assert!(big.gen_tokens_per_sec < small.gen_tokens_per_sec);
-        assert!(!big.fits_gpu(40.0), "llama-70b must not fit a single A100-40GB");
+        assert!(
+            !big.fits_gpu(40.0),
+            "llama-70b must not fit a single A100-40GB"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl InferenceRequest {
 
     /// Encode to a plain-text wire payload (`request_id\nclient\nmax_tokens\nprompt`).
     pub fn to_payload(&self) -> String {
-        format!("{}\n{}\n{}\n{}", self.request_id, self.client_id, self.max_tokens, self.prompt)
+        format!(
+            "{}\n{}\n{}\n{}",
+            self.request_id, self.client_id, self.max_tokens, self.prompt
+        )
     }
 
     /// Decode from the wire payload produced by [`InferenceRequest::to_payload`].
@@ -51,7 +54,12 @@ impl InferenceRequest {
         let client_id = parts.next()?.to_string();
         let max_tokens: u32 = parts.next()?.parse().ok()?;
         let prompt = parts.next().unwrap_or_default().to_string();
-        Some(InferenceRequest { request_id, prompt, max_tokens, client_id })
+        Some(InferenceRequest {
+            request_id,
+            prompt,
+            max_tokens,
+            client_id,
+        })
     }
 }
 
@@ -105,7 +113,8 @@ mod tests {
 
     #[test]
     fn payload_roundtrip() {
-        let r = InferenceRequest::new("multi\nline\nprompt with newlines", 64).from_client("task.7");
+        let r =
+            InferenceRequest::new("multi\nline\nprompt with newlines", 64).from_client("task.7");
         let decoded = InferenceRequest::from_payload(&r.to_payload()).unwrap();
         assert_eq!(decoded, r);
     }

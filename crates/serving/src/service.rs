@@ -49,7 +49,12 @@ impl std::fmt::Debug for InferenceService {
 
 impl InferenceService {
     /// Create a service around a loaded (or to-be-loaded) model host.
-    pub fn new(name: impl Into<String>, host: Arc<ModelHost>, clock: SharedClock, seed: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        host: Arc<ModelHost>,
+        clock: SharedClock,
+        seed: u64,
+    ) -> Self {
         InferenceService {
             name: name.into(),
             host,
@@ -109,7 +114,8 @@ impl InferenceService {
                 let _ = responder.reply(reply);
             }
             KIND_SHUTDOWN => {
-                let reply = Message::new(msg.topic.clone(), KIND_PONG).with_header("stopping", "true");
+                let reply =
+                    Message::new(msg.topic.clone(), KIND_PONG).with_header("stopping", "true");
                 let _ = responder.reply(reply);
             }
             KIND_INFER_REQUEST => {
@@ -198,7 +204,11 @@ mod tests {
     fn start_service(
         spec: ModelSpec,
         clock: SharedClock,
-    ) -> (Arc<AtomicBool>, thread::JoinHandle<u64>, hpcml_comm::ReqRepClient) {
+    ) -> (
+        Arc<AtomicBool>,
+        thread::JoinHandle<u64>,
+        hpcml_comm::ReqRepClient,
+    ) {
         let host = shared_host(spec, Arc::clone(&clock), 7);
         host.load();
         let service = InferenceService::new("svc.test", host, Arc::clone(&clock), 8);
@@ -226,7 +236,9 @@ mod tests {
         let c = clock();
         let (stop, handle, client) = start_service(ModelSpec::noop(), Arc::clone(&c));
         let req = InferenceRequest::new("ping", 1).from_client("task.0");
-        let reply = client.request(inference_request_message("svc.test", &req)).unwrap();
+        let reply = client
+            .request(inference_request_message("svc.test", &req))
+            .unwrap();
         assert_eq!(reply.kind, KIND_INFER_REPLY);
         assert_eq!(reply.f64_header(HDR_INFERENCE_SECS), Some(0.0));
         assert!(reply.f64_header(HDR_SERVICE_SECS).unwrap() >= 0.0);
@@ -240,13 +252,22 @@ mod tests {
         let c = clock();
         let (stop, handle, client) = start_service(ModelSpec::sim_llama_8b(), Arc::clone(&c));
         let req = InferenceRequest::new("word ".repeat(60), 128).from_client("task.1");
-        let reply = client.request(inference_request_message("svc.test", &req)).unwrap();
+        let reply = client
+            .request(inference_request_message("svc.test", &req))
+            .unwrap();
         assert_eq!(reply.kind, KIND_INFER_REPLY);
         let inference = reply.f64_header(HDR_INFERENCE_SECS).unwrap();
         let service = reply.f64_header(HDR_SERVICE_SECS).unwrap();
         assert!(inference > 0.5, "inference {inference}");
-        assert!(service < inference, "service {service} must be dwarfed by inference {inference}");
-        let tokens: u32 = reply.header(HDR_COMPLETION_TOKENS).unwrap().parse().unwrap();
+        assert!(
+            service < inference,
+            "service {service} must be dwarfed by inference {inference}"
+        );
+        let tokens: u32 = reply
+            .header(HDR_COMPLETION_TOKENS)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(tokens >= 1);
         stop.store(true, Ordering::Release);
         handle.join().unwrap();
@@ -269,7 +290,9 @@ mod tests {
     fn unknown_kind_yields_error_reply() {
         let c = clock();
         let (stop, handle, client) = start_service(ModelSpec::noop(), Arc::clone(&c));
-        let reply = client.request(Message::new("svc.test", "bogus.kind")).unwrap();
+        let reply = client
+            .request(Message::new("svc.test", "bogus.kind"))
+            .unwrap();
         assert_eq!(reply.kind, KIND_ERROR);
         stop.store(true, Ordering::Release);
         handle.join().unwrap();
@@ -279,7 +302,9 @@ mod tests {
     fn shutdown_message_stops_the_loop() {
         let c = clock();
         let (_stop, handle, client) = start_service(ModelSpec::noop(), Arc::clone(&c));
-        let reply = client.request(Message::new("svc.test", KIND_SHUTDOWN)).unwrap();
+        let reply = client
+            .request(Message::new("svc.test", KIND_SHUTDOWN))
+            .unwrap();
         assert_eq!(reply.header("stopping"), Some("true"));
         // The loop must exit on its own without the stop flag being set.
         handle.join().unwrap();
@@ -300,7 +325,9 @@ mod tests {
         let pong = client.request(Message::new("svc.cold", KIND_PING)).unwrap();
         assert_eq!(pong.header("ready"), Some("false"));
         let req = InferenceRequest::new("early", 4);
-        let reply = client.request(inference_request_message("svc.cold", &req)).unwrap();
+        let reply = client
+            .request(inference_request_message("svc.cold", &req))
+            .unwrap();
         assert_eq!(reply.kind, KIND_ERROR);
         assert!(reply.header(HDR_ERROR).unwrap().contains("not loaded"));
 
@@ -327,7 +354,9 @@ mod tests {
         let send = |client: hpcml_comm::ReqRepClient| {
             thread::spawn(move || {
                 let req = InferenceRequest::new("w ".repeat(40), 64);
-                client.request(inference_request_message("svc.q", &req)).unwrap()
+                client
+                    .request(inference_request_message("svc.q", &req))
+                    .unwrap()
             })
         };
         let h1 = send(client_a);
@@ -339,7 +368,10 @@ mod tests {
             .unwrap()
             .max(r2.f64_header(HDR_SERVICE_SECS).unwrap());
         // One of the two requests must have waited for the other's inference.
-        assert!(max_service > 0.3, "queued request should show queue time, got {max_service}");
+        assert!(
+            max_service > 0.3,
+            "queued request should show queue time, got {max_service}"
+        );
         assert_eq!(service.requests_served(), 2);
         stop.store(true, Ordering::Release);
         server_thread.join().unwrap();

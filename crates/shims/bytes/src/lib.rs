@@ -19,7 +19,11 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from([]), start: 0, end: 0 }
+        Bytes {
+            data: Arc::from([]),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// A buffer copied from a static slice.
@@ -29,7 +33,11 @@ impl Bytes {
 
     /// A buffer copied from an arbitrary slice.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
-        Bytes { data: Arc::from(bytes), start: 0, end: bytes.len() }
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
     }
 
     /// Number of bytes in the view.
@@ -54,8 +62,16 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds of {}", self.len());
-        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds of {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 
     /// View as a plain byte slice.
@@ -91,7 +107,11 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Arc::from(v), start: 0, end }
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -203,7 +223,9 @@ pub struct BytesMut {
 impl BytesMut {
     /// An empty buffer with room for `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { vec: Vec::with_capacity(cap) }
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
     }
 
     /// An empty buffer.
@@ -295,7 +317,11 @@ mod tests {
         let head_ptr = b.as_slice().as_ptr();
         let taken = b.copy_to_bytes(2);
         assert_eq!(taken.as_slice(), &[1, 2]);
-        assert_eq!(taken.as_slice().as_ptr(), head_ptr, "shares backing storage");
+        assert_eq!(
+            taken.as_slice().as_ptr(),
+            head_ptr,
+            "shares backing storage"
+        );
         assert_eq!(b.as_slice(), &[3, 4, 5]);
     }
 

@@ -19,7 +19,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, measurement_time: Duration::from_secs(1) }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
     }
 }
 
@@ -71,7 +74,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, self.measurement_time, f);
+        run_bench(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
         self
     }
 
@@ -80,9 +88,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, self.measurement_time, |b| {
-            f(b, input)
-        });
+        run_bench(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.measurement_time,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -148,7 +159,8 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(f());
             }
-            self.samples.push(start.elapsed().as_secs_f64() / batch as f64);
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch as f64);
             if Instant::now() >= deadline {
                 break;
             }
@@ -156,8 +168,17 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, measurement_time: Duration, mut f: F) {
-    let mut b = Bencher { samples: Vec::new(), sample_size, measurement_time };
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{name:<48} time: [no samples]");
@@ -172,7 +193,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, measurement
     } else {
         (median * 1e3, "ms")
     };
-    println!("{name:<48} time: [{scaled:9.2} {unit}/iter]  samples: {}", b.samples.len());
+    println!(
+        "{name:<48} time: [{scaled:9.2} {unit}/iter]  samples: {}",
+        b.samples.len()
+    );
 }
 
 /// Bundle benchmark functions under one group entry point.

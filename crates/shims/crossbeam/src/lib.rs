@@ -27,12 +27,21 @@ pub mod channel {
 
     fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
-            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
         });
-        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
     }
 
     /// An unbounded MPMC channel.
@@ -102,14 +111,22 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Send, blocking while a bounded channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if st.receivers == 0 {
                     return Err(SendError(value));
                 }
                 match self.chan.capacity {
                     Some(cap) if st.queue.len() >= cap => {
-                        st = self.chan.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
+                        st = self
+                            .chan
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                     _ => break,
                 }
@@ -122,7 +139,11 @@ pub mod channel {
 
         /// Send without blocking.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if st.receivers == 0 {
                 return Err(TrySendError::Disconnected(value));
             }
@@ -139,7 +160,12 @@ pub mod channel {
 
         /// Number of queued messages.
         pub fn len(&self) -> usize {
-            self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .len()
         }
 
         /// True when no message is queued.
@@ -150,14 +176,24 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).senders += 1;
-            Sender { chan: Arc::clone(&self.chan) }
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
         }
     }
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             st.senders -= 1;
             if st.senders == 0 {
                 drop(st);
@@ -181,7 +217,11 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Receive, blocking until a message or disconnection.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = st.queue.pop_front() {
                     drop(st);
@@ -191,14 +231,22 @@ pub mod channel {
                 if st.senders == 0 {
                     return Err(RecvError);
                 }
-                st = self.chan.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
+                st = self
+                    .chan
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
 
         /// Receive with a timeout.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
-            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = st.queue.pop_front() {
                     drop(st);
@@ -223,7 +271,11 @@ pub mod channel {
 
         /// Receive without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(v) = st.queue.pop_front() {
                 drop(st);
                 self.chan.not_full.notify_one();
@@ -243,7 +295,12 @@ pub mod channel {
 
         /// Number of queued messages.
         pub fn len(&self) -> usize {
-            self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .len()
         }
 
         /// True when no message is queued.
@@ -254,14 +311,24 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).receivers += 1;
-            Receiver { chan: Arc::clone(&self.chan) }
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
         }
     }
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = self
+                .chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             st.receivers -= 1;
             if st.receivers == 0 {
                 drop(st);

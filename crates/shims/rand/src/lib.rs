@@ -59,7 +59,10 @@ fn unit_f64(bits: u64) -> f64 {
 
 impl SampleUniform for f64 {
     fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
-        assert!(range.start < range.end, "gen_range requires a non-empty range");
+        assert!(
+            range.start < range.end,
+            "gen_range requires a non-empty range"
+        );
         let u = unit_f64(rng.next_u64());
         let v = range.start + u * (range.end - range.start);
         // Guard against FP rounding landing exactly on the excluded upper bound.

@@ -152,7 +152,9 @@ pub struct RealClock {
 impl RealClock {
     /// Create a real-time clock whose epoch is "now".
     pub fn new() -> Self {
-        RealClock { epoch: Instant::now() }
+        RealClock {
+            epoch: Instant::now(),
+        }
     }
 }
 
@@ -196,13 +198,18 @@ impl ScaledClock {
     /// Create a scaled clock with the given compression factor (must be > 0).
     pub fn new(scale: f64) -> Self {
         assert!(scale > 0.0, "clock scale must be positive, got {scale}");
-        ScaledClock { epoch: Instant::now(), scale }
+        ScaledClock {
+            epoch: Instant::now(),
+            scale,
+        }
     }
 }
 
 impl Clock for ScaledClock {
     fn now(&self) -> SimTime {
-        SimTime(Duration::from_secs_f64(self.epoch.elapsed().as_secs_f64() * self.scale))
+        SimTime(Duration::from_secs_f64(
+            self.epoch.elapsed().as_secs_f64() * self.scale,
+        ))
     }
 
     fn sleep(&self, d: Duration) {
@@ -240,7 +247,10 @@ struct Waiter {
 impl Ord for Waiter {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on deadline.
-        other.deadline.cmp(&self.deadline).then(other.seq.cmp(&self.seq))
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -420,7 +430,10 @@ mod tests {
         let wall = Instant::now();
         c.sleep(Duration::from_secs(2)); // 2 virtual seconds == 2ms real
         let real_elapsed = wall.elapsed();
-        assert!(real_elapsed < Duration::from_millis(500), "real elapsed {real_elapsed:?}");
+        assert!(
+            real_elapsed < Duration::from_millis(500),
+            "real elapsed {real_elapsed:?}"
+        );
         assert!(c.now().as_secs_f64() >= 1.9);
     }
 

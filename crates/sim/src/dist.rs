@@ -80,10 +80,16 @@ impl Dist {
     /// A log-normal distribution specified by its *target* mean and coefficient of
     /// variation (std/mean) — convenient for long-tailed duration models.
     pub fn lognormal_mean_cv(mean: f64, cv: f64) -> Self {
-        assert!(mean > 0.0 && cv >= 0.0, "lognormal mean must be > 0 and cv >= 0");
+        assert!(
+            mean > 0.0 && cv >= 0.0,
+            "lognormal mean must be > 0 and cv >= 0"
+        );
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - sigma2 / 2.0;
-        Dist::LogNormal { mu, sigma: sigma2.sqrt() }
+        Dist::LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
     }
 
     /// Draw one sample.
@@ -212,7 +218,12 @@ mod tests {
 
     #[test]
     fn truncated_normal_respects_bounds() {
-        let d = Dist::TruncatedNormal { mean: 1.0, std: 5.0, lo: 0.5, hi: 1.5 };
+        let d = Dist::TruncatedNormal {
+            mean: 1.0,
+            std: 5.0,
+            lo: 0.5,
+            hi: 1.5,
+        };
         let mut r = rng();
         for _ in 0..1000 {
             let v = d.sample(&mut r);

@@ -20,7 +20,10 @@ pub struct IdGenerator {
 impl IdGenerator {
     /// Create an empty generator (used for the global instance and for tests).
     pub const fn new() -> Self {
-        IdGenerator { counters: Mutex::new(BTreeMap::new()), fallback: AtomicU64::new(0) }
+        IdGenerator {
+            counters: Mutex::new(BTreeMap::new()),
+            fallback: AtomicU64::new(0),
+        }
     }
 
     /// Next numeric index within `namespace` (starts at 0).

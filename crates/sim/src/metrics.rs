@@ -25,7 +25,10 @@ pub struct ComponentSample {
 impl ComponentSample {
     /// Create a sample for `entity` with no components yet.
     pub fn new(entity: impl Into<String>) -> Self {
-        ComponentSample { entity: entity.into(), components: Vec::new() }
+        ComponentSample {
+            entity: entity.into(),
+            components: Vec::new(),
+        }
     }
 
     /// Append a component measurement.
@@ -41,7 +44,10 @@ impl ComponentSample {
 
     /// Value of a single component, if present.
     pub fn component(&self, name: &str) -> Option<f64> {
-        self.components.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.components
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -119,7 +125,11 @@ impl MetricRegistry {
 
     /// Append a value to the named series (creating it on first use).
     pub fn record(&self, name: &str, value: f64) {
-        self.series.lock().entry(name.to_string()).or_default().push(value);
+        self.series
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
     }
 
     /// All values recorded under `name` (empty if unknown).

@@ -20,7 +20,13 @@ pub struct OnlineStats {
 
 impl Default for OnlineStats {
     fn default() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -206,7 +212,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
         assert!(hi > lo, "histogram upper bound must exceed lower bound");
         assert!(nbins > 0, "histogram needs at least one bin");
-        Histogram { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0, count: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Record one observation.

@@ -36,7 +36,12 @@ pub struct Stage {
 impl Stage {
     /// Create an empty stage.
     pub fn new(name: impl Into<String>) -> Self {
-        Stage { name: name.into(), services: Vec::new(), tasks: Vec::new(), keep_services_alive: false }
+        Stage {
+            name: name.into(),
+            services: Vec::new(),
+            tasks: Vec::new(),
+            keep_services_alive: false,
+        }
     }
 
     /// Add a service.
@@ -76,7 +81,10 @@ pub struct Pipeline {
 impl Pipeline {
     /// Create an empty pipeline.
     pub fn new(name: impl Into<String>) -> Self {
-        Pipeline { name: name.into(), stages: Vec::new() }
+        Pipeline {
+            name: name.into(),
+            stages: Vec::new(),
+        }
     }
 
     /// Append a stage.
@@ -140,7 +148,10 @@ impl PipelineReport {
 
     /// Render a compact textual report (one line per stage).
     pub fn render(&self) -> String {
-        let mut out = format!("pipeline {} — {:.1}s total\n", self.pipeline, self.total_secs);
+        let mut out = format!(
+            "pipeline {} — {:.1}s total\n",
+            self.pipeline, self.total_secs
+        );
         for s in &self.stages {
             out.push_str(&format!(
                 "  stage {:<28} {:>8.1}s  done={:<4} failed={:<4} services={}\n",
@@ -161,7 +172,10 @@ pub struct PipelineRunner<'a> {
 impl<'a> PipelineRunner<'a> {
     /// Create a runner bound to a session.
     pub fn new(session: &'a Session) -> Self {
-        PipelineRunner { session, stage_timeout: Duration::from_secs(600) }
+        PipelineRunner {
+            session,
+            stage_timeout: Duration::from_secs(600),
+        }
     }
 
     /// Override the per-stage real-time timeout.
@@ -274,18 +288,30 @@ mod tests {
             .clock(ClockSpec::scaled(5000.0))
             .build()
             .unwrap();
-        s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2)).unwrap();
+        s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2))
+            .unwrap();
         s
     }
 
     #[test]
     fn pipeline_builder_counts() {
         let p = Pipeline::new("demo")
-            .stage(Stage::new("a").task(TaskDescription::new("t1")).task(TaskDescription::new("t2")))
-            .stage(Stage::new("b").service(ServiceDescription::new("svc")).task(TaskDescription::new("t3")));
+            .stage(
+                Stage::new("a")
+                    .task(TaskDescription::new("t1"))
+                    .task(TaskDescription::new("t2")),
+            )
+            .stage(
+                Stage::new("b")
+                    .service(ServiceDescription::new("svc"))
+                    .task(TaskDescription::new("t3")),
+            );
         assert_eq!(p.total_tasks(), 3);
         assert_eq!(p.total_services(), 1);
-        assert_eq!(structure(&p), vec![("a".to_string(), 0, 2), ("b".to_string(), 1, 1)]);
+        assert_eq!(
+            structure(&p),
+            vec![("a".to_string(), 0, 2), ("b".to_string(), 1, 1)]
+        );
     }
 
     #[test]
@@ -317,7 +343,11 @@ mod tests {
         let s = session();
         let p = Pipeline::new("svc-stage").stage(
             Stage::new("inference")
-                .service(ServiceDescription::new("noop-svc").model(ModelSpec::noop()).gpus(1))
+                .service(
+                    ServiceDescription::new("noop-svc")
+                        .model(ModelSpec::noop())
+                        .gpus(1),
+                )
                 .task(
                     TaskDescription::new("client")
                         .kind(TaskKind::inference_client("noop-svc", 4))
@@ -337,7 +367,11 @@ mod tests {
         let p = Pipeline::new("span")
             .stage(
                 Stage::new("start-svc")
-                    .service(ServiceDescription::new("shared").model(ModelSpec::noop()).gpus(1))
+                    .service(
+                        ServiceDescription::new("shared")
+                            .model(ModelSpec::noop())
+                            .gpus(1),
+                    )
                     .keep_services(),
             )
             .stage(Stage::new("use-svc").task(
@@ -355,9 +389,9 @@ mod tests {
         // A task demanding more cores than a node has fails its stage but the pipeline
         // report still comes back.
         let p = Pipeline::new("failing").stage(
-            Stage::new("bad").task(TaskDescription::new("too-big").cores(1024)).task(
-                TaskDescription::new("fine").kind(TaskKind::compute_secs(0.5)),
-            ),
+            Stage::new("bad")
+                .task(TaskDescription::new("too-big").cores(1024))
+                .task(TaskDescription::new("fine").kind(TaskKind::compute_secs(0.5))),
         );
         let report = PipelineRunner::new(&s).run(&p).unwrap();
         assert_eq!(report.tasks_failed(), 1);

@@ -31,13 +31,26 @@ impl ParamSpec {
     /// Linear-scale parameter.
     pub fn linear(name: impl Into<String>, lo: f64, hi: f64) -> Self {
         assert!(hi >= lo, "upper bound must be >= lower bound");
-        ParamSpec { name: name.into(), lo, hi, log_scale: false }
+        ParamSpec {
+            name: name.into(),
+            lo,
+            hi,
+            log_scale: false,
+        }
     }
 
     /// Log-scale parameter (bounds must be positive).
     pub fn log(name: impl Into<String>, lo: f64, hi: f64) -> Self {
-        assert!(lo > 0.0 && hi >= lo, "log-scale bounds must be positive and ordered");
-        ParamSpec { name: name.into(), lo, hi, log_scale: true }
+        assert!(
+            lo > 0.0 && hi >= lo,
+            "log-scale bounds must be positive and ordered"
+        );
+        ParamSpec {
+            name: name.into(),
+            lo,
+            hi,
+            log_scale: true,
+        }
     }
 
     fn sample_uniform(&self, rng: &mut StdRng) -> f64 {
@@ -67,7 +80,9 @@ impl ParamSpec {
             (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
         };
         if self.log_scale {
-            (center.ln() + width * draw(rng)).exp().clamp(self.lo, self.hi)
+            (center.ln() + width * draw(rng))
+                .exp()
+                .clamp(self.lo, self.hi)
         } else {
             (center + width * draw(rng)).clamp(self.lo, self.hi)
         }
@@ -113,7 +128,12 @@ impl HpoStudy {
     /// Create a study over the given space.
     pub fn new(space: Vec<ParamSpec>, sampler: SamplerKind, seed: u64) -> Self {
         assert!(!space.is_empty(), "search space must not be empty");
-        HpoStudy { space, sampler, trials: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+        HpoStudy {
+            space,
+            sampler,
+            trials: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The default Cell Painting search space from the paper's §II-A (learning rate,
@@ -152,7 +172,11 @@ impl HpoStudy {
         if exploit {
             let best = self.best().cloned().expect("checked above");
             for spec in &self.space {
-                let center = best.params.get(&spec.name).copied().unwrap_or((spec.lo + spec.hi) / 2.0);
+                let center = best
+                    .params
+                    .get(&spec.name)
+                    .copied()
+                    .unwrap_or((spec.lo + spec.hi) / 2.0);
                 params.insert(spec.name.clone(), spec.sample_near(center, &mut self.rng));
             }
         } else {
@@ -160,7 +184,11 @@ impl HpoStudy {
                 params.insert(spec.name.clone(), spec.sample_uniform(&mut self.rng));
             }
         }
-        let trial = Trial { id, params, objective: None };
+        let trial = Trial {
+            id,
+            params,
+            objective: None,
+        };
         self.trials.push(trial.clone());
         trial
     }
@@ -177,7 +205,11 @@ impl HpoStudy {
         self.trials
             .iter()
             .filter(|t| t.objective.is_some())
-            .min_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.objective
+                    .partial_cmp(&b.objective)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// All trials (suggested and completed).
@@ -203,7 +235,11 @@ mod tests {
         for _ in 0..200 {
             let t = study.suggest();
             for spec in study.space().to_vec() {
-                assert!(spec.contains(t.params[&spec.name]), "{} out of bounds", spec.name);
+                assert!(
+                    spec.contains(t.params[&spec.name]),
+                    "{} out of bounds",
+                    spec.name
+                );
             }
         }
         assert_eq!(study.len(), 200);
@@ -223,13 +259,23 @@ mod tests {
         let random_best = run(SamplerKind::Random);
         let guided_best = run(SamplerKind::QuantileGuided);
         // The guided sampler must find at least a comparably good optimum.
-        assert!(guided_best <= random_best * 1.5, "guided {guided_best} vs random {random_best}");
-        assert!(guided_best < 1.0, "guided sampler should approach the optimum, got {guided_best}");
+        assert!(
+            guided_best <= random_best * 1.5,
+            "guided {guided_best} vs random {random_best}"
+        );
+        assert!(
+            guided_best < 1.0,
+            "guided sampler should approach the optimum, got {guided_best}"
+        );
     }
 
     #[test]
     fn best_tracks_lowest_objective() {
-        let mut study = HpoStudy::new(vec![ParamSpec::linear("x", 0.0, 1.0)], SamplerKind::Random, 3);
+        let mut study = HpoStudy::new(
+            vec![ParamSpec::linear("x", 0.0, 1.0)],
+            SamplerKind::Random,
+            3,
+        );
         assert!(study.best().is_none());
         assert!(study.is_empty());
         let a = study.suggest();
@@ -245,12 +291,19 @@ mod tests {
 
     #[test]
     fn log_scale_sampling_spans_decades() {
-        let mut study = HpoStudy::new(vec![ParamSpec::log("lr", 1e-5, 1e-1)], SamplerKind::Random, 11);
+        let mut study = HpoStudy::new(
+            vec![ParamSpec::log("lr", 1e-5, 1e-1)],
+            SamplerKind::Random,
+            11,
+        );
         let values: Vec<f64> = (0..500).map(|_| study.suggest().params["lr"]).collect();
         let below_1e_3 = values.iter().filter(|v| **v < 1e-3).count();
         let above_1e_3 = values.len() - below_1e_3;
         // Log-uniform: both halves of the log range should be well represented.
-        assert!(below_1e_3 > 100 && above_1e_3 > 100, "{below_1e_3} / {above_1e_3}");
+        assert!(
+            below_1e_3 > 100 && above_1e_3 > 100,
+            "{below_1e_3} / {above_1e_3}"
+        );
     }
 
     #[test]
@@ -267,7 +320,11 @@ mod tests {
 
     #[test]
     fn degenerate_bounds_return_constant() {
-        let mut study = HpoStudy::new(vec![ParamSpec::linear("c", 2.0, 2.0)], SamplerKind::Random, 5);
+        let mut study = HpoStudy::new(
+            vec![ParamSpec::linear("c", 2.0, 2.0)],
+            SamplerKind::Random,
+            5,
+        );
         for _ in 0..10 {
             assert_eq!(study.suggest().params["c"], 2.0);
         }

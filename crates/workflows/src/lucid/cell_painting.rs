@@ -81,15 +81,25 @@ pub fn cell_painting_pipeline(config: &CellPaintingConfig) -> Pipeline {
                 duration_secs: Dist::lognormal_mean_cv(config.preprocess_secs.max(0.001), 0.2),
             })
             .cores(4)
-            .stage_in(DataDirective::remote(format!("cell-paint-shard-{i:03}"), config.shard_size_mib))
-            .stage_out(DataDirective::local(format!("augmented-shard-{i:03}"), config.shard_size_mib * 0.4))
+            .stage_in(DataDirective::remote(
+                format!("cell-paint-shard-{i:03}"),
+                config.shard_size_mib,
+            ))
+            .stage_out(DataDirective::local(
+                format!("augmented-shard-{i:03}"),
+                config.shard_size_mib * 0.4,
+            ))
             .tag("pipeline", "cell-painting")
             .tag("stage", "preprocess")
     });
     let stage1 = Stage::new("data-preprocessing-augmentation").tasks(preprocess_tasks);
 
     // Stage 2: ViT fine-tuning under HPO + the fine-tuned model exposed as a service.
-    let mut study = HpoStudy::new(HpoStudy::cell_painting_space(), SamplerKind::QuantileGuided, config.seed);
+    let mut study = HpoStudy::new(
+        HpoStudy::cell_painting_space(),
+        SamplerKind::QuantileGuided,
+        config.seed,
+    );
     let mut stage2 = Stage::new("model-training-hpo").service(
         ServiceDescription::new("vit-features")
             .model(ModelSpec::sim_vit_base())
@@ -102,7 +112,9 @@ pub fn cell_painting_pipeline(config: &CellPaintingConfig) -> Pipeline {
         let batch = trial.params.get("batch_size").copied().unwrap_or(64.0);
         let duration = config.train_secs * (96.0 / batch).clamp(0.5, 2.0);
         let mut task = TaskDescription::new(format!("cp-train-trial-{:03}", trial.id))
-            .kind(TaskKind::Compute { duration_secs: Dist::lognormal_mean_cv(duration.max(0.001), 0.15) })
+            .kind(TaskKind::Compute {
+                duration_secs: Dist::lognormal_mean_cv(duration.max(0.001), 0.15),
+            })
             .gpus(1)
             .mem_gib(32.0)
             .after_service("vit-features")
@@ -117,7 +129,10 @@ pub fn cell_painting_pipeline(config: &CellPaintingConfig) -> Pipeline {
     // Classification clients exercising the fine-tuned model through the service API.
     stage2 = stage2.task(
         TaskDescription::new("cp-feature-extraction-client")
-            .kind(TaskKind::inference_client("vit-features", config.inference_requests))
+            .kind(TaskKind::inference_client(
+                "vit-features",
+                config.inference_requests,
+            ))
             .cores(1)
             .tag("pipeline", "cell-painting")
             .tag("stage", "training"),
@@ -150,7 +165,10 @@ mod tests {
         let p = cell_painting_pipeline(&CellPaintingConfig::test_scale());
         for t in &p.stages[0].tasks {
             assert_eq!(t.stage_in.len(), 1);
-            assert!(t.stage_in[0].remote, "cell painting imagery arrives over the WAN");
+            assert!(
+                t.stage_in[0].remote,
+                "cell painting imagery arrives over the WAN"
+            );
             assert_eq!(t.resources.gpus, 0, "pre-processing does not need GPUs");
         }
     }
@@ -176,7 +194,10 @@ mod tests {
         let paper = CellPaintingConfig::paper_scale();
         let test = CellPaintingConfig::test_scale();
         assert!(paper.shards > test.shards);
-        assert!(paper.shard_size_mib * paper.shards as f64 > 1_500_000.0, "paper scale must be ~1.6 TB");
+        assert!(
+            paper.shard_size_mib * paper.shards as f64 > 1_500_000.0,
+            "paper scale must be ~1.6 TB"
+        );
         assert!(paper.hpo_trials > test.hpo_trials);
         assert_eq!(CellPaintingConfig::default(), test);
     }

@@ -35,14 +35,62 @@ pub struct UseCaseRow {
 /// each stage is exposed through the service interface.
 pub fn use_case_table() -> Vec<UseCaseRow> {
     vec![
-        UseCaseRow { id: 1, pipeline: "Cell Painting", stage: "Data pre-processing & augmentation", resource: "CPU", as_service: true },
-        UseCaseRow { id: 1, pipeline: "Cell Painting", stage: "Model training with hyperparameter optimization", resource: "GPU", as_service: true },
-        UseCaseRow { id: 2, pipeline: "Signature Detection", stage: "Data Preparation", resource: "CPU", as_service: true },
-        UseCaseRow { id: 2, pipeline: "Signature Detection", stage: "Mutation Detection Analysis", resource: "CPU", as_service: false },
-        UseCaseRow { id: 2, pipeline: "Signature Detection", stage: "LLM-based signature comparison", resource: "GPU", as_service: true },
-        UseCaseRow { id: 3, pipeline: "Uncertainty Quantification", stage: "Data Preparation", resource: "CPU", as_service: true },
-        UseCaseRow { id: 3, pipeline: "Uncertainty Quantification", stage: "UQ methods with three-level parallelism", resource: "GPU", as_service: false },
-        UseCaseRow { id: 3, pipeline: "Uncertainty Quantification", stage: "Post-processing", resource: "GPU", as_service: true },
+        UseCaseRow {
+            id: 1,
+            pipeline: "Cell Painting",
+            stage: "Data pre-processing & augmentation",
+            resource: "CPU",
+            as_service: true,
+        },
+        UseCaseRow {
+            id: 1,
+            pipeline: "Cell Painting",
+            stage: "Model training with hyperparameter optimization",
+            resource: "GPU",
+            as_service: true,
+        },
+        UseCaseRow {
+            id: 2,
+            pipeline: "Signature Detection",
+            stage: "Data Preparation",
+            resource: "CPU",
+            as_service: true,
+        },
+        UseCaseRow {
+            id: 2,
+            pipeline: "Signature Detection",
+            stage: "Mutation Detection Analysis",
+            resource: "CPU",
+            as_service: false,
+        },
+        UseCaseRow {
+            id: 2,
+            pipeline: "Signature Detection",
+            stage: "LLM-based signature comparison",
+            resource: "GPU",
+            as_service: true,
+        },
+        UseCaseRow {
+            id: 3,
+            pipeline: "Uncertainty Quantification",
+            stage: "Data Preparation",
+            resource: "CPU",
+            as_service: true,
+        },
+        UseCaseRow {
+            id: 3,
+            pipeline: "Uncertainty Quantification",
+            stage: "UQ methods with three-level parallelism",
+            resource: "GPU",
+            as_service: false,
+        },
+        UseCaseRow {
+            id: 3,
+            pipeline: "Uncertainty Quantification",
+            stage: "Post-processing",
+            resource: "GPU",
+            as_service: true,
+        },
     ]
 }
 
@@ -53,7 +101,11 @@ mod tests {
     #[test]
     fn table1_matches_paper_structure() {
         let rows = use_case_table();
-        assert_eq!(rows.len(), 8, "Table I has eight stages across three pipelines");
+        assert_eq!(
+            rows.len(),
+            8,
+            "Table I has eight stages across three pipelines"
+        );
         assert_eq!(rows.iter().filter(|r| r.id == 1).count(), 2);
         assert_eq!(rows.iter().filter(|r| r.id == 2).count(), 3);
         assert_eq!(rows.iter().filter(|r| r.id == 3).count(), 3);

@@ -73,12 +73,21 @@ pub fn signature_detection_pipeline(config: &SignatureDetectionConfig) -> Pipeli
     let vep_tasks = (0..config.samples).map(|i| {
         TaskDescription::new(format!("sd-vep-{i:02}"))
             .kind(TaskKind::Compute {
-                duration_secs: Dist::uniform(config.vep_secs.0, config.vep_secs.1.max(config.vep_secs.0 + 1e-9)),
+                duration_secs: Dist::uniform(
+                    config.vep_secs.0,
+                    config.vep_secs.1.max(config.vep_secs.0 + 1e-9),
+                ),
             })
             .cores(1)
             .mem_gib(3.0)
-            .stage_in(DataDirective::local(format!("sample-{i:02}.vcf"), config.vcf_size_mib))
-            .stage_out(DataDirective::local(format!("sample-{i:02}.annotated.vcf"), config.vcf_size_mib * 1.2))
+            .stage_in(DataDirective::local(
+                format!("sample-{i:02}.vcf"),
+                config.vcf_size_mib,
+            ))
+            .stage_out(DataDirective::local(
+                format!("sample-{i:02}.annotated.vcf"),
+                config.vcf_size_mib * 1.2,
+            ))
             .tag("pipeline", "signature-detection")
             .tag("stage", "vep-annotation")
     });
@@ -91,7 +100,10 @@ pub fn signature_detection_pipeline(config: &SignatureDetectionConfig) -> Pipeli
                 duration_secs: Dist::lognormal_mean_cv(config.enrichment_secs.max(0.001), 0.25),
             })
             .cores(4)
-            .stage_out(DataDirective::local(format!("sample-{i:02}.dose-response.csv"), 0.5))
+            .stage_out(DataDirective::local(
+                format!("sample-{i:02}.dose-response.csv"),
+                0.5,
+            ))
             .tag("pipeline", "signature-detection")
             .tag("stage", "mutation-analysis")
     });
@@ -108,7 +120,10 @@ pub fn signature_detection_pipeline(config: &SignatureDetectionConfig) -> Pipeli
     for i in 0..config.samples {
         stage3 = stage3.task(
             TaskDescription::new(format!("sd-llm-compare-{i:02}"))
-                .kind(TaskKind::inference_client("sd-llm", config.llm_requests_per_sample))
+                .kind(TaskKind::inference_client(
+                    "sd-llm",
+                    config.llm_requests_per_sample,
+                ))
                 .cores(1)
                 .after_service("sd-llm")
                 .tag("pipeline", "signature-detection")
@@ -116,7 +131,10 @@ pub fn signature_detection_pipeline(config: &SignatureDetectionConfig) -> Pipeli
         );
     }
 
-    Pipeline::new("signature-detection").stage(stage1).stage(stage2).stage(stage3)
+    Pipeline::new("signature-detection")
+        .stage(stage1)
+        .stage(stage2)
+        .stage(stage3)
 }
 
 #[cfg(test)]

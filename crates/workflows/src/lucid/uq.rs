@@ -88,7 +88,9 @@ pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
     // Stage 1: negligible data preparation.
     let stage1 = Stage::new("data-preparation").task(
         TaskDescription::new("uq-data-prep")
-            .kind(TaskKind::Compute { duration_secs: Dist::uniform(0.5, 2.0) })
+            .kind(TaskKind::Compute {
+                duration_secs: Dist::uniform(0.5, 2.0),
+            })
             .cores(1)
             .stage_in(DataDirective::local("qa-dataset", config.dataset_mib))
             .tag("pipeline", "uncertainty-quantification")
@@ -103,7 +105,10 @@ pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
                 stage2 = stage2.task(
                     TaskDescription::new(format!("uq-{model}-{method}-s{seed}"))
                         .kind(TaskKind::Compute {
-                            duration_secs: Dist::lognormal_mean_cv(config.finetune_secs.max(0.001), 0.2),
+                            duration_secs: Dist::lognormal_mean_cv(
+                                config.finetune_secs.max(0.001),
+                                0.2,
+                            ),
                         })
                         .gpus(1)
                         .mem_gib(config.finetune_gpu_mem_gib)
@@ -118,8 +123,14 @@ pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
     }
 
     // Stage 3: post-processing with an LLM service summarising the comparison.
-    let model = ModelSpec::by_name(config.models.first().map(String::as_str).unwrap_or("llama-8b"))
-        .unwrap_or_else(ModelSpec::sim_llama_8b);
+    let model = ModelSpec::by_name(
+        config
+            .models
+            .first()
+            .map(String::as_str)
+            .unwrap_or("llama-8b"),
+    )
+    .unwrap_or_else(ModelSpec::sim_llama_8b);
     let stage3 = Stage::new("post-processing")
         .service(
             ServiceDescription::new("uq-report-llm")
@@ -129,7 +140,9 @@ pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
         )
         .task(
             TaskDescription::new("uq-aggregate-metrics")
-                .kind(TaskKind::Compute { duration_secs: Dist::uniform(1.0, 3.0) })
+                .kind(TaskKind::Compute {
+                    duration_secs: Dist::uniform(1.0, 3.0),
+                })
                 .cores(2)
                 .stage_out(DataDirective::local("uq-summary.csv", 1.0))
                 .tag("pipeline", "uncertainty-quantification")
@@ -137,14 +150,20 @@ pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
         )
         .task(
             TaskDescription::new("uq-report-client")
-                .kind(TaskKind::inference_client("uq-report-llm", config.postprocess_requests))
+                .kind(TaskKind::inference_client(
+                    "uq-report-llm",
+                    config.postprocess_requests,
+                ))
                 .cores(1)
                 .after_service("uq-report-llm")
                 .tag("pipeline", "uncertainty-quantification")
                 .tag("stage", "post-processing"),
         );
 
-    Pipeline::new("uncertainty-quantification").stage(stage1).stage(stage2).stage(stage3)
+    Pipeline::new("uncertainty-quantification")
+        .stage(stage1)
+        .stage(stage2)
+        .stage(stage3)
 }
 
 #[cfg(test)]

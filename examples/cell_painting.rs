@@ -19,7 +19,11 @@ fn main() {
         .build()
         .expect("session");
     session
-        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(4).runtime_secs(7200.0))
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Delta)
+                .nodes(4)
+                .runtime_secs(7200.0),
+        )
         .expect("pilot");
 
     // A reduced-scale configuration; swap in `CellPaintingConfig::paper_scale()` to run
@@ -45,7 +49,13 @@ fn main() {
     print!("{}", report.render());
 
     let metrics = session.metrics();
-    println!("staged data: {}", metrics.scalar_summary("staging.mib").report());
-    println!("classification requests served: {}", metrics.response_count());
+    println!(
+        "staged data: {}",
+        metrics.scalar_summary("staging.mib").report()
+    );
+    println!(
+        "classification requests served: {}",
+        metrics.response_count()
+    );
     session.close();
 }

@@ -22,14 +22,24 @@ fn main() {
 
     // ① Acquire resources: a 2-node pilot on the local test platform.
     let pilot = session
-        .submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2).runtime_secs(3600.0))
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Local)
+                .nodes(2)
+                .runtime_secs(3600.0),
+        )
         .expect("pilot");
-    println!("pilot {} active with {} nodes", pilot.id(), pilot.num_nodes());
+    println!(
+        "pilot {} active with {} nodes",
+        pilot.id(),
+        pilot.num_nodes()
+    );
 
     // ② Stand up a model service on one GPU and wait until it is ready.
     let service = session
         .submit_service(
-            ServiceDescription::new("llm-0").model(hpcml::serving::ModelSpec::sim_llama_8b()).gpus(1),
+            ServiceDescription::new("llm-0")
+                .model(hpcml::serving::ModelSpec::sim_llama_8b())
+                .gpus(1),
         )
         .expect("service");
     service.wait_ready().expect("service ready");
@@ -51,15 +61,22 @@ fn main() {
                 .after_service("llm-0"),
         )
         .expect("task");
-    task.wait_done_timeout(Duration::from_secs(120)).expect("task done");
+    task.wait_done_timeout(Duration::from_secs(120))
+        .expect("task done");
 
     // ④ Inspect the collected response-time decomposition.
     let metrics = session.metrics();
     println!("collected {} response samples", metrics.response_count());
     for (component, summary) in metrics.response_summaries() {
-        println!("  {component:<14} mean={:.4}s p95={:.4}s", summary.mean, summary.p95);
+        println!(
+            "  {component:<14} mean={:.4}s p95={:.4}s",
+            summary.mean, summary.p95
+        );
     }
-    println!("inference time (IT): {}", metrics.inference_summary().report());
+    println!(
+        "inference time (IT): {}",
+        metrics.inference_summary().report()
+    );
 
     session.close();
     println!("done");

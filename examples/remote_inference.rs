@@ -17,16 +17,26 @@ fn main() {
         .build()
         .expect("session");
     session
-        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(2).runtime_secs(3600.0))
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Delta)
+                .nodes(2)
+                .runtime_secs(3600.0),
+        )
         .expect("pilot");
 
     // One NOOP service on the local pilot, one on the remote cloud host.
     let local = session
-        .submit_service(ServiceDescription::new("noop-local").model(ModelSpec::noop()).cores(1))
+        .submit_service(
+            ServiceDescription::new("noop-local")
+                .model(ModelSpec::noop())
+                .cores(1),
+        )
         .expect("local service");
     let remote = session
         .submit_service(
-            ServiceDescription::new("noop-remote").model(ModelSpec::noop()).remote(PlatformId::R3Cloud),
+            ServiceDescription::new("noop-remote")
+                .model(ModelSpec::noop())
+                .remote(PlatformId::R3Cloud),
         )
         .expect("remote service");
     local.wait_ready().expect("local ready");
@@ -41,13 +51,20 @@ fn main() {
                     .cores(1),
             )
             .expect("client task");
-        task.wait_done_timeout(Duration::from_secs(120)).expect("client done");
+        task.wait_done_timeout(Duration::from_secs(120))
+            .expect("client done");
     }
 
     let metrics = session.metrics();
-    println!("response-time decomposition over {} requests:", metrics.response_count());
+    println!(
+        "response-time decomposition over {} requests:",
+        metrics.response_count()
+    );
     for (component, summary) in metrics.response_summaries() {
-        println!("  {component:<14} mean={:.6}s p95={:.6}s", summary.mean, summary.p95);
+        println!(
+            "  {component:<14} mean={:.6}s p95={:.6}s",
+            summary.mean, summary.p95
+        );
     }
     println!();
     println!(

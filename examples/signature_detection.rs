@@ -18,7 +18,11 @@ fn main() {
         .build()
         .expect("session");
     session
-        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(4).runtime_secs(7200.0))
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Delta)
+                .nodes(4)
+                .runtime_secs(7200.0),
+        )
         .expect("pilot");
 
     let mut config = SignatureDetectionConfig::test_scale();

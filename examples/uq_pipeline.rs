@@ -16,15 +16,26 @@ fn main() {
         .build()
         .expect("session");
     session
-        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(4).runtime_secs(7200.0))
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Delta)
+                .nodes(4)
+                .runtime_secs(7200.0),
+        )
         .expect("pilot");
 
     let mut config = UqConfig::test_scale();
-    config.methods = vec!["bayesian-lora".to_string(), "lora-ensemble".to_string(), "mc-dropout".to_string()];
+    config.methods = vec![
+        "bayesian-lora".to_string(),
+        "lora-ensemble".to_string(),
+        "mc-dropout".to_string(),
+    ];
     config.seeds = 3;
     config.models = vec!["llama-8b".to_string(), "mistral-7b".to_string()];
     config.finetune_secs = 20.0;
-    println!("UQ hierarchy expands to {} GPU fine-tuning tasks", config.total_uq_tasks());
+    println!(
+        "UQ hierarchy expands to {} GPU fine-tuning tasks",
+        config.total_uq_tasks()
+    );
 
     let pipeline = uncertainty_quantification_pipeline(&config);
     let report = PipelineRunner::new(&session)

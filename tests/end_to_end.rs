@@ -21,7 +21,11 @@ fn full_local_llm_scenario() {
     // component stays far below the seconds of llama-8b inference time.
     let s = session(500.0);
     let pilot = s
-        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(2).runtime_secs(7200.0))
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Delta)
+                .nodes(2)
+                .runtime_secs(7200.0),
+        )
         .expect("pilot");
     assert_eq!(pilot.state(), PilotState::Active);
 
@@ -29,16 +33,25 @@ fn full_local_llm_scenario() {
     let services: Vec<_> = (0..2)
         .map(|i| {
             s.submit_service(
-                ServiceDescription::new(format!("llm-{i}")).model(ModelSpec::sim_llama_8b()).gpus(1),
+                ServiceDescription::new(format!("llm-{i}"))
+                    .model(ModelSpec::sim_llama_8b())
+                    .gpus(1),
             )
             .expect("service")
         })
         .collect();
     for svc in &services {
-        svc.wait_ready_timeout(Duration::from_secs(60)).expect("ready");
+        svc.wait_ready_timeout(Duration::from_secs(60))
+            .expect("ready");
         let bt = svc.bootstrap_times().expect("bootstrap recorded");
-        assert!(bt.init_secs > bt.launch_secs, "model init dominates bootstrap");
-        assert!(bt.publish_secs < bt.launch_secs, "publish below launch (MPI platform)");
+        assert!(
+            bt.init_secs > bt.launch_secs,
+            "model init dominates bootstrap"
+        );
+        assert!(
+            bt.publish_secs < bt.launch_secs,
+            "publish below launch (MPI platform)"
+        );
     }
     assert_eq!(s.metrics().bootstrap_count(), 2);
 
@@ -58,7 +71,10 @@ fn full_local_llm_scenario() {
         })
         .collect();
     for t in &tasks {
-        assert_eq!(t.wait_done_timeout(Duration::from_secs(300)).expect("done"), TaskState::Done);
+        assert_eq!(
+            t.wait_done_timeout(Duration::from_secs(300)).expect("done"),
+            TaskState::Done
+        );
     }
 
     let metrics = s.metrics();
@@ -79,7 +95,8 @@ fn full_local_llm_scenario() {
 #[test]
 fn remote_services_skip_bootstrap_accounting_but_serve_requests() {
     let s = session(2000.0);
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1))
+        .expect("pilot");
 
     let remote = s
         .submit_service(
@@ -88,15 +105,24 @@ fn remote_services_skip_bootstrap_accounting_but_serve_requests() {
                 .remote(PlatformId::R3Cloud),
         )
         .expect("remote service");
-    remote.wait_ready_timeout(Duration::from_secs(60)).expect("ready");
-    assert_eq!(s.metrics().bootstrap_count(), 0, "remote models are persistent: no BT samples");
+    remote
+        .wait_ready_timeout(Duration::from_secs(60))
+        .expect("ready");
+    assert_eq!(
+        s.metrics().bootstrap_count(),
+        0,
+        "remote models are persistent: no BT samples"
+    );
 
     let t = s
         .submit_task(
             TaskDescription::new("remote-client").kind(TaskKind::inference_client("remote-llm", 3)),
         )
         .expect("task");
-    assert_eq!(t.wait_done_timeout(Duration::from_secs(300)).unwrap(), TaskState::Done);
+    assert_eq!(
+        t.wait_done_timeout(Duration::from_secs(300)).unwrap(),
+        TaskState::Done
+    );
     assert_eq!(s.metrics().response_count(), 3);
     s.close();
 }
@@ -105,14 +131,21 @@ fn remote_services_skip_bootstrap_accounting_but_serve_requests() {
 fn mixed_local_and_remote_services_with_state_updates() {
     let s = session(1000.0);
     let updates = s.subscribe_updates(&["state.service"]);
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1))
+        .expect("pilot");
 
     let local = s
-        .submit_service(ServiceDescription::new("noop-local").model(ModelSpec::noop()).cores(1))
+        .submit_service(
+            ServiceDescription::new("noop-local")
+                .model(ModelSpec::noop())
+                .cores(1),
+        )
         .expect("local");
     let remote = s
         .submit_service(
-            ServiceDescription::new("noop-remote").model(ModelSpec::noop()).remote(PlatformId::R3Cloud),
+            ServiceDescription::new("noop-remote")
+                .model(ModelSpec::noop())
+                .remote(PlatformId::R3Cloud),
         )
         .expect("remote");
     local.wait_ready().unwrap();
@@ -121,7 +154,8 @@ fn mixed_local_and_remote_services_with_state_updates() {
     for target in ["noop-local", "noop-remote"] {
         let t = s
             .submit_task(
-                TaskDescription::new(format!("c-{target}")).kind(TaskKind::inference_client(target, 6)),
+                TaskDescription::new(format!("c-{target}"))
+                    .kind(TaskKind::inference_client(target, 6)),
             )
             .unwrap();
         t.wait_done_timeout(Duration::from_secs(120)).unwrap();
@@ -136,7 +170,10 @@ fn mixed_local_and_remote_services_with_state_updates() {
 
     // Ready state updates were published for both services.
     let msgs = updates.drain();
-    let ready_updates = msgs.iter().filter(|m| m.header("state") == Some("Ready")).count();
+    let ready_updates = msgs
+        .iter()
+        .filter(|m| m.header("state") == Some("Ready"))
+        .count();
     assert!(ready_updates >= 2, "expected Ready updates, got {msgs:?}");
     s.close();
 }
@@ -144,7 +181,8 @@ fn mixed_local_and_remote_services_with_state_updates() {
 #[test]
 fn tasks_wait_for_their_services_and_staging_happens() {
     let s = session(5000.0);
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1))
+        .expect("pilot");
 
     // The task depends on a service submitted *after* it: the readiness relation must
     // still hold (the task blocks until the service endpoint is published).
@@ -165,10 +203,17 @@ fn tasks_wait_for_their_services_and_staging_happens() {
     );
 
     let svc = s
-        .submit_service(ServiceDescription::new("late-svc").model(ModelSpec::noop()).cores(1))
+        .submit_service(
+            ServiceDescription::new("late-svc")
+                .model(ModelSpec::noop())
+                .cores(1),
+        )
         .expect("service");
     svc.wait_ready().unwrap();
-    assert_eq!(task.wait_done_timeout(Duration::from_secs(120)).unwrap(), TaskState::Done);
+    assert_eq!(
+        task.wait_done_timeout(Duration::from_secs(120)).unwrap(),
+        TaskState::Done
+    );
 
     // Staging went through the data manager.
     assert_eq!(s.metrics().scalar_values("staging.mib").len(), 2);
@@ -178,10 +223,14 @@ fn tasks_wait_for_their_services_and_staging_happens() {
 #[test]
 fn session_close_is_idempotent_and_rejects_new_work() {
     let s = session(5000.0);
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1))
+        .expect("pilot");
     s.close();
     s.close();
-    assert!(matches!(s.submit_task(TaskDescription::new("x")), Err(RuntimeError::SessionClosed)));
+    assert!(matches!(
+        s.submit_task(TaskDescription::new("x")),
+        Err(RuntimeError::SessionClosed)
+    ));
     assert!(matches!(
         s.submit_service(ServiceDescription::new("y")),
         Err(RuntimeError::SessionClosed)

@@ -18,28 +18,43 @@ fn session() -> Session {
 #[test]
 fn service_fails_when_model_exceeds_gpu_memory() {
     let s = session();
-    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1))
+        .expect("pilot");
     // llama-70b (140 GiB) cannot fit the local platform's 16 GiB GPUs.
     let svc = s
-        .submit_service(ServiceDescription::new("too-big").model(ModelSpec::sim_llama_70b()).gpus(1))
+        .submit_service(
+            ServiceDescription::new("too-big")
+                .model(ModelSpec::sim_llama_70b())
+                .gpus(1),
+        )
         .expect("submitted");
     let state = svc.wait_final(Duration::from_secs(60)).expect("terminal");
     assert_eq!(state, ServiceState::Failed);
     assert!(svc.error().unwrap().contains("GPU"));
     // The failed service must not leak its slot: a new, correctly sized service fits.
     let ok = s
-        .submit_service(ServiceDescription::new("fits").model(ModelSpec::noop()).gpus(1))
+        .submit_service(
+            ServiceDescription::new("fits")
+                .model(ModelSpec::noop())
+                .gpus(1),
+        )
         .expect("submitted");
-    ok.wait_ready_timeout(Duration::from_secs(60)).expect("ready");
+    ok.wait_ready_timeout(Duration::from_secs(60))
+        .expect("ready");
     s.close();
 }
 
 #[test]
 fn crashed_service_fails_liveness_probe_and_dependent_clients() {
     let s = session();
-    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1))
+        .expect("pilot");
     let svc = s
-        .submit_service(ServiceDescription::new("crashy").model(ModelSpec::noop()).cores(1))
+        .submit_service(
+            ServiceDescription::new("crashy")
+                .model(ModelSpec::noop())
+                .cores(1),
+        )
         .expect("service");
     svc.wait_ready().expect("ready");
     assert!(s.service_manager().probe("crashy").unwrap());
@@ -55,17 +70,24 @@ fn crashed_service_fails_liveness_probe_and_dependent_clients() {
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    assert!(registry.lookup("service.crashy").is_none(), "endpoint must be unpublished");
+    assert!(
+        registry.lookup("service.crashy").is_none(),
+        "endpoint must be unpublished"
+    );
 
     // Probing now reports a communication error (endpoint not found).
-    assert!(matches!(s.service_manager().probe("crashy"), Err(RuntimeError::Comm(_))));
+    assert!(matches!(
+        s.service_manager().probe("crashy"),
+        Err(RuntimeError::Comm(_))
+    ));
     s.close();
 }
 
 #[test]
 fn unknown_service_dependency_fails_the_task() {
     let s = session();
-    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1))
+        .expect("pilot");
     // Oversized resource request fails fast (never satisfiable by the node shape).
     let t = s
         .submit_task(TaskDescription::new("impossible").cores(4096))
@@ -79,15 +101,26 @@ fn unknown_service_dependency_fails_the_task() {
 #[test]
 fn duplicate_service_names_fail_the_second_instance() {
     let s = session();
-    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2))
+        .expect("pilot");
     let first = s
-        .submit_service(ServiceDescription::new("same-name").model(ModelSpec::noop()).cores(1))
+        .submit_service(
+            ServiceDescription::new("same-name")
+                .model(ModelSpec::noop())
+                .cores(1),
+        )
         .expect("first");
     first.wait_ready().expect("ready");
     let second = s
-        .submit_service(ServiceDescription::new("same-name").model(ModelSpec::noop()).cores(1))
+        .submit_service(
+            ServiceDescription::new("same-name")
+                .model(ModelSpec::noop())
+                .cores(1),
+        )
         .expect("second submitted");
-    let state = second.wait_final(Duration::from_secs(60)).expect("terminal");
+    let state = second
+        .wait_final(Duration::from_secs(60))
+        .expect("terminal");
     assert_eq!(state, ServiceState::Failed);
     assert!(second.error().unwrap().contains("already registered"));
     s.close();
@@ -97,7 +130,8 @@ fn duplicate_service_names_fail_the_second_instance() {
 fn oversubscribed_gpus_serialize_but_complete() {
     let s = session();
     // 1 local node = 2 GPUs; 6 GPU tasks must still all complete by queueing.
-    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1))
+        .expect("pilot");
     let tasks: Vec<_> = (0..6)
         .map(|i| {
             s.submit_task(
@@ -108,7 +142,8 @@ fn oversubscribed_gpus_serialize_but_complete() {
             .expect("task")
         })
         .collect();
-    s.wait_tasks(Duration::from_secs(120)).expect("all tasks finish");
+    s.wait_tasks(Duration::from_secs(120))
+        .expect("all tasks finish");
     assert!(tasks.iter().all(|t| t.state() == TaskState::Done));
     s.close();
 }
@@ -116,11 +151,17 @@ fn oversubscribed_gpus_serialize_but_complete() {
 #[test]
 fn pilot_request_larger_than_platform_fails_cleanly() {
     let s = session();
-    let err = s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1000)).unwrap_err();
+    let err = s
+        .submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1000))
+        .unwrap_err();
     assert!(matches!(err, RuntimeError::Batch(_)));
     // The session remains usable afterwards.
-    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(1))
+        .expect("pilot");
     let t = s.submit_task(TaskDescription::new("ok")).expect("task");
-    assert_eq!(t.wait_done_timeout(Duration::from_secs(30)).unwrap(), TaskState::Done);
+    assert_eq!(
+        t.wait_done_timeout(Duration::from_secs(30)).unwrap(),
+        TaskState::Done
+    );
     s.close();
 }

@@ -21,9 +21,14 @@ fn hpo_rounds_of_concurrent_training_tasks_improve_the_best_trial() {
         .seed(5150)
         .build()
         .expect("session");
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(2)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(2))
+        .expect("pilot");
 
-    let mut study = HpoStudy::new(HpoStudy::cell_painting_space(), SamplerKind::QuantileGuided, 7);
+    let mut study = HpoStudy::new(
+        HpoStudy::cell_painting_space(),
+        SamplerKind::QuantileGuided,
+        7,
+    );
     let rounds = 4;
     let trials_per_round = 4;
     let mut best_per_round = Vec::new();
@@ -47,7 +52,10 @@ fn hpo_rounds_of_concurrent_training_tasks_improve_the_best_trial() {
             })
             .collect();
         for (trial_id, handle) in handles {
-            assert_eq!(handle.wait_done_timeout(Duration::from_secs(120)).unwrap(), TaskState::Done);
+            assert_eq!(
+                handle.wait_done_timeout(Duration::from_secs(120)).unwrap(),
+                TaskState::Done
+            );
             let trial = trials.iter().find(|t| t.id == trial_id).unwrap();
             study.report(trial_id, objective(&trial.params));
         }
@@ -57,7 +65,10 @@ fn hpo_rounds_of_concurrent_training_tasks_improve_the_best_trial() {
     // The best objective must be monotonically non-increasing across rounds and end up
     // reasonably close to the optimum of the synthetic objective.
     for w in best_per_round.windows(2) {
-        assert!(w[1] <= w[0] + 1e-12, "best objective must not regress: {best_per_round:?}");
+        assert!(
+            w[1] <= w[0] + 1e-12,
+            "best objective must not regress: {best_per_round:?}"
+        );
     }
     assert!(
         *best_per_round.last().unwrap() < 2.0,
@@ -78,12 +89,15 @@ fn gpu_training_rounds_respect_resource_limits() {
         .seed(99)
         .build()
         .expect("session");
-    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2))
+        .expect("pilot");
 
     let handles: Vec<_> = (0..12)
         .map(|i| {
             s.submit_task(
-                TaskDescription::new(format!("trial-{i}")).kind(TaskKind::compute_secs(2.0)).gpus(1),
+                TaskDescription::new(format!("trial-{i}"))
+                    .kind(TaskKind::compute_secs(2.0))
+                    .gpus(1),
             )
             .expect("task")
         })
@@ -99,12 +113,21 @@ fn gpu_training_rounds_respect_resource_limits() {
             ts["Done"] - ts["Executing"]
         })
         .collect();
-    assert!(exec_times.iter().all(|d| *d >= 1.8), "every trial ran its full kernel: {exec_times:?}");
+    assert!(
+        exec_times.iter().all(|d| *d >= 1.8),
+        "every trial ran its full kernel: {exec_times:?}"
+    );
     let makespan = handles
         .iter()
         .map(|h| h.timestamps()["Done"])
         .fold(f64::MIN, f64::max)
-        - handles.iter().map(|h| h.timestamps()["Scheduling"]).fold(f64::MAX, f64::min);
-    assert!(makespan >= 5.5, "12 tasks on 4 GPUs need at least three 2 s waves, got {makespan}");
+        - handles
+            .iter()
+            .map(|h| h.timestamps()["Scheduling"])
+            .fold(f64::MAX, f64::min);
+    assert!(
+        makespan >= 5.5,
+        "12 tasks on 4 GPUs need at least three 2 s waves, got {makespan}"
+    );
     s.close();
 }

@@ -11,8 +11,12 @@ fn session(name: &str) -> Session {
         .seed(2024)
         .build()
         .expect("session");
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(4).runtime_secs(36_000.0))
-        .expect("pilot");
+    s.submit_pilot(
+        PilotDescription::new(PlatformId::Delta)
+            .nodes(4)
+            .runtime_secs(36_000.0),
+    )
+    .expect("pilot");
     s
 }
 
@@ -31,7 +35,10 @@ fn cell_painting_pipeline_runs_to_completion() {
     // Stage 1 staged the imagery shards.
     assert!(s.metrics().scalar_summary("staging.mib").count >= config.shards);
     // The feature-extraction service answered the classification client.
-    assert_eq!(s.metrics().response_count() as u32, config.inference_requests);
+    assert_eq!(
+        s.metrics().response_count() as u32,
+        config.inference_requests
+    );
     s.close();
 }
 
@@ -67,7 +74,10 @@ fn uncertainty_quantification_pipeline_runs_to_completion() {
     assert_eq!(report.stages.len(), 3);
     // The three-level hierarchy ran every (model, method, seed) combination.
     assert_eq!(report.stages[1].tasks_done, config.total_uq_tasks());
-    assert_eq!(s.metrics().response_count() as u32, config.postprocess_requests);
+    assert_eq!(
+        s.metrics().response_count() as u32,
+        config.postprocess_requests
+    );
     s.close();
 }
 

@@ -19,19 +19,37 @@ fn session() -> Session {
 #[test]
 fn service_state_timestamps_are_ordered_and_match_bootstrap() {
     let s = session();
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1))
+        .expect("pilot");
     let svc = s
-        .submit_service(ServiceDescription::new("observed").model(ModelSpec::sim_llama_8b()).gpus(1))
+        .submit_service(
+            ServiceDescription::new("observed")
+                .model(ModelSpec::sim_llama_8b())
+                .gpus(1),
+        )
         .expect("service");
-    svc.wait_ready_timeout(Duration::from_secs(60)).expect("ready");
+    svc.wait_ready_timeout(Duration::from_secs(60))
+        .expect("ready");
 
     let ts = svc.timestamps();
     // Every lifecycle state up to Ready must be timestamped, in increasing order.
-    let order = ["New", "Scheduling", "Launching", "Initializing", "Publishing", "Ready"];
+    let order = [
+        "New",
+        "Scheduling",
+        "Launching",
+        "Initializing",
+        "Publishing",
+        "Ready",
+    ];
     let mut last = f64::MIN;
     for state in order {
-        let t = *ts.get(state).unwrap_or_else(|| panic!("missing timestamp for {state}: {ts:?}"));
-        assert!(t >= last, "timestamps must be non-decreasing ({state} at {t} after {last})");
+        let t = *ts
+            .get(state)
+            .unwrap_or_else(|| panic!("missing timestamp for {state}: {ts:?}"));
+        assert!(
+            t >= last,
+            "timestamps must be non-decreasing ({state} at {t} after {last})"
+        );
         last = t;
     }
 
@@ -40,9 +58,18 @@ fn service_state_timestamps_are_ordered_and_match_bootstrap() {
     let launch_gap = ts["Initializing"] - ts["Launching"];
     let init_gap = ts["Publishing"] - ts["Initializing"];
     let publish_gap = ts["Ready"] - ts["Publishing"];
-    assert!((bt.launch_secs - launch_gap).abs() < 0.2 * launch_gap.max(0.5), "launch {bt:?} vs gap {launch_gap}");
-    assert!((bt.init_secs - init_gap).abs() < 0.2 * init_gap.max(0.5), "init {bt:?} vs gap {init_gap}");
-    assert!((bt.publish_secs - publish_gap).abs() < 0.2 * publish_gap.max(0.5) + 0.2, "publish {bt:?} vs gap {publish_gap}");
+    assert!(
+        (bt.launch_secs - launch_gap).abs() < 0.2 * launch_gap.max(0.5),
+        "launch {bt:?} vs gap {launch_gap}"
+    );
+    assert!(
+        (bt.init_secs - init_gap).abs() < 0.2 * init_gap.max(0.5),
+        "init {bt:?} vs gap {init_gap}"
+    );
+    assert!(
+        (bt.publish_secs - publish_gap).abs() < 0.2 * publish_gap.max(0.5) + 0.2,
+        "publish {bt:?} vs gap {publish_gap}"
+    );
     assert!((bt.total() - (ts["Ready"] - ts["Launching"])).abs() < 1.0);
 
     s.close();
@@ -51,7 +78,8 @@ fn service_state_timestamps_are_ordered_and_match_bootstrap() {
 #[test]
 fn task_timestamps_cover_every_phase() {
     let s = session();
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1))
+        .expect("pilot");
     let task = s
         .submit_task(
             TaskDescription::new("observed-task")
@@ -60,10 +88,18 @@ fn task_timestamps_cover_every_phase() {
                 .stage_out(DataDirective::local("out.dat", 1.0)),
         )
         .expect("task");
-    task.wait_done_timeout(Duration::from_secs(60)).expect("done");
+    task.wait_done_timeout(Duration::from_secs(60))
+        .expect("done");
 
     let ts = task.timestamps();
-    for state in ["New", "Scheduling", "StagingInput", "Executing", "StagingOutput", "Done"] {
+    for state in [
+        "New",
+        "Scheduling",
+        "StagingInput",
+        "Executing",
+        "StagingOutput",
+        "Done",
+    ] {
         assert!(ts.contains_key(state), "missing {state} in {ts:?}");
     }
     // Execution must have taken at least the requested virtual 3 seconds.
@@ -75,9 +111,14 @@ fn task_timestamps_cover_every_phase() {
 fn update_bus_reports_full_service_lifecycle() {
     let s = session();
     let updates = s.subscribe_updates(&["state.service"]);
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1))
+        .expect("pilot");
     let svc = s
-        .submit_service(ServiceDescription::new("bus-svc").model(ModelSpec::noop()).cores(1))
+        .submit_service(
+            ServiceDescription::new("bus-svc")
+                .model(ModelSpec::noop())
+                .cores(1),
+        )
         .expect("service");
     svc.wait_ready().expect("ready");
     s.service_manager().stop("bus-svc").expect("stop");
@@ -89,14 +130,18 @@ fn update_bus_reports_full_service_lifecycle() {
         .filter_map(|m| m.header("state").map(str::to_string))
         .collect();
     for expected in ["Scheduling", "Launching", "Ready", "Stopped"] {
-        assert!(states.iter().any(|s| s == expected), "missing {expected} update in {states:?}");
+        assert!(
+            states.iter().any(|s| s == expected),
+            "missing {expected} update in {states:?}"
+        );
     }
 }
 
 #[test]
 fn metrics_scalars_track_task_execution() {
     let s = session();
-    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1)).expect("pilot");
+    s.submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(1))
+        .expect("pilot");
     for i in 0..3 {
         s.submit_task(TaskDescription::new(format!("t{i}")).kind(TaskKind::compute_secs(2.0)))
             .expect("task");
@@ -104,6 +149,10 @@ fn metrics_scalars_track_task_execution() {
     s.wait_tasks(Duration::from_secs(60)).expect("tasks");
     let exec = s.metrics().scalar_summary("task.exec_secs");
     assert_eq!(exec.count, 3);
-    assert!(exec.mean >= 1.8, "execution time must reflect the 2 s compute kernels, got {}", exec.mean);
+    assert!(
+        exec.mean >= 1.8,
+        "execution time must reflect the 2 s compute kernels, got {}",
+        exec.mean
+    );
     s.close();
 }

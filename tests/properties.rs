@@ -35,7 +35,9 @@ fn for_each_case(name: &str, mut body: impl FnMut(&mut StdRng)) {
 
 fn random_token(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> String {
     let len = rng.gen_range(0usize..max_len + 1);
-    (0..len).map(|_| alphabet[rng.gen_range(0usize..alphabet.len())] as char).collect()
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())] as char)
+        .collect()
 }
 
 const TOPIC_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
@@ -48,8 +50,9 @@ fn message_codec_roundtrip() {
     for_each_case("message_codec_roundtrip", |rng| {
         let topic = random_token(rng, TOPIC_ALPHABET, 40);
         let kind = random_token(rng, TOPIC_ALPHABET, 20);
-        let payload: Vec<u8> =
-            (0..rng.gen_range(0usize..2048)).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let payload: Vec<u8> = (0..rng.gen_range(0usize..2048))
+            .map(|_| rng.gen_range(0u32..256) as u8)
+            .collect();
         let mut msg = Message::new(topic, kind).with_payload(payload);
         for _ in 0..rng.gen_range(0usize..8) {
             let key = random_token(rng, KEY_ALPHABET, 16);
@@ -62,7 +65,11 @@ fn message_codec_roundtrip() {
             msg = msg.with_header(key, value);
         }
         let encoded = msg.encode();
-        assert_eq!(encoded.len(), msg.encoded_len(), "encoded_len must be exact");
+        assert_eq!(
+            encoded.len(),
+            msg.encoded_len(),
+            "encoded_len must be exact"
+        );
         let decoded = Message::decode(encoded).expect("decode");
         assert_eq!(decoded, msg);
     });
@@ -79,7 +86,9 @@ fn message_codec_rejects_or_matches_on_truncation() {
         let msg = Message::new("topic", "kind").with_text(&text);
         let encoded = msg.encode();
         let cut = rng.gen_range(0usize..encoded.len() + 1);
-        if let Ok(decoded) = Message::decode(encoded.slice(0..cut)) { assert_eq!(decoded, msg) }
+        if let Ok(decoded) = Message::decode(encoded.slice(0..cut)) {
+            assert_eq!(decoded, msg)
+        }
     });
 }
 
@@ -87,8 +96,9 @@ fn message_codec_rejects_or_matches_on_truncation() {
 #[test]
 fn online_stats_matches_naive() {
     for_each_case("online_stats_matches_naive", |rng| {
-        let values: Vec<f64> =
-            (0..rng.gen_range(1usize..200)).map(|_| rng.gen_range(-1e6..1e6)).collect();
+        let values: Vec<f64> = (0..rng.gen_range(1usize..200))
+            .map(|_| rng.gen_range(-1e6..1e6))
+            .collect();
         let mut s = OnlineStats::new();
         for &v in &values {
             s.push(v);
@@ -106,8 +116,9 @@ fn online_stats_matches_naive() {
 #[test]
 fn percentiles_are_monotone() {
     for_each_case("percentiles_are_monotone", |rng| {
-        let values: Vec<f64> =
-            (0..rng.gen_range(1usize..200)).map(|_| rng.gen_range(0.0..1e6)).collect();
+        let values: Vec<f64> = (0..rng.gen_range(1usize..200))
+            .map(|_| rng.gen_range(0.0..1e6))
+            .collect();
         let mut sorted = values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let s = Summary::from_slice(&values);
@@ -129,7 +140,12 @@ fn distribution_samples_are_bounded() {
         let width = rng.gen_range(0.1..10.0);
         let hi = lo + width;
         let u = Dist::uniform(lo, hi);
-        let t = Dist::TruncatedNormal { mean: lo, std: width, lo, hi };
+        let t = Dist::TruncatedNormal {
+            mean: lo,
+            std: width,
+            lo,
+            hi,
+        };
         let n = Dist::normal(lo, width);
         for _ in 0..64 {
             let v = u.sample(rng);
@@ -223,10 +239,16 @@ fn interleaved_allocate_release_never_double_books() {
                 let slot = slots.swap_remove(idx);
                 alloc.release_slot(&slot).unwrap();
                 for c in &slot.core_ids {
-                    assert!(live_cores.remove(&(slot.node_index, *c)), "released core was tracked");
+                    assert!(
+                        live_cores.remove(&(slot.node_index, *c)),
+                        "released core was tracked"
+                    );
                 }
                 for g in &slot.gpu_ids {
-                    assert!(live_gpus.remove(&(slot.node_index, *g)), "released gpu was tracked");
+                    assert!(
+                        live_gpus.remove(&(slot.node_index, *g)),
+                        "released gpu was tracked"
+                    );
                 }
             } else {
                 let req = ResourceRequest {
@@ -284,7 +306,10 @@ fn task_state_walks_reach_terminal_states() {
             state = next;
             steps += 1;
         }
-        assert!(steps <= 6, "the task state graph has no cycles, walk length {steps}");
+        assert!(
+            steps <= 6,
+            "the task state graph has no cycles, walk length {steps}"
+        );
     });
 }
 

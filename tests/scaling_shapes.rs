@@ -2,10 +2,10 @@
 //! qualitative results the figures report (who dominates, where the knees are, how
 //! strong/weak scaling behaves). The full sweeps live in the `hpcml-bench` binaries.
 
+use hpcml::serving::ModelSpec;
 use hpcml_bench::exp1::{run_one as bootstrap_one, BootstrapConfig};
 use hpcml_bench::exp2::{run_one as scaling_one, Deployment, ScalingConfig};
 use hpcml_bench::tables::{experiment_setup_table, table1_rows};
-use hpcml::serving::ModelSpec;
 
 fn noop_config(deployment: Deployment) -> ScalingConfig {
     ScalingConfig {
@@ -47,8 +47,14 @@ fn fig3_shape_init_dominates_and_publish_stays_below_launch() {
     let launch = r.components["launch"].mean;
     let init = r.components["init"].mean;
     let publish = r.components["publish"].mean;
-    assert!(init > 5.0 * launch, "init ({init:.1}s) dominates launch ({launch:.1}s)");
-    assert!(publish < launch, "publish ({publish:.2}s) stays below launch ({launch:.2}s)");
+    assert!(
+        init > 5.0 * launch,
+        "init ({init:.1}s) dominates launch ({launch:.1}s)"
+    );
+    assert!(
+        publish < launch,
+        "publish ({publish:.2}s) stays below launch ({launch:.2}s)"
+    );
 }
 
 #[test]
@@ -91,7 +97,10 @@ fn fig6_shape_inference_dominates_and_locality_is_secondary() {
     }
     // Model locality is a secondary concern once inference dominates (paper §IV-D).
     let ratio = remote.total.mean / local.total.mean;
-    assert!((0.5..2.0).contains(&ratio), "total RT local vs remote should be comparable, ratio {ratio}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "total RT local vs remote should be comparable, ratio {ratio}"
+    );
 }
 
 #[test]
@@ -113,5 +122,7 @@ fn tables_match_paper_dimensions() {
     assert_eq!(table1_rows().len(), 8);
     let setup = experiment_setup_table();
     assert_eq!(setup.len(), 5);
-    assert!(setup.iter().any(|r| r.platform == "Frontier" && r.models == "1-640"));
+    assert!(setup
+        .iter()
+        .any(|r| r.platform == "Frontier" && r.models == "1-640"));
 }
