@@ -74,13 +74,52 @@ fn bench_scheduler(c: &mut Criterion) {
         // an already-touched node, so each of the `nodes` slots lands on a distinct
         // node and no node is left idle or full.
         let spec = alloc.node_spec();
-        let half_fill = ResourceRequest::cores(spec.cores / 2 + 1);
+        let half_fill = ResourceRequest::cores(spec.cores / 2 + 1).unwrap();
         let held: Vec<_> = (0..nodes)
             .map(|_| alloc.allocate_slot(&half_fill).unwrap())
             .collect();
         assert_eq!(alloc.idle_nodes(), 0, "pre-fill must touch every node");
         let scheduler = Scheduler::new(alloc);
-        let req = ResourceRequest::cores(4);
+        let req = ResourceRequest::cores(4).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let slot = scheduler
+                    .allocate(&req, Priority::Task, Duration::from_secs(1))
+                    .unwrap();
+                scheduler.release(&slot).unwrap();
+            })
+        });
+        for slot in &held {
+            scheduler.allocation().release_slot(slot).unwrap();
+        }
+    }
+    group.finish();
+}
+
+/// Gang placement cost must be O(gang size), independent of the allocation's total
+/// node count: a fixed 2-node gang claimed against a half-occupied allocation must be
+/// flat (within 2×) across the same 4 → 4096 node sweep as `allocate_release`.
+fn bench_gang_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/gang_allocate");
+    for nodes in [4usize, 256, 4096] {
+        let batch = BatchSystem::new(wide_spec(nodes), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        // Occupy half the nodes with single-node slots so the idle bucket is a real
+        // subset (claiming from an all-idle allocation would hide index bookkeeping).
+        let spec = alloc.node_spec();
+        let half_fill = ResourceRequest::cores(spec.cores / 2 + 1).unwrap();
+        let held: Vec<_> = (0..nodes / 2)
+            .map(|_| alloc.allocate_slot(&half_fill).unwrap())
+            .collect();
+        assert_eq!(alloc.idle_nodes(), nodes - nodes / 2);
+        let scheduler = Scheduler::new(alloc);
+        // Whole-node ranks-per-node shape: all cores and GPUs of each member node.
+        let req = ResourceRequest {
+            cores: spec.cores,
+            gpus: spec.gpus,
+            mem_gib: 0.0,
+            nodes: 2,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| {
                 let slot = scheduler
@@ -113,7 +152,7 @@ fn bench_scheduler_churn(c: &mut Criterion) {
                 for _ in 0..4 {
                     let s = Arc::clone(&scheduler);
                     handles.push(std::thread::spawn(move || {
-                        let req = ResourceRequest::cores(4);
+                        let req = ResourceRequest::cores(4).unwrap();
                         for _ in 0..256 {
                             let slot = s
                                 .allocate(&req, Priority::Task, Duration::from_secs(10))
@@ -148,7 +187,7 @@ fn bench_scheduler_waitqueue(c: &mut Criterion) {
             for _ in 0..8 {
                 let s = Arc::clone(&scheduler);
                 handles.push(std::thread::spawn(move || {
-                    let req = ResourceRequest::cores(48);
+                    let req = ResourceRequest::cores(48).unwrap();
                     for _ in 0..32 {
                         let slot = s
                             .allocate(&req, Priority::Task, Duration::from_secs(30))
@@ -197,6 +236,7 @@ criterion_group!(
     bench_codec,
     bench_registry,
     bench_scheduler,
+    bench_gang_allocate,
     bench_scheduler_churn,
     bench_scheduler_waitqueue,
     bench_noop_roundtrip,

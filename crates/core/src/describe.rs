@@ -118,7 +118,8 @@ pub struct TaskDescription {
     pub name: String,
     /// What the task does.
     pub kind: TaskKind,
-    /// Resources requested (single-node).
+    /// Resources requested. Cores/GPUs/memory apply per member node; `nodes > 1`
+    /// declares a multi-node MPI task placed as a gang of idle nodes.
     pub resources: ResourceRequest,
     /// Datasets staged in before execution.
     pub stage_in: Vec<DataDirective>,
@@ -136,7 +137,7 @@ impl TaskDescription {
         TaskDescription {
             name: name.into(),
             kind: TaskKind::Noop,
-            resources: ResourceRequest::cores(1),
+            resources: ResourceRequest::default(),
             stage_in: Vec::new(),
             stage_out: Vec::new(),
             after_services: Vec::new(),
@@ -168,6 +169,14 @@ impl TaskDescription {
     /// Request memory (GiB).
     pub fn mem_gib(mut self, mem: f64) -> Self {
         self.resources.mem_gib = mem;
+        self
+    }
+
+    /// Declare a multi-node MPI task spanning `nodes` whole nodes (clamped to ≥ 1).
+    /// The task's cores/GPUs/memory are reserved on *each* member node
+    /// (ranks-per-node semantics) and the gang is placed atomically on idle nodes.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.resources.nodes = nodes.max(1);
         self
     }
 
@@ -230,7 +239,7 @@ impl ServiceDescription {
         ServiceDescription {
             name: name.into(),
             model: ModelSpec::noop(),
-            resources: ResourceRequest::cores(1),
+            resources: ResourceRequest::default(),
             placement: ServicePlacement::LocalPilot,
             startup_timeout_secs: 600.0,
             tags: Vec::new(),

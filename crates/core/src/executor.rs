@@ -341,10 +341,17 @@ impl Executor {
         })?;
         let wait_start = std::time::Instant::now();
         let slot = scheduler.allocate(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?;
-        self.metrics.record_scalar(
-            "task.placement_wait_secs",
-            wait_start.elapsed().as_secs_f64(),
-        );
+        let wait_secs = wait_start.elapsed().as_secs_f64();
+        self.metrics
+            .record_scalar("task.placement_wait_secs", wait_secs);
+        if slot.is_gang() {
+            // Gang placements wait for whole idle nodes, so their queueing behaviour
+            // is tracked separately from single-node placement waits.
+            self.metrics
+                .record_scalar("task.gang.placement_wait_secs", wait_secs);
+            self.metrics
+                .record_scalar("task.gang.nodes", slot.num_nodes() as f64);
+        }
         *record.slot.lock() = Some(slot.clone());
 
         let finish = |result: Result<(), RuntimeError>| -> Result<(), RuntimeError> {

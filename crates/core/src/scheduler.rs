@@ -7,29 +7,45 @@
 //!
 //! * blocking slot allocation with back-pressure (callers wait until resources free up),
 //! * service priority (pending service placements starve ordinary tasks, not vice versa),
-//! * immediate rejection of requests that could never be satisfied by the node shape.
+//! * immediate rejection of requests that could never be satisfied by the node shape,
+//! * gang placement: a multi-node MPI request (`ResourceRequest::nodes > 1`) parks in
+//!   the same FIFO queues and is granted atomically once enough idle nodes exist.
 //!
 //! ## Wait-queue design
 //!
 //! Waiters park in two explicit FIFO queues (services ahead of tasks) and each waiter
-//! owns its own condition variable — its *wake slot*. A release notifies exactly the
-//! head waiter instead of `notify_all`-ing every parked thread, so a free-capacity
-//! event costs one targeted wakeup regardless of queue depth (no thundering herd), and
-//! wakeup order is the arrival order (condvar wakeups are unordered in practice, which
-//! made the old implementation effectively LIFO under load and could starve long
-//! waiters). Newcomers never overtake parked waiters of their class: the fast path is
-//! only taken when the relevant queues are empty.
+//! owns its own condition variable — its *wake slot*. A release notifies the waiters in
+//! the serve window instead of `notify_all`-ing every parked thread, so a free-capacity
+//! event costs at most `lookahead` targeted wakeups regardless of queue depth (no
+//! thundering herd), and wakeup order is the arrival order (condvar wakeups are
+//! unordered in practice, which made the old implementation effectively LIFO under load
+//! and could starve long waiters). Newcomers never overtake parked waiters of their
+//! class: the fast path is only taken when the relevant queues are empty, so arrival
+//! order is always recorded and the window below is the *only* overtaking mechanism.
 //!
-//! Two deliberate deviations from pure FIFO/utilisation trade-offs:
+//! ## Bounded lookahead
 //!
-//! * **Head-of-line blocking**: a wide request at the head parks narrower requests
-//!   behind it even when they would fit right now. That is the price of the
-//!   no-starvation guarantee; bounded lookahead is a noted follow-on (ROADMAP).
-//! * **Deadline exception**: a waiter whose timeout expires makes one explicit final
-//!   allocation attempt even when it is not at the head (services still shield
-//!   themselves from tasks). A timing-out waiter leaving empty-handed while fitting
-//!   capacity sits free would be strictly worse; the head is re-woken on the next
-//!   release and keeps its place.
+//! Strict FIFO implies head-of-line blocking: a wide gang at the head parks narrow
+//! requests behind it even when they would fit right now. A scheduler built with
+//! [`Scheduler::with_lookahead`] relaxes FIFO *within* a priority class: the first `k`
+//! parked waiters of the serving class may attempt placement, so a blocked wide gang
+//! lets smaller requests inside the window through while keeping its place at the
+//! head. Service priority stays absolute — tasks never place while any service waits,
+//! exactly as with `k = 1` — so the PR-1 guarantee that services are never starved by
+//! tasks holds for every window size. `k = 1` (the [`Scheduler::new`] default) is the
+//! strict-FIFO no-starvation behaviour.
+//!
+//! The price of `k > 1` is stated plainly: within a class there is no ageing, so a
+//! wide waiter at the head can be overtaken indefinitely while narrower requests
+//! inside the window keep fitting — the utilisation/fairness trade the ROADMAP calls
+//! for. Workloads that must bound gang wait time should keep the default window or
+//! drain (a backfill-reservation window is the noted follow-on).
+//!
+//! One further deliberate deviation: a waiter whose timeout expires makes one explicit
+//! final allocation attempt even when it is outside the window (services still shield
+//! themselves from tasks). A timing-out waiter leaving empty-handed while fitting
+//! capacity sits free would be strictly worse; the head is re-woken on the next
+//! release and keeps its place.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -59,15 +75,17 @@ struct SchedState {
 }
 
 impl SchedState {
-    /// The waiter that should be offered newly freed capacity: the service at the head
-    /// of the service queue, else the task at the head of the task queue.
-    fn head(&self) -> Option<&Arc<Waiter>> {
-        self.services.front().or_else(|| self.tasks.front())
-    }
-
-    /// Wake the current head waiter (if any) through its private wake slot.
-    fn wake_head(&self) {
-        if let Some(waiter) = self.head() {
+    /// Wake every waiter inside the serve window through their private wake slots:
+    /// the first `window` services, or — only when no service waits — the first
+    /// `window` tasks (service priority is absolute). With a window of 1 this is
+    /// exactly the old wake-the-head behaviour.
+    fn wake_window(&self, window: usize) {
+        let class = if self.services.is_empty() {
+            &self.tasks
+        } else {
+            &self.services
+        };
+        for waiter in class.iter().take(window) {
             waiter.cond.notify_one();
         }
     }
@@ -86,6 +104,9 @@ pub enum Priority {
 pub struct Scheduler {
     allocation: Arc<Allocation>,
     state: Mutex<SchedState>,
+    /// Serve window: how many parked waiters of the serving class may attempt a
+    /// placement. 1 = strict FIFO; service priority is absolute at every size.
+    lookahead: usize,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -97,22 +118,37 @@ impl std::fmt::Debug for Scheduler {
             .field("waiting_services", &st.services.len())
             .field("waiting_tasks", &st.tasks.len())
             .field("outstanding_slots", &st.outstanding_slots)
+            .field("lookahead", &self.lookahead)
             .finish()
     }
 }
 
 impl Scheduler {
-    /// Create a scheduler over the given allocation.
+    /// Create a strict-FIFO scheduler over the given allocation (lookahead 1).
     pub fn new(allocation: Arc<Allocation>) -> Self {
+        Scheduler::with_lookahead(allocation, 1)
+    }
+
+    /// Create a scheduler serving the first `lookahead` parked waiters of the
+    /// serving class that fit (head-of-line relief for mixed request widths within a
+    /// priority class; tasks still never overtake a waiting service). Clamped to at
+    /// least 1.
+    pub fn with_lookahead(allocation: Arc<Allocation>, lookahead: usize) -> Self {
         Scheduler {
             allocation,
             state: Mutex::new(SchedState::default()),
+            lookahead: lookahead.max(1),
         }
     }
 
     /// The allocation this scheduler places onto.
     pub fn allocation(&self) -> &Arc<Allocation> {
         &self.allocation
+    }
+
+    /// The serve-window size (1 = strict FIFO).
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
     }
 
     /// Number of slots currently handed out.
@@ -130,10 +166,24 @@ impl Scheduler {
         self.state.lock().tasks.len()
     }
 
+    /// Whether a parked waiter at `position` within its class queue may attempt a
+    /// placement: within the first `lookahead` entries of its class, and — for tasks —
+    /// only while no service waits (service priority is absolute for every window
+    /// size). With lookahead 1 this is exactly "services: at the head; tasks: at the
+    /// head with no service waiting".
+    fn in_window(&self, st: &SchedState, priority: Priority, position: usize) -> bool {
+        match priority {
+            Priority::Service => position < self.lookahead,
+            Priority::Task => st.services.is_empty() && position < self.lookahead,
+        }
+    }
+
     /// Allocate a slot, blocking (up to `timeout` of real time) until resources are
-    /// available. Requests are served in FIFO order within their priority class;
-    /// task-priority requests additionally wait while service placements are pending,
-    /// so services are never starved by a flood of tasks.
+    /// available. Requests are served in FIFO order within their priority class,
+    /// relaxed only by the bounded lookahead window; task-priority requests
+    /// additionally wait while any service placement is pending, so services are
+    /// never starved by a flood of tasks. A gang request (`req.nodes > 1`) waits like
+    /// any other request until enough idle nodes exist, then claims them atomically.
     pub fn allocate(
         &self,
         req: &ResourceRequest,
@@ -149,7 +199,10 @@ impl Scheduler {
         let mut st = self.state.lock();
 
         // Fast path: nothing is parked ahead of this request, try immediately without
-        // paying for a queue entry.
+        // paying for a queue entry. Deliberately stricter than the serve window —
+        // newcomers always queue when anyone of their class waits, so a stream of
+        // arrivals can never rotate through the window without recording arrival
+        // order.
         let fast_eligible = match priority {
             Priority::Service => st.services.is_empty(),
             Priority::Task => st.services.is_empty() && st.tasks.is_empty(),
@@ -175,13 +228,17 @@ impl Scheduler {
         }
 
         let result = loop {
-            let eligible = match priority {
-                Priority::Service => st.services.front().is_some_and(|w| Arc::ptr_eq(w, &waiter)),
-                Priority::Task => {
-                    st.services.is_empty()
-                        && st.tasks.front().is_some_and(|w| Arc::ptr_eq(w, &waiter))
-                }
+            let queue = match priority {
+                Priority::Service => &st.services,
+                Priority::Task => &st.tasks,
             };
+            // Bounded scan: the waiter can only be eligible within the first
+            // `lookahead` entries, so the position probe never walks a deep queue.
+            let position = queue
+                .iter()
+                .take(self.lookahead)
+                .position(|w| Arc::ptr_eq(w, &waiter));
+            let eligible = position.is_some_and(|p| self.in_window(&st, priority, p));
             if eligible {
                 match self.allocation.allocate_slot(req) {
                     Ok(slot) => break Ok(slot),
@@ -191,9 +248,9 @@ impl Scheduler {
             }
             if Instant::now() >= deadline {
                 // Explicit final attempt after the timeout: capacity may have freed
-                // while this waiter was not at the head (or between the last wait and
-                // the deadline). Service priority is still honoured — a task makes its
-                // last-gasp attempt only when no service is waiting.
+                // while this waiter was outside the window (or between the last wait
+                // and the deadline). Service priority is still honoured — a task makes
+                // its last-gasp attempt only when no service is waiting.
                 let may_final_try = priority == Priority::Service || st.services.is_empty();
                 if may_final_try {
                     match self.allocation.allocate_slot(req) {
@@ -202,17 +259,23 @@ impl Scheduler {
                         Err(e) => break Err(RuntimeError::Resource(e)),
                     }
                 }
+                let shape = format!("{} cores / {} gpus", req.cores, req.gpus);
                 break Err(RuntimeError::WaitTimeout {
                     entity: "scheduler".to_string(),
-                    awaited: format!("{} cores / {} gpus", req.cores, req.gpus),
+                    awaited: if req.nodes > 1 {
+                        format!("{} nodes x ({shape}) gang", req.nodes)
+                    } else {
+                        shape
+                    },
                 });
             }
             waiter.cond.wait_until(&mut st, deadline);
         };
 
-        // Leave the queue. If this waiter was parked at the head, the next-in-line may
-        // now be eligible (a departing service can unblock every task, a successful
-        // head may leave capacity for its successor), so pass the wakeup on.
+        // Leave the queue. The departure shifts everyone behind this waiter one
+        // position forward, so a new waiter may have entered the window (a departing
+        // service can unblock tasks, a successful head may leave capacity for its
+        // successor): pass the wakeup on.
         match priority {
             Priority::Service => {
                 if let Some(idx) = st.services.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
@@ -228,16 +291,16 @@ impl Scheduler {
         if result.is_ok() {
             st.outstanding_slots += 1;
         }
-        st.wake_head();
+        st.wake_window(self.lookahead);
         result
     }
 
-    /// Release a previously allocated slot and wake exactly the head waiter.
+    /// Release a previously allocated slot and wake the waiters in the serve window.
     pub fn release(&self, slot: &Slot) -> Result<(), RuntimeError> {
         self.allocation.release_slot(slot)?;
         let mut st = self.state.lock();
         st.outstanding_slots = st.outstanding_slots.saturating_sub(1);
-        st.wake_head();
+        st.wake_window(self.lookahead);
         Ok(())
     }
 }
@@ -251,37 +314,52 @@ mod tests {
     use std::thread;
 
     fn scheduler(platform: PlatformId, nodes: usize) -> Scheduler {
+        scheduler_with_lookahead(platform, nodes, 1)
+    }
+
+    fn scheduler_with_lookahead(platform: PlatformId, nodes: usize, lookahead: usize) -> Scheduler {
         let batch = BatchSystem::new(platform.spec(), ClockSpec::Manual.build(), 3);
         let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
-        Scheduler::new(alloc)
+        Scheduler::with_lookahead(alloc, lookahead)
+    }
+
+    fn gpus(n: u32) -> ResourceRequest {
+        ResourceRequest::gpus(n).unwrap()
+    }
+
+    fn cores(n: u32) -> ResourceRequest {
+        ResourceRequest::cores(n).unwrap()
+    }
+
+    /// Poll until `pred` holds (bounded at 5 s), so queue-depth assertions do not race
+    /// thread start-up on a loaded host.
+    fn wait_until(s: &Scheduler, what: &str, pred: impl Fn(&Scheduler) -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !pred(s) {
+            assert!(Instant::now() < deadline, "timed out waiting for: {what}");
+            thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]
     fn allocate_and_release_roundtrip() {
         let s = scheduler(PlatformId::Local, 1); // 8 cores, 2 gpus
         let slot = s
-            .allocate(
-                &ResourceRequest::gpus(1),
-                Priority::Service,
-                Duration::from_secs(1),
-            )
+            .allocate(&gpus(1), Priority::Service, Duration::from_secs(1))
             .unwrap();
         assert_eq!(slot.num_gpus(), 1);
         assert_eq!(s.outstanding_slots(), 1);
         s.release(&slot).unwrap();
         assert_eq!(s.outstanding_slots(), 0);
         assert_eq!(s.allocation().free_gpus(), 2);
+        assert_eq!(s.lookahead(), 1);
     }
 
     #[test]
     fn never_satisfiable_request_errors_immediately() {
         let s = scheduler(PlatformId::Local, 1);
         let err = s
-            .allocate(
-                &ResourceRequest::cores(1024),
-                Priority::Task,
-                Duration::from_secs(5),
-            )
+            .allocate(&cores(1024), Priority::Task, Duration::from_secs(5))
             .unwrap_err();
         assert!(matches!(
             err,
@@ -293,18 +371,10 @@ mod tests {
     fn allocation_times_out_under_pressure() {
         let s = scheduler(PlatformId::Local, 1);
         let _hold = s
-            .allocate(
-                &ResourceRequest::gpus(2),
-                Priority::Task,
-                Duration::from_secs(1),
-            )
+            .allocate(&gpus(2), Priority::Task, Duration::from_secs(1))
             .unwrap();
         let err = s
-            .allocate(
-                &ResourceRequest::gpus(1),
-                Priority::Task,
-                Duration::from_millis(30),
-            )
+            .allocate(&gpus(1), Priority::Task, Duration::from_millis(30))
             .unwrap_err();
         assert!(matches!(err, RuntimeError::WaitTimeout { .. }));
         assert_eq!(
@@ -322,30 +392,17 @@ mod tests {
         // attempt at its deadline — never through head eligibility.
         let s = Arc::new(scheduler(PlatformId::Local, 1)); // 2 gpus
         let hold = s
-            .allocate(
-                &ResourceRequest::gpus(1),
-                Priority::Task,
-                Duration::from_secs(1),
-            )
+            .allocate(&gpus(1), Priority::Task, Duration::from_secs(1))
             .unwrap();
         let s1 = Arc::clone(&s);
-        let head = thread::spawn(move || {
-            s1.allocate(
-                &ResourceRequest::gpus(2),
-                Priority::Task,
-                Duration::from_secs(10),
-            )
-        });
+        let head =
+            thread::spawn(move || s1.allocate(&gpus(2), Priority::Task, Duration::from_secs(10)));
         // Let W1 park at the head before W2 arrives.
         thread::sleep(Duration::from_millis(50));
         assert_eq!(s.waiting_tasks(), 1);
         let s2 = Arc::clone(&s);
         let behind = thread::spawn(move || {
-            s2.allocate(
-                &ResourceRequest::gpus(1),
-                Priority::Task,
-                Duration::from_millis(100),
-            )
+            s2.allocate(&gpus(1), Priority::Task, Duration::from_millis(100))
         });
         let got = behind.join().unwrap();
         assert!(
@@ -365,20 +422,11 @@ mod tests {
     fn blocked_allocation_wakes_on_release() {
         let s = Arc::new(scheduler(PlatformId::Local, 1));
         let slot = s
-            .allocate(
-                &ResourceRequest::gpus(2),
-                Priority::Task,
-                Duration::from_secs(1),
-            )
+            .allocate(&gpus(2), Priority::Task, Duration::from_secs(1))
             .unwrap();
         let s2 = Arc::clone(&s);
-        let waiter = thread::spawn(move || {
-            s2.allocate(
-                &ResourceRequest::gpus(1),
-                Priority::Task,
-                Duration::from_secs(5),
-            )
-        });
+        let waiter =
+            thread::spawn(move || s2.allocate(&gpus(1), Priority::Task, Duration::from_secs(5)));
         thread::sleep(Duration::from_millis(20));
         s.release(&slot).unwrap();
         let got = waiter.join().unwrap().unwrap();
@@ -391,28 +439,16 @@ mod tests {
         // When the GPUs free up one by one, the service must be placed first.
         let s = Arc::new(scheduler(PlatformId::Local, 1));
         let hold_a = s
-            .allocate(
-                &ResourceRequest::gpus(1),
-                Priority::Task,
-                Duration::from_secs(1),
-            )
+            .allocate(&gpus(1), Priority::Task, Duration::from_secs(1))
             .unwrap();
         let hold_b = s
-            .allocate(
-                &ResourceRequest::gpus(1),
-                Priority::Task,
-                Duration::from_secs(1),
-            )
+            .allocate(&gpus(1), Priority::Task, Duration::from_secs(1))
             .unwrap();
 
         let s_svc = Arc::clone(&s);
         let svc_waiter = thread::spawn(move || {
             s_svc
-                .allocate(
-                    &ResourceRequest::gpus(1),
-                    Priority::Service,
-                    Duration::from_secs(5),
-                )
+                .allocate(&gpus(1), Priority::Service, Duration::from_secs(5))
                 .map(|slot| ("service", slot))
         });
         // Give the service waiter time to register.
@@ -420,11 +456,7 @@ mod tests {
         let s_task = Arc::clone(&s);
         let task_waiter = thread::spawn(move || {
             s_task
-                .allocate(
-                    &ResourceRequest::gpus(1),
-                    Priority::Task,
-                    Duration::from_secs(5),
-                )
+                .allocate(&gpus(1), Priority::Task, Duration::from_secs(5))
                 .map(|slot| ("task", slot))
         });
         thread::sleep(Duration::from_millis(30));
@@ -445,11 +477,7 @@ mod tests {
         // arrival order (the old condvar implementation gave no such guarantee).
         let s = Arc::new(scheduler(PlatformId::Local, 1)); // 2 gpus
         let hold = s
-            .allocate(
-                &ResourceRequest::gpus(2),
-                Priority::Task,
-                Duration::from_secs(5),
-            )
+            .allocate(&gpus(2), Priority::Task, Duration::from_secs(5))
             .unwrap();
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut waiters = Vec::new();
@@ -458,11 +486,7 @@ mod tests {
             let order2 = Arc::clone(&order);
             waiters.push(thread::spawn(move || {
                 let slot = s2
-                    .allocate(
-                        &ResourceRequest::gpus(1),
-                        Priority::Task,
-                        Duration::from_secs(10),
-                    )
+                    .allocate(&gpus(1), Priority::Task, Duration::from_secs(10))
                     .unwrap();
                 order2.lock().push(i);
                 // Hold briefly so the next waiter is definitely parked, then recycle.
@@ -486,6 +510,168 @@ mod tests {
     }
 
     #[test]
+    fn gang_parks_until_enough_nodes_idle_then_claims_atomically() {
+        // 2-node allocation; both nodes carry a single-node slot, so a 2-node gang
+        // must park. Releasing both slots frees two idle nodes and the gang claims
+        // them as a unit.
+        let s = Arc::new(scheduler(PlatformId::Local, 2));
+        let hold_a = s
+            .allocate(&cores(1), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let hold_b = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        assert_ne!(hold_a.node_index(), hold_b.node_index());
+        let s2 = Arc::clone(&s);
+        let gang_waiter = thread::spawn(move || {
+            s2.allocate(
+                &cores(4).with_nodes(2),
+                Priority::Task,
+                Duration::from_secs(30),
+            )
+        });
+        wait_until(&s, "gang parked", |s| s.waiting_tasks() == 1);
+        // One idle node is not enough: the gang must remain parked. (Asserting an
+        // unchanged state, so a fixed grace period is race-free — the gang's distant
+        // deadline cannot remove it from the queue meanwhile.)
+        s.release(&hold_a).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.waiting_tasks(), 1, "gang still parked on one idle node");
+        s.release(&hold_b).unwrap();
+        let gang = gang_waiter.join().unwrap().unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        assert_eq!(gang.num_cores(), 8);
+        s.release(&gang).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(s.allocation().idle_nodes(), 2);
+    }
+
+    #[test]
+    fn lookahead_serves_fitting_tasks_behind_a_blocked_gang() {
+        // Local: 2 nodes x 8 cores. Node A carries one pinned core (never released
+        // during the blocking phase), node B is fully held. A 2-node gang parks at the
+        // head; a whole-node task behind it fits node B the moment it frees.
+        let s = Arc::new(scheduler_with_lookahead(PlatformId::Local, 2, 2));
+        let pin = s
+            .allocate(&cores(1), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let hold_b = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let s1 = Arc::clone(&s);
+        let gang_waiter = thread::spawn(move || {
+            s1.allocate(
+                &cores(4).with_nodes(2),
+                Priority::Task,
+                Duration::from_secs(30),
+            )
+        });
+        wait_until(&s, "gang parked at the head", |s| s.waiting_tasks() == 1);
+        let s2 = Arc::clone(&s);
+        let narrow_waiter =
+            thread::spawn(move || s2.allocate(&cores(8), Priority::Task, Duration::from_secs(30)));
+        wait_until(&s, "narrow task parked behind the gang", |s| {
+            s.waiting_tasks() == 2
+        });
+        // Free node B: the gang at the head still cannot fit (node A is pinned), but
+        // the narrow task inside the lookahead window must be served.
+        s.release(&hold_b).unwrap();
+        let narrow = narrow_waiter.join().unwrap().unwrap();
+        assert_eq!(narrow.num_cores(), 8);
+        assert_eq!(s.waiting_tasks(), 1, "gang keeps its place at the head");
+        // Unblock the gang: release the narrow slot and the pin.
+        s.release(&narrow).unwrap();
+        s.release(&pin).unwrap();
+        let gang = gang_waiter.join().unwrap().unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        s.release(&gang).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    #[test]
+    fn lookahead_never_lets_tasks_overtake_waiting_services() {
+        // Service priority is absolute for every window size: with lookahead 4, a
+        // newcomer task that would fit must still queue behind a parked service, and
+        // freed capacity goes to the service first.
+        let s = Arc::new(scheduler_with_lookahead(PlatformId::Local, 1, 4)); // 2 gpus
+        let hold = s
+            .allocate(&gpus(2), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let s_svc = Arc::clone(&s);
+        let svc = thread::spawn(move || {
+            s_svc.allocate(&gpus(2), Priority::Service, Duration::from_secs(30))
+        });
+        wait_until(&s, "service parked", |s| s.waiting_services() == 1);
+        let s_task = Arc::clone(&s);
+        let task = thread::spawn(move || {
+            s_task.allocate(&gpus(1), Priority::Task, Duration::from_secs(30))
+        });
+        wait_until(
+            &s,
+            "newcomer task parked while a service waits, even inside the window",
+            |s| s.waiting_tasks() == 1,
+        );
+        s.release(&hold).unwrap();
+        let svc_slot = svc.join().unwrap().unwrap();
+        assert_eq!(
+            svc_slot.num_gpus(),
+            2,
+            "service takes the freed capacity first"
+        );
+        s.release(&svc_slot).unwrap();
+        let task_slot = task.join().unwrap().unwrap();
+        s.release(&task_slot).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    #[test]
+    fn strict_fifo_blocks_tasks_behind_a_parked_gang() {
+        // Contrast case for the lookahead test: with the default lookahead of 1, the
+        // same narrow task behind a blocked gang stays parked even while node B sits
+        // free (head-of-line blocking is the documented price of strict FIFO).
+        let s = Arc::new(scheduler(PlatformId::Local, 2));
+        let pin = s
+            .allocate(&cores(1), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let hold_b = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let s1 = Arc::clone(&s);
+        let gang_waiter = thread::spawn(move || {
+            s1.allocate(
+                &cores(4).with_nodes(2),
+                Priority::Task,
+                Duration::from_secs(30),
+            )
+        });
+        wait_until(&s, "gang parked at the head", |s| s.waiting_tasks() == 1);
+        s.release(&hold_b).unwrap();
+        let s2 = Arc::clone(&s);
+        let narrow_waiter =
+            thread::spawn(move || s2.allocate(&cores(8), Priority::Task, Duration::from_secs(30)));
+        wait_until(&s, "narrow task parked behind the gang", |s| {
+            s.waiting_tasks() == 2
+        });
+        // Both waiters' deadlines are far away, so "still parked after a grace
+        // period" is a race-free way to observe that strict FIFO refuses to serve
+        // the narrow task while node B idles behind the blocked gang.
+        thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            s.waiting_tasks(),
+            2,
+            "strict FIFO must keep the narrow task parked behind the gang"
+        );
+        // Unblock in order: the gang claims both nodes, then the narrow task fits.
+        s.release(&pin).unwrap();
+        let gang = gang_waiter.join().unwrap().unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        s.release(&gang).unwrap();
+        let narrow = narrow_waiter.join().unwrap().unwrap();
+        s.release(&narrow).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    #[test]
     fn concurrent_allocate_release_conserves_resources() {
         let s = Arc::new(scheduler(PlatformId::Delta, 2)); // 128 cores, 8 gpus
         let mut handles = Vec::new();
@@ -494,11 +680,7 @@ mod tests {
             handles.push(thread::spawn(move || {
                 for _ in 0..50 {
                     let slot = s
-                        .allocate(
-                            &ResourceRequest::cores(4),
-                            Priority::Task,
-                            Duration::from_secs(10),
-                        )
+                        .allocate(&cores(4), Priority::Task, Duration::from_secs(10))
                         .unwrap();
                     s.release(&slot).unwrap();
                 }
@@ -524,11 +706,7 @@ mod tests {
             handles.push(thread::spawn(move || {
                 for _ in 0..20 {
                     let slot = s
-                        .allocate(
-                            &ResourceRequest::cores(3),
-                            Priority::Task,
-                            Duration::from_secs(30),
-                        )
+                        .allocate(&cores(3), Priority::Task, Duration::from_secs(30))
                         .unwrap();
                     s.release(&slot).unwrap();
                 }
@@ -540,5 +718,36 @@ mod tests {
         assert_eq!(s.allocation().free_cores(), 8);
         assert_eq!(s.outstanding_slots(), 0);
         assert_eq!(s.waiting_tasks(), 0);
+    }
+
+    #[test]
+    fn oversubscribed_gang_and_single_churn_drains_with_lookahead() {
+        // Mixed widths under a lookahead window: 2-node gangs and single-node tasks
+        // hammer a 2-node allocation; everything must drain with resources conserved.
+        let s = Arc::new(scheduler_with_lookahead(PlatformId::Local, 2, 3));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                let req = if i % 2 == 0 {
+                    cores(2).with_nodes(2)
+                } else {
+                    cores(3)
+                };
+                for _ in 0..20 {
+                    let slot = s
+                        .allocate(&req, Priority::Task, Duration::from_secs(30))
+                        .unwrap();
+                    s.release(&slot).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.allocation().free_cores(), 16);
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(s.waiting_tasks(), 0);
+        assert_eq!(s.allocation().idle_nodes(), 2);
     }
 }

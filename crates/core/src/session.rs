@@ -44,6 +44,10 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Default platform for entities that don't specify one.
     pub platform: PlatformId,
+    /// Scheduler serve-window size: how many queued placements (services before
+    /// tasks) may be attempted out of strict FIFO order. 1 = strict FIFO; larger
+    /// windows let narrow tasks through behind a blocked multi-node gang.
+    pub scheduler_lookahead: usize,
 }
 
 impl Default for SessionConfig {
@@ -53,6 +57,7 @@ impl Default for SessionConfig {
             clock: ClockSpec::default(),
             seed: 42,
             platform: PlatformId::Local,
+            scheduler_lookahead: 1,
         }
     }
 }
@@ -89,6 +94,14 @@ impl SessionBuilder {
     /// Set the base RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Set the scheduler's bounded-lookahead window (1 = strict FIFO). Wider windows
+    /// keep single-node tasks flowing while a multi-node MPI gang waits for idle
+    /// nodes at the head of the queue.
+    pub fn scheduler_lookahead(mut self, lookahead: usize) -> Self {
+        self.config.scheduler_lookahead = lookahead.max(1);
         self
     }
 
@@ -225,7 +238,10 @@ impl Session {
             record.allocation.lock().clone().ok_or_else(|| {
                 RuntimeError::InvalidState("pilot active without allocation".into())
             })?;
-        *self.scheduler.lock() = Some(Arc::new(Scheduler::new(allocation)));
+        *self.scheduler.lock() = Some(Arc::new(Scheduler::with_lookahead(
+            allocation,
+            self.config.scheduler_lookahead,
+        )));
         self.pilots.lock().push(Arc::clone(&record));
         Ok(PilotHandle { record })
     }

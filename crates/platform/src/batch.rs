@@ -22,6 +22,16 @@
 //! the top headroom bucket, which doubles as the "idle nodes" fast list. The only path
 //! that can degrade to a bucket scan is a memory-constrained request racing nodes whose
 //! cores/GPUs are free but whose memory is not (memory is continuous and not bucketed).
+//!
+//! ## Gang placement
+//!
+//! A request with [`ResourceRequest::nodes`] > 1 is a multi-node MPI *gang*: the
+//! allocator claims that many distinct, fully idle nodes atomically under the one state
+//! lock, reserving the per-node core/GPU/memory shares on each, and returns a single
+//! [`Slot`] whose members list one node per rank group (ordered by node index — the MPI
+//! rank order). The idle candidates come straight off the top headroom bucket, so a
+//! gang claim costs O(gang size), independent of the allocation's node count, and
+//! releasing the gang returns every member to the idle bucket in O(gang size).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,7 +44,7 @@ use serde::{Deserialize, Serialize};
 use hpcml_sim::clock::SharedClock;
 use hpcml_sim::dist::Dist;
 
-use crate::resources::{NodeSpec, NodeState, ResourceError, ResourceRequest, Slot};
+use crate::resources::{NodeSpec, NodeState, ResourceError, ResourceRequest, Slot, SlotMember};
 use crate::spec::PlatformSpec;
 
 /// Errors raised by the batch system.
@@ -119,7 +129,9 @@ const CORE_CLASS_CAP: u32 = 127;
 /// Nodes are bucketed by `(free_gpus, min(free_cores, CORE_CLASS_CAP))`. For each
 /// free-GPU level a `u128` bitmap marks which core classes have non-empty buckets, so a
 /// best-fit probe is a shift + trailing_zeros per GPU level. Membership updates are O(1)
-/// via a per-node (bucket, position) back-reference and swap-remove.
+/// via a per-node (bucket, position) back-reference and swap-remove. The top bucket
+/// (all GPUs free, top core class) doubles as the idle-run list gang placement claims
+/// from.
 struct CapacityIndex {
     /// Number of distinct free-GPU levels (`gpus_per_node + 1`).
     gpu_levels: usize,
@@ -157,6 +169,11 @@ impl CapacityIndex {
 
     fn bucket_id(&self, free_gpus: u32, free_cores: u32) -> usize {
         free_gpus as usize * self.core_levels + self.core_class(free_cores)
+    }
+
+    /// The bucket holding fully idle nodes: all GPUs free, top core class.
+    fn top_bucket(&self) -> usize {
+        self.gpu_levels * self.core_levels - 1
     }
 
     fn insert(&mut self, node: usize, free_gpus: u32, free_cores: u32) {
@@ -217,6 +234,27 @@ impl CapacityIndex {
         }
         None
     }
+
+    /// Collect `n` distinct fully idle nodes off the top headroom bucket, or `None`
+    /// when fewer exist. Cost is O(n): top-bucket membership already proves idleness
+    /// for ordinary node shapes, and the `is_idle` filter only skips nodes wider than
+    /// `CORE_CLASS_CAP` cores whose partial occupancy shares the capped top class.
+    fn find_idle(&self, n: usize, nodes: &[NodeState]) -> Option<Vec<usize>> {
+        let bucket = &self.buckets[self.top_bucket()];
+        if bucket.len() < n {
+            return None;
+        }
+        let mut picked = Vec::with_capacity(n);
+        for &node in bucket {
+            if nodes[node].is_idle() {
+                picked.push(node);
+                if picked.len() == n {
+                    return Some(picked);
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Mutable allocation state: node occupancy plus the capacity index and cached
@@ -231,6 +269,53 @@ struct AllocState {
     /// this set is rejected, so a double release can never re-credit resources
     /// (memory in particular has no per-unit occupancy bit to catch it otherwise).
     live_slots: std::collections::HashSet<u64>,
+}
+
+impl AllocState {
+    /// Reserve one member node's share of `req` on `node_index` (which the caller has
+    /// proven fits), keeping the cached aggregates and the index in sync. Returns the
+    /// membership record.
+    fn reserve_member(
+        &mut self,
+        node_index: usize,
+        req: &ResourceRequest,
+    ) -> Result<SlotMember, ResourceError> {
+        let node = &mut self.nodes[node_index];
+        let was_idle = node.is_idle();
+        let (core_ids, gpu_ids, mem_gib) = node.try_reserve(req)?;
+        self.free_cores -= core_ids.len() as u32;
+        self.free_gpus -= gpu_ids.len() as u32;
+        if was_idle && !node.is_idle() {
+            self.non_idle_nodes += 1;
+        }
+        let (free_gpus, free_cores, name) =
+            (node.free_gpus(), node.free_cores(), Arc::clone(&node.name));
+        self.index.update(node_index, free_gpus, free_cores);
+        Ok(SlotMember {
+            node_index,
+            node_name: name,
+            core_ids,
+            gpu_ids,
+            mem_gib,
+        })
+    }
+
+    /// Return one membership's resources to its node, keeping the cached aggregates
+    /// and the index in sync.
+    fn release_member(&mut self, member: &SlotMember) {
+        let node = &mut self.nodes[member.node_index];
+        let was_idle = node.is_idle();
+        // Deltas, not slot sizes: NodeState::release ignores double-released indices.
+        let (cores_before, gpus_before) = (node.free_cores(), node.free_gpus());
+        node.release(&member.core_ids, &member.gpu_ids, member.mem_gib);
+        self.free_cores += node.free_cores() - cores_before;
+        self.free_gpus += node.free_gpus() - gpus_before;
+        if !was_idle && node.is_idle() {
+            self.non_idle_nodes -= 1;
+        }
+        let (free_gpus, free_cores) = (node.free_gpus(), node.free_cores());
+        self.index.update(member.node_index, free_gpus, free_cores);
+    }
 }
 
 /// A granted allocation: a set of whole nodes owned by one pilot.
@@ -312,17 +397,28 @@ impl Allocation {
         self.walltime_secs
     }
 
-    /// Check `req` against the node shape without touching occupancy: `Err` when no
-    /// node of this allocation could ever host it.
+    /// Check `req` against the allocation shape without touching occupancy: `Err` when
+    /// this allocation could never host it (per-node share exceeds the node shape, or
+    /// a gang spans more nodes than the allocation has), or when the request pins no
+    /// units at all.
     pub fn check_satisfiable(&self, req: &ResourceRequest) -> Result<(), ResourceError> {
+        req.validate()?;
         if self.num_nodes == 0 {
             return Err(ResourceError::InsufficientResources);
+        }
+        if req.nodes > self.num_nodes {
+            return Err(ResourceError::NeverSatisfiable {
+                reason: format!(
+                    "gang spans {} nodes but the allocation has only {}",
+                    req.nodes, self.num_nodes
+                ),
+            });
         }
         let shape = &self.platform.node;
         if req.cores > shape.cores || req.gpus > shape.gpus || req.mem_gib > shape.mem_gib {
             return Err(ResourceError::NeverSatisfiable {
                 reason: format!(
-                    "request ({} cores, {} gpus, {:.1} GiB) exceeds the node shape",
+                    "per-node share ({} cores, {} gpus, {:.1} GiB) exceeds the node shape",
                     req.cores, req.gpus, req.mem_gib
                 ),
             });
@@ -332,69 +428,89 @@ impl Allocation {
 
     /// Try to carve a slot satisfying `req` out of the allocation.
     ///
-    /// Placement goes through the capacity index (best fit by GPU then core headroom)
-    /// instead of scanning nodes, so cost is independent of allocation size. Returns
-    /// [`ResourceError::InsufficientResources`] when nothing currently fits and
-    /// [`ResourceError::NeverSatisfiable`] when no node shape could ever satisfy it.
+    /// Single-node placement goes through the capacity index (best fit by GPU then
+    /// core headroom) instead of scanning nodes, so cost is independent of allocation
+    /// size. A gang request (`req.nodes > 1`) atomically claims that many distinct
+    /// fully idle nodes off the idle bucket — all or nothing — in O(gang size).
+    /// Returns [`ResourceError::InsufficientResources`] when nothing currently fits
+    /// and [`ResourceError::NeverSatisfiable`] when the allocation shape could never
+    /// satisfy it.
     pub fn allocate_slot(&self, req: &ResourceRequest) -> Result<Slot, ResourceError> {
         self.check_satisfiable(req)?;
         let mut st = self.state.lock();
         let st = &mut *st;
+        if req.nodes > 1 {
+            return self.allocate_gang(st, req);
+        }
         let node_index = st
             .index
             .find(req, &st.nodes)
             .ok_or(ResourceError::InsufficientResources)?;
-        let node = &mut st.nodes[node_index];
-        let was_idle = node.is_idle();
-        let (core_ids, gpu_ids, mem_gib) = node.try_reserve(req)?;
-        st.free_cores -= core_ids.len() as u32;
-        st.free_gpus -= gpu_ids.len() as u32;
-        if was_idle && !node.is_idle() {
-            st.non_idle_nodes += 1;
-        }
-        let (free_gpus, free_cores, name) =
-            (node.free_gpus(), node.free_cores(), Arc::clone(&node.name));
-        st.index.update(node_index, free_gpus, free_cores);
+        let member = st.reserve_member(node_index, req)?;
         let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
         st.live_slots.insert(id);
-        Ok(Slot {
-            id,
-            node_index,
-            node_name: name,
-            core_ids,
-            gpu_ids,
-            mem_gib,
-        })
+        Ok(Slot::single(id, member))
     }
 
-    /// Release a previously allocated slot, updating the capacity index incrementally.
-    /// Unknown, foreign, and already-released slots are all rejected.
+    /// Claim `req.nodes` distinct idle nodes as one gang slot. The caller holds the
+    /// state lock, so the claim is atomic: concurrent placements either see all member
+    /// nodes reserved or none.
+    fn allocate_gang(
+        &self,
+        st: &mut AllocState,
+        req: &ResourceRequest,
+    ) -> Result<Slot, ResourceError> {
+        let mut picked = st
+            .index
+            .find_idle(req.nodes, &st.nodes)
+            .ok_or(ResourceError::InsufficientResources)?;
+        // Rank order: member i of the slot is the i-th lowest claimed node index.
+        picked.sort_unstable();
+        let mut members = Vec::with_capacity(req.nodes);
+        for &node_index in &picked {
+            match st.reserve_member(node_index, req) {
+                Ok(member) => members.push(member),
+                Err(e) => {
+                    // Unreachable (members are idle and shape-checked), but keep the
+                    // claim all-or-nothing: undo every reservation made so far.
+                    for member in &members {
+                        st.release_member(member);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
+        st.live_slots.insert(id);
+        Ok(Slot { id, members })
+    }
+
+    /// Release a previously allocated slot, updating the capacity index incrementally
+    /// — O(1) for single-node slots, O(gang size) for gangs, whose member nodes all
+    /// return to the idle bucket as a unit. Unknown, foreign, and already-released
+    /// slots are all rejected.
     pub fn release_slot(&self, slot: &Slot) -> Result<(), ResourceError> {
         let mut st = self.state.lock();
         let st = &mut *st;
-        let node = st
-            .nodes
-            .get_mut(slot.node_index)
-            .ok_or(ResourceError::UnknownSlot(slot.id))?;
-        if node.name != slot.node_name {
+        if slot.members.is_empty() {
             return Err(ResourceError::UnknownSlot(slot.id));
+        }
+        // Validate every membership before mutating anything, so a foreign or corrupt
+        // gang slot cannot be half-released.
+        for member in &slot.members {
+            match st.nodes.get(member.node_index) {
+                Some(node) if node.name == member.node_name => {}
+                _ => return Err(ResourceError::UnknownSlot(slot.id)),
+            }
         }
         if !st.live_slots.remove(&slot.id) {
             // Already released (or never issued): must not re-credit cores, GPUs, or —
             // crucially — memory, which has no occupancy bit to catch the repeat.
             return Err(ResourceError::UnknownSlot(slot.id));
         }
-        let was_idle = node.is_idle();
-        // Deltas, not slot sizes: NodeState::release ignores double-released indices.
-        let (cores_before, gpus_before) = (node.free_cores(), node.free_gpus());
-        node.release(&slot.core_ids, &slot.gpu_ids, slot.mem_gib);
-        st.free_cores += node.free_cores() - cores_before;
-        st.free_gpus += node.free_gpus() - gpus_before;
-        if !was_idle && node.is_idle() {
-            st.non_idle_nodes -= 1;
+        for member in &slot.members {
+            st.release_member(member);
         }
-        let (free_gpus, free_cores) = (node.free_gpus(), node.free_cores());
-        st.index.update(slot.node_index, free_gpus, free_cores);
         Ok(())
     }
 
@@ -543,6 +659,14 @@ mod tests {
         BatchSystem::new(platform.spec(), ClockSpec::Manual.build(), 7)
     }
 
+    fn gpus(n: u32) -> ResourceRequest {
+        ResourceRequest::gpus(n).unwrap()
+    }
+
+    fn cores(n: u32) -> ResourceRequest {
+        ResourceRequest::cores(n).unwrap()
+    }
+
     #[test]
     fn submit_and_release_allocation() {
         let b = batch(PlatformId::Delta);
@@ -586,16 +710,16 @@ mod tests {
         let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
         let mut slots = Vec::new();
         for _ in 0..4 {
-            slots.push(alloc.allocate_slot(&ResourceRequest::gpus(1)).unwrap());
+            slots.push(alloc.allocate_slot(&gpus(1)).unwrap());
         }
         assert_eq!(alloc.free_gpus(), 0);
         assert_eq!(
-            alloc.allocate_slot(&ResourceRequest::gpus(1)).unwrap_err(),
+            alloc.allocate_slot(&gpus(1)).unwrap_err(),
             ResourceError::InsufficientResources
         );
         // Slots must land on both nodes.
         let node_indices: std::collections::HashSet<usize> =
-            slots.iter().map(|s| s.node_index).collect();
+            slots.iter().map(|s| s.node_index()).collect();
         assert_eq!(node_indices.len(), 2);
         for s in &slots {
             alloc.release_slot(s).unwrap();
@@ -608,39 +732,64 @@ mod tests {
     fn oversized_slot_request_is_never_satisfiable() {
         let b = batch(PlatformId::Local);
         let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
-        let err = alloc
-            .allocate_slot(&ResourceRequest::cores(64))
-            .unwrap_err();
+        let err = alloc.allocate_slot(&cores(64)).unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
-        assert!(alloc
-            .check_satisfiable(&ResourceRequest::cores(64))
-            .is_err());
-        assert!(alloc.check_satisfiable(&ResourceRequest::cores(1)).is_ok());
+        assert!(alloc.check_satisfiable(&cores(64)).is_err());
+        assert!(alloc.check_satisfiable(&cores(1)).is_ok());
+    }
+
+    #[test]
+    fn zero_unit_request_cannot_reach_the_index() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
+        // A struct-literal memory-only request pins no core or GPU; were it allowed
+        // through, its node would sit in the idle bucket with live memory reserved.
+        let literal = ResourceRequest {
+            cores: 0,
+            gpus: 0,
+            mem_gib: 8.0,
+            nodes: 1,
+        };
+        assert_eq!(
+            alloc.allocate_slot(&literal).unwrap_err(),
+            ResourceError::EmptyRequest
+        );
+        assert_eq!(alloc.idle_nodes(), 1);
+        assert!(alloc.is_idle());
     }
 
     #[test]
     fn release_unknown_slot_fails() {
         let b = batch(PlatformId::Local);
         let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
-        let bogus = Slot {
-            id: 99,
-            node_index: 5,
-            node_name: "nope".into(),
-            core_ids: vec![0],
-            gpu_ids: vec![],
-            mem_gib: 0.0,
-        };
+        let bogus = Slot::single(
+            99,
+            SlotMember {
+                node_index: 5,
+                node_name: "nope".into(),
+                core_ids: vec![0],
+                gpu_ids: vec![],
+                mem_gib: 0.0,
+            },
+        );
         assert!(matches!(
             alloc.release_slot(&bogus),
             Err(ResourceError::UnknownSlot(99))
         ));
         // Right index, wrong name: also rejected.
-        let wrong_name = Slot {
-            node_index: 0,
-            ..bogus
-        };
+        let mut wrong_name = bogus.clone();
+        wrong_name.members[0].node_index = 0;
         assert!(matches!(
             alloc.release_slot(&wrong_name),
+            Err(ResourceError::UnknownSlot(99))
+        ));
+        // No members at all: rejected.
+        let empty = Slot {
+            id: 99,
+            members: vec![],
+        };
+        assert!(matches!(
+            alloc.release_slot(&empty),
             Err(ResourceError::UnknownSlot(99))
         ));
     }
@@ -651,18 +800,10 @@ mod tests {
         let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
         let node_mem = alloc.node_spec().mem_gib;
         let hold = alloc
-            .allocate_slot(&ResourceRequest {
-                cores: 1,
-                gpus: 0,
-                mem_gib: node_mem * 0.4,
-            })
+            .allocate_slot(&cores(1).with_mem_gib(node_mem * 0.4))
             .unwrap();
         let victim = alloc
-            .allocate_slot(&ResourceRequest {
-                cores: 1,
-                gpus: 0,
-                mem_gib: node_mem * 0.2,
-            })
+            .allocate_slot(&cores(1).with_mem_gib(node_mem * 0.2))
             .unwrap();
         alloc.release_slot(&victim).unwrap();
         assert!(
@@ -674,11 +815,7 @@ mod tests {
         );
         // Were memory re-credited, this over-committing request would succeed.
         let err = alloc
-            .allocate_slot(&ResourceRequest {
-                cores: 1,
-                gpus: 0,
-                mem_gib: node_mem * 0.7,
-            })
+            .allocate_slot(&cores(1).with_mem_gib(node_mem * 0.7))
             .unwrap_err();
         assert_eq!(err, ResourceError::InsufficientResources);
         alloc.release_slot(&hold).unwrap();
@@ -705,7 +842,7 @@ mod tests {
         let alloc = b.submit(AllocationRequest::nodes(80)).unwrap();
         let mut slots = Vec::with_capacity(640);
         for _ in 0..640 {
-            slots.push(alloc.allocate_slot(&ResourceRequest::gpus(1)).unwrap());
+            slots.push(alloc.allocate_slot(&gpus(1)).unwrap());
         }
         assert_eq!(alloc.free_gpus(), 0);
         assert_eq!(slots.len(), 640);
@@ -715,16 +852,16 @@ mod tests {
     fn best_fit_prefers_partially_filled_nodes() {
         let b = batch(PlatformId::Local); // 2 nodes x (8 cores, 2 gpus)
         let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
-        let first = alloc.allocate_slot(&ResourceRequest::cores(2)).unwrap();
+        let first = alloc.allocate_slot(&cores(2)).unwrap();
         assert_eq!(alloc.idle_nodes(), 1);
         // The next small request must pack onto the same node, keeping one node idle
         // for whole-node or GPU-heavy placements.
-        let second = alloc.allocate_slot(&ResourceRequest::cores(2)).unwrap();
-        assert_eq!(second.node_index, first.node_index);
+        let second = alloc.allocate_slot(&cores(2)).unwrap();
+        assert_eq!(second.node_index(), first.node_index());
         assert_eq!(alloc.idle_nodes(), 1);
         // A whole-node request then takes the untouched node.
-        let whole = alloc.allocate_slot(&ResourceRequest::cores(8)).unwrap();
-        assert_ne!(whole.node_index, first.node_index);
+        let whole = alloc.allocate_slot(&cores(8)).unwrap();
+        assert_ne!(whole.node_index(), first.node_index());
         assert_eq!(alloc.idle_nodes(), 0);
     }
 
@@ -733,20 +870,21 @@ mod tests {
         let b = batch(PlatformId::Local); // 2 nodes x (8 cores, 2 gpus)
         let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
         // Take one GPU so node A is GPU-poorer than node B.
-        let gpu_slot = alloc.allocate_slot(&ResourceRequest::gpus(1)).unwrap();
+        let gpu_slot = alloc.allocate_slot(&gpus(1)).unwrap();
         // A CPU-only request should land on the GPU-poor node (smallest sufficient
         // GPU level first), preserving node B for GPU work.
-        let cpu_slot = alloc.allocate_slot(&ResourceRequest::cores(1)).unwrap();
-        assert_eq!(cpu_slot.node_index, gpu_slot.node_index);
+        let cpu_slot = alloc.allocate_slot(&cores(1)).unwrap();
+        assert_eq!(cpu_slot.node_index(), gpu_slot.node_index());
         // And a 2-GPU request still finds the untouched node.
         let big_gpu = alloc
             .allocate_slot(&ResourceRequest {
                 cores: 2,
                 gpus: 2,
                 mem_gib: 0.0,
+                nodes: 1,
             })
             .unwrap();
-        assert_ne!(big_gpu.node_index, gpu_slot.node_index);
+        assert_ne!(big_gpu.node_index(), gpu_slot.node_index());
     }
 
     #[test]
@@ -756,24 +894,90 @@ mod tests {
         let node_mem = alloc.node_spec().mem_gib;
         // Consume almost all memory on one node (but only one core).
         let hog = alloc
-            .allocate_slot(&ResourceRequest {
-                cores: 1,
-                gpus: 0,
-                mem_gib: node_mem - 1.0,
-            })
+            .allocate_slot(&cores(1).with_mem_gib(node_mem - 1.0))
             .unwrap();
         // A request needing lots of memory must skip the memory-hogged node even though
         // its core class looks attractive.
         let needy = alloc
-            .allocate_slot(&ResourceRequest {
-                cores: 1,
-                gpus: 0,
-                mem_gib: node_mem / 2.0,
-            })
+            .allocate_slot(&cores(1).with_mem_gib(node_mem / 2.0))
             .unwrap();
-        assert_ne!(needy.node_index, hog.node_index);
+        assert_ne!(needy.node_index(), hog.node_index());
         alloc.release_slot(&hog).unwrap();
         alloc.release_slot(&needy).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn gang_claims_distinct_idle_nodes_atomically() {
+        let b = batch(PlatformId::Delta); // 64 cores, 4 gpus per node
+        let alloc = b.submit(AllocationRequest::nodes(4)).unwrap();
+        let gang = alloc
+            .allocate_slot(&cores(32).with_mem_gib(64.0).with_nodes(3))
+            .unwrap();
+        assert!(gang.is_gang());
+        assert_eq!(gang.num_nodes(), 3);
+        assert_eq!(gang.num_cores(), 96, "32 ranks-per-node cores x 3 nodes");
+        // Members are distinct nodes in rank (node-index) order.
+        let indices: Vec<usize> = gang.node_indices().collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, indices, "members must be in rank order");
+        assert_eq!(sorted.len(), 3, "members must be distinct nodes");
+        assert_eq!(alloc.idle_nodes(), 1);
+        assert_eq!(alloc.free_cores(), 4 * 64 - 96);
+        // Releasing the gang restores every member to idle as a unit.
+        alloc.release_slot(&gang).unwrap();
+        assert_eq!(alloc.idle_nodes(), 4);
+        assert!(alloc.is_idle());
+        assert_eq!(alloc.free_cores(), 4 * 64);
+        // And a double release of the gang is rejected.
+        assert!(matches!(
+            alloc.release_slot(&gang),
+            Err(ResourceError::UnknownSlot(_))
+        ));
+    }
+
+    #[test]
+    fn gang_requires_fully_idle_member_nodes() {
+        let b = batch(PlatformId::Local); // 2 nodes
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        // One core on one node leaves only one idle node: a 2-node gang must wait
+        // even though raw core capacity is plentiful.
+        let pin = alloc.allocate_slot(&cores(1)).unwrap();
+        assert_eq!(
+            alloc.allocate_slot(&cores(2).with_nodes(2)).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        alloc.release_slot(&pin).unwrap();
+        let gang = alloc.allocate_slot(&cores(2).with_nodes(2)).unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn gang_wider_than_allocation_is_never_satisfiable() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let err = alloc.allocate_slot(&cores(1).with_nodes(3)).unwrap_err();
+        assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
+        assert!(err.to_string().contains("gang"));
+    }
+
+    #[test]
+    fn gang_leftover_capacity_remains_placeable() {
+        let b = batch(PlatformId::Local); // 2 nodes x (8 cores, 2 gpus)
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        // A 2-node gang taking 4 cores per node leaves 4 cores per node for others.
+        let gang = alloc.allocate_slot(&cores(4).with_nodes(2)).unwrap();
+        assert_eq!(alloc.idle_nodes(), 0);
+        let extra = alloc.allocate_slot(&cores(4)).unwrap();
+        assert!(gang.node_indices().any(|n| n == extra.node_index()));
+        // Releasing the gang does not idle the co-tenanted node.
+        alloc.release_slot(&gang).unwrap();
+        assert_eq!(alloc.idle_nodes(), 1);
+        alloc.release_slot(&extra).unwrap();
         assert!(alloc.is_idle());
     }
 

@@ -31,5 +31,5 @@ pub mod spec;
 pub use batch::{Allocation, AllocationRequest, BatchError, BatchSystem};
 pub use launcher::{LaunchModel, LauncherKind};
 pub use network::{LatencyProfile, NetworkLocality};
-pub use resources::{NodeSpec, ResourceError, ResourceRequest, Slot};
+pub use resources::{NodeSpec, ResourceError, ResourceRequest, Slot, SlotMember};
 pub use spec::{PlatformId, PlatformSpec};

@@ -1,10 +1,11 @@
 //! Resource model: nodes, cores, GPUs, memory, and placement slots.
 //!
 //! A [`NodeSpec`] describes the shape of a compute node; [`NodeState`] tracks which of
-//! its cores/GPUs/memory are in use; a [`Slot`] is a concrete reservation of resources on
-//! one node, handed to a task or a service instance for its lifetime. The pilot's
-//! scheduler allocates slots from its [`crate::batch::Allocation`] and releases them when
-//! the task or service completes.
+//! its cores/GPUs/memory are in use; a [`Slot`] is a concrete reservation of resources
+//! handed to a task or a service instance for its lifetime. Single-node slots hold one
+//! [`SlotMember`]; multi-node MPI gangs hold one member per node, claimed and released
+//! as a unit. The pilot's scheduler allocates slots from its
+//! [`crate::batch::Allocation`] and releases them when the task or service completes.
 //!
 //! Occupancy is tracked as `u128` bitmask words (bit set = unit free) with cached
 //! free-unit counters, so capacity queries are O(1) and index picking is a
@@ -31,6 +32,10 @@ pub enum ResourceError {
     InsufficientResources,
     /// A slot was released that does not belong to this node or was already released.
     UnknownSlot(u64),
+    /// The request pins no cores and no GPUs (zero-unit requests would reserve memory
+    /// or a slot id without occupying any indexed unit, corrupting headroom-class
+    /// accounting — most visibly the idle bucket the gang allocator claims from).
+    EmptyRequest,
 }
 
 impl fmt::Display for ResourceError {
@@ -41,6 +46,9 @@ impl fmt::Display for ResourceError {
             }
             ResourceError::InsufficientResources => write!(f, "insufficient free resources"),
             ResourceError::UnknownSlot(id) => write!(f, "unknown or already released slot {id}"),
+            ResourceError::EmptyRequest => {
+                write!(f, "request must pin at least one core or GPU")
+            }
         }
     }
 }
@@ -72,60 +80,115 @@ impl NodeSpec {
     }
 }
 
-/// Resources requested for one task or service instance (always on a single node, like
-/// the paper's executable tasks; multi-node MPI tasks request `nodes > 1` full nodes).
+/// Resources requested for one task or service instance.
+///
+/// `cores`, `gpus` and `mem_gib` are **per member node** (ranks-per-node semantics).
+/// Single-node entities leave `nodes` at 1; a multi-node MPI task sets `nodes > 1` and
+/// is placed as a *gang*: that many distinct, fully idle nodes are claimed atomically,
+/// each reserving the per-node shares, and released as a unit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ResourceRequest {
-    /// CPU cores.
+    /// CPU cores per member node.
     pub cores: u32,
-    /// GPUs.
+    /// GPUs per member node.
     pub gpus: u32,
-    /// Main memory in GiB (0.0 = don't care).
+    /// Main memory per member node in GiB (0.0 = don't care).
     pub mem_gib: f64,
+    /// Number of whole nodes spanned (1 = single-node; >1 = MPI gang whose member
+    /// nodes must all be idle at placement time).
+    pub nodes: usize,
 }
 
 impl ResourceRequest {
-    /// A request for `cores` cores and no GPU.
-    pub fn cores(cores: u32) -> Self {
-        ResourceRequest {
+    /// A request for `cores` cores and no GPU on a single node.
+    ///
+    /// Zero-unit requests are rejected at construction: a request pinning no core and
+    /// no GPU would pass occupancy checks without occupying any indexed unit, leaving
+    /// its node misclassified in the capacity index (it stays in the idle bucket while
+    /// a live slot points at it).
+    pub fn cores(cores: u32) -> Result<Self, ResourceError> {
+        if cores == 0 {
+            return Err(ResourceError::EmptyRequest);
+        }
+        Ok(ResourceRequest {
             cores,
             gpus: 0,
             mem_gib: 0.0,
-        }
+            nodes: 1,
+        })
     }
 
-    /// A request for `gpus` GPUs and one core per GPU.
-    pub fn gpus(gpus: u32) -> Self {
-        ResourceRequest {
-            cores: gpus.max(1),
+    /// A request for `gpus` GPUs and one core per GPU on a single node.
+    ///
+    /// `gpus == 0` is a constructor-level error rather than a silent 1-core/0-GPU
+    /// request, so a miscomputed GPU count can never reach the capacity index.
+    pub fn gpus(gpus: u32) -> Result<Self, ResourceError> {
+        if gpus == 0 {
+            return Err(ResourceError::EmptyRequest);
+        }
+        Ok(ResourceRequest {
+            cores: gpus,
             gpus,
             mem_gib: 0.0,
-        }
+            nodes: 1,
+        })
     }
 
-    /// Add a memory requirement.
+    /// Add a memory requirement (per member node).
     pub fn with_mem_gib(mut self, mem: f64) -> Self {
         self.mem_gib = mem;
         self
     }
 
-    /// True if the request is empty (nothing to allocate).
+    /// Span `nodes` whole nodes as an MPI gang (cores/GPUs/memory apply per node).
+    /// Clamped to at least 1.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes.max(1);
+        self
+    }
+
+    /// True when this request is a multi-node gang.
+    pub fn is_gang(&self) -> bool {
+        self.nodes > 1
+    }
+
+    /// True if the request pins no core and no GPU — the same condition
+    /// [`ResourceRequest::validate`] rejects as [`ResourceError::EmptyRequest`]
+    /// (memory alone does not make a request non-empty: un-pinned memory is exactly
+    /// what the zero-unit guard exists to keep out of the index).
     pub fn is_empty(&self) -> bool {
-        self.cores == 0 && self.gpus == 0 && self.mem_gib <= 0.0
+        self.cores == 0 && self.gpus == 0
+    }
+
+    /// Check the structural invariants enforced by the constructors, for requests
+    /// built as struct literals: at least one core or GPU per member node, and a
+    /// non-zero node span.
+    pub fn validate(&self) -> Result<(), ResourceError> {
+        if self.cores == 0 && self.gpus == 0 {
+            return Err(ResourceError::EmptyRequest);
+        }
+        if self.nodes == 0 {
+            return Err(ResourceError::EmptyRequest);
+        }
+        Ok(())
     }
 }
 
 impl Default for ResourceRequest {
     fn default() -> Self {
-        ResourceRequest::cores(1)
+        ResourceRequest {
+            cores: 1,
+            gpus: 0,
+            mem_gib: 0.0,
+            nodes: 1,
+        }
     }
 }
 
-/// A concrete reservation of resources on one node.
+/// One node's share of a (possibly multi-node) slot: the concrete core/GPU indices and
+/// memory reserved on that node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Slot {
-    /// Unique slot identifier (within its allocation).
-    pub id: u64,
+pub struct SlotMember {
     /// Index of the node within the allocation.
     pub node_index: usize,
     /// Node hostname (synthetic, e.g. `frontier-0042`). Interned: cloning a slot or
@@ -136,19 +199,76 @@ pub struct Slot {
     pub core_ids: Vec<u32>,
     /// GPU indices reserved on the node.
     pub gpu_ids: Vec<u32>,
-    /// Memory reserved, GiB.
+    /// Memory reserved on the node, GiB.
     pub mem_gib: f64,
 }
 
+/// A concrete reservation of resources: one [`SlotMember`] per spanned node.
+///
+/// Single-node placements have exactly one member; multi-node MPI gangs hold one per
+/// member node (ordered by node index — the MPI rank order), all claimed atomically and
+/// released as a unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Unique slot identifier (within its allocation).
+    pub id: u64,
+    /// Per-node memberships; never empty, ordered by node index.
+    pub members: Vec<SlotMember>,
+}
+
 impl Slot {
-    /// Number of cores in the slot.
-    pub fn num_cores(&self) -> usize {
-        self.core_ids.len()
+    /// Build a single-node slot.
+    pub fn single(id: u64, member: SlotMember) -> Self {
+        Slot {
+            id,
+            members: vec![member],
+        }
     }
 
-    /// Number of GPUs in the slot.
+    /// The lead member (rank 0's node for gangs; the only member otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty. The allocator never produces such a slot and
+    /// [`crate::batch::Allocation::release_slot`] rejects one, but a hand-built or
+    /// deserialized `Slot` with no members violates the type's invariant.
+    pub fn lead(&self) -> &SlotMember {
+        &self.members[0]
+    }
+
+    /// Allocation-relative index of the lead node.
+    pub fn node_index(&self) -> usize {
+        self.lead().node_index
+    }
+
+    /// Hostname of the lead node.
+    pub fn node_name(&self) -> &Arc<str> {
+        &self.lead().node_name
+    }
+
+    /// Number of nodes spanned by the slot.
+    pub fn num_nodes(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the slot spans more than one node.
+    pub fn is_gang(&self) -> bool {
+        self.members.len() > 1
+    }
+
+    /// Total number of cores across all member nodes.
+    pub fn num_cores(&self) -> usize {
+        self.members.iter().map(|m| m.core_ids.len()).sum()
+    }
+
+    /// Total number of GPUs across all member nodes.
     pub fn num_gpus(&self) -> usize {
-        self.gpu_ids.len()
+        self.members.iter().map(|m| m.gpu_ids.len()).sum()
+    }
+
+    /// Allocation-relative indices of all member nodes, in rank order.
+    pub fn node_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter().map(|m| m.node_index)
     }
 }
 
@@ -252,21 +372,23 @@ impl NodeState {
             && (self.mem_free_gib - self.spec.mem_gib).abs() < 1e-9
     }
 
-    /// Whether `req` could ever fit this node shape (ignoring current occupancy).
+    /// Whether one member node's share of `req` could ever fit this node shape
+    /// (ignoring current occupancy; the `nodes` span is the allocation's concern).
     pub fn can_ever_fit(&self, req: &ResourceRequest) -> bool {
         req.cores <= self.spec.cores
             && req.gpus <= self.spec.gpus
             && req.mem_gib <= self.spec.mem_gib
     }
 
-    /// Whether `req` fits the node right now (O(1)).
+    /// Whether one member node's share of `req` fits the node right now (O(1)).
     pub fn can_fit_now(&self, req: &ResourceRequest) -> bool {
         req.cores <= self.free_cores
             && req.gpus <= self.free_gpus
             && req.mem_gib <= self.mem_free_gib + 1e-9
     }
 
-    /// Try to reserve `req` on this node, returning the concrete core/GPU indices.
+    /// Try to reserve one member node's share of `req` on this node, returning the
+    /// concrete core/GPU indices.
     pub fn try_reserve(
         &mut self,
         req: &ResourceRequest,
@@ -333,6 +455,7 @@ mod tests {
             cores: 2,
             gpus: 1,
             mem_gib: 64.0,
+            nodes: 1,
         };
         let (cores, gpus, mem) = n.try_reserve(&req).unwrap();
         assert_eq!(cores.len(), 2);
@@ -348,8 +471,8 @@ mod tests {
     #[test]
     fn reserve_distinct_indices() {
         let mut n = node();
-        let r1 = n.try_reserve(&ResourceRequest::gpus(2)).unwrap();
-        let r2 = n.try_reserve(&ResourceRequest::gpus(2)).unwrap();
+        let r1 = n.try_reserve(&ResourceRequest::gpus(2).unwrap()).unwrap();
+        let r2 = n.try_reserve(&ResourceRequest::gpus(2).unwrap()).unwrap();
         let mut all: Vec<u32> = r1.1.iter().chain(r2.1.iter()).copied().collect();
         all.sort_unstable();
         all.dedup();
@@ -364,6 +487,7 @@ mod tests {
                 cores: 9,
                 gpus: 0,
                 mem_gib: 0.0,
+                nodes: 1,
             })
             .unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
@@ -372,6 +496,7 @@ mod tests {
                 cores: 1,
                 gpus: 5,
                 mem_gib: 0.0,
+                nodes: 1,
             })
             .unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
@@ -380,8 +505,10 @@ mod tests {
     #[test]
     fn exhausted_node_reports_insufficient() {
         let mut n = node();
-        let _ = n.try_reserve(&ResourceRequest::gpus(4)).unwrap();
-        let err = n.try_reserve(&ResourceRequest::gpus(1)).unwrap_err();
+        let _ = n.try_reserve(&ResourceRequest::gpus(4).unwrap()).unwrap();
+        let err = n
+            .try_reserve(&ResourceRequest::gpus(1).unwrap())
+            .unwrap_err();
         assert_eq!(err, ResourceError::InsufficientResources);
     }
 
@@ -392,6 +519,7 @@ mod tests {
             cores: 1,
             gpus: 0,
             mem_gib: 10.0,
+            nodes: 1,
         };
         let (c, g, m) = n.try_reserve(&req).unwrap();
         n.release(&c, &g, m);
@@ -411,35 +539,113 @@ mod tests {
 
     #[test]
     fn resource_request_constructors() {
-        let r = ResourceRequest::cores(4);
+        let r = ResourceRequest::cores(4).unwrap();
         assert_eq!(r.cores, 4);
         assert_eq!(r.gpus, 0);
-        let g = ResourceRequest::gpus(2).with_mem_gib(32.0);
+        assert_eq!(r.nodes, 1);
+        let g = ResourceRequest::gpus(2).unwrap().with_mem_gib(32.0);
         assert_eq!(g.gpus, 2);
         assert_eq!(g.cores, 2);
         assert_eq!(g.mem_gib, 32.0);
         assert!(!g.is_empty());
+        assert!(!g.is_gang());
         assert!(ResourceRequest {
             cores: 0,
             gpus: 0,
-            mem_gib: 0.0
+            mem_gib: 0.0,
+            nodes: 1
         }
         .is_empty());
-        assert_eq!(ResourceRequest::default(), ResourceRequest::cores(1));
+        assert_eq!(
+            ResourceRequest::default(),
+            ResourceRequest::cores(1).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_unit_constructors_are_rejected() {
+        assert_eq!(
+            ResourceRequest::gpus(0).unwrap_err(),
+            ResourceError::EmptyRequest
+        );
+        assert_eq!(
+            ResourceRequest::cores(0).unwrap_err(),
+            ResourceError::EmptyRequest
+        );
+        // Struct literals bypass the constructors; validate() catches them.
+        let literal = ResourceRequest {
+            cores: 0,
+            gpus: 0,
+            mem_gib: 8.0,
+            nodes: 1,
+        };
+        assert_eq!(literal.validate().unwrap_err(), ResourceError::EmptyRequest);
+        assert!(
+            literal.is_empty(),
+            "is_empty must agree with the EmptyRequest invariant for mem-only requests"
+        );
+        let zero_span = ResourceRequest {
+            cores: 1,
+            gpus: 0,
+            mem_gib: 0.0,
+            nodes: 0,
+        };
+        assert_eq!(
+            zero_span.validate().unwrap_err(),
+            ResourceError::EmptyRequest
+        );
+        assert!(ResourceRequest::default().validate().is_ok());
+    }
+
+    #[test]
+    fn gang_request_builder() {
+        let r = ResourceRequest::cores(32).unwrap().with_nodes(4);
+        assert_eq!(r.nodes, 4);
+        assert!(r.is_gang());
+        assert!(r.validate().is_ok());
+        // Clamped to at least one node.
+        assert_eq!(ResourceRequest::cores(1).unwrap().with_nodes(0).nodes, 1);
     }
 
     #[test]
     fn slot_accessors() {
-        let s = Slot {
-            id: 3,
-            node_index: 0,
-            node_name: "n0".into(),
-            core_ids: vec![0, 1],
-            gpu_ids: vec![2],
-            mem_gib: 8.0,
-        };
+        let s = Slot::single(
+            3,
+            SlotMember {
+                node_index: 0,
+                node_name: "n0".into(),
+                core_ids: vec![0, 1],
+                gpu_ids: vec![2],
+                mem_gib: 8.0,
+            },
+        );
         assert_eq!(s.num_cores(), 2);
         assert_eq!(s.num_gpus(), 1);
+        assert_eq!(s.num_nodes(), 1);
+        assert_eq!(s.node_index(), 0);
+        assert_eq!(&**s.node_name(), "n0");
+        assert!(!s.is_gang());
+    }
+
+    #[test]
+    fn gang_slot_aggregates_members() {
+        let member = |i: usize| SlotMember {
+            node_index: i,
+            node_name: format!("n{i}").into(),
+            core_ids: vec![0, 1, 2],
+            gpu_ids: vec![0],
+            mem_gib: 4.0,
+        };
+        let s = Slot {
+            id: 7,
+            members: vec![member(2), member(5), member(9)],
+        };
+        assert!(s.is_gang());
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_cores(), 9);
+        assert_eq!(s.num_gpus(), 3);
+        assert_eq!(s.node_index(), 2, "lead node is the first member");
+        assert_eq!(s.node_indices().collect::<Vec<_>>(), vec![2, 5, 9]);
     }
 
     #[test]
@@ -448,7 +654,9 @@ mod tests {
         let spec = NodeSpec::new(192, 0, 1024.0, 0.0);
         let mut n = NodeState::new("wide-0000", spec);
         assert_eq!(n.free_cores(), 192);
-        let (cores, _, _) = n.try_reserve(&ResourceRequest::cores(130)).unwrap();
+        let (cores, _, _) = n
+            .try_reserve(&ResourceRequest::cores(130).unwrap())
+            .unwrap();
         assert_eq!(cores.len(), 130);
         assert_eq!(n.free_cores(), 62);
         // Indices must be distinct and include both words.
@@ -464,10 +672,10 @@ mod tests {
     #[test]
     fn freed_low_indices_are_reused_first() {
         let mut n = node();
-        let (first, _, _) = n.try_reserve(&ResourceRequest::cores(2)).unwrap();
-        let (_second, _, _) = n.try_reserve(&ResourceRequest::cores(2)).unwrap();
+        let (first, _, _) = n.try_reserve(&ResourceRequest::cores(2).unwrap()).unwrap();
+        let (_second, _, _) = n.try_reserve(&ResourceRequest::cores(2).unwrap()).unwrap();
         n.release(&first, &[], 0.0);
-        let (third, _, _) = n.try_reserve(&ResourceRequest::cores(2)).unwrap();
+        let (third, _, _) = n.try_reserve(&ResourceRequest::cores(2).unwrap()).unwrap();
         assert_eq!(
             third, first,
             "trailing-zeros picking reuses the lowest free indices"
@@ -481,5 +689,8 @@ mod tests {
         assert!(ResourceError::InsufficientResources
             .to_string()
             .contains("insufficient"));
+        assert!(ResourceError::EmptyRequest
+            .to_string()
+            .contains("at least one"));
     }
 }

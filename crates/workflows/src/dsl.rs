@@ -339,6 +339,49 @@ mod tests {
     }
 
     #[test]
+    fn runner_executes_multi_node_mpi_stage() {
+        // A hybrid stage: one 2-node MPI gang plus a narrow single-node task compete
+        // for a 2-node pilot; with a lookahead window the narrow task cannot wedge the
+        // stage even when the gang parks first.
+        let s = Session::builder("dsl-gang")
+            .platform(PlatformId::Local)
+            .clock(ClockSpec::scaled(5000.0))
+            .scheduler_lookahead(4)
+            .build()
+            .unwrap();
+        s.submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2))
+            .unwrap();
+        let p = Pipeline::new("hybrid-mpi")
+            .stage(
+                Stage::new("simulate")
+                    .task(
+                        TaskDescription::new("md-gang")
+                            .kind(TaskKind::compute_secs(1.0))
+                            .cores(2)
+                            .nodes(2),
+                    )
+                    .task(
+                        TaskDescription::new("narrow")
+                            .kind(TaskKind::compute_secs(0.5))
+                            .cores(1),
+                    ),
+            )
+            .stage(
+                Stage::new("train").task(
+                    TaskDescription::new("finetune")
+                        .kind(TaskKind::compute_secs(0.5))
+                        .gpus(1),
+                ),
+            );
+        let report = PipelineRunner::new(&s).run(&p).unwrap();
+        assert!(report.all_succeeded(), "{}", report.render());
+        assert_eq!(report.tasks_done(), 3);
+        // The gang placement was recorded with its node span.
+        assert_eq!(s.metrics().scalar_values("task.gang.nodes"), vec![2.0]);
+        s.close();
+    }
+
+    #[test]
     fn runner_brings_up_services_before_tasks() {
         let s = session();
         let p = Pipeline::new("svc-stage").stage(

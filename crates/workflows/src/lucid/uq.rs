@@ -11,6 +11,14 @@
 //!    memory; all of them should run with maximal concurrency.
 //! 3. **Post-processing** (GPU, service-enabled): results are aggregated into summary
 //!    metrics, with an LLM service assisting the comparison report.
+//!
+//! Optionally, the pipeline can be prefixed with an **MPI ensemble-simulation stage**
+//! (disabled by default, enabled via [`UqConfig::with_mpi_simulation`]): multi-node MPI
+//! simulation tasks generate the raw samples the Q&A preparation consumes, the
+//! hybrid MD-then-ML shape of the DeepDriveMD-style workflows ("Asynchronous Execution
+//! of Heterogeneous Tasks in ML-driven HPC Workflows", Pascuzzi et al.). Each ensemble
+//! member declares `nodes(n)` and is placed by the runtime as an atomic gang of idle
+//! nodes.
 
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +45,15 @@ pub struct UqConfig {
     pub finetune_gpu_mem_gib: f64,
     /// Requests sent to the post-processing LLM service.
     pub postprocess_requests: u32,
+    /// MPI ensemble-simulation members run before data preparation (0 = no
+    /// simulation stage, the paper's plain three-stage pipeline).
+    pub mpi_sim_tasks: usize,
+    /// Whole nodes each MPI simulation member spans (gang placement).
+    pub mpi_sim_nodes: usize,
+    /// MPI ranks (cores) per member node.
+    pub mpi_ranks_per_node: u32,
+    /// Mean duration of one MPI simulation member, virtual seconds.
+    pub mpi_sim_secs: f64,
 }
 
 impl UqConfig {
@@ -55,6 +72,10 @@ impl UqConfig {
             finetune_secs: 1800.0,
             finetune_gpu_mem_gib: 30.0,
             postprocess_requests: 32,
+            mpi_sim_tasks: 0,
+            mpi_sim_nodes: 2,
+            mpi_ranks_per_node: 32,
+            mpi_sim_secs: 900.0,
         }
     }
 
@@ -68,7 +89,20 @@ impl UqConfig {
             finetune_secs: 3.0,
             finetune_gpu_mem_gib: 4.0,
             postprocess_requests: 4,
+            mpi_sim_tasks: 0,
+            mpi_sim_nodes: 2,
+            mpi_ranks_per_node: 4,
+            mpi_sim_secs: 2.0,
         }
+    }
+
+    /// Prefix the pipeline with `tasks` MPI ensemble-simulation members, each spanning
+    /// `nodes` whole nodes and running for roughly `secs` virtual seconds.
+    pub fn with_mpi_simulation(mut self, tasks: usize, nodes: usize, secs: f64) -> Self {
+        self.mpi_sim_tasks = tasks;
+        self.mpi_sim_nodes = nodes.max(1);
+        self.mpi_sim_secs = secs;
+        self
     }
 
     /// Number of fine-tuning tasks the three-level hierarchy expands to.
@@ -85,6 +119,23 @@ impl Default for UqConfig {
 
 /// Build the Uncertainty Quantification pipeline.
 pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
+    // Optional stage 0: multi-node MPI ensemble simulation generating the raw samples
+    // (hybrid MD-then-ML shape; each member is a gang of `mpi_sim_nodes` idle nodes).
+    let sim_stage = (config.mpi_sim_tasks > 0).then(|| {
+        Stage::new("ensemble-simulation").tasks((0..config.mpi_sim_tasks).map(|i| {
+            TaskDescription::new(format!("uq-md-ensemble-{i:02}"))
+                .kind(TaskKind::Compute {
+                    duration_secs: Dist::lognormal_mean_cv(config.mpi_sim_secs.max(0.001), 0.1),
+                })
+                .cores(config.mpi_ranks_per_node)
+                .nodes(config.mpi_sim_nodes)
+                .stage_out(DataDirective::local(format!("md-trajectory-{i:02}"), 512.0))
+                .tag("pipeline", "uncertainty-quantification")
+                .tag("stage", "ensemble-simulation")
+                .tag("mpi_nodes", config.mpi_sim_nodes.to_string())
+        }))
+    });
+
     // Stage 1: negligible data preparation.
     let stage1 = Stage::new("data-preparation").task(
         TaskDescription::new("uq-data-prep")
@@ -160,10 +211,11 @@ pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
                 .tag("stage", "post-processing"),
         );
 
-    Pipeline::new("uncertainty-quantification")
-        .stage(stage1)
-        .stage(stage2)
-        .stage(stage3)
+    let mut pipeline = Pipeline::new("uncertainty-quantification");
+    if let Some(sim) = sim_stage {
+        pipeline = pipeline.stage(sim);
+    }
+    pipeline.stage(stage1).stage(stage2).stage(stage3)
 }
 
 #[cfg(test)]
@@ -202,6 +254,26 @@ mod tests {
             .tasks
             .iter()
             .any(|t| matches!(t.kind, TaskKind::InferenceClient { .. })));
+    }
+
+    #[test]
+    fn mpi_simulation_stage_is_off_by_default_and_prefixes_when_enabled() {
+        let plain = uncertainty_quantification_pipeline(&UqConfig::paper_scale());
+        assert_eq!(plain.stages.len(), 3, "paper pipeline has no MPI stage");
+
+        let cfg = UqConfig::paper_scale().with_mpi_simulation(4, 3, 600.0);
+        let p = uncertainty_quantification_pipeline(&cfg);
+        assert_eq!(p.stages.len(), 4);
+        assert_eq!(p.stages[0].name, "ensemble-simulation");
+        assert_eq!(p.stages[0].tasks.len(), 4);
+        for t in &p.stages[0].tasks {
+            assert_eq!(t.resources.nodes, 3, "ensemble members are 3-node gangs");
+            assert_eq!(t.resources.cores, cfg.mpi_ranks_per_node);
+            assert!(t.resources.is_gang());
+            assert!(t.tags.iter().any(|(k, v)| k == "mpi_nodes" && v == "3"));
+        }
+        let by_stage = tasks_by_tag(&p, "stage");
+        assert_eq!(by_stage["ensemble-simulation"], 4);
     }
 
     #[test]

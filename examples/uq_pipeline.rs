@@ -1,6 +1,7 @@
 //! The LUCID Uncertainty Quantification pipeline (paper §II-C) end to end at reduced
-//! scale: a three-level hierarchy of GPU fine-tuning tasks (models × UQ methods ×
-//! seeds) followed by service-assisted post-processing.
+//! scale: a multi-node MPI ensemble-simulation stage (DeepDriveMD-style hybrid
+//! MD-then-ML), a three-level hierarchy of GPU fine-tuning tasks (models × UQ methods
+//! × seeds), and service-assisted post-processing.
 //!
 //! Run with: `cargo run --example uq_pipeline`
 
@@ -13,6 +14,9 @@ fn main() {
         .platform(PlatformId::Delta)
         .clock(ClockSpec::scaled(5000.0))
         .seed(17)
+        // Serve up to 4 queued placements out of order so single-node fine-tuning
+        // tasks keep flowing while a 2-node MPI gang waits for idle nodes.
+        .scheduler_lookahead(4)
         .build()
         .expect("session");
     session
@@ -32,8 +36,14 @@ fn main() {
     config.seeds = 3;
     config.models = vec!["llama-8b".to_string(), "mistral-7b".to_string()];
     config.finetune_secs = 20.0;
+    // Three MPI ensemble members, each an atomic gang of 2 whole Delta nodes: with a
+    // 4-node pilot, two gangs simulate concurrently and the third follows.
+    config = config.with_mpi_simulation(3, 2, 15.0);
     println!(
-        "UQ hierarchy expands to {} GPU fine-tuning tasks",
+        "UQ pipeline: {} MPI ensemble members ({}x{} ranks each) + {} GPU fine-tuning tasks",
+        config.mpi_sim_tasks,
+        config.mpi_sim_nodes,
+        config.mpi_ranks_per_node,
         config.total_uq_tasks()
     );
 
@@ -45,6 +55,12 @@ fn main() {
     print!("{}", report.render());
 
     let metrics = session.metrics();
+    let gang_waits = metrics.scalar_values("task.gang.placement_wait_secs");
+    println!(
+        "MPI gang placements: {} (spanning {} nodes total)",
+        gang_waits.len(),
+        metrics.scalar_values("task.gang.nodes").iter().sum::<f64>() as usize
+    );
     println!("post-processing LLM requests: {}", metrics.response_count());
     session.close();
 }

@@ -17,9 +17,10 @@ fn session(scale: f64) -> Session {
 
 #[test]
 fn full_local_llm_scenario() {
-    // Moderate compression: the (scaled-up) real scheduling jitter in the communication
-    // component stays far below the seconds of llama-8b inference time.
-    let s = session(500.0);
+    // Gentle compression: real scheduling jitter is amplified 50x into virtual time,
+    // so the per-request communication budget (~6 ms real before it rivals llama-8b
+    // inference) holds even on a fully loaded CI host; 500x flaked under load.
+    let s = session(50.0);
     let pilot = s
         .submit_pilot(
             PilotDescription::new(PlatformId::Delta)
@@ -81,8 +82,9 @@ fn full_local_llm_scenario() {
     assert_eq!(metrics.response_count(), 16);
     let summaries = metrics.response_summaries();
     // With a real model the inference component dominates communication by orders of
-    // magnitude (the paper's experiment 3 conclusion).
-    assert!(summaries["inference"].mean > 10.0 * summaries["communication"].mean);
+    // magnitude (the paper's experiment 3 conclusion). Compared by median: the mean
+    // is one host-scheduling hiccup away from a flake under a scaled clock.
+    assert!(summaries["inference"].p50 > 10.0 * summaries["communication"].p50);
     assert!(summaries["inference"].mean > 0.5);
 
     // Orderly shutdown: services reach Stopped, slots return to the pool.

@@ -169,6 +169,7 @@ fn node_accounting_conserves_resources() {
                 cores: rng.gen_range(1u32..8),
                 gpus: rng.gen_range(0u32..4),
                 mem_gib: rng.gen_range(0.0..64.0),
+                nodes: 1,
             };
             if let Ok(r) = node.try_reserve(&req) {
                 assert_eq!(r.0.len(), req.cores as usize);
@@ -200,6 +201,7 @@ fn allocation_slots_conserve_resources() {
                 cores: rng.gen_range(1u32..16),
                 gpus: rng.gen_range(0u32..3),
                 mem_gib: 0.0,
+                nodes: 1,
             };
             if let Ok(slot) = alloc.allocate_slot(&req) {
                 slots.push(slot);
@@ -238,40 +240,45 @@ fn interleaved_allocate_release_never_double_books() {
                 let idx = rng.gen_range(0usize..slots.len());
                 let slot = slots.swap_remove(idx);
                 alloc.release_slot(&slot).unwrap();
-                for c in &slot.core_ids {
-                    assert!(
-                        live_cores.remove(&(slot.node_index, *c)),
-                        "released core was tracked"
-                    );
-                }
-                for g in &slot.gpu_ids {
-                    assert!(
-                        live_gpus.remove(&(slot.node_index, *g)),
-                        "released gpu was tracked"
-                    );
+                for m in &slot.members {
+                    for c in &m.core_ids {
+                        assert!(
+                            live_cores.remove(&(m.node_index, *c)),
+                            "released core was tracked"
+                        );
+                    }
+                    for g in &m.gpu_ids {
+                        assert!(
+                            live_gpus.remove(&(m.node_index, *g)),
+                            "released gpu was tracked"
+                        );
+                    }
                 }
             } else {
                 let req = ResourceRequest {
                     cores: rng.gen_range(1u32..5),
                     gpus: rng.gen_range(0u32..3),
                     mem_gib: rng.gen_range(0.0..32.0),
+                    nodes: 1,
                 };
                 if let Ok(slot) = alloc.allocate_slot(&req) {
-                    for c in &slot.core_ids {
-                        assert!(
-                            live_cores.insert((slot.node_index, *c)),
-                            "core {} on node {} double-booked",
-                            c,
-                            slot.node_index
-                        );
-                    }
-                    for g in &slot.gpu_ids {
-                        assert!(
-                            live_gpus.insert((slot.node_index, *g)),
-                            "gpu {} on node {} double-booked",
-                            g,
-                            slot.node_index
-                        );
+                    for m in &slot.members {
+                        for c in &m.core_ids {
+                            assert!(
+                                live_cores.insert((m.node_index, *c)),
+                                "core {} on node {} double-booked",
+                                c,
+                                m.node_index
+                            );
+                        }
+                        for g in &m.gpu_ids {
+                            assert!(
+                                live_gpus.insert((m.node_index, *g)),
+                                "gpu {} on node {} double-booked",
+                                g,
+                                m.node_index
+                            );
+                        }
                     }
                     slots.push(slot);
                 }
@@ -286,6 +293,131 @@ fn interleaved_allocate_release_never_double_books() {
         assert!(alloc.is_idle());
         assert_eq!(alloc.free_cores(), total_cores);
         assert_eq!(alloc.free_gpus(), total_gpus);
+    });
+}
+
+/// Interleaved single-node and multi-node gang placements never overlap: no two live
+/// slots (gang or not) ever share a core or GPU index on a node, every gang's members
+/// are distinct nodes that were fully idle when claimed, and releasing a gang returns
+/// all of its member nodes to the idle bucket — verified by re-claiming them and by
+/// the allocation's idle-node count matching a model kept alongside.
+#[test]
+fn gang_and_single_placements_never_overlap() {
+    use std::collections::{HashMap, HashSet};
+    for_each_case("gang_and_single_placements_never_overlap", |rng| {
+        let nodes = 6usize;
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        let spec = alloc.node_spec();
+        let total_cores = alloc.total_cores();
+        let mut live_cores: HashSet<(usize, u32)> = HashSet::new();
+        let mut live_gpus: HashSet<(usize, u32)> = HashSet::new();
+        // Live units per node, to model which nodes should count as idle.
+        let mut node_units: HashMap<usize, usize> = HashMap::new();
+        let mut slots: Vec<hpcml::platform::Slot> = Vec::new();
+        for _ in 0..rng.gen_range(1usize..60) {
+            let do_release = !slots.is_empty() && rng.gen_bool(0.4);
+            if do_release {
+                let idx = rng.gen_range(0usize..slots.len());
+                let slot = slots.swap_remove(idx);
+                alloc.release_slot(&slot).unwrap();
+                for m in &slot.members {
+                    for c in &m.core_ids {
+                        assert!(live_cores.remove(&(m.node_index, *c)));
+                    }
+                    for g in &m.gpu_ids {
+                        assert!(live_gpus.remove(&(m.node_index, *g)));
+                    }
+                    let units = node_units.get_mut(&m.node_index).unwrap();
+                    *units -= m.core_ids.len() + m.gpu_ids.len();
+                    if *units == 0 {
+                        node_units.remove(&m.node_index);
+                    }
+                }
+            } else {
+                let gang_nodes = if rng.gen_bool(0.4) {
+                    rng.gen_range(2usize..5)
+                } else {
+                    1
+                };
+                let req = ResourceRequest {
+                    cores: rng.gen_range(1u32..spec.cores / 2 + 1),
+                    gpus: rng.gen_range(0u32..spec.gpus + 1),
+                    mem_gib: 0.0,
+                    nodes: gang_nodes,
+                };
+                if let Ok(slot) = alloc.allocate_slot(&req) {
+                    assert_eq!(slot.num_nodes(), gang_nodes);
+                    let member_nodes: HashSet<usize> = slot.node_indices().collect();
+                    assert_eq!(
+                        member_nodes.len(),
+                        gang_nodes,
+                        "gang members must be distinct nodes"
+                    );
+                    if gang_nodes > 1 {
+                        for m in &slot.members {
+                            assert!(
+                                !node_units.contains_key(&m.node_index),
+                                "gang claimed node {} which already hosts a slot",
+                                m.node_index
+                            );
+                        }
+                    }
+                    for m in &slot.members {
+                        for c in &m.core_ids {
+                            assert!(
+                                live_cores.insert((m.node_index, *c)),
+                                "core {} on node {} double-booked by a {}-node slot",
+                                c,
+                                m.node_index,
+                                gang_nodes
+                            );
+                        }
+                        for g in &m.gpu_ids {
+                            assert!(
+                                live_gpus.insert((m.node_index, *g)),
+                                "gpu {} on node {} double-booked by a {}-node slot",
+                                g,
+                                m.node_index,
+                                gang_nodes
+                            );
+                        }
+                        *node_units.entry(m.node_index).or_insert(0) +=
+                            m.core_ids.len() + m.gpu_ids.len();
+                    }
+                    slots.push(slot);
+                }
+            }
+            // The allocation's idle-node count must match the model: a node is idle
+            // iff no live slot holds units on it (memory-free requests only here).
+            assert_eq!(
+                alloc.idle_nodes(),
+                nodes - node_units.len(),
+                "idle bucket must reflect exactly the nodes without live slots"
+            );
+            assert_eq!(
+                alloc.free_cores() + live_cores.len() as u32,
+                total_cores,
+                "core conservation"
+            );
+        }
+        for slot in &slots {
+            alloc.release_slot(slot).unwrap();
+        }
+        assert!(alloc.is_idle());
+        assert_eq!(alloc.idle_nodes(), nodes);
+        // Every node is back in the idle bucket: a whole-allocation gang must fit.
+        let all = alloc
+            .allocate_slot(&ResourceRequest {
+                cores: spec.cores,
+                gpus: spec.gpus,
+                mem_gib: 0.0,
+                nodes,
+            })
+            .expect("released gang members must return to the idle bucket");
+        assert_eq!(all.num_nodes(), nodes);
+        alloc.release_slot(&all).unwrap();
+        assert!(alloc.is_idle());
     });
 }
 
