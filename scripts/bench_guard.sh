@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Bench-regression guard for the scheduler hot paths.
+#
+# Runs the criterion hot-path benches and fails when:
+#   1. any scheduler/allocate_release sweep point regresses more than
+#      BENCH_GUARD_THRESHOLD (default 2x) against the committed baseline in
+#      BENCH_scheduler.json — compared machine-independently: each value is first
+#      normalised by the same run's registry/lookup_64 reference bench, so a slower
+#      CI runner scales the reference and the measurement alike instead of
+#      false-failing on absolute nanoseconds; or
+#   2. scheduler/gang_allocate stops being flat (max/min beyond the same threshold)
+#      across the 4/256/4096-node sweep — gang placement must stay O(gang size).
+#
+# The baseline is only (re)written when it does not exist yet or when
+# BENCH_BASELINE_UPDATE=1 is set, so a passing-but-slower run cannot silently
+# ratchet the baseline: refreshing the trajectory datapoint is an explicit act to
+# commit alongside an intentional perf change.
+#
+# Usage: scripts/bench_guard.sh
+#        BENCH_BASELINE_UPDATE=1 scripts/bench_guard.sh   # refresh BENCH_scheduler.json
+# Also reachable through `BENCH_GUARD=1 scripts/verify.sh`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_scheduler.json"
+THRESHOLD="${BENCH_GUARD_THRESHOLD:-2.0}"
+REFERENCE="registry/lookup_64"
+
+echo "==> cargo bench -p hpcml-bench --bench runtime_hotpaths (guard threshold ${THRESHOLD}x)"
+RAW="$(cargo bench -p hpcml-bench --bench runtime_hotpaths 2>&1)"
+echo "$RAW"
+
+# The criterion shim prints `name  time: [  XXX.XX <unit>/iter]  samples: N`.
+# Normalise every such line to "name <ns/iter>" pairs.
+RESULTS="$(echo "$RAW" | awk '
+    /time: \[/ {
+        name = $1
+        if (match($0, /\[ *[0-9.]+ +[a-zA-Zµ]+\/iter\]/)) {
+            s = substr($0, RSTART + 1, RLENGTH - 2)
+            sub(/^ +/, "", s)
+            split(s, parts, /[ \/]+/)
+            value = parts[1] + 0
+            unit = parts[2]
+            if (unit == "µs") value *= 1000
+            else if (unit == "ms") value *= 1000000
+            else if (unit != "ns") next
+            printf "%s %.2f\n", name, value
+        }
+    }')"
+
+if ! echo "$RESULTS" | grep -q "^scheduler/allocate_release/"; then
+    echo "bench_guard: FAILED — could not parse scheduler/allocate_release results" >&2
+    exit 1
+fi
+
+lookup() { # lookup <results-or-baseline-text> <bench name> -> value or empty
+    echo "$1" | sed -n "s|^[[:space:]]*\"\?$2\"\?[: ] *\([0-9.]*\).*|\1|p" | head -1
+}
+
+NEW_REF="$(lookup "$RESULTS" "$REFERENCE")"
+if [[ -z "$NEW_REF" ]]; then
+    echo "bench_guard: FAILED — reference bench $REFERENCE missing from results" >&2
+    exit 1
+fi
+
+OLD=""
+if [[ -f "$BASELINE" ]]; then
+    # Strip JSON punctuation so lookup() sees `"name": value` lines uniformly.
+    OLD="$(sed 's/,$//' "$BASELINE")"
+fi
+
+fail=0
+
+# Guard 1: allocate_release sweep points vs the committed baseline, normalised by the
+# reference bench measured in the same run/on the same machine as each side.
+if [[ -n "$OLD" ]]; then
+    OLD_REF="$(lookup "$OLD" "$REFERENCE")"
+    if [[ -z "$OLD_REF" ]]; then
+        echo "guard: baseline predates reference normalisation — comparing raw ns"
+        OLD_REF="$NEW_REF"
+    fi
+    while read -r name value; do
+        case "$name" in
+        scheduler/allocate_release/*)
+            old_value="$(lookup "$OLD" "$name")"
+            if [[ -n "$old_value" ]]; then
+                awk -v new="$value" -v old="$old_value" \
+                    -v new_ref="$NEW_REF" -v old_ref="$OLD_REF" \
+                    -v t="$THRESHOLD" -v n="$name" '
+                    BEGIN {
+                        norm_new = (new_ref > 0) ? new / new_ref : 0
+                        norm_old = (old_ref > 0) ? old / old_ref : 0
+                        ratio = (norm_old > 0) ? norm_new / norm_old : 0
+                        printf "guard: %-38s %9.1f ns (%.2fx ref) vs baseline %9.1f ns (%.2fx ref): %.2fx, bound %.1fx\n", \
+                            n, new, norm_new, old, norm_old, ratio, t
+                        exit !(ratio <= t)
+                    }' || fail=1
+            else
+                echo "guard: $name has no committed baseline yet"
+            fi
+            ;;
+        esac
+    done <<<"$RESULTS"
+else
+    echo "guard: no committed baseline — recording the first trajectory datapoint"
+fi
+
+# Guard 2: gang placement flatness across the node-count sweep (same machine, same
+# run — absolute comparison is correct here).
+echo "$RESULTS" | awk -v t="$THRESHOLD" '
+    /^scheduler\/gang_allocate\// {
+        if (!n || $2 < min) min = $2
+        if (!n || $2 > max) max = $2
+        n++
+    }
+    END {
+        if (n < 2) { print "guard: gang_allocate sweep has fewer than 2 points" >"/dev/stderr"; exit 1 }
+        ratio = max / min
+        printf "guard: gang_allocate flatness %.2fx across %d sweep points (bound %.1fx)\n", ratio, n, t
+        exit !(ratio <= t)
+    }' || fail=1
+
+if [[ "$fail" != 0 ]]; then
+    echo "bench_guard: FAILED (baseline $BASELINE left untouched)" >&2
+    exit 1
+fi
+
+if [[ ! -f "$BASELINE" || "${BENCH_BASELINE_UPDATE:-0}" == "1" ]]; then
+    echo "$RESULTS" | awk -v ref="$REFERENCE" '
+        BEGIN { print "{"; print "  \"unit\": \"ns_per_iter\"," }
+        $1 == ref || /^scheduler\// {
+            if (n++) printf ",\n"
+            printf "  \"%s\": %s", $1, $2
+        }
+        END { print ""; print "}" }' > "$BASELINE"
+    echo "==> wrote $BASELINE"
+else
+    echo "==> baseline unchanged (set BENCH_BASELINE_UPDATE=1 to record a new datapoint)"
+fi
+echo "bench_guard: OK"

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verify path for this repository.
 #
-# Beyond build + tests, this compiles every bench target (`cargo bench --no-run`) and
-# lints with `-D warnings`, so benches and shims cannot bit-rot silently between PRs.
+# Beyond build + tests, this checks formatting, compiles every bench target
+# (`cargo bench --no-run`) and lints with `-D warnings`, so benches and shims cannot
+# bit-rot silently between PRs. Set BENCH_GUARD=1 to additionally run the scheduler
+# bench-regression guard (scripts/bench_guard.sh), which CI runs as its own job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -20,5 +25,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo bench --no-run (bench targets must keep compiling)"
 cargo bench --no-run
+
+if [[ "${BENCH_GUARD:-0}" == "1" ]]; then
+    echo "==> BENCH_GUARD=1: scripts/bench_guard.sh"
+    scripts/bench_guard.sh
+fi
 
 echo "verify: OK"
