@@ -135,6 +135,43 @@ fn bench_gang_allocate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Backfill-reservation cycle cost must be O(gang size + pinned nodes), independent
+/// of the allocation's total node count: open a drain (pinning the two idle nodes),
+/// place the gang through the reservation, release it — flat (within 2×) across the
+/// same 4 → 4096 node sweep, guarded like `gang_allocate`.
+fn bench_gang_backfill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/gang_backfill");
+    for nodes in [4usize, 256, 4096] {
+        let batch = BatchSystem::new(wide_spec(nodes), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        let spec = alloc.node_spec();
+        // Occupy all but two nodes so the reservation works against a full index and
+        // must pin exactly the two idle nodes each cycle.
+        let half_fill = ResourceRequest::cores(spec.cores / 2 + 1).unwrap();
+        let held: Vec<_> = (0..nodes - 2)
+            .map(|_| alloc.allocate_slot(&half_fill).unwrap())
+            .collect();
+        assert_eq!(alloc.idle_nodes(), 2);
+        let req = ResourceRequest {
+            cores: spec.cores,
+            gpus: spec.gpus,
+            mem_gib: 0.0,
+            nodes: 2,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let id = alloc.begin_drain(&req).unwrap();
+                let slot = alloc.allocate_reserved(id, &req).unwrap();
+                alloc.release_slot(&slot).unwrap();
+            })
+        });
+        for slot in &held {
+            alloc.release_slot(slot).unwrap();
+        }
+    }
+    group.finish();
+}
+
 /// Multi-thread allocate/release churn, swept across node counts. Capacity always
 /// exceeds demand here, so this measures the *lock + index* path under thread
 /// contention (every allocation takes the queueless fast path); parked-waiter wakeups
@@ -237,6 +274,7 @@ criterion_group!(
     bench_registry,
     bench_scheduler,
     bench_gang_allocate,
+    bench_gang_backfill,
     bench_scheduler_churn,
     bench_scheduler_waitqueue,
     bench_noop_roundtrip,

@@ -17,6 +17,35 @@
 //!   appropriate [`hpcml_platform::LatencyProfile`] (local vs remote) on the shared
 //!   virtual clock, so the response-time experiments see the paper's measured
 //!   0.063 ms / 0.47 ms link characteristics.
+//!
+//! # Example
+//!
+//! A request/reply round trip over a zero-latency link, using the binary message
+//! codec end to end:
+//!
+//! ```
+//! use hpcml_comm::link::Link;
+//! use hpcml_comm::message::Message;
+//! use hpcml_comm::reqrep::ReqRepServer;
+//! use hpcml_sim::clock::ClockSpec;
+//!
+//! use std::time::Duration;
+//!
+//! let server = ReqRepServer::new("service.echo");
+//! let client = server.client(Link::instant(ClockSpec::Manual.build()));
+//! let worker = std::thread::spawn(move || {
+//!     let (request, responder) = server.recv_timeout(Duration::from_secs(5)).unwrap();
+//!     let text = request.text().unwrap().to_string();
+//!     responder
+//!         .reply(Message::new("service.echo", "reply").with_text(&text))
+//!         .unwrap();
+//! });
+//!
+//! let reply = client.request(Message::new("service.echo", "ask").with_text("ping"))?;
+//! assert_eq!(reply.text(), Some("ping"));
+//! worker.join().unwrap();
+//! # Ok::<(), hpcml_comm::CommError>(())
+//! ```
 
 #![warn(missing_docs)]
 

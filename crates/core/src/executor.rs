@@ -340,17 +340,26 @@ impl Executor {
             RuntimeError::InvalidState("task submitted without an active pilot".into())
         })?;
         let wait_start = std::time::Instant::now();
-        let slot = scheduler.allocate(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?;
+        let (slot, placement) =
+            scheduler.allocate_with_stats(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?;
         let wait_secs = wait_start.elapsed().as_secs_f64();
         self.metrics
             .record_scalar("task.placement_wait_secs", wait_secs);
         if slot.is_gang() {
             // Gang placements wait for whole idle nodes, so their queueing behaviour
-            // is tracked separately from single-node placement waits.
+            // is tracked separately from single-node placement waits — including how
+            // often narrower requests overtook the gang and how long it spent in
+            // backfill-draining mode before enough nodes were reserved.
             self.metrics
                 .record_scalar("task.gang.placement_wait_secs", wait_secs);
             self.metrics
                 .record_scalar("task.gang.nodes", slot.num_nodes() as f64);
+            self.metrics
+                .record_scalar("task.gang.overtakes", placement.overtakes as f64);
+            if let Some(drain_secs) = placement.drain_secs {
+                self.metrics
+                    .record_scalar("task.gang.drain_secs", drain_secs);
+            }
         }
         *record.slot.lock() = Some(slot.clone());
 

@@ -27,6 +27,32 @@
 //! * [`metrics`] — Bootstrap/Response/Inference time recorders with per-component
 //!   breakdowns (the quantities of the paper's §IV);
 //! * [`session`] — the client-facing `Session` tying everything together (flows ① and ⑥).
+//!
+//! # Example
+//!
+//! The scheduler used standalone: bind it to a pilot allocation, place a task-priority
+//! request, release it. (Applications normally go through [`session::Session`], which
+//! owns the scheduler; see the workspace root's quickstart.)
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! use hpcml_platform::batch::{AllocationRequest, BatchSystem};
+//! use hpcml_platform::{PlatformId, ResourceRequest};
+//! use hpcml_runtime::scheduler::{Priority, Scheduler};
+//! use hpcml_sim::clock::ClockSpec;
+//!
+//! let batch = BatchSystem::new(PlatformId::Local.spec(), ClockSpec::Manual.build(), 7);
+//! let alloc = batch.submit(AllocationRequest::nodes(2))?;
+//! let scheduler = Scheduler::new(alloc);
+//!
+//! let req = ResourceRequest::cores(2)?;
+//! let slot = scheduler.allocate(&req, Priority::Task, Duration::from_secs(1))?;
+//! assert_eq!(slot.num_cores(), 2);
+//! scheduler.release(&slot)?;
+//! assert_eq!(scheduler.outstanding_slots(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 

@@ -35,11 +35,30 @@
 //! tasks holds for every window size. `k = 1` (the [`Scheduler::new`] default) is the
 //! strict-FIFO no-starvation behaviour.
 //!
-//! The price of `k > 1` is stated plainly: within a class there is no ageing, so a
-//! wide waiter at the head can be overtaken indefinitely while narrower requests
-//! inside the window keep fitting — the utilisation/fairness trade the ROADMAP calls
-//! for. Workloads that must bound gang wait time should keep the default window or
-//! drain (a backfill-reservation window is the noted follow-on).
+//! ## Gang backfill with ageing
+//!
+//! `k > 1` alone would let a wide head be overtaken indefinitely while narrower window
+//! requests keep fitting. The scheduler therefore ages the head: every time a later
+//! arrival of the same class places first, the overtaken waiters' counters tick, and
+//! when the head is a gang whose counter exceeds [`Scheduler::max_overtakes`] (default
+//! [`DEFAULT_MAX_OVERTAKES`]) — or whose wait exceeds [`Scheduler::gang_drain_after`],
+//! when set — it flips into *draining* mode. Draining opens a backfill reservation on
+//! the allocation ([`hpcml_platform::batch::Allocation::begin_drain`]): idle nodes are
+//! pinned to the gang as they free up, invisible to every other request, until
+//! `req.nodes` have accumulated and the gang places atomically. Requests inside the
+//! lookahead window still backfill *around* the reservation on non-reserved capacity,
+//! so throughput is preserved while starvation becomes bounded: once draining, the
+//! gang places as soon as each non-reserved node has gone idle once. (Sub-node churn
+//! that never lets a node go idle can still delay the last members — pinning captures
+//! nodes at idle transitions, it does not preempt.) Set both knobs to `None` to
+//! restore the pure PR-2 lookahead behaviour.
+//!
+//! Drain lifecycle: at most one reservation is active per allocation — only the head
+//! of the serving class drains. A draining gang that times out cancels its
+//! reservation on the way out, returning every pinned node to the idle bucket. And
+//! because service priority is absolute, a *service* parking while a task-class
+//! reservation is active cancels that drain (the task head re-opens it once no
+//! service waits), so pinned nodes can never idle-block a waiting service.
 //!
 //! One further deliberate deviation: a waiter whose timeout expires makes one explicit
 //! final allocation attempt even when it is outside the window (services still shield
@@ -48,6 +67,7 @@
 //! release and keeps its place.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,10 +78,35 @@ use hpcml_platform::resources::{ResourceError, ResourceRequest, Slot};
 
 use crate::error::RuntimeError;
 
+/// Default overtake budget before a parked head gang flips into draining mode.
+pub const DEFAULT_MAX_OVERTAKES: u32 = 16;
+
 /// One parked placement request: a dedicated condition variable the releaser can
 /// target, making wakeups O(1) and ordered.
 struct Waiter {
     cond: Condvar,
+    /// How many later arrivals of this waiter's class placed while it stayed parked.
+    /// Mutated only under the scheduler lock; atomic so `Waiter` stays `Sync`.
+    overtakes: AtomicU32,
+}
+
+impl Waiter {
+    fn new() -> Arc<Self> {
+        Arc::new(Waiter {
+            cond: Condvar::new(),
+            overtakes: AtomicU32::new(0),
+        })
+    }
+}
+
+/// The scheduler-side record of an active backfill reservation.
+struct ActiveDrain {
+    /// Allocation-side drain id.
+    id: u64,
+    /// The draining waiter (the head of its class when the drain began).
+    owner: Arc<Waiter>,
+    /// Class of the owner — a parking service cancels a task-class drain.
+    priority: Priority,
 }
 
 #[derive(Default)]
@@ -72,6 +117,9 @@ struct SchedState {
     tasks: VecDeque<Arc<Waiter>>,
     /// Total slots handed out and not yet released (for observability).
     outstanding_slots: usize,
+    /// Active backfill reservation, if any (mirrors the allocation's drain and is
+    /// mutated only together with it, under this state's lock).
+    drain: Option<ActiveDrain>,
 }
 
 impl SchedState {
@@ -100,6 +148,16 @@ pub enum Priority {
     Task,
 }
 
+/// How a placement was obtained, alongside the slot: overtake and drain telemetry
+/// the executor turns into `task.gang.overtakes` / `task.gang.drain_secs` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlacementStats {
+    /// How many later arrivals of the same class placed while this request waited.
+    pub overtakes: u32,
+    /// Real seconds spent in draining mode before placing (`None` = never drained).
+    pub drain_secs: Option<f64>,
+}
+
 /// Scheduler bound to one pilot allocation.
 pub struct Scheduler {
     allocation: Arc<Allocation>,
@@ -107,6 +165,12 @@ pub struct Scheduler {
     /// Serve window: how many parked waiters of the serving class may attempt a
     /// placement. 1 = strict FIFO; service priority is absolute at every size.
     lookahead: usize,
+    /// Overtake budget before a parked head gang flips to draining (`None` = never
+    /// drain on overtakes).
+    max_overtakes: Option<u32>,
+    /// Age threshold before a parked head gang flips to draining (`None` = never
+    /// drain on age alone).
+    gang_drain_after: Option<Duration>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -138,7 +202,26 @@ impl Scheduler {
             allocation,
             state: Mutex::new(SchedState::default()),
             lookahead: lookahead.max(1),
+            max_overtakes: Some(DEFAULT_MAX_OVERTAKES),
+            gang_drain_after: None,
         }
+    }
+
+    /// Set the overtake budget: a head gang overtaken more than `budget` times flips
+    /// into draining mode. `None` disables overtake-triggered draining (with
+    /// [`Scheduler::with_gang_drain_after`] also `None`, gangs never drain — the pure
+    /// bounded-lookahead behaviour).
+    pub fn with_max_overtakes(mut self, budget: Option<u32>) -> Self {
+        self.max_overtakes = budget;
+        self
+    }
+
+    /// Set the age threshold: a head gang parked longer than `after` flips into
+    /// draining mode even if its overtake budget is not yet spent. `None` (the
+    /// default) drains on overtakes only.
+    pub fn with_gang_drain_after(mut self, after: Option<Duration>) -> Self {
+        self.gang_drain_after = after;
+        self
     }
 
     /// The allocation this scheduler places onto.
@@ -149,6 +232,18 @@ impl Scheduler {
     /// The serve-window size (1 = strict FIFO).
     pub fn lookahead(&self) -> usize {
         self.lookahead
+    }
+
+    /// The overtake budget before a head gang drains (`None` = overtakes never
+    /// trigger a drain).
+    pub fn max_overtakes(&self) -> Option<u32> {
+        self.max_overtakes
+    }
+
+    /// The parked-age threshold before a head gang drains (`None` = age never
+    /// triggers a drain).
+    pub fn gang_drain_after(&self) -> Option<Duration> {
+        self.gang_drain_after
     }
 
     /// Number of slots currently handed out.
@@ -178,24 +273,79 @@ impl Scheduler {
         }
     }
 
+    /// Whether the parked `waiter` — eligible but just denied a placement — should
+    /// flip into draining mode: it is a gang at the head of its class, no other drain
+    /// is active, draining is enabled, and either its overtake budget is spent or it
+    /// has waited past the age threshold. A task head never opens a drain while a
+    /// service waits (the reservation would hold nodes the service must get first).
+    fn should_drain(
+        &self,
+        st: &SchedState,
+        req: &ResourceRequest,
+        priority: Priority,
+        position: Option<usize>,
+        waiter: &Arc<Waiter>,
+        parked_at: Instant,
+    ) -> bool {
+        if !req.is_gang() || st.drain.is_some() || position != Some(0) {
+            return false;
+        }
+        if priority == Priority::Task && !st.services.is_empty() {
+            return false;
+        }
+        let overtaken = self
+            .max_overtakes
+            .is_some_and(|budget| waiter.overtakes.load(Ordering::Relaxed) > budget);
+        let aged = self
+            .gang_drain_after
+            .is_some_and(|after| parked_at.elapsed() >= after);
+        overtaken || aged
+    }
+
+    /// Cancel the active drain when `condition` holds for it, returning its pinned
+    /// nodes to the idle bucket. The owner discovers the loss on its next wakeup
+    /// (its `st.drain` ownership test fails) and falls back to plain waiting.
+    fn cancel_drain_if(&self, st: &mut SchedState, condition: impl Fn(&ActiveDrain) -> bool) {
+        if st.drain.as_ref().is_some_and(condition) {
+            let drain = st.drain.take().expect("checked above");
+            let _ = self.allocation.cancel_drain(drain.id);
+        }
+    }
+
     /// Allocate a slot, blocking (up to `timeout` of real time) until resources are
     /// available. Requests are served in FIFO order within their priority class,
     /// relaxed only by the bounded lookahead window; task-priority requests
     /// additionally wait while any service placement is pending, so services are
     /// never starved by a flood of tasks. A gang request (`req.nodes > 1`) waits like
-    /// any other request until enough idle nodes exist, then claims them atomically.
+    /// any other request until enough idle nodes exist, then claims them atomically —
+    /// ageing into a backfill reservation first when it keeps being overtaken (see
+    /// the module docs).
     pub fn allocate(
         &self,
         req: &ResourceRequest,
         priority: Priority,
         timeout: Duration,
     ) -> Result<Slot, RuntimeError> {
+        self.allocate_with_stats(req, priority, timeout)
+            .map(|(slot, _)| slot)
+    }
+
+    /// [`Scheduler::allocate`], additionally returning [`PlacementStats`]: how often
+    /// the request was overtaken and how long it spent draining, for the executor's
+    /// gang metrics.
+    pub fn allocate_with_stats(
+        &self,
+        req: &ResourceRequest,
+        priority: Priority,
+        timeout: Duration,
+    ) -> Result<(Slot, PlacementStats), RuntimeError> {
         // Shape mismatches fail fast without ever queueing.
         self.allocation
             .check_satisfiable(req)
             .map_err(RuntimeError::Resource)?;
 
-        let deadline = Instant::now() + timeout;
+        let parked_at = Instant::now();
+        let deadline = parked_at + timeout;
         let mut st = self.state.lock();
 
         // Fast path: nothing is parked ahead of this request, try immediately without
@@ -211,7 +361,7 @@ impl Scheduler {
             match self.allocation.allocate_slot(req) {
                 Ok(slot) => {
                     st.outstanding_slots += 1;
-                    return Ok(slot);
+                    return Ok((slot, PlacementStats::default()));
                 }
                 Err(ResourceError::InsufficientResources) => {}
                 Err(e) => return Err(RuntimeError::Resource(e)),
@@ -219,13 +369,22 @@ impl Scheduler {
         }
 
         // Slow path: park in arrival order and wait for a targeted wakeup.
-        let waiter = Arc::new(Waiter {
-            cond: Condvar::new(),
-        });
+        let waiter = Waiter::new();
         match priority {
             Priority::Service => st.services.push_back(Arc::clone(&waiter)),
             Priority::Task => st.tasks.push_back(Arc::clone(&waiter)),
         }
+
+        // Service priority extends to reservations: a parking service cancels an
+        // active task-class drain, so pinned nodes can never idle-block a service.
+        // The task head re-opens its drain once no service waits (its overtake count
+        // is preserved).
+        if priority == Priority::Service {
+            self.cancel_drain_if(&mut st, |d| d.priority == Priority::Task);
+        }
+
+        // When this waiter began draining (real time), for the drain_secs metric.
+        let mut drained_at: Option<Instant> = None;
 
         let result = loop {
             let queue = match priority {
@@ -239,11 +398,57 @@ impl Scheduler {
                 .take(self.lookahead)
                 .position(|w| Arc::ptr_eq(w, &waiter));
             let eligible = position.is_some_and(|p| self.in_window(&st, priority, p));
-            if eligible {
+            let mut my_drain = st
+                .drain
+                .as_ref()
+                .filter(|d| Arc::ptr_eq(&d.owner, &waiter))
+                .map(|d| d.id);
+            if my_drain.is_none() {
+                // The reservation was cancelled externally (a service parked): this
+                // waiter is back to plain waiting, so the drain clock must not keep
+                // running — `drain_secs` reports only an interval that ends in a
+                // reserved placement.
+                drained_at = None;
+            }
+            if let Some(drain_id) = my_drain {
+                // Draining: place through the reservation the moment it is complete.
+                if eligible {
+                    match self.allocation.allocate_reserved(drain_id, req) {
+                        Ok(slot) => break Ok(slot),
+                        Err(ResourceError::InsufficientResources) => {}
+                        Err(e) => break Err(RuntimeError::Resource(e)),
+                    }
+                }
+            } else if eligible {
                 match self.allocation.allocate_slot(req) {
                     Ok(slot) => break Ok(slot),
                     Err(ResourceError::InsufficientResources) => {}
                     Err(e) => break Err(RuntimeError::Resource(e)),
+                }
+                // Placement denied: check whether this head gang has aged out of
+                // plain waiting and should open a backfill reservation.
+                if self.should_drain(&st, req, priority, position, &waiter, parked_at) {
+                    match self.allocation.begin_drain(req) {
+                        Ok(id) => {
+                            st.drain = Some(ActiveDrain {
+                                id,
+                                owner: Arc::clone(&waiter),
+                                priority,
+                            });
+                            my_drain = Some(id);
+                            drained_at = Some(Instant::now());
+                            // The already-idle nodes may complete the reservation
+                            // outright.
+                            match self.allocation.allocate_reserved(id, req) {
+                                Ok(slot) => break Ok(slot),
+                                Err(ResourceError::InsufficientResources) => {}
+                                Err(e) => break Err(RuntimeError::Resource(e)),
+                            }
+                        }
+                        // Raced by another allocation user; retry on a later wakeup.
+                        Err(ResourceError::DrainActive) => {}
+                        Err(e) => break Err(RuntimeError::Resource(e)),
+                    }
                 }
             }
             if Instant::now() >= deadline {
@@ -253,7 +458,13 @@ impl Scheduler {
                 // its last-gasp attempt only when no service is waiting.
                 let may_final_try = priority == Priority::Service || st.services.is_empty();
                 if may_final_try {
-                    match self.allocation.allocate_slot(req) {
+                    // `my_drain` is current: it was derived this iteration under the
+                    // continuously held lock.
+                    let attempt = match my_drain {
+                        Some(id) => self.allocation.allocate_reserved(id, req),
+                        None => self.allocation.allocate_slot(req),
+                    };
+                    match attempt {
                         Ok(slot) => break Ok(slot),
                         Err(ResourceError::InsufficientResources) => {}
                         Err(e) => break Err(RuntimeError::Resource(e)),
@@ -269,8 +480,43 @@ impl Scheduler {
                     },
                 });
             }
-            waiter.cond.wait_until(&mut st, deadline);
+            // An ageing-eligible gang that is not yet draining must wake at its drain
+            // deadline, not only on releases. Once the threshold has passed (or when
+            // draining/ineligible), wait on the request deadline alone — state
+            // changes that matter always come with a targeted wakeup.
+            let mut wake_at = deadline;
+            if st.drain.is_none() && req.is_gang() {
+                if let Some(after) = self.gang_drain_after {
+                    let drain_deadline = parked_at + after;
+                    if drain_deadline > Instant::now() {
+                        wake_at = wake_at.min(drain_deadline);
+                    }
+                }
+            }
+            waiter.cond.wait_until(&mut st, wake_at);
         };
+
+        // Drain cleanup: if this waiter still owns the scheduler-side reservation,
+        // release it. After a successful reserved placement the allocation side is
+        // already consumed, so the cancel inside is a no-op error that is ignored;
+        // on a timeout or error it returns every pinned node to the idle bucket.
+        self.cancel_drain_if(&mut st, |d| Arc::ptr_eq(&d.owner, &waiter));
+
+        // Overtake bookkeeping: this waiter placing while earlier arrivals of its
+        // class stay parked ages each of them one tick (the head is what the drain
+        // trigger watches). Positions ahead are within the window except on the rare
+        // post-timeout final attempt, so the scan is O(lookahead) in steady state.
+        if result.is_ok() {
+            let queue = match priority {
+                Priority::Service => &st.services,
+                Priority::Task => &st.tasks,
+            };
+            if let Some(my_pos) = queue.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+                for overtaken in queue.iter().take(my_pos) {
+                    overtaken.overtakes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
 
         // Leave the queue. The departure shifts everyone behind this waiter one
         // position forward, so a new waiter may have entered the window (a departing
@@ -292,7 +538,15 @@ impl Scheduler {
             st.outstanding_slots += 1;
         }
         st.wake_window(self.lookahead);
-        result
+        result.map(|slot| {
+            (
+                slot,
+                PlacementStats {
+                    overtakes: waiter.overtakes.load(Ordering::Relaxed),
+                    drain_secs: drained_at.map(|t| t.elapsed().as_secs_f64()),
+                },
+            )
+        })
     }
 
     /// Release a previously allocated slot and wake the waiters in the serve window.
@@ -669,6 +923,226 @@ mod tests {
         let narrow = narrow_waiter.join().unwrap().unwrap();
         s.release(&narrow).unwrap();
         assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    /// Acceptance scenario, drain ON: a 4-node whole-node gang parked behind a stream
+    /// of 1-node whole-node tasks places within its overtake budget once draining,
+    /// because every node the stream releases is pinned to the reservation.
+    #[test]
+    fn draining_gang_places_within_its_overtake_budget() {
+        const MAX_OVERTAKES: u32 = 3;
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
+        let cores_per_node = alloc.node_spec().cores;
+        let s =
+            Arc::new(Scheduler::with_lookahead(alloc, 2).with_max_overtakes(Some(MAX_OVERTAKES)));
+        let narrow = cores(cores_per_node); // whole single node
+        let gang_req = cores(cores_per_node).with_nodes(4); // all four nodes, idle
+
+        // One node busy at all times, so the gang can never place directly.
+        let mut hold = Some(
+            s.allocate(&narrow, Priority::Task, Duration::from_secs(1))
+                .unwrap(),
+        );
+        let s_gang = Arc::clone(&s);
+        let gang_waiter = thread::spawn(move || {
+            s_gang.allocate_with_stats(&gang_req, Priority::Task, Duration::from_secs(30))
+        });
+        wait_until(&s, "gang parked at the head", |s| s.waiting_tasks() == 1);
+
+        // Stream of whole-node tasks: allocate the next before releasing the
+        // previous, so some node is always busy. Every successful placement
+        // overtakes the parked gang once; once the budget is spent the gang drains,
+        // newly idle nodes are pinned, and the stream stops fitting.
+        let mut overtakes = 0u32;
+        let bound = MAX_OVERTAKES + 2; // budget exceeded at MAX_OVERTAKES + 1
+        for round in 0..20 {
+            if overtakes > MAX_OVERTAKES {
+                // The budget is spent: the head will drain on its next wakeup. Wait
+                // for the reservation instead of racing it with another placement,
+                // so the cutoff is deterministic under any thread scheduling.
+                wait_until(&s, "gang draining after its budget was spent", |s| {
+                    s.allocation().drain_status().is_some()
+                });
+            }
+            match s.allocate(&narrow, Priority::Task, Duration::from_millis(300)) {
+                Ok(next) => {
+                    overtakes += 1;
+                    assert!(
+                        overtakes <= bound,
+                        "stream still placing after {overtakes} overtakes: \
+                         draining must cut it off near the budget of {MAX_OVERTAKES}"
+                    );
+                    s.release(&hold.take().unwrap()).unwrap();
+                    hold = Some(next);
+                }
+                Err(e) => {
+                    // The reservation has swallowed the idle nodes: release the last
+                    // held node so the drain completes.
+                    assert!(matches!(e, RuntimeError::WaitTimeout { .. }), "{e:?}");
+                    assert!(
+                        round as u32 >= MAX_OVERTAKES,
+                        "stream starved before the gang's budget was even spent"
+                    );
+                    s.release(&hold.take().unwrap()).unwrap();
+                    break;
+                }
+            }
+        }
+        assert!(hold.is_none(), "stream must hit the reservation wall");
+        let (gang, stats) = gang_waiter.join().unwrap().unwrap();
+        assert_eq!(gang.num_nodes(), 4);
+        assert!(
+            stats.overtakes > MAX_OVERTAKES,
+            "drain must have been triggered by the overtake budget: {stats:?}"
+        );
+        assert!(
+            stats.drain_secs.is_some(),
+            "placement must have come through the reservation: {stats:?}"
+        );
+        s.release(&gang).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(s.allocation().idle_nodes(), 4);
+        assert_eq!(s.allocation().reserved_nodes(), 0);
+    }
+
+    /// Acceptance contrast, drain OFF: the identical scenario with draining disabled
+    /// reproduces the PR-2 starvation — the stream overtakes the gang indefinitely.
+    #[test]
+    fn drain_off_reproduces_unbounded_overtaking() {
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
+        let cores_per_node = alloc.node_spec().cores;
+        let s = Arc::new(
+            Scheduler::with_lookahead(alloc, 2)
+                .with_max_overtakes(None)
+                .with_gang_drain_after(None),
+        );
+        assert_eq!(s.max_overtakes(), None);
+        assert_eq!(s.gang_drain_after(), None);
+        let narrow = cores(cores_per_node);
+        let gang_req = cores(cores_per_node).with_nodes(4);
+
+        let mut hold = s
+            .allocate(&narrow, Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let s_gang = Arc::clone(&s);
+        let gang_waiter = thread::spawn(move || {
+            s_gang.allocate(&gang_req, Priority::Task, Duration::from_secs(30))
+        });
+        wait_until(&s, "gang parked at the head", |s| s.waiting_tasks() == 1);
+
+        // Far beyond any reasonable budget: every round must keep placing.
+        for _ in 0..24 {
+            let next = s
+                .allocate(&narrow, Priority::Task, Duration::from_secs(5))
+                .expect("with draining off the stream must never be cut off");
+            s.release(&hold).unwrap();
+            hold = next;
+        }
+        assert_eq!(s.waiting_tasks(), 1, "gang still starving at the head");
+        assert_eq!(
+            s.allocation().reserved_nodes(),
+            0,
+            "no reservation ever opened"
+        );
+        // Stop the stream: the gang finally fits.
+        s.release(&hold).unwrap();
+        let gang = gang_waiter.join().unwrap().unwrap();
+        assert_eq!(gang.num_nodes(), 4);
+        s.release(&gang).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    /// A draining gang that times out cancels its reservation on the way out: every
+    /// pinned node returns to the idle bucket and stays placeable.
+    #[test]
+    fn drain_timeout_cancels_reservation_and_restores_idle_nodes() {
+        let batch = BatchSystem::new(PlatformId::Local.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch.submit(AllocationRequest::nodes(2)).unwrap();
+        // Age-triggered drain: flips almost immediately once parked.
+        let s = Arc::new(
+            Scheduler::with_lookahead(alloc, 2)
+                .with_max_overtakes(None)
+                .with_gang_drain_after(Some(Duration::from_millis(20))),
+        );
+        // One core pinned on one node: a 2-node gang can never complete, but the
+        // other (idle) node gets pinned by its reservation once draining starts.
+        let pin = s
+            .allocate(&cores(1), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let err = s
+            .allocate(
+                &cores(8).with_nodes(2),
+                Priority::Task,
+                Duration::from_millis(300),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::WaitTimeout { .. }));
+        assert_eq!(
+            s.allocation().reserved_nodes(),
+            0,
+            "timed-out drain must not leak its pinned nodes"
+        );
+        assert_eq!(s.waiting_tasks(), 0);
+        // The previously pinned node is placeable again.
+        let whole = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        s.release(&whole).unwrap();
+        s.release(&pin).unwrap();
+        assert_eq!(s.allocation().idle_nodes(), 2);
+        assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    /// Service priority extends to reservations: a service parking while a task gang
+    /// drains cancels the drain, takes the capacity first, and the gang re-opens its
+    /// reservation afterwards.
+    #[test]
+    fn parking_service_cancels_task_drain_and_places_first() {
+        let batch = BatchSystem::new(PlatformId::Local.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch.submit(AllocationRequest::nodes(2)).unwrap();
+        let s = Arc::new(
+            Scheduler::with_lookahead(alloc, 2)
+                .with_max_overtakes(None)
+                .with_gang_drain_after(Some(Duration::from_millis(20))),
+        );
+        let pin = s
+            .allocate(&cores(1), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let s_gang = Arc::clone(&s);
+        let gang_waiter = thread::spawn(move || {
+            s_gang.allocate_with_stats(
+                &cores(8).with_nodes(2),
+                Priority::Task,
+                Duration::from_secs(30),
+            )
+        });
+        // Wait for the age trigger to pin the idle node.
+        wait_until(&s, "task gang draining", |s| {
+            s.allocation().reserved_nodes() == 1
+        });
+        // A whole-node service arrives: it must not be blocked by the pinned node.
+        let svc = s
+            .allocate(&cores(8), Priority::Service, Duration::from_secs(5))
+            .expect("service must reclaim the reserved node");
+        assert_eq!(
+            s.allocation().reserved_nodes(),
+            0,
+            "task drain cancelled while the service was served"
+        );
+        // Release the service and the pin: the gang completes — through a re-opened
+        // reservation if its head re-drained before the capacity freed, or directly
+        // off the idle bucket if not. Either way the earlier *cancelled* draining
+        // interval must never be reported as drain_secs (the metric covers only an
+        // interval ending in a reserved placement).
+        s.release(&svc).unwrap();
+        s.release(&pin).unwrap();
+        let (gang, _stats) = gang_waiter.join().unwrap().unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        s.release(&gang).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(s.allocation().idle_nodes(), 2);
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct SessionConfig {
     /// tasks) may be attempted out of strict FIFO order. 1 = strict FIFO; larger
     /// windows let narrow tasks through behind a blocked multi-node gang.
     pub scheduler_lookahead: usize,
+    /// Overtake budget before a parked head gang opens a backfill reservation
+    /// (drains). `None` disables overtake-triggered draining. Defaults to
+    /// [`crate::scheduler::DEFAULT_MAX_OVERTAKES`].
+    pub scheduler_max_overtakes: Option<u32>,
+    /// Parked-age threshold before a head gang drains regardless of overtakes.
+    /// `None` (the default) drains on overtakes only.
+    pub gang_drain_after: Option<Duration>,
 }
 
 impl Default for SessionConfig {
@@ -58,6 +65,8 @@ impl Default for SessionConfig {
             seed: 42,
             platform: PlatformId::Local,
             scheduler_lookahead: 1,
+            scheduler_max_overtakes: Some(crate::scheduler::DEFAULT_MAX_OVERTAKES),
+            gang_drain_after: None,
         }
     }
 }
@@ -102,6 +111,27 @@ impl SessionBuilder {
     /// nodes at the head of the queue.
     pub fn scheduler_lookahead(mut self, lookahead: usize) -> Self {
         self.config.scheduler_lookahead = lookahead.max(1);
+        self
+    }
+
+    /// Age threshold after which a parked head gang opens a backfill reservation
+    /// (flips to *draining*): newly idle nodes are pinned to the gang until its full
+    /// node span is reserved and it places atomically, while narrower requests keep
+    /// backfilling around the reservation. Ageing by overtake count is on by default
+    /// ([`crate::scheduler::DEFAULT_MAX_OVERTAKES`]); this adds a wall-clock trigger
+    /// for workloads whose gangs must place within a bounded wait even when nothing
+    /// overtakes them.
+    pub fn gang_drain_after(mut self, after: Duration) -> Self {
+        self.config.gang_drain_after = Some(after);
+        self
+    }
+
+    /// Set the overtake budget before a parked head gang drains, or `None` to
+    /// disable overtake-triggered draining (with no [`SessionBuilder::gang_drain_after`]
+    /// either, gangs never drain — the pure bounded-lookahead behaviour, which can
+    /// starve a wide gang indefinitely under a stream of narrower requests).
+    pub fn scheduler_max_overtakes(mut self, budget: Option<u32>) -> Self {
+        self.config.scheduler_max_overtakes = budget;
         self
     }
 
@@ -238,10 +268,11 @@ impl Session {
             record.allocation.lock().clone().ok_or_else(|| {
                 RuntimeError::InvalidState("pilot active without allocation".into())
             })?;
-        *self.scheduler.lock() = Some(Arc::new(Scheduler::with_lookahead(
-            allocation,
-            self.config.scheduler_lookahead,
-        )));
+        *self.scheduler.lock() = Some(Arc::new(
+            Scheduler::with_lookahead(allocation, self.config.scheduler_lookahead)
+                .with_max_overtakes(self.config.scheduler_max_overtakes)
+                .with_gang_drain_after(self.config.gang_drain_after),
+        ));
         self.pilots.lock().push(Arc::clone(&record));
         Ok(PilotHandle { record })
     }
@@ -470,6 +501,22 @@ mod tests {
         let cfg = SessionConfig::default();
         assert_eq!(cfg.platform, PlatformId::Local);
         assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.scheduler_lookahead, 1);
+        assert_eq!(
+            cfg.scheduler_max_overtakes,
+            Some(crate::scheduler::DEFAULT_MAX_OVERTAKES)
+        );
+        assert_eq!(cfg.gang_drain_after, None);
+        let tuned = Session::builder("tuned")
+            .gang_drain_after(Duration::from_secs(5))
+            .scheduler_max_overtakes(Some(4))
+            .build()
+            .unwrap();
+        assert_eq!(
+            tuned.config().gang_drain_after,
+            Some(Duration::from_secs(5))
+        );
+        assert_eq!(tuned.config().scheduler_max_overtakes, Some(4));
         let s = Session::with_config(cfg.clone());
         assert_eq!(s.config(), &cfg);
         assert!(s.id().starts_with("session."));

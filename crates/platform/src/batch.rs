@@ -14,7 +14,7 @@
 //! `allocate_slot` used to scan every node linearly, which made placement cost grow
 //! with allocation size — the dominant agent-scheduler overhead RADICAL-Pilot's
 //! characterization work reports at leadership scale. The allocation now keeps a
-//! [`CapacityIndex`]: nodes are bucketed by (free-GPU, free-core) headroom class, with a
+//! capacity index: nodes are bucketed by (free-GPU, free-core) headroom class, with a
 //! per-GPU-level `u128` bitmap of non-empty core classes. A placement probes at most
 //! `gpus_per_node + 1` bitmap words (trailing-zeros to the smallest sufficient core
 //! class), so finding a fitting node is O(gpu levels) — independent of node count — and
@@ -32,6 +32,20 @@
 //! rank order). The idle candidates come straight off the top headroom bucket, so a
 //! gang claim costs O(gang size), independent of the allocation's node count, and
 //! releasing the gang returns every member to the idle bucket in O(gang size).
+//!
+//! ## Backfill reservations (drains)
+//!
+//! A gang that keeps losing the race for idle nodes can open a *backfill reservation*
+//! with [`Allocation::begin_drain`]: currently idle nodes are pinned to the drain
+//! immediately, and every node that later becomes idle through [`Allocation::release_slot`]
+//! is pinned as well, until `req.nodes` have accumulated. Pinned nodes are removed from
+//! the capacity index, so neither single-node placements nor other gangs can see them —
+//! while every *other* node stays placeable, which is what lets narrow requests keep
+//! backfilling around the reservation. [`Allocation::allocate_reserved`] places the gang
+//! atomically on the pinned set once it is complete, and [`Allocation::cancel_drain`]
+//! returns the pinned nodes to the idle bucket (the scheduler cancels on timeout, and
+//! when a waiting service must not be blocked by a task-class reservation). At most one
+//! drain is active per allocation: only the head of a scheduler class drains.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -257,6 +271,18 @@ impl CapacityIndex {
     }
 }
 
+/// The one active backfill reservation: idle nodes pinned for a draining gang.
+/// Pinned nodes are *removed from the capacity index*, which is what excludes them
+/// from `find`/`find_idle` without any per-probe filtering cost.
+struct DrainReservation {
+    id: u64,
+    /// Nodes the draining gang needs in total (its `ResourceRequest::nodes`).
+    target: usize,
+    /// Idle nodes pinned so far; grows monotonically until `target` via release
+    /// events, never beyond it.
+    pinned: Vec<usize>,
+}
+
 /// Mutable allocation state: node occupancy plus the capacity index and cached
 /// aggregate counters, all guarded by one lock.
 struct AllocState {
@@ -269,6 +295,8 @@ struct AllocState {
     /// this set is rejected, so a double release can never re-credit resources
     /// (memory in particular has no per-unit occupancy bit to catch it otherwise).
     live_slots: std::collections::HashSet<u64>,
+    /// Active backfill reservation, if any (at most one per allocation).
+    drain: Option<DrainReservation>,
 }
 
 impl AllocState {
@@ -316,6 +344,18 @@ impl AllocState {
         let (free_gpus, free_cores) = (node.free_gpus(), node.free_cores());
         self.index.update(member.node_index, free_gpus, free_cores);
     }
+
+    /// Pin `node` to the active drain if one is still short of its target and the node
+    /// is fully idle: the node leaves the capacity index, so no other placement path
+    /// can claim it until the drain places or is cancelled.
+    fn try_pin_idle(&mut self, node: usize) {
+        if let Some(drain) = &mut self.drain {
+            if drain.pinned.len() < drain.target && self.nodes[node].is_idle() {
+                self.index.remove(node);
+                drain.pinned.push(node);
+            }
+        }
+    }
 }
 
 /// A granted allocation: a set of whole nodes owned by one pilot.
@@ -325,6 +365,7 @@ pub struct Allocation {
     num_nodes: usize,
     state: Mutex<AllocState>,
     next_slot_id: AtomicU64,
+    next_drain_id: AtomicU64,
     /// Seconds spent waiting in the batch queue (0 if not modelled).
     queue_wait_secs: f64,
     walltime_secs: f64,
@@ -382,7 +423,9 @@ impl Allocation {
         self.state.lock().free_gpus
     }
 
-    /// Number of nodes with no reservation at all (O(1): cached).
+    /// Number of nodes with no slot reservation at all (O(1): cached). This counts
+    /// *physical* idleness: nodes pinned by an active backfill drain are idle but not
+    /// placeable — subtract [`Allocation::reserved_nodes`] for available idle capacity.
     pub fn idle_nodes(&self) -> usize {
         self.num_nodes - self.state.lock().non_idle_nodes
     }
@@ -466,8 +509,19 @@ impl Allocation {
             .ok_or(ResourceError::InsufficientResources)?;
         // Rank order: member i of the slot is the i-th lowest claimed node index.
         picked.sort_unstable();
-        let mut members = Vec::with_capacity(req.nodes);
-        for &node_index in &picked {
+        self.claim_gang(st, &picked, req)
+    }
+
+    /// Reserve one member share of `req` on each of the (sorted, idle, indexed) nodes
+    /// in `picked`, all-or-nothing, and register the resulting gang slot.
+    fn claim_gang(
+        &self,
+        st: &mut AllocState,
+        picked: &[usize],
+        req: &ResourceRequest,
+    ) -> Result<Slot, ResourceError> {
+        let mut members = Vec::with_capacity(picked.len());
+        for &node_index in picked {
             match st.reserve_member(node_index, req) {
                 Ok(member) => members.push(member),
                 Err(e) => {
@@ -483,6 +537,125 @@ impl Allocation {
         let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
         st.live_slots.insert(id);
         Ok(Slot { id, members })
+    }
+
+    /// Open a backfill reservation for a gang-shaped `req`: all currently idle nodes
+    /// (up to `req.nodes`) are pinned immediately, and every node that later becomes
+    /// idle through [`Allocation::release_slot`] is pinned too, until the reservation
+    /// holds `req.nodes` nodes. Pinned nodes are invisible to every other placement
+    /// path; all other capacity stays placeable (backfill *around* the reservation).
+    ///
+    /// Returns the drain id to pass to [`Allocation::allocate_reserved`] /
+    /// [`Allocation::cancel_drain`]. At most one drain is active per allocation:
+    /// a second `begin_drain` fails with [`ResourceError::DrainActive`].
+    pub fn begin_drain(&self, req: &ResourceRequest) -> Result<u64, ResourceError> {
+        self.check_satisfiable(req)?;
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        if st.drain.is_some() {
+            return Err(ResourceError::DrainActive);
+        }
+        let id = self.next_drain_id.fetch_add(1, Ordering::Relaxed);
+        // Pin what is already idle, straight off the top headroom bucket (the same
+        // candidate set `find_idle` uses), in O(target).
+        let candidates: Vec<usize> = st.index.buckets[st.index.top_bucket()]
+            .iter()
+            .copied()
+            .filter(|&n| st.nodes[n].is_idle())
+            .take(req.nodes)
+            .collect();
+        let mut pinned = Vec::with_capacity(req.nodes);
+        for node in candidates {
+            st.index.remove(node);
+            pinned.push(node);
+        }
+        st.drain = Some(DrainReservation {
+            id,
+            target: req.nodes,
+            pinned,
+        });
+        Ok(id)
+    }
+
+    /// Cancel an active backfill reservation: every pinned node returns to the idle
+    /// bucket of the capacity index, immediately placeable again. Returns how many
+    /// nodes were released. Cancelling a drain that was already consumed by its
+    /// placement (or never begun) fails with [`ResourceError::UnknownDrain`].
+    pub fn cancel_drain(&self, drain_id: u64) -> Result<usize, ResourceError> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        match &st.drain {
+            Some(d) if d.id == drain_id => {}
+            _ => return Err(ResourceError::UnknownDrain(drain_id)),
+        }
+        let drain = st.drain.take().expect("checked above");
+        let released = drain.pinned.len();
+        for node in drain.pinned {
+            let (fg, fc) = (st.nodes[node].free_gpus(), st.nodes[node].free_cores());
+            st.index.insert(node, fg, fc);
+        }
+        Ok(released)
+    }
+
+    /// Place the draining gang on its reserved nodes, atomically consuming the
+    /// reservation. Fails with [`ResourceError::InsufficientResources`] while the
+    /// reservation is still short of its target (pinning continues via releases), and
+    /// with [`ResourceError::UnknownDrain`] when `drain_id` is not the active drain.
+    pub fn allocate_reserved(
+        &self,
+        drain_id: u64,
+        req: &ResourceRequest,
+    ) -> Result<Slot, ResourceError> {
+        self.check_satisfiable(req)?;
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        match &st.drain {
+            Some(d) if d.id == drain_id => {
+                if d.target != req.nodes {
+                    return Err(ResourceError::NeverSatisfiable {
+                        reason: format!(
+                            "drain reserved {} nodes but the request spans {}",
+                            d.target, req.nodes
+                        ),
+                    });
+                }
+                if d.pinned.len() < d.target {
+                    return Err(ResourceError::InsufficientResources);
+                }
+            }
+            _ => return Err(ResourceError::UnknownDrain(drain_id)),
+        }
+        let drain = st.drain.take().expect("checked above");
+        let mut picked = drain.pinned;
+        // Rank order, and back into the index so the shared claim path (and any undo)
+        // keeps the index consistent.
+        picked.sort_unstable();
+        for &node in &picked {
+            let (fg, fc) = (st.nodes[node].free_gpus(), st.nodes[node].free_cores());
+            st.index.insert(node, fg, fc);
+        }
+        // On the unreachable failure path the nodes stay indexed and the reservation
+        // is gone — a failed reserved claim cancels the drain rather than leaking it.
+        self.claim_gang(st, &picked, req)
+    }
+
+    /// Number of idle nodes currently pinned by the active backfill reservation
+    /// (0 when no drain is active).
+    pub fn reserved_nodes(&self) -> usize {
+        self.state
+            .lock()
+            .drain
+            .as_ref()
+            .map_or(0, |d| d.pinned.len())
+    }
+
+    /// `(pinned, target)` of the active backfill reservation, if any.
+    pub fn drain_status(&self) -> Option<(usize, usize)> {
+        self.state
+            .lock()
+            .drain
+            .as_ref()
+            .map(|d| (d.pinned.len(), d.target))
     }
 
     /// Release a previously allocated slot, updating the capacity index incrementally
@@ -510,6 +683,14 @@ impl Allocation {
         }
         for member in &slot.members {
             st.release_member(member);
+        }
+        // Backfill reservation hook: nodes this release left fully idle are pinned to
+        // the draining gang *before* the scheduler can wake any other waiter, so a
+        // lookahead request can never race the drain for a freshly idle node.
+        if st.drain.is_some() {
+            for member in &slot.members {
+                st.try_pin_idle(member.node_index);
+            }
         }
         Ok(())
     }
@@ -622,8 +803,10 @@ impl BatchSystem {
                 free_gpus: req.nodes as u32 * self.spec.node.gpus,
                 non_idle_nodes: 0,
                 live_slots: std::collections::HashSet::new(),
+                drain: None,
             }),
             next_slot_id: AtomicU64::new(0),
+            next_drain_id: AtomicU64::new(0),
             queue_wait_secs,
             walltime_secs: req.walltime_secs,
         }))
@@ -979,6 +1162,152 @@ mod tests {
         assert_eq!(alloc.idle_nodes(), 1);
         alloc.release_slot(&extra).unwrap();
         assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn drain_pins_idle_nodes_and_excludes_them_from_placement() {
+        let b = batch(PlatformId::Local); // 2 nodes x (8 cores, 2 gpus)
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let gang_req = cores(8).with_nodes(2);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        // Both idle nodes are pinned immediately and invisible to other requests.
+        assert_eq!(alloc.reserved_nodes(), 2);
+        assert_eq!(alloc.drain_status(), Some((2, 2)));
+        assert_eq!(
+            alloc.allocate_slot(&cores(1)).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        assert_eq!(
+            alloc.allocate_slot(&cores(1).with_nodes(2)).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        // Yet the nodes are still physically idle.
+        assert_eq!(alloc.idle_nodes(), 2);
+        // The reservation is complete, so the draining gang places atomically.
+        let gang = alloc.allocate_reserved(id, &gang_req).unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        assert!(
+            alloc.drain_status().is_none(),
+            "placement consumes the drain"
+        );
+        alloc.release_slot(&gang).unwrap();
+        assert_eq!(alloc.idle_nodes(), 2);
+        assert!(alloc.allocate_slot(&cores(1)).is_ok());
+    }
+
+    #[test]
+    fn drain_accumulates_newly_idle_nodes_via_release() {
+        let b = batch(PlatformId::Local); // 2 nodes
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let hold_a = alloc.allocate_slot(&cores(8)).unwrap();
+        let hold_b = alloc.allocate_slot(&cores(8)).unwrap();
+        let gang_req = cores(8).with_nodes(2);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 0, "nothing idle to pin yet");
+        assert_eq!(
+            alloc.allocate_reserved(id, &gang_req).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        alloc.release_slot(&hold_a).unwrap();
+        assert_eq!(
+            alloc.reserved_nodes(),
+            1,
+            "freed node pinned, not re-placeable"
+        );
+        assert_eq!(
+            alloc.allocate_slot(&cores(1)).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        alloc.release_slot(&hold_b).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 2);
+        let gang = alloc.allocate_reserved(id, &gang_req).unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        assert_eq!(gang.num_cores(), 16);
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn drain_pins_at_most_target_and_backfill_continues_around_it() {
+        let b = batch(PlatformId::Delta); // 64 cores per node
+        let alloc = b.submit(AllocationRequest::nodes(4)).unwrap();
+        let gang_req = cores(64).with_nodes(2);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        // Only 2 of the 4 idle nodes are pinned; the rest stay placeable.
+        assert_eq!(alloc.reserved_nodes(), 2);
+        let around_a = alloc.allocate_slot(&cores(64)).unwrap();
+        let around_b = alloc.allocate_slot(&cores(64)).unwrap();
+        assert_eq!(
+            alloc.allocate_slot(&cores(1)).unwrap_err(),
+            ResourceError::InsufficientResources,
+            "non-reserved capacity exhausted; pinned nodes must stay invisible"
+        );
+        // Releasing backfill slots must NOT grow the already-complete reservation.
+        alloc.release_slot(&around_a).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 2);
+        assert!(
+            alloc.allocate_slot(&cores(1)).is_ok(),
+            "freed node placeable"
+        );
+        let gang = alloc.allocate_reserved(id, &gang_req).unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        alloc.release_slot(&gang).unwrap();
+        alloc.release_slot(&around_b).unwrap();
+    }
+
+    #[test]
+    fn cancel_drain_returns_pinned_nodes_to_the_idle_bucket() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let gang_req = cores(4).with_nodes(2);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 2);
+        assert_eq!(alloc.cancel_drain(id).unwrap(), 2);
+        assert!(alloc.drain_status().is_none());
+        // The nodes are back in the idle bucket: a whole-allocation gang fits again.
+        let gang = alloc.allocate_slot(&cores(8).with_nodes(2)).unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        alloc.release_slot(&gang).unwrap();
+        // Stale ids are rejected everywhere.
+        assert_eq!(
+            alloc.cancel_drain(id).unwrap_err(),
+            ResourceError::UnknownDrain(id)
+        );
+        assert_eq!(
+            alloc.allocate_reserved(id, &gang_req).unwrap_err(),
+            ResourceError::UnknownDrain(id)
+        );
+    }
+
+    #[test]
+    fn only_one_drain_at_a_time() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let gang_req = cores(4).with_nodes(2);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        assert_eq!(
+            alloc.begin_drain(&gang_req).unwrap_err(),
+            ResourceError::DrainActive
+        );
+        alloc.cancel_drain(id).unwrap();
+        let id2 = alloc.begin_drain(&gang_req).unwrap();
+        assert_ne!(id, id2, "drain ids are never reused");
+        alloc.cancel_drain(id2).unwrap();
+    }
+
+    #[test]
+    fn allocate_reserved_rejects_mismatched_span() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let id = alloc.begin_drain(&cores(4).with_nodes(2)).unwrap();
+        let err = alloc.allocate_reserved(id, &cores(4)).unwrap_err();
+        assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
+        assert_eq!(
+            alloc.reserved_nodes(),
+            2,
+            "failed claim leaves the drain intact"
+        );
+        alloc.cancel_drain(id).unwrap();
     }
 
     #[test]

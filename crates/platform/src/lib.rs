@@ -19,6 +19,27 @@
 //! The experiments in the paper depend on slot counts, GPU counts, concurrency limits,
 //! launcher behaviour and link latencies — not on the machines' floating-point
 //! throughput — so this substrate preserves the behaviour that matters (see DESIGN.md §5).
+//!
+//! # Example
+//!
+//! Submit a pilot-sized allocation to a platform's batch system and carve a slot out
+//! of it:
+//!
+//! ```
+//! use hpcml_platform::batch::{AllocationRequest, BatchSystem};
+//! use hpcml_platform::{PlatformId, ResourceRequest};
+//! use hpcml_sim::clock::ClockSpec;
+//!
+//! let batch = BatchSystem::new(PlatformId::Local.spec(), ClockSpec::Manual.build(), 7);
+//! let alloc = batch.submit(AllocationRequest::nodes(2))?;
+//! assert_eq!(alloc.num_nodes(), 2);
+//!
+//! let slot = alloc.allocate_slot(&ResourceRequest::gpus(1)?)?;
+//! assert_eq!(slot.num_gpus(), 1);
+//! alloc.release_slot(&slot)?;
+//! assert!(alloc.is_idle());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 

@@ -36,6 +36,13 @@ pub enum ResourceError {
     /// or a slot id without occupying any indexed unit, corrupting headroom-class
     /// accounting — most visibly the idle bucket the gang allocator claims from).
     EmptyRequest,
+    /// A backfill drain was requested while another reservation is still active. The
+    /// allocation supports at most one draining gang at a time (only the head of a
+    /// scheduler class can drain, see `crate::batch::Allocation::begin_drain`).
+    DrainActive,
+    /// A drain operation referenced a reservation that does not exist any more —
+    /// either never begun, already cancelled, or already consumed by its placement.
+    UnknownDrain(u64),
 }
 
 impl fmt::Display for ResourceError {
@@ -48,6 +55,12 @@ impl fmt::Display for ResourceError {
             ResourceError::UnknownSlot(id) => write!(f, "unknown or already released slot {id}"),
             ResourceError::EmptyRequest => {
                 write!(f, "request must pin at least one core or GPU")
+            }
+            ResourceError::DrainActive => {
+                write!(f, "another backfill reservation is already draining")
+            }
+            ResourceError::UnknownDrain(id) => {
+                write!(f, "unknown or already completed drain reservation {id}")
             }
         }
     }

@@ -13,6 +13,36 @@
 //!   Signature Detection, and Uncertainty Quantification, parameterised so they can run
 //!   at laptop scale while exercising the same runtime code paths (services, concurrent
 //!   tasks, staging, hybrid CPU/GPU workloads).
+//!
+//! # Example
+//!
+//! Describe a two-stage pipeline with the DSL — a preprocessing fan-out followed by a
+//! service-backed analysis stage (pass it to a [`dsl::PipelineRunner`] bound to a
+//! [`hpcml_runtime::Session`] to execute it):
+//!
+//! ```
+//! use hpcml_runtime::describe::{ServiceDescription, TaskDescription, TaskKind};
+//! use hpcml_workflows::{Pipeline, Stage};
+//!
+//! let pipeline = Pipeline::new("demo")
+//!     .stage(Stage::new("preprocess").tasks((0..4).map(|i| {
+//!         TaskDescription::new(format!("shard-{i}"))
+//!             .kind(TaskKind::compute_secs(5.0))
+//!             .cores(1)
+//!     })))
+//!     .stage(
+//!         Stage::new("analyze")
+//!             .service(ServiceDescription::new("llm-0").cores(1))
+//!             .task(
+//!                 TaskDescription::new("client")
+//!                     .kind(TaskKind::inference_client("llm-0", 4))
+//!                     .after_service("llm-0"),
+//!             ),
+//!     );
+//! assert_eq!(pipeline.stages.len(), 2);
+//! assert_eq!(pipeline.total_tasks(), 5);
+//! assert_eq!(pipeline.total_services(), 1);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -9,7 +9,14 @@
 #      CI runner scales the reference and the measurement alike instead of
 #      false-failing on absolute nanoseconds; or
 #   2. scheduler/gang_allocate stops being flat (max/min beyond the same threshold)
-#      across the 4/256/4096-node sweep — gang placement must stay O(gang size).
+#      across the 4/256/4096-node sweep — gang placement must stay O(gang size); or
+#   3. scheduler/gang_backfill stops being flat across the same sweep — the
+#      backfill-reservation cycle (begin_drain + allocate_reserved + release) must
+#      stay O(gang size + pinned nodes), independent of allocation width.
+#
+# Every run also writes its raw criterion output, the parsed results, and the
+# candidate baseline JSON under target/bench-guard/ so CI can upload them as a
+# workflow artifact for trajectory inspection.
 #
 # The baseline is only (re)written when it does not exist yet or when
 # BENCH_BASELINE_UPDATE=1 is set, so a passing-but-slower run cannot silently
@@ -25,10 +32,13 @@ cd "$(dirname "$0")/.."
 BASELINE="BENCH_scheduler.json"
 THRESHOLD="${BENCH_GUARD_THRESHOLD:-2.0}"
 REFERENCE="registry/lookup_64"
+ARTIFACTS="target/bench-guard"
+mkdir -p "$ARTIFACTS"
 
 echo "==> cargo bench -p hpcml-bench --bench runtime_hotpaths (guard threshold ${THRESHOLD}x)"
 RAW="$(cargo bench -p hpcml-bench --bench runtime_hotpaths 2>&1)"
 echo "$RAW"
+echo "$RAW" > "$ARTIFACTS/criterion-output.txt"
 
 # The criterion shim prints `name  time: [  XXX.XX <unit>/iter]  samples: N`.
 # Normalise every such line to "name <ns/iter>" pairs.
@@ -47,6 +57,8 @@ RESULTS="$(echo "$RAW" | awk '
             printf "%s %.2f\n", name, value
         }
     }')"
+
+echo "$RESULTS" > "$ARTIFACTS/results-parsed.txt"
 
 if ! echo "$RESULTS" | grep -q "^scheduler/allocate_release/"; then
     echo "bench_guard: FAILED — could not parse scheduler/allocate_release results" >&2
@@ -105,20 +117,40 @@ else
     echo "guard: no committed baseline — recording the first trajectory datapoint"
 fi
 
-# Guard 2: gang placement flatness across the node-count sweep (same machine, same
-# run — absolute comparison is correct here).
-echo "$RESULTS" | awk -v t="$THRESHOLD" '
-    /^scheduler\/gang_allocate\// {
-        if (!n || $2 < min) min = $2
-        if (!n || $2 > max) max = $2
-        n++
-    }
-    END {
-        if (n < 2) { print "guard: gang_allocate sweep has fewer than 2 points" >"/dev/stderr"; exit 1 }
-        ratio = max / min
-        printf "guard: gang_allocate flatness %.2fx across %d sweep points (bound %.1fx)\n", ratio, n, t
-        exit !(ratio <= t)
-    }' || fail=1
+# Guards 2 + 3: gang placement and backfill-reservation flatness across the
+# node-count sweep (same machine, same run — absolute comparison is correct here).
+flatness_guard() { # flatness_guard <bench group name>
+    echo "$RESULTS" | awk -v t="$THRESHOLD" -v g="$1" '
+        $1 ~ "^scheduler/" g "/" {
+            if (!n || $2 < min) min = $2
+            if (!n || $2 > max) max = $2
+            n++
+        }
+        END {
+            if (n < 2) { printf "guard: %s sweep has fewer than 2 points\n", g >"/dev/stderr"; exit 1 }
+            ratio = max / min
+            printf "guard: %s flatness %.2fx across %d sweep points (bound %.1fx)\n", g, ratio, n, t
+            exit !(ratio <= t)
+        }'
+}
+flatness_guard "gang_allocate" || fail=1
+flatness_guard "gang_backfill" || fail=1
+
+# The candidate baseline is always written to the artifact dir (inspectable from the
+# Actions UI next to the committed baseline), whatever the guard verdict.
+write_baseline() { # write_baseline <path>
+    echo "$RESULTS" | awk -v ref="$REFERENCE" '
+        BEGIN { print "{"; print "  \"unit\": \"ns_per_iter\"," }
+        $1 == ref || /^scheduler\// {
+            if (n++) printf ",\n"
+            printf "  \"%s\": %s", $1, $2
+        }
+        END { print ""; print "}" }' > "$1"
+}
+write_baseline "$ARTIFACTS/BENCH_scheduler.candidate.json"
+if [[ -f "$BASELINE" ]]; then
+    cp "$BASELINE" "$ARTIFACTS/BENCH_scheduler.committed.json"
+fi
 
 if [[ "$fail" != 0 ]]; then
     echo "bench_guard: FAILED (baseline $BASELINE left untouched)" >&2
@@ -126,13 +158,7 @@ if [[ "$fail" != 0 ]]; then
 fi
 
 if [[ ! -f "$BASELINE" || "${BENCH_BASELINE_UPDATE:-0}" == "1" ]]; then
-    echo "$RESULTS" | awk -v ref="$REFERENCE" '
-        BEGIN { print "{"; print "  \"unit\": \"ns_per_iter\"," }
-        $1 == ref || /^scheduler\// {
-            if (n++) printf ",\n"
-            printf "  \"%s\": %s", $1, $2
-        }
-        END { print ""; print "}" }' > "$BASELINE"
+    write_baseline "$BASELINE"
     echo "==> wrote $BASELINE"
 else
     echo "==> baseline unchanged (set BENCH_BASELINE_UPDATE=1 to record a new datapoint)"

@@ -26,6 +26,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run (bench targets must keep compiling)"
 cargo bench --no-run
 
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings: docs must not bit-rot)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 if [[ "${BENCH_GUARD:-0}" == "1" ]]; then
     echo "==> BENCH_GUARD=1: scripts/bench_guard.sh"
     scripts/bench_guard.sh

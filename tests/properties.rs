@@ -9,7 +9,7 @@
 
 use hpcml::comm::message::Message;
 use hpcml::platform::batch::{AllocationRequest, BatchSystem};
-use hpcml::platform::resources::{NodeSpec, NodeState, ResourceRequest};
+use hpcml::platform::resources::{NodeSpec, NodeState, ResourceError, ResourceRequest};
 use hpcml::platform::PlatformId;
 use hpcml::runtime::states::{ServiceState, TaskState};
 use hpcml::sim::clock::ClockSpec;
@@ -417,6 +417,246 @@ fn gang_and_single_placements_never_overlap() {
             .expect("released gang members must return to the idle bucket");
         assert_eq!(all.num_nodes(), nodes);
         alloc.release_slot(&all).unwrap();
+        assert!(alloc.is_idle());
+    });
+}
+
+/// Random interleavings of single-node placements, releases, and backfill-drain
+/// operations (begin / cancel / reserved placement) never double-book a unit and
+/// never leak a reservation: pinned nodes are invisible to ordinary placements but
+/// still counted idle, a cancelled drain returns every pinned node to the correct
+/// headroom bucket (idle-count model check), and a consumed drain turns exactly its
+/// pinned set into the gang's members.
+#[test]
+fn drain_reserve_cancel_place_interleavings_never_double_book() {
+    use std::collections::HashSet;
+    for_each_case(
+        "drain_reserve_cancel_place_interleavings_never_double_book",
+        |rng| {
+            let nodes = 5usize;
+            let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+            let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+            let spec = alloc.node_spec();
+            let total_cores = alloc.total_cores();
+            let mut live_cores: HashSet<(usize, u32)> = HashSet::new();
+            let mut busy_nodes: HashSet<usize> = HashSet::new();
+            let mut slots: Vec<hpcml::platform::Slot> = Vec::new();
+            // The model of the active drain: (id, target, request).
+            let mut drain: Option<(u64, usize, ResourceRequest)> = None;
+
+            let track_alloc = |slot: &hpcml::platform::Slot,
+                               live_cores: &mut HashSet<(usize, u32)>,
+                               busy_nodes: &mut HashSet<usize>| {
+                for m in &slot.members {
+                    for c in &m.core_ids {
+                        assert!(
+                            live_cores.insert((m.node_index, *c)),
+                            "core {} on node {} double-booked",
+                            c,
+                            m.node_index
+                        );
+                    }
+                    busy_nodes.insert(m.node_index);
+                }
+            };
+
+            for _ in 0..rng.gen_range(10usize..80) {
+                match rng.gen_range(0u32..10) {
+                    // Single-node placement on non-reserved capacity.
+                    0..=3 => {
+                        let req = ResourceRequest {
+                            cores: rng.gen_range(1u32..spec.cores + 1),
+                            gpus: 0,
+                            mem_gib: 0.0,
+                            nodes: 1,
+                        };
+                        if let Ok(slot) = alloc.allocate_slot(&req) {
+                            track_alloc(&slot, &mut live_cores, &mut busy_nodes);
+                            slots.push(slot);
+                        }
+                    }
+                    // Release a random live slot; freed idle nodes may be pinned.
+                    4..=6 => {
+                        if slots.is_empty() {
+                            continue;
+                        }
+                        let idx = rng.gen_range(0usize..slots.len());
+                        let slot = slots.swap_remove(idx);
+                        alloc.release_slot(&slot).unwrap();
+                        for m in &slot.members {
+                            for c in &m.core_ids {
+                                assert!(live_cores.remove(&(m.node_index, *c)));
+                            }
+                            if !live_cores.iter().any(|(n, _)| *n == m.node_index) {
+                                busy_nodes.remove(&m.node_index);
+                            }
+                        }
+                    }
+                    // Open a reservation for a random gang width.
+                    7 => {
+                        let width = rng.gen_range(2usize..nodes + 1);
+                        let req = ResourceRequest {
+                            cores: spec.cores,
+                            gpus: 0,
+                            mem_gib: 0.0,
+                            nodes: width,
+                        };
+                        match alloc.begin_drain(&req) {
+                            Ok(id) => {
+                                assert!(drain.is_none(), "second drain must be rejected");
+                                drain = Some((id, width, req));
+                            }
+                            Err(ResourceError::DrainActive) => assert!(drain.is_some()),
+                            Err(e) => panic!("unexpected begin_drain error: {e:?}"),
+                        }
+                    }
+                    // Cancel the active reservation.
+                    8 => {
+                        if let Some((id, _, _)) = drain.take() {
+                            alloc.cancel_drain(id).unwrap();
+                            assert_eq!(alloc.reserved_nodes(), 0);
+                        }
+                    }
+                    // Try to place the draining gang through its reservation.
+                    _ => {
+                        if let Some((id, width, req)) = drain {
+                            match alloc.allocate_reserved(id, &req) {
+                                Ok(slot) => {
+                                    assert_eq!(slot.num_nodes(), width);
+                                    track_alloc(&slot, &mut live_cores, &mut busy_nodes);
+                                    slots.push(slot);
+                                    drain = None;
+                                }
+                                Err(ResourceError::InsufficientResources) => {
+                                    let (pinned, target) = alloc.drain_status().unwrap();
+                                    assert!(pinned < target, "complete drain must place");
+                                }
+                                Err(e) => panic!("unexpected allocate_reserved error: {e:?}"),
+                            }
+                        }
+                    }
+                }
+                // Model checks after every step.
+                let pinned = alloc.reserved_nodes();
+                if let Some((_, target, _)) = &drain {
+                    assert!(pinned <= *target, "reservation never overshoots its target");
+                } else {
+                    assert_eq!(pinned, 0, "no reservation may outlive its drain");
+                }
+                assert_eq!(
+                    alloc.idle_nodes(),
+                    nodes - busy_nodes.len(),
+                    "pinned nodes stay physically idle; busy nodes never pinned"
+                );
+                assert_eq!(
+                    alloc.free_cores() + live_cores.len() as u32,
+                    total_cores,
+                    "core conservation across drain operations"
+                );
+            }
+
+            // Wind down: cancel any reservation, release everything, and prove no
+            // pinned node leaked — the whole allocation must be claimable as one gang.
+            if let Some((id, _, _)) = drain.take() {
+                alloc.cancel_drain(id).unwrap();
+            }
+            for slot in &slots {
+                alloc.release_slot(slot).unwrap();
+            }
+            assert_eq!(alloc.reserved_nodes(), 0);
+            assert!(alloc.is_idle());
+            assert_eq!(alloc.idle_nodes(), nodes);
+            let all = alloc
+                .allocate_slot(&ResourceRequest {
+                    cores: spec.cores,
+                    gpus: spec.gpus,
+                    mem_gib: 0.0,
+                    nodes,
+                })
+                .expect("cancelled/placed drains must leave every node in the idle bucket");
+            alloc.release_slot(&all).unwrap();
+        },
+    );
+}
+
+/// Satellite regression: a draining gang that times out mid-reservation (some nodes
+/// pinned, target never reached) returns every pinned node to the correct headroom
+/// bucket — the idle-node count matches a model and nothing stays reserved.
+#[test]
+fn drain_timeout_mid_reservation_leaks_nothing() {
+    use hpcml::runtime::scheduler::{Priority, Scheduler};
+    use std::sync::Arc;
+    use std::time::Duration;
+    for_each_case("drain_timeout_mid_reservation_leaks_nothing", |rng| {
+        let nodes = 4usize;
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        let spec = alloc.node_spec();
+        let scheduler = Arc::new(
+            Scheduler::with_lookahead(Arc::clone(&alloc), 2)
+                .with_max_overtakes(None)
+                .with_gang_drain_after(Some(Duration::from_millis(1))),
+        );
+        // Occupy a random non-empty subset of nodes so the reservation can only pin
+        // the remaining idle ones and the gang can never complete.
+        let held_nodes = rng.gen_range(1usize..nodes);
+        let held: Vec<_> = (0..held_nodes)
+            .map(|_| {
+                scheduler
+                    .allocate(
+                        &ResourceRequest {
+                            cores: spec.cores,
+                            gpus: 0,
+                            mem_gib: 0.0,
+                            nodes: 1,
+                        },
+                        Priority::Task,
+                        Duration::from_secs(1),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let gang = ResourceRequest {
+            cores: spec.cores,
+            gpus: 0,
+            mem_gib: 0.0,
+            nodes,
+        };
+        // The gang drains almost immediately, pins the idle remainder, then times out.
+        let err = scheduler
+            .allocate(&gang, Priority::Task, Duration::from_millis(40))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            hpcml::runtime::RuntimeError::WaitTimeout { .. }
+        ));
+        assert_eq!(
+            alloc.reserved_nodes(),
+            0,
+            "timed-out drain left pinned nodes reserved"
+        );
+        assert_eq!(
+            alloc.idle_nodes(),
+            nodes - held_nodes,
+            "every pinned node must return to the idle count model"
+        );
+        // And to the correct headroom bucket: each formerly pinned node is placeable
+        // again as a whole node.
+        let reclaimed: Vec<_> = (0..nodes - held_nodes)
+            .map(|_| {
+                alloc
+                    .allocate_slot(&ResourceRequest {
+                        cores: spec.cores,
+                        gpus: spec.gpus,
+                        mem_gib: 0.0,
+                        nodes: 1,
+                    })
+                    .expect("formerly pinned nodes must be placeable")
+            })
+            .collect();
+        for slot in reclaimed.iter().chain(held.iter()) {
+            scheduler.allocation().release_slot(slot).unwrap();
+        }
         assert!(alloc.is_idle());
     });
 }
