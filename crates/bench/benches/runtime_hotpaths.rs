@@ -119,7 +119,54 @@ fn bench_gang_allocate(c: &mut Criterion) {
             gpus: spec.gpus,
             mem_gib: 0.0,
             nodes: 2,
+            packing: None,
         };
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let slot = scheduler
+                    .allocate(&req, Priority::Task, Duration::from_secs(1))
+                    .unwrap();
+                scheduler.release(&slot).unwrap();
+            })
+        });
+        for slot in &held {
+            scheduler.allocation().release_slot(slot).unwrap();
+        }
+    }
+    group.finish();
+}
+
+/// Partial-packing gang placement must stay O(gang size + GPU levels), independent
+/// of the allocation's total node count: a 2-node gang of *half-node members*
+/// best-fit onto a 50%-loaded allocation (every node carries a resident slot, so no
+/// node is idle and every claim goes through `find_fit`, not the idle bucket) must
+/// be flat (within 2×) across the same 4 → 4096 node sweep, guarded like
+/// `gang_allocate`.
+fn bench_gang_partial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/gang_partial");
+    for nodes in [4usize, 256, 4096] {
+        let batch = BatchSystem::new(wide_spec(nodes), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        let spec = alloc.node_spec();
+        // Load every node to just over half (cores/2 + 1 cannot pack twice onto one
+        // node), so the allocation is ~50% occupied with zero idle nodes and the
+        // member share below must co-locate beside a resident on every claim.
+        let half_fill = ResourceRequest::cores(spec.cores / 2 + 1).unwrap();
+        let held: Vec<_> = (0..nodes)
+            .map(|_| alloc.allocate_slot(&half_fill).unwrap())
+            .collect();
+        assert_eq!(alloc.idle_nodes(), 0, "load must touch every node");
+        let scheduler = Scheduler::new(alloc);
+        // Half-node member share (what fits beside the resident), Partial packing by
+        // default: every member lands co-resident.
+        let req = ResourceRequest::cores(spec.cores / 2 - 1)
+            .unwrap()
+            .with_nodes(2);
+        let probe = scheduler
+            .allocate(&req, Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(probe.partial_nodes(), 2, "members must be co-resident");
+        scheduler.release(&probe).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| {
                 let slot = scheduler
@@ -157,6 +204,7 @@ fn bench_gang_backfill(c: &mut Criterion) {
             gpus: spec.gpus,
             mem_gib: 0.0,
             nodes: 2,
+            packing: None,
         };
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| {
@@ -274,6 +322,7 @@ criterion_group!(
     bench_registry,
     bench_scheduler,
     bench_gang_allocate,
+    bench_gang_partial,
     bench_gang_backfill,
     bench_scheduler_churn,
     bench_scheduler_waitqueue,

@@ -7,6 +7,10 @@
 use serde::{Deserialize, Serialize};
 
 use hpcml_platform::{PlatformId, ResourceRequest};
+
+// Re-exported so description-level callers (the workflow DSL in particular) can name
+// the packing policy without depending on `hpcml_platform` directly.
+pub use hpcml_platform::GangPacking;
 use hpcml_serving::ModelSpec;
 use hpcml_sim::dist::Dist;
 
@@ -172,11 +176,24 @@ impl TaskDescription {
         self
     }
 
-    /// Declare a multi-node MPI task spanning `nodes` whole nodes (clamped to ≥ 1).
-    /// The task's cores/GPUs/memory are reserved on *each* member node
-    /// (ranks-per-node semantics) and the gang is placed atomically on idle nodes.
+    /// Declare a multi-node MPI task spanning `nodes` distinct nodes (clamped to
+    /// ≥ 1). The task's cores/GPUs/memory are reserved on *each* member node
+    /// (ranks-per-node semantics) and the gang is placed atomically — across
+    /// partially free nodes under the default [`GangPacking::Partial`] policy, or on
+    /// fully idle nodes only under [`GangPacking::Whole`] (see
+    /// [`TaskDescription::gang_packing`]).
     pub fn nodes(mut self, nodes: usize) -> Self {
         self.resources.nodes = nodes.max(1);
+        self
+    }
+
+    /// Pin this task's gang packing policy, overriding the session default
+    /// (`SessionBuilder::gang_packing`, itself [`GangPacking::Partial`] unless
+    /// configured): `Partial` best-fits gang members across partially free nodes,
+    /// `Whole` claims only fully idle nodes. Meaningful for multi-node tasks; a
+    /// single-node placement ignores it.
+    pub fn gang_packing(mut self, packing: GangPacking) -> Self {
+        self.resources.packing = Some(packing);
         self
     }
 
@@ -364,6 +381,20 @@ mod tests {
         let t = TaskDescription::new("train").gpus(2);
         assert_eq!(t.resources.gpus, 2);
         assert!(t.resources.cores >= 1);
+    }
+
+    #[test]
+    fn task_gang_packing_override() {
+        let inherit = TaskDescription::new("mpi").cores(8).nodes(4);
+        assert_eq!(
+            inherit.resources.packing, None,
+            "unset policy inherits the session default"
+        );
+        let pinned = TaskDescription::new("mpi-whole")
+            .cores(8)
+            .nodes(4)
+            .gang_packing(GangPacking::Whole);
+        assert_eq!(pinned.resources.packing, Some(GangPacking::Whole));
     }
 
     #[test]

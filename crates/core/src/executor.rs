@@ -346,14 +346,19 @@ impl Executor {
         self.metrics
             .record_scalar("task.placement_wait_secs", wait_secs);
         if slot.is_gang() {
-            // Gang placements wait for whole idle nodes, so their queueing behaviour
-            // is tracked separately from single-node placement waits — including how
-            // often narrower requests overtook the gang and how long it spent in
-            // backfill-draining mode before enough nodes were reserved.
+            // Gang placements queue for multi-node capacity, so their behaviour is
+            // tracked separately from single-node placement waits — including how
+            // often narrower requests overtook the gang, how many members landed on
+            // partially free nodes (co-resident with other slots), and how long the
+            // gang spent in backfill-draining mode before enough nodes were reserved
+            // (recorded whether the reservation completed via idle transitions or
+            // via partial-headroom pinning).
             self.metrics
                 .record_scalar("task.gang.placement_wait_secs", wait_secs);
             self.metrics
                 .record_scalar("task.gang.nodes", slot.num_nodes() as f64);
+            self.metrics
+                .record_scalar("task.gang.partial_nodes", slot.partial_nodes() as f64);
             self.metrics
                 .record_scalar("task.gang.overtakes", placement.overtakes as f64);
             if let Some(drain_secs) = placement.drain_secs {

@@ -80,8 +80,8 @@ pub use states::{PilotState, ServiceState, TaskState};
 /// Commonly used types, re-exported for `use hpcml_runtime::prelude::*`.
 pub mod prelude {
     pub use crate::describe::{
-        DataDirective, PilotDescription, ServiceDescription, ServicePlacement, TaskDescription,
-        TaskKind,
+        DataDirective, GangPacking, PilotDescription, ServiceDescription, ServicePlacement,
+        TaskDescription, TaskKind,
     };
     pub use crate::error::RuntimeError;
     pub use crate::metrics::RuntimeMetrics;

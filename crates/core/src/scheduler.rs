@@ -48,15 +48,32 @@
 //! `req.nodes` have accumulated and the gang places atomically. Requests inside the
 //! lookahead window still backfill *around* the reservation on non-reserved capacity,
 //! so throughput is preserved while starvation becomes bounded: once draining, the
-//! gang places as soon as each non-reserved node has gone idle once. (Sub-node churn
-//! that never lets a node go idle can still delay the last members — pinning captures
-//! nodes at idle transitions, it does not preempt.) Set both knobs to `None` to
-//! restore the pure PR-2 lookahead behaviour.
+//! gang places as soon as each non-reserved node has once freed enough capacity for
+//! one member share (a full idle transition under [`GangPacking::Whole`]; any
+//! share-covering headroom under [`GangPacking::Partial`] — see the packing section
+//! below). Set both knobs to `None` to restore the pure PR-2 lookahead behaviour.
+//!
+//! ## Gang packing: whole vs partial nodes
+//!
+//! Every placement resolves a [`GangPacking`] policy before touching the allocation:
+//! an explicit [`ResourceRequest::packing`] wins, otherwise the scheduler's
+//! session-level default applies ([`GangPacking::Partial`] unless
+//! [`Scheduler::with_gang_packing`] / `SessionBuilder::gang_packing` says otherwise).
+//! Under `Partial`, a gang best-fits across *partially free* nodes — each member
+//! lands beside existing slots wherever one member share of headroom is free — and a
+//! draining gang pins nodes as soon as their headroom covers a share, even while
+//! co-tenants still run (the pinned-partial reservation state). That closes the
+//! documented sub-node-churn starvation gap: a stream of sub-node tasks that never
+//! lets any node go fully idle can no longer delay a draining gang indefinitely,
+//! because pinning captures share-sized headroom, not just idle transitions. Under
+//! `Whole` the PR-3 behaviour is preserved exactly: members claim only fully idle
+//! nodes and drains pin only idle transitions. The resolved policy flows through the
+//! lookahead window's fit attempts, the drain trigger, and the reservation itself.
 //!
 //! Drain lifecycle: at most one reservation is active per allocation — only the head
 //! of the serving class drains. A draining gang that times out cancels its
-//! reservation on the way out, returning every pinned node to the idle bucket. And
-//! because service priority is absolute, a *service* parking while a task-class
+//! reservation on the way out, returning every pinned node to its headroom class.
+//! And because service priority is absolute, a *service* parking while a task-class
 //! reservation is active cancels that drain (the task head re-opens it once no
 //! service waits), so pinned nodes can never idle-block a waiting service.
 //!
@@ -74,7 +91,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use hpcml_platform::batch::Allocation;
-use hpcml_platform::resources::{ResourceError, ResourceRequest, Slot};
+use hpcml_platform::resources::{GangPacking, ResourceError, ResourceRequest, Slot};
 
 use crate::error::RuntimeError;
 
@@ -171,6 +188,9 @@ pub struct Scheduler {
     /// Age threshold before a parked head gang flips to draining (`None` = never
     /// drain on age alone).
     gang_drain_after: Option<Duration>,
+    /// Session-level default gang packing, applied to every request that does not
+    /// pin its own [`ResourceRequest::packing`].
+    gang_packing: GangPacking,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -204,7 +224,17 @@ impl Scheduler {
             lookahead: lookahead.max(1),
             max_overtakes: Some(DEFAULT_MAX_OVERTAKES),
             gang_drain_after: None,
+            gang_packing: GangPacking::default(),
         }
+    }
+
+    /// Set the session-level default gang packing policy: [`GangPacking::Partial`]
+    /// (the default) lets gangs span partially free nodes and drains pin share-sized
+    /// headroom; [`GangPacking::Whole`] restores the idle-nodes-only behaviour. A
+    /// request's explicit [`ResourceRequest::packing`] always overrides this default.
+    pub fn with_gang_packing(mut self, packing: GangPacking) -> Self {
+        self.gang_packing = packing;
+        self
     }
 
     /// Set the overtake budget: a head gang overtaken more than `budget` times flips
@@ -244,6 +274,11 @@ impl Scheduler {
     /// triggers a drain).
     pub fn gang_drain_after(&self) -> Option<Duration> {
         self.gang_drain_after
+    }
+
+    /// The session-level default gang packing policy.
+    pub fn gang_packing(&self) -> GangPacking {
+        self.gang_packing
     }
 
     /// Number of slots currently handed out.
@@ -343,6 +378,12 @@ impl Scheduler {
         self.allocation
             .check_satisfiable(req)
             .map_err(RuntimeError::Resource)?;
+
+        // Resolve the gang packing policy once, up front: an explicit request-level
+        // policy wins, otherwise the scheduler's session default applies. Every fit
+        // attempt below — fast path, lookahead window, drain, final try — uses the
+        // resolved request, so the allocation layer never guesses.
+        let req = &req.or_packing(self.gang_packing);
 
         let parked_at = Instant::now();
         let deadline = parked_at + timeout;
@@ -803,8 +844,10 @@ mod tests {
     #[test]
     fn lookahead_serves_fitting_tasks_behind_a_blocked_gang() {
         // Local: 2 nodes x 8 cores. Node A carries one pinned core (never released
-        // during the blocking phase), node B is fully held. A 2-node gang parks at the
-        // head; a whole-node task behind it fits node B the moment it frees.
+        // during the blocking phase), node B is fully held. A Whole-packed 2-node
+        // gang parks at the head (partial packing would co-locate beside the pin the
+        // moment node B frees — this test needs a durably blocked head); a
+        // whole-node task behind it fits node B the moment it frees.
         let s = Arc::new(scheduler_with_lookahead(PlatformId::Local, 2, 2));
         let pin = s
             .allocate(&cores(1), Priority::Task, Duration::from_secs(1))
@@ -815,7 +858,7 @@ mod tests {
         let s1 = Arc::clone(&s);
         let gang_waiter = thread::spawn(move || {
             s1.allocate(
-                &cores(4).with_nodes(2),
+                &cores(4).with_nodes(2).with_packing(GangPacking::Whole),
                 Priority::Task,
                 Duration::from_secs(30),
             )
@@ -881,8 +924,9 @@ mod tests {
     #[test]
     fn strict_fifo_blocks_tasks_behind_a_parked_gang() {
         // Contrast case for the lookahead test: with the default lookahead of 1, the
-        // same narrow task behind a blocked gang stays parked even while node B sits
-        // free (head-of-line blocking is the documented price of strict FIFO).
+        // same narrow task behind a blocked (Whole-packed) gang stays parked even
+        // while node B sits free (head-of-line blocking is the documented price of
+        // strict FIFO).
         let s = Arc::new(scheduler(PlatformId::Local, 2));
         let pin = s
             .allocate(&cores(1), Priority::Task, Duration::from_secs(1))
@@ -893,7 +937,7 @@ mod tests {
         let s1 = Arc::clone(&s);
         let gang_waiter = thread::spawn(move || {
             s1.allocate(
-                &cores(4).with_nodes(2),
+                &cores(4).with_nodes(2).with_packing(GangPacking::Whole),
                 Priority::Task,
                 Duration::from_secs(30),
             )
@@ -1052,6 +1096,178 @@ mod tests {
         assert_eq!(gang.num_nodes(), 4);
         s.release(&gang).unwrap();
         assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    /// Occupy a 4-node Delta allocation with one 24-core *resident* slot per node
+    /// (held for the caller to release at the end) plus one 24-core *churn* slot per
+    /// node (returned for the test to cycle). Pairs land on distinct nodes because a
+    /// node carrying both has only 16 free cores — too few for the next pair's
+    /// resident — so every node ends up busy with 16 cores of headroom and is never
+    /// fully idle while its resident runs.
+    fn subnode_churn_fixture(s: &Scheduler) -> (Vec<Slot>, std::collections::VecDeque<Slot>) {
+        let mut residents = Vec::new();
+        let mut churn = std::collections::VecDeque::new();
+        for _ in 0..4 {
+            let r = s
+                .allocate(&cores(24), Priority::Task, Duration::from_secs(1))
+                .unwrap();
+            let c = s
+                .allocate(&cores(24), Priority::Task, Duration::from_secs(1))
+                .unwrap();
+            assert_eq!(r.node_index(), c.node_index(), "pairs share a node");
+            residents.push(r);
+            churn.push_back(c);
+        }
+        assert_eq!(s.allocation().idle_nodes(), 0);
+        (residents, churn)
+    }
+
+    /// Acceptance scenario, partial packing: a draining 4-node gang under continuous
+    /// sub-node churn — tasks sized so no node ever fully idles — places within its
+    /// overtake budget, because each churn release frees one member share of
+    /// headroom (40 ≥ 32 cores) and partial pinning captures it while the resident
+    /// slots keep running.
+    #[test]
+    fn partial_drain_places_gang_under_subnode_churn_within_budget() {
+        const MAX_OVERTAKES: u32 = 3;
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
+        let s = Arc::new(
+            Scheduler::with_lookahead(Arc::clone(&alloc), 2)
+                .with_max_overtakes(Some(MAX_OVERTAKES)),
+        );
+        assert_eq!(s.gang_packing(), GangPacking::Partial, "session default");
+        let (residents, mut churn) = subnode_churn_fixture(&s);
+        // Half-node member shares: 32 ≤ 40 (free once a churn slot leaves a node),
+        // but > 16 (free while both pair slots run) — the gang can never place while
+        // the churn stream keeps refilling, yet any churn departure frees a share.
+        let gang_req = cores(32).with_nodes(4);
+        let s_gang = Arc::clone(&s);
+        let gang_waiter = thread::spawn(move || {
+            s_gang.allocate_with_stats(&gang_req, Priority::Task, Duration::from_secs(30))
+        });
+        wait_until(&s, "gang parked at the head", |s| s.waiting_tasks() == 1);
+
+        let mut overtakes = 0u32;
+        for round in 0..20 {
+            // Once the last churn slot has been swallowed by the reservation the
+            // gang places and consumes the drain — nothing left to cycle.
+            let Some(old) = churn.pop_front() else { break };
+            if overtakes > MAX_OVERTAKES {
+                // Budget spent: the head drains on its next wakeup. Wait for the
+                // reservation instead of racing it, so the cutoff is deterministic.
+                wait_until(&s, "gang draining after its budget was spent", |s| {
+                    s.allocation().drain_status().is_some()
+                });
+            }
+            s.release(&old).unwrap();
+            assert_eq!(
+                alloc.idle_nodes(),
+                0,
+                "sub-node churn must never idle a node (residents keep running)"
+            );
+            match s.allocate(&cores(24), Priority::Task, Duration::from_millis(300)) {
+                Ok(next) => {
+                    overtakes += 1;
+                    assert!(
+                        overtakes <= MAX_OVERTAKES + 2,
+                        "churn still placing after {overtakes} overtakes: partial \
+                         draining must cut it off near the budget of {MAX_OVERTAKES}"
+                    );
+                    churn.push_back(next);
+                }
+                Err(e) => {
+                    // The reservation pinned the freed headroom: the churn stream
+                    // has hit the wall; keep releasing the remaining slots so the
+                    // drain completes.
+                    assert!(matches!(e, RuntimeError::WaitTimeout { .. }), "{e:?}");
+                    assert!(
+                        round as u32 >= MAX_OVERTAKES,
+                        "churn starved before the gang's budget was even spent"
+                    );
+                }
+            }
+        }
+        assert!(churn.is_empty(), "churn must hit the reservation wall");
+        let (gang, stats) = gang_waiter.join().unwrap().unwrap();
+        assert_eq!(gang.num_nodes(), 4);
+        assert_eq!(
+            gang.partial_nodes(),
+            4,
+            "every member placed beside a still-running resident slot"
+        );
+        assert!(
+            stats.overtakes > MAX_OVERTAKES,
+            "drain must have been triggered by the overtake budget: {stats:?}"
+        );
+        assert!(
+            stats.drain_secs.is_some(),
+            "drain_secs must be recorded when the drain resolves via partial pinning: {stats:?}"
+        );
+        assert_eq!(alloc.idle_nodes(), 0, "residents are still co-tenants");
+        s.release(&gang).unwrap();
+        for r in &residents {
+            s.release(r).unwrap();
+        }
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(alloc.idle_nodes(), 4);
+        assert_eq!(alloc.reserved_nodes(), 0);
+    }
+
+    /// Acceptance contrast, `Whole` packing: the identical sub-node churn scenario
+    /// stalls the gang indefinitely — the drain opens but pins nothing, because no
+    /// node ever goes fully idle (bounded-time check: the churn stream keeps placing
+    /// far past the overtake budget). Stopping the churn *and* the residents finally
+    /// idles the nodes and the gang places.
+    #[test]
+    fn whole_packing_gang_stalls_under_subnode_churn() {
+        const MAX_OVERTAKES: u32 = 3;
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
+        let s = Arc::new(
+            Scheduler::with_lookahead(Arc::clone(&alloc), 2)
+                .with_max_overtakes(Some(MAX_OVERTAKES)),
+        );
+        let (residents, mut churn) = subnode_churn_fixture(&s);
+        // The task pins Whole packing (old behaviour) while the session default
+        // stays Partial — the per-request override is what reproduces the delay.
+        let gang_req = cores(32).with_nodes(4).with_packing(GangPacking::Whole);
+        let s_gang = Arc::clone(&s);
+        let gang_waiter = thread::spawn(move || {
+            s_gang.allocate_with_stats(&gang_req, Priority::Task, Duration::from_secs(30))
+        });
+        wait_until(&s, "gang parked at the head", |s| s.waiting_tasks() == 1);
+
+        // Far beyond the budget: every round must keep placing, because releases
+        // never idle a node, so the Whole-packing drain can never pin one.
+        for round in 0..12 {
+            let old = churn.pop_front().unwrap();
+            s.release(&old).unwrap();
+            let next = s
+                .allocate(&cores(24), Priority::Task, Duration::from_secs(5))
+                .unwrap_or_else(|e| {
+                    panic!("churn round {round} must place under Whole packing: {e:?}")
+                });
+            churn.push_back(next);
+            assert_eq!(alloc.idle_nodes(), 0);
+            assert_eq!(
+                alloc.reserved_nodes(),
+                0,
+                "a Whole drain must not pin busy nodes"
+            );
+        }
+        assert_eq!(s.waiting_tasks(), 1, "gang still starving at the head");
+        // Stop the churn and the residents: nodes idle out, the drain (or a direct
+        // idle-bucket claim) finally serves the gang.
+        for slot in churn.iter().chain(residents.iter()) {
+            s.release(slot).unwrap();
+        }
+        let (gang, _stats) = gang_waiter.join().unwrap().unwrap();
+        assert_eq!(gang.num_nodes(), 4);
+        assert_eq!(gang.partial_nodes(), 0, "whole members land on idle nodes");
+        s.release(&gang).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(alloc.reserved_nodes(), 0);
     }
 
     /// A draining gang that times out cancels its reservation on the way out: every

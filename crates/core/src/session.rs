@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 
 use hpcml_comm::pubsub::{Publisher, Subscriber};
 use hpcml_comm::registry::EndpointRegistry;
-use hpcml_platform::PlatformId;
+use hpcml_platform::{GangPacking, PlatformId};
 use hpcml_sim::clock::{ClockSpec, SharedClock};
 use hpcml_sim::ids;
 
@@ -55,6 +55,12 @@ pub struct SessionConfig {
     /// Parked-age threshold before a head gang drains regardless of overtakes.
     /// `None` (the default) drains on overtakes only.
     pub gang_drain_after: Option<Duration>,
+    /// Default gang packing policy: [`GangPacking::Partial`] (the default) lets
+    /// multi-node gangs best-fit across partially free nodes and lets draining gangs
+    /// pin share-sized headroom; [`GangPacking::Whole`] restricts gangs (and drain
+    /// pinning) to fully idle nodes. A task's explicit
+    /// [`hpcml_platform::ResourceRequest::packing`] overrides this default.
+    pub gang_packing: GangPacking,
 }
 
 impl Default for SessionConfig {
@@ -67,6 +73,7 @@ impl Default for SessionConfig {
             scheduler_lookahead: 1,
             scheduler_max_overtakes: Some(crate::scheduler::DEFAULT_MAX_OVERTAKES),
             gang_drain_after: None,
+            gang_packing: GangPacking::default(),
         }
     }
 }
@@ -132,6 +139,18 @@ impl SessionBuilder {
     /// starve a wide gang indefinitely under a stream of narrower requests).
     pub fn scheduler_max_overtakes(mut self, budget: Option<u32>) -> Self {
         self.config.scheduler_max_overtakes = budget;
+        self
+    }
+
+    /// Set the session's default gang packing policy. [`GangPacking::Partial`] (the
+    /// default) places multi-node MPI gangs across partially free nodes by per-node
+    /// best fit, so ranks-per-node shares below a whole node co-locate with other
+    /// work instead of waiting for idle nodes — and a draining gang pins a node as
+    /// soon as one member share of headroom frees, closing the sub-node-churn
+    /// starvation gap. [`GangPacking::Whole`] restores whole-idle-node gangs. Tasks
+    /// may override per request via `TaskDescription::gang_packing`.
+    pub fn gang_packing(mut self, packing: GangPacking) -> Self {
+        self.config.gang_packing = packing;
         self
     }
 
@@ -271,7 +290,8 @@ impl Session {
         *self.scheduler.lock() = Some(Arc::new(
             Scheduler::with_lookahead(allocation, self.config.scheduler_lookahead)
                 .with_max_overtakes(self.config.scheduler_max_overtakes)
-                .with_gang_drain_after(self.config.gang_drain_after),
+                .with_gang_drain_after(self.config.gang_drain_after)
+                .with_gang_packing(self.config.gang_packing),
         ));
         self.pilots.lock().push(Arc::clone(&record));
         Ok(PilotHandle { record })
@@ -507,9 +527,11 @@ mod tests {
             Some(crate::scheduler::DEFAULT_MAX_OVERTAKES)
         );
         assert_eq!(cfg.gang_drain_after, None);
+        assert_eq!(cfg.gang_packing, GangPacking::Partial);
         let tuned = Session::builder("tuned")
             .gang_drain_after(Duration::from_secs(5))
             .scheduler_max_overtakes(Some(4))
+            .gang_packing(GangPacking::Whole)
             .build()
             .unwrap();
         assert_eq!(
@@ -517,6 +539,7 @@ mod tests {
             Some(Duration::from_secs(5))
         );
         assert_eq!(tuned.config().scheduler_max_overtakes, Some(4));
+        assert_eq!(tuned.config().gang_packing, GangPacking::Whole);
         let s = Session::with_config(cfg.clone());
         assert_eq!(s.config(), &cfg);
         assert!(s.id().starts_with("session."));

@@ -15,37 +15,54 @@
 //! with allocation size — the dominant agent-scheduler overhead RADICAL-Pilot's
 //! characterization work reports at leadership scale. The allocation now keeps a
 //! capacity index: nodes are bucketed by (free-GPU, free-core) headroom class, with a
-//! per-GPU-level `u128` bitmap of non-empty core classes. A placement probes at most
-//! `gpus_per_node + 1` bitmap words (trailing-zeros to the smallest sufficient core
-//! class), so finding a fitting node is O(gpu levels) — independent of node count — and
-//! `release_slot` updates the index incrementally in O(1). Fully idle nodes all sit in
-//! the top headroom bucket, which doubles as the "idle nodes" fast list. The only path
-//! that can degrade to a bucket scan is a memory-constrained request racing nodes whose
-//! cores/GPUs are free but whose memory is not (memory is continuous and not bucketed).
+//! per-GPU-level `u128` bitmap of non-empty core classes, plus one *dedicated idle
+//! bucket* holding exactly the fully idle nodes (membership proves idleness — no
+//! filtering, even for nodes wider than the capped top core class). A placement probes
+//! at most `gpus_per_node + 1` bitmap words (trailing-zeros to the smallest sufficient
+//! core class, idle bucket last), so finding a fitting node is O(gpu levels) —
+//! independent of node count — and `release_slot` updates the index incrementally in
+//! O(1). The only path that can degrade to a bucket scan is a memory-constrained
+//! request racing nodes whose cores/GPUs are free but whose memory is not (memory is
+//! continuous and not bucketed).
 //!
 //! ## Gang placement
 //!
 //! A request with [`ResourceRequest::nodes`] > 1 is a multi-node MPI *gang*: the
-//! allocator claims that many distinct, fully idle nodes atomically under the one state
-//! lock, reserving the per-node core/GPU/memory shares on each, and returns a single
-//! [`Slot`] whose members list one node per rank group (ordered by node index — the MPI
-//! rank order). The idle candidates come straight off the top headroom bucket, so a
-//! gang claim costs O(gang size), independent of the allocation's node count, and
-//! releasing the gang returns every member to the idle bucket in O(gang size).
+//! allocator claims that many distinct nodes atomically under the one state lock,
+//! reserving the per-node core/GPU/memory shares on each, and returns a single
+//! [`Slot`] whose members list one node per rank group (ordered by node index — the
+//! MPI rank order). Under [`GangPacking::Partial`] (the default) members *best-fit
+//! across partially free nodes* via the index's k-best `find_fit`: k distinct nodes,
+//! each with enough free headroom for one member share, co-locating beside existing
+//! slots — O(gang size + GPU levels), independent of the allocation's node count.
+//! Whole-node member shares (and every gang under [`GangPacking::Whole`]) take the
+//! idle-bucket fast path instead: `req.nodes` nodes straight off the dedicated idle
+//! bucket in O(gang size). Either way the claim is all-or-nothing: a mid-claim
+//! conflict rolls back every member reserved so far, and releasing the gang returns
+//! every member to its headroom class in O(gang size).
 //!
 //! ## Backfill reservations (drains)
 //!
-//! A gang that keeps losing the race for idle nodes can open a *backfill reservation*
-//! with [`Allocation::begin_drain`]: currently idle nodes are pinned to the drain
-//! immediately, and every node that later becomes idle through [`Allocation::release_slot`]
-//! is pinned as well, until `req.nodes` have accumulated. Pinned nodes are removed from
-//! the capacity index, so neither single-node placements nor other gangs can see them —
-//! while every *other* node stays placeable, which is what lets narrow requests keep
-//! backfilling around the reservation. [`Allocation::allocate_reserved`] places the gang
-//! atomically on the pinned set once it is complete, and [`Allocation::cancel_drain`]
-//! returns the pinned nodes to the idle bucket (the scheduler cancels on timeout, and
-//! when a waiting service must not be blocked by a task-class reservation). At most one
-//! drain is active per allocation: only the head of a scheduler class drains.
+//! A gang that keeps losing the race for capacity can open a *backfill reservation*
+//! with [`Allocation::begin_drain`]: nodes able to host one member share are pinned to
+//! the drain immediately, and every node that [`Allocation::release_slot`] later makes
+//! able is pinned as well, until `req.nodes` have accumulated. What "able" means
+//! follows the gang's packing policy — [`GangPacking::Whole`] pins only fully idle
+//! nodes, while [`GangPacking::Partial`] pins a node as soon as its free headroom
+//! covers one member share, *even while other slots still occupy the rest of it*
+//! (the pinned-partial reservation state; this is what closes the sub-node-churn
+//! starvation gap, where no node ever goes fully idle). Pinned nodes are removed from
+//! the capacity index, so neither single-node placements nor other gangs can see them
+//! — residual occupancy on a pinned node can only shrink, so a pinned node never
+//! stops covering its share — while every *other* node stays placeable, which is what
+//! lets narrow requests keep backfilling around the reservation.
+//! [`Allocation::allocate_reserved`] places the gang atomically on the pinned set once
+//! it is complete (beside any residual slots, under partial packing), and
+//! [`Allocation::cancel_drain`] returns the pinned nodes to their headroom classes
+//! (the scheduler cancels on timeout, and when a waiting service must not be blocked
+//! by a task-class reservation). At most one drain is active per allocation: only the
+//! head of a scheduler class drains. [`Allocation::drain_status`] reports the pinned
+//! set split into still-occupied (pinned-partial) and idle (pinned-idle) nodes.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,7 +75,9 @@ use serde::{Deserialize, Serialize};
 use hpcml_sim::clock::SharedClock;
 use hpcml_sim::dist::Dist;
 
-use crate::resources::{NodeSpec, NodeState, ResourceError, ResourceRequest, Slot, SlotMember};
+use crate::resources::{
+    GangPacking, NodeSpec, NodeState, ResourceError, ResourceRequest, Slot, SlotMember,
+};
 use crate::spec::PlatformSpec;
 
 /// Errors raised by the batch system.
@@ -140,23 +159,33 @@ const CORE_CLASS_CAP: u32 = 127;
 
 /// Free-capacity index over an allocation's nodes.
 ///
-/// Nodes are bucketed by `(free_gpus, min(free_cores, CORE_CLASS_CAP))`. For each
-/// free-GPU level a `u128` bitmap marks which core classes have non-empty buckets, so a
-/// best-fit probe is a shift + trailing_zeros per GPU level. Membership updates are O(1)
-/// via a per-node (bucket, position) back-reference and swap-remove. The top bucket
-/// (all GPUs free, top core class) doubles as the idle-run list gang placement claims
-/// from.
+/// Non-idle nodes are bucketed by `(free_gpus, min(free_cores, CORE_CLASS_CAP))`
+/// headroom class; fully idle nodes live in one *dedicated idle bucket* appended after
+/// the class grid, so idle-bucket membership alone proves idleness (no `is_idle`
+/// filtering, even for nodes wider than the capped top core class — such nodes sit in
+/// the top *class* bucket while partially occupied). For each free-GPU level a `u128`
+/// bitmap marks which core classes have non-empty buckets, so a best-fit probe is a
+/// shift + trailing_zeros per GPU level, with the idle bucket probed last (idle nodes
+/// are the worst fit for a sub-node share). Membership updates are O(1) via a per-node
+/// (bucket, position) back-reference and swap-remove.
 struct CapacityIndex {
     /// Number of distinct free-GPU levels (`gpus_per_node + 1`).
     gpu_levels: usize,
     /// Number of distinct core classes (`min(cores_per_node, CORE_CLASS_CAP) + 1`).
     core_levels: usize,
-    /// `buckets[fg * core_levels + fc]` holds the node indices in that class.
+    /// `buckets[fg * core_levels + fc]` holds the non-idle node indices in that
+    /// class; `buckets[gpu_levels * core_levels]` is the dedicated idle bucket.
     buckets: Vec<Vec<usize>>,
-    /// `nonempty[fg]` bit `fc` set ⇔ bucket `(fg, fc)` is non-empty.
+    /// `nonempty[fg]` bit `fc` set ⇔ class bucket `(fg, fc)` is non-empty (the idle
+    /// bucket is tracked by its own emptiness, not by a bit).
     nonempty: Vec<u128>,
-    /// node index → (bucket id, position within the bucket's vec).
+    /// node index → (bucket id, position within the bucket's vec); `usize::MAX` when
+    /// the node is not indexed (pinned by a drain).
     pos: Vec<(usize, usize)>,
+    /// Node shape, used to classify fully idle nodes into the idle bucket. Free
+    /// cores + GPUs at spec level implies no live slot (every slot pins at least one
+    /// unit — the `EmptyRequest` guard), which implies free memory too.
+    spec: NodeSpec,
 }
 
 impl CapacityIndex {
@@ -166,11 +195,12 @@ impl CapacityIndex {
         let mut index = CapacityIndex {
             gpu_levels,
             core_levels,
-            buckets: vec![Vec::new(); gpu_levels * core_levels],
+            buckets: vec![Vec::new(); gpu_levels * core_levels + 1],
             nonempty: vec![0u128; gpu_levels],
             pos: vec![(usize::MAX, usize::MAX); num_nodes],
+            spec,
         };
-        // All nodes start fully free: top bucket = the idle-nodes fast list.
+        // All nodes start fully free, straight into the idle bucket.
         for node in 0..num_nodes {
             index.insert(node, spec.gpus, spec.cores);
         }
@@ -181,20 +211,33 @@ impl CapacityIndex {
         (free_cores.min(CORE_CLASS_CAP) as usize).min(self.core_levels - 1)
     }
 
-    fn bucket_id(&self, free_gpus: u32, free_cores: u32) -> usize {
-        free_gpus as usize * self.core_levels + self.core_class(free_cores)
+    /// The dedicated bucket holding exactly the fully idle nodes.
+    fn idle_bucket(&self) -> usize {
+        self.gpu_levels * self.core_levels
     }
 
-    /// The bucket holding fully idle nodes: all GPUs free, top core class.
-    fn top_bucket(&self) -> usize {
-        self.gpu_levels * self.core_levels - 1
+    /// Bucket for a node with the given free capacity: the idle bucket when fully
+    /// free, its `(free_gpus, core class)` class bucket otherwise.
+    fn bucket_id(&self, free_gpus: u32, free_cores: u32) -> usize {
+        if free_gpus == self.spec.gpus && free_cores == self.spec.cores {
+            self.idle_bucket()
+        } else {
+            free_gpus as usize * self.core_levels + self.core_class(free_cores)
+        }
+    }
+
+    /// True when `node` is currently indexed (not pinned by a drain).
+    fn contains(&self, node: usize) -> bool {
+        self.pos[node].0 != usize::MAX
     }
 
     fn insert(&mut self, node: usize, free_gpus: u32, free_cores: u32) {
         let bucket = self.bucket_id(free_gpus, free_cores);
         self.buckets[bucket].push(node);
         self.pos[node] = (bucket, self.buckets[bucket].len() - 1);
-        self.nonempty[free_gpus as usize] |= 1u128 << self.core_class(free_cores);
+        if bucket != self.idle_bucket() {
+            self.nonempty[free_gpus as usize] |= 1u128 << self.core_class(free_cores);
+        }
     }
 
     fn remove(&mut self, node: usize) {
@@ -204,7 +247,7 @@ impl CapacityIndex {
         if let Some(&moved) = vec.get(position) {
             self.pos[moved] = (bucket, position);
         }
-        if vec.is_empty() {
+        if vec.is_empty() && bucket != self.idle_bucket() {
             let fg = bucket / self.core_levels;
             let fc = bucket % self.core_levels;
             self.nonempty[fg] &= !(1u128 << fc);
@@ -222,65 +265,133 @@ impl CapacityIndex {
         self.insert(node, free_gpus, free_cores);
     }
 
-    /// Find a node able to host `req` right now: smallest sufficient free-GPU level,
-    /// then smallest sufficient core class (best fit, to limit fragmentation). Memory
-    /// is checked per candidate since it is not bucketed.
-    fn find(&self, req: &ResourceRequest, nodes: &[NodeState]) -> Option<usize> {
+    /// The one fit-probe loop both queries share: visit nodes able to host one
+    /// member share of `req` right now, in best-fit order — smallest sufficient
+    /// free-GPU level, then smallest sufficient core class (to limit fragmentation),
+    /// with the fully idle bucket only as the last resort (worst fit). Class
+    /// membership proves the fit, so visited buckets only contribute visited nodes;
+    /// memory-constrained (or wider-than-`CORE_CLASS_CAP`) shares degrade to
+    /// per-candidate `can_fit_now` scans, since those constraints are not bucketed.
+    /// Idle-bucket candidates need no scan: an idle node hosts any share the caller
+    /// has shape-checked (`check_satisfiable`). Stops when `visit` returns `true`.
+    fn probe_fits(
+        &self,
+        req: &ResourceRequest,
+        nodes: &[NodeState],
+        mut visit: impl FnMut(usize) -> bool,
+    ) {
         let want_fc = self.core_class(req.cores);
-        let needs_exact_cores = req.cores > CORE_CLASS_CAP;
-        let needs_mem = req.mem_gib > 0.0;
+        let needs_scan = req.cores > CORE_CLASS_CAP || req.mem_gib > 0.0;
         for fg in req.gpus as usize..self.gpu_levels {
             let mut mask = self.nonempty[fg] & (!0u128 << want_fc);
             while mask != 0 {
                 let fc = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                let bucket = &self.buckets[fg * self.core_levels + fc];
-                if needs_mem || needs_exact_cores {
-                    // Continuous constraints: scan the bucket for a true fit.
-                    if let Some(&node) = bucket.iter().find(|&&n| nodes[n].can_fit_now(req)) {
-                        return Some(node);
+                for &node in &self.buckets[fg * self.core_levels + fc] {
+                    if (!needs_scan || nodes[node].can_fit_now(req)) && visit(node) {
+                        return;
                     }
-                } else if let Some(&node) = bucket.last() {
-                    // Class membership alone proves the fit.
-                    return Some(node);
                 }
             }
         }
-        None
+        for &node in &self.buckets[self.idle_bucket()] {
+            if visit(node) {
+                return;
+            }
+        }
     }
 
-    /// Collect `n` distinct fully idle nodes off the top headroom bucket, or `None`
-    /// when fewer exist. Cost is O(n): top-bucket membership already proves idleness
-    /// for ordinary node shapes, and the `is_idle` filter only skips nodes wider than
-    /// `CORE_CLASS_CAP` cores whose partial occupancy shares the capped top class.
-    fn find_idle(&self, n: usize, nodes: &[NodeState]) -> Option<Vec<usize>> {
-        let bucket = &self.buckets[self.top_bucket()];
+    /// Find one node able to host one member share of `req` right now, best fit
+    /// first (see [`CapacityIndex::probe_fits`]): **O(GPU levels)** bitmap words,
+    /// allocation-free — the single-node placement hot path.
+    fn find(&self, req: &ResourceRequest, nodes: &[NodeState]) -> Option<usize> {
+        let mut found = None;
+        self.probe_fits(req, nodes, |node| {
+            found = Some(node);
+            true
+        });
+        found
+    }
+
+    /// Collect up to `k` *distinct* nodes each able to host one member share of
+    /// `req` right now, in the same best-fit order — the partial-packing gang
+    /// candidate query, **O(k + GPU levels)**. Returns fewer than `k` when the
+    /// allocation cannot currently host that many members; callers needing
+    /// all-or-nothing check the length.
+    fn find_fit(&self, req: &ResourceRequest, k: usize, nodes: &[NodeState]) -> Vec<usize> {
+        let mut picked = Vec::with_capacity(k);
+        if k == 0 {
+            return picked;
+        }
+        self.probe_fits(req, nodes, |node| {
+            picked.push(node);
+            picked.len() == k
+        });
+        picked
+    }
+
+    /// Collect `n` distinct fully idle nodes off the dedicated idle bucket, or `None`
+    /// when fewer exist. O(n): idle-bucket membership proves idleness exactly.
+    fn find_idle(&self, n: usize) -> Option<Vec<usize>> {
+        let bucket = &self.buckets[self.idle_bucket()];
         if bucket.len() < n {
             return None;
         }
-        let mut picked = Vec::with_capacity(n);
-        for &node in bucket {
-            if nodes[node].is_idle() {
-                picked.push(node);
-                if picked.len() == n {
-                    return Some(picked);
-                }
-            }
-        }
-        None
+        Some(bucket[..n].to_vec())
     }
 }
 
-/// The one active backfill reservation: idle nodes pinned for a draining gang.
+/// The one active backfill reservation: nodes pinned for a draining gang.
 /// Pinned nodes are *removed from the capacity index*, which is what excludes them
-/// from `find`/`find_idle` without any per-probe filtering cost.
+/// from `find`/`find_fit`/`find_idle` without any per-probe filtering cost.
 struct DrainReservation {
     id: u64,
-    /// Nodes the draining gang needs in total (its `ResourceRequest::nodes`).
-    target: usize,
-    /// Idle nodes pinned so far; grows monotonically until `target` via release
+    /// The draining gang's request: `req.nodes` is the pin target and the
+    /// cores/GPUs/memory are the per-member share a pinned node must cover.
+    req: ResourceRequest,
+    /// Resolved packing policy: `Whole` pins only fully idle nodes; `Partial` pins a
+    /// node as soon as its free headroom covers one member share, residual occupancy
+    /// and all (the pinned-partial state — occupancy on a pinned node can only
+    /// shrink, so the coverage invariant holds until placement).
+    packing: GangPacking,
+    /// Nodes pinned so far; grows monotonically until `req.nodes` via release
     /// events, never beyond it.
     pinned: Vec<usize>,
+}
+
+impl DrainReservation {
+    /// Whether `node` may be pinned under this reservation's packing policy.
+    fn covers(&self, node: &NodeState) -> bool {
+        match self.packing {
+            GangPacking::Whole => node.is_idle(),
+            GangPacking::Partial => node.can_fit_now(&self.req),
+        }
+    }
+}
+
+/// Snapshot of the active backfill reservation, split by pinned-node occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainStatus {
+    /// Pinned nodes that are fully idle (every drain under [`GangPacking::Whole`]
+    /// pins only such nodes).
+    pub pinned_idle: usize,
+    /// Pinned nodes still carrying residual slots — partial-packing pins whose free
+    /// headroom covers one member share while co-tenants run out.
+    pub pinned_partial: usize,
+    /// Nodes the draining gang needs in total (its `ResourceRequest::nodes`).
+    pub target: usize,
+}
+
+impl DrainStatus {
+    /// Total pinned nodes, idle and partial.
+    pub fn pinned(&self) -> usize {
+        self.pinned_idle + self.pinned_partial
+    }
+
+    /// True once the reservation holds its full node span.
+    pub fn complete(&self) -> bool {
+        self.pinned() >= self.target
+    }
 }
 
 /// Mutable allocation state: node occupancy plus the capacity index and cached
@@ -301,8 +412,10 @@ struct AllocState {
 
 impl AllocState {
     /// Reserve one member node's share of `req` on `node_index` (which the caller has
-    /// proven fits), keeping the cached aggregates and the index in sync. Returns the
-    /// membership record.
+    /// proven fits and re-indexed if it was pinned), keeping the cached aggregates
+    /// and the index in sync. Returns the membership record, flagged `co_resident`
+    /// when the node already carried other live slots (a partial-packing
+    /// co-location).
     fn reserve_member(
         &mut self,
         node_index: usize,
@@ -325,11 +438,14 @@ impl AllocState {
             core_ids,
             gpu_ids,
             mem_gib,
+            co_resident: !was_idle,
         })
     }
 
     /// Return one membership's resources to its node, keeping the cached aggregates
-    /// and the index in sync.
+    /// and the index in sync. A node pinned by the active drain is *not* re-indexed:
+    /// it stays invisible to other placements, with only its occupancy shrinking
+    /// (the pinned-partial state relies on exactly this).
     fn release_member(&mut self, member: &SlotMember) {
         let node = &mut self.nodes[member.node_index];
         let was_idle = node.is_idle();
@@ -341,16 +457,23 @@ impl AllocState {
         if !was_idle && node.is_idle() {
             self.non_idle_nodes -= 1;
         }
-        let (free_gpus, free_cores) = (node.free_gpus(), node.free_cores());
-        self.index.update(member.node_index, free_gpus, free_cores);
+        if self.index.contains(member.node_index) {
+            let (free_gpus, free_cores) = (node.free_gpus(), node.free_cores());
+            self.index.update(member.node_index, free_gpus, free_cores);
+        }
     }
 
-    /// Pin `node` to the active drain if one is still short of its target and the node
-    /// is fully idle: the node leaves the capacity index, so no other placement path
-    /// can claim it until the drain places or is cancelled.
-    fn try_pin_idle(&mut self, node: usize) {
+    /// Pin `node` to the active drain if one is still short of its target, the node
+    /// is still indexed (not already pinned), and its capacity covers one member
+    /// share under the drain's packing policy: the node leaves the capacity index,
+    /// so no other placement path can claim it until the drain places or is
+    /// cancelled.
+    fn try_pin(&mut self, node: usize) {
         if let Some(drain) = &mut self.drain {
-            if drain.pinned.len() < drain.target && self.nodes[node].is_idle() {
+            if drain.pinned.len() < drain.req.nodes
+                && self.index.contains(node)
+                && drain.covers(&self.nodes[node])
+            {
                 self.index.remove(node);
                 drain.pinned.push(node);
             }
@@ -424,8 +547,9 @@ impl Allocation {
     }
 
     /// Number of nodes with no slot reservation at all (O(1): cached). This counts
-    /// *physical* idleness: nodes pinned by an active backfill drain are idle but not
-    /// placeable — subtract [`Allocation::reserved_nodes`] for available idle capacity.
+    /// *physical* idleness: nodes pinned by an active backfill drain are not
+    /// placeable but may still be idle (see [`Allocation::drain_status`] for the
+    /// idle/partial split of the pinned set).
     pub fn idle_nodes(&self) -> usize {
         self.num_nodes - self.state.lock().non_idle_nodes
     }
@@ -474,7 +598,10 @@ impl Allocation {
     /// Single-node placement goes through the capacity index (best fit by GPU then
     /// core headroom) instead of scanning nodes, so cost is independent of allocation
     /// size. A gang request (`req.nodes > 1`) atomically claims that many distinct
-    /// fully idle nodes off the idle bucket — all or nothing — in O(gang size).
+    /// nodes — all or nothing, with full rollback on a mid-claim conflict: best-fit
+    /// across partially free nodes under [`GangPacking::Partial`] (the unset-policy
+    /// default), or straight off the idle bucket for whole-node member shares and
+    /// under [`GangPacking::Whole`] — in O(gang size + GPU levels).
     /// Returns [`ResourceError::InsufficientResources`] when nothing currently fits
     /// and [`ResourceError::NeverSatisfiable`] when the allocation shape could never
     /// satisfy it.
@@ -495,25 +622,38 @@ impl Allocation {
         Ok(Slot::single(id, member))
     }
 
-    /// Claim `req.nodes` distinct idle nodes as one gang slot. The caller holds the
-    /// state lock, so the claim is atomic: concurrent placements either see all member
-    /// nodes reserved or none.
+    /// Claim `req.nodes` distinct nodes as one gang slot, per the request's packing
+    /// policy. The caller holds the state lock, so the claim is atomic: concurrent
+    /// placements either see all member nodes reserved or none.
     fn allocate_gang(
         &self,
         st: &mut AllocState,
         req: &ResourceRequest,
     ) -> Result<Slot, ResourceError> {
-        let mut picked = st
-            .index
-            .find_idle(req.nodes, &st.nodes)
-            .ok_or(ResourceError::InsufficientResources)?;
+        let packing = req.packing.unwrap_or_default();
+        let spec = self.platform.node;
+        // A whole-node member share (all cores and all GPUs of each member) can only
+        // be hosted by fully idle nodes, so the dedicated idle bucket *is* the exact
+        // candidate set — the fast path, shared with explicit Whole packing.
+        let whole_share = req.cores == spec.cores && req.gpus == spec.gpus;
+        let mut picked = if packing == GangPacking::Whole || whole_share {
+            st.index
+                .find_idle(req.nodes)
+                .ok_or(ResourceError::InsufficientResources)?
+        } else {
+            let picked = st.index.find_fit(req, req.nodes, &st.nodes);
+            if picked.len() < req.nodes {
+                return Err(ResourceError::InsufficientResources);
+            }
+            picked
+        };
         // Rank order: member i of the slot is the i-th lowest claimed node index.
         picked.sort_unstable();
         self.claim_gang(st, &picked, req)
     }
 
-    /// Reserve one member share of `req` on each of the (sorted, idle, indexed) nodes
-    /// in `picked`, all-or-nothing, and register the resulting gang slot.
+    /// Reserve one member share of `req` on each of the (sorted, distinct, indexed)
+    /// nodes in `picked`, all-or-nothing, and register the resulting gang slot.
     fn claim_gang(
         &self,
         st: &mut AllocState,
@@ -525,8 +665,9 @@ impl Allocation {
             match st.reserve_member(node_index, req) {
                 Ok(member) => members.push(member),
                 Err(e) => {
-                    // Unreachable (members are idle and shape-checked), but keep the
-                    // claim all-or-nothing: undo every reservation made so far.
+                    // Unreachable while the lock is held (every candidate was proven
+                    // to fit, and occupancy cannot grow underneath us), but keep the
+                    // claim all-or-nothing: roll back every reservation made so far.
                     for member in &members {
                         st.release_member(member);
                     }
@@ -539,11 +680,14 @@ impl Allocation {
         Ok(Slot { id, members })
     }
 
-    /// Open a backfill reservation for a gang-shaped `req`: all currently idle nodes
-    /// (up to `req.nodes`) are pinned immediately, and every node that later becomes
-    /// idle through [`Allocation::release_slot`] is pinned too, until the reservation
-    /// holds `req.nodes` nodes. Pinned nodes are invisible to every other placement
-    /// path; all other capacity stays placeable (backfill *around* the reservation).
+    /// Open a backfill reservation for a gang-shaped `req`: every node whose current
+    /// capacity covers one member share under the request's packing policy — fully
+    /// idle nodes for [`GangPacking::Whole`], any node whose free headroom covers the
+    /// share for [`GangPacking::Partial`] — is pinned immediately (up to `req.nodes`),
+    /// and every node [`Allocation::release_slot`] later makes eligible is pinned
+    /// too, until the reservation holds `req.nodes` nodes. Pinned nodes are invisible
+    /// to every other placement path; all other capacity stays placeable (backfill
+    /// *around* the reservation).
     ///
     /// Returns the drain id to pass to [`Allocation::allocate_reserved`] /
     /// [`Allocation::cancel_drain`]. At most one drain is active per allocation:
@@ -556,14 +700,18 @@ impl Allocation {
             return Err(ResourceError::DrainActive);
         }
         let id = self.next_drain_id.fetch_add(1, Ordering::Relaxed);
-        // Pin what is already idle, straight off the top headroom bucket (the same
-        // candidate set `find_idle` uses), in O(target).
-        let candidates: Vec<usize> = st.index.buckets[st.index.top_bucket()]
-            .iter()
-            .copied()
-            .filter(|&n| st.nodes[n].is_idle())
-            .take(req.nodes)
-            .collect();
+        let packing = req.packing.unwrap_or_default();
+        // Pin what already covers a member share: idle nodes straight off the idle
+        // bucket for Whole, the best-fit candidate set for Partial — O(target) either
+        // way.
+        let candidates: Vec<usize> = match packing {
+            GangPacking::Whole => st.index.buckets[st.index.idle_bucket()]
+                .iter()
+                .copied()
+                .take(req.nodes)
+                .collect(),
+            GangPacking::Partial => st.index.find_fit(req, req.nodes, &st.nodes),
+        };
         let mut pinned = Vec::with_capacity(req.nodes);
         for node in candidates {
             st.index.remove(node);
@@ -571,16 +719,19 @@ impl Allocation {
         }
         st.drain = Some(DrainReservation {
             id,
-            target: req.nodes,
+            req: *req,
+            packing,
             pinned,
         });
         Ok(id)
     }
 
-    /// Cancel an active backfill reservation: every pinned node returns to the idle
-    /// bucket of the capacity index, immediately placeable again. Returns how many
-    /// nodes were released. Cancelling a drain that was already consumed by its
-    /// placement (or never begun) fails with [`ResourceError::UnknownDrain`].
+    /// Cancel an active backfill reservation: every pinned node returns to the
+    /// capacity index at its current headroom class (the idle bucket for idle pins,
+    /// its reduced class for pinned-partial nodes), immediately placeable again.
+    /// Returns how many nodes were released. Cancelling a drain that was already
+    /// consumed by its placement (or never begun) fails with
+    /// [`ResourceError::UnknownDrain`].
     pub fn cancel_drain(&self, drain_id: u64) -> Result<usize, ResourceError> {
         let mut st = self.state.lock();
         let st = &mut *st;
@@ -598,7 +749,10 @@ impl Allocation {
     }
 
     /// Place the draining gang on its reserved nodes, atomically consuming the
-    /// reservation. Fails with [`ResourceError::InsufficientResources`] while the
+    /// reservation. Under partial packing the members land beside any residual slots
+    /// still running on pinned-partial nodes — the pin criterion guaranteed one
+    /// member share of headroom, and occupancy on a pinned node can only have shrunk
+    /// since. Fails with [`ResourceError::InsufficientResources`] while the
     /// reservation is still short of its target (pinning continues via releases), and
     /// with [`ResourceError::UnknownDrain`] when `drain_id` is not the active drain.
     pub fn allocate_reserved(
@@ -611,15 +765,15 @@ impl Allocation {
         let st = &mut *st;
         match &st.drain {
             Some(d) if d.id == drain_id => {
-                if d.target != req.nodes {
+                if d.req.nodes != req.nodes {
                     return Err(ResourceError::NeverSatisfiable {
                         reason: format!(
                             "drain reserved {} nodes but the request spans {}",
-                            d.target, req.nodes
+                            d.req.nodes, req.nodes
                         ),
                     });
                 }
-                if d.pinned.len() < d.target {
+                if d.pinned.len() < d.req.nodes {
                     return Err(ResourceError::InsufficientResources);
                 }
             }
@@ -639,8 +793,8 @@ impl Allocation {
         self.claim_gang(st, &picked, req)
     }
 
-    /// Number of idle nodes currently pinned by the active backfill reservation
-    /// (0 when no drain is active).
+    /// Number of nodes currently pinned by the active backfill reservation
+    /// (0 when no drain is active), idle and pinned-partial alike.
     pub fn reserved_nodes(&self) -> usize {
         self.state
             .lock()
@@ -649,13 +803,19 @@ impl Allocation {
             .map_or(0, |d| d.pinned.len())
     }
 
-    /// `(pinned, target)` of the active backfill reservation, if any.
-    pub fn drain_status(&self) -> Option<(usize, usize)> {
-        self.state
-            .lock()
-            .drain
-            .as_ref()
-            .map(|d| (d.pinned.len(), d.target))
+    /// Status of the active backfill reservation, if any: how many pinned nodes are
+    /// fully idle vs still occupied by residual slots (pinned-partial), against the
+    /// reservation's node target. O(pinned nodes).
+    pub fn drain_status(&self) -> Option<DrainStatus> {
+        let st = self.state.lock();
+        st.drain.as_ref().map(|d| {
+            let pinned_idle = d.pinned.iter().filter(|&&n| st.nodes[n].is_idle()).count();
+            DrainStatus {
+                pinned_idle,
+                pinned_partial: d.pinned.len() - pinned_idle,
+                target: d.req.nodes,
+            }
+        })
     }
 
     /// Release a previously allocated slot, updating the capacity index incrementally
@@ -684,12 +844,14 @@ impl Allocation {
         for member in &slot.members {
             st.release_member(member);
         }
-        // Backfill reservation hook: nodes this release left fully idle are pinned to
-        // the draining gang *before* the scheduler can wake any other waiter, so a
-        // lookahead request can never race the drain for a freshly idle node.
+        // Backfill reservation hook: nodes this release made able to cover a member
+        // share (fully idle for Whole drains, share-sized headroom for Partial ones)
+        // are pinned to the draining gang *before* the scheduler can wake any other
+        // waiter, so a lookahead request can never race the drain for the freed
+        // capacity.
         if st.drain.is_some() {
             for member in &slot.members {
-                st.try_pin_idle(member.node_index);
+                st.try_pin(member.node_index);
             }
         }
         Ok(())
@@ -932,6 +1094,7 @@ mod tests {
             gpus: 0,
             mem_gib: 8.0,
             nodes: 1,
+            packing: None,
         };
         assert_eq!(
             alloc.allocate_slot(&literal).unwrap_err(),
@@ -953,6 +1116,7 @@ mod tests {
                 core_ids: vec![0],
                 gpu_ids: vec![],
                 mem_gib: 0.0,
+                co_resident: false,
             },
         );
         assert!(matches!(
@@ -1065,6 +1229,7 @@ mod tests {
                 gpus: 2,
                 mem_gib: 0.0,
                 nodes: 1,
+                packing: None,
             })
             .unwrap();
         assert_ne!(big_gpu.node_index(), gpu_slot.node_index());
@@ -1122,18 +1287,101 @@ mod tests {
     }
 
     #[test]
-    fn gang_requires_fully_idle_member_nodes() {
+    fn whole_packing_requires_fully_idle_member_nodes() {
         let b = batch(PlatformId::Local); // 2 nodes
         let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
-        // One core on one node leaves only one idle node: a 2-node gang must wait
-        // even though raw core capacity is plentiful.
+        // One core on one node leaves only one idle node: under Whole packing a
+        // 2-node gang must wait even though raw core capacity is plentiful.
         let pin = alloc.allocate_slot(&cores(1)).unwrap();
+        let whole_gang = cores(2).with_nodes(2).with_packing(GangPacking::Whole);
         assert_eq!(
-            alloc.allocate_slot(&cores(2).with_nodes(2)).unwrap_err(),
+            alloc.allocate_slot(&whole_gang).unwrap_err(),
             ResourceError::InsufficientResources
         );
         alloc.release_slot(&pin).unwrap();
+        let gang = alloc.allocate_slot(&whole_gang).unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        assert_eq!(
+            gang.partial_nodes(),
+            0,
+            "whole members are never co-resident"
+        );
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn partial_packing_spans_partially_free_nodes() {
+        let b = batch(PlatformId::Local); // 2 nodes x (8 cores, 2 gpus)
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        // The same scenario Whole packing rejects: one core held on one node, yet a
+        // sub-node gang best-fits beside it (packing defaults to Partial).
+        let pin = alloc.allocate_slot(&cores(1)).unwrap();
         let gang = alloc.allocate_slot(&cores(2).with_nodes(2)).unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        assert_eq!(gang.num_cores(), 4);
+        assert_eq!(
+            gang.partial_nodes(),
+            1,
+            "exactly the pinned node's member is co-resident"
+        );
+        assert!(gang.node_indices().any(|n| n == pin.node_index()));
+        assert_eq!(alloc.idle_nodes(), 0);
+        // Releasing the gang restores the untouched node to idle and the shared node
+        // to its single-core class.
+        alloc.release_slot(&gang).unwrap();
+        assert_eq!(alloc.idle_nodes(), 1);
+        alloc.release_slot(&pin).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn partial_packing_best_fits_before_touching_idle_nodes() {
+        let b = batch(PlatformId::Delta); // 4 nodes x 64 cores
+        let alloc = b.submit(AllocationRequest::nodes(4)).unwrap();
+        // Two nodes loaded just over half (33 cores — the 31-core leftover cannot
+        // host another 33-core slot, so the two holds land on distinct nodes), two
+        // idle: a 2-node sub-node gang must co-locate on the loaded pair and leave
+        // both idle nodes untouched for wider work.
+        let hold_a = alloc.allocate_slot(&cores(33)).unwrap();
+        let hold_b = alloc.allocate_slot(&cores(33)).unwrap();
+        assert_ne!(hold_a.node_index(), hold_b.node_index());
+        let gang = alloc.allocate_slot(&cores(31).with_nodes(2)).unwrap();
+        assert_eq!(gang.partial_nodes(), 2, "both members co-resident");
+        let gang_nodes: std::collections::HashSet<usize> = gang.node_indices().collect();
+        assert!(gang_nodes.contains(&hold_a.node_index()));
+        assert!(gang_nodes.contains(&hold_b.node_index()));
+        assert_eq!(alloc.idle_nodes(), 2, "idle nodes are the last resort");
+        // A whole-node-share gang still fits on the untouched idle pair.
+        let whole = alloc.allocate_slot(&cores(64).with_nodes(2)).unwrap();
+        assert_eq!(whole.partial_nodes(), 0);
+        for slot in [&gang, &whole, &hold_a, &hold_b] {
+            alloc.release_slot(slot).unwrap();
+        }
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn partial_gang_member_shares_respect_memory() {
+        let b = batch(PlatformId::Local); // 2 nodes
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let node_mem = alloc.node_spec().mem_gib;
+        // One node keeps cores free but almost no memory: a memory-hungry gang share
+        // must not best-fit onto it.
+        let hog = alloc
+            .allocate_slot(&cores(1).with_mem_gib(node_mem - 1.0))
+            .unwrap();
+        assert_eq!(
+            alloc
+                .allocate_slot(&cores(1).with_mem_gib(node_mem / 2.0).with_nodes(2))
+                .unwrap_err(),
+            ResourceError::InsufficientResources,
+            "only one node can cover the per-member memory share"
+        );
+        alloc.release_slot(&hog).unwrap();
+        let gang = alloc
+            .allocate_slot(&cores(1).with_mem_gib(node_mem / 2.0).with_nodes(2))
+            .unwrap();
         assert_eq!(gang.num_nodes(), 2);
         alloc.release_slot(&gang).unwrap();
         assert!(alloc.is_idle());
@@ -1172,7 +1420,14 @@ mod tests {
         let id = alloc.begin_drain(&gang_req).unwrap();
         // Both idle nodes are pinned immediately and invisible to other requests.
         assert_eq!(alloc.reserved_nodes(), 2);
-        assert_eq!(alloc.drain_status(), Some((2, 2)));
+        assert_eq!(
+            alloc.drain_status(),
+            Some(DrainStatus {
+                pinned_idle: 2,
+                pinned_partial: 0,
+                target: 2
+            })
+        );
         assert_eq!(
             alloc.allocate_slot(&cores(1)).unwrap_err(),
             ResourceError::InsufficientResources
@@ -1277,6 +1532,116 @@ mod tests {
             alloc.allocate_reserved(id, &gang_req).unwrap_err(),
             ResourceError::UnknownDrain(id)
         );
+    }
+
+    #[test]
+    fn partial_drain_pins_covering_nodes_while_still_occupied() {
+        let b = batch(PlatformId::Delta); // 4 nodes x 64 cores
+        let alloc = b.submit(AllocationRequest::nodes(4)).unwrap();
+        // Every node keeps a 24-core resident slot for the whole test, so no node is
+        // ever fully idle; on top, a second 24-core slot per node eats the headroom
+        // a 32-core member share would need (64 - 48 = 16 free). Allocated in
+        // resident/churn pairs: once a node carries both, its 16-core leftover cannot
+        // host the next pair's resident, so each pair lands on a fresh node.
+        let mut residents = Vec::new();
+        let mut churn = Vec::new();
+        for _ in 0..4 {
+            residents.push(alloc.allocate_slot(&cores(24)).unwrap());
+            churn.push(alloc.allocate_slot(&cores(24)).unwrap());
+        }
+        for (r, c) in residents.iter().zip(&churn) {
+            assert_eq!(r.node_index(), c.node_index(), "pairs share a node");
+        }
+        let gang_req = cores(32).with_nodes(4); // Partial by default
+        assert_eq!(
+            alloc.allocate_slot(&gang_req).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 0, "no node covers a share yet");
+        // Each churn release frees a node to 40 cores ≥ the 32-core share: pinned
+        // immediately — while its resident slot keeps running (pinned-partial).
+        for (i, slot) in churn.iter().enumerate() {
+            alloc.release_slot(slot).unwrap();
+            let status = alloc.drain_status().unwrap();
+            assert_eq!(status.pinned(), i + 1);
+            assert_eq!(status.pinned_partial, i + 1, "pins are still occupied");
+            assert_eq!(status.pinned_idle, 0);
+            assert_eq!(alloc.idle_nodes(), 0, "no node ever went idle");
+        }
+        assert!(alloc.drain_status().unwrap().complete());
+        // Other requests cannot see the pinned capacity…
+        assert_eq!(
+            alloc.allocate_slot(&cores(1)).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        // …and the gang places beside the resident slots, consuming the drain.
+        let gang = alloc.allocate_reserved(id, &gang_req).unwrap();
+        assert_eq!(gang.num_nodes(), 4);
+        assert_eq!(gang.partial_nodes(), 4, "every member is co-resident");
+        assert!(alloc.drain_status().is_none());
+        assert_eq!(alloc.free_cores(), 4 * 64 - 4 * 24 - 4 * 32);
+        alloc.release_slot(&gang).unwrap();
+        for slot in &residents {
+            alloc.release_slot(slot).unwrap();
+        }
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn whole_drain_ignores_partially_free_nodes() {
+        let b = batch(PlatformId::Delta); // 4 nodes x 64 cores
+        let alloc = b.submit(AllocationRequest::nodes(4)).unwrap();
+        // 34-core residents spread one per node (the 30-core leftover cannot host
+        // another), keeping every node busy with 30 cores of headroom.
+        let residents: Vec<_> = (0..4)
+            .map(|_| alloc.allocate_slot(&cores(34)).unwrap())
+            .collect();
+        let gang_req = cores(30).with_nodes(4).with_packing(GangPacking::Whole);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        // Plenty of per-node headroom (30 cores ≥ the 30-core share), but Whole
+        // packing pins only fully idle nodes — and none ever idles.
+        assert_eq!(alloc.reserved_nodes(), 0);
+        let churn = alloc.allocate_slot(&cores(24)).unwrap();
+        alloc.release_slot(&churn).unwrap();
+        assert_eq!(
+            alloc.reserved_nodes(),
+            0,
+            "a release that does not idle the node must not pin it under Whole"
+        );
+        // Only a release that leaves the node fully idle pins it.
+        alloc.release_slot(&residents[0]).unwrap();
+        let status = alloc.drain_status().unwrap();
+        assert_eq!((status.pinned_idle, status.pinned_partial), (1, 0));
+        alloc.cancel_drain(id).unwrap();
+        for slot in &residents[1..] {
+            alloc.release_slot(slot).unwrap();
+        }
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn cancelled_partial_drain_restores_headroom_classes() {
+        let b = batch(PlatformId::Local); // 2 nodes x 8 cores
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        let resident = alloc.allocate_slot(&cores(4)).unwrap();
+        let gang_req = cores(4).with_nodes(2);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        // Both nodes cover a 4-core share (one partially, one idle) → both pinned.
+        let status = alloc.drain_status().unwrap();
+        assert_eq!((status.pinned_idle, status.pinned_partial), (1, 1));
+        assert_eq!(alloc.cancel_drain(id).unwrap(), 2);
+        // The partially occupied node returns to its reduced class, not the idle
+        // bucket: a whole-node request must land on the untouched node…
+        let whole = alloc.allocate_slot(&cores(8)).unwrap();
+        assert_ne!(whole.node_index(), resident.node_index());
+        // …and a small one best-fits back onto the co-tenanted node.
+        let small = alloc.allocate_slot(&cores(2)).unwrap();
+        assert_eq!(small.node_index(), resident.node_index());
+        for slot in [&whole, &small, &resident] {
+            alloc.release_slot(slot).unwrap();
+        }
+        assert!(alloc.is_idle());
     }
 
     #[test]

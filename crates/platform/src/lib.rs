@@ -49,8 +49,9 @@ pub mod network;
 pub mod resources;
 pub mod spec;
 
+pub use batch::DrainStatus;
 pub use batch::{Allocation, AllocationRequest, BatchError, BatchSystem};
 pub use launcher::{LaunchModel, LauncherKind};
 pub use network::{LatencyProfile, NetworkLocality};
-pub use resources::{NodeSpec, ResourceError, ResourceRequest, Slot, SlotMember};
+pub use resources::{GangPacking, NodeSpec, ResourceError, ResourceRequest, Slot, SlotMember};
 pub use spec::{PlatformId, PlatformSpec};

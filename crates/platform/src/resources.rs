@@ -68,6 +68,26 @@ impl fmt::Display for ResourceError {
 
 impl std::error::Error for ResourceError {}
 
+/// How a multi-node gang's members may be packed onto nodes.
+///
+/// The policy travels with the request ([`ResourceRequest::packing`], `None` =
+/// inherit the scheduler's session-level default, which itself defaults to
+/// [`GangPacking::Partial`]) and governs both direct gang placement and what a
+/// backfill drain is allowed to pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GangPacking {
+    /// Members land only on fully idle nodes (the pre-partial behaviour): strongest
+    /// isolation, but ranks-per-node shares below a whole node waste the remainder,
+    /// and sub-node churn that never idles a node can delay a draining gang
+    /// indefinitely.
+    Whole,
+    /// Members best-fit onto any node whose free headroom covers one member share,
+    /// co-locating with existing slots. Drains may pin partially free nodes the same
+    /// way, which bounds gang waits even under sub-node churn.
+    #[default]
+    Partial,
+}
+
 /// Shape of a compute node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeSpec {
@@ -97,8 +117,10 @@ impl NodeSpec {
 ///
 /// `cores`, `gpus` and `mem_gib` are **per member node** (ranks-per-node semantics).
 /// Single-node entities leave `nodes` at 1; a multi-node MPI task sets `nodes > 1` and
-/// is placed as a *gang*: that many distinct, fully idle nodes are claimed atomically,
-/// each reserving the per-node shares, and released as a unit.
+/// is placed as a *gang*: that many distinct nodes are claimed atomically, each
+/// reserving the per-node shares, and released as a unit. Under
+/// [`GangPacking::Partial`] (the default) members best-fit onto partially free nodes;
+/// [`GangPacking::Whole`] restricts members to fully idle nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ResourceRequest {
     /// CPU cores per member node.
@@ -107,9 +129,13 @@ pub struct ResourceRequest {
     pub gpus: u32,
     /// Main memory per member node in GiB (0.0 = don't care).
     pub mem_gib: f64,
-    /// Number of whole nodes spanned (1 = single-node; >1 = MPI gang whose member
-    /// nodes must all be idle at placement time).
+    /// Number of whole nodes spanned (1 = single-node; >1 = MPI gang placed on that
+    /// many *distinct* nodes, each hosting one member share).
     pub nodes: usize,
+    /// Gang packing policy: `None` inherits the scheduler's default (itself
+    /// [`GangPacking::Partial`] unless configured otherwise); `Some` pins the policy
+    /// for this request. Ignored for single-node requests.
+    pub packing: Option<GangPacking>,
 }
 
 impl ResourceRequest {
@@ -128,6 +154,7 @@ impl ResourceRequest {
             gpus: 0,
             mem_gib: 0.0,
             nodes: 1,
+            packing: None,
         })
     }
 
@@ -144,6 +171,7 @@ impl ResourceRequest {
             gpus,
             mem_gib: 0.0,
             nodes: 1,
+            packing: None,
         })
     }
 
@@ -157,6 +185,20 @@ impl ResourceRequest {
     /// Clamped to at least 1.
     pub fn with_nodes(mut self, nodes: usize) -> Self {
         self.nodes = nodes.max(1);
+        self
+    }
+
+    /// Pin the gang packing policy for this request (overrides the scheduler's
+    /// session-level default).
+    pub fn with_packing(mut self, packing: GangPacking) -> Self {
+        self.packing = Some(packing);
+        self
+    }
+
+    /// A copy of this request with an unset packing policy resolved to `default`
+    /// (an explicit `Some` policy on the request always wins).
+    pub fn or_packing(mut self, default: GangPacking) -> Self {
+        self.packing.get_or_insert(default);
         self
     }
 
@@ -194,6 +236,7 @@ impl Default for ResourceRequest {
             gpus: 0,
             mem_gib: 0.0,
             nodes: 1,
+            packing: None,
         }
     }
 }
@@ -214,6 +257,10 @@ pub struct SlotMember {
     pub gpu_ids: Vec<u32>,
     /// Memory reserved on the node, GiB.
     pub mem_gib: f64,
+    /// True when the node already hosted other live slots at claim time — a
+    /// partial-packing co-location rather than a whole-idle-node claim. Telemetry
+    /// only; release does not depend on it.
+    pub co_resident: bool,
 }
 
 /// A concrete reservation of resources: one [`SlotMember`] per spanned node.
@@ -282,6 +329,13 @@ impl Slot {
     /// Allocation-relative indices of all member nodes, in rank order.
     pub fn node_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.members.iter().map(|m| m.node_index)
+    }
+
+    /// Number of member nodes that were *not* fully idle when claimed — members a
+    /// partial-packing placement co-located beside existing slots (0 for whole-node
+    /// gangs and single-node slots on idle nodes).
+    pub fn partial_nodes(&self) -> usize {
+        self.members.iter().filter(|m| m.co_resident).count()
     }
 }
 
@@ -469,6 +523,7 @@ mod tests {
             gpus: 1,
             mem_gib: 64.0,
             nodes: 1,
+            packing: None,
         };
         let (cores, gpus, mem) = n.try_reserve(&req).unwrap();
         assert_eq!(cores.len(), 2);
@@ -501,6 +556,7 @@ mod tests {
                 gpus: 0,
                 mem_gib: 0.0,
                 nodes: 1,
+                packing: None,
             })
             .unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
@@ -510,6 +566,7 @@ mod tests {
                 gpus: 5,
                 mem_gib: 0.0,
                 nodes: 1,
+                packing: None,
             })
             .unwrap_err();
         assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
@@ -533,6 +590,7 @@ mod tests {
             gpus: 0,
             mem_gib: 10.0,
             nodes: 1,
+            packing: None,
         };
         let (c, g, m) = n.try_reserve(&req).unwrap();
         n.release(&c, &g, m);
@@ -566,7 +624,8 @@ mod tests {
             cores: 0,
             gpus: 0,
             mem_gib: 0.0,
-            nodes: 1
+            nodes: 1,
+            packing: None,
         }
         .is_empty());
         assert_eq!(
@@ -591,6 +650,7 @@ mod tests {
             gpus: 0,
             mem_gib: 8.0,
             nodes: 1,
+            packing: None,
         };
         assert_eq!(literal.validate().unwrap_err(), ResourceError::EmptyRequest);
         assert!(
@@ -602,6 +662,7 @@ mod tests {
             gpus: 0,
             mem_gib: 0.0,
             nodes: 0,
+            packing: None,
         };
         assert_eq!(
             zero_span.validate().unwrap_err(),
@@ -621,6 +682,24 @@ mod tests {
     }
 
     #[test]
+    fn packing_resolution_prefers_the_explicit_request_policy() {
+        let inherit = ResourceRequest::cores(4).unwrap().with_nodes(2);
+        assert_eq!(inherit.packing, None);
+        // Unset packing resolves to the supplied default…
+        assert_eq!(
+            inherit.or_packing(GangPacking::Whole).packing,
+            Some(GangPacking::Whole)
+        );
+        // …while an explicit request-level policy always wins.
+        let pinned = inherit.with_packing(GangPacking::Partial);
+        assert_eq!(
+            pinned.or_packing(GangPacking::Whole).packing,
+            Some(GangPacking::Partial)
+        );
+        assert_eq!(GangPacking::default(), GangPacking::Partial);
+    }
+
+    #[test]
     fn slot_accessors() {
         let s = Slot::single(
             3,
@@ -630,6 +709,7 @@ mod tests {
                 core_ids: vec![0, 1],
                 gpu_ids: vec![2],
                 mem_gib: 8.0,
+                co_resident: false,
             },
         );
         assert_eq!(s.num_cores(), 2);
@@ -648,6 +728,7 @@ mod tests {
             core_ids: vec![0, 1, 2],
             gpu_ids: vec![0],
             mem_gib: 4.0,
+            co_resident: i == 5,
         };
         let s = Slot {
             id: 7,
@@ -659,6 +740,7 @@ mod tests {
         assert_eq!(s.num_gpus(), 3);
         assert_eq!(s.node_index(), 2, "lead node is the first member");
         assert_eq!(s.node_indices().collect::<Vec<_>>(), vec![2, 5, 9]);
+        assert_eq!(s.partial_nodes(), 1, "co-resident members are counted");
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! simulation tasks generate the raw samples the Q&A preparation consumes, the
 //! hybrid MD-then-ML shape of the DeepDriveMD-style workflows ("Asynchronous Execution
 //! of Heterogeneous Tasks in ML-driven HPC Workflows", Pascuzzi et al.). Each ensemble
-//! member declares `nodes(n)` and is placed by the runtime as an atomic gang of idle
-//! nodes.
+//! member declares `nodes(n)` and is placed by the runtime as an atomic gang of
+//! distinct nodes (co-locating on partially free ones under the default
+//! [`GangPacking::Partial`] policy; see [`UqConfig::mpi_sim_packing`]).
 
 use serde::{Deserialize, Serialize};
 
-use hpcml_runtime::describe::{DataDirective, ServiceDescription, TaskDescription, TaskKind};
+use hpcml_runtime::describe::{
+    DataDirective, GangPacking, ServiceDescription, TaskDescription, TaskKind,
+};
 use hpcml_serving::ModelSpec;
 use hpcml_sim::dist::Dist;
 
@@ -54,6 +57,11 @@ pub struct UqConfig {
     pub mpi_ranks_per_node: u32,
     /// Mean duration of one MPI simulation member, virtual seconds.
     pub mpi_sim_secs: f64,
+    /// Gang packing policy pinned on the MPI simulation members (`None` inherits the
+    /// session default, itself [`GangPacking::Partial`]): `Partial` lets half-node
+    /// ensemble members co-locate with fine-tuning tasks on shared nodes; `Whole`
+    /// reserves fully idle nodes per member.
+    pub mpi_sim_packing: Option<GangPacking>,
 }
 
 impl UqConfig {
@@ -76,6 +84,7 @@ impl UqConfig {
             mpi_sim_nodes: 2,
             mpi_ranks_per_node: 32,
             mpi_sim_secs: 900.0,
+            mpi_sim_packing: None,
         }
     }
 
@@ -93,15 +102,26 @@ impl UqConfig {
             mpi_sim_nodes: 2,
             mpi_ranks_per_node: 4,
             mpi_sim_secs: 2.0,
+            mpi_sim_packing: None,
         }
     }
 
-    /// Prefix the pipeline with `tasks` MPI ensemble-simulation members, each spanning
-    /// `nodes` whole nodes and running for roughly `secs` virtual seconds.
+    /// Prefix the pipeline with `tasks` MPI ensemble-simulation members, each
+    /// spanning `nodes` distinct nodes and running for roughly `secs` virtual
+    /// seconds. Under the default [`GangPacking::Partial`] session policy a member
+    /// whose ranks-per-node share is below a whole node co-locates with other work;
+    /// pin [`UqConfig::with_mpi_packing`] to override.
     pub fn with_mpi_simulation(mut self, tasks: usize, nodes: usize, secs: f64) -> Self {
         self.mpi_sim_tasks = tasks;
         self.mpi_sim_nodes = nodes.max(1);
         self.mpi_sim_secs = secs;
+        self
+    }
+
+    /// Pin the gang packing policy of the MPI simulation members (overriding the
+    /// session default).
+    pub fn with_mpi_packing(mut self, packing: GangPacking) -> Self {
+        self.mpi_sim_packing = Some(packing);
         self
     }
 
@@ -120,10 +140,12 @@ impl Default for UqConfig {
 /// Build the Uncertainty Quantification pipeline.
 pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
     // Optional stage 0: multi-node MPI ensemble simulation generating the raw samples
-    // (hybrid MD-then-ML shape; each member is a gang of `mpi_sim_nodes` idle nodes).
+    // (hybrid MD-then-ML shape; each member is an atomic gang of `mpi_sim_nodes`
+    // distinct nodes — partially free ones under the default Partial packing, fully
+    // idle ones when `mpi_sim_packing` pins `Whole`).
     let sim_stage = (config.mpi_sim_tasks > 0).then(|| {
         Stage::new("ensemble-simulation").tasks((0..config.mpi_sim_tasks).map(|i| {
-            TaskDescription::new(format!("uq-md-ensemble-{i:02}"))
+            let mut task = TaskDescription::new(format!("uq-md-ensemble-{i:02}"))
                 .kind(TaskKind::Compute {
                     duration_secs: Dist::lognormal_mean_cv(config.mpi_sim_secs.max(0.001), 0.1),
                 })
@@ -132,7 +154,11 @@ pub fn uncertainty_quantification_pipeline(config: &UqConfig) -> Pipeline {
                 .stage_out(DataDirective::local(format!("md-trajectory-{i:02}"), 512.0))
                 .tag("pipeline", "uncertainty-quantification")
                 .tag("stage", "ensemble-simulation")
-                .tag("mpi_nodes", config.mpi_sim_nodes.to_string())
+                .tag("mpi_nodes", config.mpi_sim_nodes.to_string());
+            if let Some(packing) = config.mpi_sim_packing {
+                task = task.gang_packing(packing);
+            }
+            task
         }))
     });
 
@@ -270,10 +296,25 @@ mod tests {
             assert_eq!(t.resources.nodes, 3, "ensemble members are 3-node gangs");
             assert_eq!(t.resources.cores, cfg.mpi_ranks_per_node);
             assert!(t.resources.is_gang());
+            assert_eq!(
+                t.resources.packing, None,
+                "members inherit the session packing unless pinned"
+            );
             assert!(t.tags.iter().any(|(k, v)| k == "mpi_nodes" && v == "3"));
         }
         let by_stage = tasks_by_tag(&p, "stage");
         assert_eq!(by_stage["ensemble-simulation"], 4);
+    }
+
+    #[test]
+    fn mpi_simulation_packing_is_pinned_when_configured() {
+        let cfg = UqConfig::paper_scale()
+            .with_mpi_simulation(2, 2, 600.0)
+            .with_mpi_packing(GangPacking::Whole);
+        let p = uncertainty_quantification_pipeline(&cfg);
+        for t in &p.stages[0].tasks {
+            assert_eq!(t.resources.packing, Some(GangPacking::Whole));
+        }
     }
 
     #[test]

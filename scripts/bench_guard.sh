@@ -10,7 +10,11 @@
 #      false-failing on absolute nanoseconds; or
 #   2. scheduler/gang_allocate stops being flat (max/min beyond the same threshold)
 #      across the 4/256/4096-node sweep — gang placement must stay O(gang size); or
-#   3. scheduler/gang_backfill stops being flat across the same sweep — the
+#   3. scheduler/gang_partial is missing from the parsed results (the bench cannot
+#      silently drop out of the suite) or stops being flat across the same sweep —
+#      partial-packing best-fit claims must stay O(gang size + GPU levels),
+#      independent of allocation width; or
+#   4. scheduler/gang_backfill stops being flat across the same sweep — the
 #      backfill-reservation cycle (begin_drain + allocate_reserved + release) must
 #      stay O(gang size + pinned nodes), independent of allocation width.
 #
@@ -117,8 +121,9 @@ else
     echo "guard: no committed baseline — recording the first trajectory datapoint"
 fi
 
-# Guards 2 + 3: gang placement and backfill-reservation flatness across the
-# node-count sweep (same machine, same run — absolute comparison is correct here).
+# Guards 2-4: gang placement, partial-packing, and backfill-reservation flatness
+# across the node-count sweep (same machine, same run — absolute comparison is
+# correct here).
 flatness_guard() { # flatness_guard <bench group name>
     echo "$RESULTS" | awk -v t="$THRESHOLD" -v g="$1" '
         $1 ~ "^scheduler/" g "/" {
@@ -133,7 +138,15 @@ flatness_guard() { # flatness_guard <bench group name>
             exit !(ratio <= t)
         }'
 }
+# Existence assertion: the partial-packing bench must be present in the parsed
+# results at all — a refactor that renames or drops the group must fail loudly
+# here, not silently shrink the guarded surface.
+if ! echo "$RESULTS" | grep -q "^scheduler/gang_partial/"; then
+    echo "bench_guard: FAILED — scheduler/gang_partial missing from parsed results" >&2
+    fail=1
+fi
 flatness_guard "gang_allocate" || fail=1
+flatness_guard "gang_partial" || fail=1
 flatness_guard "gang_backfill" || fail=1
 
 # The candidate baseline is always written to the artifact dir (inspectable from the

@@ -64,7 +64,7 @@ pub use hpcml_workflows as workflows;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
-    pub use hpcml_platform::{PlatformId, PlatformSpec};
+    pub use hpcml_platform::{GangPacking, PlatformId, PlatformSpec};
     pub use hpcml_runtime::prelude::*;
     pub use hpcml_serving::ModelSpec;
     pub use hpcml_sim::clock::ClockSpec;

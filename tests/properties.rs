@@ -9,7 +9,9 @@
 
 use hpcml::comm::message::Message;
 use hpcml::platform::batch::{AllocationRequest, BatchSystem};
-use hpcml::platform::resources::{NodeSpec, NodeState, ResourceError, ResourceRequest};
+use hpcml::platform::resources::{
+    GangPacking, NodeSpec, NodeState, ResourceError, ResourceRequest,
+};
 use hpcml::platform::PlatformId;
 use hpcml::runtime::states::{ServiceState, TaskState};
 use hpcml::sim::clock::ClockSpec;
@@ -170,6 +172,7 @@ fn node_accounting_conserves_resources() {
                 gpus: rng.gen_range(0u32..4),
                 mem_gib: rng.gen_range(0.0..64.0),
                 nodes: 1,
+                packing: None,
             };
             if let Ok(r) = node.try_reserve(&req) {
                 assert_eq!(r.0.len(), req.cores as usize);
@@ -202,6 +205,7 @@ fn allocation_slots_conserve_resources() {
                 gpus: rng.gen_range(0u32..3),
                 mem_gib: 0.0,
                 nodes: 1,
+                packing: None,
             };
             if let Ok(slot) = alloc.allocate_slot(&req) {
                 slots.push(slot);
@@ -260,6 +264,7 @@ fn interleaved_allocate_release_never_double_books() {
                     gpus: rng.gen_range(0u32..3),
                     mem_gib: rng.gen_range(0.0..32.0),
                     nodes: 1,
+                    packing: None,
                 };
                 if let Ok(slot) = alloc.allocate_slot(&req) {
                     for m in &slot.members {
@@ -296,11 +301,13 @@ fn interleaved_allocate_release_never_double_books() {
     });
 }
 
-/// Interleaved single-node and multi-node gang placements never overlap: no two live
-/// slots (gang or not) ever share a core or GPU index on a node, every gang's members
-/// are distinct nodes that were fully idle when claimed, and releasing a gang returns
-/// all of its member nodes to the idle bucket — verified by re-claiming them and by
-/// the allocation's idle-node count matching a model kept alongside.
+/// Interleaved single-node and Whole-packed multi-node gang placements never overlap:
+/// no two live slots (gang or not) ever share a core or GPU index on a node, every
+/// Whole gang's members are distinct nodes that were fully idle when claimed, and
+/// releasing a gang returns all of its member nodes to the idle bucket — verified by
+/// re-claiming them and by the allocation's idle-node count matching a model kept
+/// alongside. (The partial-packing counterpart is
+/// `partial_gang_and_single_interleavings_never_double_book` below.)
 #[test]
 fn gang_and_single_placements_never_overlap() {
     use std::collections::{HashMap, HashSet};
@@ -345,6 +352,9 @@ fn gang_and_single_placements_never_overlap() {
                     gpus: rng.gen_range(0u32..spec.gpus + 1),
                     mem_gib: 0.0,
                     nodes: gang_nodes,
+                    // This property models the Whole-packing invariant (gangs claim
+                    // only idle nodes); Partial interleavings have their own model.
+                    packing: Some(GangPacking::Whole),
                 };
                 if let Ok(slot) = alloc.allocate_slot(&req) {
                     assert_eq!(slot.num_nodes(), gang_nodes);
@@ -413,6 +423,7 @@ fn gang_and_single_placements_never_overlap() {
                 gpus: spec.gpus,
                 mem_gib: 0.0,
                 nodes,
+                packing: None,
             })
             .expect("released gang members must return to the idle bucket");
         assert_eq!(all.num_nodes(), nodes);
@@ -421,12 +432,171 @@ fn gang_and_single_placements_never_overlap() {
     });
 }
 
+/// Partial-packing counterpart of `gang_and_single_placements_never_overlap`:
+/// interleaved single-node tasks and *partially packed* sub-node gangs never
+/// double-book a core or GPU index even though gang members co-locate beside live
+/// slots, gang members are always distinct nodes, every member's `co_resident` flag
+/// matches a model of which nodes carried live units at claim time, and releasing a
+/// partial gang restores the exact headroom classes and idle counts — checked after
+/// full teardown by the idle-node count, by per-class re-claims, and by a
+/// whole-allocation gang fitting again.
+#[test]
+fn partial_gang_and_single_interleavings_never_double_book() {
+    use std::collections::{HashMap, HashSet};
+    for_each_case(
+        "partial_gang_and_single_interleavings_never_double_book",
+        |rng| {
+            let nodes = 6usize;
+            let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+            let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+            let spec = alloc.node_spec();
+            let total_cores = alloc.total_cores();
+            let total_gpus = alloc.total_gpus();
+            let mut live_cores: HashSet<(usize, u32)> = HashSet::new();
+            let mut live_gpus: HashSet<(usize, u32)> = HashSet::new();
+            // Live units per node: the idle model and the co_resident oracle.
+            let mut node_units: HashMap<usize, usize> = HashMap::new();
+            let mut slots: Vec<hpcml::platform::Slot> = Vec::new();
+            for _ in 0..rng.gen_range(1usize..80) {
+                let do_release = !slots.is_empty() && rng.gen_bool(0.45);
+                if do_release {
+                    let idx = rng.gen_range(0usize..slots.len());
+                    let slot = slots.swap_remove(idx);
+                    alloc.release_slot(&slot).unwrap();
+                    for m in &slot.members {
+                        for c in &m.core_ids {
+                            assert!(live_cores.remove(&(m.node_index, *c)));
+                        }
+                        for g in &m.gpu_ids {
+                            assert!(live_gpus.remove(&(m.node_index, *g)));
+                        }
+                        let units = node_units.get_mut(&m.node_index).unwrap();
+                        *units -= m.core_ids.len() + m.gpu_ids.len();
+                        if *units == 0 {
+                            node_units.remove(&m.node_index);
+                        }
+                    }
+                } else {
+                    let gang_nodes = if rng.gen_bool(0.5) {
+                        rng.gen_range(2usize..nodes + 1)
+                    } else {
+                        1
+                    };
+                    // Sub-node member shares, so partial gangs genuinely co-locate.
+                    let req = ResourceRequest {
+                        cores: rng.gen_range(1u32..spec.cores / 2 + 1),
+                        gpus: rng.gen_range(0u32..spec.gpus / 2 + 1),
+                        mem_gib: 0.0,
+                        nodes: gang_nodes,
+                        packing: Some(GangPacking::Partial),
+                    };
+                    if let Ok(slot) = alloc.allocate_slot(&req) {
+                        assert_eq!(slot.num_nodes(), gang_nodes);
+                        let member_nodes: HashSet<usize> = slot.node_indices().collect();
+                        assert_eq!(
+                            member_nodes.len(),
+                            gang_nodes,
+                            "partial gang members must still be distinct nodes"
+                        );
+                        // Model-side count of members landing on already-busy nodes,
+                        // taken *before* this slot's own units enter the model.
+                        let expected_partial = slot
+                            .node_indices()
+                            .filter(|n| node_units.contains_key(n))
+                            .count();
+                        for m in &slot.members {
+                            assert_eq!(
+                                m.co_resident,
+                                node_units.contains_key(&m.node_index),
+                                "co_resident must reflect pre-claim occupancy of node {}",
+                                m.node_index
+                            );
+                            for c in &m.core_ids {
+                                assert!(
+                                    live_cores.insert((m.node_index, *c)),
+                                    "core {} on node {} double-booked by a {}-node slot",
+                                    c,
+                                    m.node_index,
+                                    gang_nodes
+                                );
+                            }
+                            for g in &m.gpu_ids {
+                                assert!(
+                                    live_gpus.insert((m.node_index, *g)),
+                                    "gpu {} on node {} double-booked by a {}-node slot",
+                                    g,
+                                    m.node_index,
+                                    gang_nodes
+                                );
+                            }
+                            *node_units.entry(m.node_index).or_insert(0) +=
+                                m.core_ids.len() + m.gpu_ids.len();
+                        }
+                        assert_eq!(
+                            slot.partial_nodes(),
+                            expected_partial,
+                            "partial_nodes must count exactly the members placed on \
+                             nodes the model knew to be busy at claim time"
+                        );
+                        slots.push(slot);
+                    }
+                }
+                // Idle count and conservation must hold after every step, co-located
+                // gangs included.
+                assert_eq!(
+                    alloc.idle_nodes(),
+                    nodes - node_units.len(),
+                    "a node is idle iff no live slot (gang member or single) touches it"
+                );
+                assert_eq!(
+                    alloc.free_cores() + live_cores.len() as u32,
+                    total_cores,
+                    "core conservation"
+                );
+                assert_eq!(
+                    alloc.free_gpus() + live_gpus.len() as u32,
+                    total_gpus,
+                    "gpu conservation"
+                );
+            }
+            // Teardown in random order: exact headroom classes and idle counts must
+            // come back.
+            while !slots.is_empty() {
+                let idx = rng.gen_range(0usize..slots.len());
+                let slot = slots.swap_remove(idx);
+                alloc.release_slot(&slot).unwrap();
+            }
+            assert!(alloc.is_idle());
+            assert_eq!(alloc.idle_nodes(), nodes);
+            assert_eq!(alloc.free_cores(), total_cores);
+            assert_eq!(alloc.free_gpus(), total_gpus);
+            // Exact headroom restoration: every node must again host a whole-node
+            // share — as one whole-allocation gang (idle bucket) and per-node.
+            let all = alloc
+                .allocate_slot(&ResourceRequest {
+                    cores: spec.cores,
+                    gpus: spec.gpus,
+                    mem_gib: spec.mem_gib,
+                    nodes,
+                    packing: Some(GangPacking::Partial),
+                })
+                .expect("partial-gang teardown must restore every headroom class");
+            assert_eq!(all.num_nodes(), nodes);
+            assert_eq!(all.partial_nodes(), 0, "all nodes idle again");
+            alloc.release_slot(&all).unwrap();
+            assert!(alloc.is_idle());
+        },
+    );
+}
+
 /// Random interleavings of single-node placements, releases, and backfill-drain
-/// operations (begin / cancel / reserved placement) never double-book a unit and
-/// never leak a reservation: pinned nodes are invisible to ordinary placements but
-/// still counted idle, a cancelled drain returns every pinned node to the correct
-/// headroom bucket (idle-count model check), and a consumed drain turns exactly its
-/// pinned set into the gang's members.
+/// operations (begin / cancel / reserved placement, random Whole/Partial packing and
+/// member shares) never double-book a unit and never leak a reservation: pinned
+/// nodes are invisible to ordinary placements while keeping their physical occupancy
+/// (idle for Whole pins, possibly still-busy for Partial ones), a cancelled drain
+/// returns every pinned node to the correct headroom bucket (idle-count model
+/// check), and a consumed drain turns exactly its pinned set into the gang's
+/// members.
 #[test]
 fn drain_reserve_cancel_place_interleavings_never_double_book() {
     use std::collections::HashSet;
@@ -469,6 +639,7 @@ fn drain_reserve_cancel_place_interleavings_never_double_book() {
                             gpus: 0,
                             mem_gib: 0.0,
                             nodes: 1,
+                            packing: None,
                         };
                         if let Ok(slot) = alloc.allocate_slot(&req) {
                             track_alloc(&slot, &mut live_cores, &mut busy_nodes);
@@ -492,14 +663,21 @@ fn drain_reserve_cancel_place_interleavings_never_double_book() {
                             }
                         }
                     }
-                    // Open a reservation for a random gang width.
+                    // Open a reservation for a random gang width, member share, and
+                    // packing policy (Partial drains may pin still-busy nodes whose
+                    // headroom covers the share; Whole drains pin idle nodes only).
                     7 => {
                         let width = rng.gen_range(2usize..nodes + 1);
                         let req = ResourceRequest {
-                            cores: spec.cores,
+                            cores: rng.gen_range(spec.cores / 2..spec.cores + 1),
                             gpus: 0,
                             mem_gib: 0.0,
                             nodes: width,
+                            packing: Some(if rng.gen_bool(0.5) {
+                                GangPacking::Partial
+                            } else {
+                                GangPacking::Whole
+                            }),
                         };
                         match alloc.begin_drain(&req) {
                             Ok(id) => {
@@ -528,8 +706,11 @@ fn drain_reserve_cancel_place_interleavings_never_double_book() {
                                     drain = None;
                                 }
                                 Err(ResourceError::InsufficientResources) => {
-                                    let (pinned, target) = alloc.drain_status().unwrap();
-                                    assert!(pinned < target, "complete drain must place");
+                                    let status = alloc.drain_status().unwrap();
+                                    assert!(
+                                        status.pinned() < status.target,
+                                        "complete drain must place"
+                                    );
                                 }
                                 Err(e) => panic!("unexpected allocate_reserved error: {e:?}"),
                             }
@@ -546,8 +727,15 @@ fn drain_reserve_cancel_place_interleavings_never_double_book() {
                 assert_eq!(
                     alloc.idle_nodes(),
                     nodes - busy_nodes.len(),
-                    "pinned nodes stay physically idle; busy nodes never pinned"
+                    "pinning never changes physical occupancy (idle or pinned-partial)"
                 );
+                if let Some(status) = alloc.drain_status() {
+                    assert_eq!(
+                        status.pinned(),
+                        pinned,
+                        "drain_status splits exactly the pinned set"
+                    );
+                }
                 assert_eq!(
                     alloc.free_cores() + live_cores.len() as u32,
                     total_cores,
@@ -572,6 +760,7 @@ fn drain_reserve_cancel_place_interleavings_never_double_book() {
                     gpus: spec.gpus,
                     mem_gib: 0.0,
                     nodes,
+                    packing: None,
                 })
                 .expect("cancelled/placed drains must leave every node in the idle bucket");
             alloc.release_slot(&all).unwrap();
@@ -609,6 +798,7 @@ fn drain_timeout_mid_reservation_leaks_nothing() {
                             gpus: 0,
                             mem_gib: 0.0,
                             nodes: 1,
+                            packing: None,
                         },
                         Priority::Task,
                         Duration::from_secs(1),
@@ -621,6 +811,7 @@ fn drain_timeout_mid_reservation_leaks_nothing() {
             gpus: 0,
             mem_gib: 0.0,
             nodes,
+            packing: None,
         };
         // The gang drains almost immediately, pins the idle remainder, then times out.
         let err = scheduler
@@ -650,6 +841,7 @@ fn drain_timeout_mid_reservation_leaks_nothing() {
                         gpus: spec.gpus,
                         mem_gib: 0.0,
                         nodes: 1,
+                        packing: None,
                     })
                     .expect("formerly pinned nodes must be placeable")
             })
