@@ -220,37 +220,54 @@ fn bench_gang_backfill(c: &mut Criterion) {
     group.finish();
 }
 
-/// Multi-thread allocate/release churn, swept across node counts. Capacity always
-/// exceeds demand here, so this measures the *lock + index* path under thread
-/// contention (every allocation takes the queueless fast path); parked-waiter wakeups
-/// are measured separately by `bench_scheduler_waitqueue`.
+/// Multi-thread allocate/release churn on a 256-node allocation, swept across
+/// thread counts (1/2/4/8/16), contrasting the sharded allocator against the
+/// single-lock configuration. `sharded` pins 16 shards — what the default
+/// derivation yields for 256 nodes on a ≥16-core host, pinned explicitly so the
+/// sweep measures the same structure on any machine; `single` pins
+/// `allocator_shards = 1` (the pre-sharding allocator, bit for bit). Capacity
+/// always exceeds demand, so every allocation takes the queueless fast path and
+/// the sweep isolates the *lock + index* contention the sharding exists to cut;
+/// parked-waiter wakeups are measured separately by `bench_scheduler_waitqueue`.
+/// `scripts/bench_guard.sh` asserts the group's existence and that 8-thread
+/// sharded churn beats the 1-shard baseline.
 fn bench_scheduler_churn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler/churn_4_threads");
+    let mut group = c.benchmark_group("scheduler/churn");
     group.sample_size(10);
-    for nodes in [4usize, 256, 4096] {
-        let batch = BatchSystem::new(wide_spec(nodes), ClockSpec::Manual.build(), 1);
-        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
-        let scheduler = Arc::new(Scheduler::new(alloc));
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
-            b.iter(|| {
-                let mut handles = Vec::new();
-                for _ in 0..4 {
-                    let s = Arc::clone(&scheduler);
-                    handles.push(std::thread::spawn(move || {
-                        let req = ResourceRequest::cores(4).unwrap();
-                        for _ in 0..256 {
-                            let slot = s
-                                .allocate(&req, Priority::Task, Duration::from_secs(10))
-                                .unwrap();
-                            s.release(&slot).unwrap();
-                        }
-                    }));
-                }
-                for h in handles {
-                    h.join().unwrap();
-                }
-            })
-        });
+    const NODES: usize = 256;
+    // High enough that per-iteration thread spawn/join overhead (identical in both
+    // configurations) does not dilute the lock-contention signal the speedup
+    // guard measures.
+    const OPS_PER_THREAD: usize = 1024;
+    for (label, shards) in [("sharded", 16usize), ("single", 1)] {
+        for threads in [1usize, 2, 4, 8, 16] {
+            let batch = BatchSystem::new(wide_spec(NODES), ClockSpec::Manual.build(), 1);
+            let alloc = batch
+                .submit(AllocationRequest::nodes(NODES).with_allocator_shards(shards))
+                .unwrap();
+            assert_eq!(alloc.num_shards(), shards);
+            let scheduler = Arc::new(Scheduler::new(alloc));
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    let mut handles = Vec::new();
+                    for _ in 0..threads {
+                        let s = Arc::clone(&scheduler);
+                        handles.push(std::thread::spawn(move || {
+                            let req = ResourceRequest::cores(4).unwrap();
+                            for _ in 0..OPS_PER_THREAD {
+                                let slot = s
+                                    .allocate(&req, Priority::Task, Duration::from_secs(10))
+                                    .unwrap();
+                                s.release(&slot).unwrap();
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            });
+        }
     }
     group.finish();
 }

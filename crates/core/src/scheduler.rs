@@ -165,14 +165,19 @@ pub enum Priority {
     Task,
 }
 
-/// How a placement was obtained, alongside the slot: overtake and drain telemetry
-/// the executor turns into `task.gang.overtakes` / `task.gang.drain_secs` metrics.
+/// How a placement was obtained, alongside the slot: overtake, drain, and
+/// shard-probe telemetry the executor turns into `task.gang.overtakes` /
+/// `task.gang.drain_secs` / `task.placement.shard_probes` metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PlacementStats {
     /// How many later arrivals of the same class placed while this request waited.
     pub overtakes: u32,
     /// Real seconds spent in draining mode before placing (`None` = never drained).
     pub drain_secs: Option<f64>,
+    /// Allocator shard locks the successful placement took: 1 = the two-choice
+    /// probe hit its first shard; values toward the allocation's shard count mean
+    /// summary misses, a fallback sweep, or a cross-shard gang claim.
+    pub shard_probes: u32,
 }
 
 /// Scheduler bound to one pilot allocation.
@@ -399,10 +404,16 @@ impl Scheduler {
             Priority::Task => st.services.is_empty() && st.tasks.is_empty(),
         };
         if fast_eligible {
-            match self.allocation.allocate_slot(req) {
-                Ok(slot) => {
+            match self.allocation.allocate_slot_with_stats(req) {
+                Ok((slot, probes)) => {
                     st.outstanding_slots += 1;
-                    return Ok((slot, PlacementStats::default()));
+                    return Ok((
+                        slot,
+                        PlacementStats {
+                            shard_probes: probes.shard_probes,
+                            ..PlacementStats::default()
+                        },
+                    ));
                 }
                 Err(ResourceError::InsufficientResources) => {}
                 Err(e) => return Err(RuntimeError::Resource(e)),
@@ -454,15 +465,15 @@ impl Scheduler {
             if let Some(drain_id) = my_drain {
                 // Draining: place through the reservation the moment it is complete.
                 if eligible {
-                    match self.allocation.allocate_reserved(drain_id, req) {
-                        Ok(slot) => break Ok(slot),
+                    match self.allocation.allocate_reserved_with_stats(drain_id, req) {
+                        Ok((slot, probes)) => break Ok((slot, probes.shard_probes)),
                         Err(ResourceError::InsufficientResources) => {}
                         Err(e) => break Err(RuntimeError::Resource(e)),
                     }
                 }
             } else if eligible {
-                match self.allocation.allocate_slot(req) {
-                    Ok(slot) => break Ok(slot),
+                match self.allocation.allocate_slot_with_stats(req) {
+                    Ok((slot, probes)) => break Ok((slot, probes.shard_probes)),
                     Err(ResourceError::InsufficientResources) => {}
                     Err(e) => break Err(RuntimeError::Resource(e)),
                 }
@@ -480,8 +491,8 @@ impl Scheduler {
                             drained_at = Some(Instant::now());
                             // The already-idle nodes may complete the reservation
                             // outright.
-                            match self.allocation.allocate_reserved(id, req) {
-                                Ok(slot) => break Ok(slot),
+                            match self.allocation.allocate_reserved_with_stats(id, req) {
+                                Ok((slot, probes)) => break Ok((slot, probes.shard_probes)),
                                 Err(ResourceError::InsufficientResources) => {}
                                 Err(e) => break Err(RuntimeError::Resource(e)),
                             }
@@ -502,11 +513,12 @@ impl Scheduler {
                     // `my_drain` is current: it was derived this iteration under the
                     // continuously held lock.
                     let attempt = match my_drain {
-                        Some(id) => self.allocation.allocate_reserved(id, req),
-                        None => self.allocation.allocate_slot(req),
-                    };
+                        Some(id) => self.allocation.allocate_reserved_with_stats(id, req),
+                        None => self.allocation.allocate_slot_with_stats(req),
+                    }
+                    .map(|(slot, probes)| (slot, probes.shard_probes));
                     match attempt {
-                        Ok(slot) => break Ok(slot),
+                        Ok(placed) => break Ok(placed),
                         Err(ResourceError::InsufficientResources) => {}
                         Err(e) => break Err(RuntimeError::Resource(e)),
                     }
@@ -579,12 +591,13 @@ impl Scheduler {
             st.outstanding_slots += 1;
         }
         st.wake_window(self.lookahead);
-        result.map(|slot| {
+        result.map(|(slot, shard_probes)| {
             (
                 slot,
                 PlacementStats {
                     overtakes: waiter.overtakes.load(Ordering::Relaxed),
                     drain_secs: drained_at.map(|t| t.elapsed().as_secs_f64()),
+                    shard_probes,
                 },
             )
         })
@@ -1359,6 +1372,100 @@ mod tests {
         s.release(&gang).unwrap();
         assert_eq!(s.outstanding_slots(), 0);
         assert_eq!(s.allocation().idle_nodes(), 2);
+    }
+
+    /// The sharded allocator's "pin before any waiter wakes" guarantee, exercised
+    /// under concurrency (and backed by a `debug_assert` in `release_slot`): when a
+    /// draining gang and a parked narrow waiter race for a node freed on the same
+    /// shard, the drain's pin must win — the release pins the node inside its own
+    /// critical section, before the scheduler can wake anyone. Seeded repeats shake
+    /// the thread interleaving.
+    #[test]
+    fn drain_pin_wins_over_concurrent_same_shard_waiter_wakeup() {
+        for seed in 0..4u64 {
+            let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), seed);
+            let alloc = batch
+                .submit(AllocationRequest::nodes(4).with_allocator_shards(2))
+                .unwrap();
+            assert_eq!(alloc.num_shards(), 2);
+            let s = Arc::new(
+                Scheduler::with_lookahead(Arc::clone(&alloc), 2)
+                    .with_max_overtakes(None)
+                    .with_gang_drain_after(Some(Duration::from_millis(10))),
+            );
+            // Every node busy: the gang must park, age, and open its reservation.
+            let holds: Vec<_> = (0..4)
+                .map(|_| {
+                    s.allocate(&cores(64), Priority::Task, Duration::from_secs(1))
+                        .unwrap()
+                })
+                .collect();
+            let s_gang = Arc::clone(&s);
+            let gang_waiter = thread::spawn(move || {
+                s_gang.allocate(
+                    &cores(64).with_nodes(4),
+                    Priority::Task,
+                    Duration::from_secs(30),
+                )
+            });
+            wait_until(&s, "gang draining", |s| {
+                s.allocation().drain_status().is_some()
+            });
+            // A narrow task parks behind the draining gang, inside the window.
+            let s_narrow = Arc::clone(&s);
+            let narrow_waiter = thread::spawn(move || {
+                s_narrow.allocate(&cores(1), Priority::Task, Duration::from_millis(250))
+            });
+            wait_until(&s, "narrow task parked", |s| s.waiting_tasks() == 2);
+            // Free one node: its release wakes the narrow waiter, but the pin ran
+            // first — the waiter must find nothing and eventually time out.
+            s.release(&holds[0]).unwrap();
+            wait_until(&s, "freed node pinned to the drain", |s| {
+                s.allocation().reserved_nodes() == 1
+            });
+            let narrow = narrow_waiter.join().unwrap();
+            assert!(
+                matches!(narrow, Err(RuntimeError::WaitTimeout { .. })),
+                "seed {seed}: the drain's pin must win over the woken waiter: {narrow:?}"
+            );
+            // Free the rest: the gang completes through its reservation.
+            for hold in &holds[1..] {
+                s.release(hold).unwrap();
+            }
+            let gang = gang_waiter.join().unwrap().unwrap();
+            assert_eq!(gang.num_nodes(), 4);
+            s.release(&gang).unwrap();
+            assert_eq!(s.outstanding_slots(), 0);
+            assert_eq!(alloc.idle_nodes(), 4);
+            assert_eq!(alloc.reserved_nodes(), 0);
+        }
+    }
+
+    /// Placement stats surface the allocator's shard-probe count: 1-ish for
+    /// single-node placements (two-choice probe), the spanned shard count for a
+    /// cross-shard gang.
+    #[test]
+    fn placement_stats_report_shard_probes() {
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch
+            .submit(AllocationRequest::nodes(4).with_allocator_shards(2))
+            .unwrap();
+        let s = Scheduler::new(alloc);
+        let (slot, stats) = s
+            .allocate_with_stats(&cores(4), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        assert!((1..=2).contains(&stats.shard_probes), "{stats:?}");
+        let (gang, gang_stats) = s
+            .allocate_with_stats(
+                &cores(32).with_nodes(4),
+                Priority::Task,
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(gang_stats.shard_probes, 2, "gang locks every shard");
+        s.release(&slot).unwrap();
+        s.release(&gang).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
     }
 
     #[test]

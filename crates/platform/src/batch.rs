@@ -25,6 +25,28 @@
 //! request racing nodes whose cores/GPUs are free but whose memory is not (memory is
 //! continuous and not bucketed).
 //!
+//! ## Sharded state
+//!
+//! One lock over nodes + index caps task throughput once several threads hammer
+//! placement concurrently (asynchronous ML/HPC pipelines drive exactly that
+//! pattern). The allocation therefore stripes its state into
+//! [`AllocationConfig`]-many shards — node `g` lives in shard `g % shards`, each
+//! shard owning its node slice plus its *own* capacity index behind its own lock —
+//! so a single-node allocate/release touches exactly one shard lock. Placement
+//! steers with lock-free per-shard headroom summaries (`AtomicU64`: idle-node
+//! count + best headroom class): two rotor-picked shards are ranked
+//! (power-of-two-choices, preferring a shard whose non-idle headroom covers the
+//! share — the best-fit spirit), probed in order, and only a miss on both falls
+//! back to a full ascending sweep, so exhaustion is always decided by inspecting
+//! every shard under its lock, never by a stale summary. Gangs and drains take all
+//! (or all involved) shard locks in **ascending shard-id order** and merge
+//! per-shard candidates into global best-fit order; the cross-shard drain
+//! controller lock is ordered *before* shard locks, and a lock-free `drain_active`
+//! flag keeps it off the no-drain release hot path. With `shards = 1` (the
+//! derived default for small allocations, or explicit via
+//! [`AllocationRequest::with_allocator_shards`]) every path reduces to the
+//! pre-sharding single-lock behaviour exactly.
+//!
 //! ## Gang placement
 //!
 //! A request with [`ResourceRequest::nodes`] > 1 is a multi-node MPI *gang*: the
@@ -76,7 +98,8 @@ use hpcml_sim::clock::SharedClock;
 use hpcml_sim::dist::Dist;
 
 use crate::resources::{
-    GangPacking, NodeSpec, NodeState, ResourceError, ResourceRequest, Slot, SlotMember,
+    AllocationConfig, GangPacking, NodeSpec, NodeState, ResourceError, ResourceRequest, Slot,
+    SlotMember,
 };
 use crate::spec::PlatformSpec;
 
@@ -128,6 +151,8 @@ pub struct AllocationRequest {
     /// Whether to model the batch-queue wait (true for realism, false for experiments
     /// that start measuring once the pilot is active — as the paper does).
     pub model_queue_wait: bool,
+    /// Allocator-level configuration (state sharding; see [`AllocationConfig`]).
+    pub config: AllocationConfig,
 }
 
 impl AllocationRequest {
@@ -137,6 +162,7 @@ impl AllocationRequest {
             nodes,
             walltime_secs: 3600.0,
             model_queue_wait: false,
+            config: AllocationConfig::default(),
         }
     }
 
@@ -149,6 +175,15 @@ impl AllocationRequest {
     /// Enable queue-wait modelling.
     pub fn with_queue_wait(mut self, enable: bool) -> Self {
         self.model_queue_wait = enable;
+        self
+    }
+
+    /// Pin the allocator shard count (clamped to `1..=nodes` at resolution time);
+    /// `allocator_shards(1)` reproduces the single-lock allocator exactly. Without
+    /// this, the count is derived from the host parallelism and the node count
+    /// (see [`AllocationConfig::resolve_shards`]).
+    pub fn with_allocator_shards(mut self, shards: usize) -> Self {
+        self.config.shards = Some(shards);
         self
     }
 }
@@ -330,20 +365,47 @@ impl CapacityIndex {
         picked
     }
 
-    /// Collect `n` distinct fully idle nodes off the dedicated idle bucket, or `None`
-    /// when fewer exist. O(n): idle-bucket membership proves idleness exactly.
-    fn find_idle(&self, n: usize) -> Option<Vec<usize>> {
-        let bucket = &self.buckets[self.idle_bucket()];
-        if bucket.len() < n {
-            return None;
+    /// The nodes currently in the dedicated idle bucket (gang fast path, drains).
+    /// Membership proves idleness exactly, so taking the first `n` entries is the
+    /// O(n) `find_idle` of the pre-sharding allocator.
+    fn idle_nodes(&self) -> &[usize] {
+        &self.buckets[self.idle_bucket()]
+    }
+
+    /// Lock-free headroom summary of this index, published per shard as an
+    /// `AtomicU64`: high 32 bits = idle-node count, low 32 bits = the *best
+    /// headroom class key* (`free_gpus << 8 | core class`) over all indexed
+    /// non-idle nodes (0 when none). A node fits a request only if its own key is
+    /// component-wise — and therefore numerically — ≥ the request's key, so a
+    /// summary whose best key is below the request key *and* whose idle count is
+    /// zero proves the shard cannot host it; the converse is only a hint (the
+    /// best-keyed node may be short on the other dimension or on memory), which
+    /// is why probing falls back to a locked sweep before reporting exhaustion.
+    fn summary(&self) -> u64 {
+        let idle = self.idle_nodes().len() as u64;
+        let mut best = 0u64;
+        for fg in (0..self.gpu_levels).rev() {
+            let word = self.nonempty[fg];
+            if word != 0 {
+                best = ((fg as u64) << 8) | (127 - word.leading_zeros()) as u64;
+                break;
+            }
         }
-        Some(bucket[..n].to_vec())
+        (idle << 32) | best
     }
 }
 
+/// The class key a request (or node headroom) occupies in a shard summary:
+/// `free_gpus << 8 | capped core class`. Component-wise coverage implies numeric ≥.
+fn summary_key(gpus: u32, cores: u32) -> u64 {
+    ((gpus as u64) << 8) | cores.min(CORE_CLASS_CAP) as u64
+}
+
 /// The one active backfill reservation: nodes pinned for a draining gang.
-/// Pinned nodes are *removed from the capacity index*, which is what excludes them
-/// from `find`/`find_fit`/`find_idle` without any per-probe filtering cost.
+/// Pinned nodes are *removed from their shard's capacity index*, which is what
+/// excludes them from every placement probe without any per-probe filtering cost.
+/// Guarded by the allocation's cross-shard drain-controller lock, which is always
+/// acquired *before* any shard lock (see the locking section of the module docs).
 struct DrainReservation {
     id: u64,
     /// The draining gang's request: `req.nodes` is the pin target and the
@@ -354,8 +416,8 @@ struct DrainReservation {
     /// and all (the pinned-partial state — occupancy on a pinned node can only
     /// shrink, so the coverage invariant holds until placement).
     packing: GangPacking,
-    /// Nodes pinned so far; grows monotonically until `req.nodes` via release
-    /// events, never beyond it.
+    /// Global indices of nodes pinned so far; grows monotonically until
+    /// `req.nodes` via release events, never beyond it.
     pinned: Vec<usize>,
 }
 
@@ -394,104 +456,92 @@ impl DrainStatus {
     }
 }
 
-/// Mutable allocation state: node occupancy plus the capacity index and cached
-/// aggregate counters, all guarded by one lock.
-struct AllocState {
+/// One shard's mutable state: the node slice it owns plus its own capacity index
+/// over *local* node indices, guarded by the shard's lock. Node `g` (global) lives
+/// in shard `g % num_shards` at local index `g / num_shards` (striped partition),
+/// so consecutive nodes spread across shards and a hammering thread mix lands on
+/// different locks.
+struct ShardState {
     nodes: Vec<NodeState>,
     index: CapacityIndex,
-    free_cores: u32,
-    free_gpus: u32,
-    non_idle_nodes: usize,
-    /// IDs of slots handed out and not yet released. Releasing a slot that is not in
-    /// this set is rejected, so a double release can never re-credit resources
-    /// (memory in particular has no per-unit occupancy bit to catch it otherwise).
-    live_slots: std::collections::HashSet<u64>,
-    /// Active backfill reservation, if any (at most one per allocation).
-    drain: Option<DrainReservation>,
 }
 
-impl AllocState {
-    /// Reserve one member node's share of `req` on `node_index` (which the caller has
-    /// proven fits and re-indexed if it was pinned), keeping the cached aggregates
-    /// and the index in sync. Returns the membership record, flagged `co_resident`
-    /// when the node already carried other live slots (a partial-packing
-    /// co-location).
-    fn reserve_member(
-        &mut self,
-        node_index: usize,
-        req: &ResourceRequest,
-    ) -> Result<SlotMember, ResourceError> {
-        let node = &mut self.nodes[node_index];
-        let was_idle = node.is_idle();
-        let (core_ids, gpu_ids, mem_gib) = node.try_reserve(req)?;
-        self.free_cores -= core_ids.len() as u32;
-        self.free_gpus -= gpu_ids.len() as u32;
-        if was_idle && !node.is_idle() {
-            self.non_idle_nodes += 1;
-        }
-        let (free_gpus, free_cores, name) =
-            (node.free_gpus(), node.free_cores(), Arc::clone(&node.name));
-        self.index.update(node_index, free_gpus, free_cores);
-        Ok(SlotMember {
-            node_index,
-            node_name: name,
-            core_ids,
-            gpu_ids,
-            mem_gib,
-            co_resident: !was_idle,
-        })
-    }
+/// Stripes for the live-slot id sets: slot liveness is orthogonal to node
+/// partitioning, so it gets its own small striped registry instead of riding on a
+/// shard lock (a gang's id cannot belong to "a" shard).
+const LIVE_SLOT_STRIPES: usize = 8;
 
-    /// Return one membership's resources to its node, keeping the cached aggregates
-    /// and the index in sync. A node pinned by the active drain is *not* re-indexed:
-    /// it stays invisible to other placements, with only its occupancy shrinking
-    /// (the pinned-partial state relies on exactly this).
-    fn release_member(&mut self, member: &SlotMember) {
-        let node = &mut self.nodes[member.node_index];
-        let was_idle = node.is_idle();
-        // Deltas, not slot sizes: NodeState::release ignores double-released indices.
-        let (cores_before, gpus_before) = (node.free_cores(), node.free_gpus());
-        node.release(&member.core_ids, &member.gpu_ids, member.mem_gib);
-        self.free_cores += node.free_cores() - cores_before;
-        self.free_gpus += node.free_gpus() - gpus_before;
-        if !was_idle && node.is_idle() {
-            self.non_idle_nodes -= 1;
-        }
-        if self.index.contains(member.node_index) {
-            let (free_gpus, free_cores) = (node.free_gpus(), node.free_cores());
-            self.index.update(member.node_index, free_gpus, free_cores);
-        }
-    }
-
-    /// Pin `node` to the active drain if one is still short of its target, the node
-    /// is still indexed (not already pinned), and its capacity covers one member
-    /// share under the drain's packing policy: the node leaves the capacity index,
-    /// so no other placement path can claim it until the drain places or is
-    /// cancelled.
-    fn try_pin(&mut self, node: usize) {
-        if let Some(drain) = &mut self.drain {
-            if drain.pinned.len() < drain.req.nodes
-                && self.index.contains(node)
-                && drain.covers(&self.nodes[node])
-            {
-                self.index.remove(node);
-                drain.pinned.push(node);
-            }
-        }
-    }
+/// Placement cost telemetry returned next to a slot: how many shard locks the
+/// placement had to take (1 = the two-choice probe hit on its first shard; values
+/// toward the shard count mean summary misses or a full fallback sweep). Feeds the
+/// executor's `task.placement.shard_probes` metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementProbes {
+    /// Distinct shard locks acquired to place the slot.
+    pub shard_probes: u32,
 }
 
 /// A granted allocation: a set of whole nodes owned by one pilot.
+///
+/// The mutable state is partitioned into [`AllocationConfig`]-many shards, each
+/// guarded by its own lock, so concurrent single-node allocate/release traffic on
+/// different shards never serialises. Aggregate counters (free cores/GPUs,
+/// non-idle nodes) are lock-free atomics updated under the owning shard's lock;
+/// per-shard headroom summaries (idle count + best class key) are published the
+/// same way and steer the two-choice placement probe without any locking.
+///
+/// Lock order (deadlock freedom): **drain controller → shard locks in ascending
+/// shard id**. Paths that never touch the drain take shard locks only; paths that
+/// might pin (release with an active drain) or mutate the reservation take the
+/// drain-controller lock first. `drain_active` is a lock-free flag releases use to
+/// skip the controller when no drain exists; a release that observes the flag flip
+/// *after* taking its shard locks restarts once with the controller held, so a
+/// concurrent `begin_drain` can never miss a node freed under its feet.
 pub struct Allocation {
     id: u64,
     platform: PlatformSpec,
     num_nodes: usize,
-    state: Mutex<AllocState>,
+    num_shards: usize,
+    shards: Vec<Mutex<ShardState>>,
+    /// Lock-free per-shard headroom summaries (see [`CapacityIndex::summary`]),
+    /// republished after every mutation under the owning shard's lock.
+    summaries: Vec<AtomicU64>,
+    /// Immutable global node-index → hostname map, for lock-free slot validation.
+    node_names: Vec<Arc<str>>,
+    /// Cached aggregates, updated under the owning shard's lock, read lock-free.
+    /// Relaxed ordering throughout: each update is an atomic RMW (totals stay
+    /// exact), and every reader that needs a consistent snapshot (tests after a
+    /// join, the scheduler after a release) is already ordered by lock or join
+    /// synchronisation.
+    free_cores: AtomicU64,
+    free_gpus: AtomicU64,
+    non_idle_nodes: AtomicU64,
+    /// IDs of slots handed out and not yet released, striped by id. Releasing a
+    /// slot that is not registered is rejected, so a double release can never
+    /// re-credit resources (memory in particular has no per-unit occupancy bit to
+    /// catch it otherwise).
+    live_slots: Vec<Mutex<std::collections::HashSet<u64>>>,
+    /// Cross-shard drain controller: the one active backfill reservation.
+    drain: Mutex<Option<DrainReservation>>,
+    /// Lock-free mirror of `drain.is_some()`, so releases skip the controller lock
+    /// entirely while no drain is active (the common case on the hot path).
+    drain_active: std::sync::atomic::AtomicBool,
+    /// Rotor for the two-choice probe's shard picks.
+    probe_cursor: AtomicU64,
     next_slot_id: AtomicU64,
     next_drain_id: AtomicU64,
     /// Seconds spent waiting in the batch queue (0 if not modelled).
     queue_wait_secs: f64,
     walltime_secs: f64,
+}
+
+/// SplitMix64 finaliser: decorrelates the probe rotor so the second choice is not
+/// always the neighbouring shard.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x
 }
 
 impl std::fmt::Debug for Allocation {
@@ -500,6 +550,7 @@ impl std::fmt::Debug for Allocation {
             .field("id", &self.id)
             .field("platform", &self.platform.id)
             .field("nodes", &self.num_nodes)
+            .field("shards", &self.num_shards)
             .field("walltime_secs", &self.walltime_secs)
             .finish()
     }
@@ -536,22 +587,42 @@ impl Allocation {
         self.num_nodes as u32 * self.platform.node.gpus
     }
 
-    /// Currently free cores across all nodes (O(1): cached aggregate).
+    /// Currently free cores across all nodes (O(1), lock-free: cached aggregate).
     pub fn free_cores(&self) -> u32 {
-        self.state.lock().free_cores
+        self.free_cores.load(Ordering::Relaxed) as u32
     }
 
-    /// Currently free GPUs across all nodes (O(1): cached aggregate).
+    /// Currently free GPUs across all nodes (O(1), lock-free: cached aggregate).
     pub fn free_gpus(&self) -> u32 {
-        self.state.lock().free_gpus
+        self.free_gpus.load(Ordering::Relaxed) as u32
     }
 
-    /// Number of nodes with no slot reservation at all (O(1): cached). This counts
-    /// *physical* idleness: nodes pinned by an active backfill drain are not
-    /// placeable but may still be idle (see [`Allocation::drain_status`] for the
-    /// idle/partial split of the pinned set).
+    /// Number of nodes with no slot reservation at all (O(1), lock-free: cached).
+    /// This counts *physical* idleness: nodes pinned by an active backfill drain
+    /// are not placeable but may still be idle (see [`Allocation::drain_status`]
+    /// for the idle/partial split of the pinned set).
     pub fn idle_nodes(&self) -> usize {
-        self.num_nodes - self.state.lock().non_idle_nodes
+        self.num_nodes - self.non_idle_nodes.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of independently locked state shards this allocation runs with.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning global node index `node` (striped partition).
+    pub fn shard_of(&self, node: usize) -> usize {
+        node % self.num_shards
+    }
+
+    /// The node's index within its shard's local node slice.
+    fn local_of(&self, node: usize) -> usize {
+        node / self.num_shards
+    }
+
+    /// Global index of `local` within shard `shard`.
+    fn global_of(&self, shard: usize, local: usize) -> usize {
+        local * self.num_shards + shard
     }
 
     /// Seconds this allocation waited in the batch queue before becoming active.
@@ -593,90 +664,342 @@ impl Allocation {
         Ok(())
     }
 
+    /// Publish shard `shard`'s lock-free headroom summary from its current index
+    /// state. Called after every mutation, while the shard lock is still held, so a
+    /// summary read after acquiring any lock the mutator released is never stale.
+    /// With a single shard the summary has no reader (the two-choice probe
+    /// short-circuits), so the single-lock configuration skips the bookkeeping.
+    fn publish_summary(&self, shard: usize, st: &ShardState) {
+        if self.num_shards > 1 {
+            self.summaries[shard].store(st.index.summary(), Ordering::Relaxed);
+        }
+    }
+
+    /// Reserve one member node's share of `req` on global node `node_index` inside
+    /// its (locked) shard, keeping the cached aggregates and the shard index in
+    /// sync. Returns the membership record, flagged `co_resident` when the node
+    /// already carried other live slots (a partial-packing co-location).
+    fn reserve_member_in(
+        &self,
+        st: &mut ShardState,
+        node_index: usize,
+        req: &ResourceRequest,
+    ) -> Result<SlotMember, ResourceError> {
+        let local = self.local_of(node_index);
+        let node = &mut st.nodes[local];
+        let was_idle = node.is_idle();
+        let (core_ids, gpu_ids, mem_gib) = node.try_reserve(req)?;
+        self.free_cores
+            .fetch_sub(core_ids.len() as u64, Ordering::Relaxed);
+        self.free_gpus
+            .fetch_sub(gpu_ids.len() as u64, Ordering::Relaxed);
+        if was_idle && !node.is_idle() {
+            self.non_idle_nodes.fetch_add(1, Ordering::Relaxed);
+        }
+        let (free_gpus, free_cores, name) =
+            (node.free_gpus(), node.free_cores(), Arc::clone(&node.name));
+        st.index.update(local, free_gpus, free_cores);
+        Ok(SlotMember {
+            node_index,
+            node_name: name,
+            core_ids,
+            gpu_ids,
+            mem_gib,
+            co_resident: !was_idle,
+        })
+    }
+
+    /// Return one membership's resources to its node inside its (locked) shard,
+    /// keeping the cached aggregates and the shard index in sync. A node pinned by
+    /// the active drain is *not* re-indexed: it stays invisible to other
+    /// placements, with only its occupancy shrinking (the pinned-partial state
+    /// relies on exactly this).
+    fn release_member_in(&self, st: &mut ShardState, member: &SlotMember) {
+        let local = self.local_of(member.node_index);
+        let node = &mut st.nodes[local];
+        let was_idle = node.is_idle();
+        // Deltas, not slot sizes: NodeState::release ignores double-released indices.
+        let (cores_before, gpus_before) = (node.free_cores(), node.free_gpus());
+        node.release(&member.core_ids, &member.gpu_ids, member.mem_gib);
+        self.free_cores
+            .fetch_add((node.free_cores() - cores_before) as u64, Ordering::Relaxed);
+        self.free_gpus
+            .fetch_add((node.free_gpus() - gpus_before) as u64, Ordering::Relaxed);
+        if !was_idle && node.is_idle() {
+            self.non_idle_nodes.fetch_sub(1, Ordering::Relaxed);
+        }
+        if st.index.contains(local) {
+            let (free_gpus, free_cores) = (node.free_gpus(), node.free_cores());
+            st.index.update(local, free_gpus, free_cores);
+        }
+    }
+
+    /// Lock the given (ascending, deduplicated) shard ids, returning a slot per
+    /// shard so callers can address guards by shard id. Ascending acquisition is
+    /// the global shard-lock order — every multi-shard path goes through here.
+    fn lock_shards(&self, ids: &[usize]) -> Vec<Option<parking_lot::MutexGuard<'_, ShardState>>> {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending shard ids");
+        let mut guards: Vec<Option<parking_lot::MutexGuard<'_, ShardState>>> =
+            (0..self.num_shards).map(|_| None).collect();
+        for &s in ids {
+            guards[s] = Some(self.shards[s].lock());
+        }
+        guards
+    }
+
+    /// The ascending, deduplicated shard ids owning the given global node indices.
+    fn shard_ids_of(&self, nodes: impl Iterator<Item = usize>) -> Vec<usize> {
+        let mut ids: Vec<usize> = nodes.map(|n| self.shard_of(n)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Register a freshly claimed slot id in the striped live-slot registry.
+    fn register_slot(&self, id: u64) {
+        self.live_slots[id as usize % LIVE_SLOT_STRIPES]
+            .lock()
+            .insert(id);
+    }
+
     /// Try to carve a slot satisfying `req` out of the allocation.
     ///
-    /// Single-node placement goes through the capacity index (best fit by GPU then
-    /// core headroom) instead of scanning nodes, so cost is independent of allocation
-    /// size. A gang request (`req.nodes > 1`) atomically claims that many distinct
-    /// nodes — all or nothing, with full rollback on a mid-claim conflict: best-fit
-    /// across partially free nodes under [`GangPacking::Partial`] (the unset-policy
-    /// default), or straight off the idle bucket for whole-node member shares and
-    /// under [`GangPacking::Whole`] — in O(gang size + GPU levels).
+    /// Single-node placement locks exactly one shard in the common case: a
+    /// power-of-two-choices probe ranks two rotor-picked shards by their lock-free
+    /// headroom summaries (a shard whose best non-idle class covers the request
+    /// beats one that would have to break an idle node, matching the single-lock
+    /// allocator's best-fit preference), probes the winner's capacity index, then
+    /// the loser's, and only then sweeps the remaining shards in ascending id
+    /// order — so exhaustion is decided by inspecting every shard, never by a
+    /// stale summary. Within a shard the capacity-index best-fit order is exactly
+    /// the pre-sharding behaviour, and a single-shard allocation reproduces it
+    /// globally. A gang request (`req.nodes > 1`) atomically claims distinct nodes
+    /// across shards — all shard locks taken in ascending order, candidates merged
+    /// in global best-fit order, all-or-nothing with full rollback on a mid-claim
+    /// conflict (see [`GangPacking`]).
     /// Returns [`ResourceError::InsufficientResources`] when nothing currently fits
     /// and [`ResourceError::NeverSatisfiable`] when the allocation shape could never
     /// satisfy it.
     pub fn allocate_slot(&self, req: &ResourceRequest) -> Result<Slot, ResourceError> {
-        self.check_satisfiable(req)?;
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        if req.nodes > 1 {
-            return self.allocate_gang(st, req);
-        }
-        let node_index = st
-            .index
-            .find(req, &st.nodes)
-            .ok_or(ResourceError::InsufficientResources)?;
-        let member = st.reserve_member(node_index, req)?;
-        let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
-        st.live_slots.insert(id);
-        Ok(Slot::single(id, member))
+        self.allocate_slot_with_stats(req).map(|(slot, _)| slot)
     }
 
-    /// Claim `req.nodes` distinct nodes as one gang slot, per the request's packing
-    /// policy. The caller holds the state lock, so the claim is atomic: concurrent
-    /// placements either see all member nodes reserved or none.
+    /// [`Allocation::allocate_slot`], additionally reporting how many shard locks
+    /// the placement took ([`PlacementProbes`] — the scheduler turns this into the
+    /// `task.placement.shard_probes` metric).
+    pub fn allocate_slot_with_stats(
+        &self,
+        req: &ResourceRequest,
+    ) -> Result<(Slot, PlacementProbes), ResourceError> {
+        self.check_satisfiable(req)?;
+        if req.nodes > 1 {
+            return self.allocate_gang(req);
+        }
+        self.allocate_single(req)
+    }
+
+    /// Single-node placement: two-choice probe, then full sweep (see
+    /// [`Allocation::allocate_slot`]).
+    fn allocate_single(
+        &self,
+        req: &ResourceRequest,
+    ) -> Result<(Slot, PlacementProbes), ResourceError> {
+        let mut probes = PlacementProbes::default();
+        let (first, second) = self.probe_choices(req);
+        if let Some(slot) = self.try_claim_single(first, req, &mut probes)? {
+            return Ok((slot, probes));
+        }
+        if let Some(second) = second {
+            if let Some(slot) = self.try_claim_single(second, req, &mut probes)? {
+                return Ok((slot, probes));
+            }
+        }
+        // Fallback sweep: inspect every remaining shard under its lock before
+        // reporting exhaustion — summaries are hints, never the basis for failure.
+        for shard in 0..self.num_shards {
+            if shard == first || Some(shard) == second {
+                continue;
+            }
+            if let Some(slot) = self.try_claim_single(shard, req, &mut probes)? {
+                return Ok((slot, probes));
+            }
+        }
+        Err(ResourceError::InsufficientResources)
+    }
+
+    /// Pick the two shards the probe visits first, best ranked first. With one
+    /// shard the choice is trivial (and the sweep is empty), reproducing the
+    /// single-lock allocator exactly.
+    fn probe_choices(&self, req: &ResourceRequest) -> (usize, Option<usize>) {
+        if self.num_shards == 1 {
+            return (0, None);
+        }
+        let h = self.probe_cursor.fetch_add(1, Ordering::Relaxed);
+        let a = (h % self.num_shards as u64) as usize;
+        let b = (a + 1 + (mix64(h) % (self.num_shards as u64 - 1)) as usize) % self.num_shards;
+        let need = summary_key(req.gpus, req.cores);
+        // Rank 0: a non-idle class covers the share (pack beside existing work —
+        // the best-fit preference). Rank 1: only idle headroom. Rank 2: summary
+        // proves nothing fits (still swept last — summaries are hints).
+        let rank = |s: usize| {
+            let summary = self.summaries[s].load(Ordering::Relaxed);
+            if summary & 0xFFFF_FFFF >= need {
+                0
+            } else if summary >> 32 > 0 {
+                1
+            } else {
+                2
+            }
+        };
+        if rank(b) < rank(a) {
+            (b, Some(a))
+        } else {
+            (a, Some(b))
+        }
+    }
+
+    /// Probe one shard for a single-node placement: lock it, best-fit within its
+    /// index, reserve on success. `Ok(None)` means this shard cannot host the
+    /// share right now.
+    fn try_claim_single(
+        &self,
+        shard: usize,
+        req: &ResourceRequest,
+        probes: &mut PlacementProbes,
+    ) -> Result<Option<Slot>, ResourceError> {
+        let mut st = self.shards[shard].lock();
+        probes.shard_probes += 1;
+        let Some(local) = st.index.find(req, &st.nodes) else {
+            return Ok(None);
+        };
+        let member = self.reserve_member_in(&mut st, self.global_of(shard, local), req)?;
+        self.publish_summary(shard, &st);
+        drop(st);
+        let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
+        self.register_slot(id);
+        Ok(Some(Slot::single(id, member)))
+    }
+
+    /// Gang placement: take every shard lock in ascending id order, merge per-shard
+    /// candidates into global best-fit order, claim all-or-nothing.
     fn allocate_gang(
         &self,
-        st: &mut AllocState,
         req: &ResourceRequest,
-    ) -> Result<Slot, ResourceError> {
+    ) -> Result<(Slot, PlacementProbes), ResourceError> {
+        let all: Vec<usize> = (0..self.num_shards).collect();
+        let mut guards = self.lock_shards(&all);
+        let mut picked = self.pick_gang_nodes(&guards, req, req.nodes);
+        if picked.len() < req.nodes {
+            return Err(ResourceError::InsufficientResources);
+        }
+        // Rank order: member i of the slot is the i-th lowest claimed node index.
+        picked.sort_unstable();
+        let slot = self.claim_gang_locked(&mut guards, &picked, req)?;
+        for (shard, guard) in guards.iter().enumerate() {
+            if let Some(st) = guard {
+                self.publish_summary(shard, st);
+            }
+        }
+        Ok((
+            slot,
+            PlacementProbes {
+                shard_probes: self.num_shards as u32,
+            },
+        ))
+    }
+
+    /// Collect up to `want` distinct nodes able to host one member share of `req`
+    /// under its (resolved-by-default) packing policy, across all locked shards, in
+    /// *global* best-fit order: ascending headroom-class key (smallest sufficient
+    /// free-GPU level, then core class — exactly the per-shard probe order), fully
+    /// idle nodes last, ties broken by shard-ascending enumeration. With one shard
+    /// this degenerates to the pre-sharding `find_fit`/`find_idle` pick. May return
+    /// fewer than `want`; callers needing all-or-nothing check the length.
+    fn pick_gang_nodes(
+        &self,
+        guards: &[Option<parking_lot::MutexGuard<'_, ShardState>>],
+        req: &ResourceRequest,
+        want: usize,
+    ) -> Vec<usize> {
         let packing = req.packing.unwrap_or_default();
         let spec = self.platform.node;
         // A whole-node member share (all cores and all GPUs of each member) can only
-        // be hosted by fully idle nodes, so the dedicated idle bucket *is* the exact
+        // be hosted by fully idle nodes, so the idle buckets *are* the exact
         // candidate set — the fast path, shared with explicit Whole packing.
         let whole_share = req.cores == spec.cores && req.gpus == spec.gpus;
-        let mut picked = if packing == GangPacking::Whole || whole_share {
-            st.index
-                .find_idle(req.nodes)
-                .ok_or(ResourceError::InsufficientResources)?
-        } else {
-            let picked = st.index.find_fit(req, req.nodes, &st.nodes);
-            if picked.len() < req.nodes {
-                return Err(ResourceError::InsufficientResources);
+        if packing == GangPacking::Whole || whole_share {
+            let mut picked = Vec::with_capacity(want);
+            for (shard, guard) in guards.iter().enumerate() {
+                let Some(st) = guard else { continue };
+                for &local in st.index.idle_nodes() {
+                    picked.push(self.global_of(shard, local));
+                    if picked.len() == want {
+                        return picked;
+                    }
+                }
             }
-            picked
-        };
-        // Rank order: member i of the slot is the i-th lowest claimed node index.
-        picked.sort_unstable();
-        self.claim_gang(st, &picked, req)
+            return picked;
+        }
+        // Partial packing: per-shard k-best candidates, merged by class key. The
+        // per-shard enumeration is already ascending in key, so a stable sort by
+        // (key, enumeration order) preserves each shard's best-fit order and
+        // interleaves shards fairly.
+        let mut candidates: Vec<(u64, usize, usize)> = Vec::new();
+        let mut seq = 0usize;
+        for (shard, guard) in guards.iter().enumerate() {
+            let Some(st) = guard else { continue };
+            for local in st.index.find_fit(req, want, &st.nodes) {
+                let node = &st.nodes[local];
+                let key = if node.is_idle() {
+                    u64::MAX
+                } else {
+                    summary_key(node.free_gpus(), node.free_cores())
+                };
+                candidates.push((key, seq, self.global_of(shard, local)));
+                seq += 1;
+            }
+        }
+        candidates.sort_unstable();
+        candidates
+            .into_iter()
+            .take(want)
+            .map(|(_, _, node)| node)
+            .collect()
     }
 
     /// Reserve one member share of `req` on each of the (sorted, distinct, indexed)
-    /// nodes in `picked`, all-or-nothing, and register the resulting gang slot.
-    fn claim_gang(
+    /// global nodes in `picked` — whose shards the caller has locked —
+    /// all-or-nothing, and register the resulting gang slot.
+    fn claim_gang_locked(
         &self,
-        st: &mut AllocState,
+        guards: &mut [Option<parking_lot::MutexGuard<'_, ShardState>>],
         picked: &[usize],
         req: &ResourceRequest,
     ) -> Result<Slot, ResourceError> {
-        let mut members = Vec::with_capacity(picked.len());
+        let mut members: Vec<SlotMember> = Vec::with_capacity(picked.len());
         for &node_index in picked {
-            match st.reserve_member(node_index, req) {
+            let shard = self.shard_of(node_index);
+            let st = guards[shard]
+                .as_mut()
+                .expect("caller locked every shard of picked");
+            match self.reserve_member_in(st, node_index, req) {
                 Ok(member) => members.push(member),
                 Err(e) => {
-                    // Unreachable while the lock is held (every candidate was proven
-                    // to fit, and occupancy cannot grow underneath us), but keep the
-                    // claim all-or-nothing: roll back every reservation made so far.
+                    // Unreachable while the shard locks are held (every candidate was
+                    // proven to fit, and occupancy cannot grow underneath us), but
+                    // keep the claim all-or-nothing: roll back every reservation
+                    // made so far.
                     for member in &members {
-                        st.release_member(member);
+                        let shard = self.shard_of(member.node_index);
+                        let st = guards[shard].as_mut().expect("shard still locked");
+                        self.release_member_in(st, member);
                     }
                     return Err(e);
                 }
             }
         }
         let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
-        st.live_slots.insert(id);
+        self.register_slot(id);
         Ok(Slot { id, members })
     }
 
@@ -694,35 +1017,39 @@ impl Allocation {
     /// a second `begin_drain` fails with [`ResourceError::DrainActive`].
     pub fn begin_drain(&self, req: &ResourceRequest) -> Result<u64, ResourceError> {
         self.check_satisfiable(req)?;
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        if st.drain.is_some() {
+        // Lock order: drain controller first, then every shard ascending.
+        let mut drain = self.drain.lock();
+        if drain.is_some() {
             return Err(ResourceError::DrainActive);
         }
+        let all: Vec<usize> = (0..self.num_shards).collect();
+        let mut guards = self.lock_shards(&all);
         let id = self.next_drain_id.fetch_add(1, Ordering::Relaxed);
         let packing = req.packing.unwrap_or_default();
         // Pin what already covers a member share: idle nodes straight off the idle
-        // bucket for Whole, the best-fit candidate set for Partial — O(target) either
-        // way.
-        let candidates: Vec<usize> = match packing {
-            GangPacking::Whole => st.index.buckets[st.index.idle_bucket()]
-                .iter()
-                .copied()
-                .take(req.nodes)
-                .collect(),
-            GangPacking::Partial => st.index.find_fit(req, req.nodes, &st.nodes),
-        };
-        let mut pinned = Vec::with_capacity(req.nodes);
-        for node in candidates {
-            st.index.remove(node);
-            pinned.push(node);
+        // buckets for Whole, the merged best-fit candidate set for Partial —
+        // O(target) either way (see `pick_gang_nodes`).
+        let pinned = self.pick_gang_nodes(&guards, req, req.nodes);
+        for &node in &pinned {
+            let shard = self.shard_of(node);
+            let st = guards[shard].as_mut().expect("all shards locked");
+            st.index.remove(self.local_of(node));
         }
-        st.drain = Some(DrainReservation {
+        for (shard, guard) in guards.iter().enumerate() {
+            if let Some(st) = guard {
+                self.publish_summary(shard, st);
+            }
+        }
+        *drain = Some(DrainReservation {
             id,
             req: *req,
             packing,
             pinned,
         });
+        // Set while every shard lock is still held: a releaser that never saw this
+        // flag can only have run its release before we scanned its shard, so the
+        // scan above (or a later flagged release) pins every eligible node.
+        self.drain_active.store(true, Ordering::SeqCst);
         Ok(id)
     }
 
@@ -733,17 +1060,25 @@ impl Allocation {
     /// consumed by its placement (or never begun) fails with
     /// [`ResourceError::UnknownDrain`].
     pub fn cancel_drain(&self, drain_id: u64) -> Result<usize, ResourceError> {
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        match &st.drain {
+        let mut drain = self.drain.lock();
+        match &*drain {
             Some(d) if d.id == drain_id => {}
             _ => return Err(ResourceError::UnknownDrain(drain_id)),
         }
-        let drain = st.drain.take().expect("checked above");
-        let released = drain.pinned.len();
-        for node in drain.pinned {
-            let (fg, fc) = (st.nodes[node].free_gpus(), st.nodes[node].free_cores());
-            st.index.insert(node, fg, fc);
+        let reservation = drain.take().expect("checked above");
+        self.drain_active.store(false, Ordering::SeqCst);
+        let released = reservation.pinned.len();
+        let shard_ids = self.shard_ids_of(reservation.pinned.iter().copied());
+        let mut guards = self.lock_shards(&shard_ids);
+        for node in reservation.pinned {
+            let shard = self.shard_of(node);
+            let st = guards[shard].as_mut().expect("pinned shard locked");
+            let local = self.local_of(node);
+            let (fg, fc) = (st.nodes[local].free_gpus(), st.nodes[local].free_cores());
+            st.index.insert(local, fg, fc);
+        }
+        for &shard in &shard_ids {
+            self.publish_summary(shard, guards[shard].as_ref().expect("locked"));
         }
         Ok(released)
     }
@@ -760,10 +1095,21 @@ impl Allocation {
         drain_id: u64,
         req: &ResourceRequest,
     ) -> Result<Slot, ResourceError> {
+        self.allocate_reserved_with_stats(drain_id, req)
+            .map(|(slot, _)| slot)
+    }
+
+    /// [`Allocation::allocate_reserved`], additionally reporting how many shard
+    /// locks the reserved claim took ([`PlacementProbes`]) — the shards actually
+    /// locked for the pinned set, not a re-derivation from the returned slot.
+    pub fn allocate_reserved_with_stats(
+        &self,
+        drain_id: u64,
+        req: &ResourceRequest,
+    ) -> Result<(Slot, PlacementProbes), ResourceError> {
         self.check_satisfiable(req)?;
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        match &st.drain {
+        let mut drain = self.drain.lock();
+        match &*drain {
             Some(d) if d.id == drain_id => {
                 if d.req.nodes != req.nodes {
                     return Err(ResourceError::NeverSatisfiable {
@@ -779,42 +1125,61 @@ impl Allocation {
             }
             _ => return Err(ResourceError::UnknownDrain(drain_id)),
         }
-        let drain = st.drain.take().expect("checked above");
-        let mut picked = drain.pinned;
-        // Rank order, and back into the index so the shared claim path (and any undo)
-        // keeps the index consistent.
+        let reservation = drain.take().expect("checked above");
+        self.drain_active.store(false, Ordering::SeqCst);
+        let mut picked = reservation.pinned;
+        // Rank order, and back into the shard indexes so the shared claim path (and
+        // any undo) keeps them consistent.
         picked.sort_unstable();
+        let shard_ids = self.shard_ids_of(picked.iter().copied());
+        let mut guards = self.lock_shards(&shard_ids);
         for &node in &picked {
-            let (fg, fc) = (st.nodes[node].free_gpus(), st.nodes[node].free_cores());
-            st.index.insert(node, fg, fc);
+            let shard = self.shard_of(node);
+            let st = guards[shard].as_mut().expect("pinned shard locked");
+            let local = self.local_of(node);
+            let (fg, fc) = (st.nodes[local].free_gpus(), st.nodes[local].free_cores());
+            st.index.insert(local, fg, fc);
         }
         // On the unreachable failure path the nodes stay indexed and the reservation
         // is gone — a failed reserved claim cancels the drain rather than leaking it.
-        self.claim_gang(st, &picked, req)
+        let result = self.claim_gang_locked(&mut guards, &picked, req);
+        for &shard in &shard_ids {
+            self.publish_summary(shard, guards[shard].as_ref().expect("locked"));
+        }
+        let probes = PlacementProbes {
+            shard_probes: shard_ids.len() as u32,
+        };
+        result.map(|slot| (slot, probes))
     }
 
     /// Number of nodes currently pinned by the active backfill reservation
     /// (0 when no drain is active), idle and pinned-partial alike.
     pub fn reserved_nodes(&self) -> usize {
-        self.state
-            .lock()
-            .drain
-            .as_ref()
-            .map_or(0, |d| d.pinned.len())
+        self.drain.lock().as_ref().map_or(0, |d| d.pinned.len())
     }
 
     /// Status of the active backfill reservation, if any: how many pinned nodes are
     /// fully idle vs still occupied by residual slots (pinned-partial), against the
-    /// reservation's node target. O(pinned nodes).
+    /// reservation's node target. O(pinned nodes), locking only the pinned shards.
     pub fn drain_status(&self) -> Option<DrainStatus> {
-        let st = self.state.lock();
-        st.drain.as_ref().map(|d| {
-            let pinned_idle = d.pinned.iter().filter(|&&n| st.nodes[n].is_idle()).count();
-            DrainStatus {
-                pinned_idle,
-                pinned_partial: d.pinned.len() - pinned_idle,
-                target: d.req.nodes,
-            }
+        let drain = self.drain.lock();
+        let d = drain.as_ref()?;
+        let shard_ids = self.shard_ids_of(d.pinned.iter().copied());
+        let guards = self.lock_shards(&shard_ids);
+        let pinned_idle = d
+            .pinned
+            .iter()
+            .filter(|&&n| {
+                let st = guards[self.shard_of(n)]
+                    .as_ref()
+                    .expect("pinned shard locked");
+                st.nodes[self.local_of(n)].is_idle()
+            })
+            .count();
+        Some(DrainStatus {
+            pinned_idle,
+            pinned_partial: d.pinned.len() - pinned_idle,
+            target: d.req.nodes,
         })
     }
 
@@ -823,43 +1188,118 @@ impl Allocation {
     /// return to the idle bucket as a unit. Unknown, foreign, and already-released
     /// slots are all rejected.
     pub fn release_slot(&self, slot: &Slot) -> Result<(), ResourceError> {
-        let mut st = self.state.lock();
-        let st = &mut *st;
         if slot.members.is_empty() {
             return Err(ResourceError::UnknownSlot(slot.id));
         }
         // Validate every membership before mutating anything, so a foreign or corrupt
-        // gang slot cannot be half-released.
+        // gang slot cannot be half-released. Node names are immutable, so this needs
+        // no lock at all.
         for member in &slot.members {
-            match st.nodes.get(member.node_index) {
-                Some(node) if node.name == member.node_name => {}
+            match self.node_names.get(member.node_index) {
+                Some(name) if *name == member.node_name => {}
                 _ => return Err(ResourceError::UnknownSlot(slot.id)),
             }
         }
-        if !st.live_slots.remove(&slot.id) {
+        if !self.live_slots[slot.id as usize % LIVE_SLOT_STRIPES]
+            .lock()
+            .remove(&slot.id)
+        {
             // Already released (or never issued): must not re-credit cores, GPUs, or —
             // crucially — memory, which has no occupancy bit to catch the repeat.
             return Err(ResourceError::UnknownSlot(slot.id));
         }
-        for member in &slot.members {
-            st.release_member(member);
-        }
-        // Backfill reservation hook: nodes this release made able to cover a member
-        // share (fully idle for Whole drains, share-sized headroom for Partial ones)
-        // are pinned to the draining gang *before* the scheduler can wake any other
-        // waiter, so a lookahead request can never race the drain for the freed
-        // capacity.
-        if st.drain.is_some() {
-            for member in &slot.members {
-                st.try_pin(member.node_index);
+        // Drain-aware locking: when a drain is (or may be) active, the controller
+        // lock must be held *before* the shard locks so freed nodes can be pinned in
+        // the same critical section. The lock-free flag keeps the controller off the
+        // no-drain hot path; if it flips between our check and the shard-lock
+        // acquisition (a concurrent `begin_drain` that scanned this shard before the
+        // release landed), restart once with the controller held — so the "pin
+        // before any waiter wakes" guarantee survives sharding.
+        let mut take_drain = self.drain_active.load(Ordering::SeqCst);
+        if let [member] = slot.members.as_slice() {
+            // Single-node fast path: exactly one shard lock, no intermediate
+            // allocations — the release half of the placement hot path.
+            let shard = self.shard_of(member.node_index);
+            loop {
+                let mut drain_guard = if take_drain {
+                    Some(self.drain.lock())
+                } else {
+                    None
+                };
+                let mut st = self.shards[shard].lock();
+                if drain_guard.is_none() && self.drain_active.load(Ordering::SeqCst) {
+                    drop(st);
+                    take_drain = true;
+                    continue;
+                }
+                self.release_member_in(&mut st, member);
+                if let Some(drain) = drain_guard.as_mut().and_then(|g| g.as_mut()) {
+                    self.pin_after_release(drain, &mut st, member.node_index);
+                }
+                self.publish_summary(shard, &st);
+                return Ok(());
             }
         }
-        Ok(())
+        let shard_ids = self.shard_ids_of(slot.node_indices());
+        loop {
+            let mut drain_guard = if take_drain {
+                Some(self.drain.lock())
+            } else {
+                None
+            };
+            let mut guards = self.lock_shards(&shard_ids);
+            if drain_guard.is_none() && self.drain_active.load(Ordering::SeqCst) {
+                drop(guards);
+                take_drain = true;
+                continue;
+            }
+            for member in &slot.members {
+                let shard = self.shard_of(member.node_index);
+                let st = guards[shard].as_mut().expect("member shard locked");
+                self.release_member_in(st, member);
+            }
+            if let Some(drain) = drain_guard.as_mut().and_then(|g| g.as_mut()) {
+                for member in &slot.members {
+                    let shard = self.shard_of(member.node_index);
+                    let st = guards[shard].as_mut().expect("member shard locked");
+                    self.pin_after_release(drain, st, member.node_index);
+                }
+            }
+            for &shard in &shard_ids {
+                self.publish_summary(shard, guards[shard].as_ref().expect("locked"));
+            }
+            return Ok(());
+        }
     }
 
-    /// True when no slot is currently allocated (O(1): cached idle-node count).
+    /// Backfill reservation hook, run inside the release's critical section: a node
+    /// this release made able to cover one member share (fully idle for Whole
+    /// drains, share-sized headroom for Partial ones) is pinned to the draining
+    /// gang *before* the scheduler can wake any other waiter, so a lookahead
+    /// request can never race the drain for the freed capacity.
+    fn pin_after_release(&self, drain: &mut DrainReservation, st: &mut ShardState, node: usize) {
+        let local = self.local_of(node);
+        if drain.pinned.len() < drain.req.nodes
+            && st.index.contains(local)
+            && drain.covers(&st.nodes[local])
+        {
+            st.index.remove(local);
+            drain.pinned.push(node);
+        }
+        // The pin-wins guarantee, stated as a postcondition: while the reservation
+        // is short of its target, no node this release made share-covering may
+        // remain visible to other placements.
+        debug_assert!(
+            drain.pinned.len() >= drain.req.nodes
+                || !(st.index.contains(local) && drain.covers(&st.nodes[local])),
+            "release left a share-covering node unpinned under an active drain"
+        );
+    }
+
+    /// True when no slot is currently allocated (O(1), lock-free: cached
+    /// idle-node count).
     pub fn is_idle(&self) -> bool {
-        self.state.lock().non_idle_nodes == 0
+        self.non_idle_nodes.load(Ordering::Relaxed) == 0
     }
 }
 
@@ -950,23 +1390,44 @@ impl BatchSystem {
         };
 
         let id = self.next_alloc_id.fetch_add(1, Ordering::Relaxed);
-        let nodes: Vec<NodeState> = (0..req.nodes)
-            .map(|i| NodeState::new(self.spec.node_name(i), self.spec.node))
+        let num_shards = req.config.resolve_shards(req.nodes);
+        // Striped partition: global node g lives in shard g % num_shards at local
+        // index g / num_shards (push order below preserves exactly that mapping).
+        let mut shard_nodes: Vec<Vec<NodeState>> = vec![Vec::new(); num_shards];
+        let mut node_names = Vec::with_capacity(req.nodes);
+        for g in 0..req.nodes {
+            let node = NodeState::new(self.spec.node_name(g), self.spec.node);
+            node_names.push(Arc::clone(&node.name));
+            shard_nodes[g % num_shards].push(node);
+        }
+        let shards: Vec<Mutex<ShardState>> = shard_nodes
+            .into_iter()
+            .map(|nodes| {
+                let index = CapacityIndex::new(self.spec.node, nodes.len());
+                Mutex::new(ShardState { nodes, index })
+            })
             .collect();
-        let index = CapacityIndex::new(self.spec.node, req.nodes);
+        let summaries = shards
+            .iter()
+            .map(|shard| AtomicU64::new(shard.lock().index.summary()))
+            .collect();
         Ok(Arc::new(Allocation {
             id,
             platform: self.spec.clone(),
             num_nodes: req.nodes,
-            state: Mutex::new(AllocState {
-                nodes,
-                index,
-                free_cores: req.nodes as u32 * self.spec.node.cores,
-                free_gpus: req.nodes as u32 * self.spec.node.gpus,
-                non_idle_nodes: 0,
-                live_slots: std::collections::HashSet::new(),
-                drain: None,
-            }),
+            num_shards,
+            shards,
+            summaries,
+            node_names,
+            free_cores: AtomicU64::new(req.nodes as u64 * self.spec.node.cores as u64),
+            free_gpus: AtomicU64::new(req.nodes as u64 * self.spec.node.gpus as u64),
+            non_idle_nodes: AtomicU64::new(0),
+            live_slots: (0..LIVE_SLOT_STRIPES)
+                .map(|_| Mutex::new(std::collections::HashSet::new()))
+                .collect(),
+            drain: Mutex::new(None),
+            drain_active: std::sync::atomic::AtomicBool::new(false),
+            probe_cursor: AtomicU64::new(0),
             next_slot_id: AtomicU64::new(0),
             next_drain_id: AtomicU64::new(0),
             queue_wait_secs,
@@ -1676,6 +2137,178 @@ mod tests {
     }
 
     #[test]
+    fn small_allocations_resolve_to_one_shard_by_default() {
+        let b = batch(PlatformId::Local);
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        assert_eq!(
+            alloc.num_shards(),
+            1,
+            "below MIN_NODES_PER_SHARD the derived shard count must be 1 \
+             (single-lock behavioural compatibility on every host)"
+        );
+        assert!(format!("{alloc:?}").contains("shards"));
+    }
+
+    #[test]
+    fn sharded_allocation_stripes_nodes_and_conserves_capacity() {
+        let b = batch(PlatformId::Delta); // 64 cores, 4 gpus per node
+        let alloc = b
+            .submit(AllocationRequest::nodes(8).with_allocator_shards(4))
+            .unwrap();
+        assert_eq!(alloc.num_shards(), 4);
+        for g in 0..8 {
+            assert_eq!(alloc.shard_of(g), g % 4, "striped partition");
+        }
+        // Exhaust every core across all shards: the sweep fallback must find the
+        // last fitting node wherever it lives.
+        let mut slots = Vec::new();
+        for _ in 0..8 * 4 {
+            slots.push(alloc.allocate_slot(&cores(16)).unwrap());
+        }
+        assert_eq!(alloc.free_cores(), 0);
+        assert_eq!(
+            alloc.allocate_slot(&cores(1)).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        // Node indices handed out are global and cover all 8 nodes.
+        let nodes_touched: std::collections::HashSet<usize> =
+            slots.iter().map(|s| s.node_index()).collect();
+        assert_eq!(nodes_touched.len(), 8);
+        for slot in &slots {
+            alloc.release_slot(slot).unwrap();
+        }
+        assert!(alloc.is_idle());
+        assert_eq!(alloc.free_cores(), 8 * 64);
+        assert_eq!(alloc.idle_nodes(), 8);
+    }
+
+    #[test]
+    fn sharded_probe_stats_are_bounded_by_the_shard_count() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b
+            .submit(AllocationRequest::nodes(8).with_allocator_shards(4))
+            .unwrap();
+        let (slot, probes) = alloc.allocate_slot_with_stats(&cores(4)).unwrap();
+        assert!((1..=4).contains(&probes.shard_probes));
+        alloc.release_slot(&slot).unwrap();
+        // Gangs lock every shard.
+        let (gang, probes) = alloc
+            .allocate_slot_with_stats(&cores(8).with_nodes(3))
+            .unwrap();
+        assert_eq!(probes.shard_probes, 4);
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn sharded_gang_spans_shards_in_rank_order_with_distinct_nodes() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b
+            .submit(AllocationRequest::nodes(6).with_allocator_shards(3))
+            .unwrap();
+        // A 5-node whole-share gang must span all three shards.
+        let spec = alloc.node_spec();
+        let gang = alloc
+            .allocate_slot(
+                &ResourceRequest {
+                    cores: spec.cores,
+                    gpus: spec.gpus,
+                    mem_gib: 0.0,
+                    nodes: 5,
+                    packing: None,
+                }
+                .with_packing(GangPacking::Whole),
+            )
+            .unwrap();
+        let indices: Vec<usize> = gang.node_indices().collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, indices, "members must be in global rank order");
+        assert_eq!(sorted.len(), 5, "members must be distinct nodes");
+        let shards: std::collections::HashSet<usize> =
+            indices.iter().map(|&n| alloc.shard_of(n)).collect();
+        assert_eq!(shards.len(), 3, "a 5-of-6 gang must span all 3 shards");
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+        assert_eq!(alloc.idle_nodes(), 6);
+    }
+
+    #[test]
+    fn sharded_partial_gang_still_best_fits_before_idle_nodes() {
+        let b = batch(PlatformId::Delta); // 4 nodes x 64 cores
+        let alloc = b
+            .submit(AllocationRequest::nodes(4).with_allocator_shards(2))
+            .unwrap();
+        // Load two nodes (whichever shards they land in); a sub-node gang must
+        // co-locate beside them and leave the idle pair alone — the global
+        // best-fit merge across shards.
+        let hold_a = alloc.allocate_slot(&cores(33)).unwrap();
+        let hold_b = alloc.allocate_slot(&cores(33)).unwrap();
+        assert_ne!(hold_a.node_index(), hold_b.node_index());
+        let gang = alloc.allocate_slot(&cores(31).with_nodes(2)).unwrap();
+        assert_eq!(gang.partial_nodes(), 2, "both members co-resident");
+        assert_eq!(alloc.idle_nodes(), 2, "idle nodes are the last resort");
+        for slot in [&gang, &hold_a, &hold_b] {
+            alloc.release_slot(slot).unwrap();
+        }
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn sharded_drain_pins_across_shards_and_places_reserved() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b
+            .submit(AllocationRequest::nodes(4).with_allocator_shards(2))
+            .unwrap();
+        // Occupy every node so nothing can be pinned up front.
+        let holds: Vec<_> = (0..4)
+            .map(|_| alloc.allocate_slot(&cores(64)).unwrap())
+            .collect();
+        let gang_req = cores(64).with_nodes(4);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 0);
+        // Each release pins its node to the drain — across both shards — before
+        // any other placement can see it.
+        for (i, hold) in holds.iter().enumerate() {
+            alloc.release_slot(hold).unwrap();
+            assert_eq!(alloc.reserved_nodes(), i + 1, "release must pin its node");
+            assert_eq!(
+                alloc.allocate_slot(&cores(1)).unwrap_err(),
+                ResourceError::InsufficientResources,
+                "pinned capacity stays invisible on every shard"
+            );
+        }
+        let status = alloc.drain_status().unwrap();
+        assert!(status.complete());
+        assert_eq!(status.pinned_idle, 4);
+        let gang = alloc.allocate_reserved(id, &gang_req).unwrap();
+        assert_eq!(gang.num_nodes(), 4);
+        let shards: std::collections::HashSet<usize> =
+            gang.node_indices().map(|n| alloc.shard_of(n)).collect();
+        assert_eq!(shards.len(), 2, "the reserved gang spans both shards");
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn sharded_cancel_drain_restores_every_shard() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b
+            .submit(AllocationRequest::nodes(4).with_allocator_shards(2))
+            .unwrap();
+        let gang_req = cores(32).with_nodes(4);
+        let id = alloc.begin_drain(&gang_req).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 4);
+        assert_eq!(alloc.cancel_drain(id).unwrap(), 4);
+        // All four nodes placeable again, across both shards.
+        let gang = alloc.allocate_slot(&cores(64).with_nodes(4)).unwrap();
+        assert_eq!(gang.num_nodes(), 4);
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
     fn allocation_request_builder() {
         let r = AllocationRequest::nodes(3)
             .with_walltime_secs(120.0)
@@ -1683,6 +2316,8 @@ mod tests {
         assert_eq!(r.nodes, 3);
         assert_eq!(r.walltime_secs, 120.0);
         assert!(r.model_queue_wait);
+        assert_eq!(r.config.shards, None, "shards derived unless pinned");
+        assert_eq!(r.with_allocator_shards(2).config.shards, Some(2));
     }
 
     #[test]

@@ -855,6 +855,234 @@ fn drain_timeout_mid_reservation_leaks_nothing() {
 
 /// Random walks through the task state machine only ever follow legal transitions and
 /// always terminate in a final state within a bounded number of steps.
+/// Randomized multi-thread interleavings against a *sharded* allocation: worker
+/// threads mix single-node allocations, Partial- and Whole-packed gang claims
+/// spanning shards, and releases, while a drain actor cycles backfill
+/// reservations (begin → bounded wait for the reserved placement → cancel on
+/// timeout). The shard count comes from `ALLOC_SHARDS` (default 4; CI runs a
+/// {1, 4} matrix in release mode), so the same interleavings prove both the
+/// sharded and the single-lock configuration.
+///
+/// Safety oracle: a shared cross-shard occupancy set of (node, core) and
+/// (node, gpu) pairs — inserted *after* every successful claim (a collision means
+/// the allocator double-booked a unit across shard locks) and drained *before*
+/// the release reaches the allocator (so a racing re-claim of the freed unit can
+/// never false-positive). Liveness: a watchdog aborts the process if a case fails
+/// to finish in bounded time — a shard/drain lock-order violation would deadlock
+/// exactly here. Teardown: full release must restore the idle count, the free
+/// totals, and every per-shard headroom class (proven by a whole-allocation
+/// whole-node-share gang fitting again), with no reservation left behind.
+#[test]
+fn sharded_concurrent_gang_and_drain_interleavings_never_double_book() {
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    let shards: usize = std::env::var("ALLOC_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    const THREADS: u64 = 4;
+    const OPS: usize = 60;
+    const NODES: usize = 32;
+
+    for case in 0..8u64 {
+        let seed = 0x5A4D ^ (case.wrapping_mul(0x9E37_79B9));
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+        let alloc = batch
+            .submit(AllocationRequest::nodes(NODES).with_allocator_shards(shards))
+            .unwrap();
+        assert_eq!(alloc.num_shards(), shards.clamp(1, NODES));
+        let spec = alloc.node_spec();
+        let total_cores = alloc.total_cores();
+        let total_gpus = alloc.total_gpus();
+        // The cross-shard occupancy oracle.
+        let live_units: Arc<Mutex<HashSet<(usize, bool, u32)>>> =
+            Arc::new(Mutex::new(HashSet::new()));
+        let claim = move |oracle: &Mutex<HashSet<(usize, bool, u32)>>,
+                          slot: &hpcml::platform::Slot| {
+            let mut live = oracle.lock().unwrap();
+            let member_nodes: HashSet<usize> = slot.node_indices().collect();
+            assert_eq!(
+                member_nodes.len(),
+                slot.num_nodes(),
+                "case {case}: gang members must be distinct nodes"
+            );
+            for m in &slot.members {
+                for &c in &m.core_ids {
+                    assert!(
+                        live.insert((m.node_index, false, c)),
+                        "case {case}: core {c} on node {} double-booked across shards",
+                        m.node_index
+                    );
+                }
+                for &g in &m.gpu_ids {
+                    assert!(
+                        live.insert((m.node_index, true, g)),
+                        "case {case}: gpu {g} on node {} double-booked across shards",
+                        m.node_index
+                    );
+                }
+            }
+        };
+        let unclaim = move |oracle: &Mutex<HashSet<(usize, bool, u32)>>,
+                            slot: &hpcml::platform::Slot| {
+            let mut live = oracle.lock().unwrap();
+            for m in &slot.members {
+                for &c in &m.core_ids {
+                    assert!(live.remove(&(m.node_index, false, c)));
+                }
+                for &g in &m.gpu_ids {
+                    assert!(live.remove(&(m.node_index, true, g)));
+                }
+            }
+        };
+
+        // Bounded-time guarantee: a deadlock in the shard/drain lock protocol
+        // would hang the threads below; abort loudly instead of hanging CI.
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for _ in 0..1200 {
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                eprintln!("sharded interleaving property: case {case} exceeded 120 s — deadlock?");
+                std::process::abort();
+            });
+        }
+
+        // Workers keep churning until the drain actor has cycled all of its
+        // reservations (with an ops floor), so drains genuinely race live
+        // allocate/release traffic instead of a quiescent allocator.
+        let drains_done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let alloc = Arc::clone(&alloc);
+            let oracle = Arc::clone(&live_units);
+            let drains_done = Arc::clone(&drains_done);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xA110C ^ t));
+                let mut slots: Vec<hpcml::platform::Slot> = Vec::new();
+                let mut ops = 0usize;
+                while ops < OPS || !drains_done.load(Ordering::Acquire) {
+                    ops += 1;
+                    if !slots.is_empty() && rng.gen_bool(0.45) {
+                        let idx = rng.gen_range(0usize..slots.len());
+                        let slot = slots.swap_remove(idx);
+                        unclaim(&oracle, &slot);
+                        alloc.release_slot(&slot).unwrap();
+                    } else {
+                        let gang_nodes = if rng.gen_bool(0.4) {
+                            rng.gen_range(2usize..6)
+                        } else {
+                            1
+                        };
+                        let req = ResourceRequest {
+                            cores: rng.gen_range(1u32..spec.cores / 2 + 1),
+                            gpus: rng.gen_range(0u32..spec.gpus / 2 + 1),
+                            mem_gib: 0.0,
+                            nodes: gang_nodes,
+                            packing: match rng.gen_range(0u32..3) {
+                                0 => Some(GangPacking::Whole),
+                                1 => Some(GangPacking::Partial),
+                                _ => None,
+                            },
+                        };
+                        if let Ok(slot) = alloc.allocate_slot(&req) {
+                            claim(&oracle, &slot);
+                            slots.push(slot);
+                        }
+                    }
+                }
+                for slot in &slots {
+                    unclaim(&oracle, slot);
+                    alloc.release_slot(slot).unwrap();
+                }
+            }));
+        }
+        // The drain actor: cycles gang-shaped reservations against the churn.
+        {
+            let alloc = Arc::clone(&alloc);
+            let oracle = Arc::clone(&live_units);
+            let drains_done = Arc::clone(&drains_done);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xD4A1);
+                for _ in 0..4 {
+                    let req = ResourceRequest {
+                        cores: rng.gen_range(1u32..spec.cores / 2 + 1),
+                        gpus: 0,
+                        mem_gib: 0.0,
+                        nodes: rng.gen_range(2usize..6),
+                        packing: Some(if rng.gen_bool(0.5) {
+                            GangPacking::Whole
+                        } else {
+                            GangPacking::Partial
+                        }),
+                    };
+                    let id = alloc.begin_drain(&req).expect("single drain actor");
+                    let deadline = Instant::now() + Duration::from_millis(200);
+                    loop {
+                        match alloc.allocate_reserved(id, &req) {
+                            Ok(slot) => {
+                                claim(&oracle, &slot);
+                                unclaim(&oracle, &slot);
+                                alloc.release_slot(&slot).unwrap();
+                                break;
+                            }
+                            Err(ResourceError::InsufficientResources) => {
+                                if Instant::now() >= deadline {
+                                    alloc.cancel_drain(id).unwrap();
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("case {case}: reserved placement failed: {e:?}"),
+                        }
+                    }
+                }
+                drains_done.store(true, Ordering::Release);
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+
+        // Teardown restored everything, across every shard.
+        assert!(live_units.lock().unwrap().is_empty(), "case {case}");
+        assert!(alloc.is_idle(), "case {case}");
+        assert_eq!(
+            alloc.idle_nodes(),
+            NODES,
+            "case {case}: idle count restored"
+        );
+        assert_eq!(alloc.free_cores(), total_cores, "case {case}");
+        assert_eq!(alloc.free_gpus(), total_gpus, "case {case}");
+        assert_eq!(alloc.reserved_nodes(), 0, "case {case}: no drain leaked");
+        assert!(alloc.drain_status().is_none(), "case {case}");
+        // Per-shard headroom classes restored exactly: a whole-allocation gang of
+        // whole-node shares (idle buckets) must fit again.
+        let all = alloc
+            .allocate_slot(&ResourceRequest {
+                cores: spec.cores,
+                gpus: spec.gpus,
+                mem_gib: spec.mem_gib,
+                nodes: NODES,
+                packing: None,
+            })
+            .expect("teardown must restore every shard's headroom classes");
+        assert_eq!(all.num_nodes(), NODES);
+        assert_eq!(all.partial_nodes(), 0, "case {case}: all nodes idle again");
+        alloc.release_slot(&all).unwrap();
+        assert!(alloc.is_idle());
+    }
+}
+
 #[test]
 fn task_state_walks_reach_terminal_states() {
     for_each_case("task_state_walks_reach_terminal_states", |rng| {
