@@ -220,6 +220,37 @@ fn bench_gang_backfill(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pilot-elasticity hot path: one `expand(1)` + `shrink(1)` cycle against a fully
+/// loaded allocation, swept across allocation width. Every node carries a resident
+/// slot, so the freshly appended node is the only idle one and each shrink retires
+/// exactly it — the cycle is stationary (retired entries accumulate but the
+/// no-failure shrink path never scans them). Recorded as a trajectory datapoint in
+/// `BENCH_scheduler.json`; not flatness-guarded, since the cycle's shard-lock walk
+/// legitimately grows with the derived shard count.
+fn bench_resize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/resize");
+    for nodes in [4usize, 256, 4096] {
+        let batch = BatchSystem::new(wide_spec(nodes), ClockSpec::Manual.build(), 1);
+        let alloc = batch.submit(AllocationRequest::nodes(nodes)).unwrap();
+        let spec = alloc.node_spec();
+        let half_fill = ResourceRequest::cores(spec.cores / 2 + 1).unwrap();
+        let held: Vec<_> = (0..nodes)
+            .map(|_| alloc.allocate_slot(&half_fill).unwrap())
+            .collect();
+        assert_eq!(alloc.idle_nodes(), 0, "pre-fill must touch every node");
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                alloc.expand(1).unwrap();
+                alloc.shrink(1).unwrap();
+            })
+        });
+        for slot in &held {
+            alloc.release_slot(slot).unwrap();
+        }
+    }
+    group.finish();
+}
+
 /// Multi-thread allocate/release churn on a 256-node allocation, swept across
 /// thread counts (1/2/4/8/16), contrasting the sharded allocator against the
 /// single-lock configuration. `sharded` pins 16 shards — what the default
@@ -341,6 +372,7 @@ criterion_group!(
     bench_gang_allocate,
     bench_gang_partial,
     bench_gang_backfill,
+    bench_resize,
     bench_scheduler_churn,
     bench_scheduler_waitqueue,
     bench_noop_roundtrip,

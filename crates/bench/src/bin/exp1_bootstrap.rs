@@ -2,9 +2,10 @@
 //!
 //! Launches N concurrent llama-8b services (one GPU each) on a Frontier-profile pilot
 //! and prints the per-instance-count breakdown of launch / init / publish times, i.e.
-//! the series plotted in the paper's Fig. 3.
+//! the series plotted in the paper's Fig. 3 — followed by the pilot resize-latency
+//! sweep (elastic expand/shrink cost across pilot sizes).
 
-use hpcml_bench::exp1::{run_sweep, BootstrapConfig};
+use hpcml_bench::exp1::{run_resize_sweep, run_sweep, BootstrapConfig, ResizeConfig};
 use hpcml_bench::full_scale;
 use hpcml_bench::report::{render_csv, render_table};
 
@@ -30,4 +31,25 @@ fn main() {
         )
     );
     println!("{}", render_csv(&rows));
+
+    let resize_config = if full_scale() {
+        ResizeConfig::paper()
+    } else {
+        ResizeConfig::quick()
+    };
+    eprintln!(
+        "exp1: timing {} expand+shrink cycles of {} nodes across pilots of {:?} nodes",
+        resize_config.cycles, resize_config.delta, resize_config.node_counts
+    );
+    let resize_results = run_resize_sweep(&resize_config);
+    let resize_rows: Vec<_> = resize_results.iter().map(|r| r.to_row()).collect();
+    println!(
+        "{}",
+        render_table(
+            "Pilot resize latency (per operation, real seconds)",
+            &["expand", "shrink"],
+            &resize_rows
+        )
+    );
+    println!("{}", render_csv(&resize_rows));
 }

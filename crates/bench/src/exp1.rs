@@ -131,6 +131,126 @@ pub fn run_sweep(config: &BootstrapConfig) -> Vec<BootstrapResult> {
         .collect()
 }
 
+/// Configuration of one pilot-resize latency run: how large the pilot starts, by how
+/// many nodes each cycle grows and shrinks it, and how many cycles to time.
+///
+/// Resize latency is a first-order scalability metric for leadership-class pilots
+/// (the RADICAL-Pilot characterization reports bootstrap/resize cost alongside
+/// utilisation): an elastic pilot is only useful if joining and retiring nodes is
+/// cheap next to the workload it rebalances.
+#[derive(Debug, Clone)]
+pub struct ResizeConfig {
+    /// Pilot sizes (in nodes) to sweep over.
+    pub node_counts: Vec<usize>,
+    /// Nodes added by each expand and retired by each shrink.
+    pub delta: usize,
+    /// Timed expand+shrink cycles per pilot size.
+    pub cycles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ResizeConfig {
+    /// Full sweep across pilot sizes up to leadership scale.
+    pub fn paper() -> Self {
+        ResizeConfig {
+            node_counts: vec![8, 64, 512, 2048],
+            delta: 8,
+            cycles: 32,
+            seed: 42,
+        }
+    }
+
+    /// Reduced sweep used by default.
+    pub fn quick() -> Self {
+        ResizeConfig {
+            node_counts: vec![8, 64],
+            delta: 4,
+            cycles: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one resize-latency configuration: real-time seconds per operation.
+#[derive(Debug, Clone)]
+pub struct ResizeResult {
+    /// Pilot size the cycles ran against.
+    pub nodes: usize,
+    /// Per-cycle `expand(delta)` latency (real seconds).
+    pub expand: Summary,
+    /// Per-cycle `shrink(delta)` latency (real seconds).
+    pub shrink: Summary,
+}
+
+impl ResizeResult {
+    /// Convert to a printable row.
+    pub fn to_row(&self) -> Row {
+        let mut components = BTreeMap::new();
+        components.insert("expand".to_string(), self.expand);
+        components.insert("shrink".to_string(), self.shrink);
+        // One "total" cycle = an expand followed by a shrink; summing the
+        // per-operation summaries component-wise is the per-cycle bound.
+        let total = Summary {
+            count: self.expand.count,
+            mean: self.expand.mean + self.shrink.mean,
+            std_dev: self.expand.std_dev + self.shrink.std_dev,
+            min: self.expand.min + self.shrink.min,
+            max: self.expand.max + self.shrink.max,
+            p50: self.expand.p50 + self.shrink.p50,
+            p90: self.expand.p90 + self.shrink.p90,
+            p95: self.expand.p95 + self.shrink.p95,
+            p99: self.expand.p99 + self.shrink.p99,
+        };
+        Row::new(format!("nodes={}", self.nodes), components, total)
+    }
+}
+
+/// Time `cycles` expand+shrink cycles of `delta` nodes against a `nodes`-node
+/// Frontier-profile pilot. Latencies are wall-clock: resize is a runtime control
+/// operation, not a simulated workload, so real seconds are the honest unit.
+pub fn run_resize_one(nodes: usize, config: &ResizeConfig) -> ResizeResult {
+    let session = Session::builder(format!("exp1-resize-{nodes}"))
+        .platform(PlatformId::Frontier)
+        .clock(ClockSpec::scaled(10_000.0))
+        .seed(config.seed)
+        .build()
+        .expect("session");
+    let pilot = session
+        .submit_pilot(
+            PilotDescription::new(PlatformId::Frontier)
+                .nodes(nodes)
+                .runtime_secs(7200.0),
+        )
+        .expect("pilot");
+    let mut expand = Vec::with_capacity(config.cycles);
+    let mut shrink = Vec::with_capacity(config.cycles);
+    for _ in 0..config.cycles {
+        let t = std::time::Instant::now();
+        pilot.resize(nodes + config.delta).expect("expand");
+        expand.push(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        pilot.resize(nodes).expect("shrink");
+        shrink.push(t.elapsed().as_secs_f64());
+    }
+    assert_eq!(pilot.attached_nodes(), nodes, "cycles must be size-neutral");
+    session.close();
+    ResizeResult {
+        nodes,
+        expand: Summary::from_slice(&expand),
+        shrink: Summary::from_slice(&shrink),
+    }
+}
+
+/// Run the resize-latency sweep.
+pub fn run_resize_sweep(config: &ResizeConfig) -> Vec<ResizeResult> {
+    config
+        .node_counts
+        .iter()
+        .map(|&n| run_resize_one(n, config))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +271,26 @@ mod tests {
         assert!(r.components["publish"].mean < r.components["launch"].mean);
         assert!(r.total.mean >= r.components["init"].mean);
         assert!(!r.to_row().label.is_empty());
+    }
+
+    #[test]
+    fn resize_cycles_are_size_neutral_and_measured() {
+        let config = ResizeConfig {
+            node_counts: vec![4, 16],
+            delta: 2,
+            cycles: 4,
+            seed: 7,
+        };
+        let results = run_resize_sweep(&config);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.expand.count, 4);
+            assert_eq!(r.shrink.count, 4);
+            assert!(r.expand.mean > 0.0 && r.shrink.mean > 0.0);
+            assert!(r.expand.min <= r.expand.p99 && r.expand.p99 <= r.expand.max);
+            let row = r.to_row();
+            assert!(row.label.contains("nodes="));
+        }
     }
 
     #[test]

@@ -133,6 +133,10 @@ pub struct TaskDescription {
     pub after_services: Vec<String>,
     /// Free-form tags (pipeline name, stage name, ...).
     pub tags: Vec<(String, String)>,
+    /// How many times the task may be re-run after losing its slot to a node
+    /// failure (exponential backoff on the session clock between attempts). 0 (the
+    /// default) fails the task on the first eviction.
+    pub max_retries: u32,
 }
 
 impl TaskDescription {
@@ -146,12 +150,22 @@ impl TaskDescription {
             stage_out: Vec::new(),
             after_services: Vec::new(),
             tags: Vec::new(),
+            max_retries: 0,
         }
     }
 
     /// Set the task kind.
     pub fn kind(mut self, kind: TaskKind) -> Self {
         self.kind = kind;
+        self
+    }
+
+    /// Allow up to `n` retries after a node failure evicts the task's slot
+    /// mid-run. Each retry requeues at the front of the task's wait class with
+    /// exponential backoff on the session clock; the task only reaches
+    /// `TaskState::Failed` once the budget is exhausted.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
         self
     }
 
@@ -387,6 +401,8 @@ mod tests {
         assert_eq!(t.after_services, vec!["llm-0".to_string()]);
         assert_eq!(t.tags.len(), 1);
         assert!(matches!(t.kind, TaskKind::Compute { .. }));
+        assert_eq!(t.max_retries, 0, "retries are opt-in");
+        assert_eq!(t.max_retries(3).max_retries, 3);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use hpcml_comm::message::Message;
 use hpcml_comm::pubsub::Publisher;
 use hpcml_comm::registry::{EndpointEntry, EndpointRegistry};
 use hpcml_comm::reqrep::ReqRepServer;
+use hpcml_platform::resources::ResourceError;
 use hpcml_platform::PlatformId;
 use hpcml_serving::host::ModelHost;
 use hpcml_serving::protocol::{HDR_INFERENCE_SECS, HDR_SERVICE_SECS, KIND_ERROR};
@@ -54,6 +55,10 @@ pub const META_SERVICE_ID: &str = "service_id";
 
 /// How long entity threads wait for dependencies (endpoints, resources) in real time.
 const DEPENDENCY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Virtual backoff before the first retry of a task evicted by a node failure;
+/// doubles on every further attempt (exponential backoff on the session clock).
+const RETRY_BACKOFF_BASE_SECS: f64 = 0.5;
 
 /// The executor component.
 pub struct Executor {
@@ -310,11 +315,31 @@ impl Executor {
     // ------------------------------------------------------------------ tasks
 
     fn run_task(&self, record: Arc<TaskRecord>, scheduler: Option<Arc<Scheduler>>) {
-        if let Err(e) = self.run_task_inner(&record, scheduler) {
+        // Retry loop for node-failure evictions: a task that lost its slot re-enters
+        // scheduling (at the front of its wait queue) up to `max_retries` times, with
+        // exponential backoff on the session clock between attempts. Any other error
+        // — and an eviction once the budget is spent — fails the task.
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.run_task_inner(&record, scheduler.clone(), attempt > 0) {
+                Ok(()) => return,
+                Err(e) => e,
+            };
+            let evicted = matches!(err, RuntimeError::Resource(ResourceError::NodeFailed(_)));
+            if evicted && attempt < record.description.max_retries {
+                attempt += 1;
+                record.retries.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_scalar("task.retries", 1.0);
+                self.publish_state("task", &record.id, "Scheduling");
+                let backoff = RETRY_BACKOFF_BASE_SECS * f64::from(1u32 << (attempt - 1).min(16));
+                self.clock.sleep(Duration::from_secs_f64(backoff));
+                continue;
+            }
             if !record.state.current().is_final() {
-                record.state.fail(TaskState::Failed, e.to_string());
+                record.state.fail(TaskState::Failed, err.to_string());
             }
             self.publish_state("task", &record.id, "Failed");
+            return;
         }
     }
 
@@ -322,6 +347,7 @@ impl Executor {
         &self,
         record: &Arc<TaskRecord>,
         scheduler: Option<Arc<Scheduler>>,
+        requeue: bool,
     ) -> Result<(), RuntimeError> {
         let desc = record.description.clone();
 
@@ -340,8 +366,13 @@ impl Executor {
             RuntimeError::InvalidState("task submitted without an active pilot".into())
         })?;
         let wait_start = std::time::Instant::now();
-        let (slot, placement) =
-            scheduler.allocate_with_stats(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?;
+        // A retry after a node failure re-enters its wait queue at the front: the
+        // task already waited its turn before the eviction.
+        let (slot, placement) = if requeue {
+            scheduler.requeue_with_stats(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?
+        } else {
+            scheduler.allocate_with_stats(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?
+        };
         let wait_secs = wait_start.elapsed().as_secs_f64();
         self.metrics
             .record_scalar("task.placement_wait_secs", wait_secs);
@@ -374,8 +405,15 @@ impl Executor {
         *record.slot.lock() = Some(slot.clone());
 
         let finish = |result: Result<(), RuntimeError>| -> Result<(), RuntimeError> {
-            scheduler.release(&slot)?;
-            result
+            match scheduler.release(&slot) {
+                Ok(()) => result,
+                // The node died after the work completed: the eviction already
+                // reclaimed the slot's resources, so the task's outcome stands.
+                Err(RuntimeError::Resource(ResourceError::NodeFailed(_))) if result.is_ok() => {
+                    result
+                }
+                Err(e) => Err(e),
+            }
         };
 
         // Input staging.
@@ -393,6 +431,15 @@ impl Executor {
             .record_scalar("task.exec_secs", exec_watch.elapsed_secs());
         if let Err(e) = exec_result {
             return finish(Err(e));
+        }
+
+        // Node-failure detection: the slot may have been evicted while the task ran,
+        // in which case the work is lost and the task must be requeued. Release
+        // retires the evicted slot and reports which node failed.
+        if scheduler.slot_lost(&slot) {
+            return Err(scheduler.release(&slot).err().unwrap_or_else(|| {
+                RuntimeError::Resource(ResourceError::NodeFailed(slot.node_index()))
+            }));
         }
 
         // Output staging.
@@ -809,5 +856,72 @@ mod tests {
         a.request_stop();
         b.request_stop();
         fx.executor.join_all();
+    }
+
+    #[test]
+    fn task_evicted_by_node_failure_retries_and_completes() {
+        let fx = fixture(PlatformId::Local, 2, 1000.0);
+        let task = TaskRecord::new(
+            "task.retry".into(),
+            TaskDescription::new("retry")
+                .kind(TaskKind::compute_secs(60.0))
+                .cores(8)
+                .max_retries(2),
+            PlatformId::Local,
+            Arc::clone(&fx.clock),
+        );
+        fx.executor
+            .spawn_task(Arc::clone(&task), Some(Arc::clone(&fx.scheduler)));
+        task.state
+            .wait_until(|s| s == TaskState::Executing, Duration::from_secs(10))
+            .unwrap();
+        let node = task.slot.lock().as_ref().unwrap().node_index();
+        fx.scheduler.allocation().fail_node(node).unwrap();
+        task.state
+            .wait_until(|s| s == TaskState::Done, Duration::from_secs(60))
+            .unwrap();
+        fx.executor.join_all();
+        assert_eq!(
+            task.retries.load(Ordering::Relaxed),
+            1,
+            "one eviction, one retry"
+        );
+        assert_eq!(fx.metrics.scalar_values("task.retries").len(), 1);
+        assert_eq!(fx.scheduler.outstanding_slots(), 0);
+        // The replacement attempt must have avoided the failed node.
+        let placed = task.slot.lock().as_ref().unwrap().node_index();
+        assert_ne!(placed, node);
+    }
+
+    #[test]
+    fn eviction_without_retry_budget_fails_the_task() {
+        let fx = fixture(PlatformId::Local, 1, 1000.0);
+        let task = TaskRecord::new(
+            "task.noretry".into(),
+            TaskDescription::new("noretry")
+                .kind(TaskKind::compute_secs(60.0))
+                .cores(8),
+            PlatformId::Local,
+            Arc::clone(&fx.clock),
+        );
+        fx.executor
+            .spawn_task(Arc::clone(&task), Some(Arc::clone(&fx.scheduler)));
+        task.state
+            .wait_until(|s| s == TaskState::Executing, Duration::from_secs(10))
+            .unwrap();
+        let node = task.slot.lock().as_ref().unwrap().node_index();
+        fx.scheduler.allocation().fail_node(node).unwrap();
+        let _ = task
+            .state
+            .wait_until(|s| s.is_final(), Duration::from_secs(60));
+        fx.executor.join_all();
+        assert_eq!(task.state.current(), TaskState::Failed);
+        assert!(
+            task.state.error().unwrap().contains("failed"),
+            "error must name the node failure: {:?}",
+            task.state.error()
+        );
+        assert_eq!(task.retries.load(Ordering::Relaxed), 0);
+        assert_eq!(fx.scheduler.outstanding_slots(), 0);
     }
 }

@@ -88,4 +88,5 @@ pub mod prelude {
     pub use crate::records::{PilotHandle, ServiceHandle, TaskHandle};
     pub use crate::session::{Session, SessionBuilder, SessionConfig};
     pub use crate::states::{PilotState, ServiceState, TaskState};
+    pub use hpcml_sim::fault::{FaultEvent, FaultPlan};
 }

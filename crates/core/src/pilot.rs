@@ -87,6 +87,43 @@ impl PilotManager {
         }
     }
 
+    /// Resize an active pilot to `target` nodes. Growing charges fresh nodes
+    /// against the platform's free pool and appends them to the allocation
+    /// ([`hpcml_platform::batch::Allocation::expand`]); shrinking retires failed
+    /// nodes first, then fully idle ones
+    /// ([`hpcml_platform::batch::Allocation::shrink`]), shedding the retired count
+    /// from the pool. Returns the number of attached nodes after the resize.
+    pub fn resize(&self, record: &Arc<PilotRecord>, target: usize) -> Result<usize, RuntimeError> {
+        if record.state.current() != PilotState::Active {
+            return Err(RuntimeError::InvalidState(format!(
+                "cannot resize a pilot in state {:?}",
+                record.state.current()
+            )));
+        }
+        let alloc =
+            record.allocation.lock().clone().ok_or_else(|| {
+                RuntimeError::InvalidState("pilot active without allocation".into())
+            })?;
+        let batch = self.batch_system(record.description.platform);
+        let attached = alloc.attached_nodes();
+        if target > attached {
+            let n = target - attached;
+            batch.grow(n).map_err(RuntimeError::Batch)?;
+            if let Err(e) = alloc.expand(n) {
+                // The allocation refused the new nodes (e.g. a concurrent resize):
+                // return the charge to the free pool before surfacing the error.
+                batch.shed(n);
+                return Err(RuntimeError::Resource(e));
+            }
+        } else if target < attached {
+            let retired = alloc
+                .shrink(attached - target)
+                .map_err(RuntimeError::Resource)?;
+            batch.shed(retired.len());
+        }
+        Ok(alloc.attached_nodes())
+    }
+
     /// Terminate an active pilot, releasing its nodes back to the platform.
     pub fn terminate(&self, record: &Arc<PilotRecord>) -> Result<(), RuntimeError> {
         let allocation = record.allocation.lock().clone();

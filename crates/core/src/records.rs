@@ -7,7 +7,7 @@
 //! the public `wait_*` calls of [`TaskHandle`]/[`ServiceHandle`]/[`PilotHandle`] use.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,6 +20,8 @@ use hpcml_sim::clock::SharedClock;
 
 use crate::describe::{PilotDescription, ServiceDescription, TaskDescription};
 use crate::error::RuntimeError;
+use crate::pilot::PilotManager;
+use crate::scheduler::Scheduler;
 use crate::states::{PilotState, ServiceState, TaskState};
 
 /// Minimal interface a state enum must offer to be tracked by a [`StateCell`].
@@ -207,6 +209,8 @@ pub struct TaskRecord {
     pub slot: Mutex<Option<Slot>>,
     /// Platform the task runs on.
     pub platform: PlatformId,
+    /// Times the task was re-run after losing its slot to a node failure.
+    pub retries: AtomicU32,
 }
 
 impl TaskRecord {
@@ -223,6 +227,7 @@ impl TaskRecord {
             state: StateCell::new(TaskState::New, clock),
             slot: Mutex::new(None),
             platform,
+            retries: AtomicU32::new(0),
         })
     }
 }
@@ -338,6 +343,11 @@ impl TaskHandle {
         self.record.state.timestamps()
     }
 
+    /// Times the task was re-run after losing its slot to a node failure.
+    pub fn retries(&self) -> u32 {
+        self.record.retries.load(Ordering::Relaxed)
+    }
+
     /// Block until the task reaches `Done` (default timeout: 300 s of real time).
     pub fn wait_done(&self) -> Result<TaskState, RuntimeError> {
         self.wait_done_timeout(Duration::from_secs(300))
@@ -443,6 +453,12 @@ impl ServiceHandle {
 #[derive(Clone)]
 pub struct PilotHandle {
     pub(crate) record: Arc<PilotRecord>,
+    /// Resize wiring: present on handles issued by a session, absent on handles
+    /// constructed directly around a record (which cannot resize).
+    pub(crate) manager: Option<Arc<PilotManager>>,
+    /// The scheduler to poke after growth (expansion releases no slot, so parked
+    /// placements would otherwise never re-probe).
+    pub(crate) scheduler: Option<Arc<Scheduler>>,
 }
 
 impl std::fmt::Debug for PilotHandle {
@@ -465,7 +481,8 @@ impl PilotHandle {
         self.record.state.current()
     }
 
-    /// Number of nodes in the pilot's allocation (0 before it becomes active).
+    /// Number of healthy nodes in the pilot's allocation (0 before it becomes
+    /// active; failed nodes do not count).
     pub fn num_nodes(&self) -> usize {
         self.record
             .allocation
@@ -473,6 +490,75 @@ impl PilotHandle {
             .as_ref()
             .map(|a| a.num_nodes())
             .unwrap_or(0)
+    }
+
+    /// Number of failed nodes still attached to the pilot's allocation.
+    pub fn failed_nodes(&self) -> usize {
+        self.record
+            .allocation
+            .lock()
+            .as_ref()
+            .map(|a| a.failed_nodes())
+            .unwrap_or(0)
+    }
+
+    /// Nodes the platform still charges the pilot for: healthy plus failed (a
+    /// failed node stays attached until a shrink sheds it).
+    pub fn attached_nodes(&self) -> usize {
+        self.record
+            .allocation
+            .lock()
+            .as_ref()
+            .map(|a| a.attached_nodes())
+            .unwrap_or(0)
+    }
+
+    /// Healthy nodes with no occupancy at all (free for whole-node gangs).
+    pub fn idle_nodes(&self) -> usize {
+        self.record
+            .allocation
+            .lock()
+            .as_ref()
+            .map(|a| a.idle_nodes())
+            .unwrap_or(0)
+    }
+
+    /// Total unclaimed cores across the pilot's healthy nodes.
+    pub fn free_cores(&self) -> u32 {
+        self.record
+            .allocation
+            .lock()
+            .as_ref()
+            .map(|a| a.free_cores())
+            .unwrap_or(0)
+    }
+
+    /// Nodes currently pinned by a drain reservation.
+    pub fn reserved_nodes(&self) -> usize {
+        self.record
+            .allocation
+            .lock()
+            .as_ref()
+            .map(|a| a.reserved_nodes())
+            .unwrap_or(0)
+    }
+
+    /// Resize the pilot to `nodes` attached nodes: growing appends fresh healthy
+    /// nodes to the allocation, shrinking retires failed nodes first and then
+    /// fully idle ones (all-or-nothing — busy nodes are never revoked). Returns
+    /// the attached node count after the resize. Only handles obtained from
+    /// [`crate::session::Session::submit_pilot`] carry the wiring to resize.
+    pub fn resize(&self, nodes: usize) -> Result<usize, RuntimeError> {
+        let manager = self.manager.as_ref().ok_or_else(|| {
+            RuntimeError::InvalidState("this pilot handle is not bound to a session".into())
+        })?;
+        let attached = manager.resize(&self.record, nodes)?;
+        // Growth adds capacity without releasing a slot: pass the wakeup on so
+        // parked placements re-probe the expanded allocation.
+        if let Some(scheduler) = &self.scheduler {
+            scheduler.notify_capacity();
+        }
+        Ok(attached)
     }
 
     /// Block until the pilot is `Active` (default timeout: 300 s of real time).
@@ -589,6 +675,7 @@ mod tests {
         };
         assert_eq!(th.id(), "task.000000");
         assert_eq!(th.state(), TaskState::New);
+        assert_eq!(th.retries(), 0);
         assert!(th.error().is_none());
         assert!(format!("{th:?}").contains("task.000000"));
 
@@ -612,9 +699,17 @@ mod tests {
             PilotDescription::new(PlatformId::Local),
             c,
         );
-        let ph = PilotHandle { record: pilot };
+        let ph = PilotHandle {
+            record: pilot,
+            manager: None,
+            scheduler: None,
+        };
         assert_eq!(ph.num_nodes(), 0);
+        assert_eq!(ph.failed_nodes(), 0);
+        assert_eq!(ph.attached_nodes(), 0);
         assert_eq!(ph.state(), PilotState::New);
         assert!(format!("{ph:?}").contains("pilot.000000"));
+        // An unbound handle cannot resize.
+        assert!(matches!(ph.resize(2), Err(RuntimeError::InvalidState(_))));
     }
 }

@@ -82,6 +82,21 @@
 //! themselves from tasks). A timing-out waiter leaving empty-handed while fitting
 //! capacity sits free would be strictly worse; the head is re-woken on the next
 //! release and keeps its place.
+//!
+//! ## Node failure & requeue
+//!
+//! When a node fails, its co-resident slots are evicted by the allocation
+//! ([`hpcml_platform::batch::Allocation::fail_node`]) and their owners discover the
+//! loss through [`Scheduler::slot_lost`]. A victim re-enters placement through
+//! [`Scheduler::requeue`], which parks at the *front* of its priority-class queue:
+//! the task already waited its turn once, so the failure must not send it to the back
+//! behind arrivals it had previously beaten. [`Scheduler::release`] tolerates
+//! [`ResourceError::NodeFailed`] — the allocation already reclaimed the slot's
+//! resources on eviction, so the scheduler still decrements its outstanding count and
+//! passes the wakeup on, surfacing the error only so the caller can tell the two
+//! paths apart. [`Scheduler::notify_capacity`] lets the pilot layer re-probe parked
+//! waiters after an allocation grows ([`hpcml_platform::batch::Allocation::expand`]),
+//! which releases no slot and would otherwise wake nobody.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -379,10 +394,48 @@ impl Scheduler {
         priority: Priority,
         timeout: Duration,
     ) -> Result<(Slot, PlacementStats), RuntimeError> {
-        // Shape mismatches fail fast without ever queueing.
-        self.allocation
-            .check_satisfiable(req)
-            .map_err(RuntimeError::Resource)?;
+        self.allocate_inner(req, priority, timeout, false)
+    }
+
+    /// Re-enter placement after losing a slot to a node failure: parks at the
+    /// *front* of the priority-class queue instead of the back, because the request
+    /// already waited its turn once. Everything else — service priority, the serve
+    /// window, draining, the timeout semantics — behaves exactly like
+    /// [`Scheduler::allocate`].
+    pub fn requeue(
+        &self,
+        req: &ResourceRequest,
+        priority: Priority,
+        timeout: Duration,
+    ) -> Result<Slot, RuntimeError> {
+        self.requeue_with_stats(req, priority, timeout)
+            .map(|(slot, _)| slot)
+    }
+
+    /// [`Scheduler::requeue`], additionally returning [`PlacementStats`].
+    pub fn requeue_with_stats(
+        &self,
+        req: &ResourceRequest,
+        priority: Priority,
+        timeout: Duration,
+    ) -> Result<(Slot, PlacementStats), RuntimeError> {
+        self.allocate_inner(req, priority, timeout, true)
+    }
+
+    fn allocate_inner(
+        &self,
+        req: &ResourceRequest,
+        priority: Priority,
+        timeout: Duration,
+        requeue: bool,
+    ) -> Result<(Slot, PlacementStats), RuntimeError> {
+        // Shape mismatches fail fast without ever queueing. A request that is
+        // merely too wide for the *current* node set parks instead: allocations
+        // are elastic, so a pilot resize can make it placeable later.
+        match self.allocation.check_satisfiable(req) {
+            Ok(()) | Err(ResourceError::InsufficientResources) => {}
+            Err(e) => return Err(RuntimeError::Resource(e)),
+        }
 
         // Resolve the gang packing policy once, up front: an explicit request-level
         // policy wins, otherwise the scheduler's session default applies. Every fit
@@ -420,11 +473,18 @@ impl Scheduler {
             }
         }
 
-        // Slow path: park in arrival order and wait for a targeted wakeup.
+        // Slow path: park in arrival order — or, for a node-failure requeue, at the
+        // front of the class queue (the request already waited its turn once) — and
+        // wait for a targeted wakeup.
         let waiter = Waiter::new();
-        match priority {
-            Priority::Service => st.services.push_back(Arc::clone(&waiter)),
-            Priority::Task => st.tasks.push_back(Arc::clone(&waiter)),
+        let queue = match priority {
+            Priority::Service => &mut st.services,
+            Priority::Task => &mut st.tasks,
+        };
+        if requeue {
+            queue.push_front(Arc::clone(&waiter));
+        } else {
+            queue.push_back(Arc::clone(&waiter));
         }
 
         // Service priority extends to reservations: a parking service cancels an
@@ -497,8 +557,10 @@ impl Scheduler {
                                 Err(e) => break Err(RuntimeError::Resource(e)),
                             }
                         }
-                        // Raced by another allocation user; retry on a later wakeup.
-                        Err(ResourceError::DrainActive) => {}
+                        // Raced by another allocation user — or the pilot is
+                        // currently too small for the gang; retry on a later wakeup.
+                        Err(ResourceError::DrainActive)
+                        | Err(ResourceError::InsufficientResources) => {}
                         Err(e) => break Err(RuntimeError::Resource(e)),
                     }
                 }
@@ -604,12 +666,37 @@ impl Scheduler {
     }
 
     /// Release a previously allocated slot and wake the waiters in the serve window.
+    ///
+    /// A slot whose node failed ([`ResourceError::NodeFailed`]) was already reclaimed
+    /// by the eviction: the scheduler still retires it from its outstanding count and
+    /// passes the wakeup on, and the error is surfaced only so the caller can tell
+    /// the eviction path from an ordinary release.
     pub fn release(&self, slot: &Slot) -> Result<(), RuntimeError> {
-        self.allocation.release_slot(slot)?;
-        let mut st = self.state.lock();
-        st.outstanding_slots = st.outstanding_slots.saturating_sub(1);
+        let result = self.allocation.release_slot(slot);
+        match result {
+            Ok(()) | Err(ResourceError::NodeFailed(_)) => {
+                let mut st = self.state.lock();
+                st.outstanding_slots = st.outstanding_slots.saturating_sub(1);
+                st.wake_window(self.lookahead);
+                result.map_err(RuntimeError::Resource)
+            }
+            Err(e) => Err(RuntimeError::Resource(e)),
+        }
+    }
+
+    /// Whether `slot` was evicted by a node failure and no longer backs any
+    /// resources. The executor polls this while a task runs to detect that the task
+    /// must be requeued.
+    pub fn slot_lost(&self, slot: &Slot) -> bool {
+        self.allocation.slot_evicted(slot.id)
+    }
+
+    /// Re-probe parked waiters after capacity appeared without a release — e.g. the
+    /// pilot expanded its allocation. Releases wake the window themselves; this is
+    /// for capacity that arrives out of band.
+    pub fn notify_capacity(&self) {
+        let st = self.state.lock();
         st.wake_window(self.lookahead);
-        Ok(())
     }
 }
 
@@ -661,6 +748,28 @@ mod tests {
         assert_eq!(s.outstanding_slots(), 0);
         assert_eq!(s.allocation().free_gpus(), 2);
         assert_eq!(s.lookahead(), 1);
+    }
+
+    #[test]
+    fn gang_wider_than_pilot_parks_and_places_after_expand() {
+        // A 2-node gang against a 1-node allocation must PARK (the pilot can
+        // grow), not fail fast as never-satisfiable — the elastic-pilot race
+        // where submit beats resize.
+        let s = Arc::new(scheduler(PlatformId::Local, 1));
+        let s1 = Arc::clone(&s);
+        let parked = thread::spawn(move || {
+            s1.allocate(
+                &cores(1).with_nodes(2),
+                Priority::Task,
+                Duration::from_secs(10),
+            )
+        });
+        wait_until(&s, "too-wide gang parked", |s| s.waiting_tasks() == 1);
+        s.allocation().expand(1).unwrap();
+        s.notify_capacity();
+        let gang = parked.join().unwrap().expect("gang places once grown");
+        assert_eq!(gang.num_nodes(), 2);
+        s.release(&gang).unwrap();
     }
 
     #[test]
@@ -1546,5 +1655,180 @@ mod tests {
         assert_eq!(s.outstanding_slots(), 0);
         assert_eq!(s.waiting_tasks(), 0);
         assert_eq!(s.allocation().idle_nodes(), 2);
+    }
+
+    #[test]
+    fn release_of_evicted_slot_reports_node_failed_and_retires_it() {
+        let s = scheduler(PlatformId::Local, 2);
+        let slot = s
+            .allocate(&cores(4), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        assert!(!s.slot_lost(&slot));
+        let victims = s.allocation().fail_node(slot.node_index()).unwrap();
+        assert_eq!(victims, vec![slot.id]);
+        assert!(s.slot_lost(&slot));
+        let err = s.release(&slot).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Resource(ResourceError::NodeFailed(_))
+        ));
+        assert_eq!(
+            s.outstanding_slots(),
+            0,
+            "an evicted slot still retires from the outstanding count"
+        );
+        // The eviction was reported once; a second release is an ordinary error.
+        let err = s.release(&slot).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Resource(ResourceError::UnknownSlot(_))
+        ));
+    }
+
+    #[test]
+    fn requeued_victim_parks_at_the_front_of_its_class() {
+        let s = Arc::new(scheduler(PlatformId::Local, 1)); // 8 cores, strict FIFO
+        let hold = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let s1 = Arc::clone(&s);
+        let back =
+            thread::spawn(move || s1.allocate(&cores(8), Priority::Task, Duration::from_secs(30)));
+        wait_until(&s, "ordinary waiter parked", |s| s.waiting_tasks() == 1);
+        let s2 = Arc::clone(&s);
+        let front =
+            thread::spawn(move || s2.requeue(&cores(8), Priority::Task, Duration::from_secs(30)));
+        wait_until(&s, "requeued waiter parked", |s| s.waiting_tasks() == 2);
+        // One whole node frees: the requeued waiter at the front must take it while
+        // the earlier ordinary arrival stays parked behind it.
+        s.release(&hold).unwrap();
+        let front_slot = front.join().unwrap().unwrap();
+        assert_eq!(
+            s.waiting_tasks(),
+            1,
+            "the ordinary waiter is still parked behind the served requeue"
+        );
+        s.release(&front_slot).unwrap();
+        let back_slot = back.join().unwrap().unwrap();
+        s.release(&back_slot).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    #[test]
+    fn expand_plus_notify_capacity_unblocks_a_parked_waiter() {
+        let s = Arc::new(scheduler(PlatformId::Local, 1)); // one 8-core node
+        let hold = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let s1 = Arc::clone(&s);
+        let waiter =
+            thread::spawn(move || s1.allocate(&cores(8), Priority::Task, Duration::from_secs(30)));
+        wait_until(&s, "waiter parked", |s| s.waiting_tasks() == 1);
+        // Growth releases no slot, so the pilot layer must pass the wakeup on.
+        s.allocation().expand(1).unwrap();
+        s.notify_capacity();
+        let slot = waiter.join().unwrap().unwrap();
+        assert_eq!(slot.num_cores(), 8);
+        s.release(&slot).unwrap();
+        s.release(&hold).unwrap();
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(s.allocation().idle_nodes(), 2);
+    }
+
+    /// Satellite acceptance: a gang that loses a member to a node failure requeues
+    /// at the front and replaces the member within its overtake budget, even against
+    /// a stream of narrow competitors (seeded repeats shake the interleaving).
+    #[test]
+    fn failed_gang_member_requeues_and_replaces_within_overtake_budget() {
+        const MAX_OVERTAKES: u32 = 3;
+        for seed in 0..3u64 {
+            let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), seed);
+            let alloc = batch.submit(AllocationRequest::nodes(5)).unwrap();
+            let cores_per_node = alloc.node_spec().cores;
+            let s = Arc::new(
+                Scheduler::with_lookahead(Arc::clone(&alloc), 2)
+                    .with_max_overtakes(Some(MAX_OVERTAKES)),
+            );
+            let narrow = cores(cores_per_node);
+            let gang = s
+                .allocate(
+                    &cores(cores_per_node).with_nodes(4),
+                    Priority::Task,
+                    Duration::from_secs(1),
+                )
+                .unwrap();
+            let victim_node = gang.node_index();
+            // The spare (non-member) node carries a narrow tenant, so the requeued
+            // gang cannot place directly and must age into a drain.
+            let mut hold = Some(
+                s.allocate(&narrow, Priority::Task, Duration::from_secs(1))
+                    .unwrap(),
+            );
+
+            let victims = alloc.fail_node(victim_node).unwrap();
+            assert_eq!(victims, vec![gang.id], "seed {seed}");
+            assert!(s.slot_lost(&gang));
+            assert!(matches!(
+                s.release(&gang),
+                Err(RuntimeError::Resource(ResourceError::NodeFailed(_)))
+            ));
+
+            let s_gang = Arc::clone(&s);
+            let gang_req = cores(cores_per_node).with_nodes(4);
+            let gang_waiter = thread::spawn(move || {
+                s_gang.requeue_with_stats(&gang_req, Priority::Task, Duration::from_secs(30))
+            });
+            wait_until(&s, "requeued gang parked at the head", |s| {
+                s.waiting_tasks() == 1
+            });
+
+            // Narrow churn overtakes the requeued gang until its budget is spent,
+            // then the drain pins freed nodes and the stream hits the wall.
+            let mut overtakes = 0u32;
+            for round in 0..20 {
+                if overtakes > MAX_OVERTAKES {
+                    wait_until(&s, "requeued gang draining", |s| {
+                        s.allocation().drain_status().is_some()
+                    });
+                }
+                match s.allocate(&narrow, Priority::Task, Duration::from_millis(300)) {
+                    Ok(next) => {
+                        overtakes += 1;
+                        assert!(
+                            overtakes <= MAX_OVERTAKES + 2,
+                            "seed {seed}: churn still placing after {overtakes} overtakes"
+                        );
+                        s.release(&hold.take().unwrap()).unwrap();
+                        hold = Some(next);
+                    }
+                    Err(e) => {
+                        assert!(matches!(e, RuntimeError::WaitTimeout { .. }), "{e:?}");
+                        assert!(
+                            round as u32 >= MAX_OVERTAKES,
+                            "seed {seed}: churn starved before the budget was spent"
+                        );
+                        s.release(&hold.take().unwrap()).unwrap();
+                        break;
+                    }
+                }
+            }
+            assert!(hold.is_none(), "seed {seed}: churn must hit the drain wall");
+
+            let (replacement, stats) = gang_waiter.join().unwrap().unwrap();
+            assert_eq!(replacement.num_nodes(), 4);
+            assert!(
+                replacement.node_indices().all(|n| n != victim_node),
+                "seed {seed}: the replacement gang must avoid the failed node"
+            );
+            assert!(
+                stats.overtakes <= MAX_OVERTAKES + 2,
+                "seed {seed}: requeue must place within its overtake budget: {stats:?}"
+            );
+            s.release(&replacement).unwrap();
+            assert_eq!(s.outstanding_slots(), 0);
+            assert_eq!(alloc.idle_nodes(), 4);
+            assert_eq!(alloc.failed_nodes(), 1);
+            assert_eq!(alloc.reserved_nodes(), 0);
+        }
     }
 }

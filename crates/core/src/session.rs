@@ -15,8 +15,10 @@ use parking_lot::Mutex;
 
 use hpcml_comm::pubsub::{Publisher, Subscriber};
 use hpcml_comm::registry::EndpointRegistry;
+use hpcml_platform::batch::Allocation;
 use hpcml_platform::{GangPacking, PlatformId};
 use hpcml_sim::clock::{ClockSpec, SharedClock};
+use hpcml_sim::fault::FaultPlan;
 use hpcml_sim::ids;
 
 use crate::data::DataManager;
@@ -67,6 +69,10 @@ pub struct SessionConfig {
     /// (clamped to `1..=nodes`), with `Some(1)` as the compatibility escape hatch.
     /// A pilot's explicit `PilotDescription::allocator_shards` overrides this.
     pub allocator_shards: Option<usize>,
+    /// Deterministic node-failure schedule, injected against the first pilot's
+    /// allocation on the session clock (times are virtual seconds after the pilot
+    /// becomes active). Empty (the default) injects nothing.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SessionConfig {
@@ -81,6 +87,7 @@ impl Default for SessionConfig {
             gang_drain_after: None,
             gang_packing: GangPacking::default(),
             allocator_shards: None,
+            fault_plan: FaultPlan::new(),
         }
     }
 }
@@ -185,6 +192,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Set a deterministic node-failure schedule: each [`hpcml_sim::FaultEvent`]
+    /// fails its node in the first pilot's allocation once the session clock
+    /// reaches the event time (measured from the moment the pilot becomes
+    /// active). Co-resident slots are evicted and their tasks retry per their
+    /// [`TaskDescription::max_retries`] budget. Build plans explicitly with
+    /// [`FaultPlan::fail_at`] or derive them from a seed with
+    /// [`FaultPlan::seeded`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = plan;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Result<Session, RuntimeError> {
         Ok(Session::with_config(self.config))
@@ -199,13 +218,18 @@ pub struct Session {
     metrics: Arc<RuntimeMetrics>,
     registry: Arc<EndpointRegistry>,
     publisher: Publisher,
-    pilot_manager: PilotManager,
+    pilot_manager: Arc<PilotManager>,
     task_manager: Arc<TaskManager>,
     service_manager: Arc<ServiceManager>,
     executor: Arc<Executor>,
     scheduler: Mutex<Option<Arc<Scheduler>>>,
     pilots: Mutex<Vec<Arc<PilotRecord>>>,
     closed: AtomicBool,
+    /// Asks the detached fault-injector thread to stop firing (it is never
+    /// joined: under a manual clock its sleeps may outlive the session).
+    fault_stop: Arc<AtomicBool>,
+    /// Set once the injector thread has been spawned (first active pilot).
+    fault_started: AtomicBool,
 }
 
 impl std::fmt::Debug for Session {
@@ -250,13 +274,15 @@ impl Session {
             metrics,
             registry: Arc::clone(&registry),
             publisher,
-            pilot_manager: PilotManager::new(Arc::clone(&clock), config.seed ^ 0x9107),
+            pilot_manager: Arc::new(PilotManager::new(Arc::clone(&clock), config.seed ^ 0x9107)),
             task_manager: Arc::new(TaskManager::new()),
             service_manager: Arc::new(ServiceManager::new(registry, Arc::clone(&clock))),
             executor,
             scheduler: Mutex::new(None),
             pilots: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
+            fault_stop: Arc::new(AtomicBool::new(false)),
+            fault_started: AtomicBool::new(false),
             config,
         }
     }
@@ -324,13 +350,52 @@ impl Session {
                 RuntimeError::InvalidState("pilot active without allocation".into())
             })?;
         *self.scheduler.lock() = Some(Arc::new(
-            Scheduler::with_lookahead(allocation, self.config.scheduler_lookahead)
+            Scheduler::with_lookahead(Arc::clone(&allocation), self.config.scheduler_lookahead)
                 .with_max_overtakes(self.config.scheduler_max_overtakes)
                 .with_gang_drain_after(self.config.gang_drain_after)
                 .with_gang_packing(self.config.gang_packing),
         ));
         self.pilots.lock().push(Arc::clone(&record));
-        Ok(PilotHandle { record })
+        self.spawn_fault_injector(&allocation);
+        Ok(PilotHandle {
+            record,
+            manager: Some(Arc::clone(&self.pilot_manager)),
+            scheduler: self.scheduler.lock().clone(),
+        })
+    }
+
+    /// Spawn the detached fault-injector thread on the first active pilot: it
+    /// sleeps on the session clock to each scheduled event time and fails the
+    /// named node in `allocation`, evicting co-resident slots. The thread is
+    /// deliberately never joined — under a manual clock a pending sleep may never
+    /// return, and `close()` must not hang on it; a stop flag retires it instead.
+    fn spawn_fault_injector(&self, allocation: &Arc<Allocation>) {
+        if self.config.fault_plan.is_empty() || self.fault_started.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let plan = self.config.fault_plan.clone();
+        let clock = Arc::clone(&self.clock);
+        let metrics = Arc::clone(&self.metrics);
+        let stop = Arc::clone(&self.fault_stop);
+        let allocation = Arc::clone(allocation);
+        let epoch = clock.now().as_secs_f64();
+        let _ = std::thread::Builder::new()
+            .name("fault-injector".into())
+            .spawn(move || {
+                for event in plan.events() {
+                    let delay = event.at_secs - (clock.now().as_secs_f64() - epoch);
+                    if delay > 0.0 {
+                        clock.sleep(Duration::from_secs_f64(delay));
+                    }
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok(victims) = allocation.fail_node(event.node) {
+                        metrics.record_scalar("node.failures", 1.0);
+                        metrics.record_scalar("node.failure.victim_slots", victims.len() as f64);
+                    }
+                }
+            });
     }
 
     /// Submit a service instance. Local services require an active pilot; remote
@@ -415,6 +480,7 @@ impl Session {
         if self.closed.swap(true, Ordering::AcqRel) {
             return;
         }
+        self.fault_stop.store(true, Ordering::Release);
         self.service_manager.stop_all();
         self.executor.join_all();
         for pilot in self.pilots.lock().iter() {
@@ -593,6 +659,69 @@ mod tests {
         let alloc2 = pilot2.record.allocation.lock().clone().unwrap();
         assert_eq!(alloc2.num_shards(), 1);
         s2.close();
+    }
+
+    #[test]
+    fn fault_plan_evicts_a_running_task_which_retries_to_done() {
+        let s = Session::builder("faulty")
+            .platform(PlatformId::Local)
+            .clock(ClockSpec::scaled(1000.0))
+            .seed(7)
+            .fault_plan(FaultPlan::new().fail_at(5.0, 0))
+            .build()
+            .unwrap();
+        let pilot = s
+            .submit_pilot(PilotDescription::new(PlatformId::Local).nodes(2))
+            .unwrap();
+        let task = s
+            .submit_task(
+                TaskDescription::new("victim")
+                    .kind(TaskKind::compute_secs(60.0))
+                    .cores(8)
+                    .max_retries(2),
+            )
+            .unwrap();
+        task.wait_done_timeout(Duration::from_secs(600)).unwrap();
+        assert_eq!(task.state(), TaskState::Done);
+        assert_eq!(task.retries(), 1, "one eviction, one retry");
+        assert_eq!(s.metrics().scalar_values("node.failures"), vec![1.0]);
+        assert_eq!(pilot.failed_nodes(), 1);
+        assert_eq!(pilot.attached_nodes(), 2, "failed node stays attached");
+        s.close();
+    }
+
+    #[test]
+    fn pilot_resize_grows_and_shrinks_the_allocation() {
+        let s = session(5000.0);
+        let pilot = s
+            .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(2))
+            .unwrap();
+        let batch = s.pilot_manager.batch_system(PlatformId::Delta);
+        assert_eq!(pilot.attached_nodes(), 2);
+        assert_eq!(batch.nodes_in_use(), 2);
+        assert_eq!(pilot.resize(4).unwrap(), 4);
+        assert_eq!(pilot.attached_nodes(), 4);
+        assert_eq!(batch.nodes_in_use(), 4);
+        // Asking for more nodes than the platform has fails cleanly and leaves
+        // the allocation untouched.
+        let err = pilot.resize(100_000).unwrap_err();
+        assert!(matches!(err, RuntimeError::Batch(_)));
+        assert_eq!(pilot.attached_nodes(), 4);
+        assert_eq!(batch.nodes_in_use(), 4);
+        assert_eq!(pilot.resize(1).unwrap(), 1);
+        assert_eq!(batch.nodes_in_use(), 1);
+        // Work still places on the shrunken pilot.
+        let task = s
+            .submit_task(
+                TaskDescription::new("t")
+                    .kind(TaskKind::compute_secs(1.0))
+                    .cores(1),
+            )
+            .unwrap();
+        task.wait_done_timeout(Duration::from_secs(60)).unwrap();
+        assert_eq!(task.state(), TaskState::Done);
+        s.close();
+        assert_eq!(batch.nodes_in_use(), 0, "terminate releases resized pilot");
     }
 
     #[test]

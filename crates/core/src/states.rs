@@ -44,7 +44,9 @@ impl TaskState {
             New => &[Scheduling, Canceled],
             Scheduling => &[StagingInput, Executing, Failed, Canceled],
             StagingInput => &[Executing, Failed, Canceled],
-            Executing => &[StagingOutput, Done, Failed, Canceled],
+            // Executing -> Scheduling is the node-failure retry edge: a task whose
+            // slot was evicted re-enters the wait queue instead of failing outright.
+            Executing => &[StagingOutput, Done, Scheduling, Failed, Canceled],
             StagingOutput => &[Done, Failed, Canceled],
             Done | Failed | Canceled => &[],
         }
@@ -189,6 +191,15 @@ mod tests {
         assert!(!Done.can_transition_to(Executing));
         assert!(!Executing.can_transition_to(New));
         assert!(Done.successors().is_empty());
+    }
+
+    #[test]
+    fn task_retry_edge_reenters_scheduling_from_executing_only() {
+        use TaskState::*;
+        assert!(Executing.can_transition_to(Scheduling));
+        assert!(!StagingOutput.can_transition_to(Scheduling));
+        assert!(!Done.can_transition_to(Scheduling));
+        assert!(!Failed.can_transition_to(Scheduling));
     }
 
     #[test]

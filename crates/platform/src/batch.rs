@@ -86,10 +86,11 @@
 //! head of a scheduler class drains. [`Allocation::drain_status`] reports the pinned
 //! set split into still-occupied (pinned-partial) and idle (pinned-idle) nodes.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -98,8 +99,8 @@ use hpcml_sim::clock::SharedClock;
 use hpcml_sim::dist::Dist;
 
 use crate::resources::{
-    AllocationConfig, GangPacking, NodeSpec, NodeState, ResourceError, ResourceRequest, Slot,
-    SlotMember,
+    AllocationConfig, GangPacking, NodeHealth, NodeSpec, NodeState, ResourceError, ResourceRequest,
+    Slot, SlotMember,
 };
 use crate::spec::PlatformSpec;
 
@@ -290,6 +291,16 @@ impl CapacityIndex {
         self.pos[node] = (usize::MAX, usize::MAX);
     }
 
+    /// Append one fresh, fully idle node at the next local index (an
+    /// [`crate::batch::Allocation::expand`] arrival), returning that index. The
+    /// back-reference vector grows by one *before* `insert` writes it.
+    fn push_idle(&mut self) -> usize {
+        let local = self.pos.len();
+        self.pos.push((usize::MAX, usize::MAX));
+        self.insert(local, self.spec.gpus, self.spec.cores);
+        local
+    }
+
     /// Move `node` to the bucket matching its current free capacity.
     fn update(&mut self, node: usize, free_gpus: u32, free_cores: u32) {
         let target = self.bucket_id(free_gpus, free_cores);
@@ -423,7 +434,12 @@ struct DrainReservation {
 
 impl DrainReservation {
     /// Whether `node` may be pinned under this reservation's packing policy.
+    /// Only healthy nodes are pinnable: a failed node's capacity is gone, and a
+    /// retired node has left the allocation.
     fn covers(&self, node: &NodeState) -> bool {
+        if node.health() != NodeHealth::Healthy {
+            return false;
+        }
         match self.packing {
             GangPacking::Whole => node.is_idle(),
             GangPacking::Partial => node.can_fit_now(&self.req),
@@ -500,14 +516,22 @@ pub struct PlacementProbes {
 pub struct Allocation {
     id: u64,
     platform: PlatformSpec,
-    num_nodes: usize,
+    /// Healthy in-service node count (excludes failed and retired nodes). Written
+    /// only under the full shard-lock set (expand/shrink/fail_node), read lock-free.
+    num_nodes: AtomicU64,
+    /// Nodes lost to [`Allocation::fail_node`] and not yet retired by a shrink.
+    /// `num_nodes + failed_nodes` is the *attached* count the batch system still
+    /// charges this allocation for.
+    failed_nodes: AtomicU64,
     num_shards: usize,
     shards: Vec<Mutex<ShardState>>,
     /// Lock-free per-shard headroom summaries (see [`CapacityIndex::summary`]),
     /// republished after every mutation under the owning shard's lock.
     summaries: Vec<AtomicU64>,
-    /// Immutable global node-index → hostname map, for lock-free slot validation.
-    node_names: Vec<Arc<str>>,
+    /// Global node-index → hostname map for slot validation. Append-only (expand
+    /// appends; fail/shrink keep the entry so slots on dead nodes still validate).
+    /// Readers must never hold this lock while acquiring a shard or stripe lock.
+    node_names: RwLock<Vec<Arc<str>>>,
     /// Cached aggregates, updated under the owning shard's lock, read lock-free.
     /// Relaxed ordering throughout: each update is an atomic RMW (totals stay
     /// exact), and every reader that needs a consistent snapshot (tests after a
@@ -516,11 +540,16 @@ pub struct Allocation {
     free_cores: AtomicU64,
     free_gpus: AtomicU64,
     non_idle_nodes: AtomicU64,
-    /// IDs of slots handed out and not yet released, striped by id. Releasing a
-    /// slot that is not registered is rejected, so a double release can never
-    /// re-credit resources (memory in particular has no per-unit occupancy bit to
-    /// catch it otherwise).
-    live_slots: Vec<Mutex<std::collections::HashSet<u64>>>,
+    /// Slots handed out and not yet released, striped by id and keyed id → slot
+    /// (the stored copy is what [`Allocation::fail_node`] uses to evict co-resident
+    /// slots). Releasing a slot that is not registered is rejected, so a double
+    /// release can never re-credit resources (memory in particular has no per-unit
+    /// occupancy bit to catch it otherwise).
+    live_slots: Vec<Mutex<HashMap<u64, Slot>>>,
+    /// Slots evicted by a node failure, keyed id → failed node index. A release of
+    /// such a slot reports [`ResourceError::NodeFailed`] (resources were already
+    /// reclaimed at eviction) exactly once, then forgets the id.
+    failed_slots: Mutex<HashMap<u64, usize>>,
     /// Cross-shard drain controller: the one active backfill reservation.
     drain: Mutex<Option<DrainReservation>>,
     /// Lock-free mirror of `drain.is_some()`, so releases skip the controller lock
@@ -549,7 +578,8 @@ impl std::fmt::Debug for Allocation {
         f.debug_struct("Allocation")
             .field("id", &self.id)
             .field("platform", &self.platform.id)
-            .field("nodes", &self.num_nodes)
+            .field("nodes", &self.num_nodes.load(Ordering::Relaxed))
+            .field("failed", &self.failed_nodes.load(Ordering::Relaxed))
             .field("shards", &self.num_shards)
             .field("walltime_secs", &self.walltime_secs)
             .finish()
@@ -567,9 +597,22 @@ impl Allocation {
         &self.platform
     }
 
-    /// Number of nodes in the allocation (O(1), lock-free).
+    /// Number of healthy in-service nodes (O(1), lock-free). Shrinks when a node
+    /// fails or is retired, grows on [`Allocation::expand`].
     pub fn num_nodes(&self) -> usize {
-        self.num_nodes
+        self.num_nodes.load(Ordering::Relaxed) as usize
+    }
+
+    /// Nodes lost to [`Allocation::fail_node`] and not yet retired by a shrink
+    /// (O(1), lock-free).
+    pub fn failed_nodes(&self) -> usize {
+        self.failed_nodes.load(Ordering::Relaxed) as usize
+    }
+
+    /// Nodes still attached to (and charged against) this allocation: healthy plus
+    /// failed-but-not-yet-retired.
+    pub fn attached_nodes(&self) -> usize {
+        self.num_nodes() + self.failed_nodes()
     }
 
     /// Shape of the allocation's nodes.
@@ -577,14 +620,14 @@ impl Allocation {
         self.platform.node
     }
 
-    /// Total cores across the allocation.
+    /// Total cores across the allocation's healthy nodes.
     pub fn total_cores(&self) -> u32 {
-        self.num_nodes as u32 * self.platform.node.cores
+        self.num_nodes() as u32 * self.platform.node.cores
     }
 
-    /// Total GPUs across the allocation.
+    /// Total GPUs across the allocation's healthy nodes.
     pub fn total_gpus(&self) -> u32 {
-        self.num_nodes as u32 * self.platform.node.gpus
+        self.num_nodes() as u32 * self.platform.node.gpus
     }
 
     /// Currently free cores across all nodes (O(1), lock-free: cached aggregate).
@@ -602,7 +645,8 @@ impl Allocation {
     /// are not placeable but may still be idle (see [`Allocation::drain_status`]
     /// for the idle/partial split of the pinned set).
     pub fn idle_nodes(&self) -> usize {
-        self.num_nodes - self.non_idle_nodes.load(Ordering::Relaxed) as usize
+        self.num_nodes()
+            .saturating_sub(self.non_idle_nodes.load(Ordering::Relaxed) as usize)
     }
 
     /// Number of independently locked state shards this allocation runs with.
@@ -637,20 +681,15 @@ impl Allocation {
 
     /// Check `req` against the allocation shape without touching occupancy: `Err` when
     /// this allocation could never host it (per-node share exceeds the node shape, or
-    /// a gang spans more nodes than the allocation has), or when the request pins no
-    /// units at all.
+    /// the request pins no units at all). A gang spanning more nodes than the
+    /// allocation *currently* has is [`ResourceError::InsufficientResources`], not a
+    /// shape error: allocations are elastic, so [`Allocation::expand`] can make the
+    /// request satisfiable later.
     pub fn check_satisfiable(&self, req: &ResourceRequest) -> Result<(), ResourceError> {
         req.validate()?;
-        if self.num_nodes == 0 {
+        let num_nodes = self.num_nodes();
+        if num_nodes == 0 || req.nodes > num_nodes {
             return Err(ResourceError::InsufficientResources);
-        }
-        if req.nodes > self.num_nodes {
-            return Err(ResourceError::NeverSatisfiable {
-                reason: format!(
-                    "gang spans {} nodes but the allocation has only {}",
-                    req.nodes, self.num_nodes
-                ),
-            });
         }
         let shape = &self.platform.node;
         if req.cores > shape.cores || req.gpus > shape.gpus || req.mem_gib > shape.mem_gib {
@@ -755,11 +794,12 @@ impl Allocation {
         ids
     }
 
-    /// Register a freshly claimed slot id in the striped live-slot registry.
-    fn register_slot(&self, id: u64) {
-        self.live_slots[id as usize % LIVE_SLOT_STRIPES]
+    /// Register a freshly claimed slot in the striped live-slot registry (keyed by
+    /// id; the stored copy is what `fail_node` consults to evict co-residents).
+    fn register_slot(&self, slot: &Slot) {
+        self.live_slots[slot.id as usize % LIVE_SLOT_STRIPES]
             .lock()
-            .insert(id);
+            .insert(slot.id, slot.clone());
     }
 
     /// Try to carve a slot satisfying `req` out of the allocation.
@@ -876,8 +916,9 @@ impl Allocation {
         self.publish_summary(shard, &st);
         drop(st);
         let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
-        self.register_slot(id);
-        Ok(Some(Slot::single(id, member)))
+        let slot = Slot::single(id, member);
+        self.register_slot(&slot);
+        Ok(Some(slot))
     }
 
     /// Gang placement: take every shard lock in ascending id order, merge per-shard
@@ -999,8 +1040,9 @@ impl Allocation {
             }
         }
         let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
-        self.register_slot(id);
-        Ok(Slot { id, members })
+        let slot = Slot { id, members };
+        self.register_slot(&slot);
+        Ok(slot)
     }
 
     /// Open a backfill reservation for a gang-shaped `req`: every node whose current
@@ -1033,7 +1075,9 @@ impl Allocation {
         for &node in &pinned {
             let shard = self.shard_of(node);
             let st = guards[shard].as_mut().expect("all shards locked");
-            st.index.remove(self.local_of(node));
+            let local = self.local_of(node);
+            st.index.remove(local);
+            st.nodes[local].set_health(NodeHealth::Draining);
         }
         for (shard, guard) in guards.iter().enumerate() {
             if let Some(st) = guard {
@@ -1074,6 +1118,7 @@ impl Allocation {
             let shard = self.shard_of(node);
             let st = guards[shard].as_mut().expect("pinned shard locked");
             let local = self.local_of(node);
+            st.nodes[local].set_health(NodeHealth::Healthy);
             let (fg, fc) = (st.nodes[local].free_gpus(), st.nodes[local].free_cores());
             st.index.insert(local, fg, fc);
         }
@@ -1137,6 +1182,7 @@ impl Allocation {
             let shard = self.shard_of(node);
             let st = guards[shard].as_mut().expect("pinned shard locked");
             let local = self.local_of(node);
+            st.nodes[local].set_health(NodeHealth::Healthy);
             let (fg, fc) = (st.nodes[local].free_gpus(), st.nodes[local].free_cores());
             st.index.insert(local, fg, fc);
         }
@@ -1186,26 +1232,40 @@ impl Allocation {
     /// Release a previously allocated slot, updating the capacity index incrementally
     /// — O(1) for single-node slots, O(gang size) for gangs, whose member nodes all
     /// return to the idle bucket as a unit. Unknown, foreign, and already-released
-    /// slots are all rejected.
+    /// slots are all rejected. A slot that was evicted by [`Allocation::fail_node`]
+    /// (or whose node failed in the claim/registration window) reports
+    /// [`ResourceError::NodeFailed`] instead: its resources were already reclaimed,
+    /// so the caller must treat it as released, not as a bug.
     pub fn release_slot(&self, slot: &Slot) -> Result<(), ResourceError> {
         if slot.members.is_empty() {
             return Err(ResourceError::UnknownSlot(slot.id));
         }
         // Validate every membership before mutating anything, so a foreign or corrupt
-        // gang slot cannot be half-released. Node names are immutable, so this needs
-        // no lock at all.
-        for member in &slot.members {
-            match self.node_names.get(member.node_index) {
-                Some(name) if *name == member.node_name => {}
-                _ => return Err(ResourceError::UnknownSlot(slot.id)),
+        // gang slot cannot be half-released. The name map is append-only (fail/shrink
+        // never remove entries), so slots on dead nodes still validate; the read
+        // guard is dropped before any stripe or shard lock is acquired (expand holds
+        // shard locks while appending names — never the reverse order).
+        {
+            let names = self.node_names.read();
+            for member in &slot.members {
+                match names.get(member.node_index) {
+                    Some(name) if *name == member.node_name => {}
+                    _ => return Err(ResourceError::UnknownSlot(slot.id)),
+                }
             }
         }
-        if !self.live_slots[slot.id as usize % LIVE_SLOT_STRIPES]
+        if self.live_slots[slot.id as usize % LIVE_SLOT_STRIPES]
             .lock()
             .remove(&slot.id)
+            .is_none()
         {
-            // Already released (or never issued): must not re-credit cores, GPUs, or —
-            // crucially — memory, which has no occupancy bit to catch the repeat.
+            // Not live. Either a node failure evicted it (report that exactly once,
+            // forgetting the id) or it was already released / never issued — which
+            // must not re-credit cores, GPUs, or — crucially — memory, which has no
+            // occupancy bit to catch the repeat.
+            if let Some(node) = self.failed_slots.lock().remove(&slot.id) {
+                return Err(ResourceError::NodeFailed(node));
+            }
             return Err(ResourceError::UnknownSlot(slot.id));
         }
         // Drain-aware locking: when a drain is (or may be) active, the controller
@@ -1232,6 +1292,12 @@ impl Allocation {
                     take_drain = true;
                     continue;
                 }
+                if node_written_off(&st.nodes[self.local_of(member.node_index)]) {
+                    // The node failed inside the claim/registration window, so
+                    // `fail_node` could not see this slot: its resources died with
+                    // the node (already written off) — nothing to re-credit.
+                    return Err(ResourceError::NodeFailed(member.node_index));
+                }
                 self.release_member_in(&mut st, member);
                 if let Some(drain) = drain_guard.as_mut().and_then(|g| g.as_mut()) {
                     self.pin_after_release(drain, &mut st, member.node_index);
@@ -1253,22 +1319,35 @@ impl Allocation {
                 take_drain = true;
                 continue;
             }
+            // Members on written-off (failed) nodes are skipped: their resources
+            // died with the node. Healthy members release normally either way.
+            let mut failed_member_node = None;
             for member in &slot.members {
                 let shard = self.shard_of(member.node_index);
                 let st = guards[shard].as_mut().expect("member shard locked");
+                if node_written_off(&st.nodes[self.local_of(member.node_index)]) {
+                    failed_member_node.get_or_insert(member.node_index);
+                    continue;
+                }
                 self.release_member_in(st, member);
             }
             if let Some(drain) = drain_guard.as_mut().and_then(|g| g.as_mut()) {
                 for member in &slot.members {
                     let shard = self.shard_of(member.node_index);
                     let st = guards[shard].as_mut().expect("member shard locked");
+                    if node_written_off(&st.nodes[self.local_of(member.node_index)]) {
+                        continue;
+                    }
                     self.pin_after_release(drain, st, member.node_index);
                 }
             }
             for &shard in &shard_ids {
                 self.publish_summary(shard, guards[shard].as_ref().expect("locked"));
             }
-            return Ok(());
+            return match failed_member_node {
+                Some(node) => Err(ResourceError::NodeFailed(node)),
+                None => Ok(()),
+            };
         }
     }
 
@@ -1284,6 +1363,7 @@ impl Allocation {
             && drain.covers(&st.nodes[local])
         {
             st.index.remove(local);
+            st.nodes[local].set_health(NodeHealth::Draining);
             drain.pinned.push(node);
         }
         // The pin-wins guarantee, stated as a postcondition: while the reservation
@@ -1301,6 +1381,271 @@ impl Allocation {
     pub fn is_idle(&self) -> bool {
         self.non_idle_nodes.load(Ordering::Relaxed) == 0
     }
+
+    /// Append `n` fresh, fully idle nodes to the allocation (a pilot growing at
+    /// runtime), returning their global indices.
+    ///
+    /// The striped partition is append-friendly: a new global index `g` lands in
+    /// shard `g % shards` at local index `g / shards`, which is exactly the end of
+    /// that shard's node slice — so expansion appends into the shards without
+    /// moving any existing node or invalidating any outstanding slot. An active
+    /// backfill reservation still short of its target pins eligible new nodes
+    /// before any other placement can see them (same guarantee as
+    /// [`Allocation::release_slot`]'s pin hook).
+    pub fn expand(&self, n: usize) -> Result<Vec<usize>, ResourceError> {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Lock order: drain controller → all shard locks ascending → name-map
+        // write. Holding the controller lets the drain pin fresh capacity in the
+        // same critical section and orders expansion against fail/shrink.
+        let mut drain_guard = self.drain.lock();
+        let all: Vec<usize> = (0..self.num_shards).collect();
+        let mut guards = self.lock_shards(&all);
+        let mut names = self.node_names.write();
+        let spec = self.platform.node;
+        let mut new_nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Physical index = every name ever minted (healthy + failed + retired):
+            // dead nodes keep their slots in the shard vectors, so the striped
+            // mapping stays bijective across the allocation's whole history.
+            let g = names.len();
+            let shard = g % self.num_shards;
+            let st = guards[shard].as_mut().expect("all shards locked");
+            debug_assert_eq!(self.local_of(g), st.nodes.len(), "striped append");
+            let node = NodeState::new(self.platform.node_name(g), spec);
+            names.push(Arc::clone(&node.name));
+            st.nodes.push(node);
+            let local = st.index.push_idle();
+            debug_assert_eq!(local, self.local_of(g));
+            new_nodes.push(g);
+        }
+        drop(names);
+        self.num_nodes.fetch_add(n as u64, Ordering::Relaxed);
+        self.free_cores
+            .fetch_add(n as u64 * spec.cores as u64, Ordering::Relaxed);
+        self.free_gpus
+            .fetch_add(n as u64 * spec.gpus as u64, Ordering::Relaxed);
+        if let Some(drain) = drain_guard.as_mut() {
+            for &g in &new_nodes {
+                let shard = self.shard_of(g);
+                let st = guards[shard].as_mut().expect("all shards locked");
+                self.pin_after_release(drain, st, g);
+            }
+        }
+        for (shard, guard) in guards.iter().enumerate() {
+            if let Some(st) = guard {
+                self.publish_summary(shard, st);
+            }
+        }
+        Ok(new_nodes)
+    }
+
+    /// Retire `n` nodes from the allocation (a pilot shrinking at runtime),
+    /// returning the retired global indices. Shrink is a drain with no waiting
+    /// gang: it runs under the drain-controller lock (so it can never race a
+    /// backfill reservation's pin hook — an active reservation wins and shrink
+    /// reports [`ResourceError::DrainActive`]) and only takes nodes that carry no
+    /// slot. Failed nodes retire first — they are already written off, so
+    /// retiring them costs no capacity — then fully idle healthy ones. All or
+    /// nothing: when fewer than `n` nodes are currently retirable the allocation
+    /// is left untouched and [`ResourceError::InsufficientResources`] is returned
+    /// (the caller retries once load has drained).
+    pub fn shrink(&self, n: usize) -> Result<Vec<usize>, ResourceError> {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let drain_guard = self.drain.lock();
+        if drain_guard.is_some() {
+            return Err(ResourceError::DrainActive);
+        }
+        let all: Vec<usize> = (0..self.num_shards).collect();
+        let mut guards = self.lock_shards(&all);
+        // Candidate pass first, so failure mutates nothing. The failed scan walks
+        // every node entry ever attached (retired ones included), so skip it
+        // entirely on the common no-failure resize path — the counter is exact
+        // under the drain + shard locks we hold.
+        let mut retire_failed: Vec<usize> = Vec::new();
+        let any_failed = self.failed_nodes.load(Ordering::Relaxed) > 0;
+        'failed: for (shard, guard) in guards.iter().enumerate() {
+            if !any_failed {
+                break;
+            }
+            let st = guard.as_ref().expect("all shards locked");
+            for (local, node) in st.nodes.iter().enumerate() {
+                if node.health() == NodeHealth::Failed {
+                    retire_failed.push(self.global_of(shard, local));
+                    if retire_failed.len() == n {
+                        break 'failed;
+                    }
+                }
+            }
+        }
+        let mut retire_idle: Vec<usize> = Vec::new();
+        if retire_failed.len() < n {
+            let want = n - retire_failed.len();
+            'idle: for (shard, guard) in guards.iter().enumerate() {
+                let st = guard.as_ref().expect("all shards locked");
+                for &local in st.index.idle_nodes() {
+                    retire_idle.push(self.global_of(shard, local));
+                    if retire_idle.len() == want {
+                        break 'idle;
+                    }
+                }
+            }
+            if retire_idle.len() < want {
+                return Err(ResourceError::InsufficientResources);
+            }
+        }
+        for &g in &retire_failed {
+            let shard = self.shard_of(g);
+            let st = guards[shard].as_mut().expect("locked");
+            st.nodes[self.local_of(g)].set_health(NodeHealth::Retired);
+        }
+        self.failed_nodes
+            .fetch_sub(retire_failed.len() as u64, Ordering::Relaxed);
+        let spec = self.platform.node;
+        for &g in &retire_idle {
+            let shard = self.shard_of(g);
+            let st = guards[shard].as_mut().expect("locked");
+            let local = self.local_of(g);
+            st.index.remove(local);
+            st.nodes[local].set_health(NodeHealth::Retired);
+        }
+        self.num_nodes
+            .fetch_sub(retire_idle.len() as u64, Ordering::Relaxed);
+        self.free_cores.fetch_sub(
+            retire_idle.len() as u64 * spec.cores as u64,
+            Ordering::Relaxed,
+        );
+        self.free_gpus.fetch_sub(
+            retire_idle.len() as u64 * spec.gpus as u64,
+            Ordering::Relaxed,
+        );
+        for (shard, guard) in guards.iter().enumerate() {
+            if let Some(st) = guard {
+                self.publish_summary(shard, st);
+            }
+        }
+        retire_failed.extend(retire_idle);
+        Ok(retire_failed)
+    }
+
+    /// Fail node `node` at runtime: atomically mark it [`NodeHealth::Failed`],
+    /// remove it from its shard's capacity index and headroom summary, unpin it
+    /// from any active backfill reservation, evict every live slot with a member
+    /// on it (co-resident members on healthy nodes return to their headroom
+    /// classes; the failed node's capacity is written off the allocation's
+    /// aggregates), and return the evicted slot ids so the scheduler can requeue
+    /// their owners. Each victim's eventual [`Allocation::release_slot`] reports
+    /// [`ResourceError::NodeFailed`] instead of double-crediting. Failing a node
+    /// that already failed (or was retired) is a no-op returning no victims.
+    pub fn fail_node(&self, node: usize) -> Result<Vec<u64>, ResourceError> {
+        // Lock order: drain controller → all shard locks ascending → live-slot
+        // stripes (the gang-claim order; release only takes a stripe lock as a
+        // dropped temporary before its shard locks, so no cycle exists).
+        let mut drain_guard = self.drain.lock();
+        let all: Vec<usize> = (0..self.num_shards).collect();
+        let mut guards = self.lock_shards(&all);
+        let shard = self.shard_of(node);
+        let local = self.local_of(node);
+        {
+            let st = guards[shard].as_ref().expect("all shards locked");
+            match st.nodes.get(local).map(|n| n.health()) {
+                None => return Err(ResourceError::UnknownNode(node)),
+                Some(NodeHealth::Failed) | Some(NodeHealth::Retired) => return Ok(Vec::new()),
+                Some(_) => {}
+            }
+        }
+        if let Some(drain) = drain_guard.as_mut() {
+            drain.pinned.retain(|&p| p != node);
+        }
+        {
+            let st = guards[shard].as_mut().expect("locked");
+            if st.index.contains(local) {
+                st.index.remove(local);
+            }
+        }
+        // Evict every live slot with a member on the node. Registered slots are
+        // fully visible here (gang claims register under the shard locks we hold;
+        // single claims registered before our stripe scan are seen, later ones
+        // carry reservations the write-off below accounts for).
+        let mut victims: Vec<Slot> = Vec::new();
+        for stripe in &self.live_slots {
+            let mut stripe = stripe.lock();
+            let ids: Vec<u64> = stripe
+                .iter()
+                .filter(|(_, slot)| slot.members.iter().any(|m| m.node_index == node))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in ids {
+                victims.push(stripe.remove(&id).expect("just listed"));
+            }
+        }
+        {
+            let mut failed_map = self.failed_slots.lock();
+            for slot in &victims {
+                failed_map.insert(slot.id, node);
+            }
+        }
+        for slot in &victims {
+            for member in &slot.members {
+                let member_shard = self.shard_of(member.node_index);
+                let st = guards[member_shard].as_mut().expect("locked");
+                self.release_member_in(st, member);
+                if member.node_index != node {
+                    if let Some(drain) = drain_guard.as_mut() {
+                        self.pin_after_release(drain, st, member.node_index);
+                    }
+                }
+            }
+        }
+        // Write the node off the books. Units still reserved by a slot in the
+        // claim/registration window die with the node: its eventual release
+        // reports NodeFailed and credits nothing.
+        {
+            let st = guards[shard].as_mut().expect("locked");
+            let node_state = &mut st.nodes[local];
+            if !node_state.is_idle() {
+                self.non_idle_nodes.fetch_sub(1, Ordering::Relaxed);
+            }
+            self.free_cores
+                .fetch_sub(node_state.free_cores() as u64, Ordering::Relaxed);
+            self.free_gpus
+                .fetch_sub(node_state.free_gpus() as u64, Ordering::Relaxed);
+            node_state.set_health(NodeHealth::Failed);
+        }
+        self.num_nodes.fetch_sub(1, Ordering::Relaxed);
+        self.failed_nodes.fetch_add(1, Ordering::Relaxed);
+        for (shard, guard) in guards.iter().enumerate() {
+            if let Some(st) = guard {
+                self.publish_summary(shard, st);
+            }
+        }
+        Ok(victims.into_iter().map(|s| s.id).collect())
+    }
+
+    /// True when slot `id` was evicted by a node failure and that eviction has not
+    /// yet been observed through [`Allocation::release_slot`]. A peek: the id is
+    /// only forgotten when the release reports it.
+    pub fn slot_evicted(&self, id: u64) -> bool {
+        self.failed_slots.lock().contains_key(&id)
+    }
+
+    /// Health of global node `node`, or `None` when the index was never part of
+    /// the allocation. O(1) under one shard lock (test/oracle introspection).
+    pub fn node_health(&self, node: usize) -> Option<NodeHealth> {
+        let shard = self.shard_of(node);
+        let local = self.local_of(node);
+        let st = self.shards[shard].lock();
+        st.nodes.get(local).map(|n| n.health())
+    }
+}
+
+/// True when the node's capacity has been written off the allocation's books
+/// (failed, or retired after failing): a release must not re-credit it.
+fn node_written_off(node: &NodeState) -> bool {
+    matches!(node.health(), NodeHealth::Failed | NodeHealth::Retired)
 }
 
 /// The platform's batch / resource manager.
@@ -1414,17 +1759,19 @@ impl BatchSystem {
         Ok(Arc::new(Allocation {
             id,
             platform: self.spec.clone(),
-            num_nodes: req.nodes,
+            num_nodes: AtomicU64::new(req.nodes as u64),
+            failed_nodes: AtomicU64::new(0),
             num_shards,
             shards,
             summaries,
-            node_names,
+            node_names: RwLock::new(node_names),
             free_cores: AtomicU64::new(req.nodes as u64 * self.spec.node.cores as u64),
             free_gpus: AtomicU64::new(req.nodes as u64 * self.spec.node.gpus as u64),
             non_idle_nodes: AtomicU64::new(0),
             live_slots: (0..LIVE_SLOT_STRIPES)
-                .map(|_| Mutex::new(std::collections::HashSet::new()))
+                .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            failed_slots: Mutex::new(HashMap::new()),
             drain: Mutex::new(None),
             drain_active: std::sync::atomic::AtomicBool::new(false),
             probe_cursor: AtomicU64::new(0),
@@ -1435,9 +1782,56 @@ impl BatchSystem {
         }))
     }
 
-    /// Return an allocation's nodes to the free pool.
+    /// Reserve `n` additional nodes from the platform's free pool (a pilot about
+    /// to [`Allocation::expand`]). Atomic against concurrent submissions; fails
+    /// with [`BatchError::Busy`] when the platform cannot spare them right now.
+    pub fn grow(&self, n: usize) -> Result<(), BatchError> {
+        if n == 0 {
+            return Ok(());
+        }
+        if n > self.spec.num_nodes {
+            return Err(BatchError::TooLarge {
+                requested: n,
+                available: self.spec.num_nodes,
+            });
+        }
+        loop {
+            let used = self.nodes_in_use.load(Ordering::Acquire);
+            if used as usize + n > self.spec.num_nodes {
+                return Err(BatchError::Busy);
+            }
+            if self
+                .nodes_in_use
+                .compare_exchange(used, used + n as u64, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Return `n` nodes to the platform's free pool (retired by a shrink).
+    /// Saturating, like [`BatchSystem::release`].
+    pub fn shed(&self, n: usize) {
+        let mut current = self.nodes_in_use.load(Ordering::Acquire);
+        loop {
+            let next = current.saturating_sub(n as u64);
+            match self.nodes_in_use.compare_exchange(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Return an allocation's nodes to the free pool — every node still attached,
+    /// failed-but-not-retired ones included (they were charged until now).
     pub fn release(&self, allocation: &Allocation) {
-        let n = allocation.num_nodes() as u64;
+        let n = allocation.attached_nodes() as u64;
         // Saturating: releasing the same allocation twice must not underflow.
         let mut current = self.nodes_in_use.load(Ordering::Acquire);
         loop {
@@ -1849,12 +2243,17 @@ mod tests {
     }
 
     #[test]
-    fn gang_wider_than_allocation_is_never_satisfiable() {
+    fn gang_wider_than_allocation_is_insufficient_until_it_grows() {
+        // Width against the *current* node set is a capacity condition, not a
+        // shape error — an elastic allocation can expand into the request.
         let b = batch(PlatformId::Local);
-        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
-        let err = alloc.allocate_slot(&cores(1).with_nodes(3)).unwrap_err();
-        assert!(matches!(err, ResourceError::NeverSatisfiable { .. }));
-        assert!(err.to_string().contains("gang"));
+        let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
+        let err = alloc.allocate_slot(&cores(1).with_nodes(2)).unwrap_err();
+        assert!(matches!(err, ResourceError::InsufficientResources));
+        alloc.expand(1).unwrap();
+        let gang = alloc.allocate_slot(&cores(1).with_nodes(2)).unwrap();
+        assert_eq!(gang.num_nodes(), 2);
+        alloc.release_slot(&gang).unwrap();
     }
 
     #[test]
@@ -2332,5 +2731,200 @@ mod tests {
         }
         .to_string()
         .contains('5'));
+    }
+
+    #[test]
+    fn expand_appends_striped_nodes_without_moving_existing_ones() {
+        let b = batch(PlatformId::Delta); // 64 cores, 4 gpus per node
+        let alloc = b
+            .submit(AllocationRequest::nodes(6).with_allocator_shards(4))
+            .unwrap();
+        // Occupy a node so expansion provably leaves existing occupancy alone.
+        let held = alloc.allocate_slot(&gpus(1)).unwrap();
+        let new_nodes = alloc.expand(3).unwrap();
+        assert_eq!(new_nodes, vec![6, 7, 8]);
+        assert_eq!(alloc.num_nodes(), 9);
+        assert_eq!(alloc.total_cores(), 9 * 64);
+        assert_eq!(alloc.free_gpus(), 9 * 4 - 1);
+        assert_eq!(alloc.idle_nodes(), 8);
+        // New nodes are placeable: a 9-node whole-allocation gang now fits once
+        // the held slot is released.
+        alloc.release_slot(&held).unwrap();
+        let gang = alloc.allocate_slot(&cores(64).with_nodes(9)).unwrap();
+        assert_eq!(gang.num_nodes(), 9);
+        let names: Vec<String> = gang
+            .members
+            .iter()
+            .map(|m| m.node_name.to_string())
+            .collect();
+        assert!(names.contains(&"delta-00008".to_string()));
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn shrink_retires_idle_nodes_all_or_nothing() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b
+            .submit(AllocationRequest::nodes(4).with_allocator_shards(2))
+            .unwrap();
+        // Occupy one unit on every node: nothing is retirable.
+        let gang = alloc.allocate_slot(&cores(1).with_nodes(4)).unwrap();
+        assert_eq!(
+            alloc.shrink(1).unwrap_err(),
+            ResourceError::InsufficientResources
+        );
+        assert_eq!(alloc.num_nodes(), 4, "failed shrink must mutate nothing");
+        alloc.release_slot(&gang).unwrap();
+        let retired = alloc.shrink(2).unwrap();
+        assert_eq!(retired.len(), 2);
+        assert_eq!(alloc.num_nodes(), 2);
+        assert_eq!(alloc.free_cores(), 2 * 64);
+        assert_eq!(alloc.idle_nodes(), 2);
+        for &g in &retired {
+            assert_eq!(alloc.node_health(g), Some(NodeHealth::Retired));
+        }
+        // Retired nodes never host placements again: a 3-node gang reports
+        // insufficient capacity (placeable again only if the pilot regrows).
+        assert!(matches!(
+            alloc.allocate_slot(&cores(1).with_nodes(3)),
+            Err(ResourceError::InsufficientResources)
+        ));
+    }
+
+    #[test]
+    fn shrink_with_active_drain_is_rejected() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b.submit(AllocationRequest::nodes(4)).unwrap();
+        let id = alloc.begin_drain(&cores(64).with_nodes(2)).unwrap();
+        assert_eq!(alloc.shrink(1).unwrap_err(), ResourceError::DrainActive);
+        alloc.cancel_drain(id).unwrap();
+        assert_eq!(alloc.shrink(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fail_node_evicts_co_residents_and_writes_off_capacity() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b
+            .submit(AllocationRequest::nodes(4).with_allocator_shards(2))
+            .unwrap();
+        // A 4-node gang plus a single-node slot: failing one node must evict the
+        // gang and the co-resident single if it shares the node.
+        let gang = alloc.allocate_slot(&cores(2).with_nodes(4)).unwrap();
+        let single = alloc.allocate_slot(&cores(1)).unwrap();
+        let shared = single.node_index();
+        let victims = alloc.fail_node(shared).unwrap();
+        assert!(victims.contains(&gang.id));
+        assert!(victims.contains(&single.id));
+        assert_eq!(alloc.num_nodes(), 3);
+        assert_eq!(alloc.failed_nodes(), 1);
+        assert_eq!(alloc.attached_nodes(), 4);
+        assert_eq!(alloc.node_health(shared), Some(NodeHealth::Failed));
+        // Healthy co-resident capacity was reclaimed; the failed node's is gone.
+        assert_eq!(alloc.free_cores(), 3 * 64);
+        assert_eq!(alloc.free_gpus(), 3 * 4);
+        assert_eq!(alloc.idle_nodes(), 3);
+        assert!(alloc.is_idle());
+        // Victim slots are flagged until their owners observe the eviction.
+        assert!(alloc.slot_evicted(gang.id));
+        assert_eq!(
+            alloc.release_slot(&gang).unwrap_err(),
+            ResourceError::NodeFailed(shared)
+        );
+        assert!(!alloc.slot_evicted(gang.id), "reported exactly once");
+        // A second release of the same victim is a plain double release.
+        assert_eq!(
+            alloc.release_slot(&gang).unwrap_err(),
+            ResourceError::UnknownSlot(gang.id)
+        );
+        assert_eq!(
+            alloc.release_slot(&single).unwrap_err(),
+            ResourceError::NodeFailed(shared)
+        );
+        // The failed node never hosts again: fill the remaining three nodes and
+        // check every member landed elsewhere.
+        let refill = alloc.allocate_slot(&cores(64).with_nodes(3)).unwrap();
+        assert!(refill.members.iter().all(|m| m.node_index != shared));
+        alloc.release_slot(&refill).unwrap();
+    }
+
+    #[test]
+    fn fail_node_is_idempotent_and_bounds_checked() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b.submit(AllocationRequest::nodes(2)).unwrap();
+        assert_eq!(
+            alloc.fail_node(99).unwrap_err(),
+            ResourceError::UnknownNode(99)
+        );
+        assert_eq!(alloc.fail_node(1).unwrap(), Vec::<u64>::new());
+        assert_eq!(alloc.fail_node(1).unwrap(), Vec::<u64>::new());
+        assert_eq!(alloc.num_nodes(), 1);
+        assert_eq!(alloc.failed_nodes(), 1);
+    }
+
+    #[test]
+    fn shrink_retires_failed_nodes_first_and_expand_restores() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b
+            .submit(AllocationRequest::nodes(5).with_allocator_shards(4))
+            .unwrap();
+        alloc.fail_node(2).unwrap();
+        // Shrinking by one retires the failed node, costing no healthy capacity.
+        let retired = alloc.shrink(1).unwrap();
+        assert_eq!(retired, vec![2]);
+        assert_eq!(alloc.num_nodes(), 4);
+        assert_eq!(alloc.failed_nodes(), 0);
+        assert_eq!(alloc.free_cores(), 4 * 64);
+        // Expanding back mints a fresh node (the dead index is never reused).
+        let added = alloc.expand(1).unwrap();
+        assert_eq!(added, vec![5]);
+        assert_eq!(alloc.num_nodes(), 5);
+        assert_eq!(alloc.free_cores(), 5 * 64);
+        assert_eq!(alloc.idle_nodes(), 5);
+        assert_eq!(alloc.node_health(2), Some(NodeHealth::Retired));
+    }
+
+    #[test]
+    fn fail_node_unpins_from_active_drain_and_new_capacity_repins() {
+        let b = batch(PlatformId::Delta);
+        let alloc = b.submit(AllocationRequest::nodes(3)).unwrap();
+        // Whole-packing drain pins all three idle nodes.
+        let req = cores(64).with_nodes(3).with_packing(GangPacking::Whole);
+        let id = alloc.begin_drain(&req).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 3);
+        assert_eq!(alloc.node_health(0), Some(NodeHealth::Draining));
+        // Failing a pinned node shrinks the reservation.
+        alloc.fail_node(1).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 2);
+        let status = alloc.drain_status().unwrap();
+        assert_eq!(status.pinned(), 2);
+        assert!(!status.complete());
+        // Expansion hands the fresh node straight to the short reservation.
+        alloc.expand(1).unwrap();
+        assert_eq!(alloc.reserved_nodes(), 3);
+        assert!(alloc.drain_status().unwrap().complete());
+        let gang = alloc.allocate_reserved(id, &req).unwrap();
+        assert_eq!(gang.num_nodes(), 3);
+        assert!(gang.members.iter().all(|m| m.node_index != 1));
+        alloc.release_slot(&gang).unwrap();
+        assert!(alloc.is_idle());
+    }
+
+    #[test]
+    fn batch_grow_and_shed_track_the_free_pool() {
+        let b = batch(PlatformId::Local); // 2 nodes total
+        let alloc = b.submit(AllocationRequest::nodes(1)).unwrap();
+        assert_eq!(b.nodes_in_use(), 1);
+        b.grow(1).unwrap();
+        assert_eq!(b.nodes_in_use(), 2);
+        assert_eq!(b.grow(1).unwrap_err(), BatchError::Busy);
+        assert!(matches!(
+            b.grow(50).unwrap_err(),
+            BatchError::TooLarge { .. }
+        ));
+        b.shed(1);
+        assert_eq!(b.nodes_in_use(), 1);
+        b.release(&alloc);
+        assert_eq!(b.nodes_in_use(), 0);
     }
 }

@@ -43,6 +43,14 @@ pub enum ResourceError {
     /// A drain operation referenced a reservation that does not exist any more —
     /// either never begun, already cancelled, or already consumed by its placement.
     UnknownDrain(u64),
+    /// The slot's node was failed out from under it (`crate::batch::Allocation::
+    /// fail_node`): its resources were already reclaimed when the node was evicted,
+    /// so the caller must treat the slot as released — distinct from
+    /// [`ResourceError::UnknownSlot`], which signals a caller bug (double release,
+    /// foreign slot). The payload is the failed node's allocation-global index.
+    NodeFailed(usize),
+    /// An operation referenced a node index the allocation does not have.
+    UnknownNode(usize),
 }
 
 impl fmt::Display for ResourceError {
@@ -61,6 +69,15 @@ impl fmt::Display for ResourceError {
             }
             ResourceError::UnknownDrain(id) => {
                 write!(f, "unknown or already completed drain reservation {id}")
+            }
+            ResourceError::NodeFailed(node) => {
+                write!(
+                    f,
+                    "node {node} has failed; the slot's resources were reclaimed on eviction"
+                )
+            }
+            ResourceError::UnknownNode(node) => {
+                write!(f, "unknown node index {node}")
             }
         }
     }
@@ -444,6 +461,27 @@ fn return_unit(mask: &mut [u128], total: u32, id: u32) -> bool {
     true
 }
 
+/// Health of a node within an allocation.
+///
+/// `Healthy` nodes participate in placement. `Draining` nodes are pinned by a
+/// backfill reservation (removed from the capacity index, waiting for a gang).
+/// `Failed` nodes were lost at runtime ([`crate::batch::Allocation::fail_node`]):
+/// their slots were evicted and they never re-enter any index. `Retired` nodes
+/// were removed by an explicit shrink ([`crate::batch::Allocation::shrink`]);
+/// like `Failed` it is terminal, but it is an orderly exit, not a fault.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeHealth {
+    /// In service and placeable.
+    #[default]
+    Healthy,
+    /// Pinned by a draining backfill reservation; not placeable until released.
+    Draining,
+    /// Lost at runtime; terminal. Never re-enters a capacity index.
+    Failed,
+    /// Removed by an orderly shrink; terminal.
+    Retired,
+}
+
 /// Mutable occupancy state of one node.
 #[derive(Debug, Clone)]
 pub struct NodeState {
@@ -456,6 +494,7 @@ pub struct NodeState {
     free_cores: u32,
     free_gpus: u32,
     mem_free_gib: f64,
+    health: NodeHealth,
 }
 
 impl NodeState {
@@ -469,7 +508,20 @@ impl NodeState {
             free_cores: spec.cores,
             free_gpus: spec.gpus,
             mem_free_gib: spec.mem_gib,
+            health: NodeHealth::Healthy,
         }
+    }
+
+    /// Current health state.
+    pub fn health(&self) -> NodeHealth {
+        self.health
+    }
+
+    /// Set the health state. Transitions are validated by the allocation (the
+    /// single writer), not here: `Failed` and `Retired` are terminal by
+    /// convention of the callers in `crate::batch`.
+    pub fn set_health(&mut self, health: NodeHealth) {
+        self.health = health;
     }
 
     /// Number of currently free cores (O(1): cached counter).
@@ -878,5 +930,22 @@ mod tests {
         assert!(ResourceError::EmptyRequest
             .to_string()
             .contains("at least one"));
+        assert!(ResourceError::NodeFailed(3).to_string().contains("node 3"));
+        assert!(ResourceError::UnknownNode(7)
+            .to_string()
+            .contains("unknown node"));
+    }
+
+    #[test]
+    fn node_health_defaults_and_transitions() {
+        let mut n = node();
+        assert_eq!(n.health(), NodeHealth::Healthy);
+        n.set_health(NodeHealth::Draining);
+        assert_eq!(n.health(), NodeHealth::Draining);
+        n.set_health(NodeHealth::Failed);
+        assert_eq!(n.health(), NodeHealth::Failed);
+        // Health is orthogonal to occupancy: a failed node still reports its
+        // (reclaimed) free counters.
+        assert!(n.is_idle());
     }
 }

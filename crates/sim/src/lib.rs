@@ -19,6 +19,8 @@
 //!   (IT) samples across threads.
 //! * [`ids`] — process-wide unique, human-readable identifiers (`task.0001`,
 //!   `service.0003`, ...), mirroring the identifier scheme of pilot runtimes.
+//! * [`fault`] — deterministic fault-injection plans: seeded schedules of node
+//!   failures pinned to virtual clock times, so failure scenarios replay exactly.
 //!
 //! All durations recorded through this crate are *virtual* durations: when running under
 //! a [`clock::ScaledClock`] the numbers are directly comparable with the wall-clock
@@ -28,11 +30,13 @@
 
 pub mod clock;
 pub mod dist;
+pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod stats;
 
 pub use clock::{Clock, ClockSpec, ManualClock, RealClock, ScaledClock, SimTime, Stopwatch};
 pub use dist::Dist;
+pub use fault::{FaultEvent, FaultPlan};
 pub use metrics::{BreakdownRecorder, ComponentSample, MetricRegistry};
 pub use stats::{Histogram, OnlineStats, Summary};

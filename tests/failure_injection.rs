@@ -15,6 +15,22 @@ fn session() -> Session {
         .expect("session")
 }
 
+/// Poll `cond` on the session clock until it holds or `timeout_secs` virtual
+/// seconds elapse. Sleeping on the session clock keeps the wait proportional to
+/// simulated time regardless of the clock scale, instead of burning fixed
+/// real-time polls.
+fn wait_until(s: &Session, timeout_secs: f64, mut cond: impl FnMut() -> bool) -> bool {
+    let clock = s.clock();
+    let deadline = clock.now().as_secs_f64() + timeout_secs;
+    while !cond() {
+        if clock.now().as_secs_f64() >= deadline {
+            return false;
+        }
+        clock.sleep(Duration::from_millis(50));
+    }
+    true
+}
+
 #[test]
 fn service_fails_when_model_exceeds_gpu_memory() {
     let s = session();
@@ -64,14 +80,8 @@ fn crashed_service_fails_liveness_probe_and_dependent_clients() {
     svc.request_stop();
     // Wait until the endpoint is gone.
     let registry = s.endpoint_registry();
-    for _ in 0..200 {
-        if registry.lookup("service.crashy").is_none() {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(5));
-    }
     assert!(
-        registry.lookup("service.crashy").is_none(),
+        wait_until(&s, 120.0, || registry.lookup("service.crashy").is_none()),
         "endpoint must be unpublished"
     );
 
@@ -146,6 +156,71 @@ fn oversubscribed_gpus_serialize_but_complete() {
         .expect("all tasks finish");
     assert!(tasks.iter().all(|t| t.state() == TaskState::Done));
     s.close();
+}
+
+/// End-to-end elasticity under a seeded fault plan: a 4-node gang on a 5-node
+/// pilot loses a member mid-run, is requeued at the front of its class, and
+/// completes within its retry budget; the pilot then sheds the failed node and
+/// grows back to size. The occupancy oracle at the end confirms nothing leaked
+/// across the eviction, requeue, shrink, and expand.
+fn elastic_gang_survives_node_failure(shards: usize) {
+    let s = Session::builder("elastic")
+        .platform(PlatformId::Delta)
+        .clock(ClockSpec::scaled(200.0))
+        .seed(99)
+        .allocator_shards(shards)
+        // Node 0 fails 5 virtual seconds after the pilot becomes active, while
+        // the gang (which spans it — placement is seeded) is mid-execution.
+        .fault_plan(FaultPlan::new().fail_at(5.0, 0))
+        .build()
+        .expect("session");
+    let pilot = s
+        .submit_pilot(PilotDescription::new(PlatformId::Delta).nodes(5))
+        .expect("pilot");
+    let gang = s
+        .submit_task(
+            TaskDescription::new("gang")
+                .kind(TaskKind::compute_secs(60.0))
+                .nodes(4)
+                .gang_packing(GangPacking::Whole)
+                .max_retries(2),
+        )
+        .expect("gang");
+    gang.wait_done_timeout(Duration::from_secs(600))
+        .expect("done");
+    assert_eq!(gang.state(), TaskState::Done);
+    assert_eq!(gang.retries(), 1, "gang lost a member once and requeued");
+    assert_eq!(s.metrics().scalar_values("node.failures"), vec![1.0]);
+    assert_eq!(pilot.failed_nodes(), 1);
+    assert_eq!(pilot.attached_nodes(), 5);
+    // `wait_done` observes the state flip; the executor thread releases the
+    // gang's slot just after. Let the release land before reading occupancy.
+    assert!(
+        wait_until(&s, 60.0, || pilot.idle_nodes() == 4),
+        "gang slot must be released after completion"
+    );
+
+    // Shrink sheds the failed node first; growing back attaches a fresh one.
+    assert_eq!(pilot.resize(4).expect("shrink"), 4);
+    assert_eq!(pilot.failed_nodes(), 0);
+    assert_eq!(pilot.resize(5).expect("expand"), 5);
+
+    // Occupancy oracle: five healthy, fully idle nodes and no reservations.
+    assert_eq!(pilot.num_nodes(), 5);
+    assert_eq!(pilot.idle_nodes(), 5);
+    assert_eq!(pilot.free_cores(), 5 * 64);
+    assert_eq!(pilot.reserved_nodes(), 0);
+    s.close();
+}
+
+#[test]
+fn gang_survives_node_failure_and_pilot_resizes_single_shard() {
+    elastic_gang_survives_node_failure(1);
+}
+
+#[test]
+fn gang_survives_node_failure_and_pilot_resizes_four_shards() {
+    elastic_gang_survives_node_failure(4);
 }
 
 #[test]

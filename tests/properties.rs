@@ -1083,11 +1083,314 @@ fn sharded_concurrent_gang_and_drain_interleavings_never_double_book() {
     }
 }
 
+/// Node failures injected into live multithreaded churn — workers mixing single
+/// and gang claims/releases, a drain actor cycling backfill reservations — never
+/// double-book a unit and never leak capacity. The fault seed comes from
+/// `FAULT_SEED` (default 0xFA117) so CI can sweep different failure schedules.
+///
+/// Safety oracle: a shared occupancy set plus a slot registry, both updated under
+/// one mutex. The fault actor holds that mutex *across* `fail_node`, writing the
+/// victims' units off atomically with the eviction — so a racing re-claim of the
+/// freed units can never collide with stale entries. A slot evicted in the window
+/// between its claim and its registration is parked in `evicted_pending` and
+/// skipped when the claimer arrives. Releases of evicted slots must report
+/// `NodeFailed` (tolerated), never a silent double-free.
+///
+/// Teardown oracle: free cores/GPUs equal exactly the healthy remainder, failed
+/// nodes never re-enter the placement indexes (a Whole-packed gang over every
+/// healthy node fits and avoids them), and no drain reservation leaks.
+#[test]
+fn node_failure_during_gang_claim_and_drain_never_double_books_or_leaks() {
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    #[derive(Default)]
+    struct Oracle {
+        live: HashSet<(usize, bool, u32)>,
+        registry: HashMap<u64, Vec<(usize, bool, u32)>>,
+        evicted_pending: HashSet<u64>,
+    }
+
+    fn register(oracle: &Mutex<Oracle>, slot: &hpcml::platform::Slot, case: u64) {
+        let mut units = Vec::new();
+        for m in &slot.members {
+            for &c in &m.core_ids {
+                units.push((m.node_index, false, c));
+            }
+            for &g in &m.gpu_ids {
+                units.push((m.node_index, true, g));
+            }
+        }
+        let mut o = oracle.lock().unwrap();
+        if o.evicted_pending.remove(&slot.id) {
+            // The hosting node died between the claim and this registration; the
+            // units were already written off with the node.
+            return;
+        }
+        let member_nodes: HashSet<usize> = slot.node_indices().collect();
+        assert_eq!(
+            member_nodes.len(),
+            slot.num_nodes(),
+            "case {case}: gang members must be distinct nodes"
+        );
+        for &u in &units {
+            assert!(
+                o.live.insert(u),
+                "case {case}: unit {u:?} double-booked under node failures"
+            );
+        }
+        o.registry.insert(slot.id, units);
+    }
+
+    fn unregister_and_release(
+        oracle: &Mutex<Oracle>,
+        alloc: &hpcml::platform::batch::Allocation,
+        slot: &hpcml::platform::Slot,
+        case: u64,
+    ) {
+        {
+            let mut o = oracle.lock().unwrap();
+            if let Some(units) = o.registry.remove(&slot.id) {
+                for u in units {
+                    assert!(o.live.remove(&u), "case {case}: released unit untracked");
+                }
+            }
+        }
+        match alloc.release_slot(slot) {
+            Ok(()) | Err(ResourceError::NodeFailed(_)) => {}
+            Err(e) => panic!("case {case}: release failed: {e:?}"),
+        }
+    }
+
+    let shards: usize = std::env::var("ALLOC_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let fault_seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFA117);
+    const THREADS: u64 = 3;
+    const OPS: usize = 60;
+    const NODES: usize = 16;
+    const FAULTS: usize = 3;
+
+    for case in 0..6u64 {
+        let seed = fault_seed ^ (case.wrapping_mul(0x9E37_79B9));
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+        let alloc = batch
+            .submit(AllocationRequest::nodes(NODES).with_allocator_shards(shards))
+            .unwrap();
+        let spec = alloc.node_spec();
+        let oracle: Arc<Mutex<Oracle>> = Arc::new(Mutex::new(Oracle::default()));
+
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for _ in 0..1200 {
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                eprintln!("fault interleaving property: case {case} exceeded 120 s — deadlock?");
+                std::process::abort();
+            });
+        }
+
+        let actors_done = Arc::new(AtomicBool::new(false));
+        let drains_done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let alloc = Arc::clone(&alloc);
+            let oracle = Arc::clone(&oracle);
+            let actors_done = Arc::clone(&actors_done);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xFA17 ^ t));
+                let mut slots: Vec<hpcml::platform::Slot> = Vec::new();
+                let mut ops = 0usize;
+                while ops < OPS || !actors_done.load(Ordering::Acquire) {
+                    ops += 1;
+                    if !slots.is_empty() && rng.gen_bool(0.45) {
+                        let idx = rng.gen_range(0usize..slots.len());
+                        let slot = slots.swap_remove(idx);
+                        unregister_and_release(&oracle, &alloc, &slot, case);
+                    } else {
+                        let gang_nodes = if rng.gen_bool(0.4) {
+                            rng.gen_range(2usize..6)
+                        } else {
+                            1
+                        };
+                        let req = ResourceRequest {
+                            cores: rng.gen_range(1u32..spec.cores / 2 + 1),
+                            gpus: rng.gen_range(0u32..spec.gpus / 2 + 1),
+                            mem_gib: 0.0,
+                            nodes: gang_nodes,
+                            packing: match rng.gen_range(0u32..3) {
+                                0 => Some(GangPacking::Whole),
+                                1 => Some(GangPacking::Partial),
+                                _ => None,
+                            },
+                        };
+                        if let Ok(slot) = alloc.allocate_slot(&req) {
+                            register(&oracle, &slot, case);
+                            slots.push(slot);
+                        }
+                    }
+                }
+                for slot in &slots {
+                    unregister_and_release(&oracle, &alloc, slot, case);
+                }
+            }));
+        }
+        // The drain actor: backfill reservations racing the failures. A drain
+        // whose pinned node dies mid-reservation is unpinned by `fail_node`; the
+        // actor retries until its deadline, then cancels — either way nothing may
+        // stay reserved.
+        {
+            let alloc = Arc::clone(&alloc);
+            let oracle = Arc::clone(&oracle);
+            let drains_done = Arc::clone(&drains_done);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xD4A1);
+                for _ in 0..4 {
+                    let req = ResourceRequest {
+                        cores: rng.gen_range(1u32..spec.cores / 2 + 1),
+                        gpus: 0,
+                        mem_gib: 0.0,
+                        nodes: rng.gen_range(2usize..6),
+                        packing: Some(if rng.gen_bool(0.5) {
+                            GangPacking::Whole
+                        } else {
+                            GangPacking::Partial
+                        }),
+                    };
+                    let id = match alloc.begin_drain(&req) {
+                        Ok(id) => id,
+                        Err(_) => continue,
+                    };
+                    let deadline = Instant::now() + Duration::from_millis(100);
+                    loop {
+                        match alloc.allocate_reserved(id, &req) {
+                            Ok(slot) => {
+                                register(&oracle, &slot, case);
+                                unregister_and_release(&oracle, &alloc, &slot, case);
+                                break;
+                            }
+                            Err(ResourceError::InsufficientResources) => {
+                                if Instant::now() >= deadline {
+                                    alloc.cancel_drain(id).unwrap();
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            Err(_) => {
+                                alloc.cancel_drain(id).unwrap();
+                                break;
+                            }
+                        }
+                    }
+                }
+                drains_done.store(true, Ordering::Release);
+            }));
+        }
+        // The fault actor: seeded node failures against the live churn, with the
+        // victims' units written off atomically under the oracle lock.
+        let fault_handle = {
+            let alloc = Arc::clone(&alloc);
+            let oracle = Arc::clone(&oracle);
+            let drains_done = Arc::clone(&drains_done);
+            let actors_done = Arc::clone(&actors_done);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xFA11ED);
+                let mut failed: HashSet<usize> = HashSet::new();
+                for _ in 0..FAULTS {
+                    std::thread::sleep(Duration::from_millis(5));
+                    let node = rng.gen_range(0usize..NODES);
+                    let mut o = oracle.lock().unwrap();
+                    match alloc.fail_node(node) {
+                        Ok(victims) => {
+                            failed.insert(node);
+                            for id in victims {
+                                if let Some(units) = o.registry.remove(&id) {
+                                    for u in units {
+                                        assert!(
+                                            o.live.remove(&u),
+                                            "case {case}: evicted unit untracked"
+                                        );
+                                    }
+                                } else {
+                                    o.evicted_pending.insert(id);
+                                }
+                            }
+                        }
+                        Err(e) => panic!("case {case}: fail_node: {e:?}"),
+                    }
+                }
+                // Keep workers churning until the drain actor has also finished,
+                // so its last reservations race post-failure traffic too.
+                while !drains_done.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                actors_done.store(true, Ordering::Release);
+                failed
+            })
+        };
+        let failed_nodes = fault_handle.join().unwrap();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+
+        // Teardown: nothing live, nothing reserved, capacity equals exactly the
+        // healthy remainder.
+        let healthy = NODES - failed_nodes.len();
+        assert!(oracle.lock().unwrap().live.is_empty(), "case {case}");
+        assert_eq!(alloc.failed_nodes(), failed_nodes.len(), "case {case}");
+        assert_eq!(alloc.num_nodes(), healthy, "case {case}");
+        assert_eq!(alloc.idle_nodes(), healthy, "case {case}: idle restored");
+        assert_eq!(
+            alloc.free_cores(),
+            healthy as u32 * spec.cores,
+            "case {case}: core capacity equals the healthy remainder"
+        );
+        assert_eq!(
+            alloc.free_gpus(),
+            healthy as u32 * spec.gpus,
+            "case {case}: gpu capacity equals the healthy remainder"
+        );
+        assert_eq!(alloc.reserved_nodes(), 0, "case {case}: no drain leaked");
+        assert!(alloc.drain_status().is_none(), "case {case}");
+        // Failed nodes never re-enter the indexes: a Whole-packed gang across
+        // every healthy node fits and avoids them.
+        let all = alloc
+            .allocate_slot(&ResourceRequest {
+                cores: spec.cores,
+                gpus: spec.gpus,
+                mem_gib: 0.0,
+                nodes: healthy,
+                packing: Some(GangPacking::Whole),
+            })
+            .expect("healthy remainder must be fully claimable");
+        for n in all.node_indices() {
+            assert!(
+                !failed_nodes.contains(&n),
+                "case {case}: failed node {n} re-entered placement"
+            );
+        }
+        alloc.release_slot(&all).unwrap();
+    }
+}
+
 #[test]
 fn task_state_walks_reach_terminal_states() {
     for_each_case("task_state_walks_reach_terminal_states", |rng| {
         let mut state = TaskState::New;
         let mut steps = 0;
+        let mut retries = 0;
         for _ in 0..rng.gen_range(1usize..32) {
             let successors = state.successors();
             if successors.is_empty() {
@@ -1095,12 +1398,18 @@ fn task_state_walks_reach_terminal_states() {
             }
             let next = successors[rng.gen_range(0usize..successors.len())];
             assert!(state.can_transition_to(next));
+            // The only cycle is the requeue edge a node failure takes:
+            // Executing → Scheduling (and back through placement).
+            if state == TaskState::Executing && next == TaskState::Scheduling {
+                retries += 1;
+            }
             state = next;
             steps += 1;
         }
         assert!(
-            steps <= 6,
-            "the task state graph has no cycles, walk length {steps}"
+            steps <= 6 + 2 * retries,
+            "outside the retry cycle the task state graph is acyclic, \
+             walk length {steps} with {retries} retries"
         );
     });
 }
