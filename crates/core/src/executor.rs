@@ -43,7 +43,7 @@ use crate::describe::{ServicePlacement, ServiceSelector, TaskKind};
 use crate::error::RuntimeError;
 use crate::metrics::RuntimeMetrics;
 use crate::records::{BootstrapTimes, ServiceRecord, TaskRecord};
-use crate::scheduler::{Priority, Scheduler};
+use crate::scheduler::{AdmissionTicket, Priority, Scheduler};
 use crate::states::{ServiceState, TaskState};
 
 /// Metadata key under which a service's model name is published.
@@ -148,7 +148,25 @@ impl Executor {
         let this = Arc::clone(self);
         let handle = std::thread::Builder::new()
             .name(record.id.clone())
-            .spawn(move || this.run_task(record, scheduler))
+            .spawn(move || this.run_task(record, scheduler, None))
+            .expect("failed to spawn task thread");
+        self.handles.lock().push(handle);
+    }
+
+    /// Spawn the lifecycle thread of a task whose placement request was already
+    /// admitted through [`Scheduler::submit_batch`]: the thread consumes the
+    /// [`AdmissionTicket`] instead of enqueueing again, so the task keeps the FIFO
+    /// place its batch admission recorded.
+    pub fn spawn_task_admitted(
+        self: &Arc<Self>,
+        record: Arc<TaskRecord>,
+        scheduler: Arc<Scheduler>,
+        ticket: AdmissionTicket,
+    ) {
+        let this = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(record.id.clone())
+            .spawn(move || this.run_task(record, Some(scheduler), Some(ticket)))
             .expect("failed to spawn task thread");
         self.handles.lock().push(handle);
     }
@@ -314,17 +332,29 @@ impl Executor {
 
     // ------------------------------------------------------------------ tasks
 
-    fn run_task(&self, record: Arc<TaskRecord>, scheduler: Option<Arc<Scheduler>>) {
+    fn run_task(
+        &self,
+        record: Arc<TaskRecord>,
+        scheduler: Option<Arc<Scheduler>>,
+        mut ticket: Option<AdmissionTicket>,
+    ) {
         // Retry loop for node-failure evictions: a task that lost its slot re-enters
         // scheduling (at the front of its wait queue) up to `max_retries` times, with
         // exponential backoff on the session clock between attempts. Any other error
         // — and an eviction once the budget is spent — fails the task.
         let mut attempt = 0u32;
         loop {
-            let err = match self.run_task_inner(&record, scheduler.clone(), attempt > 0) {
-                Ok(()) => return,
-                Err(e) => e,
-            };
+            let err =
+                match self.run_task_inner(&record, scheduler.clone(), attempt > 0, &mut ticket) {
+                    Ok(()) => return,
+                    Err(e) => e,
+                };
+            // A pre-admitted ticket the attempt never consumed must leave its
+            // queue, or it would sit at its shard's head forever, blocking the
+            // FIFO behind it.
+            if let (Some(unused), Some(s)) = (ticket.take(), scheduler.as_ref()) {
+                s.cancel_admitted(unused);
+            }
             let evicted = matches!(err, RuntimeError::Resource(ResourceError::NodeFailed(_)));
             if evicted && attempt < record.description.max_retries {
                 attempt += 1;
@@ -348,6 +378,7 @@ impl Executor {
         record: &Arc<TaskRecord>,
         scheduler: Option<Arc<Scheduler>>,
         requeue: bool,
+        ticket: &mut Option<AdmissionTicket>,
     ) -> Result<(), RuntimeError> {
         let desc = record.description.clone();
 
@@ -367,8 +398,12 @@ impl Executor {
         })?;
         let wait_start = std::time::Instant::now();
         // A retry after a node failure re-enters its wait queue at the front: the
-        // task already waited its turn before the eviction.
-        let (slot, placement) = if requeue {
+        // task already waited its turn before the eviction. A batch-admitted task
+        // consumes its ticket instead of enqueueing again (first attempt only —
+        // the ticket is gone once consumed).
+        let (slot, placement) = if let Some(admitted) = ticket.take() {
+            scheduler.allocate_admitted_with_stats(admitted, DEPENDENCY_TIMEOUT)?
+        } else if requeue {
             scheduler.requeue_with_stats(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?
         } else {
             scheduler.allocate_with_stats(&desc.resources, Priority::Task, DEPENDENCY_TIMEOUT)?

@@ -9,31 +9,72 @@
 //! * service priority (pending service placements starve ordinary tasks, not vice versa),
 //! * immediate rejection of requests that could never be satisfied by the node shape,
 //! * gang placement: a multi-node MPI request (`ResourceRequest::nodes > 1`) parks in
-//!   the same FIFO queues and is granted atomically once enough idle nodes exist.
+//!   the same FIFO queues and is granted atomically once enough idle nodes exist,
+//! * batched admission: a burst of submissions enqueues under one lock round-trip per
+//!   touched queue shard ([`Scheduler::submit_batch`]) and places asynchronously.
 //!
-//! ## Wait-queue design
+//! ## Sharded wait-queue front-end
 //!
-//! Waiters park in two explicit FIFO queues (services ahead of tasks) and each waiter
-//! owns its own condition variable — its *wake slot*. A release notifies the waiters in
-//! the serve window instead of `notify_all`-ing every parked thread, so a free-capacity
-//! event costs at most `lookahead` targeted wakeups regardless of queue depth (no
-//! thundering herd), and wakeup order is the arrival order (condvar wakeups are
-//! unordered in practice, which made the old implementation effectively LIFO under load
-//! and could starve long waiters). Newcomers never overtake parked waiters of their
-//! class: the fast path is only taken when the relevant queues are empty, so arrival
-//! order is always recorded and the window below is the *only* overtaking mechanism.
+//! Waiters park in explicit FIFO queues and each waiter owns its own condition
+//! variable — its *wake slot*. A release notifies the waiters in the serve window
+//! instead of `notify_all`-ing every parked thread, so a free-capacity event costs at
+//! most `lookahead` targeted wakeups per shard regardless of queue depth (no
+//! thundering herd), and wakeup order is the arrival order. Newcomers never overtake
+//! parked waiters of their class: the fast path is only taken when no waiter of the
+//! relevant classes is parked, so arrival order is always recorded and the window
+//! below is the *only* overtaking mechanism.
+//!
+//! The queues themselves are striped into [`Scheduler::queue_shards`] independently
+//! locked shards so that admission and wakeup traffic from many submitting threads
+//! stops serialising on one mutex (the allocator below was sharded first — see
+//! `AllocationRequest::with_allocator_shards` — which left this front-end as the
+//! remaining serial section):
+//!
+//! * **Shard key.** Services always park on shard 0: the service class is never
+//!   striped, because its absolute priority needs one authoritative arrival order.
+//!   Tasks are striped round-robin by an admission rotor, so each shard holds an
+//!   arrival-ordered subsequence of the task stream and per-shard FIFO is the sharded
+//!   relaxation of the global FIFO (exact at one shard).
+//! * **Service gate.** A cross-shard atomic count of parked services gates every
+//!   task-side decision — fast path, serve window, drain trigger, final attempt — so
+//!   tasks in *any* shard never place while a service waits, exactly as before.
+//! * **Drain gate.** The single active backfill reservation lives behind its own leaf
+//!   lock, acquired only while a shard lock is held (lock order: shard → drain gate →
+//!   allocation; shard locks are never nested). A parking service still cancels a
+//!   task-class drain through the gate regardless of which shard the gang parked on.
+//! * **Cross-shard wakeup order.** A departure or release first wakes the service
+//!   window on shard 0; only when no service waits does it fan out to the task
+//!   shards, visiting only shards with parked tasks (per-shard counters make the
+//!   skip cheap) and waking each shard's first `lookahead` tasks.
+//!
+//! With `queue_shards = 1` every waiter shares one shard and the behaviour is the
+//! bit-exact legacy single-queue scheduler — the escape hatch
+//! `SessionBuilder::scheduler_queue_shards(1)` pins it.
+//!
+//! ## Batched admission
+//!
+//! [`Scheduler::submit_batch`] admits a burst of requests in one pass: entries are
+//! validated, assigned their home shards, and appended queue-shard by queue-shard —
+//! one lock round-trip per *touched shard* instead of one per request — and the
+//! caller gets back one [`AdmissionTicket`] per entry. A ticket holds the waiter's
+//! place in its FIFO shard; [`Scheduler::allocate_admitted`] turns it into a slot
+//! (blocking like [`Scheduler::allocate`]) and [`Scheduler::cancel_admitted`]
+//! abandons it without placing (a ticket dropped on an error path would otherwise
+//! block its shard's FIFO forever). Admission records arrival order exactly like
+//! one-by-one submission, so a batch at one queue shard places identically to the
+//! same submissions made individually.
 //!
 //! ## Bounded lookahead
 //!
 //! Strict FIFO implies head-of-line blocking: a wide gang at the head parks narrow
 //! requests behind it even when they would fit right now. A scheduler built with
 //! [`Scheduler::with_lookahead`] relaxes FIFO *within* a priority class: the first `k`
-//! parked waiters of the serving class may attempt placement, so a blocked wide gang
-//! lets smaller requests inside the window through while keeping its place at the
-//! head. Service priority stays absolute — tasks never place while any service waits,
-//! exactly as with `k = 1` — so the PR-1 guarantee that services are never starved by
-//! tasks holds for every window size. `k = 1` (the [`Scheduler::new`] default) is the
-//! strict-FIFO no-starvation behaviour.
+//! parked waiters of the serving class (per shard) may attempt placement, so a blocked
+//! wide gang lets smaller requests inside the window through while keeping its place
+//! at the head. Service priority stays absolute — tasks never place while any service
+//! waits, exactly as with `k = 1` — so the PR-1 guarantee that services are never
+//! starved by tasks holds for every window size. `k = 1` (the [`Scheduler::new`]
+//! default) is the strict-FIFO no-starvation behaviour.
 //!
 //! ## Gang backfill with ageing
 //!
@@ -52,6 +93,13 @@
 //! one member share (a full idle transition under [`GangPacking::Whole`]; any
 //! share-covering headroom under [`GangPacking::Partial`] — see the packing section
 //! below). Set both knobs to `None` to restore the pure PR-2 lookahead behaviour.
+//!
+//! With more than one queue shard, arrival order *across* task shards is not tracked,
+//! so a successful task placement conservatively ages the parked head of every other
+//! task shard one tick as well as the waiters ahead of it in its own shard. The head
+//! is what the drain trigger watches; erring toward draining sooner keeps starvation
+//! bounded exactly as with one shard (a gang whose shard sees no traffic would
+//! otherwise never drain while churn lands on sibling shards).
 //!
 //! ## Gang packing: whole vs partial nodes
 //!
@@ -75,7 +123,10 @@
 //! reservation on the way out, returning every pinned node to its headroom class.
 //! And because service priority is absolute, a *service* parking while a task-class
 //! reservation is active cancels that drain (the task head re-opens it once no
-//! service waits), so pinned nodes can never idle-block a waiting service.
+//! service waits), so pinned nodes can never idle-block a waiting service. With
+//! multiple queue shards that cancellation can race the gang's own reserved
+//! placement attempt; the attempt then reports `UnknownDrain` and the gang falls
+//! back to plain waiting, exactly as if it had observed the cancellation first.
 //!
 //! One further deliberate deviation: a waiter whose timeout expires makes one explicit
 //! final allocation attempt even when it is outside the window (services still shield
@@ -88,22 +139,23 @@
 //! When a node fails, its co-resident slots are evicted by the allocation
 //! ([`hpcml_platform::batch::Allocation::fail_node`]) and their owners discover the
 //! loss through [`Scheduler::slot_lost`]. A victim re-enters placement through
-//! [`Scheduler::requeue`], which parks at the *front* of its priority-class queue:
-//! the task already waited its turn once, so the failure must not send it to the back
-//! behind arrivals it had previously beaten. [`Scheduler::release`] tolerates
-//! [`ResourceError::NodeFailed`] — the allocation already reclaimed the slot's
-//! resources on eviction, so the scheduler still decrements its outstanding count and
-//! passes the wakeup on, surfacing the error only so the caller can tell the two
-//! paths apart. [`Scheduler::notify_capacity`] lets the pilot layer re-probe parked
-//! waiters after an allocation grows ([`hpcml_platform::batch::Allocation::expand`]),
-//! which releases no slot and would otherwise wake nobody.
+//! [`Scheduler::requeue`], which parks at the *front* of its priority-class queue
+//! (on a freshly assigned shard): the task already waited its turn once, so the
+//! failure must not send it to the back behind arrivals it had previously beaten.
+//! [`Scheduler::release`] tolerates [`ResourceError::NodeFailed`] — the allocation
+//! already reclaimed the slot's resources on eviction, so the scheduler still
+//! decrements its outstanding count and passes the wakeup on, surfacing the error
+//! only so the caller can tell the two paths apart. [`Scheduler::notify_capacity`]
+//! lets the pilot layer re-probe parked waiters after an allocation grows
+//! ([`hpcml_platform::batch::Allocation::expand`]), which releases no slot and would
+//! otherwise wake nobody.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use hpcml_platform::batch::Allocation;
 use hpcml_platform::resources::{GangPacking, ResourceError, ResourceRequest, Slot};
@@ -113,12 +165,17 @@ use crate::error::RuntimeError;
 /// Default overtake budget before a parked head gang flips into draining mode.
 pub const DEFAULT_MAX_OVERTAKES: u32 = 16;
 
+/// Minimum attached nodes per queue shard when the shard count is derived rather
+/// than pinned: small allocations collapse to one shard (the exact legacy queue).
+const MIN_NODES_PER_QUEUE_SHARD: usize = 16;
+
 /// One parked placement request: a dedicated condition variable the releaser can
 /// target, making wakeups O(1) and ordered.
 struct Waiter {
     cond: Condvar,
     /// How many later arrivals of this waiter's class placed while it stayed parked.
-    /// Mutated only under the scheduler lock; atomic so `Waiter` stays `Sync`.
+    /// Mutated under the waiter's shard lock — and, cross-shard, by sibling-shard
+    /// placers that hold *their* shard lock — so it is atomic, not lock-protected.
     overtakes: AtomicU32,
 }
 
@@ -141,34 +198,15 @@ struct ActiveDrain {
     priority: Priority,
 }
 
+/// One wait-queue shard: arrival-ordered FIFO queues per priority class. Services
+/// only ever populate shard 0; the per-class split is kept per shard so the wait
+/// loop's position probes stay class-local.
 #[derive(Default)]
-struct SchedState {
-    /// Service placements waiting for resources, in arrival order.
+struct ShardState {
+    /// Service placements waiting for resources, in arrival order (shard 0 only).
     services: VecDeque<Arc<Waiter>>,
-    /// Task placements waiting for resources, in arrival order.
+    /// Task placements waiting for resources, in arrival order within this shard.
     tasks: VecDeque<Arc<Waiter>>,
-    /// Total slots handed out and not yet released (for observability).
-    outstanding_slots: usize,
-    /// Active backfill reservation, if any (mirrors the allocation's drain and is
-    /// mutated only together with it, under this state's lock).
-    drain: Option<ActiveDrain>,
-}
-
-impl SchedState {
-    /// Wake every waiter inside the serve window through their private wake slots:
-    /// the first `window` services, or — only when no service waits — the first
-    /// `window` tasks (service priority is absolute). With a window of 1 this is
-    /// exactly the old wake-the-head behaviour.
-    fn wake_window(&self, window: usize) {
-        let class = if self.services.is_empty() {
-            &self.tasks
-        } else {
-            &self.services
-        };
-        for waiter in class.iter().take(window) {
-            waiter.cond.notify_one();
-        }
-    }
 }
 
 /// Priority class of a placement request.
@@ -195,12 +233,84 @@ pub struct PlacementStats {
     pub shard_probes: u32,
 }
 
+/// A parked waiter created by [`Scheduler::submit_batch`]: the request already
+/// holds its FIFO place in its queue shard. Consume it with
+/// [`Scheduler::allocate_admitted`] to block until placement, or return it with
+/// [`Scheduler::cancel_admitted`] — an abandoned ticket would otherwise sit at its
+/// shard's head forever, blocking the FIFO behind it.
+#[must_use = "an admitted request must be placed via allocate_admitted or returned via cancel_admitted"]
+pub struct AdmissionTicket {
+    waiter: Arc<Waiter>,
+    shard: usize,
+    req: ResourceRequest,
+    priority: Priority,
+}
+
+impl AdmissionTicket {
+    /// The queue shard this ticket's waiter parked on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The priority class the request was admitted under.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+}
+
+impl std::fmt::Debug for AdmissionTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionTicket")
+            .field("shard", &self.shard)
+            .field("priority", &self.priority)
+            .finish()
+    }
+}
+
+/// The result of one [`Scheduler::submit_batch`] call: the per-request tickets plus
+/// the admission's fan-out shape, which the session surfaces as
+/// `task.admission.shard_batch` / `task.admission.shard_wakeups` metrics.
+#[derive(Debug)]
+pub struct BatchAdmission {
+    /// One ticket per submitted request, in submission order.
+    pub tickets: Vec<AdmissionTicket>,
+    /// How many of the batch's waiters were appended to each queue shard.
+    pub shard_batches: Vec<usize>,
+    /// Targeted wakeups per shard issued by the post-admission window wake.
+    pub shard_wakeups: Vec<usize>,
+}
+
 /// Scheduler bound to one pilot allocation.
+///
+/// Lock order: queue shard → drain gate → allocation. Shard locks are never
+/// nested; cross-shard work (wakeup fan-out, head ageing) visits shards one at a
+/// time with no other shard lock held.
 pub struct Scheduler {
     allocation: Arc<Allocation>,
-    state: Mutex<SchedState>,
-    /// Serve window: how many parked waiters of the serving class may attempt a
-    /// placement. 1 = strict FIFO; service priority is absolute at every size.
+    /// Wait-queue shards. Shard 0 holds every parked service; tasks are striped by
+    /// the admission rotor.
+    shards: Vec<Mutex<ShardState>>,
+    /// The drain gate: the single active backfill reservation (mirrors the
+    /// allocation's drain and is mutated only together with it, under this lock,
+    /// itself only taken while a shard lock is held).
+    drain: Mutex<Option<ActiveDrain>>,
+    /// Parked services across all shards (always shard 0) — the cross-shard service
+    /// gate every task-side decision reads.
+    waiting_services: AtomicUsize,
+    /// Parked tasks across all shards.
+    waiting_tasks: AtomicUsize,
+    /// Parked tasks per shard, so wakeup fan-out can skip empty shards without
+    /// taking their locks.
+    shard_tasks: Vec<AtomicUsize>,
+    /// Targeted wakeups issued per shard (observability: `shard_wakeup_counts`).
+    shard_wakeups: Vec<AtomicU64>,
+    /// Total slots handed out and not yet released (for observability).
+    outstanding: AtomicUsize,
+    /// Round-robin task shard assignment.
+    rotor: AtomicUsize,
+    /// Serve window: how many parked waiters of the serving class (per shard) may
+    /// attempt a placement. 1 = strict FIFO; service priority is absolute at every
+    /// size.
     lookahead: usize,
     /// Overtake budget before a parked head gang flips to draining (`None` = never
     /// drain on overtakes).
@@ -215,13 +325,13 @@ pub struct Scheduler {
 
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.state.lock();
         f.debug_struct("Scheduler")
             .field("free_cores", &self.allocation.free_cores())
             .field("free_gpus", &self.allocation.free_gpus())
-            .field("waiting_services", &st.services.len())
-            .field("waiting_tasks", &st.tasks.len())
-            .field("outstanding_slots", &st.outstanding_slots)
+            .field("waiting_services", &self.waiting_services())
+            .field("waiting_tasks", &self.waiting_tasks())
+            .field("outstanding_slots", &self.outstanding_slots())
+            .field("queue_shards", &self.queue_shards())
             .field("lookahead", &self.lookahead)
             .finish()
     }
@@ -236,16 +346,56 @@ impl Scheduler {
     /// Create a scheduler serving the first `lookahead` parked waiters of the
     /// serving class that fit (head-of-line relief for mixed request widths within a
     /// priority class; tasks still never overtake a waiting service). Clamped to at
-    /// least 1.
+    /// least 1. The queue-shard count is derived from the host parallelism and the
+    /// allocation's node count — pin it with [`Scheduler::with_queue_shards`].
     pub fn with_lookahead(allocation: Arc<Allocation>, lookahead: usize) -> Self {
-        Scheduler {
+        let queue_shards = Scheduler::derived_queue_shards(&allocation);
+        let mut scheduler = Scheduler {
             allocation,
-            state: Mutex::new(SchedState::default()),
+            shards: Vec::new(),
+            drain: Mutex::new(None),
+            waiting_services: AtomicUsize::new(0),
+            waiting_tasks: AtomicUsize::new(0),
+            shard_tasks: Vec::new(),
+            shard_wakeups: Vec::new(),
+            outstanding: AtomicUsize::new(0),
+            rotor: AtomicUsize::new(0),
             lookahead: lookahead.max(1),
             max_overtakes: Some(DEFAULT_MAX_OVERTAKES),
             gang_drain_after: None,
             gang_packing: GangPacking::default(),
-        }
+        };
+        scheduler.resize_shards(queue_shards);
+        scheduler
+    }
+
+    /// The derived queue-shard count: one shard per `MIN_NODES_PER_QUEUE_SHARD`
+    /// attached nodes, capped by the host parallelism — small allocations collapse
+    /// to one shard, reproducing the single-queue scheduler exactly.
+    fn derived_queue_shards(allocation: &Allocation) -> usize {
+        let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+        parallelism
+            .min(allocation.num_nodes() / MIN_NODES_PER_QUEUE_SHARD)
+            .max(1)
+    }
+
+    fn resize_shards(&mut self, count: usize) {
+        let count = count.max(1);
+        self.shards = (0..count)
+            .map(|_| Mutex::new(ShardState::default()))
+            .collect();
+        self.shard_tasks = (0..count).map(|_| AtomicUsize::new(0)).collect();
+        self.shard_wakeups = (0..count).map(|_| AtomicU64::new(0)).collect();
+    }
+
+    /// Set the wait-queue shard count: `Some(n)` pins it (clamped to at least 1,
+    /// with `Some(1)` as the bit-exact legacy single-queue escape hatch); `None`
+    /// re-derives it from the host parallelism and the allocation's node count.
+    /// Builder-time only — must be called before any waiter parks.
+    pub fn with_queue_shards(mut self, shards: Option<usize>) -> Self {
+        let count = shards.unwrap_or_else(|| Scheduler::derived_queue_shards(&self.allocation));
+        self.resize_shards(count);
+        self
     }
 
     /// Set the session-level default gang packing policy: [`GangPacking::Partial`]
@@ -301,51 +451,76 @@ impl Scheduler {
         self.gang_packing
     }
 
+    /// Number of wait-queue shards (1 = the legacy single-queue front-end).
+    pub fn queue_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of slots currently handed out.
     pub fn outstanding_slots(&self) -> usize {
-        self.state.lock().outstanding_slots
+        self.outstanding.load(Ordering::Acquire)
     }
 
     /// Number of service placements currently waiting for resources.
     pub fn waiting_services(&self) -> usize {
-        self.state.lock().services.len()
+        self.waiting_services.load(Ordering::Acquire)
     }
 
-    /// Number of task placements currently waiting for resources.
+    /// Number of task placements currently waiting for resources (all shards).
     pub fn waiting_tasks(&self) -> usize {
-        self.state.lock().tasks.len()
+        self.waiting_tasks.load(Ordering::Acquire)
     }
 
-    /// Whether a parked waiter at `position` within its class queue may attempt a
-    /// placement: within the first `lookahead` entries of its class, and — for tasks —
-    /// only while no service waits (service priority is absolute for every window
-    /// size). With lookahead 1 this is exactly "services: at the head; tasks: at the
-    /// head with no service waiting".
-    fn in_window(&self, st: &SchedState, priority: Priority, position: usize) -> bool {
+    /// Cumulative targeted wakeups issued per queue shard since construction.
+    pub fn shard_wakeup_counts(&self) -> Vec<u64> {
+        self.shard_wakeups
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The home shard for a new waiter: services always park on shard 0 (one
+    /// authoritative service arrival order); tasks stripe round-robin.
+    fn home_shard(&self, priority: Priority) -> usize {
+        match priority {
+            Priority::Service => 0,
+            Priority::Task => self.rotor.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
+        }
+    }
+
+    /// Whether a parked waiter at `position` within its class queue (in its shard)
+    /// may attempt a placement: within the first `lookahead` entries, and — for
+    /// tasks — only while no service waits anywhere (service priority is absolute
+    /// for every window size and shard count).
+    fn in_window(&self, priority: Priority, position: usize) -> bool {
         match priority {
             Priority::Service => position < self.lookahead,
-            Priority::Task => st.services.is_empty() && position < self.lookahead,
+            Priority::Task => {
+                self.waiting_services.load(Ordering::Acquire) == 0 && position < self.lookahead
+            }
         }
     }
 
     /// Whether the parked `waiter` — eligible but just denied a placement — should
-    /// flip into draining mode: it is a gang at the head of its class, no other drain
-    /// is active, draining is enabled, and either its overtake budget is spent or it
-    /// has waited past the age threshold. A task head never opens a drain while a
-    /// service waits (the reservation would hold nodes the service must get first).
+    /// flip into draining mode: it is a gang at the head of its class in its shard,
+    /// no other drain is active (`drain_free`: the gate was observed empty this
+    /// iteration), draining is enabled, and either its overtake budget is spent or
+    /// it has waited past the age threshold. A task head never opens a drain while
+    /// a service waits (the reservation would hold nodes the service must get
+    /// first).
     fn should_drain(
         &self,
-        st: &SchedState,
+        drain_free: bool,
         req: &ResourceRequest,
         priority: Priority,
         position: Option<usize>,
         waiter: &Arc<Waiter>,
         parked_at: Instant,
     ) -> bool {
-        if !req.is_gang() || st.drain.is_some() || position != Some(0) {
+        if !req.is_gang() || !drain_free || position != Some(0) {
             return false;
         }
-        if priority == Priority::Task && !st.services.is_empty() {
+        if priority == Priority::Task && self.waiting_services.load(Ordering::Acquire) > 0 {
             return false;
         }
         let overtaken = self
@@ -359,22 +534,117 @@ impl Scheduler {
 
     /// Cancel the active drain when `condition` holds for it, returning its pinned
     /// nodes to the idle bucket. The owner discovers the loss on its next wakeup
-    /// (its `st.drain` ownership test fails) and falls back to plain waiting.
-    fn cancel_drain_if(&self, st: &mut SchedState, condition: impl Fn(&ActiveDrain) -> bool) {
-        if st.drain.as_ref().is_some_and(condition) {
-            let drain = st.drain.take().expect("checked above");
-            let _ = self.allocation.cancel_drain(drain.id);
+    /// (its drain-gate ownership test fails) and falls back to plain waiting.
+    fn cancel_drain_if(&self, condition: impl Fn(&ActiveDrain) -> bool) {
+        let mut drain = self.drain.lock();
+        if drain.as_ref().is_some_and(condition) {
+            let active = drain.take().expect("checked above");
+            let _ = self.allocation.cancel_drain(active.id);
         }
     }
 
+    /// Wake the waiters in the serve window, cross-shard: the service window on
+    /// shard 0 first; only when no service waits, the task window of every shard
+    /// with parked tasks. Called with **no shard lock held** — each shard is locked
+    /// one at a time, so the fan-out can never deadlock against a parker, and
+    /// because waiters release their shard lock only inside their condvar wait, a
+    /// notification issued under the shard lock is never lost.
+    fn wake_windows(&self) {
+        self.wake_windows_recording(None);
+    }
+
+    /// [`Scheduler::wake_windows`], optionally recording the per-shard wakeup count
+    /// into `record` (used by [`Scheduler::submit_batch`] for its fan-out metrics).
+    fn wake_windows_recording(&self, mut record: Option<&mut [usize]>) {
+        let mut note = |shard: usize, woken: u64| {
+            self.shard_wakeups[shard].fetch_add(woken, Ordering::Relaxed);
+            if let Some(rec) = record.as_deref_mut() {
+                rec[shard] += woken as usize;
+            }
+        };
+        if self.waiting_services.load(Ordering::Acquire) > 0 {
+            let st = self.shards[0].lock();
+            let mut woken = 0u64;
+            for waiter in st.services.iter().take(self.lookahead) {
+                waiter.cond.notify_one();
+                woken += 1;
+            }
+            if woken > 0 {
+                note(0, woken);
+                return;
+            }
+            // Raced: the waiting services departed between the gate read and the
+            // lock; fall through to the task shards.
+        }
+        for (idx, shard) in self.shards.iter().enumerate() {
+            if self.shard_tasks[idx].load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let st = shard.lock();
+            let mut woken = 0u64;
+            for waiter in st.tasks.iter().take(self.lookahead) {
+                waiter.cond.notify_one();
+                woken += 1;
+            }
+            if woken > 0 {
+                note(idx, woken);
+            }
+        }
+    }
+
+    /// Append `waiter` to its class queue in `st` (front on requeue) and bump the
+    /// waiting counters. A parking service also cancels an active task-class drain:
+    /// service priority extends to reservations, so pinned nodes can never
+    /// idle-block a service. The task head re-opens its drain once no service waits
+    /// (its overtake count is preserved).
+    fn park(
+        &self,
+        st: &mut ShardState,
+        shard_idx: usize,
+        waiter: &Arc<Waiter>,
+        priority: Priority,
+        requeue: bool,
+    ) {
+        let queue = match priority {
+            Priority::Service => &mut st.services,
+            Priority::Task => &mut st.tasks,
+        };
+        if requeue {
+            queue.push_front(Arc::clone(waiter));
+        } else {
+            queue.push_back(Arc::clone(waiter));
+        }
+        match priority {
+            Priority::Service => {
+                self.waiting_services.fetch_add(1, Ordering::AcqRel);
+                self.cancel_drain_if(|d| d.priority == Priority::Task);
+            }
+            Priority::Task => {
+                self.waiting_tasks.fetch_add(1, Ordering::AcqRel);
+                self.shard_tasks[shard_idx].fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Whether `req` could ever be satisfied by the allocation's node shape — the
+    /// admission predicate of [`Scheduler::allocate`] and the filter
+    /// `Session::submit_tasks` applies before batching (a request merely too wide
+    /// for the *current* node set is admissible: allocations are elastic).
+    pub fn admissible(&self, req: &ResourceRequest) -> bool {
+        matches!(
+            self.allocation.check_satisfiable(req),
+            Ok(()) | Err(ResourceError::InsufficientResources)
+        )
+    }
+
     /// Allocate a slot, blocking (up to `timeout` of real time) until resources are
-    /// available. Requests are served in FIFO order within their priority class,
-    /// relaxed only by the bounded lookahead window; task-priority requests
-    /// additionally wait while any service placement is pending, so services are
-    /// never starved by a flood of tasks. A gang request (`req.nodes > 1`) waits like
-    /// any other request until enough idle nodes exist, then claims them atomically —
-    /// ageing into a backfill reservation first when it keeps being overtaken (see
-    /// the module docs).
+    /// available. Requests are served in FIFO order within their priority class
+    /// (per queue shard), relaxed only by the bounded lookahead window;
+    /// task-priority requests additionally wait while any service placement is
+    /// pending, so services are never starved by a flood of tasks. A gang request
+    /// (`req.nodes > 1`) waits like any other request until enough idle nodes
+    /// exist, then claims them atomically — ageing into a backfill reservation
+    /// first when it keeps being overtaken (see the module docs).
     pub fn allocate(
         &self,
         req: &ResourceRequest,
@@ -441,25 +711,30 @@ impl Scheduler {
         // policy wins, otherwise the scheduler's session default applies. Every fit
         // attempt below — fast path, lookahead window, drain, final try — uses the
         // resolved request, so the allocation layer never guesses.
-        let req = &req.or_packing(self.gang_packing);
+        let req = req.or_packing(self.gang_packing);
 
         let parked_at = Instant::now();
         let deadline = parked_at + timeout;
-        let mut st = self.state.lock();
+        let shard_idx = self.home_shard(priority);
+        let mut st = self.shards[shard_idx].lock();
 
         // Fast path: nothing is parked ahead of this request, try immediately without
         // paying for a queue entry. Deliberately stricter than the serve window —
         // newcomers always queue when anyone of their class waits, so a stream of
         // arrivals can never rotate through the window without recording arrival
-        // order.
+        // order. The counters are read under the home-shard lock, so at one queue
+        // shard this is exactly the legacy queues-empty check.
         let fast_eligible = match priority {
-            Priority::Service => st.services.is_empty(),
-            Priority::Task => st.services.is_empty() && st.tasks.is_empty(),
+            Priority::Service => self.waiting_services.load(Ordering::Acquire) == 0,
+            Priority::Task => {
+                self.waiting_services.load(Ordering::Acquire) == 0
+                    && self.waiting_tasks.load(Ordering::Acquire) == 0
+            }
         };
         if fast_eligible {
-            match self.allocation.allocate_slot_with_stats(req) {
+            match self.allocation.allocate_slot_with_stats(&req) {
                 Ok((slot, probes)) => {
-                    st.outstanding_slots += 1;
+                    self.outstanding.fetch_add(1, Ordering::AcqRel);
                     return Ok((
                         slot,
                         PlacementStats {
@@ -477,24 +752,26 @@ impl Scheduler {
         // front of the class queue (the request already waited its turn once) — and
         // wait for a targeted wakeup.
         let waiter = Waiter::new();
-        let queue = match priority {
-            Priority::Service => &mut st.services,
-            Priority::Task => &mut st.tasks,
-        };
-        if requeue {
-            queue.push_front(Arc::clone(&waiter));
-        } else {
-            queue.push_back(Arc::clone(&waiter));
-        }
+        self.park(&mut st, shard_idx, &waiter, priority, requeue);
+        self.wait_placed(shard_idx, st, &waiter, &req, priority, parked_at, deadline)
+    }
 
-        // Service priority extends to reservations: a parking service cancels an
-        // active task-class drain, so pinned nodes can never idle-block a service.
-        // The task head re-opens its drain once no service waits (its overtake count
-        // is preserved).
-        if priority == Priority::Service {
-            self.cancel_drain_if(&mut st, |d| d.priority == Priority::Task);
-        }
-
+    /// The parked-waiter wait loop: runs with the home-shard lock held continuously
+    /// (released only inside the condvar wait), attempting placement whenever the
+    /// waiter is inside its serve window, opening/consuming a backfill reservation
+    /// per the ageing rules, and performing the exit bookkeeping — queue removal,
+    /// overtake ticking, drain cleanup, cross-shard wakeup fan-out.
+    #[allow(clippy::too_many_arguments)]
+    fn wait_placed(
+        &self,
+        shard_idx: usize,
+        mut st: MutexGuard<'_, ShardState>,
+        waiter: &Arc<Waiter>,
+        req: &ResourceRequest,
+        priority: Priority,
+        parked_at: Instant,
+        deadline: Instant,
+    ) -> Result<(Slot, PlacementStats), RuntimeError> {
         // When this waiter began draining (real time), for the drain_secs metric.
         let mut drained_at: Option<Instant> = None;
 
@@ -508,13 +785,19 @@ impl Scheduler {
             let position = queue
                 .iter()
                 .take(self.lookahead)
-                .position(|w| Arc::ptr_eq(w, &waiter));
-            let eligible = position.is_some_and(|p| self.in_window(&st, priority, p));
-            let mut my_drain = st
-                .drain
-                .as_ref()
-                .filter(|d| Arc::ptr_eq(&d.owner, &waiter))
-                .map(|d| d.id);
+                .position(|w| Arc::ptr_eq(w, waiter));
+            let eligible = position.is_some_and(|p| self.in_window(priority, p));
+            // Peek the drain gate once per iteration: whether any reservation is
+            // active, and whether it is this waiter's.
+            let (mut my_drain, any_drain) = {
+                let gate = self.drain.lock();
+                (
+                    gate.as_ref()
+                        .filter(|d| Arc::ptr_eq(&d.owner, waiter))
+                        .map(|d| d.id),
+                    gate.is_some(),
+                )
+            };
             if my_drain.is_none() {
                 // The reservation was cancelled externally (a service parked): this
                 // waiter is back to plain waiting, so the drain clock must not keep
@@ -528,6 +811,16 @@ impl Scheduler {
                     match self.allocation.allocate_reserved_with_stats(drain_id, req) {
                         Ok((slot, probes)) => break Ok((slot, probes.shard_probes)),
                         Err(ResourceError::InsufficientResources) => {}
+                        // The gate peek raced a cross-shard cancellation (a service
+                        // parked on shard 0 between the peek and this attempt):
+                        // fall back to plain waiting, exactly as if the
+                        // cancellation had been observed first. Impossible at one
+                        // queue shard, where the gate only changes under the
+                        // (single) shard lock.
+                        Err(ResourceError::UnknownDrain(_)) => {
+                            my_drain = None;
+                            drained_at = None;
+                        }
                         Err(e) => break Err(RuntimeError::Resource(e)),
                     }
                 }
@@ -539,14 +832,29 @@ impl Scheduler {
                 }
                 // Placement denied: check whether this head gang has aged out of
                 // plain waiting and should open a backfill reservation.
-                if self.should_drain(&st, req, priority, position, &waiter, parked_at) {
-                    match self.allocation.begin_drain(req) {
-                        Ok(id) => {
-                            st.drain = Some(ActiveDrain {
-                                id,
-                                owner: Arc::clone(&waiter),
-                                priority,
-                            });
+                if self.should_drain(!any_drain, req, priority, position, waiter, parked_at) {
+                    let begun = {
+                        let mut gate = self.drain.lock();
+                        // Re-check under the gate: another shard's head may have
+                        // opened a reservation since the peek.
+                        if gate.is_some() {
+                            None
+                        } else {
+                            match self.allocation.begin_drain(req) {
+                                Ok(id) => {
+                                    *gate = Some(ActiveDrain {
+                                        id,
+                                        owner: Arc::clone(waiter),
+                                        priority,
+                                    });
+                                    Some(Ok(id))
+                                }
+                                Err(e) => Some(Err(e)),
+                            }
+                        }
+                    };
+                    match begun {
+                        Some(Ok(id)) => {
                             my_drain = Some(id);
                             drained_at = Some(Instant::now());
                             // The already-idle nodes may complete the reservation
@@ -559,9 +867,10 @@ impl Scheduler {
                         }
                         // Raced by another allocation user — or the pilot is
                         // currently too small for the gang; retry on a later wakeup.
-                        Err(ResourceError::DrainActive)
-                        | Err(ResourceError::InsufficientResources) => {}
-                        Err(e) => break Err(RuntimeError::Resource(e)),
+                        Some(Err(ResourceError::DrainActive))
+                        | Some(Err(ResourceError::InsufficientResources))
+                        | None => {}
+                        Some(Err(e)) => break Err(RuntimeError::Resource(e)),
                     }
                 }
             }
@@ -570,12 +879,18 @@ impl Scheduler {
                 // while this waiter was outside the window (or between the last wait
                 // and the deadline). Service priority is still honoured — a task makes
                 // its last-gasp attempt only when no service is waiting.
-                let may_final_try = priority == Priority::Service || st.services.is_empty();
+                let may_final_try = priority == Priority::Service
+                    || self.waiting_services.load(Ordering::Acquire) == 0;
                 if may_final_try {
-                    // `my_drain` is current: it was derived this iteration under the
-                    // continuously held lock.
                     let attempt = match my_drain {
-                        Some(id) => self.allocation.allocate_reserved_with_stats(id, req),
+                        Some(id) => match self.allocation.allocate_reserved_with_stats(id, req) {
+                            // Reservation cancelled under us: the plain path is
+                            // still worth the last try.
+                            Err(ResourceError::UnknownDrain(_)) => {
+                                self.allocation.allocate_slot_with_stats(req)
+                            }
+                            other => other,
+                        },
                         None => self.allocation.allocate_slot_with_stats(req),
                     }
                     .map(|(slot, probes)| (slot, probes.shard_probes));
@@ -600,7 +915,7 @@ impl Scheduler {
             // draining/ineligible), wait on the request deadline alone — state
             // changes that matter always come with a targeted wakeup.
             let mut wake_at = deadline;
-            if st.drain.is_none() && req.is_gang() {
+            if my_drain.is_none() && !any_drain && req.is_gang() {
                 if let Some(after) = self.gang_drain_after {
                     let drain_deadline = parked_at + after;
                     if drain_deadline > Instant::now() {
@@ -611,48 +926,71 @@ impl Scheduler {
             waiter.cond.wait_until(&mut st, wake_at);
         };
 
-        // Drain cleanup: if this waiter still owns the scheduler-side reservation,
-        // release it. After a successful reserved placement the allocation side is
-        // already consumed, so the cancel inside is a no-op error that is ignored;
-        // on a timeout or error it returns every pinned node to the idle bucket.
-        self.cancel_drain_if(&mut st, |d| Arc::ptr_eq(&d.owner, &waiter));
+        // Drain cleanup: if this waiter still owns the reservation, release it.
+        // After a successful reserved placement the allocation side is already
+        // consumed, so the cancel inside is a no-op error that is ignored; on a
+        // timeout or error it returns every pinned node to the idle bucket.
+        self.cancel_drain_if(|d| Arc::ptr_eq(&d.owner, waiter));
 
         // Overtake bookkeeping: this waiter placing while earlier arrivals of its
         // class stay parked ages each of them one tick (the head is what the drain
         // trigger watches). Positions ahead are within the window except on the rare
         // post-timeout final attempt, so the scan is O(lookahead) in steady state.
+        let mut age_sibling_shards = false;
         if result.is_ok() {
             let queue = match priority {
                 Priority::Service => &st.services,
                 Priority::Task => &st.tasks,
             };
-            if let Some(my_pos) = queue.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+            if let Some(my_pos) = queue.iter().position(|w| Arc::ptr_eq(w, waiter)) {
                 for overtaken in queue.iter().take(my_pos) {
                     overtaken.overtakes.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            age_sibling_shards = priority == Priority::Task && self.shards.len() > 1;
         }
 
         // Leave the queue. The departure shifts everyone behind this waiter one
         // position forward, so a new waiter may have entered the window (a departing
         // service can unblock tasks, a successful head may leave capacity for its
-        // successor): pass the wakeup on.
+        // successor): pass the wakeup on below, after the shard lock drops.
         match priority {
             Priority::Service => {
-                if let Some(idx) = st.services.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+                if let Some(idx) = st.services.iter().position(|w| Arc::ptr_eq(w, waiter)) {
                     st.services.remove(idx);
+                    self.waiting_services.fetch_sub(1, Ordering::AcqRel);
                 }
             }
             Priority::Task => {
-                if let Some(idx) = st.tasks.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+                if let Some(idx) = st.tasks.iter().position(|w| Arc::ptr_eq(w, waiter)) {
                     st.tasks.remove(idx);
+                    self.waiting_tasks.fetch_sub(1, Ordering::AcqRel);
+                    self.shard_tasks[shard_idx].fetch_sub(1, Ordering::AcqRel);
                 }
             }
         }
         if result.is_ok() {
-            st.outstanding_slots += 1;
+            self.outstanding.fetch_add(1, Ordering::AcqRel);
         }
-        st.wake_window(self.lookahead);
+        drop(st);
+
+        // Cross-shard ageing: arrival order across task shards is not tracked, so a
+        // successful placement conservatively ages the parked head of every other
+        // task shard one tick — the head is what the drain trigger watches, and
+        // erring toward draining sooner keeps starvation bounded exactly as with
+        // one shard. Shards are visited one at a time with no other lock held.
+        if age_sibling_shards {
+            for (idx, shard) in self.shards.iter().enumerate() {
+                if idx == shard_idx || self.shard_tasks[idx].load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                if let Some(head) = shard.lock().tasks.front() {
+                    head.overtakes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        self.wake_windows();
         result.map(|(slot, shard_probes)| {
             (
                 slot,
@@ -665,6 +1003,145 @@ impl Scheduler {
         })
     }
 
+    /// Admit a burst of requests in one pass: every entry is validated against the
+    /// node shape (the whole batch is rejected on the first impossible request —
+    /// pre-filter with [`Scheduler::admissible`] to keep mixed batches alive), home
+    /// shards are assigned in submission order, and the waiters are appended with
+    /// one lock round-trip per *touched* queue shard. Returns one
+    /// [`AdmissionTicket`] per request plus the admission's per-shard fan-out
+    /// shape. The window wake after admission lets already-free capacity serve the
+    /// batch heads immediately.
+    pub fn submit_batch(
+        &self,
+        requests: &[(ResourceRequest, Priority)],
+    ) -> Result<BatchAdmission, RuntimeError> {
+        for (req, _) in requests {
+            match self.allocation.check_satisfiable(req) {
+                Ok(()) | Err(ResourceError::InsufficientResources) => {}
+                Err(e) => return Err(RuntimeError::Resource(e)),
+            }
+        }
+        let shard_count = self.shards.len();
+        // Home shards in submission order, so the rotor striping matches what
+        // one-by-one submission would have produced.
+        let assignments: Vec<usize> = requests
+            .iter()
+            .map(|(_, priority)| self.home_shard(*priority))
+            .collect();
+        let mut tickets: Vec<Option<AdmissionTicket>> = requests.iter().map(|_| None).collect();
+        let mut shard_batches = vec![0usize; shard_count];
+        let mut admitted_service = false;
+        for (shard_idx, shard_batch) in shard_batches.iter_mut().enumerate() {
+            let mut guard: Option<MutexGuard<'_, ShardState>> = None;
+            for (i, (req, priority)) in requests.iter().enumerate() {
+                if assignments[i] != shard_idx {
+                    continue;
+                }
+                let st = guard.get_or_insert_with(|| self.shards[shard_idx].lock());
+                let waiter = Waiter::new();
+                let queue = match priority {
+                    Priority::Service => &mut st.services,
+                    Priority::Task => &mut st.tasks,
+                };
+                queue.push_back(Arc::clone(&waiter));
+                match priority {
+                    Priority::Service => {
+                        self.waiting_services.fetch_add(1, Ordering::AcqRel);
+                        admitted_service = true;
+                    }
+                    Priority::Task => {
+                        self.waiting_tasks.fetch_add(1, Ordering::AcqRel);
+                        self.shard_tasks[shard_idx].fetch_add(1, Ordering::AcqRel);
+                    }
+                }
+                *shard_batch += 1;
+                tickets[i] = Some(AdmissionTicket {
+                    waiter,
+                    shard: shard_idx,
+                    req: req.or_packing(self.gang_packing),
+                    priority: *priority,
+                });
+            }
+        }
+        // Service priority extends to reservations, batched or not: an admitted
+        // service cancels an active task-class drain.
+        if admitted_service {
+            self.cancel_drain_if(|d| d.priority == Priority::Task);
+        }
+        let mut shard_wakeups = vec![0usize; shard_count];
+        self.wake_windows_recording(Some(&mut shard_wakeups));
+        Ok(BatchAdmission {
+            tickets: tickets
+                .into_iter()
+                .map(|t| t.expect("every request was assigned a shard"))
+                .collect(),
+            shard_batches,
+            shard_wakeups,
+        })
+    }
+
+    /// Consume an [`AdmissionTicket`]: block (up to `timeout` of real time) until
+    /// the admitted request places, exactly like [`Scheduler::allocate`] from the
+    /// parked state. The gang-ageing clock starts at this call, not at admission.
+    pub fn allocate_admitted(
+        &self,
+        ticket: AdmissionTicket,
+        timeout: Duration,
+    ) -> Result<Slot, RuntimeError> {
+        self.allocate_admitted_with_stats(ticket, timeout)
+            .map(|(slot, _)| slot)
+    }
+
+    /// [`Scheduler::allocate_admitted`], additionally returning [`PlacementStats`].
+    pub fn allocate_admitted_with_stats(
+        &self,
+        ticket: AdmissionTicket,
+        timeout: Duration,
+    ) -> Result<(Slot, PlacementStats), RuntimeError> {
+        let AdmissionTicket {
+            waiter,
+            shard,
+            req,
+            priority,
+        } = ticket;
+        let parked_at = Instant::now();
+        let deadline = parked_at + timeout;
+        let st = self.shards[shard].lock();
+        self.wait_placed(shard, st, &waiter, &req, priority, parked_at, deadline)
+    }
+
+    /// Abandon an [`AdmissionTicket`] without placing: the waiter leaves its queue
+    /// and the window wake passes on, so the FIFO behind it is not blocked. Used by
+    /// the executor when an admitted task errors before reaching allocation.
+    pub fn cancel_admitted(&self, ticket: AdmissionTicket) {
+        let AdmissionTicket {
+            waiter,
+            shard,
+            priority,
+            ..
+        } = ticket;
+        {
+            let mut st = self.shards[shard].lock();
+            match priority {
+                Priority::Service => {
+                    if let Some(idx) = st.services.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+                        st.services.remove(idx);
+                        self.waiting_services.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                Priority::Task => {
+                    if let Some(idx) = st.tasks.iter().position(|w| Arc::ptr_eq(w, &waiter)) {
+                        st.tasks.remove(idx);
+                        self.waiting_tasks.fetch_sub(1, Ordering::AcqRel);
+                        self.shard_tasks[shard].fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
+        }
+        self.cancel_drain_if(|d| Arc::ptr_eq(&d.owner, &waiter));
+        self.wake_windows();
+    }
+
     /// Release a previously allocated slot and wake the waiters in the serve window.
     ///
     /// A slot whose node failed ([`ResourceError::NodeFailed`]) was already reclaimed
@@ -675,9 +1152,12 @@ impl Scheduler {
         let result = self.allocation.release_slot(slot);
         match result {
             Ok(()) | Err(ResourceError::NodeFailed(_)) => {
-                let mut st = self.state.lock();
-                st.outstanding_slots = st.outstanding_slots.saturating_sub(1);
-                st.wake_window(self.lookahead);
+                let _ = self
+                    .outstanding
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        Some(n.saturating_sub(1))
+                    });
+                self.wake_windows();
                 result.map_err(RuntimeError::Resource)
             }
             Err(e) => Err(RuntimeError::Resource(e)),
@@ -693,13 +1173,14 @@ impl Scheduler {
 
     /// Re-probe parked waiters after capacity appeared without a release — e.g. the
     /// pilot expanded its allocation. Releases wake the window themselves; this is
-    /// for capacity that arrives out of band.
+    /// for capacity that arrives out of band. The fan-out only visits shards whose
+    /// classes could place: the service window on shard 0 shields everything while
+    /// a service waits, and task shards with no parked tasks are skipped without
+    /// taking their locks.
     pub fn notify_capacity(&self) {
-        let st = self.state.lock();
-        st.wake_window(self.lookahead);
+        self.wake_windows();
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1093,15 +1574,19 @@ mod tests {
 
     /// Acceptance scenario, drain ON: a 4-node whole-node gang parked behind a stream
     /// of 1-node whole-node tasks places within its overtake budget once draining,
-    /// because every node the stream releases is pinned to the reservation.
-    #[test]
-    fn draining_gang_places_within_its_overtake_budget() {
+    /// because every node the stream releases is pinned to the reservation. With
+    /// more than one queue shard the stream lands on sibling shards and the gang is
+    /// aged by the cross-shard head ticking instead of same-queue overtakes.
+    fn draining_gang_places_within_its_overtake_budget_at(queue_shards: usize) {
         const MAX_OVERTAKES: u32 = 3;
         let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 3);
         let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
         let cores_per_node = alloc.node_spec().cores;
-        let s =
-            Arc::new(Scheduler::with_lookahead(alloc, 2).with_max_overtakes(Some(MAX_OVERTAKES)));
+        let s = Arc::new(
+            Scheduler::with_lookahead(alloc, 2)
+                .with_max_overtakes(Some(MAX_OVERTAKES))
+                .with_queue_shards(Some(queue_shards)),
+        );
         let narrow = cores(cores_per_node); // whole single node
         let gang_req = cores(cores_per_node).with_nodes(4); // all four nodes, idle
 
@@ -1170,6 +1655,16 @@ mod tests {
         assert_eq!(s.outstanding_slots(), 0);
         assert_eq!(s.allocation().idle_nodes(), 4);
         assert_eq!(s.allocation().reserved_nodes(), 0);
+    }
+
+    #[test]
+    fn draining_gang_places_within_its_overtake_budget() {
+        draining_gang_places_within_its_overtake_budget_at(1);
+    }
+
+    #[test]
+    fn draining_gang_places_within_its_overtake_budget_with_four_queue_shards() {
+        draining_gang_places_within_its_overtake_budget_at(4);
     }
 
     /// Acceptance contrast, drain OFF: the identical scenario with draining disabled
@@ -1249,14 +1744,14 @@ mod tests {
     /// overtake budget, because each churn release frees one member share of
     /// headroom (40 ≥ 32 cores) and partial pinning captures it while the resident
     /// slots keep running.
-    #[test]
-    fn partial_drain_places_gang_under_subnode_churn_within_budget() {
+    fn partial_drain_places_gang_under_subnode_churn_within_budget_at(queue_shards: usize) {
         const MAX_OVERTAKES: u32 = 3;
         let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 3);
         let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
         let s = Arc::new(
             Scheduler::with_lookahead(Arc::clone(&alloc), 2)
-                .with_max_overtakes(Some(MAX_OVERTAKES)),
+                .with_max_overtakes(Some(MAX_OVERTAKES))
+                .with_queue_shards(Some(queue_shards)),
         );
         assert_eq!(s.gang_packing(), GangPacking::Partial, "session default");
         let (residents, mut churn) = subnode_churn_fixture(&s);
@@ -1334,6 +1829,16 @@ mod tests {
         assert_eq!(s.outstanding_slots(), 0);
         assert_eq!(alloc.idle_nodes(), 4);
         assert_eq!(alloc.reserved_nodes(), 0);
+    }
+
+    #[test]
+    fn partial_drain_places_gang_under_subnode_churn_within_budget() {
+        partial_drain_places_gang_under_subnode_churn_within_budget_at(1);
+    }
+
+    #[test]
+    fn partial_drain_places_gang_under_subnode_churn_within_budget_with_four_queue_shards() {
+        partial_drain_places_gang_under_subnode_churn_within_budget_at(4);
     }
 
     /// Acceptance contrast, `Whole` packing: the identical sub-node churn scenario
@@ -1830,5 +2335,166 @@ mod tests {
             assert_eq!(alloc.failed_nodes(), 1);
             assert_eq!(alloc.reserved_nodes(), 0);
         }
+    }
+
+    #[test]
+    fn queue_shards_knob_pins_and_derives() {
+        let s = scheduler(PlatformId::Local, 1);
+        assert_eq!(s.queue_shards(), 1, "small allocations derive one shard");
+        let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 3);
+        let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
+        let pinned = Scheduler::new(Arc::clone(&alloc)).with_queue_shards(Some(4));
+        assert_eq!(pinned.queue_shards(), 4);
+        assert_eq!(pinned.shard_wakeup_counts(), vec![0; 4]);
+        let clamped = Scheduler::new(alloc).with_queue_shards(Some(0));
+        assert_eq!(clamped.queue_shards(), 1, "clamped to at least 1");
+        assert!(format!("{clamped:?}").contains("queue_shards"));
+    }
+
+    #[test]
+    fn submit_batch_fans_out_across_shards_and_every_ticket_places() {
+        let s = Arc::new(scheduler(PlatformId::Local, 2).with_queue_shards(Some(2)));
+        // Fill both nodes so the whole batch parks instead of fast-pathing.
+        let hold_a = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let hold_b = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let admission = s.submit_batch(&[(cores(4), Priority::Task); 4]).unwrap();
+        assert_eq!(admission.tickets.len(), 4);
+        assert_eq!(
+            admission.shard_batches,
+            vec![2, 2],
+            "the rotor stripes the batch evenly across both shards"
+        );
+        assert_eq!(s.waiting_tasks(), 4);
+        let threads: Vec<_> = admission
+            .tickets
+            .into_iter()
+            .map(|ticket| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || s.allocate_admitted(ticket, Duration::from_secs(10)))
+            })
+            .collect();
+        s.release(&hold_a).unwrap();
+        s.release(&hold_b).unwrap();
+        let slots: Vec<Slot> = threads
+            .into_iter()
+            .map(|t| t.join().unwrap().expect("admitted ticket places"))
+            .collect();
+        assert_eq!(s.outstanding_slots(), 4);
+        for slot in &slots {
+            s.release(slot).unwrap();
+        }
+        assert_eq!(s.waiting_tasks(), 0);
+        assert_eq!(s.outstanding_slots(), 0);
+        assert_eq!(s.allocation().free_cores(), 16);
+        assert!(
+            s.shard_wakeup_counts().iter().sum::<u64>() > 0,
+            "releases must have issued targeted wakeups"
+        );
+    }
+
+    #[test]
+    fn batched_admission_preserves_fifo_order_at_one_shard() {
+        let s = Arc::new(scheduler(PlatformId::Local, 1).with_queue_shards(Some(1)));
+        let hold = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let admission = s.submit_batch(&[(cores(8), Priority::Task); 3]).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let threads: Vec<_> = admission
+            .tickets
+            .into_iter()
+            .enumerate()
+            .map(|(i, ticket)| {
+                let s = Arc::clone(&s);
+                let order = Arc::clone(&order);
+                thread::spawn(move || {
+                    let slot = s
+                        .allocate_admitted(ticket, Duration::from_secs(10))
+                        .unwrap();
+                    order.lock().push(i);
+                    s.release(&slot).unwrap();
+                })
+            })
+            .collect();
+        s.release(&hold).unwrap();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Whole-node requests at lookahead 1: only the queue head can ever place,
+        // so the placement order is the admission order no matter when each
+        // consumer thread reached its allocate_admitted call.
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+        assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    #[test]
+    fn cancelled_ticket_unblocks_the_fifo_behind_it() {
+        let s = Arc::new(scheduler(PlatformId::Local, 1).with_queue_shards(Some(1)));
+        let hold = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        let mut admission = s.submit_batch(&[(cores(8), Priority::Task); 2]).unwrap();
+        let second = admission.tickets.pop().unwrap();
+        let first = admission.tickets.pop().unwrap();
+        // Abandon the head ticket: the one behind it must still place.
+        s.cancel_admitted(first);
+        assert_eq!(s.waiting_tasks(), 1);
+        let s2 = Arc::clone(&s);
+        let consumer = thread::spawn(move || s2.allocate_admitted(second, Duration::from_secs(10)));
+        s.release(&hold).unwrap();
+        let slot = consumer.join().unwrap().unwrap();
+        s.release(&slot).unwrap();
+        assert_eq!(s.waiting_tasks(), 0);
+        assert_eq!(s.outstanding_slots(), 0);
+    }
+
+    #[test]
+    fn batched_service_preempts_earlier_batched_tasks_across_shards() {
+        let s = Arc::new(scheduler(PlatformId::Local, 1).with_queue_shards(Some(4)));
+        let hold = s
+            .allocate(&cores(8), Priority::Task, Duration::from_secs(1))
+            .unwrap();
+        // Tasks admitted *before* the service in the same batch: the service must
+        // still place first — its priority gates every task shard.
+        let admission = s
+            .submit_batch(&[
+                (cores(8), Priority::Task),
+                (cores(8), Priority::Task),
+                (cores(8), Priority::Service),
+            ])
+            .unwrap();
+        assert_eq!(s.waiting_services(), 1);
+        assert_eq!(s.waiting_tasks(), 2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let threads: Vec<_> = admission
+            .tickets
+            .into_iter()
+            .map(|ticket| {
+                let s = Arc::clone(&s);
+                let order = Arc::clone(&order);
+                let priority = ticket.priority();
+                thread::spawn(move || {
+                    let slot = s
+                        .allocate_admitted(ticket, Duration::from_secs(10))
+                        .unwrap();
+                    order.lock().push(priority);
+                    s.release(&slot).unwrap();
+                })
+            })
+            .collect();
+        // Let all three consumers park before opening capacity.
+        wait_until(&s, "all consumers parked", |s| {
+            s.waiting_services() == 1 && s.waiting_tasks() == 2
+        });
+        s.release(&hold).unwrap();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(order.lock()[0], Priority::Service);
+        assert_eq!(s.outstanding_slots(), 0);
     }
 }

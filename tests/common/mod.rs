@@ -1,0 +1,26 @@
+//! Helpers shared across the integration-test binaries.
+//!
+//! Each test binary that needs them declares `mod common;` — rustc compiles this
+//! module once per binary, so every helper is `#[allow(dead_code)]`: a binary
+//! that uses only one of them must not trip `clippy -D warnings` for the rest.
+
+use std::time::Duration;
+
+use hpcml::prelude::*;
+
+/// Poll `cond` on the session clock until it holds or `timeout_secs` virtual
+/// seconds elapse. Sleeping on the session clock keeps the wait proportional to
+/// simulated time regardless of the clock scale, instead of burning fixed
+/// real-time polls.
+#[allow(dead_code)]
+pub fn wait_until(s: &Session, timeout_secs: f64, mut cond: impl FnMut() -> bool) -> bool {
+    let clock = s.clock();
+    let deadline = clock.now().as_secs_f64() + timeout_secs;
+    while !cond() {
+        if clock.now().as_secs_f64() >= deadline {
+            return false;
+        }
+        clock.sleep(Duration::from_millis(50));
+    }
+    true
+}

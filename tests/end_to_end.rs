@@ -6,6 +6,9 @@ use std::time::Duration;
 use hpcml::prelude::*;
 use hpcml::serving::ModelSpec;
 
+mod common;
+use common::wait_until;
+
 fn session(scale: f64) -> Session {
     Session::builder("e2e")
         .platform(PlatformId::Delta)
@@ -197,9 +200,10 @@ fn tasks_wait_for_their_services_and_staging_happens() {
                 .stage_out(DataDirective::local("result.csv", 1.0)),
         )
         .expect("task");
-    std::thread::sleep(Duration::from_millis(50));
+    // The task must stay non-final for virtual seconds, not just survive one
+    // real-time poll: wait on the session clock and require the timeout path.
     assert!(
-        !task.state().is_final(),
+        !wait_until(&s, 5.0, || task.state().is_final()),
         "task must still be waiting for its service, state: {:?}",
         task.state()
     );

@@ -6,6 +6,9 @@ use std::time::Duration;
 use hpcml::prelude::*;
 use hpcml::serving::ModelSpec;
 
+mod common;
+use common::wait_until;
+
 fn session() -> Session {
     Session::builder("failures")
         .platform(PlatformId::Local)
@@ -13,22 +16,6 @@ fn session() -> Session {
         .seed(99)
         .build()
         .expect("session")
-}
-
-/// Poll `cond` on the session clock until it holds or `timeout_secs` virtual
-/// seconds elapse. Sleeping on the session clock keeps the wait proportional to
-/// simulated time regardless of the clock scale, instead of burning fixed
-/// real-time polls.
-fn wait_until(s: &Session, timeout_secs: f64, mut cond: impl FnMut() -> bool) -> bool {
-    let clock = s.clock();
-    let deadline = clock.now().as_secs_f64() + timeout_secs;
-    while !cond() {
-        if clock.now().as_secs_f64() >= deadline {
-            return false;
-        }
-        clock.sleep(Duration::from_millis(50));
-    }
-    true
 }
 
 #[test]

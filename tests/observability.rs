@@ -7,6 +7,9 @@ use std::time::Duration;
 use hpcml::prelude::*;
 use hpcml::serving::ModelSpec;
 
+mod common;
+use common::wait_until;
+
 fn session() -> Session {
     Session::builder("observability")
         .platform(PlatformId::Delta)
@@ -122,19 +125,27 @@ fn update_bus_reports_full_service_lifecycle() {
         .expect("service");
     svc.wait_ready().expect("ready");
     s.service_manager().stop("bus-svc").expect("stop");
-    s.close();
 
-    let states: Vec<String> = updates
-        .drain()
-        .into_iter()
-        .filter_map(|m| m.header("state").map(str::to_string))
-        .collect();
-    for expected in ["Scheduling", "Launching", "Ready", "Stopped"] {
+    // Updates are published asynchronously: poll the bus on the session clock
+    // until the terminal state arrives rather than leaning on close() ordering.
+    let mut states: Vec<String> = Vec::new();
+    let stopped = wait_until(&s, 30.0, || {
+        states.extend(
+            updates
+                .drain()
+                .into_iter()
+                .filter_map(|m| m.header("state").map(str::to_string)),
+        );
+        states.iter().any(|s| s == "Stopped")
+    });
+    assert!(stopped, "missing Stopped update in {states:?}");
+    for expected in ["Scheduling", "Launching", "Ready"] {
         assert!(
             states.iter().any(|s| s == expected),
             "missing {expected} update in {states:?}"
         );
     }
+    s.close();
 }
 
 #[test]

@@ -1436,3 +1436,398 @@ fn service_state_walks_are_legal() {
         assert!(bootstrap_phases <= 3);
     });
 }
+
+/// The sharded wait-queue front-end preserves the legacy admission contract when
+/// racing producers admit through `Scheduler::submit_batch`. The queue-shard
+/// count comes from `QUEUE_SHARDS` (default 4; CI runs a {1, 4} matrix in
+/// release mode), so the same interleavings prove both the sharded and the
+/// single-queue front-end.
+///
+/// Scenario A (exact ordering oracle): capacity is held full while the producers
+/// concurrently admit whole-node service/task mixes, so every waiter parks.
+/// Exactly one node then circulates — each consumer releases its slot only
+/// *after* appending to the completion log, so the log order equals the
+/// placement order. Oracle: every service placement precedes every task
+/// placement (the service gate is absolute across shards), and for each
+/// (producer, shard) pair the completions replay that producer's admission
+/// order (per-shard FIFO at lookahead 1).
+///
+/// Scenario B (liveness + preemption under gang churn): producers admit mixed
+/// sub-node tasks, two-node gangs (random packing), and services; all consumers
+/// race while the held nodes are drip-released. Oracle: no admitted waiter is
+/// ever lost (every `allocate_admitted` places within its timeout — a lost
+/// wakeup parks forever and a double-wake would double-book, failing the
+/// release), a placed task never observes a parked service, and teardown leaves
+/// no waiter counted, no drain reservation, and an idle allocation.
+///
+/// Liveness overall: a watchdog aborts the process if a case fails to finish in
+/// bounded time — a lost wakeup or shard/gate lock-order violation hangs here.
+#[test]
+fn sharded_queue_admission_preserves_priority_and_fifo() {
+    use hpcml::runtime::scheduler::{Priority, Scheduler};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    let queue_shards: usize = std::env::var("QUEUE_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    const PRODUCERS: u64 = 3;
+    const NODES: usize = 4;
+
+    for case in 0..8u64 {
+        let seed = 0xBA7C4 ^ case.wrapping_mul(0x9E37_79B9);
+
+        // Bounded-time guarantee for both scenarios of this case.
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for _ in 0..1200 {
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                eprintln!(
+                    "sharded queue admission property: case {case} exceeded 120 s — lost wakeup?"
+                );
+                std::process::abort();
+            });
+        }
+
+        let setup = |lookahead: usize| {
+            let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+            let alloc = batch.submit(AllocationRequest::nodes(NODES)).unwrap();
+            let spec = alloc.node_spec();
+            let scheduler = Arc::new(
+                Scheduler::with_lookahead(Arc::clone(&alloc), lookahead)
+                    .with_queue_shards(Some(queue_shards)),
+            );
+            assert_eq!(scheduler.queue_shards(), queue_shards.max(1));
+            (batch, alloc, spec, scheduler)
+        };
+
+        // ---- Scenario A: exact ordering under single-token circulation. ----
+        {
+            let (_batch, alloc, spec, scheduler) = setup(1);
+            let whole = ResourceRequest {
+                cores: spec.cores,
+                gpus: 0,
+                mem_gib: 0.0,
+                nodes: 1,
+                packing: None,
+            };
+            // Hold every node so admitted waiters must park...
+            let mut held: Vec<_> = (0..NODES)
+                .map(|_| alloc.allocate_slot(&whole).unwrap())
+                .collect();
+
+            let mut producers = Vec::new();
+            for p in 0..PRODUCERS {
+                let scheduler = Arc::clone(&scheduler);
+                producers.push(std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0xA0D ^ p));
+                    let len = rng.gen_range(4usize..9);
+                    let requests: Vec<(ResourceRequest, Priority)> = (0..len)
+                        .map(|_| {
+                            let priority = if rng.gen_bool(0.35) {
+                                Priority::Service
+                            } else {
+                                Priority::Task
+                            };
+                            (whole, priority)
+                        })
+                        .collect();
+                    let admission = scheduler.submit_batch(&requests).expect("admission");
+                    assert_eq!(admission.tickets.len(), requests.len());
+                    assert_eq!(
+                        admission.shard_batches.iter().sum::<usize>(),
+                        requests.len(),
+                        "case {case}: the fan-out shape must cover the batch"
+                    );
+                    admission.tickets
+                }));
+            }
+            let batches: Vec<_> = producers.into_iter().map(|h| h.join().unwrap()).collect();
+
+            // One consumer per ticket; the log push happens strictly before the
+            // release that lets the next placement happen. Entries are
+            // (priority, producer, home shard, per-producer sequence number).
+            type ServeLog = Arc<Mutex<Vec<(Priority, u64, usize, usize)>>>;
+            let log: ServeLog = Arc::new(Mutex::new(Vec::new()));
+            let mut consumers = Vec::new();
+            for (p, tickets) in batches.into_iter().enumerate() {
+                for (seq, ticket) in tickets.into_iter().enumerate() {
+                    let scheduler = Arc::clone(&scheduler);
+                    let log = Arc::clone(&log);
+                    let shard = ticket.shard();
+                    let priority = ticket.priority();
+                    consumers.push(std::thread::spawn(move || {
+                        let slot = scheduler
+                            .allocate_admitted(ticket, Duration::from_secs(60))
+                            .expect("no admitted waiter may be lost");
+                        log.lock().unwrap().push((priority, p as u64, shard, seq));
+                        scheduler.release(&slot).unwrap();
+                    }));
+                }
+            }
+            // ...then let exactly one node circulate through the queues.
+            alloc.release_slot(&held.remove(0)).unwrap();
+            scheduler.notify_capacity();
+            for c in consumers {
+                c.join().unwrap();
+            }
+
+            let log = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+            let first_task = log
+                .iter()
+                .position(|(pr, ..)| *pr == Priority::Task)
+                .unwrap_or(log.len());
+            assert!(
+                log[first_task..]
+                    .iter()
+                    .all(|(pr, ..)| *pr == Priority::Task),
+                "case {case}: a service placed after a task: {log:?}"
+            );
+            // Arrival order holds per class queue: services and tasks park in
+            // different queues even when they share a shard.
+            let mut last_seq: std::collections::HashMap<(bool, u64, usize), usize> =
+                std::collections::HashMap::new();
+            for &(pr, p, shard, seq) in &log {
+                if let Some(prev) = last_seq.insert((pr == Priority::Service, p, shard), seq) {
+                    assert!(
+                        prev < seq,
+                        "case {case}: producer {p} shard {shard} {pr:?} served seq {seq} \
+                         after {prev} — per-shard FIFO broken: {log:?}"
+                    );
+                }
+            }
+            for slot in &held {
+                alloc.release_slot(slot).unwrap();
+            }
+            assert_eq!(scheduler.waiting_services(), 0, "case {case}");
+            assert_eq!(scheduler.waiting_tasks(), 0, "case {case}");
+            assert!(alloc.is_idle(), "case {case}: scenario A teardown");
+        }
+
+        // ---- Scenario B: liveness and preemption under gang churn. ----
+        {
+            let (_batch, alloc, spec, scheduler) = setup(1);
+            let whole = ResourceRequest {
+                cores: spec.cores,
+                gpus: 0,
+                mem_gib: 0.0,
+                nodes: 1,
+                packing: None,
+            };
+            let held: Vec<_> = (0..NODES)
+                .map(|_| alloc.allocate_slot(&whole).unwrap())
+                .collect();
+
+            let mut producers = Vec::new();
+            for p in 0..PRODUCERS {
+                let scheduler = Arc::clone(&scheduler);
+                producers.push(std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0x6A46 ^ p));
+                    let len = rng.gen_range(4usize..9);
+                    let requests: Vec<(ResourceRequest, Priority)> = (0..len)
+                        .map(|_| {
+                            if rng.gen_bool(0.3) {
+                                // Single-node service.
+                                (
+                                    ResourceRequest {
+                                        cores: rng.gen_range(1u32..spec.cores + 1),
+                                        gpus: 0,
+                                        mem_gib: 0.0,
+                                        nodes: 1,
+                                        packing: None,
+                                    },
+                                    Priority::Service,
+                                )
+                            } else if rng.gen_bool(0.4) {
+                                // Two-node gang, random packing.
+                                (
+                                    ResourceRequest {
+                                        cores: rng.gen_range(1u32..spec.cores / 2 + 1),
+                                        gpus: 0,
+                                        mem_gib: 0.0,
+                                        nodes: 2,
+                                        packing: match rng.gen_range(0u32..3) {
+                                            0 => Some(GangPacking::Whole),
+                                            1 => Some(GangPacking::Partial),
+                                            _ => None,
+                                        },
+                                    },
+                                    Priority::Task,
+                                )
+                            } else {
+                                // Sub-node task.
+                                (
+                                    ResourceRequest {
+                                        cores: rng.gen_range(1u32..spec.cores / 2 + 1),
+                                        gpus: 0,
+                                        mem_gib: 0.0,
+                                        nodes: 1,
+                                        packing: None,
+                                    },
+                                    Priority::Task,
+                                )
+                            }
+                        })
+                        .collect();
+                    scheduler
+                        .submit_batch(&requests)
+                        .expect("admission")
+                        .tickets
+                }));
+            }
+            let batches: Vec<_> = producers.into_iter().map(|h| h.join().unwrap()).collect();
+
+            let mut consumers = Vec::new();
+            for tickets in batches {
+                for ticket in tickets {
+                    let scheduler = Arc::clone(&scheduler);
+                    let priority = ticket.priority();
+                    consumers.push(std::thread::spawn(move || {
+                        let slot = scheduler
+                            .allocate_admitted(ticket, Duration::from_secs(60))
+                            .expect("no admitted waiter may be lost");
+                        if priority == Priority::Task {
+                            // No new services are admitted at this point, so a
+                            // parked service here means a task jumped the gate.
+                            assert_eq!(
+                                scheduler.waiting_services(),
+                                0,
+                                "case {case}: a task placed while a service waited"
+                            );
+                        }
+                        scheduler.release(&slot).unwrap();
+                    }));
+                }
+            }
+            for slot in &held {
+                alloc.release_slot(slot).unwrap();
+                scheduler.notify_capacity();
+                std::thread::yield_now();
+            }
+            for c in consumers {
+                c.join().unwrap();
+            }
+
+            assert_eq!(scheduler.waiting_services(), 0, "case {case}");
+            assert_eq!(scheduler.waiting_tasks(), 0, "case {case}");
+            assert_eq!(alloc.reserved_nodes(), 0, "case {case}: no drain leaked");
+            assert!(alloc.drain_status().is_none(), "case {case}");
+            assert!(alloc.is_idle(), "case {case}: scenario B teardown");
+            assert_eq!(
+                scheduler.shard_wakeup_counts().len(),
+                queue_shards.max(1),
+                "case {case}: one wakeup counter per shard"
+            );
+        }
+
+        done.store(true, Ordering::Release);
+    }
+}
+
+/// Equivalence regression for the batched admission path at the legacy setting:
+/// at `queue_shards = 1` a 10⁴-submission burst admitted through
+/// `Scheduler::submit_batch` and consumed ticket-by-ticket places on *exactly*
+/// the same node sequence as the same requests submitted one-by-one through
+/// `Scheduler::allocate` — same placement multiset, same evolving occupancy,
+/// same final state. Both paths hold a sliding window of live slots so the
+/// occupancy genuinely evolves (fragmentation included), and the window policy
+/// is identical on both sides, so any divergence is the scheduler's.
+#[test]
+fn batched_burst_matches_one_by_one_at_single_shard() {
+    use hpcml::runtime::scheduler::{Priority, Scheduler};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const BURST: usize = 10_000;
+    // 24 live slots x at most 8 cores = 192 of the 256 cores: a 64-core node
+    // always keeps at least 8 cores free somewhere, so no request ever parks.
+    const WINDOW: usize = 24;
+
+    for case in 0..4u64 {
+        let seed = 0xEC0 ^ case.wrapping_mul(0x9E37_79B9);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests: Vec<ResourceRequest> = (0..BURST)
+            .map(|_| ResourceRequest {
+                cores: rng.gen_range(1u32..9),
+                gpus: 0,
+                mem_gib: 0.0,
+                nodes: 1,
+                packing: None,
+            })
+            .collect();
+
+        let fresh = || {
+            let batch = BatchSystem::new(PlatformId::Delta.spec(), ClockSpec::Manual.build(), 1);
+            let alloc = batch.submit(AllocationRequest::nodes(4)).unwrap();
+            let scheduler = Arc::new(
+                Scheduler::with_lookahead(Arc::clone(&alloc), 1).with_queue_shards(Some(1)),
+            );
+            assert_eq!(scheduler.queue_shards(), 1);
+            (batch, alloc, scheduler)
+        };
+
+        // Path A: one-by-one submission.
+        let (_batch_a, alloc_a, sched_a) = fresh();
+        let mut live: std::collections::VecDeque<hpcml::platform::Slot> =
+            std::collections::VecDeque::new();
+        let mut nodes_a = Vec::with_capacity(BURST);
+        for req in &requests {
+            if live.len() == WINDOW {
+                sched_a.release(&live.pop_front().unwrap()).unwrap();
+            }
+            let slot = sched_a
+                .allocate(req, Priority::Task, Duration::from_secs(5))
+                .expect("window policy keeps every request satisfiable");
+            nodes_a.push(slot.members[0].node_index);
+            live.push_back(slot);
+        }
+        for slot in &live {
+            sched_a.release(slot).unwrap();
+        }
+        assert!(alloc_a.is_idle(), "case {case}: path A teardown");
+
+        // Path B: one burst through batched admission, tickets consumed in
+        // submission order.
+        let (_batch_b, alloc_b, sched_b) = fresh();
+        let batch_reqs: Vec<(ResourceRequest, Priority)> =
+            requests.iter().map(|r| (*r, Priority::Task)).collect();
+        let admission = sched_b.submit_batch(&batch_reqs).expect("admission");
+        assert_eq!(admission.tickets.len(), BURST);
+        assert_eq!(
+            admission.shard_batches,
+            vec![BURST],
+            "case {case}: a single shard takes the whole burst"
+        );
+        let mut live = std::collections::VecDeque::new();
+        let mut nodes_b = Vec::with_capacity(BURST);
+        for ticket in admission.tickets {
+            if live.len() == WINDOW {
+                sched_b.release(&live.pop_front().unwrap()).unwrap();
+            }
+            let slot = sched_b
+                .allocate_admitted(ticket, Duration::from_secs(5))
+                .expect("window policy keeps every ticket satisfiable");
+            nodes_b.push(slot.members[0].node_index);
+            live.push_back(slot);
+        }
+        for slot in &live {
+            sched_b.release(slot).unwrap();
+        }
+        assert!(alloc_b.is_idle(), "case {case}: path B teardown");
+
+        assert_eq!(
+            nodes_a, nodes_b,
+            "case {case}: batched admission diverged from one-by-one at one shard"
+        );
+        assert_eq!(alloc_a.free_cores(), alloc_b.free_cores(), "case {case}");
+        assert_eq!(alloc_a.idle_nodes(), alloc_b.idle_nodes(), "case {case}");
+    }
+}

@@ -14,7 +14,11 @@ fn noop_config(deployment: Deployment) -> ScalingConfig {
         requests_per_client: 16,
         model: ModelSpec::noop(),
         deployment,
-        clock_scale: 0.5,
+        // Dilate time 4x (like `ScalingConfig::paper_noop`) so the simulated WAN
+        // latency dominates real scheduling jitter: wall-clock hiccups leak into the
+        // sim-domain component means at `clock_scale`, and a loaded single-core
+        // runner can inject ~1 ms of wall noise into the local measurement.
+        clock_scale: 0.25,
         max_tokens: 1,
         seed: 77,
     }
