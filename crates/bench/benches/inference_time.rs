@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use hpcml_bench::exp2::{run_one, Deployment, ScalingConfig};
-use hpcml_serving::ModelSpec;
+use hpcml_serving::{ModelSpec, ServingConfig};
 
 fn config(deployment: Deployment) -> ScalingConfig {
     ScalingConfig {
@@ -16,6 +16,7 @@ fn config(deployment: Deployment) -> ScalingConfig {
         deployment,
         clock_scale: 20_000.0,
         max_tokens: 64,
+        serving: ServingConfig::default(),
         seed: 42,
     }
 }
@@ -38,6 +39,20 @@ fn bench_inference_time(c: &mut Criterion) {
             },
         );
     }
+    // The serving-plane variant of the same topology: up to 4 requests batched per
+    // backend dispatch. Amortised decode cost shows up as a lower mean inference
+    // component; the guarded throughput trajectory lives in benches/serving_plane.rs.
+    group.bench_function("local_batched_4", |b| {
+        let mut cfg = config(Deployment::Local);
+        cfg.serving = ServingConfig::default()
+            .max_batch_size(4)
+            .batch_latency_budget_secs(0.5);
+        b.iter(|| {
+            let r = run_one(2, 2, &cfg);
+            assert!(r.components["inference"].mean > 0.1);
+            r
+        });
+    });
     group.finish();
 }
 

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use hpcml_bench::exp2::{run_one, Deployment, ScalingConfig};
-use hpcml_serving::ModelSpec;
+use hpcml_serving::{ModelSpec, ServingConfig};
 
 fn config(deployment: Deployment) -> ScalingConfig {
     ScalingConfig {
@@ -16,6 +16,7 @@ fn config(deployment: Deployment) -> ScalingConfig {
         deployment,
         clock_scale: 1.0,
         max_tokens: 1,
+        serving: ServingConfig::default(),
         seed: 42,
     }
 }

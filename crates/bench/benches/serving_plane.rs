@@ -1,0 +1,207 @@
+//! Serving-plane benchmark: batched vs unbatched throughput, and overload tail
+//! latency with shedding on vs off.
+//!
+//! Unlike the hot-path benches this measures **virtual** durations — the simulation's
+//! deterministic model of inference time — and prints them in the harness line format
+//! (`name  time: [...]`) so `scripts/bench_guard.sh` can parse, record and guard them
+//! in `BENCH_serving.json`. Virtual measurements are immune to host-load noise: the
+//! batched/unbatched ratio is a property of the serving plane's cost model, not of the
+//! machine the bench runs on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use hpcml_comm::link::Link;
+use hpcml_comm::reqrep::ReqRepServer;
+use hpcml_serving::protocol::{KIND_INFER_REPLY, KIND_SHED};
+use hpcml_serving::service::{inference_request_message, inference_request_message_with_deadline};
+use hpcml_serving::{
+    null_sink, InferenceRequest, InferenceService, ModelHost, ModelSpec, ServingConfig,
+};
+use hpcml_sim::clock::{ClockSpec, SharedClock};
+
+/// Compression factor: virtual seconds per real second. High enough that a full run
+/// finishes in a fraction of a second of real time, low enough that real scheduling
+/// jitter (tens of µs) stays small against the virtual batching budgets — at 50 000x,
+/// 20 µs of thread wake-up latency would already be a full virtual second.
+const CLOCK_SCALE: f64 = 2_000.0;
+
+/// Print one result in the bench harness line format (same shape as the criterion
+/// shim: `name  time: [  value unit/iter]  samples: N`).
+fn report(name: &str, virtual_secs: f64, samples: usize) {
+    let (scaled, unit) = if virtual_secs < 1e-6 {
+        (virtual_secs * 1e9, "ns")
+    } else if virtual_secs < 1e-3 {
+        (virtual_secs * 1e6, "µs")
+    } else {
+        (virtual_secs * 1e3, "ms")
+    };
+    println!("{name:<48} time: [{scaled:9.2} {unit}/iter]  samples: {samples}");
+}
+
+struct Served {
+    /// Virtual response time of each request answered with an inference reply.
+    response_secs: Vec<f64>,
+    /// Requests shed by admission control.
+    shed: usize,
+    /// Virtual wall time of the whole run.
+    elapsed_secs: f64,
+}
+
+/// Stand up one service and drive it with `clients` threads sending
+/// `requests_per_client` sequential requests each.
+fn drive(
+    config: ServingConfig,
+    clients: usize,
+    requests_per_client: usize,
+    deadline_secs: Option<f64>,
+    seed: u64,
+) -> Served {
+    let clock: SharedClock = ClockSpec::scaled(CLOCK_SCALE).build();
+    let replicas = config.replicas;
+    let hosts: Vec<Arc<ModelHost>> = (0..replicas)
+        .map(|i| {
+            let h = Arc::new(ModelHost::from_spec(
+                ModelSpec::sim_llama_8b(),
+                Arc::clone(&clock),
+                seed + i as u64,
+            ));
+            h.load();
+            h
+        })
+        .collect();
+    let service = Arc::new(InferenceService::with_config(
+        "svc.bench",
+        hosts,
+        Arc::clone(&clock),
+        seed + 100,
+        config,
+        null_sink(),
+    ));
+    let endpoint = ReqRepServer::new("svc.bench");
+    let client = endpoint.client(Link::instant(Arc::clone(&clock)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (svc, stop2) = (Arc::clone(&service), Arc::clone(&stop));
+    let serve_thread = thread::spawn(move || svc.serve(&endpoint, &stop2));
+
+    // Calibrate the admission estimate with one uncontended request so deadline
+    // shedding has a live service-time EWMA from the first flood request on.
+    let warm = InferenceRequest::new("w ".repeat(40), 64);
+    let _ = client.request(inference_request_message("svc.bench", &warm));
+
+    let t0 = clock.now();
+    let workers: Vec<thread::JoinHandle<(Vec<f64>, usize)>> = (0..clients)
+        .map(|c| {
+            let client = client.clone();
+            let clock = Arc::clone(&clock);
+            thread::spawn(move || {
+                let mut times = Vec::new();
+                let mut shed = 0usize;
+                for _ in 0..requests_per_client {
+                    let req = InferenceRequest::new("q ".repeat(40), 64)
+                        .from_client(format!("bench.{c}"));
+                    let msg = match deadline_secs {
+                        Some(d) => inference_request_message_with_deadline("svc.bench", &req, d),
+                        None => inference_request_message("svc.bench", &req),
+                    };
+                    let sent = clock.now();
+                    let reply = client.request(msg).expect("bench service reply");
+                    let rt = clock.now().since(sent).as_secs_f64();
+                    match reply.kind.as_str() {
+                        KIND_INFER_REPLY => times.push(rt),
+                        KIND_SHED => shed += 1,
+                        other => panic!("unexpected reply kind {other}"),
+                    }
+                }
+                (times, shed)
+            })
+        })
+        .collect();
+    let mut response_secs = Vec::new();
+    let mut shed = 0usize;
+    for w in workers {
+        let (times, s) = w.join().expect("bench client");
+        response_secs.extend(times);
+        shed += s;
+    }
+    let elapsed_secs = clock.now().since(t0).as_secs_f64();
+    stop.store(true, Ordering::Release);
+    serve_thread.join().expect("serve loop");
+    Served {
+        response_secs,
+        shed,
+        elapsed_secs,
+    }
+}
+
+fn p99(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let idx = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[idx.min(samples.len()).saturating_sub(1)]
+}
+
+fn main() {
+    // Throughput: 8 concurrent clients, 4 requests each, one replica. The unbatched
+    // service serialises all 32 inferences; continuous batching amortises decode cost
+    // across up to 8 in-flight requests. Reported value: virtual seconds per request.
+    let unbatched = drive(ServingConfig::default(), 8, 4, None, 1);
+    report(
+        "serving/unbatched",
+        unbatched.elapsed_secs / unbatched.response_secs.len().max(1) as f64,
+        unbatched.response_secs.len(),
+    );
+    let batched = drive(
+        // A generous 1 s budget (vs ~2.7 s inference) lets every 8-wide wave fill
+        // before dispatch; throughput is dominated by batch amortisation, not the
+        // wait.
+        ServingConfig::default()
+            .max_batch_size(8)
+            .batch_latency_budget_secs(1.0),
+        8,
+        4,
+        None,
+        1,
+    );
+    report(
+        "serving/batched/8",
+        batched.elapsed_secs / batched.response_secs.len().max(1) as f64,
+        batched.response_secs.len(),
+    );
+
+    // Overload tail: 24 one-shot clients flood a single unbatched-width replica pool
+    // (batch 4) at once, each with a 10 s deadline. With shedding on, admission
+    // rejects what it cannot serve in time and the admitted tail stays near the
+    // deadline; with shedding off, the queue grows without bound and the p99 response
+    // time is the whole backlog. Reported value: p99 virtual response time.
+    let overload_cfg = ServingConfig::default()
+        .max_batch_size(4)
+        .batch_latency_budget_secs(0.05)
+        .queue_capacity(64);
+    let mut shed_on = drive(
+        overload_cfg.clone().shed_deadlines(true),
+        24,
+        1,
+        Some(10.0),
+        2,
+    );
+    report(
+        "serving/overload_p99/shed_on",
+        p99(&mut shed_on.response_secs),
+        shed_on.response_secs.len(),
+    );
+    assert!(
+        shed_on.shed > 0,
+        "overload with deadlines must shed some of 24 requests"
+    );
+    let mut shed_off = drive(overload_cfg.shed_deadlines(false), 24, 1, Some(10.0), 2);
+    report(
+        "serving/overload_p99/shed_off",
+        p99(&mut shed_off.response_secs),
+        shed_off.response_secs.len(),
+    );
+    assert_eq!(shed_off.shed, 0, "shedding disabled must admit everything");
+}

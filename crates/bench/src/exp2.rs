@@ -17,7 +17,7 @@ use std::time::Duration;
 use hpcml_platform::PlatformId;
 use hpcml_runtime::describe::{PilotDescription, ServiceDescription, TaskDescription, TaskKind};
 use hpcml_runtime::session::Session;
-use hpcml_serving::ModelSpec;
+use hpcml_serving::{ModelSpec, ServingConfig};
 use hpcml_sim::clock::ClockSpec;
 use hpcml_sim::dist::Dist;
 use hpcml_sim::stats::Summary;
@@ -70,6 +70,10 @@ pub struct ScalingConfig {
     pub clock_scale: f64,
     /// Generation budget per request (relevant for LLM models only).
     pub max_tokens: u32,
+    /// Serving-plane shape for every service in the sweep: replicas, batch size,
+    /// latency budget, shedding. The default (1 replica, batch 1) is the paper's
+    /// one-request-one-call service.
+    pub serving: ServingConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -87,6 +91,7 @@ impl ScalingConfig {
             // (scaled-down) real scheduling jitter.
             clock_scale: 0.25,
             max_tokens: 1,
+            serving: ServingConfig::default(),
             seed: 42,
         }
     }
@@ -108,6 +113,7 @@ impl ScalingConfig {
             deployment,
             clock_scale: 800.0,
             max_tokens: 128,
+            serving: ServingConfig::default(),
             seed: 42,
         }
     }
@@ -186,6 +192,7 @@ pub fn run_one(clients: usize, services: usize, config: &ScalingConfig) -> Scali
             } else {
                 desc.gpus(1)
             };
+            desc = desc.serving(config.serving.clone());
             if config.deployment == Deployment::Remote {
                 desc = desc.remote(PlatformId::R3Cloud);
             }
@@ -262,6 +269,7 @@ mod tests {
             deployment,
             clock_scale: 0.5,
             max_tokens: 1,
+            serving: ServingConfig::default(),
             seed: 3,
         }
     }
@@ -299,6 +307,16 @@ mod tests {
             remote.components["communication"].mean,
             local.components["communication"].mean
         );
+    }
+
+    #[test]
+    fn batched_serving_config_flows_through_the_sweep() {
+        let mut config = tiny(Deployment::Local);
+        config.serving = ServingConfig::default()
+            .max_batch_size(4)
+            .batch_latency_budget_secs(0.001);
+        let r = run_one(2, 1, &config);
+        assert_eq!(r.components["communication"].count, 24);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub fn run(scaling: Scaling, deployment: Deployment, quick: bool) -> Vec<Scaling
 mod tests {
     use super::*;
     use crate::exp2::run_one;
-    use hpcml_serving::ModelSpec;
+    use hpcml_serving::{ModelSpec, ServingConfig};
 
     fn tiny_llm(deployment: Deployment) -> ScalingConfig {
         ScalingConfig {
@@ -39,6 +39,7 @@ mod tests {
             // communication component well below the seconds of inference time.
             clock_scale: 200.0,
             max_tokens: 64,
+            serving: ServingConfig::default(),
             seed: 5,
         }
     }
@@ -69,6 +70,25 @@ mod tests {
             "service/queue time with 1 service ({:.3}s) must exceed 2 services ({:.3}s)",
             scarce.components["service"].mean,
             ample.components["service"].mean
+        );
+    }
+
+    #[test]
+    fn batching_amortises_the_scarce_service_queue() {
+        // The same 2-clients-1-service crunch as above, but the service batches up to
+        // 2 requests per backend dispatch: amortised decode cost must beat the
+        // serial one-request-one-call path end to end.
+        let unbatched = run_one(2, 1, &tiny_llm(Deployment::Local));
+        let mut config = tiny_llm(Deployment::Local);
+        config.serving = ServingConfig::default()
+            .max_batch_size(2)
+            .batch_latency_budget_secs(1.0);
+        let batched = run_one(2, 1, &config);
+        assert!(
+            batched.total.mean < unbatched.total.mean,
+            "batched RT ({:.3}s) must beat unbatched RT ({:.3}s)",
+            batched.total.mean,
+            unbatched.total.mean
         );
     }
 

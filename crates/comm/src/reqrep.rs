@@ -136,6 +136,27 @@ impl ReqRepServer {
         }
     }
 
+    /// Drain up to `max` queued requests in one call: block up to `timeout` for the
+    /// first request, then take whatever else is already waiting without blocking
+    /// again. Batch-oriented servers (the serving front-end's admission loop) use this
+    /// to absorb request bursts in one wake-up instead of one receive per request.
+    pub fn recv_batch(
+        &self,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<(Message, Responder)>, CommError> {
+        let first = self.recv_timeout(timeout)?;
+        let mut out = Vec::with_capacity(max.clamp(1, 64));
+        out.push(first);
+        while out.len() < max {
+            match self.try_recv() {
+                Some(pair) => out.push(pair),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<(Message, Responder)> {
         self.rx.try_recv().ok().map(|req| {
@@ -293,6 +314,39 @@ mod tests {
         assert!(server.try_recv().is_none());
         assert_eq!(server.queue_len(), 0);
         assert_eq!(server.name(), "svc.idle");
+    }
+
+    #[test]
+    fn recv_batch_drains_a_burst_in_one_call() {
+        let server = ReqRepServer::new("svc.batch");
+        let clients: Vec<ReqRepClient> = (0..5).map(|_| server.client(instant_link())).collect();
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                thread::spawn(move || {
+                    c.request(Message::new("svc.batch", "req").with_text(&i.to_string()))
+                        .unwrap()
+                })
+            })
+            .collect();
+        let mut got = 0;
+        while got < 5 {
+            let batch = server.recv_batch(3, Duration::from_secs(5)).unwrap();
+            assert!(!batch.is_empty() && batch.len() <= 3, "len {}", batch.len());
+            got += batch.len();
+            for (msg, r) in batch {
+                r.reply(Message::new(msg.topic.clone(), "reply")).unwrap();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Empty queue: recv_batch times out like recv_timeout.
+        assert_eq!(
+            server.recv_batch(3, Duration::from_millis(5)).unwrap_err(),
+            CommError::Timeout
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use hpcml_platform::{PlatformId, ResourceRequest};
 // Re-exported so description-level callers (the workflow DSL in particular) can name
 // the packing policy without depending on `hpcml_platform` directly.
 pub use hpcml_platform::GangPacking;
-use hpcml_serving::ModelSpec;
+use hpcml_serving::{ModelSpec, ServingConfig};
 use hpcml_sim::dist::Dist;
 
 /// A data staging directive: move a named dataset into or out of the task sandbox.
@@ -260,6 +260,11 @@ pub struct ServiceDescription {
     pub placement: ServicePlacement,
     /// Seconds to wait for readiness before giving up.
     pub startup_timeout_secs: f64,
+    /// Serving-plane configuration: replica count, continuous-batching thresholds and
+    /// admission control. The default (1 replica, batch size 1) is the legacy
+    /// one-request-at-a-time service.
+    #[serde(default)]
+    pub serving: ServingConfig,
     /// Free-form tags.
     pub tags: Vec<(String, String)>,
 }
@@ -273,8 +278,40 @@ impl ServiceDescription {
             resources: ResourceRequest::default(),
             placement: ServicePlacement::LocalPilot,
             startup_timeout_secs: 600.0,
+            serving: ServingConfig::default(),
             tags: Vec::new(),
         }
+    }
+
+    /// Run `n` model replicas behind the endpoint. The resource request widens to an
+    /// `n`-node gang so each replica gets its own node share; requests route to the
+    /// replica with the fewest outstanding requests.
+    pub fn replicas(mut self, n: usize) -> Self {
+        let n = n.max(1);
+        self.serving.replicas = n;
+        self.resources.nodes = self.resources.nodes.max(n);
+        self
+    }
+
+    /// Enable continuous micro-batching up to `n` requests per backend dispatch.
+    pub fn max_batch_size(mut self, n: usize) -> Self {
+        self.serving.max_batch_size = n.max(1);
+        self
+    }
+
+    /// Virtual seconds a request may wait for its batch to fill before a partial batch
+    /// dispatches anyway.
+    pub fn batch_latency_budget_secs(mut self, secs: f64) -> Self {
+        self.serving.batch_latency_budget_secs = secs.max(0.0);
+        self
+    }
+
+    /// Replace the whole serving configuration. Widens the resource request to a gang
+    /// when the config asks for more replicas than nodes.
+    pub fn serving(mut self, config: ServingConfig) -> Self {
+        self.resources.nodes = self.resources.nodes.max(config.replicas.max(1));
+        self.serving = config;
+        self
     }
 
     /// Set the hosted model.

@@ -32,7 +32,9 @@ use hpcml_comm::reqrep::ReqRepServer;
 use hpcml_platform::resources::ResourceError;
 use hpcml_platform::PlatformId;
 use hpcml_serving::host::ModelHost;
-use hpcml_serving::protocol::{HDR_INFERENCE_SECS, HDR_SERVICE_SECS, KIND_ERROR};
+use hpcml_serving::protocol::{
+    HDR_INFERENCE_SECS, HDR_RETRY_AFTER_SECS, HDR_SERVICE_SECS, KIND_ERROR, KIND_SHED,
+};
 use hpcml_serving::request::InferenceRequest;
 use hpcml_serving::service::{inference_request_message, InferenceService};
 use hpcml_sim::clock::{SharedClock, Stopwatch};
@@ -59,6 +61,10 @@ const DEPENDENCY_TIMEOUT: Duration = Duration::from_secs(120);
 /// Virtual backoff before the first retry of a task evicted by a node failure;
 /// doubles on every further attempt (exponential backoff on the session clock).
 const RETRY_BACKOFF_BASE_SECS: f64 = 0.5;
+
+/// How many times an inference client honours a shed reply's retry-after hint before
+/// counting the request as failed.
+const MAX_SHED_RETRIES: u32 = 3;
 
 /// The executor component.
 pub struct Executor {
@@ -235,25 +241,50 @@ impl Executor {
         self.clock.sleep(launch_duration);
         let launch_secs = launch_watch.elapsed_secs();
 
-        // ⑤ instantiate the ML capability: load + initialise the model.
+        // ⑤ instantiate the ML capability: load + initialise the model replicas.
         record.state.transition(ServiceState::Initializing)?;
-        let init_result = (|| -> Result<(Arc<ModelHost>, f64), RuntimeError> {
+        let init_result = (|| -> Result<(Vec<Arc<ModelHost>>, f64), RuntimeError> {
             let init_watch = Stopwatch::start(Arc::clone(&self.clock));
-            let host = Arc::new(ModelHost::from_spec(
-                desc.model.clone(),
-                Arc::clone(&self.clock),
-                self.next_seed(),
-            ));
+            let replicas = desc.serving.replicas.max(1);
+            let hosts: Vec<Arc<ModelHost>> = (0..replicas)
+                .map(|_| {
+                    Arc::new(ModelHost::from_spec(
+                        desc.model.clone(),
+                        Arc::clone(&self.clock),
+                        self.next_seed(),
+                    ))
+                })
+                .collect();
             if let Some((_, slot)) = &slot {
                 if slot.num_gpus() > 0 {
-                    host.check_gpu_fit(platform_spec.node.gpu_mem_gib)
+                    // All replicas host the same model spec; one fit check covers the
+                    // whole gang (member nodes are homogeneous within a platform).
+                    hosts[0]
+                        .check_gpu_fit(platform_spec.node.gpu_mem_gib)
                         .map_err(|e| RuntimeError::Failed(e.to_string()))?;
                 }
             }
-            host.load();
-            Ok((host, init_watch.elapsed_secs()))
+            if hosts.len() == 1 {
+                hosts[0].load();
+            } else {
+                // Replicas load in parallel on their gang members, so init time is the
+                // slowest load, not the sum.
+                let loaders: Vec<std::thread::JoinHandle<()>> = hosts
+                    .iter()
+                    .map(|h| {
+                        let h = Arc::clone(h);
+                        std::thread::spawn(move || {
+                            h.load();
+                        })
+                    })
+                    .collect();
+                for loader in loaders {
+                    let _ = loader.join();
+                }
+            }
+            Ok((hosts, init_watch.elapsed_secs()))
         })();
-        let (host, init_secs) = match init_result {
+        let (hosts, init_secs) = match init_result {
             Ok(v) => v,
             Err(e) => {
                 self.concurrent_launches.fetch_sub(1, Ordering::AcqRel);
@@ -305,12 +336,18 @@ impl Executor {
         record.state.transition(ServiceState::Ready)?;
         self.publish_state("service", &record.id, "Ready");
 
-        // Serve until asked to stop.
-        let service = InferenceService::new(
+        // Serve until asked to stop. Serving-plane metrics flow into the runtime
+        // metrics store alongside the task/service scalars.
+        let metrics = Arc::clone(&self.metrics);
+        let sink: hpcml_serving::SharedMetricsSink =
+            Arc::new(move |name: &str, value: f64| metrics.record_scalar(name, value));
+        let service = InferenceService::with_config(
             record.description.name.clone(),
-            Arc::clone(&host),
+            hosts,
             Arc::clone(&self.clock),
             self.next_seed(),
+            desc.serving.clone(),
+            sink,
         );
         let served = service.serve(&endpoint, &record.stop);
         *record.requests_served.lock() = served;
@@ -631,11 +668,27 @@ impl Executor {
             let request =
                 InferenceRequest::new(prompt.clone(), max_tokens).from_client(record.id.clone());
             let request_id = request.request_id.clone();
-            let msg = inference_request_message(endpoint_name, &request);
             let watch = Stopwatch::start(Arc::clone(&self.clock));
-            let reply = client.request(msg).map_err(RuntimeError::Comm)?;
+            let mut reply = client
+                .request(inference_request_message(endpoint_name, &request))
+                .map_err(RuntimeError::Comm)?;
+            // An overloaded service sheds instead of queueing past the deadline; honor
+            // its retry-after hint a bounded number of times on the virtual clock.
+            let mut shed_retries = 0u32;
+            while reply.kind == KIND_SHED && shed_retries < MAX_SHED_RETRIES {
+                shed_retries += 1;
+                self.metrics.record_scalar("client.shed_retries", 1.0);
+                let retry_after = reply
+                    .f64_header(HDR_RETRY_AFTER_SECS)
+                    .unwrap_or(0.1)
+                    .max(0.001);
+                self.clock.sleep(Duration::from_secs_f64(retry_after));
+                reply = client
+                    .request(inference_request_message(endpoint_name, &request))
+                    .map_err(RuntimeError::Comm)?;
+            }
             let response_secs = watch.elapsed_secs();
-            if reply.kind == KIND_ERROR {
+            if reply.kind == KIND_ERROR || reply.kind == KIND_SHED {
                 errors += 1;
                 self.metrics.record_scalar("client.error_replies", 1.0);
                 continue;

@@ -25,6 +25,25 @@ pub struct BackendResult {
     pub compute_secs: f64,
 }
 
+/// Outcome of one batched backend dispatch: the per-request results plus the wall-clock
+/// compute cost of the batch as a whole (which a batching backend makes sub-linear in
+/// the batch size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One result per request, in request order. `compute_secs` inside each entry is
+    /// the request's *solo* cost; the batch shares [`BatchResult::batch_compute_secs`].
+    pub results: Vec<BackendResult>,
+    /// Wall-clock GPU seconds the whole batch occupies the backend.
+    pub batch_compute_secs: f64,
+}
+
+/// Marginal decode-step cost of each additional sequence in a continuous batch,
+/// relative to a solo sequence. Auto-regressive decoding is memory-bandwidth-bound, so
+/// adding a sequence to a decode step costs far less than a full extra step — this
+/// calibration (~15%) reproduces the 3-4x throughput win of continuous batching at
+/// batch size 8 reported for vLLM-class servers.
+pub const MARGINAL_DECODE_COST: f64 = 0.15;
+
 /// A servable model implementation.
 pub trait ModelBackend: Send + Sync {
     /// The model specification this backend implements.
@@ -39,6 +58,22 @@ pub trait ModelBackend: Send + Sync {
         request: &InferenceRequest,
         rng: &mut (dyn rand::RngCore + 'a),
     ) -> BackendResult;
+
+    /// Compute the result of a batched dispatch. The default loops [`ModelBackend::infer`]
+    /// and sums the costs — i.e. batching buys nothing unless the backend overrides
+    /// this with a sub-linear cost model.
+    fn infer_batch<'a>(
+        &self,
+        requests: &[InferenceRequest],
+        rng: &mut (dyn rand::RngCore + 'a),
+    ) -> BatchResult {
+        let results: Vec<BackendResult> = requests.iter().map(|r| self.infer(r, rng)).collect();
+        let batch_compute_secs = results.iter().map(|r| r.compute_secs).sum();
+        BatchResult {
+            results,
+            batch_compute_secs,
+        }
+    }
 }
 
 /// The NOOP backend: replies immediately with a static response (experiment 2).
@@ -165,6 +200,55 @@ impl ModelBackend for SimLlmBackend {
             compute_secs,
         }
     }
+
+    /// Continuous-batching cost model. Prefill of the member sequences overlaps with
+    /// decode steps of the others, so the prompt phase costs the *longest* member's
+    /// prefill rather than the sum; decode steps serve every live sequence at once at
+    /// [`MARGINAL_DECODE_COST`] extra per additional sequence. The batch cost is
+    /// clamped to `[max solo, sum of solos]`: a batch can neither beat its slowest
+    /// member nor cost more than serial dispatch.
+    fn infer_batch<'a>(
+        &self,
+        requests: &[InferenceRequest],
+        rng: &mut (dyn rand::RngCore + 'a),
+    ) -> BatchResult {
+        let results: Vec<BackendResult> = requests.iter().map(|r| self.infer(r, rng)).collect();
+        if results.len() <= 1 {
+            let batch_compute_secs = results.iter().map(|r| r.compute_secs).sum();
+            return BatchResult {
+                results,
+                batch_compute_secs,
+            };
+        }
+        let sum_solo: f64 = results.iter().map(|r| r.compute_secs).sum();
+        let max_solo = results.iter().map(|r| r.compute_secs).fold(0.0, f64::max);
+        let prompt_rate = self.spec.prompt_tokens_per_sec;
+        let max_prompt_secs = if prompt_rate > 0.0 && prompt_rate.is_finite() {
+            results
+                .iter()
+                .map(|r| r.prompt_tokens as f64 / prompt_rate)
+                .fold(0.0, f64::max)
+        } else {
+            0.0
+        };
+        let max_gen_tokens = results
+            .iter()
+            .map(|r| r.completion_tokens)
+            .max()
+            .unwrap_or(0) as f64;
+        let gen_secs = if self.spec.gen_tokens_per_sec.is_finite() {
+            (max_gen_tokens / self.spec.gen_tokens_per_sec)
+                * (1.0 + (results.len() - 1) as f64 * MARGINAL_DECODE_COST)
+        } else {
+            0.0
+        };
+        let overhead = self.spec.per_request_overhead_secs.sample(rng).max(0.0);
+        let batch_compute_secs = (overhead + max_prompt_secs + gen_secs).clamp(max_solo, sum_solo);
+        BatchResult {
+            results,
+            batch_compute_secs,
+        }
+    }
 }
 
 /// Deterministic synthetic completion text of roughly `tokens` tokens.
@@ -270,5 +354,51 @@ mod tests {
     #[should_panic(expected = "NoopBackend")]
     fn sim_backend_rejects_noop_spec() {
         let _ = SimLlmBackend::new(ModelSpec::noop());
+    }
+
+    #[test]
+    fn batched_dispatch_is_sublinear_for_llm() {
+        let b = SimLlmBackend::llama_8b();
+        let mut r = rng();
+        let requests: Vec<InferenceRequest> = (0..8).map(|_| request(30, 128)).collect();
+        let batch = b.infer_batch(&requests, &mut r);
+        assert_eq!(batch.results.len(), 8);
+        let sum_solo: f64 = batch.results.iter().map(|x| x.compute_secs).sum();
+        let max_solo = batch
+            .results
+            .iter()
+            .map(|x| x.compute_secs)
+            .fold(0.0, f64::max);
+        assert!(
+            batch.batch_compute_secs >= max_solo,
+            "a batch cannot finish before its slowest member: {} < {max_solo}",
+            batch.batch_compute_secs
+        );
+        assert!(
+            sum_solo / batch.batch_compute_secs >= 1.5,
+            "8-wide continuous batch must be >= 1.5x serial: {sum_solo} vs {}",
+            batch.batch_compute_secs
+        );
+    }
+
+    #[test]
+    fn singleton_batch_costs_the_solo_price() {
+        let b = SimLlmBackend::llama_8b();
+        let req = [request(20, 64)];
+        let mut r = rng();
+        let batch = b.infer_batch(&req, &mut r);
+        assert_eq!(batch.results.len(), 1);
+        assert!((batch.batch_compute_secs - batch.results[0].compute_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_batch_impl_is_serial() {
+        // NoopBackend does not override infer_batch: the default loops infer and sums.
+        let b = NoopBackend::new();
+        let mut r = rng();
+        let requests: Vec<InferenceRequest> = (0..4).map(|_| request(3, 8)).collect();
+        let batch = b.infer_batch(&requests, &mut r);
+        assert_eq!(batch.results.len(), 4);
+        assert_eq!(batch.batch_compute_secs, 0.0);
     }
 }

@@ -15,7 +15,7 @@ use rand::SeedableRng;
 
 use hpcml_sim::clock::SharedClock;
 
-use crate::backend::{ModelBackend, NoopBackend, SimLlmBackend};
+use crate::backend::{BatchResult, ModelBackend, NoopBackend, SimLlmBackend};
 use crate::model::{ModelKind, ModelSpec};
 use crate::request::{InferenceRequest, InferenceResponse};
 
@@ -161,6 +161,50 @@ impl ModelHost {
         })
     }
 
+    /// Serve a batch of requests in one backend dispatch, spending the *batch* compute
+    /// time on the virtual clock exactly once. Every member's `inference_secs` is the
+    /// shared batch wall time — in continuous batching all members finish when the
+    /// batch's last decode step does.
+    ///
+    /// Returns one response per request, in request order.
+    pub fn handle_batch(
+        &self,
+        requests: &[InferenceRequest],
+    ) -> Result<Vec<InferenceResponse>, HostError> {
+        if !self.is_loaded() {
+            return Err(HostError::NotLoaded);
+        }
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _guard = self.serve_lock.lock();
+        let BatchResult {
+            results,
+            batch_compute_secs,
+        } = {
+            let mut rng = self.rng.lock();
+            self.backend.infer_batch(requests, &mut *rng)
+        };
+        self.clock
+            .sleep(std::time::Duration::from_secs_f64(batch_compute_secs));
+        self.requests_served
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let model = self.backend.spec().name.clone();
+        Ok(requests
+            .iter()
+            .zip(results)
+            .map(|(req, result)| InferenceResponse {
+                request_id: req.request_id.clone(),
+                text: result.text,
+                prompt_tokens: result.prompt_tokens,
+                completion_tokens: result.completion_tokens,
+                inference_secs: batch_compute_secs,
+                service_secs: 0.0,
+                model: model.clone(),
+            })
+            .collect())
+    }
+
     /// The clock this host spends time on.
     pub fn clock(&self) -> &SharedClock {
         &self.clock
@@ -229,6 +273,44 @@ mod tests {
         assert!(elapsed >= resp.inference_secs * 0.5);
         assert_eq!(resp.service_secs, 0.0);
         assert!(resp.server_side_secs() > 0.5);
+    }
+
+    #[test]
+    fn batch_handle_spends_batch_time_once() {
+        // Moderate compression so scheduler jitter (tens of µs real = tens of ms
+        // virtual) stays far below the asserted bound of ~2x the batch seconds.
+        let c = ClockSpec::scaled(1000.0).build();
+        let host = ModelHost::from_spec(ModelSpec::sim_llama_8b(), std::sync::Arc::clone(&c), 11);
+        host.load();
+        let requests: Vec<InferenceRequest> = (0..6)
+            .map(|_| InferenceRequest::new("b ".repeat(40), 96))
+            .collect();
+        let t0 = c.now();
+        let responses = host.handle_batch(&requests).unwrap();
+        let elapsed = c.now().since(t0).as_secs_f64();
+        assert_eq!(responses.len(), 6);
+        let batch_secs = responses[0].inference_secs;
+        assert!(responses.iter().all(|r| r.inference_secs == batch_secs));
+        // The clock advanced once by the batch cost, not 6x by the solo cost.
+        assert!(elapsed >= batch_secs * 0.5);
+        assert!(
+            elapsed < batch_secs * 3.0,
+            "elapsed {elapsed} vs {batch_secs}"
+        );
+        assert_eq!(host.requests_served(), 6);
+        // Responses preserve request order.
+        for (req, resp) in requests.iter().zip(&responses) {
+            assert_eq!(req.request_id, resp.request_id);
+        }
+    }
+
+    #[test]
+    fn batch_handle_requires_load_and_tolerates_empty() {
+        let host = ModelHost::from_spec(ModelSpec::noop(), clock(), 12);
+        let reqs = vec![InferenceRequest::new("x", 1)];
+        assert_eq!(host.handle_batch(&reqs).unwrap_err(), HostError::NotLoaded);
+        host.load();
+        assert!(host.handle_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -15,11 +15,19 @@
 //!   load time on the virtual clock — the `init` component of the paper's bootstrap
 //!   time) and serves requests one at a time (the paper's services are single-threaded
 //!   and queue further incoming requests);
+//! * [`batcher`] — [`ServingConfig`] and the continuous micro-batching
+//!   [`BatchAssembler`]: requests dispatch when a batch fills or the oldest entry's
+//!   latency budget expires on the virtual clock;
+//! * [`pool`] — [`ReplicaPool`]: N hosts behind one endpoint with
+//!   least-outstanding-requests routing over lock-free per-replica counters, runtime
+//!   scale-up and drain-based scale-down;
 //! * [`service`] — [`InferenceService`]: the serve loop binding a
-//!   [`hpcml_comm::ReqRepServer`] endpoint to a [`ModelHost`], decomposing each reply
-//!   into the paper's `service` and `inference` time components;
+//!   [`hpcml_comm::ReqRepServer`] endpoint to the serving plane — zero-copy request
+//!   decode, deadline-aware admission control with load shedding, batch assembly and
+//!   replica routing — decomposing each reply into the paper's `service` and
+//!   `inference` time components;
 //! * [`protocol`] — the message kinds and header keys of the service API (inference
-//!   requests/replies, readiness probes, shutdown).
+//!   requests/replies, readiness probes, shedding, shutdown).
 //!
 //! The calibration constants (load ≈ 30 s, ≈ 40 generated tokens/s for an 8B model on an
 //! A100-class GPU) reproduce the paper's qualitative result: model initialisation
@@ -29,14 +37,19 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod batcher;
 pub mod host;
 pub mod model;
+pub mod pool;
 pub mod protocol;
 pub mod request;
 pub mod service;
 
-pub use backend::{ModelBackend, NoopBackend, SimLlmBackend};
+pub use backend::{BatchResult, ModelBackend, NoopBackend, SimLlmBackend};
+pub use batcher::{BatchAssembler, ServingConfig};
 pub use host::ModelHost;
 pub use model::{ModelKind, ModelSpec};
-pub use request::{InferenceRequest, InferenceResponse};
+pub use pool::{null_sink, MetricsSink, ReplicaPool, SharedMetricsSink};
+pub use protocol::ProtocolError;
+pub use request::{InferenceRequest, InferenceRequestView, InferenceResponse};
 pub use service::InferenceService;

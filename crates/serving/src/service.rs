@@ -1,10 +1,26 @@
-//! The inference service loop: binds a model host to a REQ/REP endpoint.
+//! The inference service loop: binds a replica pool to a REQ/REP endpoint.
 //!
 //! [`InferenceService::serve`] is what runs inside a *service task* once the runtime has
-//! launched it: it receives requests from the endpoint, decomposes the time it spends on
-//! each one into the paper's `service` (queueing + parsing + serialising) and
-//! `inference` (model compute) components, stamps those onto the reply headers, and
-//! answers readiness probes and shutdown commands from the service manager.
+//! launched it. The loop is an admission front-end over the serving plane:
+//!
+//! 1. requests are received in bursts ([`ReqRepServer::recv_batch`]) and decoded
+//!    zero-copy ([`InferenceRequest::decode_view`]); malformed payloads get a typed
+//!    protocol error reply;
+//! 2. admission control sheds requests when the assembler queue is full or when a
+//!    request's deadline cannot be met at the current estimated queue delay
+//!    ([`KIND_SHED`] + [`HDR_RETRY_AFTER_SECS`]);
+//! 3. admitted requests queue in a [`BatchAssembler`] which dispatches a batch when
+//!    `max_batch_size` is reached or the oldest entry's latency budget expires;
+//! 4. batches route to the least-loaded replica of a [`ReplicaPool`], whose worker
+//!    executes them and stamps the paper's `service` / `inference` time decomposition
+//!    onto each reply.
+//!
+//! With the default [`ServingConfig`] (1 replica, batch size 1) every request
+//! dispatches immediately to a single host — the seed-era behaviour, bit for bit.
+//!
+//! Lock order: the serve loop owns the assembler outright (no lock); the pool's replica
+//! list lock is only ever taken *after* assembler operations complete, and replica
+//! workers take the host `serve_lock` without holding the replica-list lock.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,51 +35,95 @@ use hpcml_comm::reqrep::{ReqRepServer, Responder, HDR_ENQUEUED_AT};
 use hpcml_sim::clock::SharedClock;
 use hpcml_sim::dist::Dist;
 
+use crate::batcher::{BatchAssembler, ServingConfig};
 use crate::host::ModelHost;
+use crate::pool::{null_sink, BatchItem, ReplicaPool, SharedMetricsSink};
 use crate::protocol::*;
 use crate::request::InferenceRequest;
 
 /// How long the serve loop blocks on the endpoint before re-checking its stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
+/// Floor on the batch-deadline wait, so a near-due budget never busy-spins.
+const MIN_WAIT_SECS: f64 = 0.000_05;
+
 /// The serve loop of one service instance.
 pub struct InferenceService {
     name: String,
-    host: Arc<ModelHost>,
+    /// The first replica's host, kept for readiness probes and spec queries.
+    primary: Arc<ModelHost>,
+    pool: Arc<ReplicaPool>,
     clock: SharedClock,
+    config: ServingConfig,
     /// Request parsing/serialisation overhead (the non-queue part of `service` time).
     handling_overhead: Dist,
     rng: Mutex<StdRng>,
     requests_served: AtomicU64,
+    sink: SharedMetricsSink,
 }
 
 impl std::fmt::Debug for InferenceService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InferenceService")
             .field("name", &self.name)
-            .field("model", &self.host.spec().name)
+            .field("model", &self.primary.spec().name)
+            .field("replicas", &self.pool.replica_count())
+            .field("max_batch_size", &self.config.max_batch_size)
             .field("requests_served", &self.requests_served())
             .finish()
     }
 }
 
 impl InferenceService {
-    /// Create a service around a loaded (or to-be-loaded) model host.
+    /// Create a single-replica, unbatched service around one model host — the legacy
+    /// shape, equivalent to `with_config` with [`ServingConfig::default`].
     pub fn new(
         name: impl Into<String>,
         host: Arc<ModelHost>,
         clock: SharedClock,
         seed: u64,
     ) -> Self {
+        Self::with_config(
+            name,
+            vec![host],
+            clock,
+            seed,
+            ServingConfig::default(),
+            null_sink(),
+        )
+    }
+
+    /// Create a service over explicit replicas with a full serving configuration.
+    ///
+    /// # Panics
+    /// Panics when `hosts` is empty — a service needs at least one replica.
+    pub fn with_config(
+        name: impl Into<String>,
+        hosts: Vec<Arc<ModelHost>>,
+        clock: SharedClock,
+        seed: u64,
+        config: ServingConfig,
+        sink: SharedMetricsSink,
+    ) -> Self {
+        assert!(!hosts.is_empty(), "a service needs at least one replica");
+        let primary = Arc::clone(&hosts[0]);
+        let pool = Arc::new(ReplicaPool::new(
+            hosts,
+            Arc::clone(&clock),
+            Arc::clone(&sink),
+        ));
         InferenceService {
             name: name.into(),
-            host,
+            primary,
+            pool,
             clock,
+            config,
             // Parsing + reply serialisation: tens of microseconds, so the "service"
             // component stays below the network latency for NOOP calls (Figs. 4-5).
             handling_overhead: Dist::normal(0.00003, 0.00001),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             requests_served: AtomicU64::new(0),
+            sink,
         }
     }
 
@@ -72,55 +132,114 @@ impl InferenceService {
         &self.name
     }
 
-    /// The hosted model.
+    /// The primary replica's model host.
     pub fn host(&self) -> &Arc<ModelHost> {
-        &self.host
+        &self.primary
     }
 
-    /// Requests served by this service loop.
+    /// The replica pool behind this service.
+    pub fn pool(&self) -> &Arc<ReplicaPool> {
+        &self.pool
+    }
+
+    /// The serving configuration in effect.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Inference requests admitted by this service loop.
     pub fn requests_served(&self) -> u64 {
         self.requests_served.load(Ordering::Relaxed)
     }
 
     /// Run the serve loop until `stop` is set or a shutdown message arrives.
-    /// Returns the number of requests served in this invocation.
+    /// Returns the number of messages handled in this invocation. On exit the
+    /// assembler is flushed and the pool quiesced, so every admitted request is
+    /// answered before the loop returns.
     pub fn serve(&self, endpoint: &ReqRepServer, stop: &AtomicBool) -> u64 {
-        let mut served = 0;
-        while !stop.load(Ordering::Acquire) {
-            match endpoint.recv_timeout(POLL_INTERVAL) {
-                Ok((msg, responder)) => {
-                    let is_shutdown = msg.kind == KIND_SHUTDOWN;
-                    self.dispatch(msg, responder);
-                    if is_shutdown {
-                        break;
+        let mut served = 0u64;
+        let mut assembler: BatchAssembler<BatchItem> = BatchAssembler::new(
+            self.config.max_batch_size,
+            self.config.batch_latency_budget_secs,
+        );
+        let admit_chunk = self.config.max_batch_size.max(16);
+        'serve: while !stop.load(Ordering::Acquire) {
+            self.flush_ready(&mut assembler, false);
+            match endpoint.recv_batch(admit_chunk, self.recv_timeout_for(&assembler)) {
+                Ok(burst) => {
+                    for (msg, responder) in burst {
+                        if msg.kind == KIND_SHUTDOWN {
+                            let reply = Message::new(msg.topic.clone(), KIND_PONG)
+                                .with_header("stopping", "true");
+                            let _ = responder.reply(reply);
+                            break 'serve;
+                        }
+                        self.admit(msg, responder, &mut assembler);
+                        served += 1;
                     }
-                    served += 1;
                 }
-                Err(hpcml_comm::CommError::Timeout) => continue,
+                Err(hpcml_comm::CommError::Timeout) => {
+                    // Liveness valve: a manual clock (scale = ∞) never expires a
+                    // virtual budget from inside this loop, so an idle wait flushes
+                    // whatever is queued rather than stranding it.
+                    if self.clock.scale().is_infinite() {
+                        self.flush_ready(&mut assembler, true);
+                    }
+                }
                 Err(_) => break,
             }
         }
+        self.flush_ready(&mut assembler, true);
+        self.pool.quiesce();
         served
     }
 
-    /// Handle one message (used directly by unit tests and by [`InferenceService::serve`]).
-    pub fn dispatch(&self, msg: Message, responder: Responder) {
+    /// Real-time receive timeout for the next wait: the virtual time until the oldest
+    /// assembler entry's budget expires, converted through the clock scale.
+    fn recv_timeout_for(&self, assembler: &BatchAssembler<BatchItem>) -> Duration {
+        match assembler.secs_until_due(self.clock.now().as_secs_f64()) {
+            None => POLL_INTERVAL,
+            Some(due) => {
+                let scale = self.clock.scale();
+                let real = if scale.is_finite() && scale > 0.0 {
+                    due.max(0.0) / scale
+                } else {
+                    0.0
+                };
+                Duration::from_secs_f64(real.clamp(MIN_WAIT_SECS, POLL_INTERVAL.as_secs_f64()))
+            }
+        }
+    }
+
+    /// Dispatch every due batch to the pool, stamping each member's assembler wait.
+    fn flush_ready(&self, assembler: &mut BatchAssembler<BatchItem>, force: bool) {
+        let now = self.clock.now().as_secs_f64();
+        while let Some(batch) = assembler.take_ready(now, force) {
+            let items: Vec<BatchItem> = batch
+                .into_iter()
+                .map(|d| {
+                    let mut item = d.item;
+                    item.batch_wait_secs = (now - d.arrival_secs).max(0.0);
+                    item.dispatched_secs = now;
+                    item
+                })
+                .collect();
+            self.pool.dispatch(items);
+        }
+    }
+
+    /// Handle one received message: control messages answer inline, inference
+    /// requests pass admission control into the assembler.
+    fn admit(&self, msg: Message, responder: Responder, assembler: &mut BatchAssembler<BatchItem>) {
         match msg.kind.as_str() {
             KIND_PING => {
-                let ready = self.host.is_loaded();
+                let ready = self.primary.is_loaded();
                 let reply = Message::new(msg.topic.clone(), KIND_PONG)
                     .with_header("ready", if ready { "true" } else { "false" })
-                    .with_header(HDR_MODEL, self.host.spec().name.clone());
+                    .with_header(HDR_MODEL, self.primary.spec().name.clone());
                 let _ = responder.reply(reply);
             }
-            KIND_SHUTDOWN => {
-                let reply =
-                    Message::new(msg.topic.clone(), KIND_PONG).with_header("stopping", "true");
-                let _ = responder.reply(reply);
-            }
-            KIND_INFER_REQUEST => {
-                self.handle_inference(msg, responder);
-            }
+            KIND_INFER_REQUEST => self.admit_inference(msg, responder, assembler),
             other => {
                 let reply = Message::new(msg.topic.clone(), KIND_ERROR)
                     .with_header(HDR_ERROR, format!("unknown message kind: {other}"));
@@ -129,14 +248,57 @@ impl InferenceService {
         }
     }
 
-    fn handle_inference(&self, msg: Message, responder: Responder) {
-        let dequeued_at = self.clock.now().as_secs_f64();
-        // Time the request spent waiting in the endpoint queue (the paper counts this
-        // in the `service` component).
-        let queue_secs = msg
+    fn admit_inference(
+        &self,
+        msg: Message,
+        responder: Responder,
+        assembler: &mut BatchAssembler<BatchItem>,
+    ) {
+        let arrived_secs = self.clock.now().as_secs_f64();
+        // Time already spent in the endpoint queue counts toward `service` time; the
+        // client stamps its enqueue instant after link traversal.
+        let admission_queue_secs = msg
             .f64_header(HDR_ENQUEUED_AT)
-            .map(|enq| (dequeued_at - enq).max(0.0))
+            .map(|enq| (arrived_secs - enq).max(0.0))
             .unwrap_or(0.0);
+
+        let view = match InferenceRequest::decode_view(&msg.payload) {
+            Ok(view) => view,
+            Err(err) => {
+                let reply = Message::new(msg.topic.clone(), KIND_ERROR)
+                    .with_header(HDR_ERROR, err.to_string());
+                let _ = responder.reply(reply);
+                return;
+            }
+        };
+
+        // Bounded admission queue: beyond capacity the request is shed, not queued.
+        if assembler.len() >= self.config.queue_capacity {
+            self.shed(
+                msg.topic.clone(),
+                view.request_id,
+                responder,
+                assembler.len(),
+            );
+            return;
+        }
+
+        // Deadline-aware shedding: reject now (cheap) rather than time out later
+        // (expensive) when the estimated queue delay already exceeds the deadline.
+        if self.config.shed_deadlines {
+            if let Some(deadline_secs) = msg.f64_header(HDR_DEADLINE_SECS) {
+                let est = self.pool.estimated_queue_delay_secs(assembler.len());
+                if est > deadline_secs {
+                    self.shed(
+                        msg.topic.clone(),
+                        view.request_id,
+                        responder,
+                        assembler.len(),
+                    );
+                    return;
+                }
+            }
+        }
 
         // Parsing / deserialisation overhead.
         let handling_secs = {
@@ -145,37 +307,34 @@ impl InferenceService {
         };
         self.clock.sleep(Duration::from_secs_f64(handling_secs));
 
-        let request = match msg.text().and_then(InferenceRequest::from_payload) {
-            Some(r) => r,
-            None => {
-                let reply = Message::new(msg.topic.clone(), KIND_ERROR)
-                    .with_header(HDR_ERROR, "malformed inference request payload");
-                let _ = responder.reply(reply);
-                return;
-            }
-        };
+        let request = view.to_request();
+        assembler.push(
+            BatchItem {
+                request,
+                responder,
+                topic: msg.topic.clone(),
+                admission_queue_secs,
+                handling_secs,
+                batch_wait_secs: 0.0,
+                dispatched_secs: arrived_secs,
+            },
+            arrived_secs,
+        );
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.sink
+            .record("serving.queue.depth", assembler.len() as f64);
+    }
 
-        match self.host.handle(&request) {
-            Ok(resp) => {
-                self.requests_served.fetch_add(1, Ordering::Relaxed);
-                let service_secs = queue_secs + handling_secs;
-                let reply = Message::new(msg.topic.clone(), KIND_INFER_REPLY)
-                    .with_header(HDR_REQUEST_ID, resp.request_id.clone())
-                    .with_header(HDR_MODEL, resp.model.clone())
-                    .with_f64_header(HDR_SERVICE_SECS, service_secs)
-                    .with_f64_header(HDR_INFERENCE_SECS, resp.inference_secs)
-                    .with_header(HDR_PROMPT_TOKENS, resp.prompt_tokens.to_string())
-                    .with_header(HDR_COMPLETION_TOKENS, resp.completion_tokens.to_string())
-                    .with_text(&resp.text);
-                let _ = responder.reply(reply);
-            }
-            Err(err) => {
-                let reply = Message::new(msg.topic.clone(), KIND_ERROR)
-                    .with_header(HDR_ERROR, err.to_string())
-                    .with_header(HDR_REQUEST_ID, request.request_id);
-                let _ = responder.reply(reply);
-            }
-        }
+    fn shed(&self, topic: String, request_id: &str, responder: Responder, queued: usize) {
+        let retry_after_secs = self
+            .pool
+            .estimated_queue_delay_secs(queued)
+            .max(self.config.batch_latency_budget_secs);
+        let reply = Message::new(topic, KIND_SHED)
+            .with_header(HDR_REQUEST_ID, request_id)
+            .with_f64_header(HDR_RETRY_AFTER_SECS, retry_after_secs);
+        let _ = responder.reply(reply);
+        self.sink.record("serving.shed", 1.0);
     }
 }
 
@@ -183,7 +342,17 @@ impl InferenceService {
 pub fn inference_request_message(endpoint: &str, request: &InferenceRequest) -> Message {
     Message::new(endpoint, KIND_INFER_REQUEST)
         .with_header(HDR_REQUEST_ID, request.request_id.clone())
-        .with_text(&request.to_payload())
+        .with_payload(request.encode_payload())
+}
+
+/// [`inference_request_message`] with a completion deadline attached: the service sheds
+/// the request upfront when its estimated queue delay exceeds `deadline_secs`.
+pub fn inference_request_message_with_deadline(
+    endpoint: &str,
+    request: &InferenceRequest,
+    deadline_secs: f64,
+) -> Message {
+    inference_request_message(endpoint, request).with_f64_header(HDR_DEADLINE_SECS, deadline_secs)
 }
 
 #[cfg(test)]
@@ -209,9 +378,34 @@ mod tests {
         thread::JoinHandle<u64>,
         hpcml_comm::ReqRepClient,
     ) {
-        let host = shared_host(spec, Arc::clone(&clock), 7);
-        host.load();
-        let service = InferenceService::new("svc.test", host, Arc::clone(&clock), 8);
+        start_with_config(spec, clock, 1, ServingConfig::default())
+    }
+
+    fn start_with_config(
+        spec: ModelSpec,
+        clock: SharedClock,
+        replicas: usize,
+        config: ServingConfig,
+    ) -> (
+        Arc<AtomicBool>,
+        thread::JoinHandle<u64>,
+        hpcml_comm::ReqRepClient,
+    ) {
+        let hosts: Vec<Arc<ModelHost>> = (0..replicas.max(1))
+            .map(|i| {
+                let h = shared_host(spec.clone(), Arc::clone(&clock), 7 + i as u64);
+                h.load();
+                h
+            })
+            .collect();
+        let service = InferenceService::with_config(
+            "svc.test",
+            hosts,
+            Arc::clone(&clock),
+            8,
+            config,
+            null_sink(),
+        );
         let endpoint = ReqRepServer::new("svc.test");
         let client = endpoint.client(Link::instant(Arc::clone(&clock)));
         let stop = Arc::new(AtomicBool::new(false));
@@ -243,6 +437,7 @@ mod tests {
         assert_eq!(reply.f64_header(HDR_INFERENCE_SECS), Some(0.0));
         assert!(reply.f64_header(HDR_SERVICE_SECS).unwrap() >= 0.0);
         assert_eq!(reply.header(HDR_MODEL), Some("noop"));
+        assert_eq!(reply.header(HDR_BATCH_SIZE), Some("1"));
         stop.store(true, Ordering::Release);
         handle.join().unwrap();
     }
@@ -375,5 +570,153 @@ mod tests {
         assert_eq!(service.requests_served(), 2);
         stop.store(true, Ordering::Release);
         server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn batched_service_answers_every_client_with_one_dispatch() {
+        let c = clock();
+        let config = ServingConfig::default()
+            .max_batch_size(8)
+            .batch_latency_budget_secs(0.5);
+        let (stop, handle, client) =
+            start_with_config(ModelSpec::sim_llama_8b(), Arc::clone(&c), 1, config);
+        let clients: Vec<_> = (0..8).map(|_| client.clone()).collect();
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, cl)| {
+                thread::spawn(move || {
+                    let req =
+                        InferenceRequest::new("q ".repeat(30), 64).from_client(format!("task.{i}"));
+                    cl.request(inference_request_message("svc.test", &req))
+                        .unwrap()
+                })
+            })
+            .collect();
+        let replies: Vec<Message> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut max_batch = 0usize;
+        for reply in &replies {
+            assert_eq!(
+                reply.kind,
+                KIND_INFER_REPLY,
+                "{:?}",
+                reply.header(HDR_ERROR)
+            );
+            let b: usize = reply.header(HDR_BATCH_SIZE).unwrap().parse().unwrap();
+            max_batch = max_batch.max(b);
+            assert!(reply.f64_header(HDR_BATCH_WAIT_SECS).unwrap() >= 0.0);
+        }
+        assert!(
+            max_batch >= 2,
+            "concurrent requests should batch, best batch {max_batch}"
+        );
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn capacity_overflow_sheds_with_retry_after() {
+        let c = clock();
+        // Batch of 4 with a long budget and a 2-deep admission queue: three
+        // near-simultaneous requests -> two queue, one sheds.
+        let config = ServingConfig::default()
+            .max_batch_size(4)
+            .batch_latency_budget_secs(5.0)
+            .queue_capacity(2);
+        let (stop, handle, client) =
+            start_with_config(ModelSpec::noop(), Arc::clone(&c), 1, config);
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let cl = client.clone();
+                thread::spawn(move || {
+                    let req = InferenceRequest::new("x", 1).from_client(format!("task.{i}"));
+                    cl.request(inference_request_message("svc.test", &req))
+                        .unwrap()
+                })
+            })
+            .collect();
+        let replies: Vec<Message> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let shed: Vec<&Message> = replies.iter().filter(|r| r.kind == KIND_SHED).collect();
+        let ok = replies
+            .iter()
+            .filter(|r| r.kind == KIND_INFER_REPLY)
+            .count();
+        assert_eq!(shed.len(), 1, "exactly one of three must shed: {replies:?}");
+        assert_eq!(ok, 2);
+        assert!(shed[0].f64_header(HDR_RETRY_AFTER_SECS).unwrap() > 0.0);
+        assert!(shed[0].header(HDR_REQUEST_ID).is_some());
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_miss_is_shed_upfront() {
+        let c = clock();
+        let (stop, handle, client) = start_with_config(
+            ModelSpec::sim_llama_8b(),
+            Arc::clone(&c),
+            1,
+            ServingConfig::default(),
+        );
+        // Warm the service-time estimate with one completed request.
+        let warm = InferenceRequest::new("w ".repeat(40), 64);
+        client
+            .request(inference_request_message("svc.test", &warm))
+            .unwrap();
+        // Occupy the replica...
+        let blocker = client.clone();
+        let blocker_handle = thread::spawn(move || {
+            let req = InferenceRequest::new("w ".repeat(40), 64);
+            blocker
+                .request(inference_request_message("svc.test", &req))
+                .unwrap()
+        });
+        thread::sleep(Duration::from_millis(1));
+        // ...then ask for an impossible deadline: the estimated queue delay (about one
+        // full inference) dwarfs a 1 ms budget, so admission sheds immediately.
+        let req = InferenceRequest::new("now or never", 64);
+        let reply = client
+            .request(inference_request_message_with_deadline(
+                "svc.test", &req, 0.001,
+            ))
+            .unwrap();
+        assert_eq!(reply.kind, KIND_SHED, "{:?}", reply.header(HDR_ERROR));
+        assert!(reply.f64_header(HDR_RETRY_AFTER_SECS).unwrap() > 0.001);
+        assert_eq!(blocker_handle.join().unwrap().kind, KIND_INFER_REPLY);
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn replicas_split_concurrent_load() {
+        let c = clock();
+        let config = ServingConfig::default().replicas(2);
+        let (stop, handle, client) =
+            start_with_config(ModelSpec::sim_llama_8b(), Arc::clone(&c), 2, config);
+        let t0 = c.now();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cl = client.clone();
+                thread::spawn(move || {
+                    let req = InferenceRequest::new("w ".repeat(40), 64);
+                    cl.request(inference_request_message("svc.test", &req))
+                        .unwrap()
+                })
+            })
+            .collect();
+        let replies: Vec<Message> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let elapsed = c.now().since(t0).as_secs_f64();
+        let sum_inference: f64 = replies
+            .iter()
+            .map(|r| r.f64_header(HDR_INFERENCE_SECS).unwrap())
+            .sum();
+        // Two replicas serve two requests concurrently: wall time well under the
+        // serial sum (the single-replica `queueing_shows_up_in_service_time` shape).
+        assert!(
+            elapsed < sum_inference * 0.9,
+            "elapsed {elapsed} vs serial {sum_inference}"
+        );
+        stop.store(true, Ordering::Release);
+        handle.join().unwrap();
     }
 }

@@ -7,14 +7,16 @@
 
 use proc_macro::TokenStream;
 
-/// No-op `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+/// No-op `#[derive(Serialize)]`. Accepts (and ignores) `#[serde(...)]` field and
+/// container attributes, as the real macro does.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+/// No-op `#[derive(Deserialize)]`. Accepts (and ignores) `#[serde(...)]` field and
+/// container attributes, as the real macro does.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

@@ -34,7 +34,18 @@
 #      of a 10^4 burst) are missing from the parsed results, or the batched path
 #      stops beating one-by-one admission (>= BENCH_ADMISSION_MIN_SPEEDUP,
 #      default 1.0x — batching trades per-item lock round trips for one per
-#      shard, which pays on any host).
+#      shard, which pays on any host); or
+#   8. any of the four serving-plane datapoints (serving/unbatched,
+#      serving/batched/8, serving/overload_p99/shed_on, .../shed_off) is missing
+#      from the serving bench's parsed results, or continuous micro-batching
+#      stops beating the unbatched service (unbatched/batched per-request time
+#      >= BENCH_SERVING_MIN_SPEEDUP, default 1.5x), or deadline shedding stops
+#      bounding the overload tail (shed_off p99 / shed_on p99 >=
+#      BENCH_SERVING_MIN_TAIL_IMPROVEMENT, default 1.5x). These measure
+#      **virtual** time — the simulation's deterministic cost model — so the
+#      bounds are machine-independent and flat; the env overrides exist for
+#      intentional cost-model changes, not slow hardware. Recorded in their own
+#      baseline, BENCH_serving.json.
 #
 # Every run also writes its raw criterion output, the parsed results, and the
 # candidate baseline JSON under target/bench-guard/ so CI can upload them as a
@@ -46,12 +57,13 @@
 # commit alongside an intentional perf change.
 #
 # Usage: scripts/bench_guard.sh
-#        BENCH_BASELINE_UPDATE=1 scripts/bench_guard.sh   # refresh BENCH_scheduler.json
+#        BENCH_BASELINE_UPDATE=1 scripts/bench_guard.sh   # refresh both baselines
 # Also reachable through `BENCH_GUARD=1 scripts/verify.sh`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE="BENCH_scheduler.json"
+SERVING_BASELINE="BENCH_serving.json"
 THRESHOLD="${BENCH_GUARD_THRESHOLD:-2.0}"
 REFERENCE="registry/lookup_64"
 ARTIFACTS="target/bench-guard"
@@ -62,9 +74,11 @@ RAW="$(cargo bench -p hpcml-bench --bench runtime_hotpaths 2>&1)"
 echo "$RAW"
 echo "$RAW" > "$ARTIFACTS/criterion-output.txt"
 
-# The criterion shim prints `name  time: [  XXX.XX <unit>/iter]  samples: N`.
+# The criterion shim (and the serving bench's reporter) print
+# `name  time: [  XXX.XX <unit>/iter]  samples: N`.
 # Normalise every such line to "name <ns/iter>" pairs.
-RESULTS="$(echo "$RAW" | awk '
+parse_results() { # parse_results <raw bench output> -> "name ns" lines on stdout
+    echo "$1" | awk '
     /time: \[/ {
         name = $1
         if (match($0, /\[ *[0-9.]+ +[a-zA-Zµ]+\/iter\]/)) {
@@ -78,7 +92,9 @@ RESULTS="$(echo "$RAW" | awk '
             else if (unit != "ns") next
             printf "%s %.2f\n", name, value
         }
-    }')"
+    }'
+}
+RESULTS="$(parse_results "$RAW")"
 
 echo "$RESULTS" > "$ARTIFACTS/results-parsed.txt"
 
@@ -256,6 +272,51 @@ if [[ -n "$ADMIT_BATCHED" && -n "$ADMIT_INDIVIDUAL" ]]; then
         }' || fail=1
 fi
 
+# Guard 8: the serving plane. A separate bench binary because it measures virtual
+# (simulated) time rather than host nanoseconds: the batched/unbatched ratio and the
+# shed-on/shed-off tail ratio are properties of the serving cost model, deterministic
+# up to mild thread-interleaving effects, so the bounds are flat and the trajectory
+# lives in its own baseline file.
+echo "==> cargo bench -p hpcml-bench --bench serving_plane"
+SERVING_RAW="$(cargo bench -p hpcml-bench --bench serving_plane 2>&1)"
+echo "$SERVING_RAW"
+echo "$SERVING_RAW" > "$ARTIFACTS/serving-output.txt"
+SERVING_RESULTS="$(parse_results "$SERVING_RAW")"
+echo "$SERVING_RESULTS" > "$ARTIFACTS/serving-parsed.txt"
+
+for point in "serving/unbatched" "serving/batched/8" \
+    "serving/overload_p99/shed_on" "serving/overload_p99/shed_off"; do
+    if ! echo "$SERVING_RESULTS" | grep -q "^$point "; then
+        echo "bench_guard: FAILED — $point missing from serving bench results" >&2
+        fail=1
+    fi
+done
+SERVING_UNBATCHED="$(lookup "$SERVING_RESULTS" "serving/unbatched")"
+SERVING_BATCHED="$(lookup "$SERVING_RESULTS" "serving/batched/8")"
+if [[ -n "$SERVING_UNBATCHED" && -n "$SERVING_BATCHED" ]]; then
+    SERVING_MIN_SPEEDUP="${BENCH_SERVING_MIN_SPEEDUP:-1.5}"
+    awk -v batched="$SERVING_BATCHED" -v unbatched="$SERVING_UNBATCHED" \
+        -v min="$SERVING_MIN_SPEEDUP" '
+        BEGIN {
+            speedup = (batched > 0) ? unbatched / batched : 0
+            printf "guard: serving per-request unbatched %.0f ns vs batched-8 %.0f ns (virtual): %.2fx speedup (bound %.2fx)\n", \
+                unbatched, batched, speedup, min
+            exit !(speedup >= min)
+        }' || fail=1
+fi
+SHED_ON_P99="$(lookup "$SERVING_RESULTS" "serving/overload_p99/shed_on")"
+SHED_OFF_P99="$(lookup "$SERVING_RESULTS" "serving/overload_p99/shed_off")"
+if [[ -n "$SHED_ON_P99" && -n "$SHED_OFF_P99" ]]; then
+    SERVING_MIN_TAIL="${BENCH_SERVING_MIN_TAIL_IMPROVEMENT:-1.5}"
+    awk -v on="$SHED_ON_P99" -v off="$SHED_OFF_P99" -v min="$SERVING_MIN_TAIL" '
+        BEGIN {
+            ratio = (on > 0) ? off / on : 0
+            printf "guard: overload p99 shed_off %.0f ns vs shed_on %.0f ns (virtual): %.2fx tail improvement (bound %.2fx)\n", \
+                off, on, ratio, min
+            exit !(ratio >= min)
+        }' || fail=1
+fi
+
 # The candidate baseline is always written to the artifact dir (inspectable from the
 # Actions UI next to the committed baseline), whatever the guard verdict.
 write_baseline() { # write_baseline <path>
@@ -272,8 +333,22 @@ if [[ -f "$BASELINE" ]]; then
     cp "$BASELINE" "$ARTIFACTS/BENCH_scheduler.committed.json"
 fi
 
+write_serving_baseline() { # write_serving_baseline <path>
+    echo "$SERVING_RESULTS" | awk '
+        BEGIN { print "{"; print "  \"unit\": \"virtual_ns_per_iter\"," }
+        /^serving\// {
+            if (n++) printf ",\n"
+            printf "  \"%s\": %s", $1, $2
+        }
+        END { print ""; print "}" }' > "$1"
+}
+write_serving_baseline "$ARTIFACTS/BENCH_serving.candidate.json"
+if [[ -f "$SERVING_BASELINE" ]]; then
+    cp "$SERVING_BASELINE" "$ARTIFACTS/BENCH_serving.committed.json"
+fi
+
 if [[ "$fail" != 0 ]]; then
-    echo "bench_guard: FAILED (baseline $BASELINE left untouched)" >&2
+    echo "bench_guard: FAILED (baselines $BASELINE / $SERVING_BASELINE left untouched)" >&2
     exit 1
 fi
 
@@ -282,5 +357,11 @@ if [[ ! -f "$BASELINE" || "${BENCH_BASELINE_UPDATE:-0}" == "1" ]]; then
     echo "==> wrote $BASELINE"
 else
     echo "==> baseline unchanged (set BENCH_BASELINE_UPDATE=1 to record a new datapoint)"
+fi
+if [[ ! -f "$SERVING_BASELINE" || "${BENCH_BASELINE_UPDATE:-0}" == "1" ]]; then
+    write_serving_baseline "$SERVING_BASELINE"
+    echo "==> wrote $SERVING_BASELINE"
+else
+    echo "==> serving baseline unchanged (set BENCH_BASELINE_UPDATE=1 to record a new datapoint)"
 fi
 echo "bench_guard: OK"
