@@ -1,0 +1,225 @@
+//! Comm-fabric benchmark family: zero-copy fan-out vs per-subscriber cloning,
+//! batched vs singleton request round trips, and registry lookup under
+//! registration churn.
+//!
+//! Two kinds of measurement share one binary:
+//!
+//! * **Real-time** points (`comm/fanout/*`, `comm/registry/*`) measure nanoseconds of
+//!   CPU work per operation — the fan-out comparison is allocation-bound, so the
+//!   encode-once/clone-each ratio holds on any host regardless of core count.
+//! * **Virtual-time** points (`comm/batch/*`) measure the deterministic link-pricing
+//!   model on the scaled clock, like the serving-plane bench: the batched/singleton
+//!   ratio is a property of the coalescing rule, not of the machine.
+//!
+//! All results print in the harness line format (`name  time: [...]`) consumed by
+//! `scripts/bench_guard.sh` and recorded in `BENCH_comm.json`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hpcml_comm::link::Link;
+use hpcml_comm::message::Message;
+use hpcml_comm::pubsub::Publisher;
+use hpcml_comm::registry::EndpointRegistry;
+use hpcml_comm::reqrep::ReqRepServer;
+use hpcml_platform::network::LatencyProfile;
+use hpcml_sim::clock::ClockSpec;
+
+/// Virtual seconds per real second for the virtual-time points. Low enough that
+/// real scheduling jitter (tens of µs) stays small against the 500 ms virtual hops.
+const CLOCK_SCALE: f64 = 1_000.0;
+
+/// Print one result in the bench harness line format (same shape as the criterion
+/// shim: `name  time: [  value unit/iter]  samples: N`).
+fn report(name: &str, secs_per_iter: f64, samples: usize) {
+    let (scaled, unit) = if secs_per_iter < 1e-6 {
+        (secs_per_iter * 1e9, "ns")
+    } else if secs_per_iter < 1e-3 {
+        (secs_per_iter * 1e6, "µs")
+    } else {
+        (secs_per_iter * 1e3, "ms")
+    };
+    println!("{name:<48} time: [{scaled:9.2} {unit}/iter]  samples: {samples}");
+}
+
+/// A representative state-update message: the header set a runtime state transition
+/// carries (entity, states, placement, stamps) plus a ~1 KiB body.
+fn update_message() -> Message {
+    Message::new("state.task.running", "state.update")
+        .with_header("entity", "task.000042")
+        .with_header("state", "AGENT_EXECUTING")
+        .with_header("prev_state", "AGENT_SCHEDULING")
+        .with_header("pilot", "pilot.0001")
+        .with_header("node", "frontier-c12n07")
+        .with_header("session", "session.bench")
+        .with_f64_header("at", 123.456)
+        .with_f64_header("queued_at", 122.789)
+        .with_text(&"task state payload ".repeat(54))
+}
+
+/// Zero-copy fan-out: encode once, hand the same frozen frame to all N subscribers.
+fn bench_fanout_encode_once(subscribers: usize, iters: usize) -> f64 {
+    let publisher = Publisher::new();
+    let subs: Vec<_> = (0..subscribers)
+        .map(|_| publisher.subscribe(&["state."]))
+        .collect();
+    let msg = update_message();
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let delivered = publisher.publish(&msg);
+        total += t0.elapsed();
+        assert_eq!(delivered, subscribers);
+        // Drain outside the timed window so queue growth never skews later iterations.
+        for sub in &subs {
+            sub.drain_frames();
+        }
+    }
+    total.as_secs_f64() / iters as f64
+}
+
+/// The pre-fabric baseline, reconstructed: deep-clone the `Message` once per
+/// subscriber and send the owned copies — N clones instead of one encode.
+fn bench_fanout_clone_each(subscribers: usize, iters: usize) -> f64 {
+    let channels: Vec<_> = (0..subscribers)
+        .map(|_| crossbeam::channel::unbounded::<Message>())
+        .collect();
+    let msg = update_message();
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        for (tx, _) in &channels {
+            tx.send(msg.clone()).unwrap();
+        }
+        total += t0.elapsed();
+        for (_, rx) in &channels {
+            while rx.try_recv().is_ok() {}
+        }
+    }
+    total.as_secs_f64() / iters as f64
+}
+
+/// Registry lookups racing registration churn on the other shards.
+fn bench_registry_lookup_churn(iters: usize) -> f64 {
+    let registry = Arc::new(EndpointRegistry::new());
+    let servers: Vec<ReqRepServer> = (0..64)
+        .map(|i| ReqRepServer::new(format!("service.svc-{i:03}")))
+        .collect();
+    for s in &servers {
+        registry
+            .register(s.name().to_string(), s.handle(), BTreeMap::new())
+            .unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let name = format!("service.churn-{}", i % 32);
+                let server = ReqRepServer::new(name.clone());
+                let _ = registry.register(name.clone(), server.handle(), BTreeMap::new());
+                let _ = registry.unregister(&name);
+                i += 1;
+                thread::yield_now();
+            }
+        })
+    };
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let name = format!("service.svc-{:03}", i % 64);
+        assert!(registry.lookup(&name).is_some());
+    }
+    let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+    per_iter
+}
+
+/// Virtual response time per request for `n` requests over a 500 ms hop, sent either
+/// one round trip at a time or as one coalesced batch.
+fn bench_roundtrip(n: usize, batched: bool) -> f64 {
+    let clock = ClockSpec::scaled(CLOCK_SCALE).build();
+    let profile = LatencyProfile::normal_ms(500.0, 0.0).with_per_kib_ms(1.0);
+    let link = Link::new("bench", Arc::clone(&clock), profile, 17);
+    let server = ReqRepServer::new("svc.rt");
+    let client = server.client(link);
+    let serve = thread::spawn(move || {
+        let mut served = 0;
+        while served < n {
+            let batch = server
+                .recv_batch(n, Duration::from_secs(30))
+                .expect("bench server");
+            for (msg, r) in batch {
+                served += 1;
+                r.reply(Message::new(msg.topic, "reply").with_text("ok"))
+                    .unwrap();
+            }
+        }
+    });
+    let t0 = clock.now();
+    if batched {
+        let reqs: Vec<Message> = (0..n)
+            .map(|i| Message::new("svc.rt", "req").with_text(&i.to_string()))
+            .collect();
+        let replies = client
+            .request_batch(reqs, Duration::from_secs(30))
+            .expect("batched replies");
+        assert_eq!(replies.len(), n);
+    } else {
+        for i in 0..n {
+            client
+                .request(Message::new("svc.rt", "req").with_text(&i.to_string()))
+                .expect("singleton reply");
+        }
+    }
+    let elapsed = clock.now().since(t0).as_secs_f64();
+    serve.join().unwrap();
+    elapsed / n as f64
+}
+
+fn main() {
+    // Fan-out sweep: the encode-once path must beat the clone-per-subscriber
+    // baseline, and the gap must widen with subscriber count.
+    const FANOUT_ITERS: usize = 2_000;
+    for subscribers in [1usize, 8, 64] {
+        report(
+            &format!("comm/fanout/encode_once/{subscribers}"),
+            bench_fanout_encode_once(subscribers, FANOUT_ITERS),
+            FANOUT_ITERS,
+        );
+    }
+    for subscribers in [1usize, 8, 64] {
+        report(
+            &format!("comm/fanout/clone_each/{subscribers}"),
+            bench_fanout_clone_each(subscribers, FANOUT_ITERS),
+            FANOUT_ITERS,
+        );
+    }
+
+    // Batched vs singleton round trips, priced on the virtual clock: 16 requests over
+    // a 500 ms hop cost one latency sample per direction when coalesced, 16 when not.
+    const BATCH_N: usize = 16;
+    report(
+        "comm/batch/roundtrip/singleton",
+        bench_roundtrip(BATCH_N, false),
+        BATCH_N,
+    );
+    report(
+        "comm/batch/roundtrip/batched_16",
+        bench_roundtrip(BATCH_N, true),
+        BATCH_N,
+    );
+
+    // Registry lookups stay fast while churn hammers registration on other names.
+    const LOOKUP_ITERS: usize = 50_000;
+    report(
+        "comm/registry/lookup_churn",
+        bench_registry_lookup_churn(LOOKUP_ITERS),
+        LOOKUP_ITERS,
+    );
+}

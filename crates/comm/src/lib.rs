@@ -6,17 +6,25 @@
 //! patterns from scratch on top of `crossbeam` channels, with:
 //!
 //! * [`message`] — a self-describing message envelope with a compact binary wire codec
-//!   (no external serialisation framework needed);
+//!   (no external serialisation framework needed) and reusable encode buffers;
 //! * [`reqrep`] — request/reply endpoints ([`reqrep::ReqRepServer`], [`reqrep::ReqRepClient`])
-//!   used for the service inference API;
-//! * [`pubsub`] — topic-based publish/subscribe used for state-update notification;
-//! * [`queue`] — work queues (PUSH/PULL) connecting runtime components;
-//! * [`registry`] — the endpoint registry services publish themselves into
-//!   (the `publish` component of the paper's bootstrap time);
+//!   used for the service inference API, with batched requests coalescing K messages
+//!   onto one link traversal;
+//! * [`pubsub`] — topic-based publish/subscribe used for state-update notification:
+//!   zero-copy fan-out (encode once, share the frame with every subscriber) over
+//!   sharded subscriber lists;
+//! * [`queue`] — work queues (PUSH/PULL) connecting runtime components, with batched
+//!   push/receive;
+//! * [`registry`] — the sharded, read-mostly endpoint registry services publish
+//!   themselves into (the `publish` component of the paper's bootstrap time);
+//!   lookups read lock-free snapshots, writes hide behind striped locks;
 //! * [`link`] — latency injection: every hop between two endpoints samples the
 //!   appropriate [`hpcml_platform::LatencyProfile`] (local vs remote) on the shared
 //!   virtual clock, so the response-time experiments see the paper's measured
-//!   0.063 ms / 0.47 ms link characteristics.
+//!   0.063 ms / 0.47 ms link characteristics; batches traverse once with summed
+//!   payload bytes ([`link::Link::traverse_batch`]);
+//! * [`metrics`] — the `comm.*` scalar series (fan-out width, batch size, queue
+//!   depth) the fabric records through a pluggable [`metrics::CommSink`].
 //!
 //! # Example
 //!
@@ -52,6 +60,7 @@
 pub mod error;
 pub mod link;
 pub mod message;
+pub mod metrics;
 pub mod pubsub;
 pub mod queue;
 pub mod registry;
@@ -60,6 +69,7 @@ pub mod reqrep;
 pub use error::CommError;
 pub use link::Link;
 pub use message::{Message, MessageView};
+pub use metrics::{null_comm_sink, CommSink, SharedCommSink};
 pub use pubsub::{Publisher, Subscriber};
 pub use queue::{WorkQueue, WorkQueueReceiver, WorkQueueSender};
 pub use registry::{EndpointEntry, EndpointRegistry};

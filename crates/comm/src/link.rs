@@ -5,23 +5,122 @@
 //! [`LatencyProfile`] and sleeps that long on the shared virtual clock, so higher layers
 //! measure communication time exactly the way the paper does — as part of the observed
 //! round trip, not as a synthetic constant.
+//!
+//! # Batched traversal (message coalescing)
+//!
+//! [`Link::traverse_batch`] prices a batch of K messages as **one** traversal carrying
+//! the summed payload bytes: a single one-way latency sample plus the bandwidth term
+//! for the total size. This is the coalescing rule ZeroMQ applies when it packs
+//! adjacent messages into one TCP segment — per-message latency is paid once per
+//! batch, while the bandwidth cost still scales with the bytes actually moved. A
+//! batch of one is exactly [`Link::traverse`].
+//!
+//! # Determinism
+//!
+//! Each link instance owns its own seeded RNG stream, advanced lock-free through an
+//! atomic state word — traversals never contend on a mutex. Cloning a link (every
+//! [`crate::reqrep::ReqRepClient`] clone carries one) derives a fresh stream from the
+//! parent's base seed, the link label, and a per-clone index, so concurrent senders
+//! draw from independent deterministic sequences instead of racing for one.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::RngCore;
 
 use hpcml_platform::network::LatencyProfile;
 use hpcml_sim::clock::SharedClock;
 
+/// Shared identity of a link family: every clone derives its RNG stream from here.
+struct LinkOrigin {
+    base_seed: u64,
+    clone_counter: AtomicU64,
+}
+
+/// A seeded RNG stream advanced through an atomic word: each draw is one SplitMix64
+/// output over a `fetch_add`-advanced state, so sampling is lock-free and every
+/// concurrent draw still gets a distinct point of the stream. Under a single sender it
+/// yields the same stream as `StdRng::seed_from_u64(seed)`.
+struct AtomicRng {
+    state: AtomicU64,
+}
+
+impl AtomicRng {
+    fn seeded(seed: u64) -> Self {
+        // Pre-advance once so the draw sequence (`mix` of the pre-`fetch_add` value)
+        // matches `StdRng::seed_from_u64(seed)`'s post-advance sequence exactly.
+        AtomicRng {
+            state: AtomicU64::new(seed.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// A borrowing handle implementing [`RngCore`] against the shared state.
+    fn stream(&self) -> AtomicRngStream<'_> {
+        AtomicRngStream { state: &self.state }
+    }
+}
+
+/// Borrowed draw handle over an [`AtomicRng`] (the `&mut self` in [`RngCore`] applies
+/// to the handle, not the shared state — advancement is the atomic `fetch_add`).
+struct AtomicRngStream<'a> {
+    state: &'a AtomicU64,
+}
+
+impl RngCore for AtomicRngStream<'_> {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(
+            self.state
+                .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
+        )
+    }
+}
+
+/// One SplitMix64 output step over an already-advanced state word.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a label, to fold it into derived stream seeds.
+fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// A (possibly latency-injecting) network path between two endpoints.
-#[derive(Clone)]
 pub struct Link {
     clock: SharedClock,
     profile: LatencyProfile,
-    rng: Arc<Mutex<StdRng>>,
-    label: String,
+    rng: AtomicRng,
+    label: Arc<str>,
+    origin: Arc<LinkOrigin>,
+}
+
+impl Clone for Link {
+    /// Clones derive their own deterministic RNG stream (base seed ⊕ label hash ⊕
+    /// clone index), so each sender samples latency without touching shared state.
+    fn clone(&self) -> Self {
+        let idx = self.origin.clone_counter.fetch_add(1, Ordering::Relaxed);
+        let seed = splitmix64(
+            self.origin
+                .base_seed
+                .wrapping_add(hash_label(&self.label))
+                .wrapping_add(idx.wrapping_mul(0xA076_1D64_78BD_642F)),
+        );
+        Link {
+            clock: Arc::clone(&self.clock),
+            profile: self.profile,
+            rng: AtomicRng::seeded(seed),
+            label: Arc::clone(&self.label),
+            origin: Arc::clone(&self.origin),
+        }
+    }
 }
 
 impl std::fmt::Debug for Link {
@@ -44,8 +143,12 @@ impl Link {
         Link {
             clock,
             profile,
-            rng: Arc::new(Mutex::new(StdRng::seed_from_u64(seed))),
-            label: label.into(),
+            rng: AtomicRng::seeded(seed),
+            label: Arc::from(label.into()),
+            origin: Arc::new(LinkOrigin {
+                base_seed: seed,
+                clone_counter: AtomicU64::new(1),
+            }),
         }
     }
 
@@ -68,10 +171,21 @@ impl Link {
     /// Traverse the link one way with a payload of `payload_bytes`, sleeping the sampled
     /// latency on the virtual clock. Returns the injected delay in seconds.
     pub fn traverse(&self, payload_bytes: usize) -> f64 {
-        let delay = {
-            let mut rng = self.rng.lock();
-            self.profile.sample_one_way(payload_bytes, &mut *rng)
-        };
+        self.traverse_batch(1, payload_bytes)
+    }
+
+    /// Traverse the link once carrying a batch of `count` messages whose payloads sum
+    /// to `total_payload_bytes` (the coalescing rule — see the module docs): one
+    /// latency sample, the bandwidth term for the summed bytes. `count == 0` is free.
+    /// Returns the injected delay in seconds.
+    pub fn traverse_batch(&self, count: usize, total_payload_bytes: usize) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        // Lock-free sample: the stream state advances via `fetch_add`, so concurrent
+        // traversals of a shared link interleave draws instead of serialising.
+        let mut rng = self.rng.stream();
+        let delay = self.profile.sample_one_way(total_payload_bytes, &mut rng);
         self.clock.sleep(delay);
         delay.as_secs_f64()
     }
@@ -113,6 +227,44 @@ mod tests {
         let d = link.traverse(1024);
         assert!(d < 1e-6);
         assert_eq!(link.label(), "instant");
+    }
+
+    #[test]
+    fn batch_traversal_pays_one_latency_sample() {
+        let clock = ClockSpec::scaled(100_000.0).build();
+        // Zero-sigma latency plus a bandwidth term, so the pricing is exact.
+        let profile = LatencyProfile::normal_ms(4.0, 0.0).with_per_kib_ms(1.0);
+        let link = Link::new("batch", Arc::clone(&clock), profile, 3);
+        let batched = link.traverse_batch(16, 16 * 1024);
+        // One 4 ms latency sample + 16 KiB * 1 ms/KiB of bandwidth.
+        assert!((batched - (0.004 + 0.016)).abs() < 1e-9, "got {batched}");
+        // Sixteen singletons pay the latency sample sixteen times.
+        let singleton_total: f64 = (0..16).map(|_| link.traverse(1024)).sum();
+        assert!(
+            (singleton_total - 16.0 * 0.005).abs() < 1e-9,
+            "got {singleton_total}"
+        );
+        assert_eq!(link.traverse_batch(0, 0), 0.0, "empty batch is free");
+    }
+
+    #[test]
+    fn clones_draw_independent_deterministic_streams() {
+        let clock = ClockSpec::scaled(1_000_000.0).build();
+        let profile = LatencyProfile::normal_ms(1.0, 0.5);
+        let make = || Link::new("det", ClockSpec::scaled(1_000_000.0).build(), profile, 42);
+        let a = make();
+        let b = make();
+        // Same construction order ⇒ identical streams, link by link and clone by clone.
+        let a1 = a.clone();
+        let b1 = b.clone();
+        let base: Vec<f64> = (0..8).map(|_| a.traverse(64)).collect();
+        let base2: Vec<f64> = (0..8).map(|_| b.traverse(64)).collect();
+        assert_eq!(base, base2, "same seed ⇒ same stream");
+        let c1: Vec<f64> = (0..8).map(|_| a1.traverse(64)).collect();
+        let c2: Vec<f64> = (0..8).map(|_| b1.traverse(64)).collect();
+        assert_eq!(c1, c2, "first clones agree across identically-built links");
+        assert_ne!(base, c1, "clone stream differs from the parent stream");
+        drop(clock);
     }
 
     #[test]

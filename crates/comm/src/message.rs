@@ -113,22 +113,35 @@ impl Message {
 
     /// Encode to the binary wire format.
     pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf)
+    }
+
+    /// Encode into a caller-owned scratch buffer and detach the frame.
+    ///
+    /// The hot-path variant of [`Message::encode`]: `buf` is reserved to the exact
+    /// [`Message::encoded_len`] (so the write never reallocates) and the written
+    /// frame is detached with `split().freeze()`, leaving `buf`'s allocation behind
+    /// for the next message. A sender encoding a stream of messages through one
+    /// scratch buffer stops paying per-message buffer growth.
+    pub fn encode_into(&self, buf: &mut BytesMut) -> Bytes {
         let exact_len = self.encoded_len();
-        let mut buf = BytesMut::with_capacity(exact_len);
+        debug_assert!(buf.is_empty(), "scratch buffer must start empty");
+        buf.reserve(exact_len);
         buf.put_u32(MAGIC);
         buf.put_u8(VERSION);
         buf.put_u64(self.id);
-        put_str(&mut buf, &self.topic);
-        put_str(&mut buf, &self.kind);
+        put_str(buf, &self.topic);
+        put_str(buf, &self.kind);
         buf.put_u32(self.headers.len() as u32);
         for (k, v) in &self.headers {
-            put_str(&mut buf, k);
-            put_str(&mut buf, v);
+            put_str(buf, k);
+            put_str(buf, v);
         }
         buf.put_u32(self.payload.len() as u32);
         buf.put_slice(&self.payload);
         debug_assert_eq!(buf.len(), exact_len, "encoded_len must be exact");
-        buf.freeze()
+        buf.split().freeze()
     }
 
     /// Decode from the binary wire format.
@@ -398,6 +411,25 @@ mod tests {
         );
         let decoded = Message::decode(encoded).unwrap();
         assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn encode_into_reuses_the_scratch_buffer() {
+        let mut scratch = BytesMut::new();
+        let frames: Vec<Bytes> = (0..4)
+            .map(|i| {
+                Message::new("t", "k")
+                    .with_text(&format!("payload-{i}"))
+                    .encode_into(&mut scratch)
+            })
+            .collect();
+        for (i, frame) in frames.iter().enumerate() {
+            let decoded = Message::decode(frame.clone()).unwrap();
+            assert_eq!(decoded.text(), Some(format!("payload-{i}").as_str()));
+        }
+        // The scratch is empty between messages and identical to the one-shot path.
+        let m = sample();
+        assert_eq!(m.encode_into(&mut scratch), m.encode());
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Metrics sink for the comm fabric.
+//!
+//! The fabric's hot paths record a small set of `comm.*` scalar series — fan-out
+//! width, batch sizes, queue depth — through a [`CommSink`]. The runtime wires the
+//! session's metric recorder in (its `record_scalar`); standalone uses pass
+//! [`null_comm_sink`]. The trait is blanket-implemented for closures, same shape as
+//! the serving plane's sink.
+//!
+//! Series recorded by this crate:
+//!
+//! | series                    | recorded by                        | meaning                         |
+//! |---------------------------|------------------------------------|---------------------------------|
+//! | `comm.fanout.width`       | [`crate::pubsub::Publisher`]       | subscribers hit by one publish  |
+//! | `comm.publish.batch_size` | [`crate::pubsub::Publisher`]       | messages per `publish_batch`    |
+//! | `comm.queue.depth`        | [`crate::queue::WorkQueueSender`]  | queue depth after a push        |
+
+use std::sync::Arc;
+
+/// Destination for `comm.*` scalar metrics. Implemented for any `Fn(&str, f64)`.
+pub trait CommSink: Send + Sync {
+    /// Record one named scalar observation.
+    fn record(&self, name: &str, value: f64);
+}
+
+impl<F: Fn(&str, f64) + Send + Sync> CommSink for F {
+    fn record(&self, name: &str, value: f64) {
+        self(name, value)
+    }
+}
+
+/// Shared handle to a comm metrics sink.
+pub type SharedCommSink = Arc<dyn CommSink>;
+
+/// A sink that drops every observation.
+pub fn null_comm_sink() -> SharedCommSink {
+    Arc::new(|_: &str, _: f64| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn closure_sink_records() {
+        let seen: Arc<Mutex<Vec<(String, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let sink: SharedCommSink = Arc::new(move |name: &str, value: f64| {
+            seen2.lock().push((name.to_string(), value));
+        });
+        sink.record("comm.fanout.width", 3.0);
+        null_comm_sink().record("dropped", 1.0);
+        assert_eq!(seen.lock().as_slice(), &[("comm.fanout.width".into(), 3.0)]);
+    }
+}

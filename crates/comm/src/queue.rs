@@ -4,16 +4,29 @@
 //! executor's queue, the stagers' queues (paper Fig. 2). A [`WorkQueue`] is a typed
 //! multi-producer/multi-consumer queue with optional bounded capacity, shared by the
 //! runtime components in this reproduction.
+//!
+//! # Batched transfer
+//!
+//! The fabric moves items in batches wherever the caller can tolerate it:
+//! [`WorkQueueSender::push_batch`] enqueues a whole `Vec` in one call and
+//! [`WorkQueueReceiver::recv_batch`] blocks for the first item, then takes whatever
+//! else is already waiting (up to `max`) — the same greedy-drain rule as
+//! [`crate::reqrep::ReqRepServer::recv_batch`], so a consumer loop amortises its
+//! wake-up over every item that arrived while it slept. Order is FIFO per consumer:
+//! `recv_batch` never reorders relative to a singleton [`WorkQueueReceiver::pop_timeout`]
+//! loop.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::time::Duration;
 
 use crate::error::CommError;
+use crate::metrics::SharedCommSink;
 
 /// Sending half of a [`WorkQueue`].
 pub struct WorkQueueSender<T> {
     tx: Sender<T>,
     name: String,
+    sink: Option<SharedCommSink>,
 }
 
 impl<T> Clone for WorkQueueSender<T> {
@@ -21,6 +34,7 @@ impl<T> Clone for WorkQueueSender<T> {
         WorkQueueSender {
             tx: self.tx.clone(),
             name: self.name.clone(),
+            sink: self.sink.clone(),
         }
     }
 }
@@ -34,18 +48,67 @@ impl<T> std::fmt::Debug for WorkQueueSender<T> {
 }
 
 impl<T> WorkQueueSender<T> {
-    /// Enqueue an item, blocking if the queue is bounded and full.
-    pub fn push(&self, item: T) -> Result<(), CommError> {
-        self.tx.send(item).map_err(|_| CommError::Disconnected)
+    /// Attach a metrics sink; every push records `comm.queue.depth` (post-push depth).
+    pub fn with_sink(mut self, sink: SharedCommSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
-    /// Enqueue an item without blocking.
+    fn record_depth(&self) {
+        if let Some(sink) = &self.sink {
+            sink.record("comm.queue.depth", self.tx.len() as f64);
+        }
+    }
+
+    /// Enqueue an item, blocking if the queue is bounded and full.
+    pub fn push(&self, item: T) -> Result<(), CommError> {
+        self.tx.send(item).map_err(|_| CommError::Disconnected)?;
+        self.record_depth();
+        Ok(())
+    }
+
+    /// Enqueue an item without blocking. A bounded queue at capacity returns
+    /// [`CommError::Full`] — retry after consumers drain.
     pub fn try_push(&self, item: T) -> Result<(), CommError> {
         match self.tx.try_send(item) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(CommError::Timeout),
+            Ok(()) => {
+                self.record_depth();
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(CommError::Full),
             Err(TrySendError::Disconnected(_)) => Err(CommError::Disconnected),
         }
+    }
+
+    /// Enqueue a whole batch, blocking per item if the queue is bounded. One depth
+    /// observation is recorded for the batch.
+    pub fn push_batch(&self, items: Vec<T>) -> Result<(), CommError> {
+        for item in items {
+            self.tx.send(item).map_err(|_| CommError::Disconnected)?;
+        }
+        self.record_depth();
+        Ok(())
+    }
+
+    /// Enqueue as much of a batch as fits without blocking. Returns the items that
+    /// did **not** fit (empty on full success) or [`CommError::Disconnected`] if the
+    /// receiving side is gone.
+    pub fn try_push_batch(&self, items: Vec<T>) -> Result<Vec<T>, CommError> {
+        let mut iter = items.into_iter();
+        let mut rejected = Vec::new();
+        for item in iter.by_ref() {
+            match self.tx.try_send(item) {
+                Ok(()) => {}
+                Err(TrySendError::Full(item)) => {
+                    rejected.push(item);
+                    rejected.extend(iter);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(CommError::Disconnected),
+            }
+        }
+        self.record_depth();
+        Ok(rejected)
     }
 
     /// Number of items currently queued.
@@ -84,6 +147,12 @@ impl<T> std::fmt::Debug for WorkQueueReceiver<T> {
 }
 
 impl<T> WorkQueueReceiver<T> {
+    /// Block until an item is available (no timeout). Errors only when every sender
+    /// is gone — the shape a dedicated worker loop wants (`while let Ok(item) = rx.pop()`).
+    pub fn pop(&self) -> Result<T, CommError> {
+        self.rx.recv().map_err(|_| CommError::Disconnected)
+    }
+
     /// Block until an item is available or `timeout` elapses.
     pub fn pop_timeout(&self, timeout: Duration) -> Result<T, CommError> {
         self.rx.recv_timeout(timeout).map_err(|e| match e {
@@ -95,6 +164,21 @@ impl<T> WorkQueueReceiver<T> {
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<T> {
         self.rx.try_recv().ok()
+    }
+
+    /// Receive up to `max` items in one call: block up to `timeout` for the first,
+    /// then take whatever is already waiting. FIFO order relative to singleton pops.
+    pub fn recv_batch(&self, max: usize, timeout: Duration) -> Result<Vec<T>, CommError> {
+        let first = self.pop_timeout(timeout)?;
+        let mut out = Vec::with_capacity(max.clamp(1, 64));
+        out.push(first);
+        while out.len() < max {
+            match self.try_pop() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        Ok(out)
     }
 
     /// Drain everything currently available.
@@ -132,6 +216,7 @@ impl<T> WorkQueue<T> {
             sender: WorkQueueSender {
                 tx,
                 name: name.clone(),
+                sink: None,
             },
             receiver: WorkQueueReceiver { rx, name },
         }
@@ -145,6 +230,7 @@ impl<T> WorkQueue<T> {
             sender: WorkQueueSender {
                 tx,
                 name: name.clone(),
+                sink: None,
             },
             receiver: WorkQueueReceiver { rx, name },
         }
@@ -192,11 +278,73 @@ mod tests {
         let tx = q.sender();
         tx.try_push(1).unwrap();
         tx.try_push(2).unwrap();
-        assert_eq!(tx.try_push(3).unwrap_err(), CommError::Timeout);
+        assert_eq!(tx.try_push(3).unwrap_err(), CommError::Full);
         let rx = q.receiver();
         assert_eq!(rx.try_pop(), Some(1));
         tx.try_push(3).unwrap();
         assert_eq!(rx.drain(), vec![2, 3]);
+    }
+
+    #[test]
+    fn batch_push_and_recv_preserve_fifo() {
+        let q = WorkQueue::unbounded("batched");
+        let (tx, rx) = q.split();
+        tx.push_batch((0..8).collect()).unwrap();
+        tx.push(8).unwrap();
+        let first = rx.recv_batch(4, Duration::from_millis(50)).unwrap();
+        assert_eq!(first, vec![0, 1, 2, 3]);
+        let rest = rx.recv_batch(64, Duration::from_millis(50)).unwrap();
+        assert_eq!(rest, vec![4, 5, 6, 7, 8]);
+        assert_eq!(
+            rx.recv_batch(4, Duration::from_millis(5)).unwrap_err(),
+            CommError::Timeout
+        );
+    }
+
+    #[test]
+    fn try_push_batch_returns_overflow() {
+        let q = WorkQueue::bounded("tight", 3);
+        let (tx, rx) = q.split();
+        let rejected = tx.try_push_batch(vec![1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(rejected, vec![4, 5], "overflow comes back in order");
+        assert_eq!(rx.drain(), vec![1, 2, 3]);
+        assert!(tx.try_push_batch(vec![6]).unwrap().is_empty());
+        assert_eq!(rx.try_pop(), Some(6));
+    }
+
+    #[test]
+    fn blocking_pop_sees_items_and_disconnect() {
+        let q = WorkQueue::unbounded("worker");
+        let (tx, rx) = q.split();
+        let handle = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(item) = rx.pop() {
+                got.push(item);
+            }
+            got
+        });
+        tx.push_batch(vec![1, 2, 3]).unwrap();
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sink_records_queue_depth() {
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+        let depths: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        let depths2 = Arc::clone(&depths);
+        let q = WorkQueue::unbounded("observed");
+        let tx = q
+            .sender()
+            .with_sink(Arc::new(move |name: &str, value: f64| {
+                assert_eq!(name, "comm.queue.depth");
+                depths2.lock().push(value);
+            }));
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.push_batch(vec![3, 4]).unwrap();
+        assert_eq!(depths.lock().as_slice(), &[1.0, 2.0, 4.0]);
     }
 
     #[test]

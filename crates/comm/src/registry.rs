@@ -6,14 +6,34 @@
 //! register a [`ReqRepHandle`] under their service name together with metadata (model
 //! name, node, GPUs); clients look the handle up (optionally blocking until it appears)
 //! and connect to it over a [`crate::link::Link`] appropriate to their locality.
+//!
+//! # Sharded, read-mostly design
+//!
+//! The registry is lookup-heavy: every client task resolves its service endpoint, but
+//! registrations happen only when instances start or stop. Names are striped over
+//! independent shards by hash; each shard keeps its entries behind an
+//! `RwLock<Arc<BTreeMap>>` **snapshot** — a reader takes the lock just long enough to
+//! clone the `Arc` (no contention with other readers, and writers hold it only for a
+//! pointer swap), then walks the snapshot entirely lock-free. Writers copy the map,
+//! mutate the copy, and publish it as a fresh snapshot; registration churn on one
+//! shard never slows lookups on another.
+//!
+//! Blocking [`EndpointRegistry::wait_for`] uses a per-shard version counter under a
+//! mutex with a condvar: writers bump the version after publishing a new snapshot and
+//! notify, waiters re-check the snapshot on every bump. Lock order within a shard is
+//! always `waiters` mutex → snapshot `RwLock` write, never the reverse.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::error::CommError;
 use crate::reqrep::ReqRepHandle;
+
+/// Default number of name shards.
+const DEFAULT_SHARDS: usize = 8;
 
 /// A registered endpoint: connection handle plus descriptive metadata.
 #[derive(Debug, Clone)]
@@ -26,30 +46,97 @@ pub struct EndpointEntry {
     pub metadata: BTreeMap<String, String>,
 }
 
-#[derive(Default)]
-struct RegistryState {
-    entries: BTreeMap<String, EndpointEntry>,
+type Snapshot = Arc<BTreeMap<String, EndpointEntry>>;
+
+struct Shard {
+    /// Published snapshot; readers clone the Arc and walk it lock-free.
+    snapshot: RwLock<Snapshot>,
+    /// Version counter bumped on every publish; guards the condvar for waiters.
+    version: Mutex<u64>,
+    cond: Condvar,
 }
 
-/// Thread-safe endpoint registry with blocking lookup.
-#[derive(Default)]
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            snapshot: RwLock::new(Arc::new(BTreeMap::new())),
+            version: Mutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+impl Shard {
+    fn read(&self) -> Snapshot {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// Copy-on-write mutation: `f` edits a private copy of the map; a changed copy is
+    /// published as the new snapshot and waiters are notified. Returns `f`'s payload.
+    fn mutate<R>(&self, f: impl FnOnce(&mut BTreeMap<String, EndpointEntry>) -> (bool, R)) -> R {
+        // Serialise writers on the version mutex (lock order: waiters → snapshot).
+        let mut version = self.version.lock();
+        let mut copy = (**self.snapshot.read()).clone();
+        let (changed, result) = f(&mut copy);
+        if changed {
+            *self.snapshot.write() = Arc::new(copy);
+            *version += 1;
+            self.cond.notify_all();
+        }
+        result
+    }
+}
+
+/// Thread-safe, sharded endpoint registry with blocking lookup.
 pub struct EndpointRegistry {
-    state: Mutex<RegistryState>,
-    cond: Condvar,
+    shards: Vec<Shard>,
+}
+
+impl Default for EndpointRegistry {
+    fn default() -> Self {
+        EndpointRegistry::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl std::fmt::Debug for EndpointRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EndpointRegistry")
             .field("len", &self.len())
+            .field("shards", &self.shards.len())
             .finish()
     }
 }
 
+/// FNV-1a name hash for shard selection.
+fn shard_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 impl EndpointRegistry {
-    /// Create an empty registry.
+    /// Create an empty registry with the default shard count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty registry with an explicit shard count (min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        EndpointRegistry {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// Number of name shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, name: &str) -> &Shard {
+        &self.shards[(shard_hash(name) % self.shards.len() as u64) as usize]
     }
 
     /// Register an endpoint. Fails if the name is already taken.
@@ -60,75 +147,95 @@ impl EndpointRegistry {
         metadata: BTreeMap<String, String>,
     ) -> Result<(), CommError> {
         let name = name.into();
-        let mut st = self.state.lock();
-        if st.entries.contains_key(&name) {
-            return Err(CommError::AlreadyRegistered(name));
-        }
-        st.entries.insert(
-            name.clone(),
-            EndpointEntry {
-                name,
-                handle,
-                metadata,
-            },
-        );
-        self.cond.notify_all();
-        Ok(())
+        self.shard_for(&name).mutate(|entries| {
+            if entries.contains_key(&name) {
+                return (false, Err(CommError::AlreadyRegistered(name.clone())));
+            }
+            entries.insert(
+                name.clone(),
+                EndpointEntry {
+                    name: name.clone(),
+                    handle,
+                    metadata,
+                },
+            );
+            (true, Ok(()))
+        })
     }
 
     /// Remove an endpoint. Returns the removed entry if it existed.
     pub fn unregister(&self, name: &str) -> Option<EndpointEntry> {
-        let mut st = self.state.lock();
-        let removed = st.entries.remove(name);
-        if removed.is_some() {
-            self.cond.notify_all();
-        }
-        removed
+        self.shard_for(name).mutate(|entries| {
+            let removed = entries.remove(name);
+            (removed.is_some(), removed)
+        })
     }
 
-    /// Look up an endpoint without blocking.
+    /// Look up an endpoint without blocking. Snapshot read: never contends with
+    /// other readers, and with writers only for the duration of an `Arc` clone.
     pub fn lookup(&self, name: &str) -> Option<EndpointEntry> {
-        self.state.lock().entries.get(name).cloned()
+        self.shard_for(name).read().get(name).cloned()
     }
 
     /// Block until the endpoint appears or `timeout` (real time) elapses.
     pub fn wait_for(&self, name: &str, timeout: Duration) -> Result<EndpointEntry, CommError> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.state.lock();
+        let shard = self.shard_for(name);
         loop {
-            if let Some(entry) = st.entries.get(name) {
+            // Check the current snapshot before touching the waiter mutex.
+            if let Some(entry) = shard.read().get(name) {
                 return Ok(entry.clone());
             }
-            let now = Instant::now();
-            if now >= deadline {
+            let mut version = shard.version.lock();
+            // Re-check under the version lock: a writer may have published between
+            // the snapshot read and the lock acquisition.
+            if let Some(entry) = shard.read().get(name) {
+                return Ok(entry.clone());
+            }
+            if Instant::now() >= deadline {
                 return Err(CommError::EndpointNotFound(name.to_string()));
             }
-            if self.cond.wait_until(&mut st, deadline).timed_out() && !st.entries.contains_key(name)
-            {
-                return Err(CommError::EndpointNotFound(name.to_string()));
+            if shard.cond.wait_until(&mut version, deadline).timed_out() {
+                drop(version);
+                return match shard.read().get(name) {
+                    Some(entry) => Ok(entry.clone()),
+                    None => Err(CommError::EndpointNotFound(name.to_string())),
+                };
             }
         }
     }
 
-    /// Names of all registered endpoints.
+    /// Names of all registered endpoints (sorted).
     pub fn names(&self) -> Vec<String> {
-        self.state.lock().entries.keys().cloned().collect()
+        let mut out: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        out.sort();
+        out
     }
 
     /// All entries whose metadata key `key` equals `value`.
     pub fn find_by_metadata(&self, key: &str, value: &str) -> Vec<EndpointEntry> {
-        self.state
-            .lock()
-            .entries
-            .values()
-            .filter(|e| e.metadata.get(key).map(String::as_str) == Some(value))
-            .cloned()
-            .collect()
+        let mut out: Vec<EndpointEntry> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .values()
+                    .filter(|e| e.metadata.get(key).map(String::as_str) == Some(value))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
     }
 
     /// Number of registered endpoints.
     pub fn len(&self) -> usize {
-        self.state.lock().entries.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True if no endpoint is registered.
@@ -144,7 +251,6 @@ mod tests {
     use crate::message::Message;
     use crate::reqrep::ReqRepServer;
     use hpcml_sim::clock::ClockSpec;
-    use std::sync::Arc;
     use std::thread;
 
     fn meta(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
@@ -182,6 +288,7 @@ mod tests {
             .register("svc.dup", server.handle(), BTreeMap::new())
             .unwrap_err();
         assert!(matches!(err, CommError::AlreadyRegistered(_)));
+        assert_eq!(reg.len(), 1, "failed insert publishes nothing");
     }
 
     #[test]
@@ -239,5 +346,66 @@ mod tests {
         let reply = client.request(Message::new("svc.echo", "ping")).unwrap();
         assert_eq!(reply.kind, "pong");
         t.join().unwrap();
+    }
+
+    #[test]
+    fn sharded_views_agree_with_single_shard() {
+        let sharded = EndpointRegistry::with_shards(8);
+        let single = EndpointRegistry::with_shards(1);
+        assert_eq!(sharded.shard_count(), 8);
+        for reg in [&sharded, &single] {
+            for i in 0..32 {
+                let name = format!("svc.{i:02}");
+                let server = ReqRepServer::new(name.clone());
+                let group = if i % 2 == 0 { "even" } else { "odd" };
+                reg.register(name, server.handle(), meta(&[("group", group)]))
+                    .unwrap();
+            }
+        }
+        assert_eq!(sharded.names(), single.names(), "sorted global view");
+        assert_eq!(sharded.len(), 32);
+        let evens = sharded.find_by_metadata("group", "even");
+        assert_eq!(evens.len(), 16);
+        let names: Vec<&str> = evens.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "metadata scan output is name-sorted");
+        for i in (0..32).step_by(3) {
+            assert!(sharded.unregister(&format!("svc.{i:02}")).is_some());
+        }
+        assert_eq!(sharded.len(), 32 - 11);
+        assert!(!format!("{sharded:?}").is_empty());
+    }
+
+    #[test]
+    fn lookups_race_registration_churn() {
+        let reg = Arc::new(EndpointRegistry::with_shards(4));
+        let stable = ReqRepServer::new("svc.stable");
+        reg.register("svc.stable", stable.handle(), BTreeMap::new())
+            .unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let churn = {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let name = format!("svc.churn.{}", i % 16);
+                    let server = ReqRepServer::new(name.clone());
+                    let _ = reg.register(name.clone(), server.handle(), BTreeMap::new());
+                    let _ = reg.unregister(&name);
+                    i += 1;
+                }
+            })
+        };
+        for _ in 0..2_000 {
+            assert!(
+                reg.lookup("svc.stable").is_some(),
+                "stable entry visible through every snapshot"
+            );
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        churn.join().unwrap();
+        assert!(reg.lookup("svc.stable").is_some());
     }
 }

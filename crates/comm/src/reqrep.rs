@@ -5,6 +5,15 @@
 //! carries a one-shot reply channel (ZeroMQ would route the reply frame back over the
 //! socket). The client optionally traverses a [`Link`] before the request is delivered
 //! and before the reply is returned, which is how local vs remote deployments differ.
+//!
+//! # Batched requests
+//!
+//! [`ReqRepClient::request_batch`] ships K requests over **one** link traversal
+//! (the coalescing rule — see [`Link::traverse_batch`]): a single one-way latency
+//! sample plus the bandwidth term for the summed encoded bytes, and the same on the
+//! way back for the replies. Replies come back in request order. The server sees K
+//! independent requests — [`ReqRepServer::recv_batch`] on the other side completes
+//! the batched path end-to-end.
 
 use std::time::Duration;
 
@@ -229,7 +238,54 @@ impl ReqRepClient {
         Ok(reply)
     }
 
-    /// Fire-and-forget send (no reply expected). Used for control messages.
+    /// Send a batch of requests over one link traversal and block for all replies.
+    ///
+    /// The batch pays one outbound latency sample carrying the summed encoded bytes,
+    /// queues at the server as individual requests (each stamped with the shared
+    /// arrival time), and the replies pay one return traversal of their summed bytes.
+    /// Replies are returned in request order. An empty batch is free and returns
+    /// an empty vec.
+    pub fn request_batch(
+        &self,
+        msgs: Vec<Message>,
+        timeout: Duration,
+    ) -> Result<Vec<Message>, CommError> {
+        if msgs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let count = msgs.len();
+        let total_bytes: usize = msgs.iter().map(Message::encoded_len).sum();
+        // One coalesced outbound hop for the whole batch.
+        self.link.traverse_batch(count, total_bytes);
+        let enqueued_at = self.link.clock().now().as_secs_f64();
+        let mut reply_rxs = Vec::with_capacity(count);
+        for msg in msgs {
+            let msg = msg.with_f64_header(HDR_ENQUEUED_AT, enqueued_at);
+            let (reply_tx, reply_rx) = bounded(1);
+            self.tx
+                .send(Request { msg, reply_tx })
+                .map_err(|_| CommError::Disconnected)?;
+            reply_rxs.push(reply_rx);
+        }
+        // Collect in request order; the timeout bounds the whole batch, not each reply.
+        let deadline = std::time::Instant::now() + timeout;
+        let mut replies = Vec::with_capacity(count);
+        for rx in reply_rxs {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(m) => replies.push(m),
+                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+            }
+        }
+        // One coalesced return hop for all replies.
+        let reply_bytes: usize = replies.iter().map(Message::encoded_len).sum();
+        self.link.traverse_batch(count, reply_bytes);
+        Ok(replies)
+    }
+
+    /// Fire-and-forget send (no reply expected). Used for control messages. A bounded
+    /// endpoint at capacity returns [`CommError::Full`].
     pub fn send(&self, msg: Message) -> Result<(), CommError> {
         self.link.traverse(msg.encoded_len());
         let enqueued_at = self.link.clock().now().as_secs_f64();
@@ -238,8 +294,29 @@ impl ReqRepClient {
         match self.tx.try_send(Request { msg, reply_tx }) {
             Ok(()) => Ok(()),
             Err(TrySendError::Disconnected(_)) => Err(CommError::Disconnected),
-            Err(TrySendError::Full(_)) => Err(CommError::Timeout),
+            Err(TrySendError::Full(_)) => Err(CommError::Full),
         }
+    }
+
+    /// Fire-and-forget a batch of control messages over one coalesced link traversal.
+    pub fn send_batch(&self, msgs: Vec<Message>) -> Result<(), CommError> {
+        if msgs.is_empty() {
+            return Ok(());
+        }
+        let count = msgs.len();
+        let total_bytes: usize = msgs.iter().map(Message::encoded_len).sum();
+        self.link.traverse_batch(count, total_bytes);
+        let enqueued_at = self.link.clock().now().as_secs_f64();
+        for msg in msgs {
+            let msg = msg.with_f64_header(HDR_ENQUEUED_AT, enqueued_at);
+            let (reply_tx, _reply_rx) = bounded(1);
+            match self.tx.try_send(Request { msg, reply_tx }) {
+                Ok(()) => {}
+                Err(TrySendError::Disconnected(_)) => return Err(CommError::Disconnected),
+                Err(TrySendError::Full(_)) => return Err(CommError::Full),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -394,6 +471,77 @@ mod tests {
             "round trip {rt} should include both link traversals"
         );
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn request_batch_pays_one_round_trip_and_preserves_order() {
+        // Real-time scale: a scaled clock would amplify thread-scheduling time into
+        // virtual seconds and swamp the 10 ms hops this test prices.
+        let clock = ClockSpec::scaled(1.0).build();
+        // Deterministic pricing: zero sigma, no bandwidth term.
+        let link = Link::new(
+            "batch",
+            Arc::clone(&clock),
+            LatencyProfile::normal_ms(10.0, 0.0),
+            7,
+        );
+        let server = ReqRepServer::new("svc.reqbatch");
+        let client = server.client(link);
+        let handle = thread::spawn(move || {
+            let mut served = 0;
+            while served < 8 {
+                let batch = server.recv_batch(8, Duration::from_secs(10)).unwrap();
+                for (msg, r) in batch {
+                    served += 1;
+                    let n: u64 = msg.text().unwrap().parse().unwrap();
+                    assert!(msg.f64_header(HDR_ENQUEUED_AT).is_some());
+                    r.reply(Message::new("svc.reqbatch", "reply").with_text(&(n * 3).to_string()))
+                        .unwrap();
+                }
+            }
+        });
+        let reqs: Vec<Message> = (0..8)
+            .map(|i| Message::new("svc.reqbatch", "req").with_text(&i.to_string()))
+            .collect();
+        let t0 = clock.now();
+        let replies = client.request_batch(reqs, Duration::from_secs(10)).unwrap();
+        let rt = clock.now().since(t0).as_secs_f64();
+        handle.join().unwrap();
+        let vals: Vec<u64> = replies
+            .iter()
+            .map(|m| m.text().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(
+            vals,
+            (0..8).map(|i| i * 3).collect::<Vec<u64>>(),
+            "replies in request order"
+        );
+        // One 10 ms hop out + one back, NOT 8 of each. Allow slack for wall-clock
+        // scheduling between the virtual-time reads.
+        assert!(
+            rt < 0.08,
+            "batched round trip {rt} must not pay per-request latency (8x would be 0.16)"
+        );
+        assert!(rt >= 0.019, "round trip {rt} includes both hops");
+        assert!(client
+            .request_batch(Vec::new(), Duration::from_secs(1))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn send_batch_delivers_all_control_messages() {
+        let server = ReqRepServer::new("svc.ctrlbatch");
+        let client = server.client(instant_link());
+        let msgs: Vec<Message> = (0..4)
+            .map(|i| Message::new("svc.ctrlbatch", "control.cmd").with_text(&i.to_string()))
+            .collect();
+        client.send_batch(msgs).unwrap();
+        client.send_batch(Vec::new()).unwrap();
+        assert_eq!(server.queue_len(), 4);
+        let batch = server.recv_batch(8, Duration::from_secs(1)).unwrap();
+        let texts: Vec<&str> = batch.iter().map(|(m, _)| m.text().unwrap()).collect();
+        assert_eq!(texts, ["0", "1", "2", "3"], "FIFO through the batch path");
     }
 
     #[test]

@@ -286,7 +286,12 @@ impl Session {
         let clock = config.clock.build();
         let metrics = RuntimeMetrics::new();
         let registry = Arc::new(EndpointRegistry::new());
-        let publisher = Publisher::new();
+        // State updates fan out through the comm fabric; its comm.* series (fan-out
+        // width, batch sizes) land in the session metrics like every other scalar.
+        let comm_metrics = Arc::clone(&metrics);
+        let publisher = Publisher::new().with_sink(Arc::new(move |name: &str, value: f64| {
+            comm_metrics.record_scalar(name, value);
+        }));
         let data = Arc::new(DataManager::new(
             Arc::clone(&clock),
             Arc::clone(&metrics),

@@ -18,10 +18,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use hpcml_comm::message::Message;
+use hpcml_comm::queue::{WorkQueue, WorkQueueReceiver, WorkQueueSender};
 use hpcml_comm::reqrep::Responder;
 use hpcml_sim::clock::SharedClock;
 
@@ -84,7 +84,7 @@ pub struct Replica {
     host: Arc<ModelHost>,
     outstanding: Arc<AtomicU64>,
     draining: Arc<AtomicBool>,
-    tx: Option<Sender<Batch>>,
+    tx: Option<WorkQueueSender<Batch>>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -172,7 +172,13 @@ impl ReplicaPool {
     /// runtime places the backing slot as part of the service's gang.
     pub fn scale_up(&self, host: Arc<ModelHost>) -> u64 {
         let id = self.next_replica_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = unbounded::<Batch>();
+        // Replicas feed from the comm fabric's work queue; queue depth lands in the
+        // serving metrics as `comm.queue.depth` alongside the serving.* series.
+        let depth_sink = Arc::clone(&self.sink);
+        let (tx, rx) = WorkQueue::<Batch>::unbounded(format!("serving.replica.{id}")).split();
+        let tx = tx.with_sink(Arc::new(move |name: &str, value: f64| {
+            depth_sink.record(name, value);
+        }));
         let outstanding = Arc::new(AtomicU64::new(0));
         let draining = Arc::new(AtomicBool::new(false));
         let worker = spawn_worker(
@@ -227,7 +233,7 @@ impl ReplicaPool {
         self.sink
             .record("serving.replica.outstanding", outstanding_after as f64);
         if let Some(tx) = replica.tx.as_ref() {
-            if tx.send(batch).is_err() {
+            if tx.push(batch).is_err() {
                 replica.outstanding.fetch_sub(n, Ordering::AcqRel);
             }
         }
@@ -332,7 +338,7 @@ const EST_EWMA_ALPHA: f64 = 0.3;
 
 fn spawn_worker(
     host: Arc<ModelHost>,
-    rx: Receiver<Batch>,
+    rx: WorkQueueReceiver<Batch>,
     outstanding: Arc<AtomicU64>,
     clock: SharedClock,
     sink: SharedMetricsSink,
@@ -343,7 +349,7 @@ fn spawn_worker(
         // worker was busy are priced their genuine replica queueing, batches that
         // found it idle are priced zero.
         let mut busy_until_secs = f64::NEG_INFINITY;
-        while let Ok(batch) = rx.recv() {
+        while let Ok(batch) = rx.pop() {
             let n = batch.len() as u64;
             let requests: Vec<InferenceRequest> =
                 batch.iter().map(|item| item.request.clone()).collect();

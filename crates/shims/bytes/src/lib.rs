@@ -1,9 +1,13 @@
 //! Offline shim for the `bytes` crate surface used by this workspace.
 //!
-//! [`Bytes`] is an `Arc<[u8]>` plus a window, so `clone`, [`Bytes::slice`] and
+//! [`Bytes`] is an `Arc<Vec<u8>>` plus a window, so `clone`, [`Bytes::slice`] and
 //! [`Buf::copy_to_bytes`] are all O(1) reference-count bumps — the zero-copy property
 //! the message codec relies on. [`BytesMut`] is a thin `Vec<u8>` wrapper implementing
-//! the [`BufMut`] writer surface, frozen into [`Bytes`] without copying.
+//! the [`BufMut`] writer surface, frozen into [`Bytes`] without copying the bytes
+//! (the `Vec` moves behind the `Arc` as-is). [`BytesMut::split`] supports the real
+//! crate's buffer-reuse idiom (`reserve` → write → `split().freeze()`); unlike the
+//! real crate the detached portion does not share the parent's allocation, so reuse
+//! here saves buffer *growth*, not the one allocation per frozen frame.
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
@@ -11,7 +15,7 @@ use std::sync::Arc;
 /// Cheaply cloneable, sliceable, immutable byte buffer.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -20,7 +24,7 @@ impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from([]),
+            data: Arc::new(Vec::new()),
             start: 0,
             end: 0,
         }
@@ -34,7 +38,7 @@ impl Bytes {
     /// A buffer copied from an arbitrary slice.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(bytes),
+            data: Arc::new(bytes.to_vec()),
             start: 0,
             end: bytes.len(),
         }
@@ -108,7 +112,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -248,6 +252,27 @@ impl BytesMut {
         self.vec.capacity()
     }
 
+    /// Ensure room for `additional` more bytes without reallocating mid-write.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Drop all written bytes, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Detach everything written so far into its own `BytesMut`, leaving this buffer
+    /// empty but still holding its allocation — the reusable-encode-buffer idiom
+    /// (`reserve` → write → `split().freeze()`). The detached bytes move; they are
+    /// not copied.
+    pub fn split(&mut self) -> BytesMut {
+        let cap = self.vec.capacity();
+        BytesMut {
+            vec: std::mem::replace(&mut self.vec, Vec::with_capacity(cap)),
+        }
+    }
+
     /// Convert into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)
@@ -299,6 +324,25 @@ mod tests {
         assert_eq!(r.get_u64(), 42);
         assert_eq!(r.copy_to_bytes(3).as_slice(), b"abc");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn split_detaches_and_keeps_capacity() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"frame-1");
+        let first = w.split().freeze();
+        assert_eq!(first.as_slice(), b"frame-1");
+        assert!(w.is_empty(), "writer empty after split");
+        assert!(w.capacity() >= 64, "allocation kept for reuse");
+        w.put_slice(b"frame-2");
+        let second = w.split().freeze();
+        assert_eq!(second.as_slice(), b"frame-2");
+        assert_eq!(first.as_slice(), b"frame-1", "detached frame unaffected");
+        w.reserve(128);
+        assert!(w.capacity() >= 128);
+        w.put_u8(1);
+        w.clear();
+        assert!(w.is_empty());
     }
 
     #[test]

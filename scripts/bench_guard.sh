@@ -45,7 +45,17 @@
 #      **virtual** time — the simulation's deterministic cost model — so the
 #      bounds are machine-independent and flat; the env overrides exist for
 #      intentional cost-model changes, not slow hardware. Recorded in their own
-#      baseline, BENCH_serving.json.
+#      baseline, BENCH_serving.json; or
+#   9. any comm_fabric datapoint (comm/fanout/{encode_once,clone_each}/{1,8,64},
+#      comm/batch/roundtrip/{singleton,batched_16}, comm/registry/lookup_churn)
+#      is missing from the comm bench's parsed results, or zero-copy fan-out at
+#      64 subscribers stops beating the clone-per-subscriber baseline
+#      (clone_each/64 / encode_once/64 >= BENCH_COMM_MIN_FANOUT_SPEEDUP, default
+#      1.5x — the saving is N-1 avoided deep clones, allocation-bound and so
+#      host-independent), or batched round trips stop beating singletons
+#      (singleton / batched_16 >= BENCH_COMM_MIN_BATCH_SPEEDUP, default 1.5x —
+#      virtual-time coalescing-rule pricing, machine-independent). Recorded in
+#      their own baseline, BENCH_comm.json.
 #
 # Every run also writes its raw criterion output, the parsed results, and the
 # candidate baseline JSON under target/bench-guard/ so CI can upload them as a
@@ -64,6 +74,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE="BENCH_scheduler.json"
 SERVING_BASELINE="BENCH_serving.json"
+COMM_BASELINE="BENCH_comm.json"
 THRESHOLD="${BENCH_GUARD_THRESHOLD:-2.0}"
 REFERENCE="registry/lookup_64"
 ARTIFACTS="target/bench-guard"
@@ -317,6 +328,54 @@ if [[ -n "$SHED_ON_P99" && -n "$SHED_OFF_P99" ]]; then
         }' || fail=1
 fi
 
+# Guard 9: the comm fabric. Mixed measurement kinds in one binary: the fan-out and
+# registry points are real nanoseconds of allocation-bound CPU work (host-independent
+# ratios), the batch round-trip points are virtual time from the link coalescing rule
+# (deterministic). Existence of every point first, then the two ratio bounds.
+echo "==> cargo bench -p hpcml-bench --bench comm_fabric"
+COMM_RAW="$(cargo bench -p hpcml-bench --bench comm_fabric 2>&1)"
+echo "$COMM_RAW"
+echo "$COMM_RAW" > "$ARTIFACTS/comm-output.txt"
+COMM_RESULTS="$(parse_results "$COMM_RAW")"
+echo "$COMM_RESULTS" > "$ARTIFACTS/comm-parsed.txt"
+
+for point in \
+    "comm/fanout/encode_once/1" "comm/fanout/encode_once/8" "comm/fanout/encode_once/64" \
+    "comm/fanout/clone_each/1" "comm/fanout/clone_each/8" "comm/fanout/clone_each/64" \
+    "comm/batch/roundtrip/singleton" "comm/batch/roundtrip/batched_16" \
+    "comm/registry/lookup_churn"; do
+    if ! echo "$COMM_RESULTS" | grep -q "^$point "; then
+        echo "bench_guard: FAILED — $point missing from comm bench results" >&2
+        fail=1
+    fi
+done
+FANOUT_ENCODE_ONCE="$(lookup "$COMM_RESULTS" "comm/fanout/encode_once/64")"
+FANOUT_CLONE_EACH="$(lookup "$COMM_RESULTS" "comm/fanout/clone_each/64")"
+if [[ -n "$FANOUT_ENCODE_ONCE" && -n "$FANOUT_CLONE_EACH" ]]; then
+    COMM_MIN_FANOUT="${BENCH_COMM_MIN_FANOUT_SPEEDUP:-1.5}"
+    awk -v once="$FANOUT_ENCODE_ONCE" -v clone="$FANOUT_CLONE_EACH" \
+        -v min="$COMM_MIN_FANOUT" '
+        BEGIN {
+            speedup = (once > 0) ? clone / once : 0
+            printf "guard: fan-out to 64 encode-once %.0f ns vs clone-each %.0f ns: %.2fx speedup (bound %.2fx)\n", \
+                once, clone, speedup, min
+            exit !(speedup >= min)
+        }' || fail=1
+fi
+BATCH_SINGLETON="$(lookup "$COMM_RESULTS" "comm/batch/roundtrip/singleton")"
+BATCH_BATCHED="$(lookup "$COMM_RESULTS" "comm/batch/roundtrip/batched_16")"
+if [[ -n "$BATCH_SINGLETON" && -n "$BATCH_BATCHED" ]]; then
+    COMM_MIN_BATCH="${BENCH_COMM_MIN_BATCH_SPEEDUP:-1.5}"
+    awk -v batched="$BATCH_BATCHED" -v singleton="$BATCH_SINGLETON" \
+        -v min="$COMM_MIN_BATCH" '
+        BEGIN {
+            speedup = (batched > 0) ? singleton / batched : 0
+            printf "guard: 16-request round trips singleton %.0f ns vs batched %.0f ns (virtual): %.2fx speedup (bound %.2fx)\n", \
+                singleton, batched, speedup, min
+            exit !(speedup >= min)
+        }' || fail=1
+fi
+
 # The candidate baseline is always written to the artifact dir (inspectable from the
 # Actions UI next to the committed baseline), whatever the guard verdict.
 write_baseline() { # write_baseline <path>
@@ -347,8 +406,22 @@ if [[ -f "$SERVING_BASELINE" ]]; then
     cp "$SERVING_BASELINE" "$ARTIFACTS/BENCH_serving.committed.json"
 fi
 
+write_comm_baseline() { # write_comm_baseline <path>
+    echo "$COMM_RESULTS" | awk '
+        BEGIN { print "{"; print "  \"unit\": \"ns_per_iter (comm/batch/* virtual)\"," }
+        /^comm\// {
+            if (n++) printf ",\n"
+            printf "  \"%s\": %s", $1, $2
+        }
+        END { print ""; print "}" }' > "$1"
+}
+write_comm_baseline "$ARTIFACTS/BENCH_comm.candidate.json"
+if [[ -f "$COMM_BASELINE" ]]; then
+    cp "$COMM_BASELINE" "$ARTIFACTS/BENCH_comm.committed.json"
+fi
+
 if [[ "$fail" != 0 ]]; then
-    echo "bench_guard: FAILED (baselines $BASELINE / $SERVING_BASELINE left untouched)" >&2
+    echo "bench_guard: FAILED (baselines $BASELINE / $SERVING_BASELINE / $COMM_BASELINE left untouched)" >&2
     exit 1
 fi
 
@@ -363,5 +436,11 @@ if [[ ! -f "$SERVING_BASELINE" || "${BENCH_BASELINE_UPDATE:-0}" == "1" ]]; then
     echo "==> wrote $SERVING_BASELINE"
 else
     echo "==> serving baseline unchanged (set BENCH_BASELINE_UPDATE=1 to record a new datapoint)"
+fi
+if [[ ! -f "$COMM_BASELINE" || "${BENCH_BASELINE_UPDATE:-0}" == "1" ]]; then
+    write_comm_baseline "$COMM_BASELINE"
+    echo "==> wrote $COMM_BASELINE"
+else
+    echo "==> comm baseline unchanged (set BENCH_BASELINE_UPDATE=1 to record a new datapoint)"
 fi
 echo "bench_guard: OK"

@@ -1831,3 +1831,141 @@ fn batched_burst_matches_one_by_one_at_single_shard() {
         assert_eq!(alloc_a.idle_nodes(), alloc_b.idle_nodes(), "case {case}");
     }
 }
+
+/// Zero-copy PUB/SUB fan-out under concurrent subscribe/unsubscribe churn: every
+/// message reaches every subscriber that is alive for its whole publish window,
+/// exactly once and in per-topic publish order — at subscriber-shard counts 1 and 4.
+#[test]
+fn sharded_pubsub_churn_delivers_exactly_once_in_order() {
+    use hpcml::comm::pubsub::Publisher;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    for shards in [1usize, 4] {
+        let publisher = Publisher::with_shards(shards);
+        assert_eq!(publisher.shard_count(), shards);
+        const MESSAGES: u64 = 200;
+        const STABLE_SUBS: usize = 6;
+
+        // Stable subscribers join before the first publish and live past the last.
+        let stable: Vec<_> = (0..STABLE_SUBS)
+            .map(|_| publisher.subscribe(&["churn.topic"]))
+            .collect();
+
+        // Churning threads subscribe and unsubscribe continuously while the
+        // publisher runs; their deliveries are incidental — the property under test
+        // is that churn never corrupts the stable subscribers' streams.
+        let stop = Arc::new(AtomicBool::new(false));
+        let churners: Vec<_> = (0..3)
+            .map(|_| {
+                let publisher = publisher.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut joined = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let sub = publisher.subscribe(&["churn.topic"]);
+                        let _ = sub.try_recv();
+                        drop(sub);
+                        joined += 1;
+                        // Keep the churn loop from starving the publisher on small hosts.
+                        std::thread::yield_now();
+                    }
+                    joined
+                })
+            })
+            .collect();
+
+        let pub2 = publisher.clone();
+        let publisher_thread = std::thread::spawn(move || {
+            for i in 0..MESSAGES {
+                pub2.publish(&Message::new("churn.topic", "seq").with_text(&i.to_string()));
+            }
+        });
+        publisher_thread.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let churn_rounds: u64 = churners.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(churn_rounds > 0, "churners made progress");
+        // Pruning is publish-driven: one non-matching publish sweeps out every
+        // subscriber the churners dropped.
+        assert_eq!(publisher.publish(&Message::new("other.topic", "sweep")), 0);
+
+        for (s, sub) in stable.iter().enumerate() {
+            let got = sub.drain();
+            let seqs: Vec<u64> = got
+                .iter()
+                .map(|m| m.text().unwrap().parse().unwrap())
+                .collect();
+            assert_eq!(
+                seqs,
+                (0..MESSAGES).collect::<Vec<u64>>(),
+                "shards={shards} subscriber {s}: exactly once, publish order"
+            );
+        }
+        assert_eq!(
+            publisher.subscriber_count(),
+            STABLE_SUBS,
+            "shards={shards}: dropped churn subscribers were pruned"
+        );
+    }
+}
+
+/// Batched transport equivalence: a batch of K requests observes the coalescing rule
+/// on the virtual clock (one latency sample each way, bandwidth for the summed bytes),
+/// and batched receive paths never reorder items relative to singleton receives.
+#[test]
+fn batched_burst_transport_matches_singleton_semantics() {
+    use hpcml::comm::link::Link;
+    use hpcml::comm::queue::WorkQueue;
+    use hpcml::comm::reqrep::ReqRepServer;
+    use hpcml::platform::network::LatencyProfile;
+    use std::time::Duration;
+
+    // Coalescing-rule pricing, checked exactly with a zero-sigma profile.
+    let clock = ClockSpec::scaled(100_000.0).build();
+    let profile = LatencyProfile::normal_ms(2.0, 0.0).with_per_kib_ms(0.5);
+    let link = Link::new("prop", std::sync::Arc::clone(&clock), profile, 11);
+    for k in [1usize, 4, 16] {
+        let batched = link.traverse_batch(k, k * 2048);
+        let expected = 0.002 + (k as f64 * 2.0) * 0.5e-3;
+        assert!(
+            (batched - expected).abs() < 1e-9,
+            "k={k}: batch pays one 2 ms sample + bandwidth of the summed bytes, got {batched}"
+        );
+    }
+
+    // WorkQueue: recv_batch drains in FIFO order, identical to singleton pops.
+    let q = WorkQueue::unbounded("prop.queue");
+    let (tx, rx) = q.split();
+    tx.push_batch((0..100).collect()).unwrap();
+    let mut via_batch = Vec::new();
+    while let Ok(mut chunk) = rx.recv_batch(7, Duration::from_millis(5)) {
+        via_batch.append(&mut chunk);
+    }
+    assert_eq!(via_batch, (0..100).collect::<Vec<i32>>());
+
+    // ReqRep: request_batch returns replies in request order through a server that
+    // serves via recv_batch.
+    let server = ReqRepServer::new("prop.svc");
+    let client = server.client(Link::instant(ClockSpec::scaled(100_000.0).build()));
+    let serve = std::thread::spawn(move || {
+        let mut served = 0;
+        while served < 32 {
+            let batch = server.recv_batch(8, Duration::from_secs(10)).unwrap();
+            for (msg, r) in batch {
+                served += 1;
+                r.reply(Message::new("prop.svc", "reply").with_text(msg.text().unwrap()))
+                    .unwrap();
+            }
+        }
+    });
+    let reqs: Vec<Message> = (0..32)
+        .map(|i| Message::new("prop.svc", "req").with_text(&i.to_string()))
+        .collect();
+    let replies = client.request_batch(reqs, Duration::from_secs(10)).unwrap();
+    serve.join().unwrap();
+    let echoed: Vec<usize> = replies
+        .iter()
+        .map(|m| m.text().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(echoed, (0..32).collect::<Vec<usize>>());
+}
